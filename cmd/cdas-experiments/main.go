@@ -1,0 +1,55 @@
+// Command cdas-experiments regenerates the paper's evaluation tables and
+// figures on the simulated substrate.
+//
+// Usage:
+//
+//	cdas-experiments            # run everything, in paper order
+//	cdas-experiments -run fig7  # run one experiment
+//	cdas-experiments -list      # list experiment IDs
+//	cdas-experiments -seed 42   # change the base seed
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"cdas/internal/experiments"
+)
+
+func main() {
+	var (
+		run  = flag.String("run", "", "experiment ID to run (default: all)")
+		list = flag.Bool("list", false, "list experiment IDs and exit")
+		seed = flag.Uint64("seed", 1, "base seed for the simulated substrate")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println(strings.Join(experiments.IDs(), "\n"))
+		return
+	}
+	if *run != "" {
+		gen, ok := experiments.Lookup(*run)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "cdas-experiments: unknown experiment %q (use -list)\n", *run)
+			os.Exit(2)
+		}
+		tbl, err := gen(*seed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cdas-experiments: %s: %v\n", *run, err)
+			os.Exit(1)
+		}
+		fmt.Println(tbl)
+		return
+	}
+	tables, err := experiments.RunAll(*seed)
+	for _, tbl := range tables {
+		fmt.Println(tbl)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cdas-experiments: %v\n", err)
+		os.Exit(1)
+	}
+}

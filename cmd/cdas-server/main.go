@@ -1,0 +1,81 @@
+// Command cdas-server runs the Figure 4-style result service: it executes
+// a few TSA queries on the simulated platform and serves their live
+// summaries over HTTP.
+//
+// Usage:
+//
+//	cdas-server [-addr :8080] [-seed 1] [-accuracy 0.9]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"time"
+
+	"cdas/internal/crowd"
+	"cdas/internal/engine"
+	"cdas/internal/httpapi"
+	"cdas/internal/textgen"
+	"cdas/internal/tsa"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		seed     = flag.Uint64("seed", 1, "simulation seed")
+		accuracy = flag.Float64("accuracy", 0.9, "required accuracy C")
+	)
+	flag.Parse()
+
+	server := httpapi.NewServer()
+	if err := runQueries(server, *seed, *accuracy); err != nil {
+		log.Fatalf("cdas-server: %v", err)
+	}
+	log.Printf("cdas-server: serving CDAS results on %s", *addr)
+	log.Fatal(http.ListenAndServe(*addr, server.Handler()))
+}
+
+func runQueries(server *httpapi.Server, seed uint64, accuracy float64) error {
+	platform, err := crowd.NewPlatform(crowd.DefaultConfig(seed))
+	if err != nil {
+		return err
+	}
+	movies := []string{"Kung Fu Panda 2", "Thor", "Green Latern"}
+	stream, err := textgen.Generate(textgen.Config{
+		Seed:           seed + 1,
+		Movies:         movies,
+		TweetsPerMovie: 60,
+	})
+	if err != nil {
+		return err
+	}
+	golden, err := textgen.Generate(textgen.Config{
+		Seed:           seed + 2,
+		Movies:         []string{"The Calibration Reel"},
+		TweetsPerMovie: 40,
+	})
+	if err != nil {
+		return err
+	}
+	start := time.Date(2011, 10, 1, 0, 0, 0, 0, time.UTC)
+	for _, movie := range movies {
+		eng, err := engine.New(engine.CrowdPlatform{Platform: platform}, nil, engine.Config{
+			JobName:          "tsa",
+			RequiredAccuracy: accuracy,
+			HITSize:          50,
+			Seed:             seed,
+		})
+		if err != nil {
+			return err
+		}
+		res, err := tsa.Run(eng, tsa.Query(movie, accuracy, start, 24*time.Hour), stream, golden)
+		if err != nil {
+			return err
+		}
+		server.UpdateFromSummary(movie, res.Summary, 1.0, true)
+		fmt.Printf("%s: %d tweets, accuracy vs ground truth %.3f\n", movie, res.Tweets, res.Accuracy)
+	}
+	return nil
+}

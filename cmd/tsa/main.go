@@ -1,0 +1,120 @@
+// Command tsa runs one Twitter-sentiment-analytics query end to end on
+// the simulated substrate and prints the Table 1-style presentation.
+//
+// Usage:
+//
+//	tsa [-movie "Kung Fu Panda 2"] [-accuracy 0.9] [-tweets 100] [-seed 1] [-strategy expmax]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"cdas/internal/core/online"
+	"cdas/internal/crowd"
+	"cdas/internal/engine"
+	"cdas/internal/textgen"
+	"cdas/internal/tsa"
+)
+
+func main() {
+	var (
+		movie    = flag.String("movie", "Kung Fu Panda 2", "movie title to query")
+		accuracy = flag.Float64("accuracy", 0.9, "required accuracy C")
+		tweets   = flag.Int("tweets", 100, "tweets to simulate for the movie")
+		seed     = flag.Uint64("seed", 1, "simulation seed")
+		strategy = flag.String("strategy", "never", "termination strategy: never|minmax|minexp|expmax")
+	)
+	flag.Parse()
+
+	strat, err := parseStrategy(*strategy)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tsa:", err)
+		os.Exit(2)
+	}
+	if err := run(*movie, *accuracy, *tweets, *seed, strat); err != nil {
+		log.Fatalf("tsa: %v", err)
+	}
+}
+
+func parseStrategy(s string) (online.Strategy, error) {
+	switch strings.ToLower(s) {
+	case "never":
+		return online.Never, nil
+	case "minmax":
+		return online.MinMax, nil
+	case "minexp":
+		return online.MinExp, nil
+	case "expmax":
+		return online.ExpMax, nil
+	default:
+		return 0, fmt.Errorf("unknown strategy %q", s)
+	}
+}
+
+func run(movie string, accuracy float64, tweets int, seed uint64, strat online.Strategy) error {
+	platform, err := crowd.NewPlatform(crowd.DefaultConfig(seed))
+	if err != nil {
+		return err
+	}
+	stream, err := textgen.Generate(textgen.Config{
+		Seed:           seed + 1,
+		Movies:         []string{movie},
+		TweetsPerMovie: tweets,
+	})
+	if err != nil {
+		return err
+	}
+	golden, err := textgen.Generate(textgen.Config{
+		Seed:           seed + 2,
+		Movies:         []string{"The Calibration Reel"},
+		TweetsPerMovie: 40,
+	})
+	if err != nil {
+		return err
+	}
+	eng, err := engine.New(engine.CrowdPlatform{Platform: platform}, nil, engine.Config{
+		JobName:          "tsa",
+		RequiredAccuracy: accuracy,
+		HITSize:          50,
+		Strategy:         strat,
+		Seed:             seed,
+	})
+	if err != nil {
+		return err
+	}
+	start := time.Date(2011, 10, 1, 0, 0, 0, 0, time.UTC)
+	res, err := tsa.Run(eng, tsa.Query(movie, accuracy, start, 24*time.Hour), stream, golden)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("Query: %q, required accuracy %.0f%%, strategy %v\n", movie, accuracy*100, strat)
+	fmt.Printf("Tweets processed: %d\n\n", res.Tweets)
+	fmt.Printf("%-14s %-11s %s\n", "Opinion", "Percentage", "Reasons")
+	labels := append([]string(nil), res.Summary.Domain...)
+	sort.Slice(labels, func(i, j int) bool {
+		return res.Summary.Percentages[labels[i]] > res.Summary.Percentages[labels[j]]
+	})
+	for _, label := range labels {
+		fmt.Printf("%-14s %9.1f%%  %s\n", label,
+			100*res.Summary.Percentages[label],
+			strings.Join(res.Summary.Reasons[label], ", "))
+	}
+	var cost float64
+	var planned, used int
+	for _, b := range res.Batches {
+		cost += b.Cost
+		planned += b.PlannedWorkers
+		used += b.UsedWorkers
+	}
+	fmt.Printf("\nHITs: %d  workers planned/used: %d/%d  cost: $%.3f\n",
+		len(res.Batches), planned, used, cost)
+	fmt.Printf("Accuracy vs simulated ground truth: %.3f\n", res.Accuracy)
+	return nil
+}

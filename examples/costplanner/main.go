@@ -1,0 +1,64 @@
+// Costplanner: uses the prediction model and the AMT economic model
+// (Section 3) to budget a streaming crowdsourcing query before launching
+// it — the paper's "(m_c + m_s) · n · K · w" cost analysis.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cdas"
+)
+
+func main() {
+	// Population quality scenarios (mean worker accuracy μ).
+	populations := []float64{0.60, 0.70, 0.80, 0.90}
+	// Query: K items per hour over w hours, batched 100 items per HIT.
+	const (
+		itemsPerHour = 200
+		hours        = 24
+		hitSize      = 100
+	)
+	econ := cdas.DefaultEconomics
+
+	fmt.Printf("per-assignment fee: $%.4f (worker $%.3f + platform $%.4f)\n\n",
+		econ.PerAssignment(), econ.WorkerFee, econ.PlatformFee)
+	fmt.Printf("%-10s", "required")
+	for _, mu := range populations {
+		fmt.Printf("  mu=%.2f          ", mu)
+	}
+	fmt.Println()
+	for _, c := range []float64{0.80, 0.90, 0.95, 0.99} {
+		fmt.Printf("%-10.2f", c)
+		for _, mu := range populations {
+			model, err := cdas.NewPredictionModel(mu)
+			if err != nil {
+				log.Fatal(err)
+			}
+			workers, cost, err := model.PlanCost(econ, c, itemsPerHour, hours, hitSize)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  %3d w / $%-7.2f", workers, cost)
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("\nconservative (Chernoff) vs refined (binary search) crowd sizes at mu=0.70:")
+	model, err := cdas.NewPredictionModel(0.70)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, c := range []float64{0.80, 0.90, 0.95, 0.99} {
+		cons, err := model.ConservativeWorkers(c)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ref, err := model.RequiredWorkers(c)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  C=%.2f: conservative %3d -> refined %3d (saves %.0f%%)\n",
+			c, cons, ref, 100*(1-float64(ref)/float64(cons)))
+	}
+}

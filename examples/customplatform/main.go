@@ -1,0 +1,142 @@
+// Customplatform: how to plug CDAS into your own crowd marketplace by
+// implementing the two-method Platform interface. The fake platform here
+// answers from a scripted roster — a production implementation would call
+// a real crowdsourcing service instead — and the demo also shows the
+// amtapi REST alternative for out-of-process marketplaces.
+package main
+
+import (
+	"fmt"
+	"log"
+	"net/http/httptest"
+
+	"cdas"
+)
+
+// scriptedPlatform implements cdas.Platform with a fixed worker roster.
+type scriptedPlatform struct {
+	roster []scriptedWorker
+	fee    float64
+}
+
+type scriptedWorker struct {
+	id string
+	// answers maps question ID to this worker's scripted answer.
+	answers map[string]string
+}
+
+// scriptedRun implements cdas.Run.
+type scriptedRun struct {
+	p         *scriptedPlatform
+	hit       cdas.HIT
+	next      int
+	limit     int
+	cancelled bool
+	charged   float64
+}
+
+func (p *scriptedPlatform) Publish(hit cdas.HIT, n int) (cdas.Run, error) {
+	if n > len(p.roster) {
+		return nil, fmt.Errorf("scripted platform has only %d workers", len(p.roster))
+	}
+	hit.ID = "scripted-1"
+	return &scriptedRun{p: p, hit: hit, limit: n}, nil
+}
+
+func (r *scriptedRun) HIT() cdas.HIT { return r.hit }
+
+func (r *scriptedRun) Next() (cdas.Assignment, bool) {
+	if r.cancelled || r.next >= r.limit {
+		return cdas.Assignment{}, false
+	}
+	w := r.p.roster[r.next]
+	r.next++
+	r.charged += r.p.fee
+	answers := make([]struct {
+		QuestionID string
+		Value      string
+	}, 0) // placeholder to show shape; real code fills cdas.Assignment directly
+	_ = answers
+	a := cdas.Assignment{
+		HITID:      r.hit.ID,
+		Worker:     &cdas.Worker{ID: w.id},
+		SubmitTime: float64(r.next),
+	}
+	for _, q := range r.hit.Questions {
+		value, ok := w.answers[q.ID]
+		if !ok {
+			value = q.Domain[0]
+		}
+		a.Answers = append(a.Answers, struct {
+			QuestionID string
+			Value      string
+		}{q.ID, value})
+	}
+	return a, true
+}
+
+func (r *scriptedRun) Cancel()          { r.cancelled = true }
+func (r *scriptedRun) Charged() float64 { return r.charged }
+
+func main() {
+	roster := []scriptedWorker{
+		{id: "alice", answers: map[string]string{"q1": "cat", "g1": "yes"}},
+		{id: "bob", answers: map[string]string{"q1": "cat", "g1": "yes"}},
+		{id: "carol", answers: map[string]string{"q1": "dog", "g1": "no"}},
+	}
+	platform := &scriptedPlatform{roster: roster, fee: 0.012}
+
+	eng, err := cdas.NewEngine(platform, nil, cdas.EngineConfig{
+		JobName:          "custom",
+		RequiredAccuracy: 0.75,
+		SamplingRate:     0.2,
+		HITSize:          10,
+		MaxWorkers:       3,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	batch, err := eng.ProcessBatch(
+		[]cdas.CrowdQuestion{{ID: "q1", Text: "cat or dog?", Domain: []string{"cat", "dog"}, Truth: "cat"}},
+		[]cdas.CrowdQuestion{{ID: "g1", Text: "golden", Domain: []string{"yes", "no"}, Truth: "yes"}},
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range batch.Results {
+		fmt.Printf("scripted platform: %s -> %s (confidence %.3f)\n",
+			r.Question.ID, r.Answer, r.Confidence)
+	}
+
+	// Alternative: run the marketplace out of process behind the amtapi
+	// REST protocol (here: the simulator behind an httptest server).
+	_, sim, err := cdas.NewSimulatedPlatform(cdas.DefaultSimulatorConfig(9))
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := httptest.NewServer(cdas.NewRemoteServer(sim).Handler())
+	defer srv.Close()
+	remote := cdas.NewRemotePlatform(srv.URL, srv.Client())
+	remoteEng, err := cdas.NewEngine(remote, nil, cdas.EngineConfig{
+		JobName:          "remote",
+		RequiredAccuracy: 0.9,
+		HITSize:          10,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	batch, err = remoteEng.ProcessBatch(
+		[]cdas.CrowdQuestion{{ID: "r1", Text: "2+2?", Domain: []string{"4", "5"}, Truth: "4"}},
+		[]cdas.CrowdQuestion{
+			{ID: "rg1", Domain: []string{"yes", "no"}, Truth: "yes"},
+			{ID: "rg2", Domain: []string{"yes", "no"}, Truth: "no"},
+		},
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range batch.Results {
+		fmt.Printf("remote platform:   %s -> %s (confidence %.3f, %d votes, $%.3f)\n",
+			r.Question.ID, r.Answer, r.Confidence, r.Votes, batch.Cost)
+	}
+}

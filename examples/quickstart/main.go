@@ -1,0 +1,60 @@
+// Quickstart: ask a simulated crowd three questions with a 90% accuracy
+// guarantee, entirely through the public cdas API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cdas"
+)
+
+func main() {
+	// A simulated AMT-like platform with 500 workers (accuracy and
+	// approval-rate distributions match the paper's Figure 14).
+	platform, sim, err := cdas.NewSimulatedPlatform(cdas.DefaultSimulatorConfig(42))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The engine plans crowd sizes with the prediction model, estimates
+	// worker accuracy from embedded golden questions, and verifies
+	// answers with the Bayesian model.
+	eng, err := cdas.NewEngine(platform, nil, cdas.EngineConfig{
+		JobName:          "quickstart",
+		RequiredAccuracy: 0.9,
+		HITSize:          10,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	yesNo := []string{"yes", "no"}
+	questions := []cdas.CrowdQuestion{
+		{ID: "q1", Text: "Is this review positive: 'a flawless, thrilling ride'?", Domain: yesNo, Truth: "yes"},
+		{ID: "q2", Text: "Is this review positive: 'two dull hours I will never get back'?", Domain: yesNo, Truth: "no"},
+		{ID: "q3", Text: "Is this review positive: 'started slow, ended wonderfully'?", Domain: yesNo, Truth: "yes", Difficulty: 0.15},
+	}
+	// Golden questions carry known answers; the engine mixes them into
+	// the HIT to estimate each worker's accuracy (Section 3.3).
+	golden := []cdas.CrowdQuestion{
+		{ID: "g1", Text: "Is 'absolutely wonderful' positive?", Domain: yesNo, Truth: "yes"},
+		{ID: "g2", Text: "Is 'a complete disaster' positive?", Domain: yesNo, Truth: "no"},
+		{ID: "g3", Text: "Is 'best film of the decade' positive?", Domain: yesNo, Truth: "yes"},
+		{ID: "g4", Text: "Is 'painfully boring' positive?", Domain: yesNo, Truth: "no"},
+		{ID: "g5", Text: "Is 'an instant classic' positive?", Domain: yesNo, Truth: "yes"},
+		{ID: "g6", Text: "Is 'save your money' positive?", Domain: yesNo, Truth: "no"},
+	}
+
+	batch, err := eng.ProcessBatch(questions, golden)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("planned %d workers; HIT cost $%.3f\n\n", batch.PlannedWorkers, batch.Cost)
+	for _, r := range batch.Results {
+		fmt.Printf("%s -> %s (confidence %.3f, %d votes)\n",
+			r.Question.ID, r.Answer, r.Confidence, r.Votes)
+	}
+	fmt.Printf("\ntotal simulated platform spend: $%.3f\n", sim.TotalSpent())
+}

@@ -1,0 +1,70 @@
+// Sentiment: the paper's running example — a Twitter sentiment analytics
+// job over a (simulated) tweet stream, producing the Table 1 style
+// percentages-plus-reasons presentation.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"cdas"
+	"cdas/internal/textgen"
+	"cdas/internal/tsa"
+)
+
+func main() {
+	platform, _, err := cdas.NewSimulatedPlatform(cdas.DefaultSimulatorConfig(7))
+	if err != nil {
+		log.Fatal(err)
+	}
+	eng, err := cdas.NewEngine(platform, nil, cdas.EngineConfig{
+		JobName:          "tsa",
+		RequiredAccuracy: 0.9,
+		HITSize:          50,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Register the job with the job manager (Definition 1's query).
+	manager := cdas.NewJobManager()
+	start := time.Date(2011, 10, 1, 0, 0, 0, 0, time.UTC)
+	query := tsa.Query("Kung Fu Panda 2", 0.9, start, 24*time.Hour)
+	plan, err := manager.Register(cdas.Job{Name: "kfp2", Kind: cdas.JobTSA, Query: query})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("processing plan:")
+	for _, t := range plan.ComputerTasks {
+		fmt.Printf("  [computer] %s: %s\n", t.Name, t.Description)
+	}
+	for _, t := range plan.HumanTasks {
+		fmt.Printf("  [human]    %s: %s\n", t.Name, t.Description)
+	}
+
+	// Simulated tweet stream + golden pool (stand-ins for live Twitter).
+	stream, err := textgen.Generate(textgen.Config{
+		Seed: 8, Movies: []string{"Kung Fu Panda 2"}, TweetsPerMovie: 80,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	golden, err := textgen.Generate(textgen.Config{
+		Seed: 9, Movies: []string{"The Calibration Reel"}, TweetsPerMovie: 40,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	res, err := tsa.Run(eng, query, stream, golden)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nopinions on %q (%d tweets):\n", "Kung Fu Panda 2", res.Tweets)
+	for _, label := range res.Summary.Domain {
+		fmt.Printf("  %-9s %5.1f%%  reasons: %v\n",
+			label, 100*res.Summary.Percentages[label], res.Summary.Reasons[label])
+	}
+	fmt.Printf("\naccuracy vs simulated ground truth: %.3f\n", res.Accuracy)
+}

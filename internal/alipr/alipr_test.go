@@ -1,0 +1,132 @@
+package alipr
+
+import (
+	"testing"
+
+	"cdas/internal/imagetag"
+)
+
+func corpus(t *testing.T, seed uint64, perSubject int, noise float64) ([][]float64, []string, []imagetag.Image) {
+	t.Helper()
+	imgs, err := imagetag.Generate(imagetag.Config{
+		Seed:             seed,
+		ImagesPerSubject: perSubject,
+		FeatureNoise:     noise,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	features := make([][]float64, len(imgs))
+	tags := make([]string, len(imgs))
+	for i, img := range imgs {
+		features[i] = img.Features
+		tags[i] = img.TrueTag
+	}
+	return features, tags, imgs
+}
+
+func TestTrainValidation(t *testing.T) {
+	if _, err := Train(nil, nil, Options{}); err == nil {
+		t.Error("empty corpus accepted")
+	}
+	if _, err := Train([][]float64{{1, 2}}, []string{"a", "b"}, Options{}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := Train([][]float64{{1, 2}, {1}}, []string{"a", "b"}, Options{}); err == nil {
+		t.Error("ragged features accepted")
+	}
+}
+
+func TestAnnotateNoiselessCorpusIsAccurate(t *testing.T) {
+	// With zero feature noise every image sits exactly on its tag's
+	// embedding: clustering with enough clusters should annotate well
+	// above chance. (Sanity check that tag propagation works at all.)
+	features, tags, imgs := corpus(t, 1, 40, 0.001)
+	ann, err := Train(features, tags, Options{K: 48, Iterations: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	correct := 0
+	for i, img := range imgs {
+		if ann.Annotate(features[i]) == img.TrueTag {
+			correct++
+		}
+	}
+	if acc := float64(correct) / float64(len(imgs)); acc < 0.7 {
+		t.Errorf("noiseless accuracy %v, want >= 0.7", acc)
+	}
+}
+
+func TestAnnotateRealisticNoiseLandsInALIPRBand(t *testing.T) {
+	// With the default noise the annotator must clearly beat random
+	// guessing over the ~58-tag vocabulary (~2%) yet stay far below
+	// human accuracy — the paper measures ALIPR at 12.6-30%.
+	features, tags, _ := corpus(t, 2, 60, 1.0)
+	ann, err := Train(features, tags, Options{K: 24})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Evaluate on a fresh draw (same distribution, different seed).
+	testF, _, testImgs := corpus(t, 3, 20, 1.0)
+	correct := 0
+	for i, img := range testImgs {
+		if ann.Annotate(testF[i]) == img.TrueTag {
+			correct++
+		}
+	}
+	acc := float64(correct) / float64(len(testImgs))
+	if acc < 0.05 {
+		t.Errorf("ALIPR-like accuracy %v: no signal at all", acc)
+	}
+	if acc > 0.55 {
+		t.Errorf("ALIPR-like accuracy %v: implausibly strong for the baseline", acc)
+	}
+}
+
+func TestAnnotateTopK(t *testing.T) {
+	features, tags, _ := corpus(t, 4, 20, 1.0)
+	ann, err := Train(features, tags, Options{K: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	top := ann.AnnotateTopK(features[0], 3)
+	if len(top) == 0 || len(top) > 3 {
+		t.Fatalf("AnnotateTopK returned %d tags", len(top))
+	}
+	if top[0] != ann.Annotate(features[0]) {
+		t.Error("Annotate must agree with AnnotateTopK's first entry")
+	}
+	// Oversized k clamps.
+	all := ann.AnnotateTopK(features[0], 10000)
+	if len(all) == 0 {
+		t.Error("clamped AnnotateTopK empty")
+	}
+}
+
+func TestDeterministicTraining(t *testing.T) {
+	features, tags, _ := corpus(t, 5, 20, 1.0)
+	a1, err := Train(features, tags, Options{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := Train(features, tags, Options{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range features {
+		if a1.Annotate(features[i]) != a2.Annotate(features[i]) {
+			t.Fatal("training not deterministic under fixed seed")
+		}
+	}
+}
+
+func TestKClampsToCorpusSize(t *testing.T) {
+	features, tags, _ := corpus(t, 6, 1, 1.0) // 8 subjects * 1 image
+	ann, err := Train(features, tags, Options{K: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ann.Clusters() > len(features) {
+		t.Errorf("clusters %d exceed corpus size %d", ann.Clusters(), len(features))
+	}
+}

@@ -1,0 +1,215 @@
+// Package amtapi exposes a crowd platform over an AMT-shaped REST
+// protocol and provides a client that implements the engine's Platform
+// interface on top of it.
+//
+// The paper's CDAS talks to Amazon Mechanical Turk through its HTTP API;
+// this package reproduces that deployment shape: the engine can run in
+// one process while the crowd marketplace (here: the simulator, in
+// production: a real platform gateway) runs in another.
+//
+//	POST   /v1/hits                    create a HIT with n assignments
+//	GET    /v1/hits/{id}               HIT status (charged, outstanding)
+//	POST   /v1/hits/{id}/next          deliver the next submitted assignment
+//	DELETE /v1/hits/{id}               cancel outstanding assignments
+//
+// Wire types carry only what a requester may see: worker IDs and approval
+// rates cross the wire, workers' true accuracies never do (they are the
+// simulator's god view).
+package amtapi
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+
+	"cdas/internal/crowd"
+)
+
+// Wire types.
+
+// QuestionWire mirrors crowd.Question. Truth is included because the
+// requester owns the ground truth of its golden questions (and, for the
+// simulator, drives answer generation); a production gateway would strip
+// it before reaching real workers.
+type QuestionWire struct {
+	ID           string   `json:"id"`
+	Text         string   `json:"text,omitempty"`
+	Domain       []string `json:"domain"`
+	Truth        string   `json:"truth,omitempty"`
+	Difficulty   float64  `json:"difficulty,omitempty"`
+	Trap         string   `json:"trap,omitempty"`
+	TrapStrength float64  `json:"trapStrength,omitempty"`
+}
+
+// CreateHITRequest creates a HIT.
+type CreateHITRequest struct {
+	Title       string         `json:"title"`
+	Questions   []QuestionWire `json:"questions"`
+	Assignments int            `json:"assignments"`
+}
+
+// CreateHITResponse returns the platform-assigned HIT ID.
+type CreateHITResponse struct {
+	HITID string `json:"hitId"`
+}
+
+// AnswerWire is one answer inside an assignment.
+type AnswerWire struct {
+	QuestionID string `json:"questionId"`
+	Value      string `json:"value"`
+}
+
+// AssignmentWire is one worker's submitted assignment.
+type AssignmentWire struct {
+	HITID        string       `json:"hitId"`
+	WorkerID     string       `json:"workerId"`
+	ApprovalRate float64      `json:"approvalRate"`
+	Answers      []AnswerWire `json:"answers"`
+	SubmitTime   float64      `json:"submitTime"`
+}
+
+// NextResponse delivers the next assignment; Done reports exhaustion.
+type NextResponse struct {
+	Assignment *AssignmentWire `json:"assignment,omitempty"`
+	Done       bool            `json:"done"`
+}
+
+// StatusResponse reports a HIT's accounting state.
+type StatusResponse struct {
+	HITID       string  `json:"hitId"`
+	Charged     float64 `json:"charged"`
+	Delivered   int     `json:"delivered"`
+	Outstanding int     `json:"outstanding"`
+	Cancelled   bool    `json:"cancelled"`
+}
+
+func toWire(q crowd.Question) QuestionWire {
+	return QuestionWire{
+		ID: q.ID, Text: q.Text, Domain: q.Domain, Truth: q.Truth,
+		Difficulty: q.Difficulty, Trap: q.Trap, TrapStrength: q.TrapStrength,
+	}
+}
+
+func fromWire(q QuestionWire) crowd.Question {
+	return crowd.Question{
+		ID: q.ID, Text: q.Text, Domain: q.Domain, Truth: q.Truth,
+		Difficulty: q.Difficulty, Trap: q.Trap, TrapStrength: q.TrapStrength,
+	}
+}
+
+// Server exposes a *crowd.Platform over the REST protocol. Safe for
+// concurrent use.
+type Server struct {
+	mu       sync.Mutex
+	platform *crowd.Platform
+	runs     map[string]*crowd.Run
+}
+
+// NewServer wraps a platform.
+func NewServer(p *crowd.Platform) *Server {
+	return &Server{platform: p, runs: make(map[string]*crowd.Run)}
+}
+
+// Handler returns the HTTP handler implementing the protocol.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/hits", s.handleCreate)
+	mux.HandleFunc("GET /v1/hits/{id}", s.handleStatus)
+	mux.HandleFunc("POST /v1/hits/{id}/next", s.handleNext)
+	mux.HandleFunc("DELETE /v1/hits/{id}", s.handleCancel)
+	return mux
+}
+
+func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
+	var req CreateHITRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, "malformed request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	questions := make([]crowd.Question, len(req.Questions))
+	for i, q := range req.Questions {
+		questions[i] = fromWire(q)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	run, err := s.platform.Publish(crowd.HIT{Title: req.Title, Questions: questions}, req.Assignments)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+		return
+	}
+	s.runs[run.HIT().ID] = run
+	writeJSON(w, CreateHITResponse{HITID: run.HIT().ID})
+}
+
+func (s *Server) run(w http.ResponseWriter, r *http.Request) (*crowd.Run, bool) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	run, ok := s.runs[id]
+	s.mu.Unlock()
+	if !ok {
+		http.Error(w, fmt.Sprintf("no such HIT %q", id), http.StatusNotFound)
+		return nil, false
+	}
+	return run, true
+}
+
+func (s *Server) handleNext(w http.ResponseWriter, r *http.Request) {
+	run, ok := s.run(w, r)
+	if !ok {
+		return
+	}
+	s.mu.Lock()
+	a, more := run.Next()
+	s.mu.Unlock()
+	if !more {
+		writeJSON(w, NextResponse{Done: true})
+		return
+	}
+	answers := make([]AnswerWire, len(a.Answers))
+	for i, ans := range a.Answers {
+		answers[i] = AnswerWire{QuestionID: ans.QuestionID, Value: ans.Value}
+	}
+	writeJSON(w, NextResponse{Assignment: &AssignmentWire{
+		HITID:        a.HITID,
+		WorkerID:     a.Worker.ID,
+		ApprovalRate: a.Worker.ApprovalRate,
+		Answers:      answers,
+		SubmitTime:   a.SubmitTime,
+	}})
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	run, ok := s.run(w, r)
+	if !ok {
+		return
+	}
+	s.mu.Lock()
+	resp := StatusResponse{
+		HITID:       run.HIT().ID,
+		Charged:     run.Charged(),
+		Delivered:   run.Delivered(),
+		Outstanding: run.Outstanding(),
+		Cancelled:   run.Cancelled(),
+	}
+	s.mu.Unlock()
+	writeJSON(w, resp)
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	run, ok := s.run(w, r)
+	if !ok {
+		return
+	}
+	s.mu.Lock()
+	run.Cancel()
+	s.mu.Unlock()
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}

@@ -1,0 +1,162 @@
+package amtapi
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"cdas/internal/crowd"
+	"cdas/internal/engine"
+)
+
+// Client implements engine.Platform over the REST protocol, so the
+// crowdsourcing engine can drive a marketplace running in another
+// process.
+type Client struct {
+	base string
+	http *http.Client
+}
+
+// NewClient creates a client for the given base URL (e.g.
+// "http://localhost:9000"). httpClient may be nil for http.DefaultClient.
+func NewClient(base string, httpClient *http.Client) *Client {
+	if httpClient == nil {
+		httpClient = http.DefaultClient
+	}
+	return &Client{base: strings.TrimRight(base, "/"), http: httpClient}
+}
+
+var _ engine.Platform = (*Client)(nil)
+
+// Publish creates the HIT remotely and returns a Run streaming its
+// assignments.
+func (c *Client) Publish(hit crowd.HIT, n int) (engine.Run, error) {
+	questions := make([]QuestionWire, len(hit.Questions))
+	for i, q := range hit.Questions {
+		questions[i] = toWire(q)
+	}
+	var resp CreateHITResponse
+	if err := c.post("/v1/hits", CreateHITRequest{
+		Title:       hit.Title,
+		Questions:   questions,
+		Assignments: n,
+	}, &resp); err != nil {
+		return nil, err
+	}
+	hit.ID = resp.HITID
+	return &remoteRun{client: c, hit: hit}, nil
+}
+
+// remoteRun implements engine.Run over the protocol.
+type remoteRun struct {
+	client    *Client
+	hit       crowd.HIT
+	done      bool
+	cancelled bool
+}
+
+func (r *remoteRun) HIT() crowd.HIT { return r.hit }
+
+func (r *remoteRun) Next() (crowd.Assignment, bool) {
+	if r.done || r.cancelled {
+		return crowd.Assignment{}, false
+	}
+	var resp NextResponse
+	if err := r.client.post("/v1/hits/"+r.hit.ID+"/next", nil, &resp); err != nil {
+		// Engine.Run has no error channel (matching the simulator's
+		// semantics); a broken transport reads as an exhausted run.
+		r.done = true
+		return crowd.Assignment{}, false
+	}
+	if resp.Done || resp.Assignment == nil {
+		r.done = true
+		return crowd.Assignment{}, false
+	}
+	a := resp.Assignment
+	answers := make([]crowd.Answer, len(a.Answers))
+	for i, ans := range a.Answers {
+		answers[i] = crowd.Answer{QuestionID: ans.QuestionID, Value: ans.Value}
+	}
+	return crowd.Assignment{
+		HITID:      a.HITID,
+		Worker:     &crowd.Worker{ID: a.WorkerID, ApprovalRate: a.ApprovalRate},
+		Answers:    answers,
+		SubmitTime: a.SubmitTime,
+	}, true
+}
+
+func (r *remoteRun) Cancel() {
+	if r.cancelled {
+		return
+	}
+	r.cancelled = true
+	req, err := http.NewRequest(http.MethodDelete, r.client.base+"/v1/hits/"+r.hit.ID, nil)
+	if err != nil {
+		return
+	}
+	if resp, err := r.client.http.Do(req); err == nil {
+		resp.Body.Close()
+	}
+}
+
+// Charged fetches the accrued fees from the remote status endpoint.
+func (r *remoteRun) Charged() float64 {
+	st, err := r.client.Status(r.hit.ID)
+	if err != nil {
+		return 0
+	}
+	return st.Charged
+}
+
+// Status fetches a HIT's accounting state.
+func (c *Client) Status(hitID string) (StatusResponse, error) {
+	var st StatusResponse
+	resp, err := c.http.Get(c.base + "/v1/hits/" + hitID)
+	if err != nil {
+		return st, fmt.Errorf("amtapi: status: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return st, fmt.Errorf("amtapi: status: %s", readError(resp))
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return st, fmt.Errorf("amtapi: status: %w", err)
+	}
+	return st, nil
+}
+
+func (c *Client) post(path string, body, out any) error {
+	var reader io.Reader
+	if body != nil {
+		raw, err := json.Marshal(body)
+		if err != nil {
+			return fmt.Errorf("amtapi: encode: %w", err)
+		}
+		reader = bytes.NewReader(raw)
+	}
+	resp, err := c.http.Post(c.base+path, "application/json", reader)
+	if err != nil {
+		return fmt.Errorf("amtapi: %s: %w", path, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("amtapi: %s: %s", path, readError(resp))
+	}
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			return fmt.Errorf("amtapi: %s: decode: %w", path, err)
+		}
+	}
+	return nil
+}
+
+func readError(resp *http.Response) string {
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 512))
+	if err != nil || len(raw) == 0 {
+		return resp.Status
+	}
+	return fmt.Sprintf("%s: %s", resp.Status, strings.TrimSpace(string(raw)))
+}

@@ -1,0 +1,221 @@
+// Package dawidskene implements one-coin Dawid–Skene expectation
+// maximisation: jointly estimating worker accuracies and true answers
+// from the votes alone, with no golden questions.
+//
+// CDAS estimates worker accuracy by embedding golden questions
+// (Section 3.3); the quality-management literature its related work cites
+// (Ipeirotis et al.) instead infers accuracies from inter-worker
+// agreement. This package provides that alternative so the two can be
+// compared (see BenchmarkAblationDawidSkene): it alternates
+//
+//	E-step: P(z_q = r | votes, a) ∝ (1/m) · Π_j [ a_j if vote_jq = r,
+//	        else (1-a_j)/(m-1) ]          (the same likelihood as Eq. 2)
+//	M-step: a_j = Σ_q P(z_q = vote_jq) / |votes_j|
+//
+// until the accuracy estimates stabilise. The model is exactly the
+// paper's worker model (one accuracy per worker, errors uniform over the
+// m-1 wrong answers), so EM is a drop-in replacement for golden sampling
+// wherever ground truth is unavailable.
+package dawidskene
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"cdas/internal/stats"
+)
+
+// Vote is one worker's answer to one question.
+type Vote struct {
+	Question string
+	Worker   string
+	Answer   string
+}
+
+// Options tunes the EM loop. Zero fields take the documented defaults.
+type Options struct {
+	// MaxIterations bounds the EM loop; default 50.
+	MaxIterations int
+	// Tolerance stops the loop once no worker accuracy moves more than
+	// this; default 1e-4.
+	Tolerance float64
+	// InitialAccuracy seeds every worker's accuracy; default 0.7 (a
+	// weakly informative better-than-chance prior that breaks the
+	// everyone-is-wrong symmetry).
+	InitialAccuracy float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxIterations == 0 {
+		o.MaxIterations = 50
+	}
+	if o.Tolerance == 0 {
+		o.Tolerance = 1e-4
+	}
+	if o.InitialAccuracy == 0 {
+		o.InitialAccuracy = 0.7
+	}
+	return o
+}
+
+// Result holds the EM estimates.
+type Result struct {
+	// WorkerAccuracy is the estimated accuracy per worker.
+	WorkerAccuracy map[string]float64
+	// Answers is the maximum-a-posteriori answer per question.
+	Answers map[string]string
+	// Posteriors maps each question to its posterior over observed
+	// answers (the unobserved domain answers share the remaining mass).
+	Posteriors map[string]map[string]float64
+	// Iterations actually performed.
+	Iterations int
+}
+
+// Estimate runs EM over the votes. m is the answer-domain size |R| and
+// must be at least 2 and at least the number of distinct answers observed
+// for any single question.
+func Estimate(votes []Vote, m int, opts Options) (Result, error) {
+	if len(votes) == 0 {
+		return Result{}, errors.New("dawidskene: no votes")
+	}
+	if m < 2 {
+		return Result{}, fmt.Errorf("dawidskene: domain size must be >= 2, got %d", m)
+	}
+	opts = opts.withDefaults()
+	if opts.InitialAccuracy <= 1.0/float64(m) || opts.InitialAccuracy >= 1 {
+		return Result{}, fmt.Errorf("dawidskene: initial accuracy %v must be in (1/m, 1)", opts.InitialAccuracy)
+	}
+
+	// Index the votes.
+	type qvote struct {
+		worker string
+		answer string
+	}
+	byQuestion := make(map[string][]qvote)
+	perWorker := make(map[string]int)
+	for _, v := range votes {
+		byQuestion[v.Question] = append(byQuestion[v.Question], qvote{v.Worker, v.Answer})
+		perWorker[v.Worker]++
+	}
+	for q, vs := range byQuestion {
+		distinct := make(map[string]struct{}, len(vs))
+		for _, v := range vs {
+			distinct[v.answer] = struct{}{}
+		}
+		if len(distinct) > m {
+			return Result{}, fmt.Errorf("dawidskene: question %q has %d distinct answers > m=%d", q, len(distinct), m)
+		}
+	}
+
+	acc := make(map[string]float64, len(perWorker))
+	for w := range perWorker {
+		acc[w] = opts.InitialAccuracy
+	}
+
+	questions := make([]string, 0, len(byQuestion))
+	for q := range byQuestion {
+		questions = append(questions, q)
+	}
+	sort.Strings(questions) // deterministic iteration
+
+	posteriors := make(map[string]map[string]float64, len(byQuestion))
+	iterations := 0
+	for iter := 0; iter < opts.MaxIterations; iter++ {
+		iterations = iter + 1
+
+		// E-step: per-question posterior over answers.
+		for _, q := range questions {
+			vs := byQuestion[q]
+			// Collect distinct observed answers.
+			answers := make([]string, 0, len(vs))
+			seen := make(map[string]struct{}, len(vs))
+			for _, v := range vs {
+				if _, dup := seen[v.answer]; !dup {
+					seen[v.answer] = struct{}{}
+					answers = append(answers, v.answer)
+				}
+			}
+			sort.Strings(answers)
+			k := len(answers)
+			// Log-likelihood of each observed answer being true, plus
+			// one representative unobserved answer (they all share the
+			// same likelihood: every vote is wrong).
+			logits := make([]float64, k, k+1)
+			for ai, a := range answers {
+				ll := 0.0
+				for _, v := range vs {
+					aj := stats.ClampProb(acc[v.worker])
+					if v.answer == a {
+						ll += math.Log(aj)
+					} else {
+						ll += math.Log((1 - aj) / float64(m-1))
+					}
+				}
+				logits[ai] = ll
+			}
+			unobserved := m - k
+			if unobserved > 0 {
+				ll := 0.0
+				for _, v := range vs {
+					aj := stats.ClampProb(acc[v.worker])
+					_ = v
+					ll += math.Log((1 - aj) / float64(m-1))
+				}
+				// Fold the multiplicity of the m-k unobserved answers in
+				// as a log weight.
+				logits = append(logits, ll+math.Log(float64(unobserved)))
+			}
+			lse := stats.LogSumExp(logits)
+			post := make(map[string]float64, k)
+			for ai, a := range answers {
+				post[a] = math.Exp(logits[ai] - lse)
+			}
+			posteriors[q] = post
+		}
+
+		// M-step: re-estimate worker accuracies.
+		sums := make(map[string]float64, len(acc))
+		for _, q := range questions {
+			post := posteriors[q]
+			for _, v := range byQuestion[q] {
+				sums[v.worker] += post[v.answer]
+			}
+		}
+		maxDelta := 0.0
+		for w := range acc {
+			next := stats.ClampProb(sums[w] / float64(perWorker[w]))
+			if d := math.Abs(next - acc[w]); d > maxDelta {
+				maxDelta = d
+			}
+			acc[w] = next
+		}
+		if maxDelta < opts.Tolerance {
+			break
+		}
+	}
+
+	answers := make(map[string]string, len(byQuestion))
+	for q, post := range posteriors {
+		best, bestP := "", -1.0
+		// Deterministic tie-break by answer string.
+		keys := make([]string, 0, len(post))
+		for a := range post {
+			keys = append(keys, a)
+		}
+		sort.Strings(keys)
+		for _, a := range keys {
+			if post[a] > bestP {
+				best, bestP = a, post[a]
+			}
+		}
+		answers[q] = best
+	}
+	return Result{
+		WorkerAccuracy: acc,
+		Answers:        answers,
+		Posteriors:     posteriors,
+		Iterations:     iterations,
+	}, nil
+}

@@ -1,0 +1,227 @@
+package dawidskene
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"cdas/internal/core/verification"
+	"cdas/internal/crowd"
+	"cdas/internal/randx"
+)
+
+// synthesise generates votes from workers with known accuracies over
+// nQuestions 3-answer questions, returning votes, true answers and true
+// accuracies.
+func synthesise(seed uint64, workerAccs []float64, nQuestions int) ([]Vote, map[string]string, map[string]float64) {
+	rng := randx.New(seed)
+	domain := []string{"a", "b", "c"}
+	truths := make(map[string]string, nQuestions)
+	trueAcc := make(map[string]float64, len(workerAccs))
+	var votes []Vote
+	for qi := 0; qi < nQuestions; qi++ {
+		q := fmt.Sprintf("q%03d", qi)
+		truth := domain[rng.IntN(3)]
+		truths[q] = truth
+		for wi, acc := range workerAccs {
+			w := fmt.Sprintf("w%02d", wi)
+			trueAcc[w] = acc
+			answer := truth
+			if !rng.Bool(acc) {
+				// uniform among wrong answers
+				wrong := make([]string, 0, 2)
+				for _, d := range domain {
+					if d != truth {
+						wrong = append(wrong, d)
+					}
+				}
+				answer = wrong[rng.IntN(2)]
+			}
+			votes = append(votes, Vote{Question: q, Worker: w, Answer: answer})
+		}
+	}
+	return votes, truths, trueAcc
+}
+
+func TestEstimateValidation(t *testing.T) {
+	if _, err := Estimate(nil, 3, Options{}); err == nil {
+		t.Error("empty votes accepted")
+	}
+	votes := []Vote{{Question: "q", Worker: "w", Answer: "a"}}
+	if _, err := Estimate(votes, 1, Options{}); err == nil {
+		t.Error("m=1 accepted")
+	}
+	if _, err := Estimate(votes, 3, Options{InitialAccuracy: 0.2}); err == nil {
+		t.Error("below-chance initial accuracy accepted")
+	}
+	many := []Vote{
+		{Question: "q", Worker: "w1", Answer: "a"},
+		{Question: "q", Worker: "w2", Answer: "b"},
+		{Question: "q", Worker: "w3", Answer: "c"},
+	}
+	if _, err := Estimate(many, 2, Options{}); err == nil {
+		t.Error("more distinct answers than m accepted")
+	}
+}
+
+func TestEstimateRecoversAccuracies(t *testing.T) {
+	accs := []float64{0.9, 0.85, 0.8, 0.7, 0.6, 0.55, 0.5, 0.45, 0.75, 0.65}
+	votes, _, trueAcc := synthesise(1, accs, 300)
+	res, err := Estimate(votes, 3, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sumErr float64
+	for w, a := range res.WorkerAccuracy {
+		sumErr += math.Abs(a - trueAcc[w])
+	}
+	if mean := sumErr / float64(len(res.WorkerAccuracy)); mean > 0.07 {
+		t.Errorf("mean accuracy estimation error %v, want <= 0.07", mean)
+	}
+}
+
+func TestEstimateRecoversAnswers(t *testing.T) {
+	accs := []float64{0.85, 0.8, 0.75, 0.7, 0.65, 0.6, 0.55}
+	votes, truths, _ := synthesise(2, accs, 300)
+	res, err := Estimate(votes, 3, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	correct := 0
+	for q, truth := range truths {
+		if res.Answers[q] == truth {
+			correct++
+		}
+	}
+	if acc := float64(correct) / float64(len(truths)); acc < 0.9 {
+		t.Errorf("EM answer accuracy %v, want >= 0.9", acc)
+	}
+}
+
+func TestEstimateBeatsMajorityWithSkewedCrowd(t *testing.T) {
+	// A couple of experts among near-random workers: EM should weight
+	// the experts up and beat plain majority voting.
+	accs := []float64{0.95, 0.92, 0.45, 0.42, 0.40, 0.44, 0.41}
+	votes, truths, _ := synthesise(3, accs, 400)
+	res, err := Estimate(votes, 3, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byQuestion := make(map[string][]verification.Vote)
+	for _, v := range votes {
+		byQuestion[v.Question] = append(byQuestion[v.Question], verification.Vote{
+			Worker: v.Worker, Answer: v.Answer,
+		})
+	}
+	emCorrect, majCorrect := 0, 0
+	for q, truth := range truths {
+		if res.Answers[q] == truth {
+			emCorrect++
+		}
+		if a, ok := verification.MajorityVoting(byQuestion[q]); ok && a == truth {
+			majCorrect++
+		}
+	}
+	if emCorrect <= majCorrect {
+		t.Errorf("EM %d correct vs majority %d: EM should win with skewed accuracies",
+			emCorrect, majCorrect)
+	}
+}
+
+func TestEstimatePosteriorsSumToAtMostOne(t *testing.T) {
+	accs := []float64{0.8, 0.7, 0.6}
+	votes, _, _ := synthesise(4, accs, 50)
+	res, err := Estimate(votes, 3, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for q, post := range res.Posteriors {
+		sum := 0.0
+		for _, p := range post {
+			if p < 0 || p > 1 || math.IsNaN(p) {
+				t.Fatalf("question %s: invalid posterior %v", q, post)
+			}
+			sum += p
+		}
+		// Unobserved answers keep the remaining mass, so observed mass
+		// is <= 1.
+		if sum > 1+1e-9 {
+			t.Errorf("question %s: observed posterior mass %v > 1", q, sum)
+		}
+	}
+}
+
+func TestEstimateDeterministic(t *testing.T) {
+	accs := []float64{0.8, 0.7, 0.6, 0.5}
+	votes, _, _ := synthesise(5, accs, 80)
+	r1, err := Estimate(votes, 3, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Estimate(votes, 3, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for w, a := range r1.WorkerAccuracy {
+		if r2.WorkerAccuracy[w] != a {
+			t.Fatal("EM not deterministic")
+		}
+	}
+	if r1.Iterations != r2.Iterations {
+		t.Fatal("iteration counts differ")
+	}
+}
+
+func TestEstimateConvergesEarly(t *testing.T) {
+	accs := []float64{0.9, 0.85, 0.8}
+	votes, _, _ := synthesise(6, accs, 200)
+	res, err := Estimate(votes, 3, Options{MaxIterations: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iterations >= 50 {
+		t.Errorf("EM used all %d iterations; expected early convergence", res.Iterations)
+	}
+}
+
+func TestEstimateAgainstCrowdSimulator(t *testing.T) {
+	// End-to-end against the crowd simulator: estimates must correlate
+	// with the simulator's true worker accuracies.
+	p, err := crowd.NewPlatform(crowd.DefaultConfig(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	questions := make([]crowd.Question, 150)
+	for i := range questions {
+		questions[i] = crowd.Question{
+			ID:     fmt.Sprintf("q%d", i),
+			Domain: []string{"x", "y", "z"},
+			Truth:  []string{"x", "y", "z"}[i%3],
+		}
+	}
+	run, err := p.Publish(crowd.HIT{Questions: questions}, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var votes []Vote
+	trueAcc := make(map[string]float64)
+	for _, a := range run.Drain() {
+		trueAcc[a.Worker.ID] = a.Worker.Accuracy
+		for _, q := range questions {
+			votes = append(votes, Vote{Question: q.ID, Worker: a.Worker.ID, Answer: a.AnswerTo(q.ID)})
+		}
+	}
+	res, err := Estimate(votes, 3, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sumErr float64
+	for w, est := range res.WorkerAccuracy {
+		sumErr += math.Abs(est - trueAcc[w])
+	}
+	// Simulator questions carry no difficulty here, so estimates should
+	// track true accuracies closely.
+	if mean := sumErr / float64(len(res.WorkerAccuracy)); mean > 0.08 {
+		t.Errorf("mean estimation error vs simulator truth %v, want <= 0.08", mean)
+	}
+}

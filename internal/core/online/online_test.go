@@ -1,0 +1,311 @@
+package online
+
+import (
+	"math"
+	"testing"
+
+	"cdas/internal/core/verification"
+)
+
+func mustVerifier(t *testing.T, total, m int, mean float64) *Verifier {
+	t.Helper()
+	v, err := NewVerifier(total, m, mean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func add(t *testing.T, v *Verifier, acc float64, answer string) {
+	t.Helper()
+	if err := v.Add(verification.Vote{Accuracy: acc, Answer: answer}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewVerifierValidation(t *testing.T) {
+	cases := []struct {
+		total, m int
+		mean     float64
+	}{
+		{0, 3, 0.7}, {5, 1, 0.7}, {5, 3, 0}, {5, 3, 1}, {5, 3, math.NaN()},
+	}
+	for _, c := range cases {
+		if _, err := NewVerifier(c.total, c.m, c.mean); err == nil {
+			t.Errorf("NewVerifier(%d,%d,%v) should fail", c.total, c.m, c.mean)
+		}
+	}
+	if _, err := NewVerifier(1, 2, 0.7); err != nil {
+		t.Errorf("valid construction failed: %v", err)
+	}
+}
+
+func TestAddOverfill(t *testing.T) {
+	v := mustVerifier(t, 2, 3, 0.7)
+	add(t, v, 0.7, "a")
+	add(t, v, 0.7, "a")
+	if err := v.Add(verification.Vote{Accuracy: 0.7, Answer: "a"}); err != ErrOverfilled {
+		t.Errorf("err = %v, want ErrOverfilled", err)
+	}
+}
+
+func TestReceivedRemaining(t *testing.T) {
+	v := mustVerifier(t, 5, 3, 0.7)
+	if v.Received() != 0 || v.Remaining() != 5 {
+		t.Fatalf("fresh verifier: received=%d remaining=%d", v.Received(), v.Remaining())
+	}
+	add(t, v, 0.7, "a")
+	add(t, v, 0.6, "b")
+	if v.Received() != 2 || v.Remaining() != 3 {
+		t.Errorf("received=%d remaining=%d, want 2/3", v.Received(), v.Remaining())
+	}
+}
+
+func TestCurrentMatchesBatchVerification(t *testing.T) {
+	// Theorem 6: partial confidence is just Equation 4 over the received
+	// votes.
+	v := mustVerifier(t, 10, 3, 0.7)
+	votes := []verification.Vote{
+		{Accuracy: 0.54, Answer: "pos"},
+		{Accuracy: 0.73, Answer: "neg"},
+		{Accuracy: 0.31, Answer: "pos"},
+	}
+	for _, vote := range votes {
+		if err := v.Add(vote); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := v.Current()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := verification.Verify(votes, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range want.Ranked {
+		if math.Abs(got.Confidence(s.Answer)-s.Confidence) > 1e-12 {
+			t.Errorf("confidence(%s) online=%v batch=%v", s.Answer, got.Confidence(s.Answer), s.Confidence)
+		}
+	}
+}
+
+func TestNoVotesNotTerminated(t *testing.T) {
+	v := mustVerifier(t, 5, 3, 0.7)
+	for _, s := range append([]Strategy{Never}, Strategies...) {
+		if v.Terminated(s) {
+			t.Errorf("strategy %v terminated with no votes", s)
+		}
+	}
+	if _, err := v.CurrentBounds(); err != ErrNoLeader {
+		t.Errorf("CurrentBounds err = %v, want ErrNoLeader", err)
+	}
+}
+
+func TestAllReceivedAlwaysTerminated(t *testing.T) {
+	v := mustVerifier(t, 1, 3, 0.7)
+	add(t, v, 0.7, "a")
+	for _, s := range append([]Strategy{Never}, Strategies...) {
+		if !v.Terminated(s) {
+			t.Errorf("strategy %v not terminated after all answers", s)
+		}
+	}
+}
+
+func TestNeverStrategyWaitsForAll(t *testing.T) {
+	v := mustVerifier(t, 10, 2, 0.7)
+	for i := 0; i < 9; i++ {
+		add(t, v, 0.99, "a") // overwhelming evidence
+	}
+	if v.Terminated(Never) {
+		t.Error("Never must not terminate before all answers arrive")
+	}
+}
+
+func TestOverwhelmingLeadTerminatesAll(t *testing.T) {
+	// 25 of 30 high-accuracy unanimous votes: even the adversarial
+	// completion of 5 cannot flip the result, so every strategy stops.
+	v := mustVerifier(t, 30, 3, 0.7)
+	for i := 0; i < 25; i++ {
+		add(t, v, 0.9, "a")
+	}
+	for _, s := range Strategies {
+		if !v.Terminated(s) {
+			t.Errorf("strategy %v should terminate under an insurmountable lead", s)
+		}
+	}
+}
+
+func TestEarlyVotesDoNotTerminateMinMax(t *testing.T) {
+	// 1 vote in, 29 outstanding: the adversary trivially overtakes.
+	v := mustVerifier(t, 30, 3, 0.7)
+	add(t, v, 0.9, "a")
+	if v.Terminated(MinMax) {
+		t.Error("MinMax terminated with 29 adversarial answers outstanding")
+	}
+	if v.Terminated(MinExp) {
+		t.Error("MinExp terminated with 29 adversarial answers outstanding")
+	}
+}
+
+func TestStrategyConservativeness(t *testing.T) {
+	// MinMax's condition implies both MinExp's and ExpMax's:
+	// MinBest <= ExpBest and ExpRunner <= MaxRunner always, so
+	// MinMax terminated => MinExp terminated and ExpMax terminated.
+	// Verify along a growing vote sequence.
+	v := mustVerifier(t, 15, 3, 0.7)
+	votes := []struct {
+		acc float64
+		ans string
+	}{
+		{0.8, "a"}, {0.6, "b"}, {0.9, "a"}, {0.7, "a"}, {0.55, "c"},
+		{0.85, "a"}, {0.75, "a"}, {0.8, "a"}, {0.9, "a"}, {0.6, "a"},
+	}
+	for _, vt := range votes {
+		add(t, v, vt.acc, vt.ans)
+		b, err := v.CurrentBounds()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b.MinBest > b.ExpBest+1e-12 {
+			t.Errorf("MinBest %v > ExpBest %v", b.MinBest, b.ExpBest)
+		}
+		if b.ExpRunner > b.MaxRunner+1e-12 {
+			t.Errorf("ExpRunner %v > MaxRunner %v", b.ExpRunner, b.MaxRunner)
+		}
+		if v.Terminated(MinMax) {
+			if !v.Terminated(MinExp) || !v.Terminated(ExpMax) {
+				t.Error("MinMax fired but a less conservative strategy did not")
+			}
+		}
+	}
+}
+
+func TestMinMaxStableUnderAdversarialCompletion(t *testing.T) {
+	// Once MinMax fires, complete the HIT with the worst case (all
+	// remaining vote the runner-up at mean accuracy): the final winner
+	// must still be the leader at termination time.
+	v := mustVerifier(t, 20, 3, 0.7)
+	seq := []struct {
+		acc float64
+		ans string
+	}{
+		{0.9, "a"}, {0.85, "a"}, {0.8, "b"}, {0.9, "a"}, {0.88, "a"},
+		{0.92, "a"}, {0.9, "a"}, {0.87, "a"}, {0.9, "a"}, {0.89, "a"},
+		{0.91, "a"}, {0.9, "a"},
+	}
+	fired := false
+	var leader string
+	var firedAt int
+	for i, vt := range seq {
+		add(t, v, vt.acc, vt.ans)
+		if v.Terminated(MinMax) {
+			fired = true
+			cur, err := v.Current()
+			if err != nil {
+				t.Fatal(err)
+			}
+			leader = cur.Best().Answer
+			firedAt = i + 1
+			break
+		}
+	}
+	if !fired {
+		t.Fatal("MinMax never fired in a lopsided sequence")
+	}
+	b, err := v.CurrentBounds()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Simulate the adversarial completion explicitly.
+	for v.Remaining() > 0 {
+		add(t, v, 0.7, b.RunnerUp)
+	}
+	final, err := v.Current()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.Best().Answer != leader {
+		t.Errorf("MinMax fired at %d votes for %q but adversarial completion flipped to %q",
+			firedAt, leader, final.Best().Answer)
+	}
+}
+
+func TestSingleObservedAnswerCompetitorIsUnobserved(t *testing.T) {
+	v := mustVerifier(t, 10, 3, 0.7)
+	add(t, v, 0.8, "a")
+	b, err := v.CurrentBounds()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.RunnerUp != "" {
+		t.Errorf("runner-up = %q, want unobserved (\"\")", b.RunnerUp)
+	}
+	if b.MaxRunner <= b.ExpRunner {
+		t.Errorf("adversarial runner %v should exceed current %v", b.MaxRunner, b.ExpRunner)
+	}
+}
+
+func TestBoundsProbabilitiesSane(t *testing.T) {
+	v := mustVerifier(t, 10, 4, 0.7)
+	add(t, v, 0.8, "a")
+	add(t, v, 0.6, "b")
+	add(t, v, 0.7, "a")
+	b, err := v.CurrentBounds()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, p := range map[string]float64{
+		"ExpBest": b.ExpBest, "ExpRunner": b.ExpRunner,
+		"MinBest": b.MinBest, "MaxRunner": b.MaxRunner,
+	} {
+		if p < 0 || p > 1 || math.IsNaN(p) {
+			t.Errorf("%s = %v, want a probability", name, p)
+		}
+	}
+	if b.Best != "a" || b.RunnerUp != "b" {
+		t.Errorf("best/runner = %q/%q, want a/b", b.Best, b.RunnerUp)
+	}
+	if b.Received != 3 || b.Outstanding != 7 {
+		t.Errorf("received/outstanding = %d/%d, want 3/7", b.Received, b.Outstanding)
+	}
+}
+
+func TestVotesCopy(t *testing.T) {
+	v := mustVerifier(t, 5, 3, 0.7)
+	add(t, v, 0.8, "a")
+	votes := v.Votes()
+	votes[0].Answer = "tampered"
+	cur, err := v.Current()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cur.Best().Answer != "a" {
+		t.Error("Votes() must return a copy")
+	}
+}
+
+func TestStrategyString(t *testing.T) {
+	for s, want := range map[Strategy]string{
+		Never: "Never", MinMax: "MinMax", MinExp: "MinExp", ExpMax: "ExpMax",
+		Strategy(42): "Strategy(42)",
+	} {
+		if got := s.String(); got != want {
+			t.Errorf("String(%d) = %q, want %q", int(s), got, want)
+		}
+	}
+}
+
+func TestTerminationMonotoneInEvidence(t *testing.T) {
+	// Adding another vote for the leader must not un-terminate ExpMax.
+	v := mustVerifier(t, 30, 3, 0.7)
+	terminated := false
+	for i := 0; i < 30; i++ {
+		add(t, v, 0.85, "a")
+		now := v.Terminated(ExpMax)
+		if terminated && !now {
+			t.Fatalf("ExpMax regressed at vote %d", i+1)
+		}
+		terminated = now
+	}
+}

@@ -1,0 +1,128 @@
+package online
+
+import (
+	"math"
+	"testing"
+
+	"cdas/internal/core/verification"
+)
+
+// completionOracle enumerates every possible completion of the remaining
+// workers (each answering any domain answer, all with accuracy meanAcc)
+// and returns the minimum final probability of the current best answer
+// and the maximum final probability of any other answer — the exact
+// quantities CurrentBounds approximates with the paper's "all remaining
+// vote the runner-up" argument.
+func completionOracle(t *testing.T, votes []verification.Vote, domain []string, rem int, meanAcc float64) (minBest, maxRunner float64) {
+	t.Helper()
+	base, err := verification.Verify(votes, len(domain))
+	if err != nil {
+		t.Fatal(err)
+	}
+	best := base.Best().Answer
+
+	minBest = math.Inf(1)
+	maxRunner = 0.0
+	assignment := make([]int, rem)
+	var recurse func(i int)
+	recurse = func(i int) {
+		if i == rem {
+			full := append([]verification.Vote(nil), votes...)
+			for _, d := range assignment {
+				full = append(full, verification.Vote{Accuracy: meanAcc, Answer: domain[d]})
+			}
+			res, err := verification.Verify(full, len(domain))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if p := res.Confidence(best); p < minBest {
+				minBest = p
+			}
+			for _, s := range res.Ranked {
+				if s.Answer != best && s.Confidence > maxRunner {
+					maxRunner = s.Confidence
+				}
+			}
+			return
+		}
+		for d := range domain {
+			assignment[i] = d
+			recurse(i + 1)
+		}
+	}
+	recurse(0)
+	return minBest, maxRunner
+}
+
+func TestBoundsMatchExhaustiveCompletions(t *testing.T) {
+	domain := []string{"a", "b", "c"}
+	const meanAcc = 0.7
+	cases := [][]verification.Vote{
+		{{Accuracy: 0.8, Answer: "a"}},
+		{{Accuracy: 0.8, Answer: "a"}, {Accuracy: 0.6, Answer: "b"}},
+		{{Accuracy: 0.9, Answer: "a"}, {Accuracy: 0.85, Answer: "a"}, {Accuracy: 0.55, Answer: "c"}},
+		{{Accuracy: 0.6, Answer: "b"}, {Accuracy: 0.6, Answer: "b"}, {Accuracy: 0.6, Answer: "a"}},
+	}
+	for ci, votes := range cases {
+		for rem := 1; rem <= 3; rem++ {
+			total := len(votes) + rem
+			v, err := NewVerifier(total, len(domain), meanAcc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, vote := range votes {
+				if err := v.Add(vote); err != nil {
+					t.Fatal(err)
+				}
+			}
+			b, err := v.CurrentBounds()
+			if err != nil {
+				t.Fatal(err)
+			}
+			oracleMin, oracleMax := completionOracle(t, votes, domain, rem, meanAcc)
+			// The adversarial single-answer completion must coincide with
+			// the exhaustive extremes: concentrating all remaining votes
+			// on the strongest competitor minimises the leader and
+			// maximises that competitor.
+			if math.Abs(b.MinBest-oracleMin) > 1e-9 {
+				t.Errorf("case %d rem %d: MinBest %v, exhaustive %v", ci, rem, b.MinBest, oracleMin)
+			}
+			if math.Abs(b.MaxRunner-oracleMax) > 1e-9 {
+				t.Errorf("case %d rem %d: MaxRunner %v, exhaustive %v", ci, rem, b.MaxRunner, oracleMax)
+			}
+		}
+	}
+}
+
+func TestMinMaxNeverFiresWhenOvertakable(t *testing.T) {
+	// Safety property of the Section 4.2.2 bounds: whenever MinMax says
+	// "terminate", no completion (with mean-accuracy workers) can make
+	// any rival's probability exceed the leader's minimum.
+	domain := []string{"a", "b"}
+	const meanAcc = 0.75
+	votes := []verification.Vote{
+		{Accuracy: 0.95, Answer: "a"},
+		{Accuracy: 0.9, Answer: "a"},
+		{Accuracy: 0.85, Answer: "a"},
+	}
+	for rem := 1; rem <= 3; rem++ {
+		total := len(votes) + rem
+		v, err := NewVerifier(total, len(domain), meanAcc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, vote := range votes {
+			if err := v.Add(vote); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if !v.Terminated(MinMax) {
+			continue // not fired at this rem; nothing to check
+		}
+		oracleMin, oracleMax := completionOracle(t, votes, domain, rem, meanAcc)
+		if oracleMin <= oracleMax {
+			t.Errorf("rem %d: MinMax fired but a completion overturns the leader (%v <= %v)",
+				rem, oracleMin, oracleMax)
+		}
+	}
+}

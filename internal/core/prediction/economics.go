@@ -1,0 +1,65 @@
+package prediction
+
+import (
+	"fmt"
+	"math"
+)
+
+// Economics captures the AMT charging rules of Section 3.1: every worker
+// answering a HIT is paid WorkerFee (m_c) and the platform collects
+// PlatformFee (m_s) per worker per HIT, so a HIT answered by n workers
+// costs (m_c + m_s) * n.
+type Economics struct {
+	WorkerFee   float64 // m_c, dollars per assignment paid to the worker
+	PlatformFee float64 // m_s, dollars per assignment paid to the platform
+}
+
+// DefaultEconomics mirrors the paper's running example of $0.01 per worker
+// per HIT with a 20% platform surcharge (AMT's fee schedule at the time).
+var DefaultEconomics = Economics{WorkerFee: 0.01, PlatformFee: 0.002}
+
+// Validate reports whether the fee schedule is usable (finite,
+// non-negative fees).
+func (e Economics) Validate() error {
+	for name, v := range map[string]float64{"worker fee": e.WorkerFee, "platform fee": e.PlatformFee} {
+		if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("prediction: %s must be a non-negative finite amount, got %v", name, v)
+		}
+	}
+	return nil
+}
+
+// PerAssignment returns m_c + m_s, the marginal cost of one collected
+// answer.
+func (e Economics) PerAssignment() float64 { return e.WorkerFee + e.PlatformFee }
+
+// HITCost returns the cost of one HIT answered by n workers:
+// (m_c + m_s) * n.
+func (e Economics) HITCost(n int) float64 { return e.PerAssignment() * float64(n) }
+
+// QueryCost returns the Section 3.1 cost of a streaming query that sees k
+// candidate items per time unit over w time units, with n workers per HIT
+// and hitSize items per HIT: (m_c + m_s) * n * ceil(k*w / hitSize).
+// With hitSize = 1 this reduces to the paper's (m_c + m_s) * n * K * w.
+func (e Economics) QueryCost(n, k, w, hitSize int) float64 {
+	if hitSize <= 0 {
+		hitSize = 1
+	}
+	items := k * w
+	hits := (items + hitSize - 1) / hitSize
+	return e.HITCost(n) * float64(hits)
+}
+
+// PlanCost combines the planner with the fee schedule: the cost of
+// meeting required accuracy c for a query with k items per time unit over
+// w units, batching hitSize items per HIT.
+func (m *Model) PlanCost(e Economics, c float64, k, w, hitSize int) (workers int, cost float64, err error) {
+	if err := e.Validate(); err != nil {
+		return 0, 0, err
+	}
+	n, err := m.RequiredWorkers(c)
+	if err != nil {
+		return 0, 0, err
+	}
+	return n, e.QueryCost(n, k, w, hitSize), nil
+}

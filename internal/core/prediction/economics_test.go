@@ -1,0 +1,93 @@
+package prediction
+
+import (
+	"math"
+	"testing"
+)
+
+func TestEconomicsHITCost(t *testing.T) {
+	e := Economics{WorkerFee: 0.01, PlatformFee: 0.002}
+	if got := e.PerAssignment(); math.Abs(got-0.012) > 1e-12 {
+		t.Errorf("PerAssignment = %v, want 0.012", got)
+	}
+	if got := e.HITCost(5); math.Abs(got-0.06) > 1e-12 {
+		t.Errorf("HITCost(5) = %v, want 0.06", got)
+	}
+}
+
+func TestEconomicsQueryCost(t *testing.T) {
+	e := Economics{WorkerFee: 0.01, PlatformFee: 0.002}
+	// Paper formula (m_c+m_s) n K w with one item per HIT.
+	if got, want := e.QueryCost(3, 10, 4, 1), 0.012*3*10*4; math.Abs(got-want) > 1e-9 {
+		t.Errorf("QueryCost per-item = %v, want %v", got, want)
+	}
+	// Batching 100 items per HIT: 40 items -> 1 HIT.
+	if got, want := e.QueryCost(3, 10, 4, 100), 0.012*3; math.Abs(got-want) > 1e-9 {
+		t.Errorf("QueryCost batched = %v, want %v", got, want)
+	}
+	// hitSize <= 0 falls back to per-item.
+	if got, want := e.QueryCost(3, 10, 4, 0), e.QueryCost(3, 10, 4, 1); got != want {
+		t.Errorf("QueryCost(hitSize=0) = %v, want %v", got, want)
+	}
+	// Ceiling: 101 items at 100/HIT -> 2 HITs.
+	if got, want := e.QueryCost(1, 101, 1, 100), 0.012*2; math.Abs(got-want) > 1e-9 {
+		t.Errorf("QueryCost ceil = %v, want %v", got, want)
+	}
+}
+
+func TestEconomicsValidate(t *testing.T) {
+	if err := DefaultEconomics.Validate(); err != nil {
+		t.Errorf("DefaultEconomics invalid: %v", err)
+	}
+	bad := []Economics{
+		{WorkerFee: -1},
+		{PlatformFee: math.NaN()},
+		{WorkerFee: math.Inf(1)},
+	}
+	for _, e := range bad {
+		if err := e.Validate(); err == nil {
+			t.Errorf("Validate(%+v) should fail", e)
+		}
+	}
+}
+
+func TestPlanCost(t *testing.T) {
+	m := mustModel(t, 0.7)
+	n, cost, err := m.PlanCost(DefaultEconomics, 0.75, 200, 1, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Errorf("planned workers = %d, want 3", n)
+	}
+	// 200 items, 100/HIT -> 2 HITs * 3 workers * 0.012.
+	if want := 0.012 * 3 * 2; math.Abs(cost-want) > 1e-9 {
+		t.Errorf("cost = %v, want %v", cost, want)
+	}
+}
+
+func TestPlanCostPropagatesErrors(t *testing.T) {
+	m := mustModel(t, 0.7)
+	if _, _, err := m.PlanCost(Economics{WorkerFee: -1}, 0.75, 1, 1, 1); err == nil {
+		t.Error("invalid economics should fail PlanCost")
+	}
+	if _, _, err := m.PlanCost(DefaultEconomics, 1.5, 1, 1, 1); err == nil {
+		t.Error("invalid C should fail PlanCost")
+	}
+}
+
+func TestCostScalesWithAccuracy(t *testing.T) {
+	// Higher required accuracy must never be cheaper.
+	m := mustModel(t, 0.7)
+	_, lo, err := m.PlanCost(DefaultEconomics, 0.7, 100, 10, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, hi, err := m.PlanCost(DefaultEconomics, 0.95, 100, 10, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hi < lo {
+		t.Errorf("cost(0.95)=%v < cost(0.7)=%v", hi, lo)
+	}
+}

@@ -1,0 +1,128 @@
+// Package prediction implements CDAS's voting-based prediction model
+// (Section 3 of the paper): given a user-required accuracy C and the mean
+// accuracy μ of the worker population, it estimates how many workers must
+// answer a HIT so that, in expectation, at least half of them return the
+// correct answer with probability at least C.
+//
+// Two estimators are provided:
+//
+//   - ConservativeWorkers: the closed-form Chernoff-bound estimate of
+//     Theorem 3, n >= -ln(1-C) / (2 (μ - 1/2)^2), rounded up to the next
+//     odd integer.
+//   - RequiredWorkers: the refined estimate of Algorithm 2, a binary
+//     search over odd n for the minimum n with E[P_{n/2}] >= C, where
+//     E[P_{n/2}] is the exact binomial majority tail of Theorem 1
+//     (computed by Algorithm 3's ratio recurrence in package stats).
+//
+// Theorem 4 shows the same n also bounds the quality of the
+// probability-based verification model, so this planner fronts both the
+// voting and the Bayesian pipelines.
+package prediction
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"cdas/internal/stats"
+)
+
+// Errors returned by the planner. They are sentinel values so callers can
+// branch on the failure mode (e.g. fall back to a default crowd size when
+// the population is too unreliable to plan for).
+var (
+	// ErrAccuracyOutOfRange reports a required accuracy outside (0, 1).
+	ErrAccuracyOutOfRange = errors.New("prediction: required accuracy must be in (0, 1)")
+	// ErrMeanNotInformative reports a mean worker accuracy <= 1/2: such a
+	// crowd carries no majority signal and no finite n satisfies the bound.
+	ErrMeanNotInformative = errors.New("prediction: mean worker accuracy must exceed 1/2")
+)
+
+// Model is a worker-count planner for a fixed worker population. The zero
+// value is not usable; construct with New.
+type Model struct {
+	mu float64 // mean accuracy of the worker population
+}
+
+// New returns a prediction model for a population with mean accuracy mu.
+// mu must lie in (0.5, 1]; see ErrMeanNotInformative.
+func New(mu float64) (*Model, error) {
+	if math.IsNaN(mu) || mu <= 0.5 || mu > 1 {
+		return nil, fmt.Errorf("%w (got %v)", ErrMeanNotInformative, mu)
+	}
+	return &Model{mu: mu}, nil
+}
+
+// MeanAccuracy reports the population mean accuracy the model plans with.
+func (m *Model) MeanAccuracy() float64 { return m.mu }
+
+// ExpectedAccuracy returns E[P_{n/2}] (Theorem 1): the probability that at
+// least ceil(n/2) of n workers with mean accuracy μ answer correctly.
+func (m *Model) ExpectedAccuracy(n int) float64 {
+	return stats.MajorityTail(n, m.mu)
+}
+
+// ChernoffBound returns the Theorem 2 lower bound on ExpectedAccuracy(n).
+func (m *Model) ChernoffBound(n int) float64 {
+	return stats.ChernoffMajorityLowerBound(n, m.mu)
+}
+
+// ConservativeWorkers returns the Theorem 3 estimate: the minimum odd n
+// with 1 - exp(-2 n (μ-1/2)^2) >= C, i.e. n = 2*floor(-ln(1-C)/(4(μ-1/2)^2)) + 1.
+func (m *Model) ConservativeWorkers(c float64) (int, error) {
+	if err := checkC(c); err != nil {
+		return 0, err
+	}
+	d := m.mu - 0.5
+	raw := -math.Log(1-c) / (4 * d * d)
+	n := 2*int(math.Floor(raw)) + 1
+	if n < 1 {
+		n = 1
+	}
+	// Guard against floating-point shortfall at the boundary: Theorem 3
+	// promises the bound holds at the returned n.
+	for m.ChernoffBound(n) < c {
+		n += 2
+	}
+	return n, nil
+}
+
+// RequiredWorkers returns the Algorithm 2 refined estimate: the minimum
+// odd n such that the exact expected accuracy E[P_{n/2}] >= C. It is never
+// larger than ConservativeWorkers(c).
+func (m *Model) RequiredWorkers(c float64) (int, error) {
+	upper, err := m.ConservativeWorkers(c)
+	if err != nil {
+		return 0, err
+	}
+	// Binary search over odd integers in [1, upper]. Work in the index
+	// space i where n = 2i+1 to keep the invariant trivially odd.
+	lo, hi := 0, (upper-1)/2
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if m.ExpectedAccuracy(2*mid+1) >= c {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return 2*lo + 1, nil
+}
+
+// WorkersFor is the function g(C) of Section 3.1: a convenience wrapper
+// around RequiredWorkers that panics on invalid input. Use it when C and μ
+// were validated upstream (e.g. by query parsing).
+func (m *Model) WorkersFor(c float64) int {
+	n, err := m.RequiredWorkers(c)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+func checkC(c float64) error {
+	if math.IsNaN(c) || c <= 0 || c >= 1 {
+		return fmt.Errorf("%w (got %v)", ErrAccuracyOutOfRange, c)
+	}
+	return nil
+}

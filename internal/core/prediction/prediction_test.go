@@ -1,0 +1,199 @@
+package prediction
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func mustModel(t *testing.T, mu float64) *Model {
+	t.Helper()
+	m, err := New(mu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestNewValidation(t *testing.T) {
+	for _, mu := range []float64{0.5, 0.3, 0, -1, 1.1, math.NaN()} {
+		if _, err := New(mu); !errors.Is(err, ErrMeanNotInformative) {
+			t.Errorf("New(%v) err = %v, want ErrMeanNotInformative", mu, err)
+		}
+	}
+	if _, err := New(0.75); err != nil {
+		t.Errorf("New(0.75) err = %v", err)
+	}
+	if _, err := New(1.0); err != nil {
+		t.Errorf("New(1.0) err = %v (perfect workers are legal)", err)
+	}
+}
+
+func TestRequiredAccuracyValidation(t *testing.T) {
+	m := mustModel(t, 0.75)
+	for _, c := range []float64{0, 1, -0.5, 2, math.NaN()} {
+		if _, err := m.RequiredWorkers(c); !errors.Is(err, ErrAccuracyOutOfRange) {
+			t.Errorf("RequiredWorkers(%v) err = %v, want ErrAccuracyOutOfRange", c, err)
+		}
+		if _, err := m.ConservativeWorkers(c); !errors.Is(err, ErrAccuracyOutOfRange) {
+			t.Errorf("ConservativeWorkers(%v) err = %v, want ErrAccuracyOutOfRange", c, err)
+		}
+	}
+}
+
+func TestConservativeMeetsChernoffBound(t *testing.T) {
+	for _, mu := range []float64{0.6, 0.7, 0.75, 0.85, 0.95} {
+		m := mustModel(t, mu)
+		for c := 0.65; c < 0.995; c += 0.02 {
+			n, err := m.ConservativeWorkers(c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if n%2 != 1 {
+				t.Fatalf("mu=%v C=%v: conservative n=%d is even", mu, c, n)
+			}
+			if got := m.ChernoffBound(n); got < c {
+				t.Errorf("mu=%v C=%v: Chernoff(%d) = %v < C", mu, c, n, got)
+			}
+		}
+	}
+}
+
+func TestRequiredWorkersIsMinimalOdd(t *testing.T) {
+	for _, mu := range []float64{0.6, 0.7, 0.8} {
+		m := mustModel(t, mu)
+		for c := 0.65; c < 0.99; c += 0.05 {
+			n, err := m.RequiredWorkers(c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if n%2 != 1 {
+				t.Fatalf("n=%d is even", n)
+			}
+			if got := m.ExpectedAccuracy(n); got < c {
+				t.Errorf("mu=%v C=%v: E[P](%d) = %v < C", mu, c, n, got)
+			}
+			if n > 2 {
+				if got := m.ExpectedAccuracy(n - 2); got >= c {
+					t.Errorf("mu=%v C=%v: n=%d not minimal, %d already gives %v", mu, c, n, n-2, got)
+				}
+			}
+		}
+	}
+}
+
+func TestRefinedNeverExceedsConservative(t *testing.T) {
+	// Figure 6's claim, as a property over random (mu, C).
+	f := func(muRaw, cRaw float64) bool {
+		mu := 0.55 + math.Abs(math.Mod(muRaw, 0.40)) // (0.55, 0.95)
+		c := 0.55 + math.Abs(math.Mod(cRaw, 0.44))   // (0.55, 0.99)
+		m, err := New(mu)
+		if err != nil {
+			return false
+		}
+		cons, err1 := m.ConservativeWorkers(c)
+		ref, err2 := m.RequiredWorkers(c)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return ref <= cons
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRequiredWorkersMonotoneInC(t *testing.T) {
+	m := mustModel(t, 0.7)
+	prev := 0
+	for c := 0.55; c < 0.995; c += 0.01 {
+		n, err := m.RequiredWorkers(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n < prev {
+			t.Fatalf("RequiredWorkers not monotone at C=%v: %d after %d", c, n, prev)
+		}
+		prev = n
+	}
+}
+
+func TestRequiredWorkersDecreasesWithBetterWorkers(t *testing.T) {
+	c := 0.95
+	prev := math.MaxInt
+	for _, mu := range []float64{0.55, 0.6, 0.7, 0.8, 0.9, 0.99} {
+		m := mustModel(t, mu)
+		n, err := m.RequiredWorkers(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n > prev {
+			t.Fatalf("more accurate workers needed more heads: mu=%v n=%d prev=%d", mu, n, prev)
+		}
+		prev = n
+	}
+}
+
+func TestRequiredWorkersKnownValues(t *testing.T) {
+	// mu=0.7: E[P](1)=0.7, E[P](3)=0.784, E[P](5)=0.837, E[P](7)=0.874.
+	m := mustModel(t, 0.7)
+	// Note 0.70 itself is avoided: E[P](1) is computed through logs and
+	// lands at 0.69999999999999996, putting exact equality on a
+	// floating-point knife edge.
+	cases := []struct {
+		c    float64
+		want int
+	}{
+		{0.69, 1}, {0.699, 1}, {0.75, 3}, {0.80, 5}, {0.85, 7},
+	}
+	for _, tc := range cases {
+		got, err := m.RequiredWorkers(tc.c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != tc.want {
+			t.Errorf("RequiredWorkers(%v) = %d, want %d", tc.c, got, tc.want)
+		}
+	}
+}
+
+func TestExpectedAccuracyMatchesHandComputation(t *testing.T) {
+	m := mustModel(t, 0.7)
+	// n=3: 3*0.49*0.3 + 0.343 = 0.784
+	if got := m.ExpectedAccuracy(3); math.Abs(got-0.784) > 1e-12 {
+		t.Errorf("E[P](3) = %v, want 0.784", got)
+	}
+}
+
+func TestWorkersForPanicsOnBadC(t *testing.T) {
+	m := mustModel(t, 0.7)
+	defer func() {
+		if recover() == nil {
+			t.Error("WorkersFor(1.5) should panic")
+		}
+	}()
+	m.WorkersFor(1.5)
+}
+
+func TestWorkersForConvenience(t *testing.T) {
+	m := mustModel(t, 0.7)
+	if got := m.WorkersFor(0.75); got != 3 {
+		t.Errorf("WorkersFor(0.75) = %d, want 3", got)
+	}
+}
+
+func TestHighAccuracyRequirementIsFinite(t *testing.T) {
+	// C = 0.9999 with mediocre workers must still terminate with a sane n.
+	m := mustModel(t, 0.65)
+	n, err := m.RequiredWorkers(0.9999)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n < 1 || n > 1001 {
+		t.Errorf("RequiredWorkers(0.9999) = %d, out of sane range", n)
+	}
+	if got := m.ExpectedAccuracy(n); got < 0.9999 {
+		t.Errorf("E[P](%d) = %v < 0.9999", n, got)
+	}
+}

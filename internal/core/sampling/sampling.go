@@ -1,0 +1,168 @@
+// Package sampling implements CDAS's sampling-based worker-accuracy
+// estimation (Section 3.3 of the paper, Algorithm 4).
+//
+// Crowd platforms either hide worker statistics or expose approval rates
+// that correlate poorly with task accuracy (Figure 14). CDAS therefore
+// embeds golden questions — questions whose ground truth is known — into
+// every HIT: a HIT of B questions carries ceil(αB) golden ones (α = 0.2,
+// B = 100 in the paper's deployment) and the worker's accuracy is
+// estimated as their fraction of correct golden answers.
+package sampling
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"cdas/internal/randx"
+)
+
+// Paper defaults for the injection mix (Section 3.3).
+const (
+	DefaultRate    = 0.2
+	DefaultHITSize = 100
+)
+
+// Golden is a question with known ground truth.
+type Golden struct {
+	ID    string
+	Truth string
+}
+
+// Slot is one question position inside a HIT: either a real (unlabelled)
+// question or a golden one.
+type Slot struct {
+	ID     string
+	Golden bool
+	Truth  string // ground truth; set only for golden slots
+}
+
+// Mix errors.
+var (
+	ErrBadRate        = errors.New("sampling: rate must be in [0, 1)")
+	ErrPoolExhausted  = errors.New("sampling: golden pool smaller than required sample count")
+	ErrRealsExhausted = errors.New("sampling: fewer real questions than HIT slots")
+)
+
+// GoldenCount returns ceil(alpha * b), the number of golden slots a HIT of
+// b questions carries at sampling rate alpha.
+func GoldenCount(b int, alpha float64) int {
+	return int(math.Ceil(alpha * float64(b)))
+}
+
+// Mix builds the question order for one HIT of size b: ceil(alpha*b)
+// golden questions drawn without replacement from pool and the remainder
+// taken in order from reals, shuffled together deterministically under
+// rng. It returns the slots and the number of real questions consumed.
+func Mix(rng *randx.Source, reals []string, pool []Golden, b int, alpha float64) ([]Slot, int, error) {
+	if alpha < 0 || alpha >= 1 || math.IsNaN(alpha) {
+		return nil, 0, fmt.Errorf("%w (got %v)", ErrBadRate, alpha)
+	}
+	if b <= 0 {
+		return nil, 0, fmt.Errorf("sampling: HIT size must be positive, got %d", b)
+	}
+	nGolden := GoldenCount(b, alpha)
+	nReal := b - nGolden
+	if nGolden > len(pool) {
+		return nil, 0, fmt.Errorf("%w (need %d, have %d)", ErrPoolExhausted, nGolden, len(pool))
+	}
+	if nReal > len(reals) {
+		return nil, 0, fmt.Errorf("%w (need %d, have %d)", ErrRealsExhausted, nReal, len(reals))
+	}
+	slots := make([]Slot, 0, b)
+	for _, idx := range rng.SampleWithoutReplacement(len(pool), nGolden) {
+		g := pool[idx]
+		slots = append(slots, Slot{ID: g.ID, Golden: true, Truth: g.Truth})
+	}
+	for _, id := range reals[:nReal] {
+		slots = append(slots, Slot{ID: id})
+	}
+	randx.Shuffle(rng, slots)
+	return slots, nReal, nil
+}
+
+// Estimator accumulates golden-question outcomes per worker and reports
+// accuracy estimates (Algorithm 4). The zero value is ready to use.
+type Estimator struct {
+	correct map[string]int
+	total   map[string]int
+}
+
+// NewEstimator returns an empty Estimator.
+func NewEstimator() *Estimator {
+	return &Estimator{correct: make(map[string]int), total: make(map[string]int)}
+}
+
+// Record notes that worker answered one golden question, correctly or not.
+func (e *Estimator) Record(worker string, correct bool) {
+	if e.correct == nil {
+		e.correct = make(map[string]int)
+		e.total = make(map[string]int)
+	}
+	e.total[worker]++
+	if correct {
+		e.correct[worker]++
+	}
+}
+
+// Samples reports how many golden outcomes were recorded for worker.
+func (e *Estimator) Samples(worker string) int { return e.total[worker] }
+
+// Accuracy returns the estimated accuracy of worker and whether any golden
+// outcome was recorded for them.
+func (e *Estimator) Accuracy(worker string) (float64, bool) {
+	n := e.total[worker]
+	if n == 0 {
+		return 0, false
+	}
+	return float64(e.correct[worker]) / float64(n), true
+}
+
+// AccuracyOr returns the estimate, falling back to fallback for unseen
+// workers (the engine uses the population mean, as Section 4.2 requires
+// for workers without profiles).
+func (e *Estimator) AccuracyOr(worker string, fallback float64) float64 {
+	if a, ok := e.Accuracy(worker); ok {
+		return a
+	}
+	return fallback
+}
+
+// Workers lists all workers with at least one recorded outcome, sorted.
+func (e *Estimator) Workers() []string {
+	out := make([]string, 0, len(e.total))
+	for w := range e.total {
+		out = append(out, w)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// MeanAccuracy returns the unweighted mean of the per-worker estimates
+// (the μ^j statistic of Figure 15), or 0 when no worker was observed.
+func (e *Estimator) MeanAccuracy() float64 {
+	if len(e.total) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for w := range e.total {
+		a, _ := e.Accuracy(w)
+		sum += a
+	}
+	return sum / float64(len(e.total))
+}
+
+// Merge folds other's counts into e, so per-HIT estimators can be
+// combined into a job-level profile.
+func (e *Estimator) Merge(other *Estimator) {
+	if other == nil {
+		return
+	}
+	for w, n := range other.total {
+		for i := 0; i < n; i++ {
+			// Record preserves the nil-map lazy init invariant.
+			e.Record(w, i < other.correct[w])
+		}
+	}
+}

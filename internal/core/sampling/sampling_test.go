@@ -1,0 +1,221 @@
+package sampling
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"cdas/internal/randx"
+)
+
+func goldenPool(n int) []Golden {
+	pool := make([]Golden, n)
+	for i := range pool {
+		pool[i] = Golden{ID: "g" + string(rune('a'+i%26)) + string(rune('0'+i/26)), Truth: "t"}
+	}
+	return pool
+}
+
+func realIDs(n int) []string {
+	ids := make([]string, n)
+	for i := range ids {
+		ids[i] = "r" + string(rune('a'+i%26)) + string(rune('0'+i/26))
+	}
+	return ids
+}
+
+func TestGoldenCount(t *testing.T) {
+	cases := []struct {
+		b     int
+		alpha float64
+		want  int
+	}{
+		{100, 0.2, 20}, {100, 0.05, 5}, {10, 0.15, 2}, {10, 0, 0}, {7, 0.5, 4},
+	}
+	for _, c := range cases {
+		if got := GoldenCount(c.b, c.alpha); got != c.want {
+			t.Errorf("GoldenCount(%d, %v) = %d, want %d", c.b, c.alpha, got, c.want)
+		}
+	}
+}
+
+func TestMixComposition(t *testing.T) {
+	rng := randx.New(1)
+	slots, consumed, err := Mix(rng, realIDs(90), goldenPool(30), 100, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(slots) != 100 {
+		t.Fatalf("len(slots) = %d, want 100", len(slots))
+	}
+	if consumed != 80 {
+		t.Errorf("consumed = %d, want 80", consumed)
+	}
+	nGolden := 0
+	seen := make(map[string]bool)
+	for _, s := range slots {
+		if seen[s.ID] {
+			t.Errorf("duplicate slot %q", s.ID)
+		}
+		seen[s.ID] = true
+		if s.Golden {
+			nGolden++
+			if s.Truth == "" {
+				t.Errorf("golden slot %q has no truth", s.ID)
+			}
+		} else if s.Truth != "" {
+			t.Errorf("real slot %q carries a truth", s.ID)
+		}
+	}
+	if nGolden != 20 {
+		t.Errorf("golden slots = %d, want 20", nGolden)
+	}
+}
+
+func TestMixShuffles(t *testing.T) {
+	// Golden questions must not cluster at the front (workers would learn
+	// to spot them): check the first golden appears at varying positions
+	// across seeds.
+	positions := make(map[int]bool)
+	for seed := uint64(0); seed < 20; seed++ {
+		slots, _, err := Mix(randx.New(seed), realIDs(80), goldenPool(20), 100, 0.2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, s := range slots {
+			if s.Golden {
+				positions[i] = true
+				break
+			}
+		}
+	}
+	if len(positions) < 3 {
+		t.Errorf("first golden position nearly constant across seeds: %v", positions)
+	}
+}
+
+func TestMixDeterministic(t *testing.T) {
+	a, _, err := Mix(randx.New(7), realIDs(80), goldenPool(20), 100, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := Mix(randx.New(7), realIDs(80), goldenPool(20), 100, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("Mix must be deterministic under a fixed seed")
+		}
+	}
+}
+
+func TestMixErrors(t *testing.T) {
+	rng := randx.New(1)
+	if _, _, err := Mix(rng, realIDs(80), goldenPool(20), 100, -0.1); !errors.Is(err, ErrBadRate) {
+		t.Errorf("bad rate err = %v", err)
+	}
+	if _, _, err := Mix(rng, realIDs(80), goldenPool(20), 100, 1.0); !errors.Is(err, ErrBadRate) {
+		t.Errorf("rate=1 err = %v", err)
+	}
+	if _, _, err := Mix(rng, realIDs(80), goldenPool(5), 100, 0.2); !errors.Is(err, ErrPoolExhausted) {
+		t.Errorf("pool err = %v", err)
+	}
+	if _, _, err := Mix(rng, realIDs(10), goldenPool(20), 100, 0.2); !errors.Is(err, ErrRealsExhausted) {
+		t.Errorf("reals err = %v", err)
+	}
+	if _, _, err := Mix(rng, realIDs(10), goldenPool(20), 0, 0.2); err == nil {
+		t.Error("b=0 should fail")
+	}
+}
+
+func TestMixZeroRate(t *testing.T) {
+	slots, consumed, err := Mix(randx.New(1), realIDs(10), nil, 10, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if consumed != 10 || len(slots) != 10 {
+		t.Errorf("consumed=%d len=%d, want 10/10", consumed, len(slots))
+	}
+	for _, s := range slots {
+		if s.Golden {
+			t.Error("zero rate must not inject golden questions")
+		}
+	}
+}
+
+func TestEstimatorBasic(t *testing.T) {
+	e := NewEstimator()
+	for i := 0; i < 8; i++ {
+		e.Record("w1", i < 6) // 6/8
+	}
+	for i := 0; i < 4; i++ {
+		e.Record("w2", i < 1) // 1/4
+	}
+	if a, ok := e.Accuracy("w1"); !ok || math.Abs(a-0.75) > 1e-12 {
+		t.Errorf("w1 accuracy = %v/%v, want 0.75/true", a, ok)
+	}
+	if a, ok := e.Accuracy("w2"); !ok || math.Abs(a-0.25) > 1e-12 {
+		t.Errorf("w2 accuracy = %v/%v, want 0.25/true", a, ok)
+	}
+	if _, ok := e.Accuracy("ghost"); ok {
+		t.Error("unseen worker should not have an estimate")
+	}
+	if got := e.AccuracyOr("ghost", 0.7); got != 0.7 {
+		t.Errorf("fallback = %v, want 0.7", got)
+	}
+	if got := e.Samples("w1"); got != 8 {
+		t.Errorf("Samples(w1) = %d, want 8", got)
+	}
+	if got := e.MeanAccuracy(); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("MeanAccuracy = %v, want 0.5", got)
+	}
+	workers := e.Workers()
+	if len(workers) != 2 || workers[0] != "w1" || workers[1] != "w2" {
+		t.Errorf("Workers = %v", workers)
+	}
+}
+
+func TestEstimatorZeroValue(t *testing.T) {
+	var e Estimator
+	e.Record("w", true)
+	if a, ok := e.Accuracy("w"); !ok || a != 1 {
+		t.Errorf("zero-value estimator: %v/%v", a, ok)
+	}
+}
+
+func TestEstimatorEmptyMean(t *testing.T) {
+	if got := NewEstimator().MeanAccuracy(); got != 0 {
+		t.Errorf("empty mean = %v, want 0", got)
+	}
+}
+
+func TestEstimatorMerge(t *testing.T) {
+	a, b := NewEstimator(), NewEstimator()
+	a.Record("w", true)
+	a.Record("w", false)
+	b.Record("w", true)
+	b.Record("v", true)
+	a.Merge(b)
+	if acc, _ := a.Accuracy("w"); math.Abs(acc-2.0/3) > 1e-12 {
+		t.Errorf("merged w accuracy = %v, want 2/3", acc)
+	}
+	if acc, _ := a.Accuracy("v"); acc != 1 {
+		t.Errorf("merged v accuracy = %v, want 1", acc)
+	}
+	a.Merge(nil) // must not panic
+}
+
+func TestEstimatorConvergesToTrueAccuracy(t *testing.T) {
+	// Statistical soundness: a simulated worker with accuracy 0.73
+	// answering many golden questions is estimated within ±0.03.
+	rng := randx.New(99)
+	e := NewEstimator()
+	const truth = 0.73
+	for i := 0; i < 5000; i++ {
+		e.Record("w", rng.Bool(truth))
+	}
+	if a, _ := e.Accuracy("w"); math.Abs(a-truth) > 0.03 {
+		t.Errorf("estimate %v too far from %v", a, truth)
+	}
+}

@@ -1,0 +1,60 @@
+package verification
+
+import (
+	"math"
+
+	"cdas/internal/stats"
+)
+
+// DefaultEpsilon is the noise-pruning threshold ε = 0.05 the paper adopts
+// from Fisher's exact test (Section 4.1) when estimating the effective
+// answer-domain size m.
+const DefaultEpsilon = 0.05
+
+// EstimateM estimates the effective answer-domain size m after observing
+// k distinct answers, per Theorem 5: m must be large enough that drawing k
+// distinct answers out of m is not a rare event (probability > ε).
+//
+// Theorem 5 combines two lower bounds:
+//
+//	Lemma 1: m > (k-1) / (H_{k-1} - (k-1)·(εk)^{1/(k-1)})
+//	Lemma 2: m > (k-1) / (1 - k·ε^{1/k})
+//
+// A note on the bounds' character (visible in their derivations): Lemma 1
+// relaxes the exact condition ε < C(m,k)/m^k with an AM–GM upper bound, so
+// it is a necessary condition on m; Lemma 2 relaxes it with a worst-term
+// lower bound, so it is sufficient. The exact condition itself is
+// infeasible for k with 1/k! < ε (sup_m C(m,k)/m^k = 1/k!), i.e. k >= 4 at
+// the default ε = 0.05; there both lemma denominators are <= 0 or nearly
+// so. Degenerate bounds (denominator <= 0) are skipped, exactly as one
+// must when applying Theorem 5. The result is always at least max(k, 2) —
+// the domain must contain every observed answer, and a domain of one
+// answer admits no disagreement to verify.
+func EstimateM(k int, eps float64) int {
+	if eps <= 0 || eps >= 1 || math.IsNaN(eps) {
+		eps = DefaultEpsilon
+	}
+	minM := k
+	if minM < 2 {
+		minM = 2
+	}
+	if k < 2 {
+		return minM
+	}
+	km1 := float64(k - 1)
+
+	best := 0.0
+	// Lemma 1.
+	if den := stats.Harmonic(k-1) - km1*math.Pow(eps*float64(k), 1/km1); den > 0 {
+		best = math.Max(best, km1/den)
+	}
+	// Lemma 2.
+	if den := 1 - float64(k)*math.Pow(eps, 1/float64(k)); den > 0 {
+		best = math.Max(best, km1/den)
+	}
+	m := int(math.Floor(best)) + 1 // strict inequality: smallest integer > bound
+	if m < minM {
+		m = minM
+	}
+	return m
+}

@@ -1,0 +1,112 @@
+package verification
+
+import (
+	"math"
+	"testing"
+
+	"cdas/internal/stats"
+)
+
+func TestEstimateMAtLeastK(t *testing.T) {
+	for k := 0; k <= 50; k++ {
+		m := EstimateM(k, DefaultEpsilon)
+		if m < k {
+			t.Errorf("EstimateM(%d) = %d < k", k, m)
+		}
+		if m < 2 {
+			t.Errorf("EstimateM(%d) = %d < 2", k, m)
+		}
+	}
+}
+
+func TestEstimateMSmallK(t *testing.T) {
+	if m := EstimateM(0, DefaultEpsilon); m != 2 {
+		t.Errorf("EstimateM(0) = %d, want 2", m)
+	}
+	if m := EstimateM(1, DefaultEpsilon); m != 2 {
+		t.Errorf("EstimateM(1) = %d, want 2", m)
+	}
+}
+
+func TestEstimateMHandComputedValues(t *testing.T) {
+	// At eps = 0.05:
+	// k=2: Lemma 1 -> m > 1/0.9 = 1.11; Lemma 2 -> m > 1/(1-2*sqrt(.05))
+	//      = 1.81; max -> 2.
+	// k=3: Lemma 1 -> m > 2/(1.5 - 2*sqrt(.15)) = 2.76 -> 3; Lemma 2
+	//      degenerates (1 - 3*.05^(1/3) < 0); -> 3.
+	// k=4: Lemma 1 -> m > 3/(H_3 - 3*(0.2)^(1/3)) = 38.03 -> 39; Lemma 2
+	//      degenerates; -> 39.
+	// k=5: both lemmas degenerate (the exact condition is infeasible:
+	//      1/5! < 0.05), fall back to k -> 5.
+	cases := map[int]int{2: 2, 3: 3, 4: 39, 5: 5, 10: 10}
+	for k, want := range cases {
+		if got := EstimateM(k, DefaultEpsilon); got != want {
+			t.Errorf("EstimateM(%d, 0.05) = %d, want %d", k, got, want)
+		}
+	}
+}
+
+// observationProb computes C(m,k)/m^k, the probability of observing k
+// specific distinct answers used in the Section 4.1 derivation.
+func observationProb(m, k int) float64 {
+	lg := stats.LogChoose(m, k) - float64(k)*math.Log(float64(m))
+	return math.Exp(lg)
+}
+
+func TestEstimateMFeasibleCasesExceedEpsilon(t *testing.T) {
+	// k=2 is the one case at eps=0.05 where Lemma 2 (the sufficient
+	// bound) is live, so the returned m must make the observation
+	// non-rare. (At k=3 only Lemma 1 — necessary, not sufficient — is
+	// live; Theorem 5 returns m=3 although the exact condition would need
+	// m=4. That is faithful to the paper and covered by the
+	// hand-computed-values test.)
+	m := EstimateM(2, DefaultEpsilon)
+	if p := observationProb(m, 2); p <= DefaultEpsilon {
+		t.Errorf("k=2: m=%d gives observation probability %v <= eps", m, p)
+	}
+}
+
+func TestEstimateMLemma2Sufficiency(t *testing.T) {
+	// Whenever Lemma 2's denominator is positive, its bound is a
+	// sufficient condition: the returned m must satisfy the exact
+	// condition. eps = 0.01 keeps Lemma 2 alive up to k=3.
+	for _, k := range []int{2, 3} {
+		den := 1 - float64(k)*math.Pow(0.01, 1/float64(k))
+		if den <= 0 {
+			t.Fatalf("test setup: Lemma 2 degenerate at k=%d", k)
+		}
+		m := EstimateM(k, 0.01)
+		if p := observationProb(m, k); p <= 0.01 {
+			t.Errorf("k=%d eps=0.01: m=%d gives observation probability %v <= eps", k, m, p)
+		}
+	}
+}
+
+func TestEstimateMInvalidEpsilonFallsBack(t *testing.T) {
+	want := EstimateM(5, DefaultEpsilon)
+	for _, eps := range []float64{0, -1, 1, 2, math.NaN()} {
+		if got := EstimateM(5, eps); got != want {
+			t.Errorf("EstimateM(5, %v) = %d, want fallback %d", eps, got, want)
+		}
+	}
+}
+
+func TestEstimateMLemma1IsNecessary(t *testing.T) {
+	// Lemma 1 upper-bounds C(m,k)/m^k via AM-GM, so any m at or below its
+	// bound must violate the exact condition. Spot-check k=2..4.
+	for _, k := range []int{2, 3, 4} {
+		km1 := float64(k - 1)
+		den := stats.Harmonic(k-1) - km1*math.Pow(DefaultEpsilon*float64(k), 1/km1)
+		if den <= 0 {
+			continue
+		}
+		bound := km1 / den
+		mBelow := int(math.Floor(bound)) // largest integer not exceeding the bound
+		if mBelow < k {
+			continue // domain can't even hold the observed answers
+		}
+		if p := observationProb(mBelow, k); p > DefaultEpsilon {
+			t.Errorf("k=%d: m=%d below Lemma 1 bound %v but P=%v > eps", k, mBelow, bound, p)
+		}
+	}
+}

@@ -1,0 +1,115 @@
+package verification
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// bayesOracle computes P(r|Ω) directly from the paper's Equation 3 with
+// explicit probability products over the full domain — no logs, no
+// softmax — as a correctness oracle for the log-space implementation.
+func bayesOracle(votes []Vote, domain []string, m int) map[string]float64 {
+	likelihood := func(r string) float64 {
+		p := 1.0
+		for _, v := range votes {
+			a := v.Accuracy
+			if a < 1e-4 {
+				a = 1e-4
+			}
+			if a > 1-1e-4 {
+				a = 1 - 1e-4
+			}
+			if v.Answer == r {
+				p *= a
+			} else {
+				p *= (1 - a) / float64(m-1)
+			}
+		}
+		return p
+	}
+	total := 0.0
+	per := make(map[string]float64, len(domain))
+	for _, r := range domain {
+		l := likelihood(r)
+		per[r] = l
+		total += l
+	}
+	for r := range per {
+		per[r] /= total
+	}
+	return per
+}
+
+func TestVerifyMatchesBayesOracle(t *testing.T) {
+	domain := []string{"a", "b", "c", "d"}
+	f := func(accs []float64, picks []uint8) bool {
+		n := len(accs)
+		if n == 0 {
+			return true
+		}
+		if n > 8 {
+			n = 8
+		}
+		votes := make([]Vote, 0, n)
+		for i := 0; i < n; i++ {
+			if i >= len(picks) {
+				break
+			}
+			acc := math.Abs(math.Mod(accs[i], 1))
+			votes = append(votes, Vote{
+				Worker:   "w",
+				Accuracy: acc,
+				Answer:   domain[int(picks[i])%len(domain)],
+			})
+		}
+		if len(votes) == 0 {
+			return true
+		}
+		res, err := Verify(votes, len(domain))
+		if err != nil {
+			return false
+		}
+		oracle := bayesOracle(votes, domain, len(domain))
+		for _, s := range res.Ranked {
+			if math.Abs(s.Confidence-oracle[s.Answer]) > 1e-9 {
+				return false
+			}
+		}
+		// The unobserved mass must equal the oracle mass of unvoted
+		// answers.
+		voted := make(map[string]bool)
+		for _, v := range votes {
+			voted[v.Answer] = true
+		}
+		unobs := 0.0
+		for _, r := range domain {
+			if !voted[r] {
+				unobs += oracle[r]
+			}
+		}
+		return math.Abs(res.UnobservedMass-unobs) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVerifyOracleFixedCase(t *testing.T) {
+	// A hand-checkable case: two workers disagree in a binary domain.
+	votes := []Vote{
+		{Accuracy: 0.9, Answer: "x"},
+		{Accuracy: 0.6, Answer: "y"},
+	}
+	// P(x) ∝ 0.9*0.4 = 0.36; P(y) ∝ 0.1*0.6 = 0.06.
+	res, err := Verify(votes, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := res.Confidence("x"), 0.36/0.42; math.Abs(got-want) > 1e-12 {
+		t.Errorf("P(x) = %v, want %v", got, want)
+	}
+	if got, want := res.Confidence("y"), 0.06/0.42; math.Abs(got-want) > 1e-12 {
+		t.Errorf("P(y) = %v, want %v", got, want)
+	}
+}

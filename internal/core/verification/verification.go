@@ -1,0 +1,152 @@
+// Package verification implements CDAS's probability-based verification
+// model (Section 4 of the paper) together with the two voting baselines it
+// is evaluated against.
+//
+// Given the votes of n workers with known historical accuracies, the model
+// computes for every candidate answer r the posterior probability
+// P(r | Ω) of Equation 3, rewritten via worker confidences
+// (Definition 2, c_j = ln((m-1) a_j / (1 - a_j))) into the softmax form of
+// Definition 3 / Equation 4:
+//
+//	ρ(r) = exp(Σ_{f(u_j)=r} c_j) / Σ_{r_i} exp(Σ_{f(u_j)=r_i} c_j)
+//
+// The computation is carried out in log space (log-sum-exp) so that large
+// crowds and extreme accuracies cannot overflow.
+//
+// The answer-domain size m is either supplied by the caller (m = |R| when
+// the domain is known, e.g. {positive, neutral, negative}) or estimated
+// from the number of distinct observed answers via Theorem 5's
+// noise-pruning lower bound (see EstimateM).
+package verification
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"cdas/internal/stats"
+)
+
+// Vote is one worker's answer to one question, annotated with the
+// worker's (estimated) historical accuracy.
+type Vote struct {
+	Worker   string  // worker identifier; informational
+	Accuracy float64 // the worker's estimated accuracy a_j in [0, 1]
+	Answer   string  // the answer f(u_j) the worker returned
+}
+
+// Scored is an answer together with its confidence ρ(r) (Definition 3).
+type Scored struct {
+	Answer     string
+	Confidence float64
+}
+
+// ErrNoVotes reports verification over an empty vote set.
+var ErrNoVotes = errors.New("verification: no votes")
+
+// Result is a full verification outcome: all candidate answers ranked by
+// confidence.
+type Result struct {
+	// Ranked lists every answer that received at least one vote, most
+	// confident first.
+	Ranked []Scored
+	// M is the answer-domain size used in the confidence computation.
+	M int
+	// UnobservedMass is the total confidence assigned to the M - k domain
+	// answers nobody voted for. Equation 4's denominator ranges over all
+	// of R, so each unpicked answer contributes e^0 = 1 — the "weight
+	// reduction" noise that motivates Theorem 5's m pruning. The ranked
+	// confidences plus UnobservedMass sum to 1.
+	UnobservedMass float64
+}
+
+// Best returns the top-ranked answer. It panics on an empty result, which
+// Verify never produces.
+func (r Result) Best() Scored { return r.Ranked[0] }
+
+// Confidence returns the confidence assigned to answer, or 0 if nobody
+// voted for it.
+func (r Result) Confidence(answer string) float64 {
+	for _, s := range r.Ranked {
+		if s.Answer == answer {
+			return s.Confidence
+		}
+	}
+	return 0
+}
+
+// WorkerConfidence computes Definition 2's confidence
+// c_j = ln((m-1) a_j / (1 - a_j)) for a worker of accuracy a in a domain
+// of m possible answers. Accuracies are clamped away from {0,1} so the
+// result is finite. m must be at least 2.
+func WorkerConfidence(a float64, m int) float64 {
+	if m < 2 {
+		panic(fmt.Sprintf("verification: domain size m must be >= 2, got %d", m))
+	}
+	// ln((m-1) a/(1-a)) = ln(m-1) + logodds(a)
+	return math.Log(float64(m-1)) + stats.LogOdds(a)
+}
+
+// Verify computes the confidence of every observed answer (Equation 4)
+// and returns them ranked. m is the answer-domain size |R|; pass m <= 0 to
+// estimate it from the observation via EstimateM with DefaultEpsilon
+// (never below the number of distinct answers, and at least 2).
+func Verify(votes []Vote, m int) (Result, error) {
+	if len(votes) == 0 {
+		return Result{}, ErrNoVotes
+	}
+	distinct := distinctAnswers(votes)
+	k := len(distinct)
+	if m <= 0 {
+		m = EstimateM(k, DefaultEpsilon)
+	}
+	if m < k {
+		m = k
+	}
+	if m < 2 {
+		m = 2
+	}
+
+	// Sum worker confidences per answer (the log-space numerators of
+	// Equation 4), then normalise. The denominator ranges over the whole
+	// domain R: every answer without votes has an empty confidence sum
+	// and contributes e^0 = 1.
+	scores := make([]float64, k, m)
+	for _, v := range votes {
+		idx := sort.SearchStrings(distinct, v.Answer)
+		scores[idx] += WorkerConfidence(v.Accuracy, m)
+	}
+	logits := scores
+	for i := k; i < m; i++ {
+		logits = append(logits, 0)
+	}
+	lse := stats.LogSumExp(logits)
+
+	ranked := make([]Scored, k)
+	for i, a := range distinct {
+		ranked[i] = Scored{Answer: a, Confidence: math.Exp(scores[i] - lse)}
+	}
+	unobservedMass := float64(m-k) * math.Exp(-lse)
+	sort.SliceStable(ranked, func(i, j int) bool {
+		if ranked[i].Confidence != ranked[j].Confidence {
+			return ranked[i].Confidence > ranked[j].Confidence
+		}
+		return ranked[i].Answer < ranked[j].Answer // deterministic tie-break
+	})
+	return Result{Ranked: ranked, M: m, UnobservedMass: unobservedMass}, nil
+}
+
+// distinctAnswers returns the sorted set of answers present in votes.
+func distinctAnswers(votes []Vote) []string {
+	seen := make(map[string]struct{}, 4)
+	for _, v := range votes {
+		seen[v.Answer] = struct{}{}
+	}
+	out := make([]string, 0, len(seen))
+	for a := range seen {
+		out = append(out, a)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,271 @@
+package verification
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// paperVotes is the worked example of Tables 3 and 4: five workers with
+// accuracies .54/.31/.49/.73/.46 answering pos/pos/neu/neg/pos about the
+// "Green Lantern" tweet, answer domain {pos, neu, neg} (m = 3).
+var paperVotes = []Vote{
+	{Worker: "w1", Accuracy: 0.54, Answer: "pos"},
+	{Worker: "w2", Accuracy: 0.31, Answer: "pos"},
+	{Worker: "w3", Accuracy: 0.49, Answer: "neu"},
+	{Worker: "w4", Accuracy: 0.73, Answer: "neg"},
+	{Worker: "w5", Accuracy: 0.46, Answer: "pos"},
+}
+
+func TestPaperTable4Verification(t *testing.T) {
+	res, err := Verify(paperVotes, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Best().Answer; got != "neg" {
+		t.Errorf("verification picked %q, paper's Table 4 picks \"neg\"", got)
+	}
+	// Table 4 reports pos 0.329, neu 0.176, neg 0.495.
+	for answer, want := range map[string]float64{"pos": 0.329, "neu": 0.176, "neg": 0.495} {
+		if got := res.Confidence(answer); math.Abs(got-want) > 5e-4 {
+			t.Errorf("confidence(%s) = %.4f, paper reports %.3f", answer, got, want)
+		}
+	}
+}
+
+func TestPaperTable4VotingBaselines(t *testing.T) {
+	// Table 4: both voting baselines pick "pos" (3 of 5 votes).
+	if a, ok := HalfVoting(paperVotes); !ok || a != "pos" {
+		t.Errorf("HalfVoting = %q/%v, want pos/true", a, ok)
+	}
+	if a, ok := MajorityVoting(paperVotes); !ok || a != "pos" {
+		t.Errorf("MajorityVoting = %q/%v, want pos/true", a, ok)
+	}
+}
+
+func TestVerifyEmptyVotes(t *testing.T) {
+	if _, err := Verify(nil, 3); err != ErrNoVotes {
+		t.Errorf("err = %v, want ErrNoVotes", err)
+	}
+}
+
+func TestVerifyConfidencesSumToOne(t *testing.T) {
+	f := func(a1, a2, a3 float64, pick1, pick2, pick3 uint8) bool {
+		domain := []string{"x", "y", "z", "w"}
+		votes := []Vote{
+			{Accuracy: math.Abs(math.Mod(a1, 1)), Answer: domain[int(pick1)%4]},
+			{Accuracy: math.Abs(math.Mod(a2, 1)), Answer: domain[int(pick2)%4]},
+			{Accuracy: math.Abs(math.Mod(a3, 1)), Answer: domain[int(pick3)%4]},
+		}
+		res, err := Verify(votes, 4)
+		if err != nil {
+			return false
+		}
+		sum := res.UnobservedMass
+		if sum < 0 {
+			return false
+		}
+		for _, s := range res.Ranked {
+			if s.Confidence < 0 || s.Confidence > 1 || math.IsNaN(s.Confidence) {
+				return false
+			}
+			sum += s.Confidence
+		}
+		return math.Abs(sum-1) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVerifyEqualAccuraciesMatchesMajority(t *testing.T) {
+	// With identical accuracies > 1/2 every worker has the same weight, so
+	// verification degenerates to majority voting whenever a strict
+	// majority winner exists.
+	f := func(picks []uint8) bool {
+		if len(picks) == 0 {
+			return true
+		}
+		domain := []string{"a", "b", "c"}
+		votes := make([]Vote, len(picks))
+		for i, p := range picks {
+			votes[i] = Vote{Accuracy: 0.7, Answer: domain[int(p)%3]}
+		}
+		maj, ok := MajorityVoting(votes)
+		if !ok {
+			return true // tie: verification may break it either way
+		}
+		res, err := Verify(votes, 3)
+		if err != nil {
+			return false
+		}
+		return res.Best().Answer == maj
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVerifySingleVote(t *testing.T) {
+	// One vote from a 90%-accurate worker in a binary domain: Equation 4
+	// gives exactly the Bayesian posterior 0.9 — the unvoted answer keeps
+	// e^0 in the denominator.
+	res, err := Verify([]Vote{{Accuracy: 0.9, Answer: "yes"}}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best().Answer != "yes" {
+		t.Fatalf("single vote: got %+v, want yes", res.Best())
+	}
+	if got := res.Best().Confidence; math.Abs(got-0.9) > 1e-9 {
+		t.Errorf("single-vote confidence = %v, want 0.9", got)
+	}
+	if got := res.UnobservedMass; math.Abs(got-0.1) > 1e-9 {
+		t.Errorf("unobserved mass = %v, want 0.1", got)
+	}
+}
+
+func TestVerifyUnobservedMassZeroWhenDomainSaturated(t *testing.T) {
+	res, err := Verify(paperVotes, 3) // all 3 domain answers observed
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.UnobservedMass != 0 {
+		t.Errorf("unobserved mass = %v, want 0", res.UnobservedMass)
+	}
+}
+
+func TestVerifyHighAccuracyMinorityWins(t *testing.T) {
+	// The core paper claim: one accurate worker can outweigh several
+	// near-random workers.
+	votes := []Vote{
+		{Accuracy: 0.51, Answer: "a"},
+		{Accuracy: 0.51, Answer: "a"},
+		{Accuracy: 0.51, Answer: "a"},
+		{Accuracy: 0.99, Answer: "b"},
+	}
+	res, err := Verify(votes, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best().Answer != "b" {
+		t.Errorf("expected the expert's answer to win, got %+v", res.Ranked)
+	}
+}
+
+func TestVerifyBelowChanceWorkerCountsAgainst(t *testing.T) {
+	// A worker with accuracy < 1/m has negative confidence in a binary
+	// domain: their vote should lower the answer's standing.
+	base := []Vote{{Accuracy: 0.8, Answer: "a"}, {Accuracy: 0.8, Answer: "b"}}
+	with := append(append([]Vote(nil), base...), Vote{Accuracy: 0.1, Answer: "a"})
+	resBase, err := Verify(base, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resWith, err := Verify(with, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resWith.Confidence("a") >= resBase.Confidence("a") {
+		t.Errorf("anti-correlated vote raised confidence: %v -> %v",
+			resBase.Confidence("a"), resWith.Confidence("a"))
+	}
+}
+
+func TestVerifyDomainSizeEffect(t *testing.T) {
+	// Larger m boosts the weight of agreement: with m=2 vs m=10 the same
+	// votes give different confidences (ln(m-1) term).
+	votes := []Vote{
+		{Accuracy: 0.7, Answer: "a"},
+		{Accuracy: 0.7, Answer: "a"},
+		{Accuracy: 0.7, Answer: "b"},
+	}
+	res2, err := Verify(votes, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res10, err := Verify(votes, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(res10.Confidence("a") > res2.Confidence("a")) {
+		t.Errorf("m=10 confidence %v should exceed m=2 confidence %v",
+			res10.Confidence("a"), res2.Confidence("a"))
+	}
+}
+
+func TestVerifyAutoM(t *testing.T) {
+	// m <= 0 triggers estimation; with 3 distinct answers the estimate is
+	// at least 3 and the result is well-formed.
+	votes := []Vote{
+		{Accuracy: 0.8, Answer: "a"},
+		{Accuracy: 0.6, Answer: "b"},
+		{Accuracy: 0.7, Answer: "c"},
+	}
+	res, err := Verify(votes, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.M < 3 {
+		t.Errorf("estimated m = %d, want >= 3", res.M)
+	}
+}
+
+func TestVerifyExtremeAccuraciesFinite(t *testing.T) {
+	votes := []Vote{
+		{Accuracy: 1.0, Answer: "a"},
+		{Accuracy: 0.0, Answer: "b"},
+	}
+	res, err := Verify(votes, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range res.Ranked {
+		if math.IsNaN(s.Confidence) || math.IsInf(s.Confidence, 0) {
+			t.Errorf("non-finite confidence for %+v", s)
+		}
+	}
+	if res.Best().Answer != "a" {
+		t.Errorf("perfect worker should win, got %+v", res.Ranked)
+	}
+}
+
+func TestWorkerConfidenceValues(t *testing.T) {
+	// Definition 2 with m=3: c = ln(2a/(1-a)). Check against the Table 4
+	// workers.
+	cases := map[float64]float64{
+		0.54: math.Log(2 * 0.54 / 0.46),
+		0.73: math.Log(2 * 0.73 / 0.27),
+		0.31: math.Log(2 * 0.31 / 0.69),
+	}
+	for a, want := range cases {
+		if got := WorkerConfidence(a, 3); math.Abs(got-want) > 1e-12 {
+			t.Errorf("WorkerConfidence(%v,3) = %v, want %v", a, got, want)
+		}
+	}
+	// Monotone in accuracy.
+	if !(WorkerConfidence(0.9, 3) > WorkerConfidence(0.6, 3)) {
+		t.Error("worker confidence must increase with accuracy")
+	}
+	assertPanics(t, func() { WorkerConfidence(0.5, 1) }, "m=1")
+}
+
+func TestResultConfidenceUnknownAnswer(t *testing.T) {
+	res, err := Verify(paperVotes, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Confidence("banana"); got != 0 {
+		t.Errorf("unknown answer confidence = %v, want 0", got)
+	}
+}
+
+func assertPanics(t *testing.T, f func(), name string) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: expected panic", name)
+		}
+	}()
+	f()
+}

@@ -1,0 +1,63 @@
+package verification
+
+import "sort"
+
+// The two voting baselines of Section 5's evaluation. Both treat all
+// workers as equally trustworthy and can fail to produce an answer — the
+// "no answer" outcomes measured in Figures 9 and 10.
+
+// HalfVoting accepts answer r only if at least ceil(n/2) of the n workers
+// voted for it (the CrowdDB strategy). ok is false when no answer reaches
+// half of the votes.
+func HalfVoting(votes []Vote) (answer string, ok bool) {
+	if len(votes) == 0 {
+		return "", false
+	}
+	counts := tally(votes)
+	need := (len(votes) + 1) / 2
+	for a, c := range counts {
+		if c >= need {
+			return a, true
+		}
+	}
+	return "", false
+}
+
+// MajorityVoting accepts the answer with strictly more votes than every
+// other answer. ok is false on a tie for first place.
+func MajorityVoting(votes []Vote) (answer string, ok bool) {
+	if len(votes) == 0 {
+		return "", false
+	}
+	counts := tally(votes)
+	best, bestCount, tied := "", -1, false
+	// Iterate answers in sorted order for determinism.
+	answers := make([]string, 0, len(counts))
+	for a := range counts {
+		answers = append(answers, a)
+	}
+	sort.Strings(answers)
+	for _, a := range answers {
+		switch c := counts[a]; {
+		case c > bestCount:
+			best, bestCount, tied = a, c, false
+		case c == bestCount:
+			tied = true
+		}
+	}
+	if tied {
+		return "", false
+	}
+	return best, true
+}
+
+// VoteCounts returns the number of votes per answer.
+func VoteCounts(votes []Vote) map[string]int { return tally(votes) }
+
+func tally(votes []Vote) map[string]int {
+	counts := make(map[string]int, 4)
+	for _, v := range votes {
+		counts[v.Answer]++
+	}
+	return counts
+}

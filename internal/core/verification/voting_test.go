@@ -1,0 +1,120 @@
+package verification
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func votesFor(answers ...string) []Vote {
+	vs := make([]Vote, len(answers))
+	for i, a := range answers {
+		vs[i] = Vote{Accuracy: 0.7, Answer: a}
+	}
+	return vs
+}
+
+func TestHalfVotingAccepts(t *testing.T) {
+	a, ok := HalfVoting(votesFor("x", "x", "y", "x", "z"))
+	if !ok || a != "x" {
+		t.Errorf("got %q/%v, want x/true", a, ok)
+	}
+}
+
+func TestHalfVotingNoAnswer(t *testing.T) {
+	// 2-2-1 split over 5 voters: nobody reaches ceil(5/2)=3.
+	if a, ok := HalfVoting(votesFor("x", "x", "y", "y", "z")); ok {
+		t.Errorf("expected no answer, got %q", a)
+	}
+}
+
+func TestHalfVotingExactBoundary(t *testing.T) {
+	// ceil(4/2)=2: two of four suffice ("no less than n/2" in the paper).
+	a, ok := HalfVoting(votesFor("x", "x", "y", "z"))
+	if !ok || a != "x" {
+		t.Errorf("got %q/%v, want x/true at the n/2 boundary", a, ok)
+	}
+}
+
+func TestMajorityVotingAccepts(t *testing.T) {
+	// 2-1-1: plurality suffices for majority-voting even below half.
+	a, ok := MajorityVoting(votesFor("y", "x", "y", "z"))
+	if !ok || a != "y" {
+		t.Errorf("got %q/%v, want y/true", a, ok)
+	}
+}
+
+func TestMajorityVotingTie(t *testing.T) {
+	if a, ok := MajorityVoting(votesFor("x", "y", "x", "y")); ok {
+		t.Errorf("expected tie/no-answer, got %q", a)
+	}
+}
+
+func TestVotingEmpty(t *testing.T) {
+	if _, ok := HalfVoting(nil); ok {
+		t.Error("HalfVoting(nil) should not produce an answer")
+	}
+	if _, ok := MajorityVoting(nil); ok {
+		t.Error("MajorityVoting(nil) should not produce an answer")
+	}
+}
+
+func TestHalfImpliesMajority(t *testing.T) {
+	// Property: whenever Half-Voting accepts, Majority-Voting accepts the
+	// same answer (half of the votes is always a strict plurality unless
+	// exactly tied at n/2 with one rival — only possible when the winner
+	// has > n/2 ... n even edge: two answers at exactly n/2 each tie).
+	f := func(picks []uint8) bool {
+		if len(picks) == 0 {
+			return true
+		}
+		domain := []string{"a", "b", "c"}
+		votes := make([]Vote, len(picks))
+		for i, p := range picks {
+			votes[i] = Vote{Accuracy: 0.6, Answer: domain[int(p)%3]}
+		}
+		half, okH := HalfVoting(votes)
+		if !okH {
+			return true
+		}
+		counts := VoteCounts(votes)
+		// Exact two-way tie at n/2 (even n): majority declines, half may
+		// pick either — skip.
+		ties := 0
+		for _, c := range counts {
+			if c == counts[half] {
+				ties++
+			}
+		}
+		maj, okM := MajorityVoting(votes)
+		if ties > 1 {
+			return !okM
+		}
+		return okM && maj == half
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVoteCounts(t *testing.T) {
+	counts := VoteCounts(votesFor("x", "y", "x"))
+	if counts["x"] != 2 || counts["y"] != 1 {
+		t.Errorf("counts = %v", counts)
+	}
+}
+
+func TestPaperVotingExample(t *testing.T) {
+	// Section 1's motivating 30/30/40 split: half-voting fails, majority
+	// picks the 40% answer.
+	votes := votesFor(
+		"pos", "pos", "pos",
+		"neg", "neg", "neg",
+		"neu", "neu", "neu", "neu",
+	)
+	if _, ok := HalfVoting(votes); ok {
+		t.Error("half-voting should fail on a 30/30/40 split")
+	}
+	if a, ok := MajorityVoting(votes); !ok || a != "neu" {
+		t.Errorf("majority = %q/%v, want neu/true", a, ok)
+	}
+}

@@ -1,0 +1,72 @@
+package crowd
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNoShowValidation(t *testing.T) {
+	cfg := DefaultConfig(1)
+	cfg.NoShowFraction = -0.1
+	if _, err := NewPlatform(cfg); err == nil {
+		t.Error("negative no-show fraction accepted")
+	}
+	cfg.NoShowFraction = 1
+	if _, err := NewPlatform(cfg); err == nil {
+		t.Error("no-show fraction 1 accepted")
+	}
+}
+
+func TestNoShowReducesDeliveries(t *testing.T) {
+	cfg := DefaultConfig(2)
+	cfg.NoShowFraction = 0.3
+	p, err := NewPlatform(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const hits, n = 40, 20
+	delivered := 0
+	for i := 0; i < hits; i++ {
+		run, err := p.Publish(HIT{Questions: []Question{binaryQuestion("q")}}, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		delivered += len(run.Drain())
+	}
+	rate := float64(delivered) / float64(hits*n)
+	if math.Abs(rate-0.7) > 0.05 {
+		t.Errorf("delivery rate %v, want ~0.7 with 30%% no-shows", rate)
+	}
+}
+
+func TestNoShowsAreNotCharged(t *testing.T) {
+	cfg := DefaultConfig(3)
+	cfg.NoShowFraction = 0.5
+	p, err := NewPlatform(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := p.Publish(HIT{Questions: []Question{binaryQuestion("q")}}, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := len(run.Drain())
+	fee := cfg.Economics.PerAssignment()
+	if want := float64(got) * fee; math.Abs(run.Charged()-want) > 1e-12 {
+		t.Errorf("charged %v for %d deliveries, want %v", run.Charged(), got, want)
+	}
+}
+
+func TestZeroNoShowDeliversAll(t *testing.T) {
+	p, err := NewPlatform(DefaultConfig(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := p.Publish(HIT{Questions: []Question{binaryQuestion("q")}}, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(run.Drain()); got != 15 {
+		t.Errorf("delivered %d, want all 15", got)
+	}
+}

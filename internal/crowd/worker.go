@@ -1,0 +1,173 @@
+// Package crowd is a discrete-event simulator of a micro-task
+// crowdsourcing platform in the mould of Amazon Mechanical Turk, the
+// substrate CDAS's models are evaluated on in the paper.
+//
+// The paper's models interact with AMT through exactly three surfaces, all
+// of which the simulator makes first-class:
+//
+//   - the distribution of worker accuracies and (divergent) approval rates
+//     (Section 3.3, Figure 14);
+//   - asynchronous, out-of-order answer arrival (Section 4.2, Figures
+//     11–13), modelled with per-assignment exponential submit delays on a
+//     virtual clock — no wall-clock time is involved, so simulations are
+//     fast and deterministic;
+//   - the economic model (Section 3.1): every delivered assignment costs
+//     the requester m_c + m_s, and assignments cancelled before delivery
+//     cost nothing (footnote 3 of the paper).
+//
+// Worker behaviour supports the failure modes the paper motivates in
+// Section 1: honest-but-fallible workers, spammers answering at random,
+// adversarial workers, and colluders who coordinate on a wrong answer.
+package crowd
+
+import (
+	"fmt"
+
+	"cdas/internal/randx"
+)
+
+// Behavior classifies how a worker produces answers.
+type Behavior int
+
+const (
+	// Honest workers answer correctly with their accuracy, and uniformly
+	// among the wrong answers otherwise.
+	Honest Behavior = iota
+	// Spammer workers answer uniformly at random to harvest rewards.
+	Spammer
+	// Adversarial workers deliberately pick a wrong answer.
+	Adversarial
+	// Colluder workers coordinate on a fixed answer regardless of truth.
+	Colluder
+)
+
+// String names the behaviour for diagnostics.
+func (b Behavior) String() string {
+	switch b {
+	case Honest:
+		return "honest"
+	case Spammer:
+		return "spammer"
+	case Adversarial:
+		return "adversarial"
+	case Colluder:
+		return "colluder"
+	default:
+		return fmt.Sprintf("Behavior(%d)", int(b))
+	}
+}
+
+// Worker is one simulated platform worker.
+type Worker struct {
+	ID string
+	// Accuracy is the probability of answering a standard (difficulty 0)
+	// question correctly. Only meaningful for Honest workers.
+	Accuracy float64
+	// ApprovalRate is the platform-visible approval statistic. It is
+	// sampled independently of Accuracy to reproduce Figure 14's
+	// divergence (task mismatch + requesters' auto-approval).
+	ApprovalRate float64
+	// Speed scales submission delays: mean delay = MeanDelay / Speed.
+	Speed float64
+	// Behavior selects the answering strategy.
+	Behavior Behavior
+	// ColludeAnswer is the coordinated answer of Colluder workers.
+	ColludeAnswer string
+}
+
+// Question is a single crowd question: pick one answer from Domain.
+type Question struct {
+	ID     string
+	Text   string   // human-readable prompt; informational
+	Domain []string // the answer set R
+	Truth  string   // ground truth (driving the simulation; hidden from models)
+	// Difficulty in [0, 1] interpolates an honest worker's effective
+	// accuracy between their own (0) and uniform guessing (1), modelling
+	// the "difficult questions" of Section 5.1.2.
+	Difficulty float64
+	// Trap, when set with TrapStrength > 0, is a systematically
+	// attractive wrong answer (the paper's sarcastic The Last Airbender
+	// tweet: "sucks" pulls workers to negative). With probability
+	// TrapStrength an honest worker answers Trap outright.
+	Trap         string
+	TrapStrength float64
+}
+
+// Validate reports whether the question is well-formed: a domain of at
+// least two answers containing the truth.
+func (q Question) Validate() error {
+	if len(q.Domain) < 2 {
+		return fmt.Errorf("crowd: question %q needs a domain of >= 2 answers, got %d", q.ID, len(q.Domain))
+	}
+	if !contains(q.Domain, q.Truth) {
+		return fmt.Errorf("crowd: question %q truth %q not in domain", q.ID, q.Truth)
+	}
+	if q.Difficulty < 0 || q.Difficulty > 1 {
+		return fmt.Errorf("crowd: question %q difficulty %v outside [0,1]", q.ID, q.Difficulty)
+	}
+	if q.TrapStrength < 0 || q.TrapStrength > 1 {
+		return fmt.Errorf("crowd: question %q trap strength %v outside [0,1]", q.ID, q.TrapStrength)
+	}
+	if q.TrapStrength > 0 && !contains(q.Domain, q.Trap) {
+		return fmt.Errorf("crowd: question %q trap %q not in domain", q.ID, q.Trap)
+	}
+	return nil
+}
+
+func contains(xs []string, x string) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+// Answer simulates the worker answering q using rng.
+func (w *Worker) Answer(rng *randx.Source, q Question) string {
+	switch w.Behavior {
+	case Spammer:
+		return randx.Choice(rng, q.Domain)
+	case Adversarial:
+		return w.wrongAnswer(rng, q)
+	case Colluder:
+		if contains(q.Domain, w.ColludeAnswer) {
+			return w.ColludeAnswer
+		}
+		return randx.Choice(rng, q.Domain)
+	}
+	// Honest path. Systematic traps fire before the accuracy draw, and
+	// fool inaccurate workers far more than accurate ones — the paper's
+	// Table 3 example hinges on the high-accuracy worker seeing through
+	// the sarcasm the others fall for. A worker of accuracy a falls for
+	// a trap of strength T with probability min(1, 2·T·(1-a)).
+	if q.TrapStrength > 0 {
+		pTrap := 2 * q.TrapStrength * (1 - w.Accuracy)
+		if pTrap > 1 {
+			pTrap = 1
+		}
+		if rng.Bool(pTrap) {
+			return q.Trap
+		}
+	}
+	chance := 1.0 / float64(len(q.Domain))
+	eff := w.Accuracy*(1-q.Difficulty) + chance*q.Difficulty
+	if rng.Bool(eff) {
+		return q.Truth
+	}
+	return w.wrongAnswer(rng, q)
+}
+
+// wrongAnswer picks uniformly among the non-truth answers.
+func (w *Worker) wrongAnswer(rng *randx.Source, q Question) string {
+	wrong := make([]string, 0, len(q.Domain)-1)
+	for _, a := range q.Domain {
+		if a != q.Truth {
+			wrong = append(wrong, a)
+		}
+	}
+	if len(wrong) == 0 {
+		return q.Truth // degenerate single-answer domain
+	}
+	return randx.Choice(rng, wrong)
+}

@@ -1,0 +1,248 @@
+// Package crowdops implements crowd-powered relational operators on top
+// of the CDAS engine: filter, compare/sort and join (entity resolution).
+// These are the operator shapes of the crowd-enabled databases the paper
+// positions CDAS among (CrowdDB, Qurk); CDAS's contribution — the
+// quality-sensitive answering model — slots in underneath each operator,
+// planning crowd sizes and verifying the answers.
+//
+// Every operator turns its relational question into crowd questions,
+// processes them through an *engine.Engine (which handles prediction,
+// golden sampling, verification and early termination), and interprets
+// the accepted answers.
+package crowdops
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"cdas/internal/crowd"
+	"cdas/internal/engine"
+)
+
+// Item is a data item subject to crowd predicates.
+type Item struct {
+	ID   string
+	Text string // what the worker sees
+	// truth fields drive the simulator only.
+	FilterTruth bool   // Filter: does the predicate hold?
+	Key         string // Join: items with equal keys match
+	Rank        int    // Sort: true order (lower = smaller)
+	Difficulty  float64
+}
+
+// yes/no domain used by filter and join questions.
+var boolDomain = []string{"yes", "no"}
+
+func boolTruth(b bool) string {
+	if b {
+		return "yes"
+	}
+	return "no"
+}
+
+// FilterResult is one item's crowd verdict.
+type FilterResult struct {
+	Item       Item
+	Keep       bool
+	Confidence float64
+}
+
+// Filter asks the crowd "does predicate hold for this item?" for every
+// item and keeps those answered yes — CrowdDB's CROWDPROBE-style WHERE
+// clause. golden supplies ground-truth questions for accuracy sampling.
+func Filter(eng *engine.Engine, predicate string, items []Item, golden []crowd.Question) ([]FilterResult, error) {
+	if eng == nil {
+		return nil, errors.New("crowdops: engine is required")
+	}
+	if predicate == "" {
+		return nil, errors.New("crowdops: predicate text is required")
+	}
+	if len(items) == 0 {
+		return nil, nil
+	}
+	questions := make([]crowd.Question, len(items))
+	byID := make(map[string]Item, len(items))
+	for i, it := range items {
+		q := crowd.Question{
+			ID:         "filter/" + it.ID,
+			Text:       fmt.Sprintf("%s — %s", predicate, it.Text),
+			Domain:     boolDomain,
+			Truth:      boolTruth(it.FilterTruth),
+			Difficulty: it.Difficulty,
+		}
+		questions[i] = q
+		byID[q.ID] = it
+	}
+	batches, err := eng.ProcessAll(questions, golden)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]FilterResult, 0, len(items))
+	for _, br := range batches {
+		for _, qr := range br.Results {
+			out = append(out, FilterResult{
+				Item:       byID[qr.Question.ID],
+				Keep:       qr.Answer == "yes",
+				Confidence: qr.Confidence,
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Item.ID < out[j].Item.ID })
+	return out, nil
+}
+
+// JoinPair is one candidate match with the crowd's verdict.
+type JoinPair struct {
+	Left, Right Item
+	Match       bool
+	Confidence  float64
+}
+
+// Join performs crowd entity resolution over the cross product of left
+// and right: every pair becomes a "do these refer to the same thing?"
+// question (Qurk's crowd join). For n×m pairs the question count is nm —
+// callers should pre-block large inputs; Join refuses more than maxPairs
+// pairs to avoid accidental budget explosions.
+const maxPairs = 2000
+
+// Join runs the pairwise matching.
+func Join(eng *engine.Engine, left, right []Item, golden []crowd.Question) ([]JoinPair, error) {
+	if eng == nil {
+		return nil, errors.New("crowdops: engine is required")
+	}
+	if len(left)*len(right) > maxPairs {
+		return nil, fmt.Errorf("crowdops: %d candidate pairs exceed the %d-pair budget; block first",
+			len(left)*len(right), maxPairs)
+	}
+	if len(left) == 0 || len(right) == 0 {
+		return nil, nil
+	}
+	type pairKey struct{ l, r int }
+	questions := make([]crowd.Question, 0, len(left)*len(right))
+	keys := make(map[string]pairKey, len(left)*len(right))
+	for li, l := range left {
+		for ri, r := range right {
+			id := fmt.Sprintf("join/%s/%s", l.ID, r.ID)
+			questions = append(questions, crowd.Question{
+				ID:         id,
+				Text:       fmt.Sprintf("Do %q and %q refer to the same entity?", l.Text, r.Text),
+				Domain:     boolDomain,
+				Truth:      boolTruth(l.Key == r.Key),
+				Difficulty: maxF(l.Difficulty, r.Difficulty),
+			})
+			keys[id] = pairKey{li, ri}
+		}
+	}
+	batches, err := eng.ProcessAll(questions, golden)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]JoinPair, 0, len(questions))
+	for _, br := range batches {
+		for _, qr := range br.Results {
+			k := keys[qr.Question.ID]
+			out = append(out, JoinPair{
+				Left:       left[k.l],
+				Right:      right[k.r],
+				Match:      qr.Answer == "yes",
+				Confidence: qr.Confidence,
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Left.ID != out[j].Left.ID {
+			return out[i].Left.ID < out[j].Left.ID
+		}
+		return out[i].Right.ID < out[j].Right.ID
+	})
+	return out, nil
+}
+
+// Matches filters a Join result to the accepted matches.
+func Matches(pairs []JoinPair) []JoinPair {
+	out := make([]JoinPair, 0, len(pairs))
+	for _, p := range pairs {
+		if p.Match {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Sort orders items by crowd pairwise comparisons (Qurk's crowd order-by):
+// every unordered pair becomes a "which is greater?" question, and items
+// are ranked by their win count (Copeland score). Ties break by item ID
+// for determinism. The comparison criterion is described by criterion
+// (e.g. "which photo is sharper?").
+func Sort(eng *engine.Engine, criterion string, items []Item, golden []crowd.Question) ([]Item, error) {
+	if eng == nil {
+		return nil, errors.New("crowdops: engine is required")
+	}
+	if len(items) < 2 {
+		return append([]Item(nil), items...), nil
+	}
+	if len(items)*(len(items)-1)/2 > maxPairs {
+		return nil, fmt.Errorf("crowdops: %d comparisons exceed the %d-pair budget",
+			len(items)*(len(items)-1)/2, maxPairs)
+	}
+	type cmpKey struct{ a, b int }
+	questions := make([]crowd.Question, 0, len(items)*(len(items)-1)/2)
+	keys := make(map[string]cmpKey)
+	for i := 0; i < len(items); i++ {
+		for j := i + 1; j < len(items); j++ {
+			id := fmt.Sprintf("cmp/%s/%s", items[i].ID, items[j].ID)
+			truth := "first"
+			if items[j].Rank > items[i].Rank {
+				truth = "second"
+			}
+			questions = append(questions, crowd.Question{
+				ID:         id,
+				Text:       fmt.Sprintf("%s — first: %q, second: %q", criterion, items[i].Text, items[j].Text),
+				Domain:     []string{"first", "second"},
+				Truth:      truth,
+				Difficulty: maxF(items[i].Difficulty, items[j].Difficulty),
+			})
+			keys[id] = cmpKey{i, j}
+		}
+	}
+	batches, err := eng.ProcessAll(questions, golden)
+	if err != nil {
+		return nil, err
+	}
+	// Copeland scoring: the item judged greater in a comparison earns a
+	// win; ascending win counts give the ascending order.
+	wins := make([]int, len(items))
+	for _, br := range batches {
+		for _, qr := range br.Results {
+			k := keys[qr.Question.ID]
+			if qr.Answer == "first" {
+				wins[k.a]++
+			} else {
+				wins[k.b]++
+			}
+		}
+	}
+	order := make([]int, len(items))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(x, y int) bool {
+		if wins[order[x]] != wins[order[y]] {
+			return wins[order[x]] < wins[order[y]]
+		}
+		return items[order[x]].ID < items[order[y]].ID
+	})
+	out := make([]Item, len(items))
+	for pos, idx := range order {
+		out[pos] = items[idx]
+	}
+	return out, nil
+}
+
+func maxF(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

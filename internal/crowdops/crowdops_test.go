@@ -1,0 +1,196 @@
+package crowdops
+
+import (
+	"fmt"
+	"testing"
+
+	"cdas/internal/crowd"
+	"cdas/internal/engine"
+)
+
+func testEngine(t *testing.T, seed uint64) *engine.Engine {
+	t.Helper()
+	cfg := crowd.DefaultConfig(seed)
+	cfg.Workers = 200
+	p, err := crowd.NewPlatform(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := engine.New(engine.CrowdPlatform{Platform: p}, nil, engine.Config{
+		JobName:          "crowdops",
+		RequiredAccuracy: 0.92,
+		SamplingRate:     0.2,
+		HITSize:          40,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+func goldenPool(n int) []crowd.Question {
+	out := make([]crowd.Question, n)
+	for i := range out {
+		out[i] = crowd.Question{
+			ID:     fmt.Sprintf("golden/%d", i),
+			Text:   "golden",
+			Domain: []string{"yes", "no"},
+			Truth:  []string{"yes", "no"}[i%2],
+		}
+	}
+	return out
+}
+
+func TestFilter(t *testing.T) {
+	eng := testEngine(t, 1)
+	items := []Item{
+		{ID: "a", Text: "a cat on a mat", FilterTruth: true},
+		{ID: "b", Text: "a dog in a bog", FilterTruth: false},
+		{ID: "c", Text: "two cats sparring", FilterTruth: true},
+		{ID: "d", Text: "an empty hallway", FilterTruth: false},
+		{ID: "e", Text: "a kitten yawning", FilterTruth: true},
+		{ID: "f", Text: "a parked bicycle", FilterTruth: false},
+	}
+	res, err := Filter(eng, "Does this photo contain a cat?", items, goldenPool(20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != len(items) {
+		t.Fatalf("results = %d, want %d", len(res), len(items))
+	}
+	correct := 0
+	for _, r := range res {
+		if r.Keep == r.Item.FilterTruth {
+			correct++
+		}
+		if r.Confidence <= 0 || r.Confidence > 1 {
+			t.Errorf("item %s: confidence %v", r.Item.ID, r.Confidence)
+		}
+	}
+	if correct < len(items)-1 {
+		t.Errorf("filter got %d/%d correct", correct, len(items))
+	}
+}
+
+func TestFilterValidation(t *testing.T) {
+	eng := testEngine(t, 2)
+	if _, err := Filter(nil, "p", []Item{{ID: "a"}}, nil); err == nil {
+		t.Error("nil engine accepted")
+	}
+	if _, err := Filter(eng, "", []Item{{ID: "a"}}, nil); err == nil {
+		t.Error("empty predicate accepted")
+	}
+	res, err := Filter(eng, "p", nil, nil)
+	if err != nil || res != nil {
+		t.Errorf("empty input should be a no-op, got %v/%v", res, err)
+	}
+}
+
+func TestJoin(t *testing.T) {
+	eng := testEngine(t, 3)
+	left := []Item{
+		{ID: "l1", Text: "IBM Corp.", Key: "ibm"},
+		{ID: "l2", Text: "Apple Inc.", Key: "apple"},
+	}
+	right := []Item{
+		{ID: "r1", Text: "International Business Machines", Key: "ibm"},
+		{ID: "r2", Text: "Apple Computer", Key: "apple"},
+		{ID: "r3", Text: "Banana Republic", Key: "banana"},
+	}
+	pairs, err := Join(eng, left, right, goldenPool(20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pairs) != 6 {
+		t.Fatalf("pairs = %d, want 6", len(pairs))
+	}
+	correct := 0
+	for _, p := range pairs {
+		want := p.Left.Key == p.Right.Key
+		if p.Match == want {
+			correct++
+		}
+	}
+	if correct < 5 {
+		t.Errorf("join got %d/6 verdicts right", correct)
+	}
+	matches := Matches(pairs)
+	for _, m := range matches {
+		if !m.Match {
+			t.Error("Matches returned a non-match")
+		}
+	}
+}
+
+func TestJoinBudget(t *testing.T) {
+	eng := testEngine(t, 4)
+	big := make([]Item, 50)
+	for i := range big {
+		big[i] = Item{ID: fmt.Sprintf("x%d", i)}
+	}
+	if _, err := Join(eng, big, big, nil); err == nil {
+		t.Error("2500-pair join should exceed the budget")
+	}
+	if pairs, err := Join(eng, nil, big, nil); err != nil || pairs != nil {
+		t.Errorf("empty side should be a no-op, got %v/%v", pairs, err)
+	}
+}
+
+func TestSort(t *testing.T) {
+	eng := testEngine(t, 5)
+	items := []Item{
+		{ID: "c", Text: "three stars", Rank: 3},
+		{ID: "a", Text: "one star", Rank: 1},
+		{ID: "e", Text: "five stars", Rank: 5},
+		{ID: "b", Text: "two stars", Rank: 2},
+		{ID: "d", Text: "four stars", Rank: 4},
+	}
+	sorted, err := Sort(eng, "Which review is more favourable?", items, goldenPool(20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sorted) != 5 {
+		t.Fatalf("sorted length = %d", len(sorted))
+	}
+	// Kendall-tau style check: count inversions; allow at most one
+	// adjacent slip from crowd noise.
+	inversions := 0
+	for i := 0; i < len(sorted); i++ {
+		for j := i + 1; j < len(sorted); j++ {
+			if sorted[i].Rank > sorted[j].Rank {
+				inversions++
+			}
+		}
+	}
+	if inversions > 1 {
+		t.Errorf("crowd sort has %d inversions: %+v", inversions, sorted)
+	}
+}
+
+func TestSortSmallInputs(t *testing.T) {
+	eng := testEngine(t, 6)
+	if got, err := Sort(eng, "c", nil, nil); err != nil || len(got) != 0 {
+		t.Errorf("empty sort = %v/%v", got, err)
+	}
+	one := []Item{{ID: "only"}}
+	got, err := Sort(eng, "c", one, nil)
+	if err != nil || len(got) != 1 {
+		t.Fatalf("singleton sort = %v/%v", got, err)
+	}
+	// Must be a copy, not the caller's slice.
+	got[0].ID = "mutated"
+	if one[0].ID == "mutated" {
+		t.Error("Sort must copy its input")
+	}
+}
+
+func TestSortBudget(t *testing.T) {
+	eng := testEngine(t, 7)
+	big := make([]Item, 100)
+	for i := range big {
+		big[i] = Item{ID: fmt.Sprintf("x%d", i), Rank: i}
+	}
+	if _, err := Sort(eng, "c", big, nil); err == nil {
+		t.Error("4950-comparison sort should exceed the budget")
+	}
+}

@@ -1,0 +1,429 @@
+// Package engine implements the CDAS crowdsourcing engine (Section 2.1 and
+// Algorithm 1 of the paper): the component that turns buffered analytics
+// questions into HITs, plans worker counts with the prediction model,
+// estimates worker accuracy from embedded golden questions, verifies
+// answers with the probability-based model, and — in online mode —
+// terminates HITs early once results are stable.
+//
+// Per-HIT flow (Algorithm 1 plus Sections 3.3 and 4.2):
+//
+//  1. Batch questions into a HIT of Config.HITSize slots, injecting
+//     ceil(α·B) golden questions (Section 3.3).
+//  2. n = predictWorkerNumber(C) from the prediction model, with μ taken
+//     from the profile store once sampling has warmed up (fallback: the
+//     configured population estimate).
+//  3. Publish and consume assignments in arrival order. Each arriving
+//     assignment is first scored on the golden questions, updating the
+//     worker's profile, so their vote weight reflects the freshest
+//     estimate; votes for real questions then flow into per-question
+//     online verifiers.
+//  4. After every arrival the termination strategy is evaluated over all
+//     real questions; when every question's leader is safe, the HIT is
+//     cancelled and the outstanding assignments are never paid for.
+//  5. Answers are accepted by maximum confidence (Equation 4).
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"cdas/internal/core/online"
+	"cdas/internal/core/prediction"
+	"cdas/internal/core/sampling"
+	"cdas/internal/core/verification"
+	"cdas/internal/crowd"
+	"cdas/internal/privacy"
+	"cdas/internal/profile"
+	"cdas/internal/randx"
+)
+
+// Run abstracts one published HIT's asynchronous assignment stream.
+// *crowd.Run satisfies it; a production deployment would implement it over
+// the real AMT API.
+type Run interface {
+	Next() (crowd.Assignment, bool)
+	Cancel()
+	Charged() float64
+	HIT() crowd.HIT
+}
+
+// Platform abstracts the crowdsourcing marketplace.
+type Platform interface {
+	Publish(hit crowd.HIT, n int) (Run, error)
+}
+
+// CrowdPlatform adapts *crowd.Platform (the simulator) to the engine's
+// Platform interface.
+type CrowdPlatform struct{ *crowd.Platform }
+
+// Publish implements Platform.
+func (p CrowdPlatform) Publish(hit crowd.HIT, n int) (Run, error) {
+	return p.Platform.Publish(hit, n)
+}
+
+// Config tunes the engine. Zero fields take the documented defaults.
+type Config struct {
+	// JobName keys worker profiles; accuracies are per job kind.
+	JobName string
+	// RequiredAccuracy is the query's C. Default 0.9.
+	RequiredAccuracy float64
+	// SamplingRate is α, the golden fraction per HIT. Default 0.2.
+	// Set DisableSampling to run without golden questions instead of
+	// setting this to zero (a zero value takes the default).
+	SamplingRate float64
+	// DisableSampling turns golden-question injection off entirely;
+	// worker votes then carry FallbackAccuracy (or prior profiles).
+	DisableSampling bool
+	// HITSize is B, the questions per HIT. Default 100.
+	HITSize int
+	// Strategy picks the early-termination condition. Default Never
+	// (process all planned answers), matching the paper's offline mode.
+	Strategy online.Strategy
+	// FallbackAccuracy is the population-mean estimate used for workers
+	// without profiles and for prediction before sampling warms up.
+	// Default 0.7.
+	FallbackAccuracy float64
+	// MaxWorkers caps the planned per-HIT assignment count. Default 51.
+	MaxWorkers int
+	// Privacy, when set, sanitises question text and filters blocked
+	// workers' answers.
+	Privacy *privacy.Manager
+	// RepostShortfall republishes under-answered HITs (no-show workers)
+	// until the planned assignment count is reached, up to maxReposts
+	// supplemental HITs.
+	RepostShortfall bool
+	// Seed drives the golden-question placement shuffle.
+	Seed uint64
+}
+
+// maxReposts bounds the supplemental HITs per batch.
+const maxReposts = 2
+
+func (c Config) withDefaults() Config {
+	if c.JobName == "" {
+		c.JobName = "default"
+	}
+	if c.RequiredAccuracy == 0 {
+		c.RequiredAccuracy = 0.9
+	}
+	if c.DisableSampling {
+		c.SamplingRate = 0
+	} else if c.SamplingRate == 0 {
+		c.SamplingRate = sampling.DefaultRate
+	}
+	if c.HITSize == 0 {
+		c.HITSize = sampling.DefaultHITSize
+	}
+	if c.FallbackAccuracy == 0 {
+		c.FallbackAccuracy = 0.7
+	}
+	if c.MaxWorkers == 0 {
+		c.MaxWorkers = 51
+	}
+	return c
+}
+
+// Validate reports configuration errors after defaulting.
+func (c Config) Validate() error {
+	c = c.withDefaults()
+	if c.RequiredAccuracy <= 0 || c.RequiredAccuracy >= 1 || math.IsNaN(c.RequiredAccuracy) {
+		return fmt.Errorf("engine: required accuracy must be in (0,1), got %v", c.RequiredAccuracy)
+	}
+	if c.SamplingRate < 0 || c.SamplingRate >= 1 {
+		return fmt.Errorf("engine: sampling rate must be in [0,1), got %v", c.SamplingRate)
+	}
+	if c.HITSize <= 0 {
+		return fmt.Errorf("engine: HIT size must be positive, got %d", c.HITSize)
+	}
+	if c.FallbackAccuracy <= 0.5 || c.FallbackAccuracy >= 1 {
+		return fmt.Errorf("engine: fallback accuracy must be in (0.5,1), got %v", c.FallbackAccuracy)
+	}
+	if c.MaxWorkers < 1 {
+		return fmt.Errorf("engine: max workers must be >= 1, got %d", c.MaxWorkers)
+	}
+	return nil
+}
+
+// accuracyPseudoCounts is the prior strength of the vote-weight
+// estimates: the first few golden outcomes move a worker's weight only
+// moderately away from the population mean.
+const accuracyPseudoCounts = 4
+
+// Engine is the crowdsourcing engine. Not safe for concurrent use.
+type Engine struct {
+	platform Platform
+	store    *profile.Store
+	cfg      Config
+	rng      *randx.Source
+}
+
+// New constructs an Engine. store may be nil, in which case a fresh
+// profile store is created (no history).
+func New(platform Platform, store *profile.Store, cfg Config) (*Engine, error) {
+	if platform == nil {
+		return nil, errors.New("engine: platform is required")
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	if store == nil {
+		store = profile.NewStore()
+	}
+	return &Engine{
+		platform: platform,
+		store:    store,
+		cfg:      cfg,
+		rng:      randx.New(cfg.Seed ^ 0xcda5cda5),
+	}, nil
+}
+
+// Store exposes the profile store (e.g. for persistence).
+func (e *Engine) Store() *profile.Store { return e.store }
+
+// Config returns the engine's effective (defaulted) configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+// MeanAccuracy returns the engine's current population-mean estimate: the
+// profile store's mean once at least minProfiles workers are known,
+// otherwise the configured fallback.
+func (e *Engine) MeanAccuracy() float64 {
+	const minProfiles = 5
+	if mu, ok := e.store.MeanAccuracy(e.cfg.JobName); ok && len(e.store.Workers(e.cfg.JobName)) >= minProfiles {
+		// A usable μ must stay above 1/2 for the prediction model.
+		if mu > 0.5 {
+			return mu
+		}
+	}
+	return e.cfg.FallbackAccuracy
+}
+
+// PlanWorkers runs the prediction model for the engine's required
+// accuracy: the minimum odd n with E[P_{n/2}] >= C, capped at MaxWorkers.
+func (e *Engine) PlanWorkers() (int, error) {
+	model, err := prediction.New(e.MeanAccuracy())
+	if err != nil {
+		return 0, err
+	}
+	n, err := model.RequiredWorkers(e.cfg.RequiredAccuracy)
+	if err != nil {
+		return 0, err
+	}
+	if n > e.cfg.MaxWorkers {
+		n = e.cfg.MaxWorkers
+		if n%2 == 0 {
+			n--
+		}
+	}
+	return n, nil
+}
+
+// QuestionResult is the engine's verdict for one real question.
+type QuestionResult struct {
+	Question   crowd.Question
+	Answer     string  // accepted answer (highest confidence)
+	Confidence float64 // Equation 4 confidence of the accepted answer
+	Ranked     []verification.Scored
+	Votes      int // votes actually received for this question
+}
+
+// BatchResult reports one processed HIT.
+type BatchResult struct {
+	HITID           string
+	PlannedWorkers  int     // n from the prediction model
+	UsedWorkers     int     // assignments consumed before termination
+	Cost            float64 // fees charged for this HIT (reposts included)
+	TerminatedEarly bool
+	GoldenCount     int
+	// Reposts counts supplemental HITs published to cover no-show
+	// shortfalls (Config.RepostShortfall).
+	Reposts int
+	Results []QuestionResult
+}
+
+// ProcessBatch runs one HIT over up to HITSize questions (minus golden
+// slots). golden supplies ground-truth questions for accuracy sampling;
+// it may be empty only when SamplingRate is 0. It returns an error if
+// real is empty or exceeds the available slots.
+func (e *Engine) ProcessBatch(real, golden []crowd.Question) (BatchResult, error) {
+	if len(real) == 0 {
+		return BatchResult{}, errors.New("engine: no questions to process")
+	}
+	nGoldenNeeded := sampling.GoldenCount(e.cfg.HITSize, e.cfg.SamplingRate)
+	if len(real) > e.cfg.HITSize-nGoldenNeeded {
+		return BatchResult{}, fmt.Errorf("engine: %d questions exceed %d real slots per HIT",
+			len(real), e.cfg.HITSize-nGoldenNeeded)
+	}
+	// Scale the golden count down for partial batches, keeping the α
+	// ratio, but keep at least one golden question when sampling is on.
+	b := len(real) + int(math.Ceil(e.cfg.SamplingRate/(1-e.cfg.SamplingRate)*float64(len(real))))
+	nGolden := b - len(real)
+	if e.cfg.SamplingRate > 0 && nGolden == 0 {
+		nGolden = 1
+	}
+	if nGolden > len(golden) {
+		return BatchResult{}, fmt.Errorf("engine: need %d golden questions, have %d", nGolden, len(golden))
+	}
+
+	// Assemble and shuffle the HIT's question list. Sanitisation happens
+	// before anything is stored or published, so neither the platform nor
+	// the engine's own results ever carry unmasked text.
+	sanitize := func(q crowd.Question) crowd.Question {
+		if e.cfg.Privacy != nil {
+			return e.cfg.Privacy.SanitizeQuestion(q)
+		}
+		return q
+	}
+	questions := make([]crowd.Question, 0, len(real)+nGolden)
+	goldenIDs := make(map[string]crowd.Question, nGolden)
+	for _, idx := range e.rng.SampleWithoutReplacement(len(golden), nGolden) {
+		q := sanitize(golden[idx])
+		goldenIDs[q.ID] = q
+		questions = append(questions, q)
+	}
+	realIDs := make(map[string]crowd.Question, len(real))
+	for _, raw := range real {
+		q := sanitize(raw)
+		if _, dup := realIDs[q.ID]; dup {
+			return BatchResult{}, fmt.Errorf("engine: duplicate question id %q", q.ID)
+		}
+		if _, clash := goldenIDs[q.ID]; clash {
+			return BatchResult{}, fmt.Errorf("engine: question id %q collides with a golden question", q.ID)
+		}
+		realIDs[q.ID] = q
+		questions = append(questions, q)
+	}
+	randx.Shuffle(e.rng, questions)
+
+	n, err := e.PlanWorkers()
+	if err != nil {
+		return BatchResult{}, err
+	}
+	run, err := e.platform.Publish(crowd.HIT{Title: e.cfg.JobName, Questions: questions}, n)
+	if err != nil {
+		return BatchResult{}, err
+	}
+
+	// Per-question online verifiers. m = |domain| — the engine knows R
+	// for each question it generated.
+	verifiers := make(map[string]*online.Verifier, len(real))
+	meanAcc := e.MeanAccuracy()
+	for id, q := range realIDs {
+		v, err := online.NewVerifier(n, len(q.Domain), meanAcc)
+		if err != nil {
+			return BatchResult{}, err
+		}
+		verifiers[id] = v
+	}
+
+	res := BatchResult{HITID: run.HIT().ID, PlannedWorkers: n, GoldenCount: nGolden}
+	consume := func(run Run) error {
+		defer func() { res.Cost += run.Charged() }()
+		for {
+			a, ok := run.Next()
+			if !ok {
+				return nil
+			}
+			if e.cfg.Privacy.Blocked(a.Worker.ID) {
+				continue // answers from barred workers are discarded (still paid)
+			}
+			res.UsedWorkers++
+			// Score golden questions first so this worker's vote weight
+			// uses the freshest profile (Algorithm 4).
+			for id, gq := range goldenIDs {
+				e.store.Record(e.cfg.JobName, a.Worker.ID, a.AnswerTo(id) == gq.Truth)
+			}
+			// Vote weights shrink towards the population mean until enough
+			// golden evidence accumulates; see profile.ShrunkAccuracy.
+			acc := e.store.ShrunkAccuracy(e.cfg.JobName, a.Worker.ID, e.cfg.FallbackAccuracy, accuracyPseudoCounts)
+			for id, v := range verifiers {
+				if err := v.Add(verification.Vote{
+					Worker:   a.Worker.ID,
+					Accuracy: acc,
+					Answer:   a.AnswerTo(id),
+				}); err != nil {
+					return fmt.Errorf("engine: question %s: %w", id, err)
+				}
+			}
+			if e.cfg.Strategy != online.Never && allTerminated(verifiers, e.cfg.Strategy) {
+				run.Cancel()
+				res.TerminatedEarly = true
+				return nil
+			}
+		}
+	}
+	if err := consume(run); err != nil {
+		return BatchResult{}, err
+	}
+	// Repost on shortfall: no-show workers may leave the HIT under-
+	// answered; republish the same questions for the missing assignment
+	// count (a fresh HIT on the platform, as a requester would).
+	if e.cfg.RepostShortfall {
+		for round := 0; round < maxReposts && !res.TerminatedEarly && res.UsedWorkers < n; round++ {
+			rerun, err := e.platform.Publish(crowd.HIT{
+				Title:     e.cfg.JobName,
+				Questions: questions,
+			}, n-res.UsedWorkers)
+			if err != nil {
+				break // platform exhausted; proceed with what we have
+			}
+			res.Reposts++
+			if err := consume(rerun); err != nil {
+				return BatchResult{}, err
+			}
+		}
+	}
+
+	for id, v := range verifiers {
+		q := realIDs[id]
+		qr := QuestionResult{Question: q, Votes: v.Received()}
+		if cur, err := v.Current(); err == nil {
+			qr.Answer = cur.Best().Answer
+			qr.Confidence = cur.Best().Confidence
+			qr.Ranked = cur.Ranked
+		}
+		res.Results = append(res.Results, qr)
+	}
+	sortResults(res.Results)
+	return res, nil
+}
+
+// ProcessAll chunks questions into HIT-sized batches and processes each.
+func (e *Engine) ProcessAll(real, golden []crowd.Question) ([]BatchResult, error) {
+	if len(real) == 0 {
+		return nil, errors.New("engine: no questions to process")
+	}
+	perHIT := e.cfg.HITSize - sampling.GoldenCount(e.cfg.HITSize, e.cfg.SamplingRate)
+	if perHIT <= 0 {
+		return nil, fmt.Errorf("engine: sampling rate %v leaves no real slots", e.cfg.SamplingRate)
+	}
+	var out []BatchResult
+	for start := 0; start < len(real); start += perHIT {
+		end := start + perHIT
+		if end > len(real) {
+			end = len(real)
+		}
+		br, err := e.ProcessBatch(real[start:end], golden)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, br)
+	}
+	return out, nil
+}
+
+func allTerminated(vs map[string]*online.Verifier, s online.Strategy) bool {
+	for _, v := range vs {
+		if !v.Terminated(s) {
+			return false
+		}
+	}
+	return true
+}
+
+func sortResults(rs []QuestionResult) {
+	// Deterministic output order by question ID.
+	sort.Slice(rs, func(i, j int) bool { return rs[i].Question.ID < rs[j].Question.ID })
+}

@@ -1,0 +1,389 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+
+	"cdas/internal/core/online"
+	"cdas/internal/crowd"
+	"cdas/internal/privacy"
+	"cdas/internal/profile"
+)
+
+// newTestPlatform wraps the crowd simulator for engine tests.
+func newTestPlatform(t *testing.T, seed uint64) (CrowdPlatform, *crowd.Platform) {
+	t.Helper()
+	cfg := crowd.DefaultConfig(seed)
+	cfg.Workers = 200
+	p, err := crowd.NewPlatform(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return CrowdPlatform{p}, p
+}
+
+func sentimentDomain() []string { return []string{"pos", "neu", "neg"} }
+
+func makeQuestions(prefix string, n int, truth string) []crowd.Question {
+	qs := make([]crowd.Question, n)
+	for i := range qs {
+		qs[i] = crowd.Question{
+			ID:     prefix + string(rune('a'+i%26)) + string(rune('0'+i/26)),
+			Text:   "tweet " + prefix,
+			Domain: sentimentDomain(),
+			Truth:  truth,
+		}
+	}
+	return qs
+}
+
+func TestNewValidation(t *testing.T) {
+	platform, _ := newTestPlatform(t, 1)
+	if _, err := New(nil, nil, Config{}); err == nil {
+		t.Error("nil platform accepted")
+	}
+	bad := []Config{
+		{RequiredAccuracy: 1.5},
+		{SamplingRate: -0.1},
+		{HITSize: -1},
+		{FallbackAccuracy: 0.4},
+		{MaxWorkers: -1},
+	}
+	for i, cfg := range bad {
+		if _, err := New(platform, nil, cfg); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+	if _, err := New(platform, nil, Config{}); err != nil {
+		t.Errorf("default config rejected: %v", err)
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	platform, _ := newTestPlatform(t, 1)
+	e, err := New(platform, nil, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := e.Config()
+	if cfg.JobName != "default" || cfg.RequiredAccuracy != 0.9 ||
+		cfg.SamplingRate != 0.2 || cfg.HITSize != 100 ||
+		cfg.FallbackAccuracy != 0.7 || cfg.MaxWorkers != 51 {
+		t.Errorf("defaults wrong: %+v", cfg)
+	}
+}
+
+func TestPlanWorkersUsesFallbackThenProfiles(t *testing.T) {
+	platform, _ := newTestPlatform(t, 2)
+	store := profile.NewStore()
+	e, err := New(platform, store, Config{JobName: "tsa", RequiredAccuracy: 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := e.MeanAccuracy(); got != 0.7 {
+		t.Errorf("cold mean = %v, want fallback 0.7", got)
+	}
+	// Warm up profiles with accurate workers: planned n should drop.
+	nCold, err := e.PlanWorkers()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		w := "w" + string(rune('a'+i))
+		for j := 0; j < 20; j++ {
+			store.Record("tsa", w, j < 18) // 0.9 accuracy
+		}
+	}
+	// Laplace smoothing gives (18+1)/(20+2) = 0.8636 per worker.
+	if got := e.MeanAccuracy(); got < 0.85 {
+		t.Errorf("warm mean = %v, want ~0.86", got)
+	}
+	nWarm, err := e.PlanWorkers()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nWarm >= nCold {
+		t.Errorf("better workers should shrink the plan: cold=%d warm=%d", nCold, nWarm)
+	}
+}
+
+func TestPlanWorkersCap(t *testing.T) {
+	platform, _ := newTestPlatform(t, 3)
+	e, err := New(platform, nil, Config{RequiredAccuracy: 0.999, FallbackAccuracy: 0.55, MaxWorkers: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := e.PlanWorkers()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 9 {
+		t.Errorf("capped plan = %d, want 9", n)
+	}
+}
+
+func TestProcessBatchEndToEnd(t *testing.T) {
+	platform, sim := newTestPlatform(t, 4)
+	e, err := New(platform, nil, Config{
+		JobName:          "tsa",
+		RequiredAccuracy: 0.9,
+		SamplingRate:     0.2,
+		HITSize:          50,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	real := makeQuestions("r", 20, "pos")
+	golden := makeQuestions("g", 20, "neg")
+	res, err := e.ProcessBatch(real, golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PlannedWorkers < 1 || res.PlannedWorkers%2 != 1 {
+		t.Errorf("planned workers = %d, want odd >= 1", res.PlannedWorkers)
+	}
+	if res.UsedWorkers != res.PlannedWorkers {
+		t.Errorf("offline mode should use all workers: used=%d planned=%d", res.UsedWorkers, res.PlannedWorkers)
+	}
+	if len(res.Results) != 20 {
+		t.Fatalf("results = %d, want 20", len(res.Results))
+	}
+	correct := 0
+	for _, qr := range res.Results {
+		if qr.Answer == "" {
+			t.Errorf("question %s has no answer", qr.Question.ID)
+		}
+		if qr.Votes != res.UsedWorkers {
+			t.Errorf("question %s votes=%d, want %d", qr.Question.ID, qr.Votes, res.UsedWorkers)
+		}
+		if qr.Answer == qr.Question.Truth {
+			correct++
+		}
+	}
+	// With C=0.9 the batch accuracy should be comfortably high.
+	if acc := float64(correct) / 20; acc < 0.85 {
+		t.Errorf("batch accuracy %v below expectation", acc)
+	}
+	if res.Cost <= 0 {
+		t.Error("cost not accounted")
+	}
+	if sim.TotalSpent() != res.Cost {
+		t.Errorf("platform spend %v != batch cost %v", sim.TotalSpent(), res.Cost)
+	}
+	// Sampling must have produced profiles for the participating workers.
+	if got := len(e.Store().Workers("tsa")); got != res.UsedWorkers {
+		t.Errorf("profiled workers = %d, want %d", got, res.UsedWorkers)
+	}
+}
+
+func TestProcessBatchEarlyTermination(t *testing.T) {
+	platform, _ := newTestPlatform(t, 5)
+	run := func(strategy online.Strategy) BatchResult {
+		e, err := New(platform, nil, Config{
+			JobName:          "tsa",
+			RequiredAccuracy: 0.9,
+			SamplingRate:     0.4, // more golden -> sharper (smoothed) weights
+			HITSize:          10,
+			Strategy:         strategy,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := e.ProcessBatch(makeQuestions("r", 4, "pos"), makeQuestions("g", 10, "neg"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	full := run(online.Never)
+	early := run(online.ExpMax)
+	if full.TerminatedEarly {
+		t.Error("Never strategy must not terminate early")
+	}
+	if !early.TerminatedEarly {
+		t.Error("ExpMax should terminate early on an easy batch")
+	}
+	if early.UsedWorkers >= full.UsedWorkers {
+		t.Errorf("early termination should save workers: %d vs %d", early.UsedWorkers, full.UsedWorkers)
+	}
+	if early.Cost >= full.Cost {
+		t.Errorf("early termination should save cost: %v vs %v", early.Cost, full.Cost)
+	}
+}
+
+func TestProcessBatchValidation(t *testing.T) {
+	platform, _ := newTestPlatform(t, 6)
+	e, err := New(platform, nil, Config{HITSize: 10, SamplingRate: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.ProcessBatch(nil, nil); err == nil {
+		t.Error("empty batch accepted")
+	}
+	// 9 real questions exceed 10 - 2 = 8 real slots.
+	if _, err := e.ProcessBatch(makeQuestions("r", 9, "pos"), makeQuestions("g", 5, "pos")); err == nil {
+		t.Error("oversized batch accepted")
+	}
+	// Not enough golden questions.
+	if _, err := e.ProcessBatch(makeQuestions("r", 4, "pos"), nil); err == nil {
+		t.Error("missing golden pool accepted")
+	}
+	// Duplicate question IDs.
+	dup := makeQuestions("r", 2, "pos")
+	dup[1].ID = dup[0].ID
+	if _, err := e.ProcessBatch(dup, makeQuestions("g", 5, "pos")); err == nil {
+		t.Error("duplicate ids accepted")
+	}
+}
+
+func TestProcessBatchNoSampling(t *testing.T) {
+	platform, _ := newTestPlatform(t, 7)
+	e, err := New(platform, nil, Config{HITSize: 10, SamplingRate: -1}) // negative -> validation error
+	if err == nil {
+		_ = e
+		t.Fatal("negative sampling rate accepted")
+	}
+}
+
+func TestProcessAllChunks(t *testing.T) {
+	platform, _ := newTestPlatform(t, 8)
+	e, err := New(platform, nil, Config{
+		JobName:      "tsa",
+		HITSize:      10,
+		SamplingRate: 0.2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 20 questions with 8 real slots per HIT -> 3 batches.
+	res, err := e.ProcessAll(makeQuestions("r", 20, "pos"), makeQuestions("g", 10, "neg"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 3 {
+		t.Fatalf("batches = %d, want 3", len(res))
+	}
+	total := 0
+	for _, br := range res {
+		total += len(br.Results)
+	}
+	if total != 20 {
+		t.Errorf("total results = %d, want 20", total)
+	}
+}
+
+func TestBlockedWorkersAreExcluded(t *testing.T) {
+	platform, sim := newTestPlatform(t, 9)
+	pm := privacy.NewManager()
+	for _, w := range sim.Workers() {
+		pm.BlockWorker(w.ID) // block everyone: all answers discarded
+	}
+	e, err := New(platform, nil, Config{
+		JobName:      "tsa",
+		HITSize:      10,
+		SamplingRate: 0.2,
+		Privacy:      pm,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.ProcessBatch(makeQuestions("r", 4, "pos"), makeQuestions("g", 10, "neg"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.UsedWorkers != 0 {
+		t.Errorf("blocked workers still used: %d", res.UsedWorkers)
+	}
+	for _, qr := range res.Results {
+		if qr.Votes != 0 {
+			t.Errorf("question %s received votes from blocked workers", qr.Question.ID)
+		}
+	}
+}
+
+func TestPrivacySanitisesQuestionText(t *testing.T) {
+	platform, _ := newTestPlatform(t, 10)
+	e, err := New(platform, nil, Config{
+		JobName:         "tsa",
+		HITSize:         10,
+		DisableSampling: true,
+		Privacy:         privacy.NewManager(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := makeQuestions("r", 2, "pos")
+	qs[0].Text = "@secretuser says this movie rocks"
+	res, err := e.ProcessBatch(qs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, qr := range res.Results {
+		if strings.Contains(qr.Question.Text, "secretuser") {
+			t.Errorf("question text leaked a handle: %q", qr.Question.Text)
+		}
+	}
+}
+
+func TestRenderHIT(t *testing.T) {
+	hit := crowd.HIT{
+		ID:    "HIT-1",
+		Title: "Sentiment of movie tweets",
+		Questions: []crowd.Question{
+			{ID: "q1", Text: "Great movie <3", Domain: sentimentDomain(), Truth: "pos"},
+			{ID: "q2", Text: "Meh & blah", Domain: sentimentDomain(), Truth: "neu"},
+		},
+	}
+	html, err := RenderHIT(hit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"Sentiment of movie tweets",
+		`id="q-q1"`, `id="q-q2"`,
+		`name="q1" value="pos"`,
+		"Great movie &lt;3", // HTML-escaped
+		"Meh &amp; blah",
+	} {
+		if !strings.Contains(html, want) {
+			t.Errorf("rendered HIT missing %q", want)
+		}
+	}
+	if strings.Contains(html, "<3") {
+		t.Error("unescaped question text in HTML")
+	}
+}
+
+func TestEngineAccuracyBeatsVotingOnHardQuestions(t *testing.T) {
+	// Integration flavour of the paper's Table 4 claim: with golden-based
+	// profiles, verification recovers answers on questions where workers
+	// disagree. We give each real question moderate difficulty and check
+	// the engine still meets a reasonable accuracy.
+	platform, _ := newTestPlatform(t, 11)
+	e, err := New(platform, nil, Config{
+		JobName:          "tsa",
+		RequiredAccuracy: 0.9,
+		SamplingRate:     0.2,
+		HITSize:          50,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	real := makeQuestions("r", 20, "pos")
+	for i := range real {
+		real[i].Difficulty = 0.3
+	}
+	res, err := e.ProcessBatch(real, makeQuestions("g", 20, "neg"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	correct := 0
+	for _, qr := range res.Results {
+		if qr.Answer == qr.Question.Truth {
+			correct++
+		}
+	}
+	if acc := float64(correct) / float64(len(res.Results)); acc < 0.7 {
+		t.Errorf("accuracy on difficult batch = %v, want >= 0.7", acc)
+	}
+}

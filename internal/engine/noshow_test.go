@@ -1,0 +1,117 @@
+package engine
+
+import (
+	"math"
+	"testing"
+
+	"cdas/internal/crowd"
+)
+
+// TestEngineResilientToNoShows: when a fraction of accepted assignments
+// never arrives, the engine must still verify with the votes it received
+// and only pay for delivered answers.
+func TestEngineResilientToNoShows(t *testing.T) {
+	cfg := crowd.DefaultConfig(31)
+	cfg.Workers = 200
+	cfg.NoShowFraction = 0.4
+	sim, err := crowd.NewPlatform(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := New(CrowdPlatform{sim}, nil, Config{
+		JobName:          "tsa",
+		RequiredAccuracy: 0.9,
+		SamplingRate:     0.2,
+		HITSize:          20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.ProcessBatch(makeQuestions("r", 8, "pos"), makeQuestions("g", 10, "neg"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.UsedWorkers >= res.PlannedWorkers {
+		t.Errorf("with 40%% no-shows used (%d) should fall below planned (%d)",
+			res.UsedWorkers, res.PlannedWorkers)
+	}
+	if res.UsedWorkers == 0 {
+		t.Fatal("no assignments delivered at all")
+	}
+	for _, qr := range res.Results {
+		if qr.Answer == "" {
+			t.Errorf("question %s left unanswered", qr.Question.ID)
+		}
+		if qr.Votes != res.UsedWorkers {
+			t.Errorf("question %s votes=%d, want %d", qr.Question.ID, qr.Votes, res.UsedWorkers)
+		}
+	}
+	fee := cfg.Economics.PerAssignment()
+	if want := float64(res.UsedWorkers) * fee; math.Abs(res.Cost-want) > 1e-9 {
+		t.Errorf("cost %v, want %v (pay only for deliveries)", res.Cost, want)
+	}
+}
+
+// TestRepostShortfall: with RepostShortfall the engine republishes
+// under-answered HITs until the planned count is reached.
+func TestRepostShortfall(t *testing.T) {
+	cfg := crowd.DefaultConfig(32)
+	cfg.Workers = 300
+	cfg.NoShowFraction = 0.4
+	sim, err := crowd.NewPlatform(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := New(CrowdPlatform{sim}, nil, Config{
+		JobName:          "tsa",
+		RequiredAccuracy: 0.9,
+		SamplingRate:     0.2,
+		HITSize:          20,
+		RepostShortfall:  true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.ProcessBatch(makeQuestions("r", 8, "pos"), makeQuestions("g", 10, "neg"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reposts == 0 {
+		t.Error("40% no-shows should trigger at least one repost")
+	}
+	// Reposting should close most of the gap (never overshoot).
+	if res.UsedWorkers > res.PlannedWorkers {
+		t.Errorf("overshot: used %d > planned %d", res.UsedWorkers, res.PlannedWorkers)
+	}
+	if res.UsedWorkers < res.PlannedWorkers-2 {
+		t.Errorf("reposts left a large gap: used %d of %d", res.UsedWorkers, res.PlannedWorkers)
+	}
+	fee := cfg.Economics.PerAssignment()
+	if want := float64(res.UsedWorkers) * fee; math.Abs(res.Cost-want) > 1e-9 {
+		t.Errorf("cost %v, want %v", res.Cost, want)
+	}
+}
+
+// TestRepostOffByDefault: the default engine does not repost.
+func TestRepostOffByDefault(t *testing.T) {
+	cfg := crowd.DefaultConfig(33)
+	cfg.Workers = 200
+	cfg.NoShowFraction = 0.4
+	sim, err := crowd.NewPlatform(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := New(CrowdPlatform{sim}, nil, Config{
+		JobName: "tsa", HITSize: 20, SamplingRate: 0.2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.ProcessBatch(makeQuestions("r", 4, "pos"), makeQuestions("g", 10, "neg"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reposts != 0 {
+		t.Errorf("reposts = %d without RepostShortfall", res.Reposts)
+	}
+}

@@ -1,0 +1,53 @@
+package engine
+
+import (
+	"fmt"
+	"html/template"
+	"strings"
+
+	"cdas/internal/crowd"
+)
+
+// RenderHIT renders a HIT as the HTML document submitted to the crowd
+// platform, in the style of the paper's Figure 3 query template: one
+// <div> section per question with a radio-button group over the answer
+// domain (Section 2.2 — "it creates an HTML section for each tweet using
+// the query's template ... we concatenate their HTML sections to form our
+// HIT description").
+func RenderHIT(hit crowd.HIT) (string, error) {
+	var b strings.Builder
+	if err := hitTemplate.Execute(&b, hitView{
+		Title:     hit.Title,
+		ID:        hit.ID,
+		Questions: hit.Questions,
+	}); err != nil {
+		return "", fmt.Errorf("engine: render HIT: %w", err)
+	}
+	return b.String(), nil
+}
+
+type hitView struct {
+	Title     string
+	ID        string
+	Questions []crowd.Question
+}
+
+var hitTemplate = template.Must(template.New("hit").Parse(`<!DOCTYPE html>
+<html>
+<head><title>{{.Title}}</title></head>
+<body>
+<h1>{{.Title}}</h1>
+<form method="POST" action="/submit?hit={{.ID}}">
+{{- range $qi, $q := .Questions}}
+<div class="question" id="q-{{$q.ID}}">
+  <p>{{$q.Text}}</p>
+  {{- range $q.Domain}}
+  <label><input type="radio" name="{{$q.ID}}" value="{{.}}"> {{.}}</label>
+  {{- end}}
+</div>
+{{- end}}
+<input type="submit" value="Submit answers">
+</form>
+</body>
+</html>
+`))

@@ -1,0 +1,201 @@
+// Package exec implements the CDAS program executor (Section 2.1): the
+// computer-oriented half of a processing plan. For the TSA application it
+// filters the incoming stream against the query's keywords and window,
+// buffers candidates into HIT-sized batches for the crowdsourcing engine,
+// and summarises accepted answers into the percentage-plus-reasons
+// presentation of Section 4.3 (Table 1 / Figure 4).
+package exec
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"cdas/internal/jobs"
+	"cdas/internal/textutil"
+)
+
+// Item is one stream element (e.g. a tweet) examined by the executor.
+type Item struct {
+	ID   string
+	Text string
+	At   time.Time
+}
+
+// Filter applies the query's keyword and window predicates to a stream
+// slice, preserving order.
+func Filter(items []Item, q jobs.Query) []Item {
+	out := make([]Item, 0, len(items))
+	for _, it := range items {
+		if q.Matches(it.Text, it.At) {
+			out = append(out, it)
+		}
+	}
+	return out
+}
+
+// Buffer batches items for the engine: when Add fills the buffer it
+// returns the completed batch. The zero value is unusable; use NewBuffer.
+type Buffer struct {
+	size  int
+	items []Item
+}
+
+// NewBuffer creates a buffer emitting batches of size items. It panics if
+// size <= 0.
+func NewBuffer(size int) *Buffer {
+	if size <= 0 {
+		panic(fmt.Sprintf("exec: buffer size must be positive, got %d", size))
+	}
+	return &Buffer{size: size, items: make([]Item, 0, size)}
+}
+
+// Add appends an item; when the buffer reaches its size the full batch is
+// returned and the buffer reset.
+func (b *Buffer) Add(it Item) ([]Item, bool) {
+	b.items = append(b.items, it)
+	if len(b.items) >= b.size {
+		return b.flushLocked(), true
+	}
+	return nil, false
+}
+
+// Flush returns any buffered items (possibly none) and resets the buffer.
+func (b *Buffer) Flush() []Item { return b.flushLocked() }
+
+// Len reports the number of currently buffered items.
+func (b *Buffer) Len() int { return len(b.items) }
+
+func (b *Buffer) flushLocked() []Item {
+	out := b.items
+	b.items = make([]Item, 0, b.size)
+	return out
+}
+
+// Outcome is the engine's verdict for one item, as consumed by the
+// presentation layer. Exactly one of the two forms applies:
+//   - Accepted != "": the answer was accepted (termination condition met);
+//   - Accepted == "": no answer accepted yet; Confidences carries ρ(r).
+type Outcome struct {
+	ItemID      string
+	Accepted    string
+	Confidences map[string]float64
+}
+
+// Percentages computes the Section 4.3 result presentation: for each
+// domain answer r, the mean over items of h_ti(r), where h is 1 if r was
+// accepted for the item, 0 if another answer was accepted, and ρ_ti(r)
+// when nothing is accepted yet. An empty outcome list yields all zeros.
+func Percentages(domain []string, outcomes []Outcome) map[string]float64 {
+	out := make(map[string]float64, len(domain))
+	for _, r := range domain {
+		out[r] = 0
+	}
+	if len(outcomes) == 0 {
+		return out
+	}
+	for _, oc := range outcomes {
+		if oc.Accepted != "" {
+			if _, ok := out[oc.Accepted]; ok {
+				out[oc.Accepted] += 1
+			}
+			continue
+		}
+		for r, p := range oc.Confidences {
+			if _, ok := out[r]; ok {
+				out[r] += p
+			}
+		}
+	}
+	n := float64(len(outcomes))
+	for r := range out {
+		out[r] /= n
+	}
+	return out
+}
+
+// Reasons extracts, per answer, the most frequent content words of the
+// items that got that answer — the "reasons" column of Table 1 ("these
+// keywords are the most frequent keywords submitted by the workers who
+// have provided the answer"; our simulated workers submit the item's
+// sentiment-bearing content words). topK bounds the list per answer.
+// exclude lists words to skip — typically the query keywords, which
+// appear in every matched item and would drown real reasons.
+func Reasons(outcomes []Outcome, texts map[string]string, topK int, exclude ...string) map[string][]string {
+	if topK <= 0 {
+		topK = 3
+	}
+	excluded := make(map[string]struct{})
+	for _, e := range exclude {
+		for _, tok := range textutil.Tokenize(e) {
+			excluded[tok] = struct{}{}
+		}
+	}
+	freq := make(map[string]map[string]int)
+	for _, oc := range outcomes {
+		if oc.Accepted == "" {
+			continue
+		}
+		text, ok := texts[oc.ItemID]
+		if !ok {
+			continue
+		}
+		m := freq[oc.Accepted]
+		if m == nil {
+			m = make(map[string]int)
+			freq[oc.Accepted] = m
+		}
+		for _, tok := range textutil.ContentTokens(text) {
+			if _, skip := excluded[tok]; skip {
+				continue
+			}
+			m[tok]++
+		}
+	}
+	out := make(map[string][]string, len(freq))
+	for answer, counts := range freq {
+		type wc struct {
+			word  string
+			count int
+		}
+		ws := make([]wc, 0, len(counts))
+		for w, c := range counts {
+			ws = append(ws, wc{w, c})
+		}
+		sort.Slice(ws, func(i, j int) bool {
+			if ws[i].count != ws[j].count {
+				return ws[i].count > ws[j].count
+			}
+			return ws[i].word < ws[j].word
+		})
+		if len(ws) > topK {
+			ws = ws[:topK]
+		}
+		words := make([]string, len(ws))
+		for i, w := range ws {
+			words[i] = w.word
+		}
+		out[answer] = words
+	}
+	return out
+}
+
+// Summary is a rendered analytics result: the full presentation of
+// Table 1 for one query.
+type Summary struct {
+	Domain      []string
+	Percentages map[string]float64
+	Reasons     map[string][]string
+	Items       int
+}
+
+// Summarise builds a Summary from outcomes. exclude lists words (e.g. the
+// query keywords) to keep out of the reason lists.
+func Summarise(domain []string, outcomes []Outcome, texts map[string]string, exclude ...string) Summary {
+	return Summary{
+		Domain:      append([]string(nil), domain...),
+		Percentages: Percentages(domain, outcomes),
+		Reasons:     Reasons(outcomes, texts, 3, exclude...),
+		Items:       len(outcomes),
+	}
+}

@@ -1,0 +1,179 @@
+package exec
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"cdas/internal/jobs"
+)
+
+func testQuery() jobs.Query {
+	return jobs.Query{
+		Keywords:         []string{"kung fu panda"},
+		RequiredAccuracy: 0.9,
+		Domain:           []string{"pos", "neu", "neg"},
+		Start:            time.Date(2011, 10, 1, 0, 0, 0, 0, time.UTC),
+		Window:           24 * time.Hour,
+	}
+}
+
+func TestFilter(t *testing.T) {
+	q := testQuery()
+	in := q.Start.Add(time.Hour)
+	items := []Item{
+		{ID: "1", Text: "Kung Fu Panda 2 was awesome", At: in},
+		{ID: "2", Text: "watching the football game", At: in},
+		{ID: "3", Text: "kung fu panda again!", At: q.Start.Add(-time.Hour)},
+		{ID: "4", Text: "KUNG FU PANDA!!!", At: in},
+	}
+	got := Filter(items, q)
+	if len(got) != 2 || got[0].ID != "1" || got[1].ID != "4" {
+		t.Errorf("Filter = %+v", got)
+	}
+}
+
+func TestBufferBatching(t *testing.T) {
+	b := NewBuffer(3)
+	for i := 0; i < 2; i++ {
+		if batch, full := b.Add(Item{ID: string(rune('a' + i))}); full || batch != nil {
+			t.Fatalf("premature batch at %d", i)
+		}
+	}
+	batch, full := b.Add(Item{ID: "c"})
+	if !full || len(batch) != 3 {
+		t.Fatalf("expected full batch of 3, got %v/%v", len(batch), full)
+	}
+	if b.Len() != 0 {
+		t.Errorf("buffer not reset: len=%d", b.Len())
+	}
+	b.Add(Item{ID: "d"})
+	rest := b.Flush()
+	if len(rest) != 1 || rest[0].ID != "d" {
+		t.Errorf("Flush = %+v", rest)
+	}
+	if len(b.Flush()) != 0 {
+		t.Error("second flush should be empty")
+	}
+}
+
+func TestNewBufferPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewBuffer(0) should panic")
+		}
+	}()
+	NewBuffer(0)
+}
+
+func TestPercentagesAcceptedOnly(t *testing.T) {
+	domain := []string{"pos", "neu", "neg"}
+	outcomes := []Outcome{
+		{ItemID: "1", Accepted: "pos"},
+		{ItemID: "2", Accepted: "pos"},
+		{ItemID: "3", Accepted: "neg"},
+		{ItemID: "4", Accepted: "pos"},
+	}
+	got := Percentages(domain, outcomes)
+	if math.Abs(got["pos"]-0.75) > 1e-12 || math.Abs(got["neg"]-0.25) > 1e-12 || got["neu"] != 0 {
+		t.Errorf("Percentages = %v", got)
+	}
+}
+
+func TestPercentagesWithPending(t *testing.T) {
+	// h_ti(r) = rho_ti(r) for items with nothing accepted yet.
+	domain := []string{"pos", "neg"}
+	outcomes := []Outcome{
+		{ItemID: "1", Accepted: "pos"},
+		{ItemID: "2", Confidences: map[string]float64{"pos": 0.6, "neg": 0.4}},
+	}
+	got := Percentages(domain, outcomes)
+	if math.Abs(got["pos"]-0.8) > 1e-12 {
+		t.Errorf("pos = %v, want 0.8", got["pos"])
+	}
+	if math.Abs(got["neg"]-0.2) > 1e-12 {
+		t.Errorf("neg = %v, want 0.2", got["neg"])
+	}
+}
+
+func TestPercentagesIgnoresForeignAnswers(t *testing.T) {
+	domain := []string{"pos", "neg"}
+	outcomes := []Outcome{
+		{ItemID: "1", Accepted: "weird"},
+		{ItemID: "2", Confidences: map[string]float64{"alien": 1}},
+	}
+	got := Percentages(domain, outcomes)
+	if got["pos"] != 0 || got["neg"] != 0 {
+		t.Errorf("foreign answers leaked: %v", got)
+	}
+}
+
+func TestPercentagesEmpty(t *testing.T) {
+	got := Percentages([]string{"a", "b"}, nil)
+	if got["a"] != 0 || got["b"] != 0 {
+		t.Errorf("empty outcomes: %v", got)
+	}
+}
+
+func TestReasons(t *testing.T) {
+	outcomes := []Outcome{
+		{ItemID: "1", Accepted: "pos"},
+		{ItemID: "2", Accepted: "pos"},
+		{ItemID: "3", Accepted: "neg"},
+		{ItemID: "4"}, // pending items contribute no reasons
+	}
+	texts := map[string]string{
+		"1": "siri is amazing, the performance rocks",
+		"2": "siri understood me, amazing stuff",
+		"3": "battery drains so fast, display is dim",
+		"4": "no verdict yet",
+	}
+	got := Reasons(outcomes, texts, 2)
+	pos := got["pos"]
+	if len(pos) != 2 {
+		t.Fatalf("pos reasons = %v", pos)
+	}
+	if pos[0] != "amazing" && pos[0] != "siri" {
+		t.Errorf("top pos reason = %q, want amazing/siri", pos[0])
+	}
+	neg := got["neg"]
+	if len(neg) != 2 {
+		t.Fatalf("neg reasons = %v", neg)
+	}
+	if _, ok := got[""]; ok {
+		t.Error("pending outcomes must not produce a reason bucket")
+	}
+}
+
+func TestReasonsDefaultTopK(t *testing.T) {
+	outcomes := []Outcome{{ItemID: "1", Accepted: "pos"}}
+	texts := map[string]string{"1": "alpha beta gamma delta epsilon"}
+	got := Reasons(outcomes, texts, 0)
+	if len(got["pos"]) != 3 {
+		t.Errorf("default topK should be 3, got %v", got["pos"])
+	}
+}
+
+func TestSummarise(t *testing.T) {
+	domain := []string{"pos", "neg"}
+	outcomes := []Outcome{
+		{ItemID: "1", Accepted: "pos"},
+		{ItemID: "2", Accepted: "neg"},
+	}
+	texts := map[string]string{"1": "great movie", "2": "terrible plot"}
+	s := Summarise(domain, outcomes, texts)
+	if s.Items != 2 {
+		t.Errorf("Items = %d", s.Items)
+	}
+	if math.Abs(s.Percentages["pos"]-0.5) > 1e-12 {
+		t.Errorf("pos pct = %v", s.Percentages["pos"])
+	}
+	if len(s.Reasons["pos"]) == 0 || s.Reasons["pos"][0] != "great" && s.Reasons["pos"][0] != "movie" {
+		t.Errorf("pos reasons = %v", s.Reasons["pos"])
+	}
+	// Summary must own its domain slice.
+	domain[0] = "mutated"
+	if s.Domain[0] == "mutated" {
+		t.Error("Summarise must copy the domain")
+	}
+}

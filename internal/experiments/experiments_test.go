@@ -1,0 +1,408 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// f parses a table cell as a float (percentages included).
+func f(t *testing.T, cell string) float64 {
+	t.Helper()
+	cell = strings.TrimSuffix(cell, "%")
+	v, err := strconv.ParseFloat(cell, 64)
+	if err != nil {
+		t.Fatalf("cell %q is not numeric: %v", cell, err)
+	}
+	return v
+}
+
+func TestRegistryComplete(t *testing.T) {
+	ids := IDs()
+	if len(ids) != 15 {
+		t.Fatalf("registry has %d experiments, want 15 (table4 + fig5..fig18)", len(ids))
+	}
+	for _, id := range ids {
+		if _, ok := Lookup(id); !ok {
+			t.Errorf("Lookup(%q) failed", id)
+		}
+	}
+	if _, ok := Lookup("fig99"); ok {
+		t.Error("Lookup of unknown ID succeeded")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tbl := Table{
+		ID:      "fig0",
+		Title:   "demo",
+		Columns: []string{"a", "bb"},
+		Rows:    [][]string{{"1", "2"}},
+		Notes:   "a note",
+	}
+	s := tbl.String()
+	for _, want := range []string{"FIG0", "demo", "a", "bb", "note: a note"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("rendered table missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestTable4MatchesPaper(t *testing.T) {
+	tbl, err := Table4(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(tbl.Rows))
+	}
+	ver := tbl.Rows[2]
+	if ver[4] != "neg" {
+		t.Errorf("verification answer = %q, paper picks neg", ver[4])
+	}
+	for i, want := range []float64{0.329, 0.176, 0.495} {
+		got := f(t, ver[1+i])
+		if got < want-0.001 || got > want+0.001 {
+			t.Errorf("verification confidence %d = %v, paper reports %v", i, got, want)
+		}
+	}
+	if tbl.Rows[0][4] != "pos" || tbl.Rows[1][4] != "pos" {
+		t.Error("both voting baselines should pick pos")
+	}
+}
+
+func TestFigure6Shape(t *testing.T) {
+	tbl, err := Figure6(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prevCons, prevRef := 0.0, 0.0
+	for _, row := range tbl.Rows {
+		c := f(t, row[0])
+		cons, ref := f(t, row[1]), f(t, row[2])
+		if ref > cons {
+			t.Errorf("C=%v: refined %v exceeds conservative %v", c, ref, cons)
+		}
+		// The paper's claim: refined is less than half the conservative.
+		// It holds through C≈0.95; at the extreme right the ratio tends
+		// to ~0.55 (the Chernoff constant), so allow that much there.
+		if c >= 0.75 && c <= 0.95 && ref > cons/2 {
+			t.Errorf("C=%v: refined %v not below half of conservative %v", c, ref, cons)
+		}
+		if ref > 0.56*cons {
+			t.Errorf("C=%v: refined %v above 0.56x conservative %v", c, ref, cons)
+		}
+		if cons < prevCons || ref < prevRef {
+			t.Errorf("C=%v: estimates not monotone", c)
+		}
+		prevCons, prevRef = cons, ref
+	}
+}
+
+func TestFigure7Shape(t *testing.T) {
+	tbl, err := Figure7(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, last := tbl.Rows[0], tbl.Rows[len(tbl.Rows)-1]
+	if f(t, last[3]) <= f(t, first[3]) {
+		t.Error("verification accuracy should grow with workers")
+	}
+	for _, row := range tbl.Rows {
+		n := f(t, row[0])
+		maj, half, ver := f(t, row[1]), f(t, row[2]), f(t, row[3])
+		if n >= 5 && ver+0.02 < maj {
+			t.Errorf("n=%v: verification %v clearly below majority %v", n, ver, maj)
+		}
+		if n >= 5 && ver+0.02 < half {
+			t.Errorf("n=%v: verification %v clearly below half %v", n, ver, half)
+		}
+	}
+	if f(t, last[3]) < 0.9 {
+		t.Errorf("verification at 29 workers = %v, want >= 0.9", f(t, last[3]))
+	}
+}
+
+func TestFigure8VerificationMeetsRequirement(t *testing.T) {
+	tbl, err := Figure8(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tbl.Rows {
+		req, ver := f(t, row[0]), f(t, row[4])
+		if ver+0.01 < req {
+			t.Errorf("required %v: verification %v below requirement", req, ver)
+		}
+	}
+}
+
+func TestFigure9Shape(t *testing.T) {
+	tbl, err := Figure9(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := tbl.Rows[len(tbl.Rows)-1]
+	majEnd, halfEnd := f(t, last[1]), f(t, last[2])
+	if majEnd > halfEnd {
+		t.Errorf("at 29 workers majority no-answer %v should be below half's %v", majEnd, halfEnd)
+	}
+	if halfEnd < 2 {
+		t.Errorf("half-voting no-answer at 29 workers = %v%%, should stay substantial", halfEnd)
+	}
+	// Majority's ratio at the end must be well below its peak.
+	peak := 0.0
+	for _, row := range tbl.Rows {
+		if v := f(t, row[1]); v > peak {
+			peak = v
+		}
+	}
+	if peak > 0 && majEnd > peak/2 {
+		t.Errorf("majority no-answer did not dissolve: end %v vs peak %v", majEnd, peak)
+	}
+}
+
+func TestFigure10Flat(t *testing.T) {
+	tbl, err := Figure10(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Beyond the first rows (tiny denominators), ratios stay in a narrow
+	// band.
+	var ratios []float64
+	for _, row := range tbl.Rows {
+		if f(t, row[0]) >= 100 {
+			ratios = append(ratios, f(t, row[2]))
+		}
+	}
+	lo, hi := ratios[0], ratios[0]
+	for _, r := range ratios {
+		if r < lo {
+			lo = r
+		}
+		if r > hi {
+			hi = r
+		}
+	}
+	if hi-lo > 8 {
+		t.Errorf("half-voting no-answer ratio swings %v..%v points; should be flat", lo, hi)
+	}
+}
+
+func TestFigure11Shape(t *testing.T) {
+	tbl, err := Figure11(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := tbl.Rows[0]
+	bestFirst, worstFirst := f(t, first[2]), f(t, first[4])
+	if bestFirst <= worstFirst {
+		t.Errorf("best-first start %v should beat worst-first %v", bestFirst, worstFirst)
+	}
+	last := tbl.Rows[len(tbl.Rows)-1]
+	final := f(t, last[1])
+	for i := 2; i <= 4; i++ {
+		if diff := f(t, last[i]) - final; diff > 0.02 || diff < -0.02 {
+			t.Errorf("sequences did not converge: col %d final %v vs %v", i, f(t, last[i]), final)
+		}
+	}
+}
+
+func TestFigures12And13Shape(t *testing.T) {
+	workers, accs, err := earlyTermination(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, row := range workers.Rows {
+		planned := f(t, row[1])
+		minExp, minMax, expMax := f(t, row[2]), f(t, row[3]), f(t, row[4])
+		for _, used := range []float64{minExp, minMax, expMax} {
+			if used > planned {
+				t.Errorf("row %d: strategy used %v > planned %v", i, used, planned)
+			}
+		}
+		if planned >= 5 && minMax > 0.9*planned {
+			t.Errorf("row %d: MinMax saved under 10%% (%v of %v)", i, minMax, planned)
+		}
+		if expMax > minMax {
+			t.Errorf("row %d: ExpMax %v used more than MinMax %v", i, expMax, minMax)
+		}
+	}
+	for _, row := range accs.Rows {
+		req := f(t, row[0])
+		minMax, expMax := f(t, row[2]), f(t, row[3])
+		if minMax+0.01 < req {
+			t.Errorf("required %v: MinMax accuracy %v below requirement", req, minMax)
+		}
+		if expMax+0.01 < req {
+			t.Errorf("required %v: ExpMax accuracy %v below requirement", req, expMax)
+		}
+	}
+}
+
+func TestFigure14Divergence(t *testing.T) {
+	tbl, err := Figure14(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rows are ordered high bins first; the top two bins are 95-100 and
+	// 90-95.
+	topApproval := f(t, tbl.Rows[0][2]) + f(t, tbl.Rows[1][2])
+	topAccuracy := f(t, tbl.Rows[0][1]) + f(t, tbl.Rows[1][1])
+	if topApproval < 60 {
+		t.Errorf("top-bin approval mass = %v%%, want >= 60%%", topApproval)
+	}
+	if topAccuracy > 25 {
+		t.Errorf("top-bin accuracy mass = %v%%, want <= 25%%", topAccuracy)
+	}
+}
+
+func TestFigure15ErrorShrinks(t *testing.T) {
+	tbl, err := Figure15(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	firstErr := f(t, tbl.Rows[0][2])
+	lastErr := f(t, tbl.Rows[len(tbl.Rows)-1][2])
+	if lastErr != 0 {
+		t.Errorf("error at 100%% sampling = %v, want 0", lastErr)
+	}
+	if firstErr <= 0.05 {
+		t.Errorf("error at lowest rate = %v; should be visibly larger", firstErr)
+	}
+	mid := f(t, tbl.Rows[2][2]) // 20% rate
+	if mid >= firstErr {
+		t.Errorf("error did not shrink: %v at 20%% vs %v at 5%%", mid, firstErr)
+	}
+}
+
+func TestFigure16SamplingRates(t *testing.T) {
+	tbl, err := Figure16(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var diff20, diff5 float64
+	for _, row := range tbl.Rows {
+		req := f(t, row[0])
+		r20, r100 := f(t, row[4]), f(t, row[5])
+		diff20 += abs(r20 - r100)
+		diff5 += abs(f(t, row[1]) - r100)
+		if r20+0.02 < req {
+			t.Errorf("required %v: 20%% sampling accuracy %v misses it", req, r20)
+		}
+	}
+	n := float64(len(tbl.Rows))
+	if diff20/n > 0.03 {
+		t.Errorf("20%% sampling deviates %v on average from 100%%", diff20/n)
+	}
+	if diff5 < diff20 {
+		t.Errorf("5%% sampling (%v) should deviate more than 20%% (%v)", diff5, diff20)
+	}
+}
+
+func TestFigure17CrowdBeatsALIPR(t *testing.T) {
+	tbl, err := Figure17(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 5 {
+		t.Fatalf("rows = %d, want 5 subjects", len(tbl.Rows))
+	}
+	for _, row := range tbl.Rows {
+		aliprAcc, one, five := f(t, row[1]), f(t, row[2]), f(t, row[4])
+		if aliprAcc > 0.45 {
+			t.Errorf("%s: ALIPR %v implausibly strong", row[0], aliprAcc)
+		}
+		if one < aliprAcc+0.3 {
+			t.Errorf("%s: 1 worker (%v) should clearly beat ALIPR (%v)", row[0], one, aliprAcc)
+		}
+		if one < 0.7 {
+			t.Errorf("%s: 1-worker accuracy %v, want >= 0.7", row[0], one)
+		}
+		if five < one-0.05 {
+			t.Errorf("%s: 5 workers (%v) clearly below 1 worker (%v)", row[0], five, one)
+		}
+	}
+}
+
+func TestFigure18MeetsRequirement(t *testing.T) {
+	tbl, err := Figure18(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tbl.Rows {
+		req, acc := f(t, row[0]), f(t, row[2])
+		if acc+0.01 < req {
+			t.Errorf("required %v: accuracy %v below requirement", req, acc)
+		}
+	}
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func TestFigure5Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fig5 trains the SVM baseline; skipped in -short")
+	}
+	tbl, err := Figure5(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 5 {
+		t.Fatalf("rows = %d, want 5 movies", len(tbl.Rows))
+	}
+	oneWins := 0
+	for _, row := range tbl.Rows {
+		svmAcc := f(t, row[1])
+		one, three, five := f(t, row[2]), f(t, row[3]), f(t, row[4])
+		if svmAcc < 0.45 || svmAcc > 0.85 {
+			t.Errorf("%s: SVM accuracy %v outside plausible band", row[0], svmAcc)
+		}
+		if one > svmAcc {
+			oneWins++
+		}
+		if three+0.02 < svmAcc {
+			t.Errorf("%s: 3 workers (%v) clearly below SVM (%v)", row[0], three, svmAcc)
+		}
+		if five <= svmAcc {
+			t.Errorf("%s: 5 workers (%v) must beat SVM (%v)", row[0], five, svmAcc)
+		}
+		if five+0.05 < one {
+			t.Errorf("%s: 5 workers (%v) clearly below 1 worker (%v)", row[0], five, one)
+		}
+	}
+	// "even if only one worker is employed ... in most cases".
+	if oneWins < 3 {
+		t.Errorf("1 worker beats SVM on only %d/5 movies, want >= 3", oneWins)
+	}
+}
+
+func TestRunAllProducesAllTables(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every experiment; skipped in -short")
+	}
+	tables, err := RunAll(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != len(IDs()) {
+		t.Fatalf("RunAll returned %d tables, want %d", len(tables), len(IDs()))
+	}
+	for _, tbl := range tables {
+		if len(tbl.Rows) == 0 {
+			t.Errorf("%s: empty table", tbl.ID)
+		}
+		if tbl.Title == "" || len(tbl.Columns) == 0 {
+			t.Errorf("%s: missing title/columns", tbl.ID)
+		}
+		for _, row := range tbl.Rows {
+			if len(row) != len(tbl.Columns) {
+				t.Errorf("%s: ragged row %v", tbl.ID, row)
+			}
+		}
+	}
+}

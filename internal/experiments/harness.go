@@ -1,0 +1,247 @@
+package experiments
+
+import (
+	"cdas/internal/core/online"
+	"cdas/internal/core/verification"
+	"cdas/internal/crowd"
+	"cdas/internal/stats"
+	"cdas/internal/textgen"
+)
+
+// collected holds one HIT's full assignment stream plus golden-based
+// worker-accuracy estimates — the raw material most figures slice in
+// different ways (vote prefixes, arrival permutations, sampling rates).
+type collected struct {
+	questions []crowd.Question
+	golden    []crowd.Question
+	// assignments in arrival order.
+	assignments []crowd.Assignment
+	// estAcc[workerID] is the golden-estimated accuracy (full sampling).
+	estAcc map[string]float64
+	// muEst is the mean of estAcc — the engine's view of μ.
+	muEst float64
+}
+
+// collect publishes questions+golden as one HIT answered by n workers and
+// estimates every worker's accuracy from the golden answers.
+func collect(p *crowd.Platform, questions, golden []crowd.Question, n int) (*collected, error) {
+	all := make([]crowd.Question, 0, len(questions)+len(golden))
+	all = append(all, questions...)
+	all = append(all, golden...)
+	run, err := p.Publish(crowd.HIT{Questions: all}, n)
+	if err != nil {
+		return nil, err
+	}
+	c := &collected{
+		questions:   questions,
+		golden:      golden,
+		assignments: run.Drain(),
+		estAcc:      make(map[string]float64, n),
+	}
+	sum := 0.0
+	for _, a := range c.assignments {
+		acc := c.estimateWith(a, len(golden))
+		c.estAcc[a.Worker.ID] = acc
+		sum += acc
+	}
+	if len(c.assignments) > 0 {
+		c.muEst = sum / float64(len(c.assignments))
+	}
+	return c, nil
+}
+
+// estimateWith scores an assignment on the first g golden questions
+// (g = len(golden) is full sampling; smaller g simulates lower rates).
+func (c *collected) estimateWith(a crowd.Assignment, g int) float64 {
+	if g > len(c.golden) {
+		g = len(c.golden)
+	}
+	if g == 0 {
+		return 0.5
+	}
+	correct := 0
+	for _, q := range c.golden[:g] {
+		if a.AnswerTo(q.ID) == q.Truth {
+			correct++
+		}
+	}
+	return float64(correct) / float64(g)
+}
+
+// votesFor builds the vote list of one question over the first nPrefix
+// assignments, weighting workers with the estimator accuracies in accs
+// (pass c.estAcc for full sampling).
+func (c *collected) votesFor(q crowd.Question, nPrefix int, accs map[string]float64) []verification.Vote {
+	if nPrefix > len(c.assignments) {
+		nPrefix = len(c.assignments)
+	}
+	votes := make([]verification.Vote, 0, nPrefix)
+	for _, a := range c.assignments[:nPrefix] {
+		votes = append(votes, verification.Vote{
+			Worker:   a.Worker.ID,
+			Accuracy: accs[a.Worker.ID],
+			Answer:   a.AnswerTo(q.ID),
+		})
+	}
+	return votes
+}
+
+// model identifies a verification approach under comparison.
+type model int
+
+const (
+	modelHalf model = iota
+	modelMajority
+	modelVerification
+)
+
+// evalPrefix measures a model over all questions using the first nPrefix
+// assignments: the fraction answered correctly (no-answer counts as
+// incorrect) and the no-answer ratio.
+func (c *collected) evalPrefix(m model, nPrefix int, accs map[string]float64) (accuracy, noAnswer float64) {
+	if len(c.questions) == 0 {
+		return 0, 0
+	}
+	correct, none := 0, 0
+	for _, q := range c.questions {
+		votes := c.votesFor(q, nPrefix, accs)
+		var answer string
+		var ok bool
+		switch m {
+		case modelHalf:
+			answer, ok = verification.HalfVoting(votes)
+		case modelMajority:
+			answer, ok = verification.MajorityVoting(votes)
+		default:
+			res, err := verification.Verify(votes, len(q.Domain))
+			if err == nil {
+				answer, ok = res.Best().Answer, true
+			}
+		}
+		if !ok {
+			none++
+			continue
+		}
+		if answer == q.Truth {
+			correct++
+		}
+	}
+	n := float64(len(c.questions))
+	return float64(correct) / n, float64(none) / n
+}
+
+// evalWindows measures a model like evalPrefix but averages over all
+// disjoint n-sized windows of the assignment stream instead of using only
+// the first n arrivals — smoothing out single-worker variance for small n
+// (the paper averages over many HITs, each with its own workers).
+func (c *collected) evalWindows(m model, n int, accs map[string]float64) (accuracy, noAnswer float64) {
+	windows := len(c.assignments) / n
+	if windows == 0 {
+		return c.evalPrefix(m, n, accs)
+	}
+	var accSum, noSum float64
+	for w := 0; w < windows; w++ {
+		sub := &collected{
+			questions:   c.questions,
+			golden:      c.golden,
+			assignments: c.assignments[w*n : (w+1)*n],
+			estAcc:      c.estAcc,
+			muEst:       c.muEst,
+		}
+		a, no := sub.evalPrefix(m, n, accs)
+		accSum += a
+		noSum += no
+	}
+	return accSum / float64(windows), noSum / float64(windows)
+}
+
+// onlineOutcome reports one question's early-termination result.
+type onlineOutcome struct {
+	used    int
+	correct bool
+}
+
+// runOnline replays one question's votes through an online verifier with
+// the given termination strategy, using the total assignments starting at
+// offset, returning the workers consumed and the correctness of the
+// accepted answer.
+func (c *collected) runOnline(q crowd.Question, strategy online.Strategy, total, offset int) (onlineOutcome, error) {
+	v, err := online.NewVerifier(total, len(q.Domain), stats.ClampProb(c.muEst))
+	if err != nil {
+		return onlineOutcome{}, err
+	}
+	used := 0
+	window := c.assignments[offset:]
+	for _, a := range window[:min(total, len(window))] {
+		if err := v.Add(verification.Vote{
+			Worker:   a.Worker.ID,
+			Accuracy: c.estAcc[a.Worker.ID],
+			Answer:   a.AnswerTo(q.ID),
+		}); err != nil {
+			return onlineOutcome{}, err
+		}
+		used++
+		if v.Terminated(strategy) {
+			break
+		}
+	}
+	cur, err := v.Current()
+	if err != nil {
+		return onlineOutcome{}, err
+	}
+	return onlineOutcome{used: used, correct: cur.Best().Answer == q.Truth}, nil
+}
+
+// tsaWorkload generates a deterministic TSA question set plus golden pool.
+func tsaWorkload(seed uint64, movies []string, perMovie, goldenCount int) (questions, golden []crowd.Question, err error) {
+	tweets, err := textgen.Generate(textgen.Config{
+		Seed:           seed,
+		Movies:         movies,
+		TweetsPerMovie: perMovie,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, t := range tweets {
+		questions = append(questions, t.Question())
+	}
+	// Golden questions are drawn from the same distribution as the live
+	// tweets (the paper injects verified samples of the same stream), so
+	// sampled accuracies reflect workers' EFFECTIVE accuracy on this
+	// workload — difficulty included — which is what the prediction
+	// model's μ must capture.
+	goldTweets, err := textgen.Generate(textgen.Config{
+		Seed:           seed + 1,
+		Movies:         []string{"The Golden Benchmark"},
+		TweetsPerMovie: goldenCount,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, t := range goldTweets {
+		q := t.Question()
+		q.ID = "golden/" + q.ID
+		golden = append(golden, q)
+	}
+	return questions, golden, nil
+}
+
+// newPlatform builds the default experiment platform.
+func newPlatform(seed uint64, workers int) (*crowd.Platform, error) {
+	cfg := crowd.DefaultConfig(seed)
+	if workers > 0 {
+		cfg.Workers = workers
+	}
+	return crowd.NewPlatform(cfg)
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func mustNoHardMovies() []string {
+	return []string{"Thor", "Roommate", "District 9"}
+}

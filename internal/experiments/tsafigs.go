@@ -1,0 +1,455 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"cdas/internal/core/online"
+	"cdas/internal/core/prediction"
+	"cdas/internal/core/verification"
+	"cdas/internal/crowd"
+	"cdas/internal/stats"
+	"cdas/internal/svm"
+	"cdas/internal/textgen"
+	"cdas/internal/tsa"
+)
+
+// Table4 reproduces the worked example of Tables 3 and 4: five workers
+// with fixed accuracies, three verification models, and the
+// probability-based model overturning the vote.
+func Table4(uint64) (Table, error) {
+	votes := []verification.Vote{
+		{Worker: "w1", Accuracy: 0.54, Answer: "pos"},
+		{Worker: "w2", Accuracy: 0.31, Answer: "pos"},
+		{Worker: "w3", Accuracy: 0.49, Answer: "neu"},
+		{Worker: "w4", Accuracy: 0.73, Answer: "neg"},
+		{Worker: "w5", Accuracy: 0.46, Answer: "pos"},
+	}
+	res, err := verification.Verify(votes, 3)
+	if err != nil {
+		return Table{}, err
+	}
+	half, okHalf := verification.HalfVoting(votes)
+	maj, okMaj := verification.MajorityVoting(votes)
+	noAnswer := func(a string, ok bool) string {
+		if !ok {
+			return "(none)"
+		}
+		return a
+	}
+	counts := verification.VoteCounts(votes)
+	return Table{
+		ID:      "table4",
+		Title:   "Results of verification models on the Green Lantern example",
+		Columns: []string{"model", "pos", "neu", "neg", "answer"},
+		Rows: [][]string{
+			{"Half-Voting", fmt.Sprint(counts["pos"]), fmt.Sprint(counts["neu"]), fmt.Sprint(counts["neg"]), noAnswer(half, okHalf)},
+			{"Majority-Voting", fmt.Sprint(counts["pos"]), fmt.Sprint(counts["neu"]), fmt.Sprint(counts["neg"]), noAnswer(maj, okMaj)},
+			{"Verification", fmtF(res.Confidence("pos")), fmtF(res.Confidence("neu")), fmtF(res.Confidence("neg")), res.Best().Answer},
+		},
+		Notes: "paper reports pos 0.329 / neu 0.176 / neg 0.495 and picks neg",
+	}, nil
+}
+
+// Figure5 compares crowdsourcing accuracy (1/3/5 workers, verification
+// model) with the linear-SVM baseline on the five held-out movies, 200
+// tweets each (the paper's protocol: train on the other 195 movies).
+func Figure5(seed uint64) (Table, error) {
+	// Train the baseline on the non-test movies. A 55-movie subsample of
+	// the paper's 195 keeps bench times tractable; the classifier's
+	// ceiling is set by the irreducibly ambiguous tweets, not corpus
+	// size.
+	trainTweets, err := textgen.Generate(textgen.Config{
+		Seed:           seed,
+		Movies:         textgen.Movies200()[5:60],
+		TweetsPerMovie: 40,
+	})
+	if err != nil {
+		return Table{}, err
+	}
+	trainDocs, trainLabels := tsa.Corpus(trainTweets)
+	model, err := svm.Train(trainDocs, trainLabels, svm.Options{Seed: seed + 1, Epochs: 8})
+	if err != nil {
+		return Table{}, err
+	}
+
+	testTweets, err := textgen.Generate(textgen.Config{
+		Seed:           seed + 2,
+		Movies:         textgen.Figure5Movies,
+		TweetsPerMovie: 200,
+	})
+	if err != nil {
+		return Table{}, err
+	}
+	platform, err := newPlatform(seed+3, 300)
+	if err != nil {
+		return Table{}, err
+	}
+	_, golden, err := tsaWorkload(seed+4, []string{"Calibration Feature"}, 1, 40)
+	if err != nil {
+		return Table{}, err
+	}
+	byMovie := make(map[string][]textgen.Tweet)
+	for _, t := range testTweets {
+		byMovie[t.Movie] = append(byMovie[t.Movie], t)
+	}
+
+	tbl := Table{
+		ID:      "fig5",
+		Title:   "Crowdsourcing vs SVM accuracy per movie (200-tweet queries)",
+		Columns: []string{"movie", "LIBSVM", "TSA 1 worker", "TSA 3 workers", "TSA 5 workers"},
+		Notes:   "crowdsourcing should beat the SVM on every movie, clearly so from 3 workers",
+	}
+	const hitSize = 50 // tweets per HIT: "1 worker" averages 4 workers/movie
+	for _, movie := range textgen.Figure5Movies {
+		tweets := byMovie[movie]
+		docs, labels := tsa.Corpus(tweets)
+		svmAcc, err := model.Accuracy(docs, labels)
+		if err != nil {
+			return Table{}, err
+		}
+		row := []string{movie, fmtF(svmAcc)}
+		for _, nWorkers := range []int{1, 3, 5} {
+			correctSum, total := 0.0, 0
+			for start := 0; start < len(tweets); start += hitSize {
+				end := min(start+hitSize, len(tweets))
+				chunk := tsa.Questions(tweets[start:end])
+				c, err := collect(platform, chunk, golden, 5)
+				if err != nil {
+					return Table{}, err
+				}
+				acc, _ := c.evalPrefix(modelVerification, nWorkers, c.estAcc)
+				correctSum += acc * float64(end-start)
+				total += end - start
+			}
+			row = append(row, fmtF(correctSum/float64(total)))
+		}
+		tbl.Rows = append(tbl.Rows, row)
+	}
+	return tbl, nil
+}
+
+// Figure6 compares the conservative (Chernoff) worker estimate with the
+// binary-search refinement across required accuracies.
+func Figure6(uint64) (Table, error) {
+	const mu = 0.65 // matches the paper's ~115-worker conservative peak
+	model, err := prediction.New(mu)
+	if err != nil {
+		return Table{}, err
+	}
+	tbl := Table{
+		ID:      "fig6",
+		Title:   fmt.Sprintf("Workers needed: conservative vs binary search (mu=%.2f)", mu),
+		Columns: []string{"required accuracy", "conservative", "binary search"},
+		Notes:   "refined estimate should be less than half the conservative one",
+	}
+	for c := 0.65; c <= 0.992; c += 0.02 {
+		cons, err := model.ConservativeWorkers(c)
+		if err != nil {
+			return Table{}, err
+		}
+		ref, err := model.RequiredWorkers(c)
+		if err != nil {
+			return Table{}, err
+		}
+		tbl.Rows = append(tbl.Rows, []string{fmt.Sprintf("%.2f", c), fmt.Sprint(cons), fmt.Sprint(ref)})
+	}
+	return tbl, nil
+}
+
+// fig7Setup collects one 29-worker run over a 200-question TSA workload.
+func fig7Setup(seed uint64) (*collected, error) {
+	questions, golden, err := tsaWorkload(seed, mustNoHardMovies(), 67, 50)
+	if err != nil {
+		return nil, err
+	}
+	platform, err := newPlatform(seed+1, 300)
+	if err != nil {
+		return nil, err
+	}
+	return collect(platform, questions[:200], golden, 29)
+}
+
+// Figure7 measures real accuracy of the three verification models as the
+// worker count grows from 1 to 29.
+func Figure7(seed uint64) (Table, error) {
+	c, err := fig7Setup(seed)
+	if err != nil {
+		return Table{}, err
+	}
+	tbl := Table{
+		ID:      "fig7",
+		Title:   "Real accuracy vs number of workers (200 tweets)",
+		Columns: []string{"workers", "Majority-Voting", "Half-Voting", "Verification"},
+		Notes:   "verification dominates; all models improve with more workers",
+	}
+	for n := 1; n <= 29; n += 2 {
+		majAcc, _ := c.evalPrefix(modelMajority, n, c.estAcc)
+		halfAcc, _ := c.evalPrefix(modelHalf, n, c.estAcc)
+		verAcc, _ := c.evalPrefix(modelVerification, n, c.estAcc)
+		tbl.Rows = append(tbl.Rows, []string{
+			fmt.Sprint(n), fmtF(majAcc), fmtF(halfAcc), fmtF(verAcc),
+		})
+	}
+	return tbl, nil
+}
+
+// Figure8 measures real accuracy against the user-required accuracy: the
+// engine plans n per C, then each model is evaluated at that n.
+func Figure8(seed uint64) (Table, error) {
+	questions, golden, err := tsaWorkload(seed, mustNoHardMovies(), 67, 50)
+	if err != nil {
+		return Table{}, err
+	}
+	platform, err := newPlatform(seed+1, 300)
+	if err != nil {
+		return Table{}, err
+	}
+	// Collect once at a generous n; prefixes give the per-C plans. The
+	// prediction model plans with the SAMPLED mean accuracy, which
+	// reflects effective (difficulty-inclusive) worker accuracy.
+	const maxN = 41
+	c, err := collect(platform, questions[:200], golden, maxN)
+	if err != nil {
+		return Table{}, err
+	}
+	mu := stats.ClampProb(c.muEst)
+	model, err := prediction.New(mu)
+	if err != nil {
+		return Table{}, err
+	}
+	tbl := Table{
+		ID:      "fig8",
+		Title:   fmt.Sprintf("Real accuracy vs required accuracy (planned with sampled mu=%.3f)", mu),
+		Columns: []string{"required", "planned workers", "Majority-Voting", "Half-Voting", "Verification"},
+		Notes:   "verification meets the requirement; voting models fall below on hard tweets",
+	}
+	for req := 0.65; req <= 0.951; req += 0.05 {
+		n, err := model.RequiredWorkers(req)
+		if err != nil {
+			return Table{}, err
+		}
+		if n > maxN {
+			n = maxN
+		}
+		// Windowed evaluation: the paper's numbers average over many
+		// HITs, each answered by its own random workers.
+		majAcc, _ := c.evalWindows(modelMajority, n, c.estAcc)
+		halfAcc, _ := c.evalWindows(modelHalf, n, c.estAcc)
+		verAcc, _ := c.evalWindows(modelVerification, n, c.estAcc)
+		tbl.Rows = append(tbl.Rows, []string{
+			fmt.Sprintf("%.2f", req), fmt.Sprint(n), fmtF(majAcc), fmtF(halfAcc), fmtF(verAcc),
+		})
+	}
+	return tbl, nil
+}
+
+// Figure9 measures the no-answer ratio of the voting models as the worker
+// count grows.
+func Figure9(seed uint64) (Table, error) {
+	c, err := fig7Setup(seed)
+	if err != nil {
+		return Table{}, err
+	}
+	tbl := Table{
+		ID:      "fig9",
+		Title:   "No-answer ratio vs number of workers",
+		Columns: []string{"workers", "Majority-Voting", "Half-Voting"},
+		Notes:   "majority ties dissolve with more workers; half-voting plateaus ~15%",
+	}
+	for n := 1; n <= 29; n += 2 {
+		_, majNo := c.evalPrefix(modelMajority, n, c.estAcc)
+		_, halfNo := c.evalPrefix(modelHalf, n, c.estAcc)
+		tbl.Rows = append(tbl.Rows, []string{fmt.Sprint(n), fmtPct(majNo), fmtPct(halfNo)})
+	}
+	return tbl, nil
+}
+
+// Figure10 measures the no-answer ratio as the number of reviews grows,
+// with 5 workers: the ratio should be flat (non-discriminative reviews
+// are uniformly spread).
+func Figure10(seed uint64) (Table, error) {
+	questions, golden, err := tsaWorkload(seed, mustNoHardMovies(), 100, 50)
+	if err != nil {
+		return Table{}, err
+	}
+	platform, err := newPlatform(seed+1, 300)
+	if err != nil {
+		return Table{}, err
+	}
+	c, err := collect(platform, questions[:300], golden, 5)
+	if err != nil {
+		return Table{}, err
+	}
+	tbl := Table{
+		ID:      "fig10",
+		Title:   "No-answer ratio vs number of reviews (5 workers)",
+		Columns: []string{"reviews", "Majority-Voting", "Half-Voting"},
+		Notes:   "ratios stay flat as the review count grows",
+	}
+	for count := 20; count <= 300; count += 40 {
+		sub := &collected{
+			questions:   c.questions[:count],
+			golden:      c.golden,
+			assignments: c.assignments,
+			estAcc:      c.estAcc,
+			muEst:       c.muEst,
+		}
+		_, majNo := sub.evalPrefix(modelMajority, 5, c.estAcc)
+		_, halfNo := sub.evalPrefix(modelHalf, 5, c.estAcc)
+		tbl.Rows = append(tbl.Rows, []string{fmt.Sprint(count), fmtPct(majNo), fmtPct(halfNo)})
+	}
+	return tbl, nil
+}
+
+// Figure11 replays the same HIT under four different answer-arrival
+// sequences and reports the running accuracy of the verification model.
+func Figure11(seed uint64) (Table, error) {
+	questions, golden, err := tsaWorkload(seed, mustNoHardMovies(), 20, 50)
+	if err != nil {
+		return Table{}, err
+	}
+	platform, err := newPlatform(seed+1, 300)
+	if err != nil {
+		return Table{}, err
+	}
+	c, err := collect(platform, questions[:50], golden, 30)
+	if err != nil {
+		return Table{}, err
+	}
+
+	// Four arrival orders over the same assignments: natural, accurate
+	// workers first, inaccurate workers first, and reversed-natural.
+	natural := c.assignments
+	byAccAsc := append([]crowd.Assignment(nil), natural...)
+	sort.SliceStable(byAccAsc, func(i, j int) bool {
+		return c.estAcc[byAccAsc[i].Worker.ID] < c.estAcc[byAccAsc[j].Worker.ID]
+	})
+	byAccDesc := append([]crowd.Assignment(nil), natural...)
+	sort.SliceStable(byAccDesc, func(i, j int) bool {
+		return c.estAcc[byAccDesc[i].Worker.ID] > c.estAcc[byAccDesc[j].Worker.ID]
+	})
+	reversed := make([]crowd.Assignment, len(natural))
+	for i, a := range natural {
+		reversed[len(natural)-1-i] = a
+	}
+	sequences := [][]crowd.Assignment{natural, byAccDesc, reversed, byAccAsc}
+
+	tbl := Table{
+		ID:      "fig11",
+		Title:   "Running accuracy vs answers arrived, four arrival sequences",
+		Columns: []string{"answers", "seq1 (natural)", "seq2 (best first)", "seq3 (reversed)", "seq4 (worst first)"},
+		Notes:   "early accuracy varies wildly with arrival order; all converge",
+	}
+	for arrived := 2; arrived <= 30; arrived += 2 {
+		row := []string{fmt.Sprint(arrived)}
+		for _, seq := range sequences {
+			sub := &collected{
+				questions:   c.questions,
+				golden:      c.golden,
+				assignments: seq,
+				estAcc:      c.estAcc,
+				muEst:       c.muEst,
+			}
+			acc, _ := sub.evalPrefix(modelVerification, arrived, c.estAcc)
+			row = append(row, fmtF(acc))
+		}
+		tbl.Rows = append(tbl.Rows, row)
+	}
+	return tbl, nil
+}
+
+// earlyTermination runs the three strategies for each required accuracy,
+// returning (workers used, accuracy) per strategy.
+func earlyTermination(seed uint64) (*Table, *Table, error) {
+	questions, golden, err := tsaWorkload(seed, mustNoHardMovies(), 67, 50)
+	if err != nil {
+		return nil, nil, err
+	}
+	platform, err := newPlatform(seed+1, 300)
+	if err != nil {
+		return nil, nil, err
+	}
+	const maxN = 41
+	c, err := collect(platform, questions[:150], golden, maxN)
+	if err != nil {
+		return nil, nil, err
+	}
+	model, err := prediction.New(stats.ClampProb(c.muEst))
+	if err != nil {
+		return nil, nil, err
+	}
+
+	workers := &Table{
+		ID:      "fig12",
+		Title:   "Early termination: average workers used vs required accuracy",
+		Columns: []string{"required", "planned", "MinExp", "MinMax", "ExpMax"},
+		Notes:   "MinMax saves >=20% of workers; ExpMax saves the most",
+	}
+	accs := &Table{
+		ID:      "fig13",
+		Title:   "Early termination: real accuracy vs required accuracy",
+		Columns: []string{"required", "MinExp", "MinMax", "ExpMax"},
+		Notes:   "MinMax and ExpMax stay above the requirement; MinExp may dip",
+	}
+	strategies := []online.Strategy{online.MinExp, online.MinMax, online.ExpMax}
+	for req := 0.65; req <= 0.951; req += 0.05 {
+		n, err := model.RequiredWorkers(req)
+		if err != nil {
+			return nil, nil, err
+		}
+		if n > maxN {
+			n = maxN
+		}
+		usedRow := []string{fmt.Sprintf("%.2f", req), fmt.Sprint(n)}
+		accRow := []string{fmt.Sprintf("%.2f", req)}
+		// Average over disjoint worker windows so a single weak
+		// first-arrival does not taint every question at small n (the
+		// paper averages over many HITs with different workers).
+		windows := min(len(c.assignments)/n, 8)
+		if windows == 0 {
+			windows = 1
+		}
+		for _, s := range strategies {
+			totalUsed, correct, trials := 0, 0, 0
+			for w := 0; w < windows; w++ {
+				for _, q := range c.questions {
+					oc, err := c.runOnline(q, s, n, w*n)
+					if err != nil {
+						return nil, nil, err
+					}
+					totalUsed += oc.used
+					trials++
+					if oc.correct {
+						correct++
+					}
+				}
+			}
+			avgUsed := float64(totalUsed) / float64(trials)
+			acc := float64(correct) / float64(trials)
+			usedRow = append(usedRow, fmt.Sprintf("%.1f", avgUsed))
+			accRow = append(accRow, fmtF(acc))
+		}
+		workers.Rows = append(workers.Rows, usedRow)
+		accs.Rows = append(accs.Rows, accRow)
+	}
+	return workers, accs, nil
+}
+
+// Figure12 reports the worker savings of the termination strategies.
+func Figure12(seed uint64) (Table, error) {
+	w, _, err := earlyTermination(seed)
+	if err != nil {
+		return Table{}, err
+	}
+	return *w, nil
+}
+
+// Figure13 reports the accuracy kept by the termination strategies.
+func Figure13(seed uint64) (Table, error) {
+	_, a, err := earlyTermination(seed)
+	if err != nil {
+		return Table{}, err
+	}
+	return *a, nil
+}

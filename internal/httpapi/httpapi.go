@@ -1,0 +1,159 @@
+// Package httpapi serves CDAS results over HTTP in the style of the
+// paper's Figure 4: a query's running percentages, reason keywords and
+// HIT progress, refreshed as the crowdsourcing engine accepts answers.
+package httpapi
+
+import (
+	"encoding/json"
+	"fmt"
+	"html/template"
+	"net/http"
+	"sort"
+	"sync"
+
+	"cdas/internal/exec"
+)
+
+// QueryState is the live presentation of one registered query.
+type QueryState struct {
+	Name        string              `json:"name"`
+	Domain      []string            `json:"domain"`
+	Percentages map[string]float64  `json:"percentages"`
+	Reasons     map[string][]string `json:"reasons"`
+	Items       int                 `json:"items"`
+	// Progress of the crowdsourcing job in [0, 1].
+	Progress float64 `json:"progress"`
+	// Done marks a completed (or early-terminated) job.
+	Done bool `json:"done"`
+}
+
+// Server holds query states and exposes them over HTTP. It is safe for
+// concurrent use.
+type Server struct {
+	mu      sync.RWMutex
+	queries map[string]QueryState
+}
+
+// NewServer returns an empty Server.
+func NewServer() *Server {
+	return &Server{queries: make(map[string]QueryState)}
+}
+
+// Update publishes (or replaces) a query's state.
+func (s *Server) Update(st QueryState) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.queries[st.Name] = st
+}
+
+// UpdateFromSummary is a convenience wrapper building a QueryState from
+// the executor's summary.
+func (s *Server) UpdateFromSummary(name string, sum exec.Summary, progress float64, done bool) {
+	s.Update(QueryState{
+		Name:        name,
+		Domain:      sum.Domain,
+		Percentages: sum.Percentages,
+		Reasons:     sum.Reasons,
+		Items:       sum.Items,
+		Progress:    progress,
+		Done:        done,
+	})
+}
+
+// Get returns a query's state.
+func (s *Server) Get(name string) (QueryState, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	st, ok := s.queries[name]
+	return st, ok
+}
+
+// Names lists registered queries, sorted.
+func (s *Server) Names() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.queries))
+	for n := range s.queries {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Handler returns the HTTP handler:
+//
+//	GET /                 HTML overview (Figure 4 style)
+//	GET /api/queries      JSON list of query names
+//	GET /api/query?name=  JSON state of one query
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /api/queries", s.handleList)
+	mux.HandleFunc("GET /api/query", s.handleQuery)
+	mux.HandleFunc("GET /{$}", s.handleIndex)
+	return mux
+}
+
+func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, s.Names())
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	name := r.URL.Query().Get("name")
+	st, ok := s.Get(name)
+	if !ok {
+		http.Error(w, fmt.Sprintf("no such query %q", name), http.StatusNotFound)
+		return
+	}
+	writeJSON(w, st)
+}
+
+func (s *Server) handleIndex(w http.ResponseWriter, _ *http.Request) {
+	s.mu.RLock()
+	states := make([]QueryState, 0, len(s.queries))
+	for _, n := range s.Names() {
+		states = append(states, s.queries[n])
+	}
+	s.mu.RUnlock()
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	if err := indexTemplate.Execute(w, states); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+var indexTemplate = template.Must(template.New("index").Funcs(template.FuncMap{
+	"pct": func(v float64) string { return fmt.Sprintf("%.1f%%", v*100) },
+}).Parse(`<!DOCTYPE html>
+<html>
+<head><title>CDAS — live results</title></head>
+<body>
+<h1>CDAS — live query results</h1>
+{{- if not .}}<p>No queries registered.</p>{{end}}
+{{- range .}}
+<section>
+  <h2>{{.Name}} {{if .Done}}(done){{else}}({{pct .Progress}} of answers in){{end}}</h2>
+  <table border="1" cellpadding="4">
+    <tr><th>answer</th><th>percentage</th><th>reasons</th></tr>
+    {{- $st := .}}
+    {{- range .Domain}}
+    <tr>
+      <td>{{.}}</td>
+      <td>{{pct (index $st.Percentages .)}}</td>
+      <td>{{range index $st.Reasons .}}{{.}} {{end}}</td>
+    </tr>
+    {{- end}}
+  </table>
+  <p>{{.Items}} items processed.</p>
+</section>
+{{- end}}
+</body>
+</html>
+`))

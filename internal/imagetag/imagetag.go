@@ -1,0 +1,220 @@
+// Package imagetag implements the image tagging (IT) application of the
+// paper's Section 5.2: Flickr-style images with candidate tag sets
+// (existing tags plus embedded noise tags) that workers choose from —
+// simulated here with synthetic images, since the Flickr corpus is not
+// available offline.
+//
+// Each synthetic image carries a numeric feature vector derived from its
+// true tag's embedding plus Gaussian noise. Humans (the crowd simulator)
+// judge images directly via their accuracy; machines (package alipr) see
+// only the feature vectors, which bounds what clustering-based annotation
+// can recover — reproducing the machine-vs-crowd gap of Figure 17.
+package imagetag
+
+import (
+	"fmt"
+	"math"
+
+	"cdas/internal/crowd"
+	"cdas/internal/randx"
+)
+
+// FeatureDim is the dimensionality of image feature vectors.
+const FeatureDim = 8
+
+// Figure17Subjects are the five Flickr query subjects of Figure 17.
+var Figure17Subjects = []string{"apple", "bride", "flying", "sun", "twilight"}
+
+// subjectTags maps each subject to its plausible tag vocabulary (the
+// "Flickr tags" of the paper); the first tag plays no special role.
+var subjectTags = map[string][]string{
+	"apple":    {"fruit", "orchard", "cider", "macbook", "pie", "harvest"},
+	"bride":    {"wedding", "gown", "bouquet", "ceremony", "veil", "church"},
+	"flying":   {"airplane", "bird", "kite", "clouds", "wings", "glider"},
+	"sun":      {"sunset", "sunrise", "beach", "summer", "sky", "rays"},
+	"twilight": {"dusk", "evening", "stars", "moon", "horizon", "lamps"},
+	"city":     {"skyline", "street", "traffic", "subway", "neon", "rooftop"},
+	"forest":   {"trees", "moss", "trail", "ferns", "canopy", "creek"},
+	"water":    {"lake", "river", "waves", "reflection", "waterfall", "pond"},
+}
+
+// noiseTags are never true for any image; the paper embeds such noise
+// tags among the candidates.
+var noiseTags = []string{
+	"quantum", "spreadsheet", "tractor", "violin", "parliament",
+	"algebra", "sausage", "chessboard", "thermostat", "walrus",
+}
+
+// Subjects returns all generatable subjects, Figure 17's five first.
+func Subjects() []string {
+	out := append([]string(nil), Figure17Subjects...)
+	out = append(out, "city", "forest", "water")
+	return out
+}
+
+// Image is one synthetic Flickr-style image.
+type Image struct {
+	ID         string
+	Subject    string
+	TrueTag    string
+	Candidates []string // TrueTag + distractors + noise tags, shuffled
+	Features   []float64
+}
+
+// Config parameterises generation.
+type Config struct {
+	Seed             uint64
+	Subjects         []string // default: Subjects()
+	ImagesPerSubject int      // default 20 (Figure 17's top-20 per query)
+	CandidateCount   int      // candidate tags per image; default 8
+	// FeatureNoise is the per-dimension Gaussian noise added to the true
+	// tag's embedding. Default 1.0 — enough signal for clustering to beat
+	// chance, little enough to cap it near ALIPR's 12–30%.
+	FeatureNoise float64
+}
+
+func (c Config) withDefaults() Config {
+	if len(c.Subjects) == 0 {
+		c.Subjects = Subjects()
+	}
+	if c.ImagesPerSubject == 0 {
+		c.ImagesPerSubject = 20
+	}
+	if c.CandidateCount == 0 {
+		c.CandidateCount = 8
+	}
+	if c.FeatureNoise == 0 {
+		c.FeatureNoise = 1.0
+	}
+	return c
+}
+
+// Validate reports configuration errors after defaulting.
+func (c Config) Validate() error {
+	c = c.withDefaults()
+	for _, s := range c.Subjects {
+		if _, ok := subjectTags[s]; !ok {
+			return fmt.Errorf("imagetag: unknown subject %q", s)
+		}
+	}
+	if c.ImagesPerSubject < 0 {
+		return fmt.Errorf("imagetag: images per subject must be >= 0")
+	}
+	if c.CandidateCount < 2 {
+		return fmt.Errorf("imagetag: need >= 2 candidate tags, got %d", c.CandidateCount)
+	}
+	if c.FeatureNoise < 0 {
+		return fmt.Errorf("imagetag: feature noise must be >= 0")
+	}
+	return nil
+}
+
+// Generate produces the image corpus deterministically under Config.Seed.
+func Generate(cfg Config) ([]Image, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	rng := randx.New(cfg.Seed)
+	images := make([]Image, 0, len(cfg.Subjects)*cfg.ImagesPerSubject)
+	for _, subject := range cfg.Subjects {
+		subjRNG := rng.Split("subject/" + subject)
+		vocab := subjectTags[subject]
+		for i := 0; i < cfg.ImagesPerSubject; i++ {
+			img := generateOne(subjRNG, cfg, subject, vocab)
+			img.ID = fmt.Sprintf("%s#%03d", subject, i)
+			images = append(images, img)
+		}
+	}
+	return images, nil
+}
+
+func generateOne(rng *randx.Source, cfg Config, subject string, vocab []string) Image {
+	trueTag := randx.Choice(rng, vocab)
+
+	// Candidates: the true tag, distractors from the subject vocabulary,
+	// and noise tags to fill up (the paper: "candidate tags include
+	// Flickr tags and some embedded noise tags").
+	candidates := []string{trueTag}
+	for _, t := range vocab {
+		if len(candidates) >= cfg.CandidateCount-2 {
+			break
+		}
+		if t != trueTag {
+			candidates = append(candidates, t)
+		}
+	}
+	for _, idx := range rng.SampleWithoutReplacement(len(noiseTags), min(cfg.CandidateCount-len(candidates), len(noiseTags))) {
+		candidates = append(candidates, noiseTags[idx])
+	}
+	randx.Shuffle(rng, candidates)
+
+	features := TagEmbedding(trueTag)
+	for d := range features {
+		features[d] += rng.Normal(0, cfg.FeatureNoise)
+	}
+	return Image{Subject: subject, TrueTag: trueTag, Candidates: candidates, Features: features}
+}
+
+// TagEmbedding returns the deterministic unit-norm embedding of a tag:
+// the "visual signature" the feature generator perturbs. Distinct tags
+// map to (almost surely) distinct directions.
+func TagEmbedding(tag string) []float64 {
+	h := uint64(1469598103934665603)
+	for _, c := range tag {
+		h = (h ^ uint64(c)) * 1099511628211
+	}
+	rng := randx.New(h)
+	v := make([]float64, FeatureDim)
+	norm := 0.0
+	for d := range v {
+		v[d] = rng.NormFloat64()
+		norm += v[d] * v[d]
+	}
+	norm = math.Sqrt(norm)
+	if norm == 0 {
+		v[0] = 1
+		return v
+	}
+	for d := range v {
+		v[d] /= norm
+	}
+	return v
+}
+
+// Question converts an image into the crowd question of the IT job:
+// choose the correct tag among the candidates. Image tagging is easier
+// for humans than sentiment reading, hence the small difficulty.
+func (img Image) Question() crowd.Question {
+	return crowd.Question{
+		ID:         img.ID,
+		Text:       "Select the tag that describes image " + img.ID,
+		Domain:     append([]string(nil), img.Candidates...),
+		Truth:      img.TrueTag,
+		Difficulty: 0.05,
+	}
+}
+
+// Split partitions images into those whose subject is in test and the
+// rest, mirroring tsa.SplitByMovie for the baseline protocol.
+func Split(images []Image, testSubjects []string) (test, train []Image) {
+	isTest := make(map[string]bool, len(testSubjects))
+	for _, s := range testSubjects {
+		isTest[s] = true
+	}
+	for _, img := range images {
+		if isTest[img.Subject] {
+			test = append(test, img)
+		} else {
+			train = append(train, img)
+		}
+	}
+	return test, train
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

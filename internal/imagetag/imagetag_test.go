@@ -1,0 +1,165 @@
+package imagetag
+
+import (
+	"math"
+	"testing"
+)
+
+func TestGenerateShape(t *testing.T) {
+	imgs, err := Generate(Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(imgs) != len(Subjects())*20 {
+		t.Fatalf("generated %d images, want %d", len(imgs), len(Subjects())*20)
+	}
+	ids := map[string]bool{}
+	for _, img := range imgs {
+		if ids[img.ID] {
+			t.Fatalf("duplicate image id %q", img.ID)
+		}
+		ids[img.ID] = true
+		if len(img.Features) != FeatureDim {
+			t.Fatalf("image %s has %d features", img.ID, len(img.Features))
+		}
+		if len(img.Candidates) != 8 {
+			t.Fatalf("image %s has %d candidates, want 8", img.ID, len(img.Candidates))
+		}
+		found := false
+		for _, c := range img.Candidates {
+			if c == img.TrueTag {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("image %s candidates %v missing true tag %q", img.ID, img.Candidates, img.TrueTag)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(Config{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(Config{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i].ID != b[i].ID || a[i].TrueTag != b[i].TrueTag || a[i].Features[0] != b[i].Features[0] {
+			t.Fatal("generation not deterministic")
+		}
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	if _, err := Generate(Config{Subjects: []string{"nonexistent"}}); err == nil {
+		t.Error("unknown subject accepted")
+	}
+	if _, err := Generate(Config{CandidateCount: 1}); err == nil {
+		t.Error("candidate count 1 accepted")
+	}
+	if _, err := Generate(Config{FeatureNoise: -1}); err == nil {
+		t.Error("negative noise accepted")
+	}
+	if _, err := Generate(Config{ImagesPerSubject: -1}); err == nil {
+		t.Error("negative image count accepted")
+	}
+}
+
+func TestCandidatesContainNoise(t *testing.T) {
+	imgs, err := Generate(Config{Seed: 2, Subjects: []string{"apple"}, ImagesPerSubject: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	noise := map[string]bool{}
+	for _, nt := range noiseTags {
+		noise[nt] = true
+	}
+	withNoise := 0
+	for _, img := range imgs {
+		for _, c := range img.Candidates {
+			if noise[c] {
+				withNoise++
+				break
+			}
+		}
+		for _, c := range img.Candidates {
+			if noise[c] && c == img.TrueTag {
+				t.Fatalf("noise tag %q became a truth", c)
+			}
+		}
+	}
+	if withNoise == 0 {
+		t.Error("no image carries an embedded noise tag")
+	}
+}
+
+func TestTagEmbeddingProperties(t *testing.T) {
+	a := TagEmbedding("sunset")
+	b := TagEmbedding("sunset")
+	for d := range a {
+		if a[d] != b[d] {
+			t.Fatal("embedding not deterministic")
+		}
+	}
+	norm := 0.0
+	for _, v := range a {
+		norm += v * v
+	}
+	if math.Abs(norm-1) > 1e-9 {
+		t.Errorf("embedding norm^2 = %v, want 1", norm)
+	}
+	c := TagEmbedding("walrus")
+	dot := 0.0
+	for d := range a {
+		dot += a[d] * c[d]
+	}
+	if math.Abs(dot) > 0.95 {
+		t.Errorf("distinct tags nearly collinear: dot=%v", dot)
+	}
+}
+
+func TestQuestionConversion(t *testing.T) {
+	imgs, err := Generate(Config{Seed: 3, Subjects: []string{"sun"}, ImagesPerSubject: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, img := range imgs {
+		q := img.Question()
+		if err := q.Validate(); err != nil {
+			t.Fatalf("question for %s invalid: %v", img.ID, err)
+		}
+		if len(q.Domain) != len(img.Candidates) {
+			t.Fatalf("domain size %d != candidates %d", len(q.Domain), len(img.Candidates))
+		}
+	}
+}
+
+func TestSplit(t *testing.T) {
+	imgs, err := Generate(Config{Seed: 4, ImagesPerSubject: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	test, train := Split(imgs, []string{"apple", "sun"})
+	if len(test) != 6 {
+		t.Fatalf("test split = %d, want 6", len(test))
+	}
+	if len(train) != len(imgs)-6 {
+		t.Fatalf("train split = %d", len(train))
+	}
+	for _, img := range test {
+		if img.Subject != "apple" && img.Subject != "sun" {
+			t.Fatal("test split contaminated")
+		}
+	}
+}
+
+func TestFigure17SubjectsKnown(t *testing.T) {
+	for _, s := range Figure17Subjects {
+		if _, ok := subjectTags[s]; !ok {
+			t.Errorf("Figure 17 subject %q has no tag vocabulary", s)
+		}
+	}
+}

@@ -1,0 +1,194 @@
+// Package jobs implements the CDAS job manager (Section 2.1, Figure 2):
+// it accepts analytics job registrations, validates their queries, and
+// produces processing plans that partition each job into computer-oriented
+// tasks (run by the program executor) and human-oriented tasks (run by the
+// crowdsourcing engine).
+package jobs
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+
+	"cdas/internal/textutil"
+)
+
+// Query is the analytics query of Definition 1: (S, C, R, t, w).
+type Query struct {
+	Keywords         []string      // S: filter keywords
+	RequiredAccuracy float64       // C: accuracy requirement in (0, 1)
+	Domain           []string      // R: the answer domain
+	Start            time.Time     // t: query timestamp
+	Window           time.Duration // w: time window
+}
+
+// Validate reports whether the query is well-formed.
+func (q Query) Validate() error {
+	if len(q.Keywords) == 0 {
+		return errors.New("jobs: query needs at least one keyword")
+	}
+	if q.RequiredAccuracy <= 0 || q.RequiredAccuracy >= 1 || math.IsNaN(q.RequiredAccuracy) {
+		return fmt.Errorf("jobs: required accuracy must be in (0,1), got %v", q.RequiredAccuracy)
+	}
+	if len(q.Domain) < 2 {
+		return fmt.Errorf("jobs: answer domain needs >= 2 answers, got %d", len(q.Domain))
+	}
+	seen := make(map[string]struct{}, len(q.Domain))
+	for _, r := range q.Domain {
+		if _, dup := seen[r]; dup {
+			return fmt.Errorf("jobs: duplicate domain answer %q", r)
+		}
+		seen[r] = struct{}{}
+	}
+	if q.Window <= 0 {
+		return fmt.Errorf("jobs: window must be positive, got %v", q.Window)
+	}
+	return nil
+}
+
+// Matches reports whether an item with the given text and timestamp falls
+// inside the query's keyword filter and time window — the computer-side
+// filter the program executor applies to the stream.
+func (q Query) Matches(text string, at time.Time) bool {
+	if at.Before(q.Start) || !at.Before(q.Start.Add(q.Window)) {
+		return false
+	}
+	return textutil.ContainsAny(text, q.Keywords)
+}
+
+// Kind identifies the application type of a job, selecting its plan
+// template.
+type Kind string
+
+// Supported job kinds.
+const (
+	KindTSA      Kind = "tsa"      // Twitter sentiment analytics (Section 2.2)
+	KindImageTag Kind = "imagetag" // image tagging (Section 5.2)
+	KindCustom   Kind = "custom"   // caller supplies the task split
+)
+
+// Job is a registered analytics job.
+type Job struct {
+	Name  string
+	Kind  Kind
+	Query Query
+}
+
+// Task is one step of a processing plan.
+type Task struct {
+	Name        string
+	Description string
+	Human       bool // true: crowdsourcing engine; false: program executor
+}
+
+// Plan is the partitioned processing plan for a job (Figure 2: the job
+// manager "partitions the job into two parts, one for the computers and
+// one for the human workers").
+type Plan struct {
+	Job           Job
+	ComputerTasks []Task
+	HumanTasks    []Task
+}
+
+// planFor instantiates the plan template for the job's kind.
+func planFor(job Job) (Plan, error) {
+	switch job.Kind {
+	case KindTSA:
+		return Plan{
+			Job: job,
+			ComputerTasks: []Task{
+				{Name: "filter-stream", Description: "retrieve the tweet stream and keep tweets matching the query keywords inside the window"},
+				{Name: "buffer", Description: "buffer candidate tweets into HIT-sized batches"},
+				{Name: "summarise", Description: "aggregate accepted answers into percentages and reasons"},
+			},
+			HumanTasks: []Task{
+				{Name: "classify-sentiment", Description: "categorise each tweet's opinion over the answer domain", Human: true},
+			},
+		}, nil
+	case KindImageTag:
+		return Plan{
+			Job: job,
+			ComputerTasks: []Task{
+				{Name: "collect-candidates", Description: "assemble candidate tag sets (existing tags plus noise)"},
+				{Name: "index", Description: "index images by their accepted tags"},
+			},
+			HumanTasks: []Task{
+				{Name: "select-tags", Description: "choose the correct tag for each image", Human: true},
+			},
+		}, nil
+	case KindCustom:
+		return Plan{Job: job}, nil
+	default:
+		return Plan{}, fmt.Errorf("jobs: unknown job kind %q", job.Kind)
+	}
+}
+
+// Manager is the job registry. It is safe for concurrent use.
+type Manager struct {
+	mu   sync.RWMutex
+	jobs map[string]Job
+}
+
+// NewManager returns an empty Manager.
+func NewManager() *Manager { return &Manager{jobs: make(map[string]Job)} }
+
+// Registration errors.
+var (
+	ErrDuplicateJob = errors.New("jobs: job already registered")
+	ErrUnknownJob   = errors.New("jobs: no such job")
+)
+
+// Register validates the job, stores it, and returns its processing plan.
+func (m *Manager) Register(job Job) (Plan, error) {
+	if job.Name == "" {
+		return Plan{}, errors.New("jobs: job needs a name")
+	}
+	if err := job.Query.Validate(); err != nil {
+		return Plan{}, err
+	}
+	plan, err := planFor(job)
+	if err != nil {
+		return Plan{}, err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, dup := m.jobs[job.Name]; dup {
+		return Plan{}, fmt.Errorf("%w: %q", ErrDuplicateJob, job.Name)
+	}
+	m.jobs[job.Name] = job
+	return plan, nil
+}
+
+// Get returns a registered job.
+func (m *Manager) Get(name string) (Job, bool) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	j, ok := m.jobs[name]
+	return j, ok
+}
+
+// Unregister removes a job; it returns ErrUnknownJob if absent.
+func (m *Manager) Unregister(name string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.jobs[name]; !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownJob, name)
+	}
+	delete(m.jobs, name)
+	return nil
+}
+
+// Jobs lists registered jobs sorted by name.
+func (m *Manager) Jobs() []Job {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := make([]Job, 0, len(m.jobs))
+	for _, j := range m.jobs {
+		out = append(out, j)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

@@ -1,0 +1,155 @@
+package jobs
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func validQuery() Query {
+	return Query{
+		Keywords:         []string{"iPhone4S", "iPhone 4S"},
+		RequiredAccuracy: 0.95,
+		Domain:           []string{"Best Ever", "Good", "Not Satisfied"},
+		Start:            time.Date(2011, 10, 14, 0, 0, 0, 0, time.UTC),
+		Window:           10 * 24 * time.Hour,
+	}
+}
+
+func TestQueryValidate(t *testing.T) {
+	if err := validQuery().Validate(); err != nil {
+		t.Errorf("paper's example query rejected: %v", err)
+	}
+	bad := []func(*Query){
+		func(q *Query) { q.Keywords = nil },
+		func(q *Query) { q.RequiredAccuracy = 0 },
+		func(q *Query) { q.RequiredAccuracy = 1 },
+		func(q *Query) { q.Domain = []string{"only"} },
+		func(q *Query) { q.Domain = []string{"a", "a"} },
+		func(q *Query) { q.Window = 0 },
+	}
+	for i, mutate := range bad {
+		q := validQuery()
+		mutate(&q)
+		if err := q.Validate(); err == nil {
+			t.Errorf("invalid query %d accepted", i)
+		}
+	}
+}
+
+func TestQueryMatches(t *testing.T) {
+	q := validQuery()
+	inWindow := q.Start.Add(24 * time.Hour)
+	cases := []struct {
+		text string
+		at   time.Time
+		want bool
+	}{
+		{"loving my new iphone4s!!", inWindow, true},
+		{"the iPhone 4S camera is great", inWindow, true},
+		{"android forever", inWindow, false},
+		{"iphone4s before the window", q.Start.Add(-time.Hour), false},
+		{"iphone4s at window end", q.Start.Add(q.Window), false},
+		{"iphone4s at window start", q.Start, true},
+	}
+	for _, c := range cases {
+		if got := q.Matches(c.text, c.at); got != c.want {
+			t.Errorf("Matches(%q, %v) = %v, want %v", c.text, c.at, got, c.want)
+		}
+	}
+}
+
+func TestRegisterTSAPlan(t *testing.T) {
+	m := NewManager()
+	plan, err := m.Register(Job{Name: "iphone", Kind: KindTSA, Query: validQuery()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.ComputerTasks) == 0 || len(plan.HumanTasks) == 0 {
+		t.Fatal("TSA plan must have both computer and human tasks")
+	}
+	for _, task := range plan.ComputerTasks {
+		if task.Human {
+			t.Errorf("computer task %q flagged human", task.Name)
+		}
+	}
+	for _, task := range plan.HumanTasks {
+		if !task.Human {
+			t.Errorf("human task %q not flagged human", task.Name)
+		}
+	}
+}
+
+func TestRegisterImageTagPlan(t *testing.T) {
+	m := NewManager()
+	plan, err := m.Register(Job{Name: "flickr", Kind: KindImageTag, Query: validQuery()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.HumanTasks) != 1 || plan.HumanTasks[0].Name != "select-tags" {
+		t.Errorf("unexpected IT human tasks: %+v", plan.HumanTasks)
+	}
+}
+
+func TestRegisterDuplicate(t *testing.T) {
+	m := NewManager()
+	job := Job{Name: "j", Kind: KindTSA, Query: validQuery()}
+	if _, err := m.Register(job); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Register(job); !errors.Is(err, ErrDuplicateJob) {
+		t.Errorf("duplicate err = %v", err)
+	}
+}
+
+func TestRegisterValidation(t *testing.T) {
+	m := NewManager()
+	if _, err := m.Register(Job{Kind: KindTSA, Query: validQuery()}); err == nil {
+		t.Error("nameless job accepted")
+	}
+	q := validQuery()
+	q.Keywords = nil
+	if _, err := m.Register(Job{Name: "x", Kind: KindTSA, Query: q}); err == nil {
+		t.Error("invalid query accepted")
+	}
+	if _, err := m.Register(Job{Name: "y", Kind: Kind("nope"), Query: validQuery()}); err == nil {
+		t.Error("unknown kind accepted")
+	}
+}
+
+func TestGetUnregisterJobs(t *testing.T) {
+	m := NewManager()
+	if _, err := m.Register(Job{Name: "b", Kind: KindTSA, Query: validQuery()}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Register(Job{Name: "a", Kind: KindCustom, Query: validQuery()}); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := m.Get("b"); !ok {
+		t.Error("Get(b) failed")
+	}
+	list := m.Jobs()
+	if len(list) != 2 || list[0].Name != "a" || list[1].Name != "b" {
+		t.Errorf("Jobs = %+v", list)
+	}
+	if err := m.Unregister("a"); err != nil {
+		t.Errorf("Unregister(a) = %v", err)
+	}
+	if err := m.Unregister("a"); !errors.Is(err, ErrUnknownJob) {
+		t.Errorf("double unregister err = %v", err)
+	}
+	if _, ok := m.Get("a"); ok {
+		t.Error("a still present after unregister")
+	}
+}
+
+func TestCustomPlanEmpty(t *testing.T) {
+	m := NewManager()
+	plan, err := m.Register(Job{Name: "c", Kind: KindCustom, Query: validQuery()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.ComputerTasks) != 0 || len(plan.HumanTasks) != 0 {
+		t.Error("custom plan should start empty")
+	}
+}

@@ -1,0 +1,154 @@
+// Package metrics provides the evaluation measures used when comparing
+// CDAS's verification models, voting baselines and machine classifiers
+// against ground truth: accuracy, per-class precision/recall/F1 and
+// confusion matrices.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Confusion is a label confusion matrix: counts[truth][predicted].
+type Confusion struct {
+	counts map[string]map[string]int
+	total  int
+}
+
+// NewConfusion returns an empty matrix.
+func NewConfusion() *Confusion {
+	return &Confusion{counts: make(map[string]map[string]int)}
+}
+
+// Add records one (truth, predicted) observation. Empty predictions are
+// legal and count as a distinct "(none)" label — the voting models'
+// no-answer outcome.
+func (c *Confusion) Add(truth, predicted string) {
+	if predicted == "" {
+		predicted = "(none)"
+	}
+	row := c.counts[truth]
+	if row == nil {
+		row = make(map[string]int)
+		c.counts[truth] = row
+	}
+	row[predicted]++
+	c.total++
+}
+
+// Total reports the number of observations.
+func (c *Confusion) Total() int { return c.total }
+
+// Count returns counts[truth][predicted].
+func (c *Confusion) Count(truth, predicted string) int {
+	return c.counts[truth][predicted]
+}
+
+// Accuracy is the fraction of observations on the diagonal.
+func (c *Confusion) Accuracy() float64 {
+	if c.total == 0 {
+		return 0
+	}
+	correct := 0
+	for truth, row := range c.counts {
+		correct += row[truth]
+	}
+	return float64(correct) / float64(c.total)
+}
+
+// Labels lists all labels seen as truth or prediction, sorted.
+func (c *Confusion) Labels() []string {
+	set := make(map[string]struct{})
+	for truth, row := range c.counts {
+		set[truth] = struct{}{}
+		for pred := range row {
+			set[pred] = struct{}{}
+		}
+	}
+	out := make([]string, 0, len(set))
+	for l := range set {
+		out = append(out, l)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ClassScores holds one label's precision, recall and F1.
+type ClassScores struct {
+	Label     string
+	Precision float64
+	Recall    float64
+	F1        float64
+	Support   int // observations whose truth is Label
+}
+
+// PerClass computes precision/recall/F1 per truth label.
+func (c *Confusion) PerClass() []ClassScores {
+	labels := c.Labels()
+	out := make([]ClassScores, 0, len(labels))
+	for _, label := range labels {
+		tp := c.counts[label][label]
+		support, predicted := 0, 0
+		for _, row := range c.counts {
+			predicted += row[label]
+		}
+		for _, n := range c.counts[label] {
+			support += n
+		}
+		if support == 0 && predicted == 0 {
+			continue // label only appears as the "(none)" bucket etc.
+		}
+		s := ClassScores{Label: label, Support: support}
+		if predicted > 0 {
+			s.Precision = float64(tp) / float64(predicted)
+		}
+		if support > 0 {
+			s.Recall = float64(tp) / float64(support)
+		}
+		if s.Precision+s.Recall > 0 {
+			s.F1 = 2 * s.Precision * s.Recall / (s.Precision + s.Recall)
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// MacroF1 averages F1 over the truth labels (labels never appearing as
+// truth are excluded).
+func (c *Confusion) MacroF1() float64 {
+	sum, n := 0.0, 0
+	for _, s := range c.PerClass() {
+		if s.Support == 0 {
+			continue
+		}
+		sum += s.F1
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// String renders the matrix with truth rows and predicted columns.
+func (c *Confusion) String() string {
+	labels := c.Labels()
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s", "truth\\pred")
+	for _, l := range labels {
+		fmt.Fprintf(&b, " %10s", l)
+	}
+	b.WriteByte('\n')
+	for _, truth := range labels {
+		if len(c.counts[truth]) == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "%-12s", truth)
+		for _, pred := range labels {
+			fmt.Fprintf(&b, " %10d", c.counts[truth][pred])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,126 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func demo() *Confusion {
+	c := NewConfusion()
+	// truth pos: 8 right, 2 as neg
+	for i := 0; i < 8; i++ {
+		c.Add("pos", "pos")
+	}
+	c.Add("pos", "neg")
+	c.Add("pos", "neg")
+	// truth neg: 6 right, 1 as pos, 1 unanswered
+	for i := 0; i < 6; i++ {
+		c.Add("neg", "neg")
+	}
+	c.Add("neg", "pos")
+	c.Add("neg", "")
+	return c
+}
+
+func TestAccuracy(t *testing.T) {
+	c := demo()
+	if c.Total() != 18 {
+		t.Fatalf("total = %d, want 18", c.Total())
+	}
+	if got, want := c.Accuracy(), 14.0/18; math.Abs(got-want) > 1e-12 {
+		t.Errorf("accuracy = %v, want %v", got, want)
+	}
+	if NewConfusion().Accuracy() != 0 {
+		t.Error("empty accuracy should be 0")
+	}
+}
+
+func TestPerClass(t *testing.T) {
+	c := demo()
+	byLabel := make(map[string]ClassScores)
+	for _, s := range c.PerClass() {
+		byLabel[s.Label] = s
+	}
+	pos := byLabel["pos"]
+	// precision = 8 / (8+1); recall = 8 / 10.
+	if math.Abs(pos.Precision-8.0/9) > 1e-12 {
+		t.Errorf("pos precision = %v", pos.Precision)
+	}
+	if math.Abs(pos.Recall-0.8) > 1e-12 {
+		t.Errorf("pos recall = %v", pos.Recall)
+	}
+	if pos.Support != 10 {
+		t.Errorf("pos support = %d", pos.Support)
+	}
+	wantF1 := 2 * (8.0 / 9) * 0.8 / (8.0/9 + 0.8)
+	if math.Abs(pos.F1-wantF1) > 1e-12 {
+		t.Errorf("pos F1 = %v, want %v", pos.F1, wantF1)
+	}
+	neg := byLabel["neg"]
+	// precision = 6/(6+2); recall = 6/8.
+	if math.Abs(neg.Precision-0.75) > 1e-12 || math.Abs(neg.Recall-0.75) > 1e-12 {
+		t.Errorf("neg P/R = %v/%v", neg.Precision, neg.Recall)
+	}
+	// The "(none)" bucket appears as a prediction-only label.
+	none := byLabel["(none)"]
+	if none.Support != 0 || none.Precision != 0 {
+		t.Errorf("(none) scores = %+v", none)
+	}
+}
+
+func TestMacroF1(t *testing.T) {
+	c := demo()
+	var posF1, negF1 float64
+	for _, s := range c.PerClass() {
+		switch s.Label {
+		case "pos":
+			posF1 = s.F1
+		case "neg":
+			negF1 = s.F1
+		}
+	}
+	if got, want := c.MacroF1(), (posF1+negF1)/2; math.Abs(got-want) > 1e-12 {
+		t.Errorf("macro F1 = %v, want %v", got, want)
+	}
+	if NewConfusion().MacroF1() != 0 {
+		t.Error("empty macro F1 should be 0")
+	}
+}
+
+func TestCountAndLabels(t *testing.T) {
+	c := demo()
+	if got := c.Count("pos", "neg"); got != 2 {
+		t.Errorf("Count(pos,neg) = %d, want 2", got)
+	}
+	labels := c.Labels()
+	want := []string{"(none)", "neg", "pos"}
+	if len(labels) != len(want) {
+		t.Fatalf("labels = %v", labels)
+	}
+	for i := range want {
+		if labels[i] != want[i] {
+			t.Errorf("labels = %v, want %v", labels, want)
+		}
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	s := demo().String()
+	for _, want := range []string{"truth\\pred", "pos", "neg", "(none)"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("rendered matrix missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestPerfectClassifier(t *testing.T) {
+	c := NewConfusion()
+	for i := 0; i < 5; i++ {
+		c.Add("a", "a")
+		c.Add("b", "b")
+	}
+	if c.Accuracy() != 1 || c.MacroF1() != 1 {
+		t.Errorf("perfect classifier: acc=%v macroF1=%v", c.Accuracy(), c.MacroF1())
+	}
+}

@@ -1,0 +1,86 @@
+// Package privacy implements the engine's privacy manager (Section 2.1):
+// before human tasks disclose data to the public crowd, question text is
+// sanitised (user handles, e-mail addresses, phone numbers and URLs are
+// masked), and individual workers can be barred from a task.
+package privacy
+
+import (
+	"regexp"
+	"sync"
+
+	"cdas/internal/crowd"
+)
+
+// Replacement masks inserted by Sanitize.
+const (
+	MaskHandle = "@[user]"
+	MaskEmail  = "[email]"
+	MaskPhone  = "[phone]"
+	MaskURL    = "[link]"
+)
+
+var (
+	// reEmail must run before reHandle: "a@b.com" would otherwise lose
+	// its domain to the handle mask.
+	reEmail  = regexp.MustCompile(`[A-Za-z0-9._%+\-]+@[A-Za-z0-9.\-]+\.[A-Za-z]{2,}`)
+	reHandle = regexp.MustCompile(`@[A-Za-z0-9_]{2,}`)
+	reURL    = regexp.MustCompile(`https?://\S+`)
+	rePhone  = regexp.MustCompile(`\+?\d[\d\- ]{7,}\d`)
+)
+
+// Manager sanitises outgoing question text and enforces per-task worker
+// rejections. It is safe for concurrent use. The zero value sanitises with
+// the default patterns and blocks nobody.
+type Manager struct {
+	mu      sync.RWMutex
+	blocked map[string]struct{}
+}
+
+// NewManager returns a Manager with no blocked workers.
+func NewManager() *Manager { return &Manager{blocked: make(map[string]struct{})} }
+
+// Sanitize masks handles, e-mails, URLs and phone numbers in text.
+func (m *Manager) Sanitize(text string) string {
+	text = reURL.ReplaceAllString(text, MaskURL)
+	text = reEmail.ReplaceAllString(text, MaskEmail)
+	text = reHandle.ReplaceAllString(text, MaskHandle)
+	text = rePhone.ReplaceAllString(text, MaskPhone)
+	return text
+}
+
+// SanitizeQuestion returns a copy of q with its text sanitised. The
+// answer domain and ground truth are never modified — masking must not
+// change what the right answer is.
+func (m *Manager) SanitizeQuestion(q crowd.Question) crowd.Question {
+	q.Text = m.Sanitize(q.Text)
+	return q
+}
+
+// BlockWorker bars a worker from this task; their future answers are
+// discarded by the engine.
+func (m *Manager) BlockWorker(id string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.blocked == nil {
+		m.blocked = make(map[string]struct{})
+	}
+	m.blocked[id] = struct{}{}
+}
+
+// UnblockWorker lifts a bar.
+func (m *Manager) UnblockWorker(id string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.blocked, id)
+}
+
+// Blocked reports whether the worker is barred.
+func (m *Manager) Blocked(id string) bool {
+	if m == nil {
+		return false
+	}
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	_, ok := m.blocked[id]
+	return ok
+}

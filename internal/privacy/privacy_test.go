@@ -1,0 +1,102 @@
+package privacy
+
+import (
+	"strings"
+	"testing"
+
+	"cdas/internal/crowd"
+)
+
+func TestSanitizeHandles(t *testing.T) {
+	m := NewManager()
+	got := m.Sanitize("hey @alice have you seen @bob_42's post?")
+	if strings.Contains(got, "@alice") || strings.Contains(got, "@bob_42") {
+		t.Errorf("handles not masked: %q", got)
+	}
+	if !strings.Contains(got, MaskHandle) {
+		t.Errorf("mask absent: %q", got)
+	}
+}
+
+func TestSanitizeEmailBeforeHandle(t *testing.T) {
+	m := NewManager()
+	got := m.Sanitize("contact me at jane.doe@example.com please")
+	if strings.Contains(got, "example.com") || strings.Contains(got, "jane") {
+		t.Errorf("email not fully masked: %q", got)
+	}
+	if !strings.Contains(got, MaskEmail) {
+		t.Errorf("email mask absent: %q", got)
+	}
+	if strings.Contains(got, MaskHandle) {
+		t.Errorf("email leaked into handle mask: %q", got)
+	}
+}
+
+func TestSanitizeURLAndPhone(t *testing.T) {
+	m := NewManager()
+	got := m.Sanitize("see https://example.com/x?y=1 or call +65 9123 4567 now")
+	if strings.Contains(got, "example.com") {
+		t.Errorf("URL not masked: %q", got)
+	}
+	if strings.Contains(got, "9123") {
+		t.Errorf("phone not masked: %q", got)
+	}
+	if !strings.Contains(got, MaskURL) || !strings.Contains(got, MaskPhone) {
+		t.Errorf("masks absent: %q", got)
+	}
+}
+
+func TestSanitizePlainTextUntouched(t *testing.T) {
+	m := NewManager()
+	in := "Green Lantern was a terrible movie, like Lost In Space terrible."
+	if got := m.Sanitize(in); got != in {
+		t.Errorf("plain text modified: %q", got)
+	}
+}
+
+func TestSanitizeQuestionPreservesSemantics(t *testing.T) {
+	m := NewManager()
+	q := crowd.Question{
+		ID:     "q1",
+		Text:   "Is @someone's review of https://movie.example positive?",
+		Domain: []string{"pos", "neg"},
+		Truth:  "pos",
+	}
+	got := m.SanitizeQuestion(q)
+	if strings.Contains(got.Text, "someone") || strings.Contains(got.Text, "movie.example") {
+		t.Errorf("question text not masked: %q", got.Text)
+	}
+	if got.Truth != q.Truth || len(got.Domain) != len(q.Domain) || got.ID != q.ID {
+		t.Error("sanitisation must not alter id, domain or truth")
+	}
+}
+
+func TestBlockUnblock(t *testing.T) {
+	m := NewManager()
+	if m.Blocked("w1") {
+		t.Error("fresh manager blocks nobody")
+	}
+	m.BlockWorker("w1")
+	if !m.Blocked("w1") {
+		t.Error("w1 should be blocked")
+	}
+	m.UnblockWorker("w1")
+	if m.Blocked("w1") {
+		t.Error("w1 should be unblocked")
+	}
+}
+
+func TestNilManagerBlocksNobody(t *testing.T) {
+	var m *Manager
+	if m.Blocked("anyone") {
+		t.Error("nil manager must block nobody")
+	}
+}
+
+func TestZeroValueManager(t *testing.T) {
+	var m Manager
+	m.BlockWorker("w") // must not panic on nil map
+	if !m.Blocked("w") {
+		t.Error("zero-value manager should support blocking")
+	}
+}

@@ -1,0 +1,209 @@
+// Package profile maintains workers' historical performance records — the
+// "workers' accuracies for historical queries" CDAS's verification model
+// weighs votes with (Section 4.1).
+//
+// Accuracies are tracked per job kind because, as Section 3.3 observes, a
+// worker's accuracy varies widely across task types (a good image tagger
+// may be a poor sentiment judge). The store is safe for concurrent use and
+// serialises to JSON for persistence across engine restarts.
+package profile
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"sync"
+)
+
+// Store maps (job, worker) to golden-question outcome counts. The zero
+// value is ready to use.
+type Store struct {
+	mu   sync.RWMutex
+	jobs map[string]*jobCounts
+}
+
+type jobCounts struct {
+	Correct map[string]int `json:"correct"`
+	Total   map[string]int `json:"total"`
+}
+
+func newJobCounts() *jobCounts {
+	return &jobCounts{Correct: make(map[string]int), Total: make(map[string]int)}
+}
+
+// NewStore returns an empty Store.
+func NewStore() *Store { return &Store{jobs: make(map[string]*jobCounts)} }
+
+// Record notes one golden-question outcome for worker under job.
+func (s *Store) Record(job, worker string, correct bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.jobs == nil {
+		s.jobs = make(map[string]*jobCounts)
+	}
+	jc, ok := s.jobs[job]
+	if !ok {
+		jc = newJobCounts()
+		s.jobs[job] = jc
+	}
+	jc.Total[worker]++
+	if correct {
+		jc.Correct[worker]++
+	}
+}
+
+// Accuracy returns worker's estimated accuracy for job and whether any
+// outcome has been recorded. The estimate is Laplace-smoothed
+// ((correct+1)/(total+2), the Beta(1,1) posterior mean): with tiny golden
+// samples a raw 0/1 estimate would hand the verification model an
+// extreme log-odds weight — a worker who merely missed one golden
+// question would actively push the answers they got right DOWN. Smoothing
+// keeps early weights moderate and washes out as samples accumulate.
+func (s *Store) Accuracy(job, worker string) (float64, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	jc, ok := s.jobs[job]
+	if !ok || jc.Total[worker] == 0 {
+		return 0, false
+	}
+	return (float64(jc.Correct[worker]) + 1) / (float64(jc.Total[worker]) + 2), true
+}
+
+// AccuracyOr returns the estimate or fallback for unseen workers.
+func (s *Store) AccuracyOr(job, worker string, fallback float64) float64 {
+	if a, ok := s.Accuracy(job, worker); ok {
+		return a
+	}
+	return fallback
+}
+
+// ShrunkAccuracy returns a Beta-posterior estimate shrunk towards prior
+// with pseudo pseudo-counts: (correct + pseudo·prior) / (total + pseudo).
+// Unseen workers return the prior itself.
+//
+// This is what the engine weighs votes with: a single missed golden
+// question must not flip a worker's estimate below chance (which would
+// turn their correct answers into negative evidence in Equation 4); with
+// a prior of strength pseudo the estimate stays near the population mean
+// until real evidence accumulates, then converges to the empirical rate.
+func (s *Store) ShrunkAccuracy(job, worker string, prior, pseudo float64) float64 {
+	if pseudo < 0 {
+		pseudo = 0
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	jc, ok := s.jobs[job]
+	if !ok || jc.Total[worker] == 0 {
+		return prior
+	}
+	return (float64(jc.Correct[worker]) + pseudo*prior) / (float64(jc.Total[worker]) + pseudo)
+}
+
+// Samples reports how many outcomes are recorded for (job, worker).
+func (s *Store) Samples(job, worker string) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if jc, ok := s.jobs[job]; ok {
+		return jc.Total[worker]
+	}
+	return 0
+}
+
+// Workers lists workers with recorded outcomes for job, sorted.
+func (s *Store) Workers(job string) []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	jc, ok := s.jobs[job]
+	if !ok {
+		return nil
+	}
+	out := make([]string, 0, len(jc.Total))
+	for w := range jc.Total {
+		out = append(out, w)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// MeanAccuracy returns the unweighted mean accuracy over all workers
+// recorded for job, and false when no worker has been recorded. The
+// prediction model uses this as μ once sampling has warmed up.
+func (s *Store) MeanAccuracy(job string) (float64, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	jc, ok := s.jobs[job]
+	if !ok || len(jc.Total) == 0 {
+		return 0, false
+	}
+	sum := 0.0
+	for w, n := range jc.Total {
+		sum += float64(jc.Correct[w]) / float64(n)
+	}
+	return sum / float64(len(jc.Total)), true
+}
+
+// Save serialises the store as JSON.
+func (s *Store) Save(w io.Writer) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(s.jobs); err != nil {
+		return fmt.Errorf("profile: save: %w", err)
+	}
+	return nil
+}
+
+// Load replaces the store's contents with JSON previously written by Save.
+func (s *Store) Load(r io.Reader) error {
+	var jobs map[string]*jobCounts
+	if err := json.NewDecoder(r).Decode(&jobs); err != nil {
+		return fmt.Errorf("profile: load: %w", err)
+	}
+	for job, jc := range jobs {
+		if jc == nil {
+			jobs[job] = newJobCounts()
+			continue
+		}
+		if jc.Correct == nil {
+			jc.Correct = make(map[string]int)
+		}
+		if jc.Total == nil {
+			jc.Total = make(map[string]int)
+		}
+		for w, c := range jc.Correct {
+			if c < 0 || c > jc.Total[w] {
+				return fmt.Errorf("profile: load: inconsistent counts for job %q worker %q", job, w)
+			}
+		}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.jobs = jobs
+	return nil
+}
+
+// SaveFile writes the store to path, creating or truncating it.
+func (s *Store) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("profile: %w", err)
+	}
+	defer f.Close()
+	if err := s.Save(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile reads the store from path.
+func (s *Store) LoadFile(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("profile: %w", err)
+	}
+	defer f.Close()
+	return s.Load(f)
+}

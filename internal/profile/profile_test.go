@@ -1,0 +1,177 @@
+package profile
+
+import (
+	"bytes"
+	"math"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestRecordAndAccuracy(t *testing.T) {
+	s := NewStore()
+	for i := 0; i < 10; i++ {
+		s.Record("tsa", "w1", i < 7)
+	}
+	// Laplace smoothing: (7+1)/(10+2).
+	if a, ok := s.Accuracy("tsa", "w1"); !ok || math.Abs(a-8.0/12) > 1e-12 {
+		t.Errorf("accuracy = %v/%v, want 8/12/true", a, ok)
+	}
+	if _, ok := s.Accuracy("tsa", "ghost"); ok {
+		t.Error("unseen worker should have no estimate")
+	}
+	if _, ok := s.Accuracy("other-job", "w1"); ok {
+		t.Error("accuracies must be per job")
+	}
+	if got := s.AccuracyOr("tsa", "ghost", 0.65); got != 0.65 {
+		t.Errorf("fallback = %v", got)
+	}
+	if got := s.Samples("tsa", "w1"); got != 10 {
+		t.Errorf("Samples = %d, want 10", got)
+	}
+}
+
+func TestMeanAccuracy(t *testing.T) {
+	s := NewStore()
+	if _, ok := s.MeanAccuracy("tsa"); ok {
+		t.Error("empty job should have no mean")
+	}
+	s.Record("tsa", "w1", true)
+	s.Record("tsa", "w2", false)
+	// Smoothing is symmetric: mean of 2/3 and 1/3 is still 0.5.
+	mu, ok := s.MeanAccuracy("tsa")
+	if !ok || math.Abs(mu-0.5) > 1e-12 {
+		t.Errorf("mean = %v/%v, want 0.5/true", mu, ok)
+	}
+}
+
+func TestWorkersSorted(t *testing.T) {
+	s := NewStore()
+	s.Record("j", "zeta", true)
+	s.Record("j", "alpha", true)
+	got := s.Workers("j")
+	if len(got) != 2 || got[0] != "alpha" || got[1] != "zeta" {
+		t.Errorf("Workers = %v", got)
+	}
+	if s.Workers("missing") != nil {
+		t.Error("missing job should list no workers")
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	s := NewStore()
+	s.Record("tsa", "w1", true)
+	s.Record("tsa", "w1", false)
+	s.Record("it", "w2", true)
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored := NewStore()
+	if err := restored.Load(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if a, ok := restored.Accuracy("tsa", "w1"); !ok || a != 0.5 {
+		t.Errorf("restored tsa/w1 = %v/%v", a, ok)
+	}
+	if a, ok := restored.Accuracy("it", "w2"); !ok || math.Abs(a-2.0/3) > 1e-12 {
+		t.Errorf("restored it/w2 = %v/%v, want 2/3 (smoothed 1/1)", a, ok)
+	}
+}
+
+func TestLoadRejectsInconsistentCounts(t *testing.T) {
+	bad := `{"tsa": {"correct": {"w": 5}, "total": {"w": 2}}}`
+	if err := NewStore().Load(strings.NewReader(bad)); err == nil {
+		t.Error("inconsistent counts accepted")
+	}
+	if err := NewStore().Load(strings.NewReader("{not json")); err == nil {
+		t.Error("malformed JSON accepted")
+	}
+}
+
+func TestLoadNormalisesNilMaps(t *testing.T) {
+	s := NewStore()
+	if err := s.Load(strings.NewReader(`{"tsa": {}}`)); err != nil {
+		t.Fatal(err)
+	}
+	s.Record("tsa", "w", true) // must not panic on nil inner maps
+	if a, ok := s.Accuracy("tsa", "w"); !ok || math.Abs(a-2.0/3) > 1e-12 {
+		t.Errorf("after load+record: %v/%v, want 2/3", a, ok)
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "profiles.json")
+	s := NewStore()
+	s.Record("tsa", "w", true)
+	if err := s.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	restored := NewStore()
+	if err := restored.LoadFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if a, ok := restored.Accuracy("tsa", "w"); !ok || math.Abs(a-2.0/3) > 1e-12 {
+		t.Errorf("file round-trip: %v/%v, want 2/3", a, ok)
+	}
+	if err := restored.LoadFile(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("loading a missing file should fail")
+	}
+}
+
+func TestZeroValueStore(t *testing.T) {
+	var s Store
+	s.Record("j", "w", true)
+	if a, ok := s.Accuracy("j", "w"); !ok || math.Abs(a-2.0/3) > 1e-12 {
+		t.Errorf("zero-value store: %v/%v, want 2/3", a, ok)
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	s := NewStore()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			w := "w" + string(rune('a'+g))
+			for i := 0; i < 1000; i++ {
+				s.Record("job", w, i%2 == 0)
+				s.Accuracy("job", w)
+				s.MeanAccuracy("job")
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := len(s.Workers("job")); got != 8 {
+		t.Errorf("workers after concurrent writes = %d, want 8", got)
+	}
+}
+
+func TestShrunkAccuracy(t *testing.T) {
+	s := NewStore()
+	// Unseen worker: exactly the prior.
+	if got := s.ShrunkAccuracy("j", "w", 0.7, 4); got != 0.7 {
+		t.Errorf("unseen = %v, want prior 0.7", got)
+	}
+	// One miss with prior 0.7, pseudo 4: (0 + 2.8) / 5 = 0.56 — stays
+	// above chance instead of collapsing to ~0.
+	s.Record("j", "w", false)
+	if got := s.ShrunkAccuracy("j", "w", 0.7, 4); math.Abs(got-0.56) > 1e-12 {
+		t.Errorf("one miss = %v, want 0.56", got)
+	}
+	// Lots of evidence dominates the prior.
+	for i := 0; i < 200; i++ {
+		s.Record("j", "w", true)
+	}
+	got := s.ShrunkAccuracy("j", "w", 0.7, 4)
+	if got < 0.95 {
+		t.Errorf("evidence-dominated estimate = %v, want > 0.95", got)
+	}
+	// Negative pseudo-counts are treated as zero (raw rate).
+	raw := s.ShrunkAccuracy("j", "w", 0.7, -1)
+	if math.Abs(raw-200.0/201) > 1e-12 {
+		t.Errorf("pseudo<0 = %v, want raw rate", raw)
+	}
+}

@@ -1,0 +1,226 @@
+package randx
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 100; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("same seed must produce identical streams")
+		}
+	}
+	c := New(43)
+	same := 0
+	a2 := New(42)
+	for i := 0; i < 100; i++ {
+		if a2.Float64() == c.Float64() {
+			same++
+		}
+	}
+	if same > 5 {
+		t.Errorf("different seeds produced %d/100 identical draws", same)
+	}
+}
+
+func TestSplitIndependentOfCallOrder(t *testing.T) {
+	s1 := New(7)
+	a := s1.Split("alpha")
+	b := s1.Split("beta")
+	s2 := New(7)
+	b2 := s2.Split("beta")
+	a2 := s2.Split("alpha")
+	for i := 0; i < 50; i++ {
+		if a.Float64() != a2.Float64() || b.Float64() != b2.Float64() {
+			t.Fatal("Split streams must be a pure function of (seed, label)")
+		}
+	}
+}
+
+func TestSplitDistinctLabels(t *testing.T) {
+	s := New(7)
+	a, b := s.Split("x"), s.Split("y")
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Float64() == b.Float64() {
+			same++
+		}
+	}
+	if same > 5 {
+		t.Errorf("distinct labels produced %d/100 identical draws", same)
+	}
+}
+
+func TestTruncNormalBounds(t *testing.T) {
+	s := New(1)
+	for i := 0; i < 10000; i++ {
+		v := s.TruncNormal(0.7, 0.15, 0.25, 1.0)
+		if v < 0.25 || v > 1.0 {
+			t.Fatalf("TruncNormal out of bounds: %v", v)
+		}
+	}
+}
+
+func TestTruncNormalDegenerateFallback(t *testing.T) {
+	s := New(1)
+	// Mean far outside a tiny window: rejection gives up and clamps.
+	v := s.TruncNormal(100, 0.001, 0, 1)
+	if v < 0 || v > 1 {
+		t.Fatalf("fallback clamp out of bounds: %v", v)
+	}
+}
+
+func TestTruncNormalPanicsOnInvertedBounds(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	New(1).TruncNormal(0, 1, 2, 1)
+}
+
+func TestBetaMoments(t *testing.T) {
+	s := New(99)
+	const n = 50000
+	alpha, beta := 8.0, 3.0
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		v := s.Beta(alpha, beta)
+		if v < 0 || v > 1 {
+			t.Fatalf("Beta draw out of [0,1]: %v", v)
+		}
+		sum += v
+	}
+	mean := sum / n
+	want := alpha / (alpha + beta)
+	if math.Abs(mean-want) > 0.01 {
+		t.Errorf("Beta(8,3) sample mean %v, want ~%v", mean, want)
+	}
+}
+
+func TestBetaSmallShapes(t *testing.T) {
+	s := New(5)
+	for i := 0; i < 2000; i++ {
+		v := s.Beta(0.5, 0.5)
+		if v < 0 || v > 1 || math.IsNaN(v) {
+			t.Fatalf("Beta(0.5,0.5) invalid draw: %v", v)
+		}
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	s := New(3)
+	const n = 50000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		v := s.Exp(2.0)
+		if v < 0 {
+			t.Fatalf("Exp draw negative: %v", v)
+		}
+		sum += v
+	}
+	if mean := sum / n; math.Abs(mean-0.5) > 0.02 {
+		t.Errorf("Exp(2) sample mean %v, want ~0.5", mean)
+	}
+}
+
+func TestWeightedChoiceDistribution(t *testing.T) {
+	s := New(11)
+	weights := []float64{1, 3, 0, 6}
+	counts := make([]int, 4)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[s.WeightedChoice(weights)]++
+	}
+	if counts[2] != 0 {
+		t.Errorf("zero-weight bin chosen %d times", counts[2])
+	}
+	for i, want := range []float64{0.1, 0.3, 0, 0.6} {
+		got := float64(counts[i]) / n
+		if math.Abs(got-want) > 0.01 {
+			t.Errorf("bin %d frequency %v, want ~%v", i, got, want)
+		}
+	}
+}
+
+func TestWeightedChoiceAllZeroUniform(t *testing.T) {
+	s := New(12)
+	counts := make([]int, 3)
+	for i := 0; i < 30000; i++ {
+		counts[s.WeightedChoice([]float64{0, 0, 0})]++
+	}
+	for i, c := range counts {
+		if f := float64(c) / 30000; math.Abs(f-1.0/3) > 0.02 {
+			t.Errorf("all-zero weights bin %d frequency %v, want ~1/3", i, f)
+		}
+	}
+}
+
+func TestWeightedChoicePanics(t *testing.T) {
+	s := New(1)
+	for name, f := range map[string]func(){
+		"empty":    func() { s.WeightedChoice(nil) },
+		"negative": func() { s.WeightedChoice([]float64{1, -1}) },
+		"nan":      func() { s.WeightedChoice([]float64{math.NaN()}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestShuffleIsPermutation(t *testing.T) {
+	s := New(8)
+	xs := []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	Shuffle(s, xs)
+	seen := make(map[int]bool)
+	for _, x := range xs {
+		seen[x] = true
+	}
+	if len(seen) != 10 {
+		t.Errorf("shuffle lost elements: %v", xs)
+	}
+}
+
+func TestSampleWithoutReplacement(t *testing.T) {
+	s := New(4)
+	idx := s.SampleWithoutReplacement(10, 4)
+	if len(idx) != 4 {
+		t.Fatalf("got %d indices, want 4", len(idx))
+	}
+	seen := make(map[int]bool)
+	for _, i := range idx {
+		if i < 0 || i >= 10 || seen[i] {
+			t.Fatalf("invalid or duplicate index %d in %v", i, idx)
+		}
+		seen[i] = true
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for k > n")
+		}
+	}()
+	s.SampleWithoutReplacement(3, 4)
+}
+
+func TestChoice(t *testing.T) {
+	s := New(2)
+	xs := []string{"a", "b", "c"}
+	got := Choice(s, xs)
+	if got != "a" && got != "b" && got != "c" {
+		t.Errorf("Choice returned foreign element %q", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for empty Choice")
+		}
+	}()
+	Choice(s, []int{})
+}

@@ -1,0 +1,111 @@
+// Package stats implements the numeric substrate of the CDAS models:
+// binomial tail probabilities (Theorem 1), Chernoff lower bounds
+// (Theorem 2), harmonic numbers (Lemma 1), numerically stable
+// log-sum-exp (Equation 4), histograms and descriptive statistics used by
+// the experiment harness.
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// MajorityTail computes P[X >= ceil(n/2)] for X ~ Binomial(n, p): the
+// probability that at least half of n independent workers with accuracy p
+// return the correct answer. This is the quantity E[P_{n/2}] of Theorem 1
+// in the paper; Algorithm 3 computes it with the iterative term ratio
+// C(n,k-1)/C(n,k) = k/(n-k+1), which we reproduce here so no factorials or
+// exponentials overflow.
+func MajorityTail(n int, p float64) float64 {
+	if n <= 0 {
+		panic(fmt.Sprintf("stats: MajorityTail needs n >= 1, got %d", n))
+	}
+	if p < 0 || p > 1 || math.IsNaN(p) {
+		panic(fmt.Sprintf("stats: MajorityTail needs p in [0,1], got %v", p))
+	}
+	return BinomialTail(n, (n+1)/2, p)
+}
+
+// BinomialTail computes P[X >= k0] for X ~ Binomial(n, p) using the ratio
+// recurrence of the paper's Algorithm 3 (C(n,k-1)/C(n,k) = k/(n-k+1)), but
+// anchored at the k0 term in log space and summed upward. The paper's
+// formulation anchors at p^n and walks down; that underflows to zero for
+// large n (e.g. 0.51^10001), whereas the k0 anchor is the largest term of
+// the tail whenever k0 is at or beyond the mode, which holds for every
+// majority-tail query the models issue.
+func BinomialTail(n, k0 int, p float64) float64 {
+	if n <= 0 {
+		panic(fmt.Sprintf("stats: BinomialTail needs n >= 1, got %d", n))
+	}
+	if k0 <= 0 {
+		return 1
+	}
+	if k0 > n {
+		return 0
+	}
+	switch p {
+	case 0:
+		return 0 // k0 >= 1 here
+	case 1:
+		return 1
+	}
+	q := 1 - p
+	logDelta := LogChoose(n, k0) + float64(k0)*math.Log(p) + float64(n-k0)*math.Log(q)
+	delta := math.Exp(logDelta)
+	sum := 0.0
+	for k := k0; k <= n; k++ {
+		sum += delta
+		// Move from the k term to the k+1 term:
+		// C(n,k+1) p^{k+1} q^{n-k-1} = C(n,k) p^k q^{n-k} * (n-k)/(k+1) * p/q.
+		delta = delta * float64(n-k) / float64(k+1) * p / q
+	}
+	if sum > 1 {
+		sum = 1 // guard against accumulated round-off just above 1
+	}
+	return sum
+}
+
+// BinomialPMF returns P[X = k] for X ~ Binomial(n, p), computed in log
+// space for stability.
+func BinomialPMF(n, k int, p float64) float64 {
+	if k < 0 || k > n {
+		return 0
+	}
+	switch p {
+	case 0:
+		if k == 0 {
+			return 1
+		}
+		return 0
+	case 1:
+		if k == n {
+			return 1
+		}
+		return 0
+	}
+	lg := LogChoose(n, k) + float64(k)*math.Log(p) + float64(n-k)*math.Log(1-p)
+	return math.Exp(lg)
+}
+
+// LogChoose returns ln C(n, k) using the log-gamma function.
+func LogChoose(n, k int) float64 {
+	if k < 0 || k > n {
+		return math.Inf(-1)
+	}
+	lgN, _ := math.Lgamma(float64(n + 1))
+	lgK, _ := math.Lgamma(float64(k + 1))
+	lgNK, _ := math.Lgamma(float64(n - k + 1))
+	return lgN - lgK - lgNK
+}
+
+// ChernoffMajorityLowerBound returns the Theorem 2 lower bound
+// 1 - exp(-2 n (mu - 1/2)^2) on the probability that at least half of n
+// workers with mean accuracy mu answer correctly. The bound is only
+// meaningful for mu > 1/2.
+func ChernoffMajorityLowerBound(n int, mu float64) float64 {
+	if n <= 0 {
+		panic(fmt.Sprintf("stats: ChernoffMajorityLowerBound needs n >= 1, got %d", n))
+	}
+	d := mu - 0.5
+	return 1 - math.Exp(-2*float64(n)*d*d)
+}

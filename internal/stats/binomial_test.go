@@ -1,0 +1,177 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// naiveBinomialTail computes P[X >= k0] by direct PMF summation, as an
+// oracle for the iterative Algorithm 3 implementation.
+func naiveBinomialTail(n, k0 int, p float64) float64 {
+	sum := 0.0
+	for k := k0; k <= n; k++ {
+		sum += BinomialPMF(n, k, p)
+	}
+	return sum
+}
+
+func TestBinomialTailMatchesNaive(t *testing.T) {
+	cases := []struct {
+		n, k0 int
+		p     float64
+	}{
+		{1, 1, 0.7}, {3, 2, 0.7}, {5, 3, 0.54}, {9, 5, 0.75},
+		{29, 15, 0.7}, {101, 51, 0.65}, {15, 8, 0.99}, {15, 8, 0.01},
+	}
+	for _, c := range cases {
+		got := BinomialTail(c.n, c.k0, c.p)
+		want := naiveBinomialTail(c.n, c.k0, c.p)
+		if math.Abs(got-want) > 1e-10 {
+			t.Errorf("BinomialTail(%d,%d,%v) = %v, naive = %v", c.n, c.k0, c.p, got, want)
+		}
+	}
+}
+
+func TestMajorityTailKnownValues(t *testing.T) {
+	// n=1: P[X>=1] = p.
+	if got := MajorityTail(1, 0.7); math.Abs(got-0.7) > 1e-12 {
+		t.Errorf("MajorityTail(1,0.7) = %v, want 0.7", got)
+	}
+	// n=3, p=0.7: P[X>=2] = 3*0.49*0.3 + 0.343 = 0.784.
+	if got := MajorityTail(3, 0.7); math.Abs(got-0.784) > 1e-12 {
+		t.Errorf("MajorityTail(3,0.7) = %v, want 0.784", got)
+	}
+	// Fair coin: majority of odd n is exactly 1/2 by symmetry.
+	for _, n := range []int{1, 3, 5, 7, 29} {
+		if got := MajorityTail(n, 0.5); math.Abs(got-0.5) > 1e-10 {
+			t.Errorf("MajorityTail(%d,0.5) = %v, want 0.5", n, got)
+		}
+	}
+}
+
+func TestMajorityTailEdgeProbabilities(t *testing.T) {
+	if got := MajorityTail(7, 0); got != 0 {
+		t.Errorf("MajorityTail(7,0) = %v, want 0", got)
+	}
+	if got := MajorityTail(7, 1); got != 1 {
+		t.Errorf("MajorityTail(7,1) = %v, want 1", got)
+	}
+}
+
+func TestBinomialTailBoundaryK(t *testing.T) {
+	if got := BinomialTail(5, 0, 0.3); got != 1 {
+		t.Errorf("k0=0 tail = %v, want 1", got)
+	}
+	if got := BinomialTail(5, 6, 0.3); got != 0 {
+		t.Errorf("k0>n tail = %v, want 0", got)
+	}
+	// k0 = n is just p^n.
+	if got, want := BinomialTail(4, 4, 0.6), math.Pow(0.6, 4); math.Abs(got-want) > 1e-12 {
+		t.Errorf("k0=n tail = %v, want %v", got, want)
+	}
+}
+
+func TestMajorityTailMonotoneInP(t *testing.T) {
+	// Property: the tail is nondecreasing in p for fixed n.
+	f := func(seedP, seedQ float64, nRaw uint8) bool {
+		n := 1 + 2*(int(nRaw)%20) // odd n in [1, 39]
+		p := math.Abs(math.Mod(seedP, 1))
+		q := math.Abs(math.Mod(seedQ, 1))
+		if p > q {
+			p, q = q, p
+		}
+		return MajorityTail(n, p) <= MajorityTail(n, q)+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMajorityTailMonotoneInOddN(t *testing.T) {
+	// For mu > 1/2, adding two workers can only help the majority.
+	for n := 1; n <= 41; n += 2 {
+		for _, mu := range []float64{0.55, 0.65, 0.75, 0.9} {
+			a, b := MajorityTail(n, mu), MajorityTail(n+2, mu)
+			if b+1e-12 < a {
+				t.Fatalf("MajorityTail not monotone: n=%d mu=%v: %v then %v", n, mu, a, b)
+			}
+		}
+	}
+}
+
+func TestChernoffBoundIsLowerBound(t *testing.T) {
+	// Theorem 2: the Chernoff expression lower-bounds the exact tail for
+	// odd n and mu > 1/2.
+	for n := 1; n <= 61; n += 2 {
+		for _, mu := range []float64{0.55, 0.6, 0.7, 0.8, 0.9, 0.95} {
+			exact := MajorityTail(n, mu)
+			bound := ChernoffMajorityLowerBound(n, mu)
+			if bound > exact+1e-12 {
+				t.Fatalf("Chernoff bound %v exceeds exact %v at n=%d mu=%v", bound, exact, n, mu)
+			}
+		}
+	}
+}
+
+func TestLogChoose(t *testing.T) {
+	cases := []struct {
+		n, k int
+		want float64
+	}{
+		{5, 2, 10}, {10, 0, 1}, {10, 10, 1}, {29, 15, 77558760},
+	}
+	for _, c := range cases {
+		got := math.Exp(LogChoose(c.n, c.k))
+		if math.Abs(got-c.want)/c.want > 1e-9 {
+			t.Errorf("exp(LogChoose(%d,%d)) = %v, want %v", c.n, c.k, got, c.want)
+		}
+	}
+	if !math.IsInf(LogChoose(3, 5), -1) {
+		t.Error("LogChoose(3,5) should be -Inf")
+	}
+}
+
+func TestBinomialPMFSumsToOne(t *testing.T) {
+	for _, n := range []int{1, 7, 30} {
+		for _, p := range []float64{0.1, 0.5, 0.93} {
+			sum := 0.0
+			for k := 0; k <= n; k++ {
+				sum += BinomialPMF(n, k, p)
+			}
+			if math.Abs(sum-1) > 1e-10 {
+				t.Errorf("PMF(n=%d,p=%v) sums to %v", n, p, sum)
+			}
+		}
+	}
+}
+
+func TestBinomialTailLargeN(t *testing.T) {
+	// Must not under/overflow at large n: majority at p=0.51, n=10001 is
+	// well above 1/2 and below 1.
+	got := MajorityTail(10001, 0.51)
+	if !(got > 0.5 && got < 1) {
+		t.Errorf("MajorityTail(10001, 0.51) = %v, want in (0.5, 1)", got)
+	}
+	if math.IsNaN(got) {
+		t.Error("MajorityTail large n produced NaN")
+	}
+}
+
+func TestMajorityTailPanicsOnBadInput(t *testing.T) {
+	assertPanics(t, func() { MajorityTail(0, 0.5) }, "n=0")
+	assertPanics(t, func() { MajorityTail(3, -0.1) }, "p<0")
+	assertPanics(t, func() { MajorityTail(3, 1.1) }, "p>1")
+	assertPanics(t, func() { BinomialTail(0, 1, 0.5) }, "BinomialTail n=0")
+	assertPanics(t, func() { ChernoffMajorityLowerBound(0, 0.7) }, "Chernoff n=0")
+}
+
+func assertPanics(t *testing.T, f func(), name string) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: expected panic", name)
+		}
+	}()
+	f()
+}

@@ -1,0 +1,133 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestHarmonicKnownValues(t *testing.T) {
+	cases := []struct {
+		k    int
+		want float64
+	}{
+		{0, 0}, {1, 1}, {2, 1.5}, {3, 1.5 + 1.0/3}, {4, 25.0 / 12},
+	}
+	for _, c := range cases {
+		if got := Harmonic(c.k); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Harmonic(%d) = %v, want %v", c.k, got, c.want)
+		}
+	}
+}
+
+func TestHarmonicAsymptoticAgreement(t *testing.T) {
+	// The direct sum and the asymptotic branch must agree near the cutoff.
+	direct := 0.0
+	for i := 1; i <= 2000; i++ {
+		direct += 1 / float64(i)
+	}
+	if got := Harmonic(2000); math.Abs(got-direct) > 1e-9 {
+		t.Errorf("Harmonic(2000) = %v, direct sum = %v", got, direct)
+	}
+}
+
+func TestHarmonicMonotone(t *testing.T) {
+	prev := 0.0
+	for k := 1; k <= 3000; k += 7 {
+		h := Harmonic(k)
+		if h <= prev {
+			t.Fatalf("Harmonic not strictly increasing at k=%d", k)
+		}
+		prev = h
+	}
+}
+
+func TestMeanVarianceStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Mean(xs); got != 5 {
+		t.Errorf("Mean = %v, want 5", got)
+	}
+	if got := Variance(xs); got != 4 {
+		t.Errorf("Variance = %v, want 4", got)
+	}
+	if got := StdDev(xs); got != 2 {
+		t.Errorf("StdDev = %v, want 2", got)
+	}
+	if Mean(nil) != 0 || Variance(nil) != 0 {
+		t.Error("empty-slice stats should be 0")
+	}
+}
+
+func TestMeanAbsError(t *testing.T) {
+	a := []float64{1, 2, 3}
+	b := []float64{2, 2, 1}
+	if got := MeanAbsError(a, b); got != 1 {
+		t.Errorf("MeanAbsError = %v, want 1", got)
+	}
+	if got := MeanAbsError(nil, nil); got != 0 {
+		t.Errorf("MeanAbsError(empty) = %v, want 0", got)
+	}
+	assertPanics(t, func() { MeanAbsError(a, b[:2]) }, "MeanAbsError mismatch")
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{3, 1, 2, 4, 5}
+	if got := Quantile(xs, 0); got != 1 {
+		t.Errorf("q0 = %v, want 1", got)
+	}
+	if got := Quantile(xs, 1); got != 5 {
+		t.Errorf("q1 = %v, want 5", got)
+	}
+	if got := Quantile(xs, 0.5); got != 3 {
+		t.Errorf("median = %v, want 3", got)
+	}
+	if got := Quantile(xs, 0.25); got != 2 {
+		t.Errorf("q25 = %v, want 2", got)
+	}
+	// Input must not be mutated.
+	if xs[0] != 3 {
+		t.Error("Quantile mutated its input")
+	}
+	assertPanics(t, func() { Quantile(nil, 0.5) }, "Quantile empty")
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 100, 4)
+	for _, v := range []float64{5, 30, 55, 80, 99, -10, 150} {
+		h.Add(v)
+	}
+	if h.Total() != 7 {
+		t.Errorf("Total = %d, want 7", h.Total())
+	}
+	// -10 clamps into bin 0; 150 clamps into bin 3.
+	want := []int{2, 1, 1, 3}
+	for i, c := range h.Counts {
+		if c != want[i] {
+			t.Errorf("bin %d = %d, want %d (all: %v)", i, c, want[i], h.Counts)
+		}
+	}
+	fr := h.Fractions()
+	sum := 0.0
+	for _, f := range fr {
+		sum += f
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Errorf("fractions sum to %v", sum)
+	}
+	if got := h.BinLabel(1); got != "25-50" {
+		t.Errorf("BinLabel(1) = %q, want \"25-50\"", got)
+	}
+}
+
+func TestHistogramEmptyFractions(t *testing.T) {
+	h := NewHistogram(0, 1, 3)
+	for _, f := range h.Fractions() {
+		if f != 0 {
+			t.Error("empty histogram fractions should be zero")
+		}
+	}
+}
+
+func TestHistogramConstructorValidation(t *testing.T) {
+	assertPanics(t, func() { NewHistogram(0, 1, 0) }, "bins=0")
+	assertPanics(t, func() { NewHistogram(1, 0, 3) }, "inverted bounds")
+}

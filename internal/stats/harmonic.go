@@ -1,0 +1,24 @@
+package stats
+
+import "math"
+
+// Harmonic returns the k-th harmonic number H_k = sum_{i=1..k} 1/i.
+// H_0 is 0. Values are computed directly up to a cutoff and with the
+// asymptotic expansion beyond it; Lemma 1's m bound uses H_{k-1}.
+func Harmonic(k int) float64 {
+	if k <= 0 {
+		return 0
+	}
+	if k <= 1024 {
+		h := 0.0
+		// Sum smallest terms first for slightly better rounding.
+		for i := k; i >= 1; i-- {
+			h += 1 / float64(i)
+		}
+		return h
+	}
+	// H_k ~ ln k + gamma + 1/(2k) - 1/(12k^2) + 1/(120k^4)
+	const gamma = 0.57721566490153286060651209008240243
+	fk := float64(k)
+	return math.Log(fk) + gamma + 1/(2*fk) - 1/(12*fk*fk) + 1/(120*fk*fk*fk*fk)
+}

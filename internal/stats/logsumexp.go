@@ -1,0 +1,76 @@
+package stats
+
+import "math"
+
+// LogSumExp returns ln(sum_i exp(xs[i])) computed stably by factoring out
+// the maximum term. An empty input yields -Inf (the log of zero).
+func LogSumExp(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.Inf(-1)
+	}
+	maxV := xs[0]
+	for _, x := range xs[1:] {
+		if x > maxV {
+			maxV = x
+		}
+	}
+	if math.IsInf(maxV, -1) {
+		return maxV
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += math.Exp(x - maxV)
+	}
+	return maxV + math.Log(sum)
+}
+
+// SoftmaxInto writes softmax(xs) into out (which must have the same
+// length) and returns out. The computation is shift-invariant, matching
+// Equation 4's normalisation of answer confidences.
+func SoftmaxInto(out, xs []float64) []float64 {
+	if len(out) != len(xs) {
+		panic("stats: SoftmaxInto length mismatch")
+	}
+	if len(xs) == 0 {
+		return out
+	}
+	lse := LogSumExp(xs)
+	for i, x := range xs {
+		out[i] = math.Exp(x - lse)
+	}
+	return out
+}
+
+// Softmax returns softmax(xs) in a new slice.
+func Softmax(xs []float64) []float64 {
+	return SoftmaxInto(make([]float64, len(xs)), xs)
+}
+
+// LogOdds returns ln(a / (1 - a)). The accuracy a is clamped to
+// [ClampLo, ClampHi] first so the result is always finite; perfect or
+// zero accuracies would otherwise produce infinite worker confidences
+// and break Equation 4's softmax.
+func LogOdds(a float64) float64 {
+	a = ClampProb(a)
+	return math.Log(a / (1 - a))
+}
+
+// Probability clamp bounds for log-odds computations.
+const (
+	ClampLo = 1e-4
+	ClampHi = 1 - 1e-4
+)
+
+// ClampProb clamps p into [ClampLo, ClampHi].
+func ClampProb(p float64) float64 {
+	if math.IsNaN(p) {
+		return 0.5
+	}
+	if p < ClampLo {
+		return ClampLo
+	}
+	if p > ClampHi {
+		return ClampHi
+	}
+	return p
+}

@@ -1,0 +1,107 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestLogSumExpBasic(t *testing.T) {
+	got := LogSumExp([]float64{0, 0})
+	if want := math.Log(2); math.Abs(got-want) > 1e-12 {
+		t.Errorf("LogSumExp([0,0]) = %v, want %v", got, want)
+	}
+	if !math.IsInf(LogSumExp(nil), -1) {
+		t.Error("LogSumExp(nil) should be -Inf")
+	}
+	if got := LogSumExp([]float64{3}); got != 3 {
+		t.Errorf("LogSumExp single = %v, want 3", got)
+	}
+}
+
+func TestLogSumExpExtremeValues(t *testing.T) {
+	// Would overflow without the max-shift.
+	got := LogSumExp([]float64{1000, 1000})
+	if want := 1000 + math.Log(2); math.Abs(got-want) > 1e-9 {
+		t.Errorf("LogSumExp([1000,1000]) = %v, want %v", got, want)
+	}
+	got = LogSumExp([]float64{-1000, -1000})
+	if want := -1000 + math.Log(2); math.Abs(got-want) > 1e-9 {
+		t.Errorf("LogSumExp([-1000,-1000]) = %v, want %v", got, want)
+	}
+	if !math.IsInf(LogSumExp([]float64{math.Inf(-1), math.Inf(-1)}), -1) {
+		t.Error("LogSumExp of -Infs should be -Inf")
+	}
+}
+
+func TestSoftmaxProperties(t *testing.T) {
+	// Property: softmax sums to 1, every entry in (0, 1], shift invariant.
+	f := func(a, b, c, shift float64) bool {
+		xs := []float64{math.Mod(a, 50), math.Mod(b, 50), math.Mod(c, 50)}
+		sm := Softmax(xs)
+		sum := 0.0
+		for _, v := range sm {
+			if v < 0 || v > 1 || math.IsNaN(v) {
+				return false
+			}
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			return false
+		}
+		sh := math.Mod(shift, 100)
+		shifted := []float64{xs[0] + sh, xs[1] + sh, xs[2] + sh}
+		sm2 := Softmax(shifted)
+		for i := range sm {
+			if math.Abs(sm[i]-sm2[i]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSoftmaxOrderPreserving(t *testing.T) {
+	sm := Softmax([]float64{1, 3, 2})
+	if !(sm[1] > sm[2] && sm[2] > sm[0]) {
+		t.Errorf("softmax not order preserving: %v", sm)
+	}
+}
+
+func TestSoftmaxIntoLengthMismatchPanics(t *testing.T) {
+	assertPanics(t, func() { SoftmaxInto(make([]float64, 2), make([]float64, 3)) }, "SoftmaxInto mismatch")
+}
+
+func TestLogOddsClamping(t *testing.T) {
+	if got := LogOdds(0.5); math.Abs(got) > 1e-12 {
+		t.Errorf("LogOdds(0.5) = %v, want 0", got)
+	}
+	// Clamped endpoints stay finite.
+	for _, a := range []float64{0, 1, -5, 7, math.NaN()} {
+		got := LogOdds(a)
+		if math.IsInf(got, 0) || math.IsNaN(got) {
+			t.Errorf("LogOdds(%v) = %v, want finite", a, got)
+		}
+	}
+	// Antisymmetry: LogOdds(a) = -LogOdds(1-a).
+	for _, a := range []float64{0.2, 0.31, 0.54, 0.73} {
+		if d := LogOdds(a) + LogOdds(1-a); math.Abs(d) > 1e-12 {
+			t.Errorf("LogOdds antisymmetry broken at %v: %v", a, d)
+		}
+	}
+}
+
+func TestClampProb(t *testing.T) {
+	if ClampProb(0.3) != 0.3 {
+		t.Error("ClampProb should pass through interior values")
+	}
+	if ClampProb(-1) != ClampLo || ClampProb(2) != ClampHi {
+		t.Error("ClampProb endpoints wrong")
+	}
+	if ClampProb(math.NaN()) != 0.5 {
+		t.Error("ClampProb(NaN) should be 0.5")
+	}
+}

@@ -1,0 +1,192 @@
+// Package stream implements continuous query processing for CDAS: items
+// (tweets, images) flow in, the executor's filter and buffer feed
+// HIT-sized batches to the crowdsourcing engine as they fill, and the
+// running summary is re-published after every batch — the live result
+// view of the paper's Figure 4 ("the results are updated as new tweets
+// are being streamed into TSA").
+package stream
+
+import (
+	"errors"
+	"fmt"
+
+	"cdas/internal/core/sampling"
+	"cdas/internal/crowd"
+	"cdas/internal/engine"
+	"cdas/internal/exec"
+	"cdas/internal/jobs"
+)
+
+// Sink receives summary updates; *httpapi.Server satisfies it.
+type Sink interface {
+	UpdateFromSummary(name string, sum exec.Summary, progress float64, done bool)
+}
+
+// Convert turns a stream item into the crowd question the engine
+// publishes. The application owns the mapping (TSA: tweet text over the
+// sentiment domain; IT: candidate tags).
+type Convert func(exec.Item) crowd.Question
+
+// Config assembles a Processor.
+type Config struct {
+	// Name identifies the query at the sink.
+	Name string
+	// Query filters the stream (keywords + window).
+	Query jobs.Query
+	// Engine processes batches. Required.
+	Engine *engine.Engine
+	// Golden is the golden-question pool handed to every batch.
+	Golden []crowd.Question
+	// Convert maps items to questions. Required.
+	Convert Convert
+	// BatchSize is the number of filtered items per engine batch. It
+	// defaults to, and must not exceed, the engine's real (non-golden)
+	// slots per HIT.
+	BatchSize int
+	// ExpectedItems, when positive, drives the progress fraction
+	// reported to the sink; otherwise progress stays 0 until Flush.
+	ExpectedItems int
+	// Sink receives updates; may be nil (summaries still accumulate).
+	Sink Sink
+}
+
+// Processor is a single-query streaming pipeline. Not safe for
+// concurrent use; one goroutine owns a Processor.
+type Processor struct {
+	cfg      Config
+	buffer   *exec.Buffer
+	outcomes []exec.Outcome
+	texts    map[string]string
+	seen     int
+	matched  int
+	done     bool
+	// Spent accumulates engine batch costs.
+	Spent float64
+}
+
+// NewProcessor validates the configuration and builds a Processor.
+func NewProcessor(cfg Config) (*Processor, error) {
+	if cfg.Engine == nil {
+		return nil, errors.New("stream: engine is required")
+	}
+	if cfg.Convert == nil {
+		return nil, errors.New("stream: convert function is required")
+	}
+	if cfg.Name == "" {
+		return nil, errors.New("stream: query name is required")
+	}
+	if err := cfg.Query.Validate(); err != nil {
+		return nil, err
+	}
+	ec := cfg.Engine.Config()
+	realSlots := ec.HITSize - sampling.GoldenCount(ec.HITSize, ec.SamplingRate)
+	if cfg.BatchSize == 0 {
+		cfg.BatchSize = realSlots
+	}
+	if cfg.BatchSize < 1 {
+		return nil, fmt.Errorf("stream: batch size must be positive, got %d", cfg.BatchSize)
+	}
+	if cfg.BatchSize > realSlots {
+		return nil, fmt.Errorf("stream: batch size %d exceeds the engine's %d real slots per HIT",
+			cfg.BatchSize, realSlots)
+	}
+	return &Processor{
+		cfg:    cfg,
+		buffer: exec.NewBuffer(cfg.BatchSize),
+		texts:  make(map[string]string),
+	}, nil
+}
+
+// ErrDone reports offers after Flush.
+var ErrDone = errors.New("stream: processor already flushed")
+
+// Offer feeds one stream item: items failing the query filter are
+// dropped; matching items buffer up and trigger an engine batch when the
+// buffer fills.
+func (p *Processor) Offer(item exec.Item) error {
+	if p.done {
+		return ErrDone
+	}
+	p.seen++
+	if !p.cfg.Query.Matches(item.Text, item.At) {
+		return nil
+	}
+	p.matched++
+	p.texts[item.ID] = item.Text
+	if batch, full := p.buffer.Add(item); full {
+		return p.process(batch)
+	}
+	return nil
+}
+
+// Flush processes any buffered remainder and marks the query done.
+func (p *Processor) Flush() error {
+	if p.done {
+		return ErrDone
+	}
+	rest := p.buffer.Flush()
+	if len(rest) > 0 {
+		if err := p.process(rest); err != nil {
+			return err
+		}
+	}
+	p.done = true
+	p.publish()
+	return nil
+}
+
+// process sends one batch through the engine and publishes the updated
+// summary.
+func (p *Processor) process(items []exec.Item) error {
+	questions := make([]crowd.Question, len(items))
+	for i, it := range items {
+		questions[i] = p.cfg.Convert(it)
+	}
+	res, err := p.cfg.Engine.ProcessBatch(questions, p.cfg.Golden)
+	if err != nil {
+		return fmt.Errorf("stream: batch: %w", err)
+	}
+	p.Spent += res.Cost
+	for _, qr := range res.Results {
+		p.outcomes = append(p.outcomes, exec.Outcome{ItemID: qr.Question.ID, Accepted: qr.Answer})
+	}
+	p.publish()
+	return nil
+}
+
+func (p *Processor) publish() {
+	if p.cfg.Sink == nil {
+		return
+	}
+	p.cfg.Sink.UpdateFromSummary(p.cfg.Name, p.Summary(), p.Progress(), p.done)
+}
+
+// Summary returns the running percentages-plus-reasons presentation.
+func (p *Processor) Summary() exec.Summary {
+	return exec.Summarise(p.cfg.Query.Domain, p.outcomes, p.texts, p.cfg.Query.Keywords...)
+}
+
+// Progress reports the fraction of expected items already answered, or 0
+// when no expectation was configured (1 after Flush).
+func (p *Processor) Progress() float64 {
+	if p.done {
+		return 1
+	}
+	if p.cfg.ExpectedItems <= 0 {
+		return 0
+	}
+	f := float64(len(p.outcomes)) / float64(p.cfg.ExpectedItems)
+	if f > 1 {
+		f = 1
+	}
+	return f
+}
+
+// Stats reports stream counters: items seen, items matching the filter,
+// and items already answered.
+func (p *Processor) Stats() (seen, matched, answered int) {
+	return p.seen, p.matched, len(p.outcomes)
+}
+
+// Done reports whether Flush has run.
+func (p *Processor) Done() bool { return p.done }

@@ -1,0 +1,272 @@
+package stream
+
+import (
+	"testing"
+	"time"
+
+	"cdas/internal/crowd"
+	"cdas/internal/engine"
+	"cdas/internal/exec"
+	"cdas/internal/httpapi"
+	"cdas/internal/textgen"
+	"cdas/internal/tsa"
+)
+
+var streamStart = time.Date(2011, 10, 1, 0, 0, 0, 0, time.UTC)
+
+func testEngine(t *testing.T, seed uint64) *engine.Engine {
+	t.Helper()
+	cfg := crowd.DefaultConfig(seed)
+	cfg.Workers = 150
+	platform, err := crowd.NewPlatform(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := engine.New(engine.CrowdPlatform{Platform: platform}, nil, engine.Config{
+		JobName:          "stream-test",
+		RequiredAccuracy: 0.85,
+		SamplingRate:     0.2,
+		HITSize:          15,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+func testConfig(t *testing.T, seed uint64, sink Sink) Config {
+	t.Helper()
+	golden, err := textgen.Generate(textgen.Config{
+		Seed: seed + 100, Movies: []string{"The Calibration Reel"}, TweetsPerMovie: 30,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Config{
+		Name:    "thor",
+		Query:   tsa.Query("Thor", 0.85, streamStart, 24*time.Hour),
+		Engine:  testEngine(t, seed),
+		Golden:  tsa.GoldenQuestions(golden),
+		Convert: tweetConverter(t, seed),
+		Sink:    sink,
+	}
+}
+
+// tweetConverter regenerates the tweet set so items can be mapped back to
+// questions with ground truth.
+func tweetConverter(t *testing.T, seed uint64) Convert {
+	t.Helper()
+	tweets := generateTweets(t, seed)
+	byID := make(map[string]textgen.Tweet, len(tweets))
+	for _, tw := range tweets {
+		byID[tw.ID] = tw
+	}
+	return func(it exec.Item) crowd.Question {
+		return byID[it.ID].Question()
+	}
+}
+
+func generateTweets(t *testing.T, seed uint64) []textgen.Tweet {
+	t.Helper()
+	tweets, err := textgen.Generate(textgen.Config{
+		Seed: seed, Movies: []string{"Thor", "Roommate"}, TweetsPerMovie: 30,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tweets
+}
+
+func items(tweets []textgen.Tweet) []exec.Item {
+	out := make([]exec.Item, len(tweets))
+	for i, tw := range tweets {
+		out[i] = exec.Item{ID: tw.ID, Text: tw.Text, At: tw.At}
+	}
+	return out
+}
+
+func TestNewProcessorValidation(t *testing.T) {
+	valid := testConfig(t, 1, nil)
+	mutations := map[string]func(*Config){
+		"no engine":      func(c *Config) { c.Engine = nil },
+		"no convert":     func(c *Config) { c.Convert = nil },
+		"no name":        func(c *Config) { c.Name = "" },
+		"bad query":      func(c *Config) { c.Query.Keywords = nil },
+		"bad batch size": func(c *Config) { c.BatchSize = -1 },
+	}
+	for name, mutate := range mutations {
+		cfg := valid
+		mutate(&cfg)
+		if _, err := NewProcessor(cfg); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+	if _, err := NewProcessor(valid); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+}
+
+func TestStreamFiltersAndBatches(t *testing.T) {
+	cfg := testConfig(t, 2, nil)
+	cfg.BatchSize = 10
+	p, err := NewProcessor(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tweets := generateTweets(t, 2)
+	for _, it := range items(tweets) {
+		if err := p.Offer(it); err != nil {
+			t.Fatal(err)
+		}
+	}
+	seen, matched, answered := p.Stats()
+	if seen != 60 {
+		t.Errorf("seen = %d, want 60", seen)
+	}
+	if matched != 30 {
+		t.Errorf("matched = %d, want 30 (Thor only)", matched)
+	}
+	// Three full batches of 10 should have been processed.
+	if answered != 30 {
+		t.Errorf("answered = %d, want 30", answered)
+	}
+	if p.Spent <= 0 {
+		t.Error("no spend recorded")
+	}
+}
+
+func TestStreamFlushHandlesRemainder(t *testing.T) {
+	cfg := testConfig(t, 3, nil)
+	cfg.BatchSize = 12
+	p, err := NewProcessor(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tweets := generateTweets(t, 3)
+	for _, it := range items(tweets) {
+		if err := p.Offer(it); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// 30 matched items with batch 12: 24 processed, 6 buffered.
+	if _, _, answered := p.Stats(); answered != 24 {
+		t.Fatalf("answered before flush = %d, want 24", answered)
+	}
+	if err := p.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, answered := p.Stats(); answered != 30 {
+		t.Errorf("answered after flush = %d, want 30", answered)
+	}
+	if !p.Done() || p.Progress() != 1 {
+		t.Error("flush should complete the query")
+	}
+	if err := p.Offer(exec.Item{}); err != ErrDone {
+		t.Errorf("Offer after flush err = %v, want ErrDone", err)
+	}
+	if err := p.Flush(); err != ErrDone {
+		t.Errorf("second Flush err = %v, want ErrDone", err)
+	}
+}
+
+func TestStreamPublishesToSink(t *testing.T) {
+	sink := httpapi.NewServer()
+	cfg := testConfig(t, 4, sink)
+	cfg.BatchSize = 10
+	cfg.ExpectedItems = 30
+	p, err := NewProcessor(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tweets := generateTweets(t, 4)
+	its := items(tweets)
+	// Tweets are generated movie-by-movie; interleave so the first half
+	// of the stream carries only half the Thor tweets.
+	var firstHalf, secondHalf []exec.Item
+	for i, it := range its {
+		if i%2 == 0 {
+			firstHalf = append(firstHalf, it)
+		} else {
+			secondHalf = append(secondHalf, it)
+		}
+	}
+	for _, it := range firstHalf {
+		if err := p.Offer(it); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st, ok := sink.Get("thor")
+	if !ok {
+		t.Fatal("sink never updated")
+	}
+	if st.Done {
+		t.Error("query marked done mid-stream")
+	}
+	if st.Progress <= 0 || st.Progress >= 1 {
+		t.Errorf("mid-stream progress = %v", st.Progress)
+	}
+	for _, it := range secondHalf {
+		if err := p.Offer(it); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := p.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	st, _ = sink.Get("thor")
+	if !st.Done || st.Progress != 1 {
+		t.Errorf("final state = %+v", st)
+	}
+	total := 0.0
+	for _, label := range textgen.Labels {
+		total += st.Percentages[label]
+	}
+	if total < 0.999 || total > 1.001 {
+		t.Errorf("percentages sum to %v", total)
+	}
+}
+
+func TestStreamSummaryAccuracy(t *testing.T) {
+	cfg := testConfig(t, 5, nil)
+	p, err := NewProcessor(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tweets := generateTweets(t, 5)
+	truths := make(map[string]string)
+	for _, tw := range tweets {
+		truths[tw.ID] = tw.Truth
+	}
+	for _, it := range items(tweets) {
+		if err := p.Offer(it); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := p.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	correct, total := 0, 0
+	for _, oc := range p.outcomes {
+		total++
+		if oc.Accepted == truths[oc.ItemID] {
+			correct++
+		}
+	}
+	if total == 0 {
+		t.Fatal("no outcomes")
+	}
+	if acc := float64(correct) / float64(total); acc < 0.7 {
+		t.Errorf("streaming accuracy = %v, want >= 0.7", acc)
+	}
+}
+
+func TestProgressWithoutExpectation(t *testing.T) {
+	cfg := testConfig(t, 6, nil)
+	p, err := NewProcessor(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Progress() != 0 {
+		t.Error("progress without expectation should be 0 until flush")
+	}
+}

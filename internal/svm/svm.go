@@ -1,0 +1,217 @@
+// Package svm implements the machine-learning baseline of the paper's
+// Figure 5: a linear support-vector classifier over bag-of-words features,
+// standing in for LIBSVM (which is closed off to this offline build). It
+// trains one-vs-rest linear SVMs with the Pegasos stochastic sub-gradient
+// algorithm (Shalev-Shwartz et al.), the standard primal solver for
+// linear text classification — the same model family a LIBSVM linear
+// kernel would fit on unigram features.
+package svm
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"cdas/internal/randx"
+	"cdas/internal/textutil"
+)
+
+// Options tunes training. Zero fields take the documented defaults.
+type Options struct {
+	Epochs int     // passes over the training set; default 10
+	Lambda float64 // L2 regularisation strength; default 1e-4
+	Seed   uint64  // shuffling seed; default 1
+	// MinDF drops tokens appearing in fewer than MinDF documents
+	// (vocabulary pruning); default 2.
+	MinDF int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Epochs == 0 {
+		o.Epochs = 10
+	}
+	if o.Lambda == 0 {
+		o.Lambda = 1e-4
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.MinDF == 0 {
+		o.MinDF = 2
+	}
+	return o
+}
+
+// Model is a trained one-vs-rest linear SVM text classifier.
+type Model struct {
+	vocab   map[string]int
+	classes []string
+	// weights[c][f] is class c's weight for vocabulary feature f; the
+	// last element of each row is the bias term.
+	weights [][]float64
+}
+
+// Train fits the classifier on parallel slices of documents and labels.
+func Train(docs, labels []string, opts Options) (*Model, error) {
+	if len(docs) == 0 {
+		return nil, errors.New("svm: no training documents")
+	}
+	if len(docs) != len(labels) {
+		return nil, fmt.Errorf("svm: %d documents but %d labels", len(docs), len(labels))
+	}
+	opts = opts.withDefaults()
+
+	// Build the pruned vocabulary from document frequencies.
+	df := make(map[string]int)
+	tokenised := make([][]string, len(docs))
+	for i, d := range docs {
+		toks := textutil.ContentTokens(d)
+		tokenised[i] = toks
+		seen := make(map[string]struct{}, len(toks))
+		for _, t := range toks {
+			if _, dup := seen[t]; !dup {
+				seen[t] = struct{}{}
+				df[t]++
+			}
+		}
+	}
+	vocabWords := make([]string, 0, len(df))
+	for w, c := range df {
+		if c >= opts.MinDF {
+			vocabWords = append(vocabWords, w)
+		}
+	}
+	sort.Strings(vocabWords) // deterministic feature order
+	vocab := make(map[string]int, len(vocabWords))
+	for i, w := range vocabWords {
+		vocab[w] = i
+	}
+	if len(vocab) == 0 {
+		return nil, errors.New("svm: vocabulary empty after pruning (lower MinDF?)")
+	}
+
+	classSet := make(map[string]struct{})
+	for _, l := range labels {
+		classSet[l] = struct{}{}
+	}
+	classes := make([]string, 0, len(classSet))
+	for c := range classSet {
+		classes = append(classes, c)
+	}
+	sort.Strings(classes)
+	if len(classes) < 2 {
+		return nil, errors.New("svm: need at least two classes")
+	}
+
+	m := &Model{vocab: vocab, classes: classes, weights: make([][]float64, len(classes))}
+	features := make([]map[int]float64, len(docs))
+	for i, toks := range tokenised {
+		features[i] = m.vectorize(toks)
+	}
+
+	rng := randx.New(opts.Seed)
+	dim := len(vocab) + 1 // +1 bias
+	for ci, class := range classes {
+		w := make([]float64, dim)
+		t := 0
+		order := make([]int, len(docs))
+		for i := range order {
+			order[i] = i
+		}
+		for epoch := 0; epoch < opts.Epochs; epoch++ {
+			randx.Shuffle(rng, order)
+			for _, i := range order {
+				t++
+				eta := 1 / (opts.Lambda * float64(t))
+				y := -1.0
+				if labels[i] == class {
+					y = 1.0
+				}
+				margin := y * dot(w, features[i], dim)
+				// Pegasos update: shrink, and step on margin violations.
+				scale := 1 - eta*opts.Lambda
+				if scale < 0 {
+					scale = 0
+				}
+				for f := range w {
+					w[f] *= scale
+				}
+				if margin < 1 {
+					for f, v := range features[i] {
+						w[f] += eta * y * v
+					}
+					w[dim-1] += eta * y // bias (feature value 1)
+				}
+			}
+		}
+		m.weights[ci] = w
+	}
+	return m, nil
+}
+
+// vectorize maps tokens to L2-normalised term counts.
+func (m *Model) vectorize(toks []string) map[int]float64 {
+	counts := make(map[int]float64)
+	for _, t := range toks {
+		if f, ok := m.vocab[t]; ok {
+			counts[f]++
+		}
+	}
+	norm := 0.0
+	for _, v := range counts {
+		norm += v * v
+	}
+	if norm > 0 {
+		norm = math.Sqrt(norm)
+		for f := range counts {
+			counts[f] /= norm
+		}
+	}
+	return counts
+}
+
+func dot(w []float64, x map[int]float64, dim int) float64 {
+	s := w[dim-1] // bias
+	for f, v := range x {
+		s += w[f] * v
+	}
+	return s
+}
+
+// Classes returns the label set in model order.
+func (m *Model) Classes() []string { return append([]string(nil), m.classes...) }
+
+// VocabularySize reports the number of retained features.
+func (m *Model) VocabularySize() int { return len(m.vocab) }
+
+// Predict classifies a document: the class with the highest decision
+// score.
+func (m *Model) Predict(doc string) string {
+	x := m.vectorize(textutil.ContentTokens(doc))
+	best, bestScore := m.classes[0], math.Inf(-1)
+	dim := len(m.vocab) + 1
+	for ci, class := range m.classes {
+		if s := dot(m.weights[ci], x, dim); s > bestScore {
+			best, bestScore = class, s
+		}
+	}
+	return best
+}
+
+// Accuracy evaluates the model on parallel test slices.
+func (m *Model) Accuracy(docs, labels []string) (float64, error) {
+	if len(docs) != len(labels) {
+		return 0, fmt.Errorf("svm: %d documents but %d labels", len(docs), len(labels))
+	}
+	if len(docs) == 0 {
+		return 0, errors.New("svm: no test documents")
+	}
+	correct := 0
+	for i, d := range docs {
+		if m.Predict(d) == labels[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(docs)), nil
+}

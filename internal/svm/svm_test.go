@@ -1,0 +1,131 @@
+package svm
+
+import (
+	"testing"
+
+	"cdas/internal/textgen"
+	"cdas/internal/tsa"
+)
+
+func TestTrainValidation(t *testing.T) {
+	if _, err := Train(nil, nil, Options{}); err == nil {
+		t.Error("empty corpus accepted")
+	}
+	if _, err := Train([]string{"a"}, []string{"x", "y"}, Options{}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := Train([]string{"same words", "same words"}, []string{"a", "a"}, Options{}); err == nil {
+		t.Error("single-class corpus accepted")
+	}
+	if _, err := Train([]string{"unique one", "different two"}, []string{"a", "b"}, Options{MinDF: 5}); err == nil {
+		t.Error("empty vocabulary accepted")
+	}
+}
+
+func TestLearnsSeparableToyProblem(t *testing.T) {
+	docs := []string{
+		"great wonderful fantastic", "great superb lovely", "wonderful amazing great",
+		"awful terrible horrid", "terrible boring awful", "horrid awful dreadful",
+	}
+	labels := []string{"pos", "pos", "pos", "neg", "neg", "neg"}
+	m, err := Train(docs, labels, Options{Epochs: 30, MinDF: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Predict("really great and wonderful stuff"); got != "pos" {
+		t.Errorf("positive doc predicted %q", got)
+	}
+	if got := m.Predict("what an awful terrible bore"); got != "neg" {
+		t.Errorf("negative doc predicted %q", got)
+	}
+	acc, err := m.Accuracy(docs, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 0.99 {
+		t.Errorf("training accuracy %v on separable data", acc)
+	}
+}
+
+func TestDeterministicTraining(t *testing.T) {
+	docs := []string{"good nice", "bad ugly", "good fine", "bad poor"}
+	labels := []string{"p", "n", "p", "n"}
+	m1, err := Train(docs, labels, Options{Seed: 9, MinDF: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Train(docs, labels, Options{Seed: 9, MinDF: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ci := range m1.weights {
+		for f := range m1.weights[ci] {
+			if m1.weights[ci][f] != m2.weights[ci][f] {
+				t.Fatal("training not deterministic under fixed seed")
+			}
+		}
+	}
+}
+
+func TestClassesAndVocab(t *testing.T) {
+	docs := []string{"alpha beta alpha", "gamma delta gamma", "alpha gamma"}
+	labels := []string{"x", "y", "x"}
+	m, err := Train(docs, labels, Options{MinDF: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cls := m.Classes()
+	if len(cls) != 2 || cls[0] != "x" || cls[1] != "y" {
+		t.Errorf("Classes = %v", cls)
+	}
+	if m.VocabularySize() == 0 {
+		t.Error("vocabulary empty")
+	}
+	// Returned slice must be a copy.
+	cls[0] = "mutated"
+	if m.Classes()[0] == "mutated" {
+		t.Error("Classes leaked internal state")
+	}
+}
+
+func TestAccuracyValidation(t *testing.T) {
+	m, err := Train([]string{"good fine", "bad poor"}, []string{"p", "n"}, Options{MinDF: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Accuracy([]string{"a"}, []string{"p", "n"}); err == nil {
+		t.Error("mismatched evaluation accepted")
+	}
+	if _, err := m.Accuracy(nil, nil); err == nil {
+		t.Error("empty evaluation accepted")
+	}
+}
+
+func TestFigure5Protocol(t *testing.T) {
+	// The paper's protocol at reduced scale: train on the non-test
+	// movies, evaluate on the five Figure 5 movies. The SVM must beat
+	// chance (1/3) clearly but stay below human-level accuracy — hard
+	// (sarcastic) tweets and neutral ambiguity cap it.
+	cfg := textgen.Config{Seed: 11, Movies: textgen.Movies200()[:40], TweetsPerMovie: 60}
+	tweets, err := textgen.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	test, train := tsa.SplitByMovie(tweets, textgen.Figure5Movies)
+	trainDocs, trainLabels := tsa.Corpus(train)
+	testDocs, testLabels := tsa.Corpus(test)
+	m, err := Train(trainDocs, trainLabels, Options{Epochs: 8, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc, err := m.Accuracy(testDocs, testLabels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 0.45 {
+		t.Errorf("SVM accuracy %v barely beats chance; featurisation broken?", acc)
+	}
+	if acc > 0.92 {
+		t.Errorf("SVM accuracy %v implausibly high; hard tweets should cap it", acc)
+	}
+}

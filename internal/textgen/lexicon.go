@@ -1,0 +1,88 @@
+package textgen
+
+// Sentiment lexicons and phrase templates for the synthetic tweet stream.
+//
+// Template design rule: every template is shared across the classes that
+// can instantiate it — the ONLY class signal a bag-of-words learner can
+// extract is the polarity word filling the {w} slots. Combined with
+// misspelling distortion (humans read through "terrrible"; a unigram
+// model sees an unknown token), this caps machine accuracy the way real
+// tweet noise capped LIBSVM in the paper's Figure 5, without rigging the
+// classifier itself.
+
+var positiveWords = []string{
+	"amazing", "awesome", "brilliant", "fantastic", "superb", "stunning",
+	"gorgeous", "hilarious", "gripping", "epic", "perfect",
+	"beautiful", "touching", "thrilling", "unforgettable", "magnificent",
+	"delightful", "wonderful", "flawless", "captivating", "breathtaking",
+}
+
+var negativeWords = []string{
+	"terrible", "awful", "horrible", "boring", "dreadful", "lame",
+	"disappointing", "messy", "disastrous", "painful", "unwatchable",
+	"sloppy", "pointless", "bland", "cringeworthy", "forgettable", "dull",
+	"atrocious", "laughable", "insufferable", "clumsy",
+}
+
+var neutralWords = []string{
+	"tonight", "tickets", "trailer", "cinema", "screening", "premiere",
+	"weekend", "sequel", "director", "cast", "runtime", "soundtrack",
+	"subtitles", "matinee", "release", "showtimes",
+}
+
+// polarityTemplates carry exactly one {w} slot and are used verbatim for
+// BOTH positive and negative tweets (and, inverted, for hard ones).
+var polarityTemplates = []string{
+	"{m} was {w}",
+	"just watched {m}: {w}",
+	"{m} is {w}, full stop",
+	"the most {w} film of the year: {m}",
+	"{m} review: {w}",
+	"that {m} screening was {w}",
+	"honestly {m} felt {w} to me",
+	"two hours of {m} and all i can say is {w}",
+	"{w}. that is {m} in one word",
+}
+
+// mixedPolarityTemplates carry a {w1} and a {w2} slot filled with words
+// of OPPOSITE polarity; the truth is the class of the {w2} (final-clause)
+// word. Both label variants instantiate the same template, so the bag of
+// words is perfectly balanced and only reading order disambiguates.
+var mixedPolarityTemplates = []string{
+	"{m} started {w1} but ended up {w2}",
+	"everyone said {m} would be {w1}; i found it {w2}",
+	"{m}: {w1} trailer, {w2} movie",
+	"expected something {w1} from {m} and got something {w2}",
+}
+
+// weakTemplates carry no lexicon words; sentiment lives in tone that a
+// unigram model (and, mostly, a hurried worker) cannot recover. Their
+// labels are assigned randomly between positive and negative.
+var weakTemplates = []string{
+	"well. {m}. that sure was a movie",
+	"{m}... yeah... wow",
+	"i have no words for {m}",
+	"so that happened: {m}",
+	"{m}. again. tomorrow. maybe",
+	"everyone is talking about {m} and i get it now",
+}
+
+// neutralTemplates carry one {w} slot filled from the neutral lexicon.
+var neutralTemplates = []string{
+	"watching {m} {w}",
+	"anyone got {w} for {m}?",
+	"the {m} {w} just dropped",
+	"{m} opens this {w} at the cinema",
+	"is {m} playing near me? checking {w}",
+	"queueing for the {m} {w}",
+}
+
+// tingedNeutralTemplates are factual tweets quoting a polarity word —
+// label noise for lexicon-based classifiers. {w} draws from either
+// polarity lexicon; the truth stays Neutral.
+var tingedNeutralTemplates = []string{
+	"people call {m} {w}; just here for the trailer",
+	"'{w}' they said. anyway, {m} tickets booked",
+	"reviews range from {w} to {w}; seeing {m} myself tonight",
+	"the {w} buzz around {m} continues, screening at nine",
+}

@@ -1,0 +1,41 @@
+package textgen
+
+import "fmt"
+
+// Figure5Movies are the five held-out test movies of the paper's
+// crowdsourcing-vs-SVM comparison (Figure 5), with the paper's spelling of
+// "Green Latern" preserved.
+var Figure5Movies = []string{
+	"District 9", "Social Network", "Thor", "Green Latern", "Roommate",
+}
+
+// Movies200 returns the full 200-title query set: the five Figure 5 test
+// movies plus 195 generated titles standing in for the paper's "most
+// recent movies listed in IMDB".
+func Movies200() []string {
+	out := make([]string, 0, 200)
+	out = append(out, Figure5Movies...)
+	adjectives := []string{
+		"Crimson", "Silent", "Golden", "Midnight", "Broken", "Electric",
+		"Hollow", "Savage", "Frozen", "Burning", "Lost", "Hidden", "Iron",
+	}
+	nouns := []string{
+		"Harbor", "Empire", "Garden", "Horizon", "Covenant", "Reckoning",
+		"Symphony", "Paradox", "Voyage", "Kingdom", "Protocol", "Requiem",
+		"Odyssey", "Frontier", "Legacy",
+	}
+	for _, a := range adjectives {
+		for _, n := range nouns {
+			if len(out) == 200 {
+				return out
+			}
+			out = append(out, fmt.Sprintf("The %s %s", a, n))
+		}
+	}
+	// 13 * 15 = 195 combinations + 5 fixed = 200; unreachable, kept as a
+	// guard if the word lists change.
+	for i := len(out); i < 200; i++ {
+		out = append(out, fmt.Sprintf("Untitled Project %d", i))
+	}
+	return out
+}

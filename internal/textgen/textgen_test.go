@@ -1,0 +1,211 @@
+package textgen
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"cdas/internal/textutil"
+)
+
+func smallConfig(seed uint64) Config {
+	return Config{Seed: seed, Movies: []string{"Thor", "Roommate"}, TweetsPerMovie: 300}
+}
+
+func TestGenerateCounts(t *testing.T) {
+	tweets, err := Generate(smallConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tweets) != 600 {
+		t.Fatalf("generated %d tweets, want 600", len(tweets))
+	}
+	perMovie := map[string]int{}
+	ids := map[string]bool{}
+	for _, tw := range tweets {
+		perMovie[tw.Movie]++
+		if ids[tw.ID] {
+			t.Fatalf("duplicate tweet id %q", tw.ID)
+		}
+		ids[tw.ID] = true
+		if !strings.Contains(strings.ToLower(tw.Text), strings.ToLower(tw.Movie)) {
+			t.Fatalf("tweet %q does not mention its movie %q", tw.Text, tw.Movie)
+		}
+	}
+	if perMovie["Thor"] != 300 || perMovie["Roommate"] != 300 {
+		t.Errorf("per-movie counts: %v", perMovie)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(smallConfig(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(smallConfig(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("generation not deterministic at %d", i)
+		}
+	}
+}
+
+func TestClassBalance(t *testing.T) {
+	cfg := smallConfig(3)
+	cfg.TweetsPerMovie = 3000
+	tweets, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	for _, tw := range tweets {
+		counts[tw.Truth]++
+	}
+	n := float64(len(tweets))
+	if f := float64(counts[LabelPositive]) / n; math.Abs(f-0.40) > 0.03 {
+		t.Errorf("positive share %v, want ~0.40", f)
+	}
+	if f := float64(counts[LabelNeutral]) / n; math.Abs(f-0.25) > 0.03 {
+		t.Errorf("neutral share %v, want ~0.25", f)
+	}
+	if f := float64(counts[LabelNegative]) / n; math.Abs(f-0.35) > 0.03 {
+		t.Errorf("negative share %v, want ~0.35", f)
+	}
+}
+
+func TestHardTweetsInvertSurface(t *testing.T) {
+	cfg := smallConfig(5)
+	cfg.TweetsPerMovie = 2000
+	cfg.HardFraction = 0.3
+	tweets, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inLex := func(tok string, lex []string) bool {
+		for _, w := range lex {
+			if tok == w {
+				return true
+			}
+		}
+		return false
+	}
+	hard, surfaced := 0, 0
+	for _, tw := range tweets {
+		if !tw.Hard {
+			continue
+		}
+		hard++
+		if tw.Truth == LabelNeutral {
+			t.Fatal("neutral tweets cannot be hard")
+		}
+		if tw.Trap == tw.Truth || tw.Trap == "" {
+			t.Fatalf("hard tweet trap %q must differ from truth %q", tw.Trap, tw.Truth)
+		}
+		// Any exact lexicon word present must belong to the trap class
+		// (the truth class never surfaces); distorted words match
+		// neither lexicon and are skipped.
+		truthLex, trapLex := positiveWords, negativeWords
+		if tw.Truth == LabelNegative {
+			truthLex, trapLex = negativeWords, positiveWords
+		}
+		for _, tok := range textutil.Tokenize(tw.Text) {
+			if inLex(tok, truthLex) {
+				t.Fatalf("hard tweet %q leaks a truth-class word %q", tw.Text, tok)
+			}
+			if inLex(tok, trapLex) {
+				surfaced++
+			}
+		}
+	}
+	if hard == 0 {
+		t.Fatal("no hard tweets generated at fraction 0.3")
+	}
+	if surfaced == 0 {
+		t.Fatal("no hard tweet carries an (undistorted) trap-class surface word")
+	}
+}
+
+func TestTimestampsInWindow(t *testing.T) {
+	cfg := smallConfig(9)
+	cfg.Start = time.Date(2011, 10, 14, 0, 0, 0, 0, time.UTC)
+	cfg.Span = 10 * 24 * time.Hour
+	tweets, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	end := cfg.Start.Add(cfg.Span)
+	for _, tw := range tweets {
+		if tw.At.Before(cfg.Start) || !tw.At.Before(end) {
+			t.Fatalf("tweet at %v outside [%v, %v)", tw.At, cfg.Start, end)
+		}
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := Config{PositiveShare: 0.5, NeutralShare: 0.1, NegativeShare: 0.1}
+	if _, err := Generate(bad); err == nil {
+		t.Error("shares not summing to 1 accepted")
+	}
+	bad2 := Config{HardFraction: 2}
+	if _, err := Generate(bad2); err == nil {
+		t.Error("hard fraction > 1 accepted")
+	}
+	bad3 := Config{TweetsPerMovie: -1}
+	if _, err := Generate(bad3); err == nil {
+		t.Error("negative tweet count accepted")
+	}
+}
+
+func TestQuestionConversion(t *testing.T) {
+	easy := Tweet{ID: "t1", Text: "Thor is amazing", Truth: LabelPositive}
+	q := easy.Question()
+	if err := q.Validate(); err != nil {
+		t.Fatalf("easy question invalid: %v", err)
+	}
+	if q.TrapStrength != 0 || q.Difficulty != 0.05 {
+		t.Errorf("easy question params: trap=%v diff=%v", q.TrapStrength, q.Difficulty)
+	}
+	hard := Tweet{ID: "t2", Text: "Thor is terrible... not", Truth: LabelPositive, Hard: true, Trap: LabelNegative}
+	hq := hard.Question()
+	if err := hq.Validate(); err != nil {
+		t.Fatalf("hard question invalid: %v", err)
+	}
+	if hq.Trap != LabelNegative || hq.TrapStrength == 0 {
+		t.Errorf("hard question lost its trap: %+v", hq)
+	}
+}
+
+func TestMovies200(t *testing.T) {
+	ms := Movies200()
+	if len(ms) != 200 {
+		t.Fatalf("Movies200 returned %d titles", len(ms))
+	}
+	seen := map[string]bool{}
+	for _, m := range ms {
+		if seen[m] {
+			t.Fatalf("duplicate title %q", m)
+		}
+		seen[m] = true
+	}
+	for _, f5 := range Figure5Movies {
+		if !seen[f5] {
+			t.Errorf("Figure 5 movie %q missing", f5)
+		}
+	}
+}
+
+func TestLexiconsDisjoint(t *testing.T) {
+	neg := map[string]bool{}
+	for _, w := range negativeWords {
+		neg[w] = true
+	}
+	for _, w := range positiveWords {
+		if neg[w] {
+			t.Errorf("word %q in both lexicons", w)
+		}
+	}
+}

@@ -1,0 +1,70 @@
+// Package textutil provides the small text-processing substrate shared by
+// the program executor (keyword filtering, reason extraction) and the SVM
+// baseline (bag-of-words featurisation): tokenisation, stop-word removal
+// and case folding.
+package textutil
+
+import (
+	"strings"
+	"unicode"
+)
+
+// Tokenize lower-cases text and splits it into alphanumeric word tokens.
+// Apostrophes inside words are kept ("don't" stays one token); all other
+// punctuation separates tokens.
+func Tokenize(text string) []string {
+	text = strings.ToLower(text)
+	return strings.FieldsFunc(text, func(r rune) bool {
+		return !unicode.IsLetter(r) && !unicode.IsNumber(r) && r != '\''
+	})
+}
+
+// stopwords is a compact English stop-word list tuned for tweet-length
+// texts; sentiment-bearing words are deliberately not included.
+var stopwords = map[string]struct{}{
+	"a": {}, "an": {}, "and": {}, "are": {}, "as": {}, "at": {}, "be": {},
+	"but": {}, "by": {}, "for": {}, "from": {}, "had": {}, "has": {},
+	"have": {}, "he": {}, "her": {}, "his": {}, "i": {}, "in": {}, "is": {},
+	"it": {}, "its": {}, "just": {}, "me": {}, "my": {}, "of": {}, "on": {},
+	"or": {}, "our": {}, "she": {}, "so": {}, "that": {}, "the": {},
+	"their": {}, "them": {}, "they": {}, "this": {}, "to": {}, "was": {},
+	"we": {}, "were": {}, "will": {}, "with": {}, "you": {}, "your": {},
+	"rt": {}, "u": {}, "ur": {}, "im": {}, "am": {}, "been": {}, "do": {},
+	"did": {}, "does": {}, "what": {}, "when": {}, "who": {}, "how": {},
+	"about": {}, "out": {}, "up": {}, "down": {}, "all": {}, "some": {},
+}
+
+// IsStopword reports whether the (lower-case) token is a stop word.
+func IsStopword(tok string) bool {
+	_, ok := stopwords[tok]
+	return ok
+}
+
+// ContentTokens tokenises text and strips stop words and single-character
+// tokens.
+func ContentTokens(text string) []string {
+	toks := Tokenize(text)
+	out := toks[:0]
+	for _, t := range toks {
+		if len(t) > 1 && !IsStopword(t) {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// ContainsAny reports whether text contains any of the keywords,
+// case-insensitively, as a substring match (the paper's executor checks
+// "whether the query keyword exists in a tweet").
+func ContainsAny(text string, keywords []string) bool {
+	lower := strings.ToLower(text)
+	for _, k := range keywords {
+		if k == "" {
+			continue
+		}
+		if strings.Contains(lower, strings.ToLower(k)) {
+			return true
+		}
+	}
+	return false
+}

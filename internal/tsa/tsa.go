@@ -1,0 +1,155 @@
+// Package tsa implements the Twitter sentiment analytics application of
+// the paper (Sections 2.2 and 5.1): queries of the form (S, C, R, t, w)
+// are matched against a tweet stream by the program executor, candidate
+// tweets are batched into HITs by the crowdsourcing engine, and accepted
+// answers are summarised into the percentages-plus-reasons presentation
+// of Table 1 / Figure 4.
+package tsa
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"cdas/internal/crowd"
+	"cdas/internal/engine"
+	"cdas/internal/exec"
+	"cdas/internal/jobs"
+	"cdas/internal/textgen"
+)
+
+// Query builds the TSA query of Definition 1 for one movie: keywords
+// {title}, the required accuracy, domain {Positive, Neutral, Negative},
+// and the time window.
+func Query(movie string, requiredAccuracy float64, start time.Time, window time.Duration) jobs.Query {
+	return jobs.Query{
+		Keywords:         []string{movie},
+		RequiredAccuracy: requiredAccuracy,
+		Domain:           append([]string(nil), textgen.Labels...),
+		Start:            start,
+		Window:           window,
+	}
+}
+
+// FilterTweets applies the query's keyword and window filters to the
+// stream — the executor half of the TSA plan.
+func FilterTweets(tweets []textgen.Tweet, q jobs.Query) []textgen.Tweet {
+	out := make([]textgen.Tweet, 0, len(tweets))
+	for _, t := range tweets {
+		if q.Matches(t.Text, t.At) {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// Questions converts tweets to crowd questions.
+func Questions(tweets []textgen.Tweet) []crowd.Question {
+	qs := make([]crowd.Question, len(tweets))
+	for i, t := range tweets {
+		qs[i] = t.Question()
+	}
+	return qs
+}
+
+// GoldenQuestions builds the golden pool from tweets whose labels the
+// requester has verified (the paper embeds αB such questions per HIT).
+// Golden IDs are prefixed to avoid colliding with live questions.
+func GoldenQuestions(tweets []textgen.Tweet) []crowd.Question {
+	qs := make([]crowd.Question, len(tweets))
+	for i, t := range tweets {
+		q := t.Question()
+		q.ID = "golden/" + q.ID
+		qs[i] = q
+	}
+	return qs
+}
+
+// Result is one processed TSA query.
+type Result struct {
+	Query   jobs.Query
+	Summary exec.Summary
+	// Accuracy is the fraction of filtered tweets whose accepted answer
+	// matches ground truth (the paper's evaluation metric).
+	Accuracy float64
+	// Tweets is the number of tweets that passed the filter.
+	Tweets  int
+	Batches []engine.BatchResult
+}
+
+// Run executes one TSA query end to end: filter → batch → crowdsource →
+// verify → summarise. golden supplies the ground-truth pool for accuracy
+// sampling.
+func Run(eng *engine.Engine, q jobs.Query, stream, golden []textgen.Tweet) (Result, error) {
+	if eng == nil {
+		return Result{}, errors.New("tsa: engine is required")
+	}
+	if err := q.Validate(); err != nil {
+		return Result{}, err
+	}
+	matched := FilterTweets(stream, q)
+	if len(matched) == 0 {
+		return Result{}, fmt.Errorf("tsa: no tweets matched query %v", q.Keywords)
+	}
+	batches, err := eng.ProcessAll(Questions(matched), GoldenQuestions(golden))
+	if err != nil {
+		return Result{}, err
+	}
+
+	truths := make(map[string]string, len(matched))
+	texts := make(map[string]string, len(matched))
+	for _, t := range matched {
+		truths[t.ID] = t.Truth
+		texts[t.ID] = t.Text
+	}
+	outcomes := make([]exec.Outcome, 0, len(matched))
+	correct := 0
+	for _, br := range batches {
+		for _, qr := range br.Results {
+			outcomes = append(outcomes, exec.Outcome{ItemID: qr.Question.ID, Accepted: qr.Answer})
+			if qr.Answer == truths[qr.Question.ID] {
+				correct++
+			}
+		}
+	}
+	res := Result{
+		Query:   q,
+		Summary: exec.Summarise(q.Domain, outcomes, texts, q.Keywords...),
+		Tweets:  len(matched),
+		Batches: batches,
+	}
+	if len(outcomes) > 0 {
+		res.Accuracy = float64(correct) / float64(len(outcomes))
+	}
+	return res, nil
+}
+
+// SplitByMovie partitions tweets into those about the given movies and
+// the rest — the train/test split of the Figure 5 SVM comparison (test on
+// 5 movies, train on the other 195).
+func SplitByMovie(tweets []textgen.Tweet, testMovies []string) (test, train []textgen.Tweet) {
+	isTest := make(map[string]bool, len(testMovies))
+	for _, m := range testMovies {
+		isTest[m] = true
+	}
+	for _, t := range tweets {
+		if isTest[t.Movie] {
+			test = append(test, t)
+		} else {
+			train = append(train, t)
+		}
+	}
+	return test, train
+}
+
+// Corpus flattens tweets into parallel document/label slices for the SVM
+// baseline.
+func Corpus(tweets []textgen.Tweet) (docs, labels []string) {
+	docs = make([]string, len(tweets))
+	labels = make([]string, len(tweets))
+	for i, t := range tweets {
+		docs[i] = t.Text
+		labels[i] = t.Truth
+	}
+	return docs, labels
+}

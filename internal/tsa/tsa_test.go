@@ -1,0 +1,148 @@
+package tsa
+
+import (
+	"testing"
+	"time"
+
+	"cdas/internal/crowd"
+	"cdas/internal/engine"
+	"cdas/internal/textgen"
+)
+
+var queryStart = time.Date(2011, 10, 1, 0, 0, 0, 0, time.UTC)
+
+func testEngine(t *testing.T, seed uint64) *engine.Engine {
+	t.Helper()
+	cfg := crowd.DefaultConfig(seed)
+	cfg.Workers = 200
+	p, err := crowd.NewPlatform(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := engine.New(engine.CrowdPlatform{Platform: p}, nil, engine.Config{
+		JobName:          "tsa",
+		RequiredAccuracy: 0.9,
+		SamplingRate:     0.2,
+		HITSize:          50,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+func testStream(t *testing.T, seed uint64, movies []string, perMovie int) []textgen.Tweet {
+	t.Helper()
+	tweets, err := textgen.Generate(textgen.Config{Seed: seed, Movies: movies, TweetsPerMovie: perMovie})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tweets
+}
+
+func TestQueryConstruction(t *testing.T) {
+	q := Query("Thor", 0.95, queryStart, 24*time.Hour)
+	if err := q.Validate(); err != nil {
+		t.Fatalf("query invalid: %v", err)
+	}
+	if len(q.Domain) != 3 || q.Domain[0] != textgen.LabelPositive {
+		t.Errorf("domain = %v", q.Domain)
+	}
+}
+
+func TestFilterTweetsSelectsMovie(t *testing.T) {
+	stream := testStream(t, 1, []string{"Thor", "Roommate"}, 50)
+	q := Query("Thor", 0.9, queryStart, 24*time.Hour)
+	got := FilterTweets(stream, q)
+	if len(got) == 0 {
+		t.Fatal("no tweets matched")
+	}
+	for _, tw := range got {
+		if tw.Movie != "Thor" {
+			t.Fatalf("foreign tweet matched: %+v", tw)
+		}
+	}
+}
+
+func TestGoldenQuestionsPrefixed(t *testing.T) {
+	stream := testStream(t, 2, []string{"Thor"}, 5)
+	for _, q := range GoldenQuestions(stream) {
+		if q.ID[:7] != "golden/" {
+			t.Errorf("golden id %q not prefixed", q.ID)
+		}
+	}
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	eng := testEngine(t, 3)
+	stream := testStream(t, 4, []string{"Thor", "Roommate"}, 60)
+	golden := testStream(t, 5, []string{"Social Network"}, 40)
+	q := Query("Thor", 0.9, queryStart, 24*time.Hour)
+	res, err := Run(eng, q, stream, golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Tweets == 0 {
+		t.Fatal("no tweets processed")
+	}
+	if res.Accuracy < 0.8 {
+		t.Errorf("TSA accuracy %v below expectation for C=0.9", res.Accuracy)
+	}
+	total := 0.0
+	for _, l := range textgen.Labels {
+		total += res.Summary.Percentages[l]
+	}
+	if total < 0.999 || total > 1.001 {
+		t.Errorf("percentages sum to %v", total)
+	}
+	if len(res.Summary.Reasons) == 0 {
+		t.Error("no reasons extracted")
+	}
+	if len(res.Batches) == 0 {
+		t.Error("no batch results recorded")
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	eng := testEngine(t, 6)
+	stream := testStream(t, 7, []string{"Thor"}, 10)
+	q := Query("Thor", 0.9, queryStart, 24*time.Hour)
+	if _, err := Run(nil, q, stream, stream); err == nil {
+		t.Error("nil engine accepted")
+	}
+	badQ := q
+	badQ.Keywords = nil
+	if _, err := Run(eng, badQ, stream, stream); err == nil {
+		t.Error("invalid query accepted")
+	}
+	noMatch := Query("Nonexistent Movie XYZ", 0.9, queryStart, 24*time.Hour)
+	if _, err := Run(eng, noMatch, stream, stream); err == nil {
+		t.Error("zero-match query should error")
+	}
+}
+
+func TestSplitByMovie(t *testing.T) {
+	stream := testStream(t, 8, []string{"Thor", "Roommate", "District 9"}, 10)
+	test, train := SplitByMovie(stream, []string{"Thor"})
+	if len(test) != 10 || len(train) != 20 {
+		t.Fatalf("split sizes: test=%d train=%d", len(test), len(train))
+	}
+	for _, tw := range test {
+		if tw.Movie != "Thor" {
+			t.Fatal("test split contaminated")
+		}
+	}
+}
+
+func TestCorpus(t *testing.T) {
+	stream := testStream(t, 9, []string{"Thor"}, 5)
+	docs, labels := Corpus(stream)
+	if len(docs) != 5 || len(labels) != 5 {
+		t.Fatalf("corpus sizes: %d/%d", len(docs), len(labels))
+	}
+	for i := range docs {
+		if docs[i] != stream[i].Text || labels[i] != stream[i].Truth {
+			t.Fatal("corpus misaligned")
+		}
+	}
+}
