@@ -151,6 +151,10 @@ type (
 	Run            = engine.Run
 	BatchResult    = engine.BatchResult
 	QuestionResult = engine.QuestionResult
+	// StreamResult is one finished HIT from the engine's concurrent
+	// pipeline (Engine.Stream); set EngineConfig.MaxInflightHITs to
+	// overlap HIT lifetimes on the platform.
+	StreamResult = engine.StreamResult
 )
 
 // Crowd simulator types (the bundled AMT stand-in).

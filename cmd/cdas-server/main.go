@@ -1,15 +1,16 @@
 // Command cdas-server runs the Figure 4-style result service: it executes
-// a few TSA queries on the simulated platform and serves their live
-// summaries over HTTP.
+// a few TSA queries on the simulated platform through the engine's
+// concurrent HIT pipeline and serves their live summaries over HTTP — the
+// page updates as HITs finish, not after the whole query completes.
 //
 // Usage:
 //
-//	cdas-server [-addr :8080] [-seed 1] [-accuracy 0.9]
+//	cdas-server [-addr :8080] [-seed 1] [-accuracy 0.9] [-inflight 4]
 package main
 
 import (
+	"context"
 	"flag"
-	"fmt"
 	"log"
 	"net/http"
 	"time"
@@ -26,18 +27,21 @@ func main() {
 		addr     = flag.String("addr", ":8080", "listen address")
 		seed     = flag.Uint64("seed", 1, "simulation seed")
 		accuracy = flag.Float64("accuracy", 0.9, "required accuracy C")
+		inflight = flag.Int("inflight", 4, "HITs published and draining at once per query")
 	)
 	flag.Parse()
 
 	server := httpapi.NewServer()
-	if err := runQueries(server, *seed, *accuracy); err != nil {
-		log.Fatalf("cdas-server: %v", err)
-	}
+	go func() {
+		if err := runQueries(server, *seed, *accuracy, *inflight); err != nil {
+			log.Printf("cdas-server: %v", err)
+		}
+	}()
 	log.Printf("cdas-server: serving CDAS results on %s", *addr)
 	log.Fatal(http.ListenAndServe(*addr, server.Handler()))
 }
 
-func runQueries(server *httpapi.Server, seed uint64, accuracy float64) error {
+func runQueries(server *httpapi.Server, seed uint64, accuracy float64, inflight int) error {
 	platform, err := crowd.NewPlatform(crowd.DefaultConfig(seed))
 	if err != nil {
 		return err
@@ -60,22 +64,42 @@ func runQueries(server *httpapi.Server, seed uint64, accuracy float64) error {
 		return err
 	}
 	start := time.Date(2011, 10, 1, 0, 0, 0, 0, time.UTC)
-	for _, movie := range movies {
+	for i, movie := range movies {
 		eng, err := engine.New(engine.CrowdPlatform{Platform: platform}, nil, engine.Config{
 			JobName:          "tsa",
 			RequiredAccuracy: accuracy,
 			HITSize:          50,
-			Seed:             seed,
+			MaxInflightHITs:  inflight,
+			// Distinct per-query seeds keep the queries' worker draws
+			// independent: pipeline HITs are named after (JobName, Seed,
+			// batch index), and the platform samples workers as a pure
+			// function of that name.
+			Seed: seed + uint64(i),
 		})
 		if err != nil {
 			return err
 		}
-		res, err := tsa.Run(eng, tsa.Query(movie, accuracy, start, 24*time.Hour), stream, golden)
+		q := tsa.Query(movie, accuracy, start, 24*time.Hour)
+		m := tsa.Match(q, stream)
+		if len(m.Tweets) == 0 {
+			log.Printf("%s: no tweets matched; query not registered", movie)
+			continue
+		}
+		// Stream the query's HITs through the concurrent pipeline; Follow
+		// republishes the summary after every finished HIT, so the page
+		// shows results accumulating while later HITs are still draining.
+		ch, err := eng.Stream(context.Background(), tsa.Questions(m.Tweets), tsa.GoldenQuestions(golden))
 		if err != nil {
 			return err
 		}
-		server.UpdateFromSummary(movie, res.Summary, 1.0, true)
-		fmt.Printf("%s: %d tweets, accuracy vs ground truth %.3f\n", movie, res.Tweets, res.Accuracy)
+		batches, err := server.Follow(movie, q.Domain, m.Texts, len(m.Tweets), ch, q.Keywords...)
+		if err != nil {
+			return err
+		}
+		if acc, answered := tsa.Accuracy(batches, m.Truths); answered > 0 {
+			log.Printf("%s: %d tweets in %d HITs, accuracy vs ground truth %.3f",
+				movie, answered, len(batches), acc)
+		}
 	}
 	return nil
 }

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	tsa [-movie "Kung Fu Panda 2"] [-accuracy 0.9] [-tweets 100] [-seed 1] [-strategy expmax]
+//	tsa [-movie "Kung Fu Panda 2"] [-accuracy 0.9] [-tweets 100] [-seed 1] [-strategy expmax] [-inflight 1]
 package main
 
 import (
@@ -29,6 +29,7 @@ func main() {
 		tweets   = flag.Int("tweets", 100, "tweets to simulate for the movie")
 		seed     = flag.Uint64("seed", 1, "simulation seed")
 		strategy = flag.String("strategy", "never", "termination strategy: never|minmax|minexp|expmax")
+		inflight = flag.Int("inflight", 1, "HITs published and draining at once (>1 uses the concurrent pipeline)")
 	)
 	flag.Parse()
 
@@ -37,7 +38,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "tsa:", err)
 		os.Exit(2)
 	}
-	if err := run(*movie, *accuracy, *tweets, *seed, strat); err != nil {
+	if err := run(*movie, *accuracy, *tweets, *seed, strat, *inflight); err != nil {
 		log.Fatalf("tsa: %v", err)
 	}
 }
@@ -57,7 +58,7 @@ func parseStrategy(s string) (online.Strategy, error) {
 	}
 }
 
-func run(movie string, accuracy float64, tweets int, seed uint64, strat online.Strategy) error {
+func run(movie string, accuracy float64, tweets int, seed uint64, strat online.Strategy, inflight int) error {
 	platform, err := crowd.NewPlatform(crowd.DefaultConfig(seed))
 	if err != nil {
 		return err
@@ -83,6 +84,7 @@ func run(movie string, accuracy float64, tweets int, seed uint64, strat online.S
 		RequiredAccuracy: accuracy,
 		HITSize:          50,
 		Strategy:         strat,
+		MaxInflightHITs:  inflight,
 		Seed:             seed,
 	})
 	if err != nil {

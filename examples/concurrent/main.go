@@ -1,0 +1,73 @@
+// Concurrent pipeline: process 120 questions as 8 overlapping HITs on the
+// simulated platform, watch them finish out of order, then cancel a second
+// pipeline mid-flight and show that outstanding assignments are never
+// charged.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"cdas"
+)
+
+func questions(prefix string, n int) []cdas.CrowdQuestion {
+	qs := make([]cdas.CrowdQuestion, n)
+	for i := range qs {
+		qs[i] = cdas.CrowdQuestion{
+			ID:     fmt.Sprintf("%s%03d", prefix, i),
+			Text:   fmt.Sprintf("Is tweet #%d positive about the movie?", i),
+			Domain: []string{"pos", "neu", "neg"},
+			Truth:  "pos",
+		}
+	}
+	return qs
+}
+
+func main() {
+	platform, sim, err := cdas.NewSimulatedPlatform(cdas.DefaultSimulatorConfig(42))
+	if err != nil {
+		log.Fatal(err)
+	}
+	// MaxInflightHITs > 1 turns ProcessAll/Stream into the concurrent
+	// pipeline: up to 8 HITs are published and draining at once, and each
+	// HIT's early termination is independent of its neighbours. Results
+	// are still deterministic for a fixed seed — every HIT derives its
+	// randomness from the engine seed and its batch index alone.
+	eng, err := cdas.NewEngine(platform, nil, cdas.EngineConfig{
+		JobName:         "concurrent-demo",
+		HITSize:         20,
+		Strategy:        cdas.ExpMax,
+		MaxInflightHITs: 8,
+		Seed:            42,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	golden := questions("golden/", 12)
+
+	// Stream delivers finished HITs in completion order.
+	ch, err := eng.Stream(context.Background(), questions("q", 120), golden)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for sr := range ch {
+		if sr.Err != nil {
+			log.Fatalf("batch %d: %v", sr.Index, sr.Err)
+		}
+		fmt.Printf("HIT %-28s (batch %d) done: %2d questions, %2d/%2d workers, $%.3f, early=%v\n",
+			sr.Batch.HITID, sr.Index, len(sr.Batch.Results),
+			sr.Batch.UsedWorkers, sr.Batch.PlannedWorkers, sr.Batch.Cost, sr.Batch.TerminatedEarly)
+	}
+	fmt.Printf("\ntotal simulated spend after pipeline 1: $%.3f\n\n", sim.TotalSpent())
+
+	// Cancelling the context mid-pipeline cancels the published HITs;
+	// their outstanding assignments are never delivered nor charged.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // cancel immediately: every batch is shed before or during its drain
+	if _, err := eng.ProcessAllContext(ctx, questions("q", 120), golden); err != nil {
+		fmt.Printf("pipeline 2 cancelled as requested: %v\n", err)
+	}
+	fmt.Printf("total simulated spend after cancelled pipeline: $%.3f\n", sim.TotalSpent())
+}

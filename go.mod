@@ -1,0 +1,3 @@
+module cdas
+
+go 1.24

@@ -1,0 +1,133 @@
+package crowd
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+)
+
+func concurrencyHIT(n int) HIT {
+	questions := make([]Question, n)
+	for i := range questions {
+		questions[i] = Question{
+			ID:     fmt.Sprintf("q%d", i),
+			Domain: []string{"a", "b"},
+			Truth:  "a",
+		}
+	}
+	return HIT{Questions: questions}
+}
+
+// TestRunConcurrentDrain hammers one run from several goroutines while
+// another cancels it: every assignment must be delivered at most once,
+// charged exactly once, and nothing may be charged after cancellation.
+func TestRunConcurrentDrain(t *testing.T) {
+	cfg := DefaultConfig(41)
+	cfg.Workers = 200
+	p, err := NewPlatform(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := p.Publish(concurrencyHIT(5), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var mu sync.Mutex
+	seen := make(map[string]int)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				a, ok := run.Next()
+				if !ok {
+					return
+				}
+				mu.Lock()
+				seen[a.Worker.ID]++
+				drained := len(seen)
+				mu.Unlock()
+				if drained > 40 {
+					run.Cancel() // some goroutine cancels partway through
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	delivered := 0
+	for id, n := range seen {
+		if n > 1 {
+			t.Errorf("worker %s's assignment delivered %d times", id, n)
+		}
+		delivered += n
+	}
+	if run.Delivered() != delivered {
+		t.Errorf("run reports %d delivered, observers saw %d", run.Delivered(), delivered)
+	}
+	fee := cfg.Economics.PerAssignment()
+	if got := run.Charged(); math.Abs(got-float64(delivered)*fee) > 1e-9 {
+		t.Errorf("charged %v for %d deliveries at fee %v", got, delivered, fee)
+	}
+	if got := p.TotalSpent(); math.Abs(got-run.Charged()) > 1e-9 {
+		t.Errorf("platform spent %v, run charged %v", got, run.Charged())
+	}
+	if !run.Cancelled() {
+		t.Error("run not cancelled")
+	}
+	if run.Outstanding() != 0 {
+		t.Errorf("cancelled run reports %d outstanding", run.Outstanding())
+	}
+	// Next after Cancel must not deliver or charge.
+	if _, ok := run.Next(); ok {
+		t.Error("Next delivered after Cancel")
+	}
+	if got := p.TotalSpent(); math.Abs(got-float64(delivered)*fee) > 1e-9 {
+		t.Errorf("spend moved after cancellation: %v", got)
+	}
+}
+
+// TestPublishExplicitIDDeterministic: with a caller-supplied HIT ID the
+// worker draw is a pure function of (platform seed, hit ID) — the same
+// HIT published after different amounts of unrelated traffic gets the
+// same workers, submit times and answers. The engine's concurrent
+// pipeline depends on this for deterministic results.
+func TestPublishExplicitIDDeterministic(t *testing.T) {
+	drain := func(noise int) []Assignment {
+		cfg := DefaultConfig(42)
+		cfg.Workers = 200
+		p, err := NewPlatform(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < noise; i++ { // unrelated auto-ID traffic first
+			if _, err := p.Publish(concurrencyHIT(2), 5); err != nil {
+				t.Fatal(err)
+			}
+		}
+		run, err := p.Publish(HIT{ID: "pipeline/h00001", Questions: concurrencyHIT(5).Questions}, 20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return run.Drain()
+	}
+	a := drain(0)
+	b := drain(3)
+	if len(a) != len(b) {
+		t.Fatalf("assignment counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Worker.ID != b[i].Worker.ID || a[i].SubmitTime != b[i].SubmitTime {
+			t.Fatalf("assignment %d differs: %s@%v vs %s@%v",
+				i, a[i].Worker.ID, a[i].SubmitTime, b[i].Worker.ID, b[i].SubmitTime)
+		}
+		for j := range a[i].Answers {
+			if a[i].Answers[j] != b[i].Answers[j] {
+				t.Fatalf("assignment %d answer %d differs", i, j)
+			}
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 
 	"cdas/internal/core/prediction"
 	"cdas/internal/randx"
@@ -89,14 +90,17 @@ func (c Config) Validate() error {
 	return c.Economics.Validate()
 }
 
-// Platform is the simulated crowdsourcing marketplace. Methods are not
-// safe for concurrent use; the engine serialises access.
+// Platform is the simulated crowdsourcing marketplace. It is safe for
+// concurrent use: the engine's pipeline publishes and drains several HITs
+// at once.
 type Platform struct {
 	cfg     Config
 	rng     *randx.Source
 	workers []*Worker
-	spent   float64
-	hitSeq  int
+
+	mu     sync.Mutex // guards spent and hitSeq
+	spent  float64
+	hitSeq int
 }
 
 // NewPlatform builds the worker population and returns the platform.
@@ -152,7 +156,18 @@ func (p *Platform) MeanAccuracy() float64 {
 
 // TotalSpent reports the cumulative fees charged for delivered
 // assignments across all HITs.
-func (p *Platform) TotalSpent() float64 { return p.spent }
+func (p *Platform) TotalSpent() float64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.spent
+}
+
+// charge accounts one delivered assignment's fee.
+func (p *Platform) charge(fee float64) {
+	p.mu.Lock()
+	p.spent += fee
+	p.mu.Unlock()
+}
 
 // HIT is a published human-intelligence task: a batch of questions every
 // assigned worker answers in full.
@@ -212,11 +227,21 @@ func (p *Platform) Publish(hit HIT, n int) (*Run, error) {
 	if n > len(p.workers) {
 		return nil, fmt.Errorf("%w (need %d, have %d)", ErrNotEnoughWork, n, len(p.workers))
 	}
+	p.mu.Lock()
 	p.hitSeq++
+	seq := p.hitSeq
+	p.mu.Unlock()
+	// A caller-supplied ID seeds the run from the ID alone, so the draw is
+	// a pure function of (platform seed, hit ID) — concurrent publishers
+	// get identical worker samples regardless of publish order, which is
+	// what keeps the engine's pipeline deterministic. Auto-assigned IDs
+	// keep the legacy sequence-based label.
+	label := "hit/" + hit.ID
 	if hit.ID == "" {
-		hit.ID = fmt.Sprintf("HIT-%06d", p.hitSeq)
+		hit.ID = fmt.Sprintf("HIT-%06d", seq)
+		label = fmt.Sprintf("hit/%s/%d", hit.ID, seq)
 	}
-	runRNG := p.rng.Split(fmt.Sprintf("hit/%s/%d", hit.ID, p.hitSeq))
+	runRNG := p.rng.Split(label)
 
 	idx := runRNG.SampleWithoutReplacement(len(p.workers), n)
 	pending := make([]Assignment, 0, n)
@@ -243,11 +268,15 @@ func (p *Platform) Publish(hit HIT, n int) (*Run, error) {
 
 // Run is one HIT's lifecycle: assignments are delivered in submit-time
 // order via Next, and Cancel forgoes (and does not charge for) anything
-// still outstanding.
+// still outstanding. A Run is safe for concurrent use — in particular a
+// concurrent Cancel is honoured by the next Next call, and a cancelled
+// run never charges another fee.
 type Run struct {
-	platform  *Platform
-	hit       HIT
-	pending   []Assignment
+	platform *Platform
+	hit      HIT
+	pending  []Assignment
+
+	mu        sync.Mutex // guards delivered, cancelled and charged
 	delivered int
 	cancelled bool
 	charged   float64
@@ -258,32 +287,49 @@ func (r *Run) HIT() HIT { return r.hit }
 
 // Next delivers the next assignment in arrival order. ok is false when the
 // run is exhausted or cancelled. Each delivered assignment is charged at
-// the platform's per-assignment fee.
+// the platform's per-assignment fee, exactly once.
 func (r *Run) Next() (Assignment, bool) {
+	r.mu.Lock()
 	if r.cancelled || r.delivered >= len(r.pending) {
+		r.mu.Unlock()
 		return Assignment{}, false
 	}
 	a := r.pending[r.delivered]
 	r.delivered++
 	fee := r.platform.cfg.Economics.PerAssignment()
 	r.charged += fee
-	r.platform.spent += fee
+	r.mu.Unlock()
+	r.platform.charge(fee)
 	return a, true
 }
 
 // Cancel stops the run: outstanding assignments are never delivered nor
 // charged (the paper's footnote 3). Cancelling twice is a no-op.
-func (r *Run) Cancel() { r.cancelled = true }
+func (r *Run) Cancel() {
+	r.mu.Lock()
+	r.cancelled = true
+	r.mu.Unlock()
+}
 
 // Cancelled reports whether the run was cancelled.
-func (r *Run) Cancelled() bool { return r.cancelled }
+func (r *Run) Cancelled() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.cancelled
+}
 
 // Delivered reports how many assignments have been delivered.
-func (r *Run) Delivered() int { return r.delivered }
+func (r *Run) Delivered() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.delivered
+}
 
 // Outstanding reports how many assignments remain undelivered (0 after
 // Cancel).
 func (r *Run) Outstanding() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	if r.cancelled {
 		return 0
 	}
@@ -291,7 +337,11 @@ func (r *Run) Outstanding() int {
 }
 
 // Charged reports the fees accrued by this run so far.
-func (r *Run) Charged() float64 { return r.charged }
+func (r *Run) Charged() float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.charged
+}
 
 // Drain delivers every remaining assignment and returns them.
 func (r *Run) Drain() []Assignment {

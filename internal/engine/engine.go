@@ -24,10 +24,13 @@
 package engine
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"cdas/internal/core/online"
 	"cdas/internal/core/prediction"
@@ -94,6 +97,14 @@ type Config struct {
 	// until the planned assignment count is reached, up to maxReposts
 	// supplemental HITs.
 	RepostShortfall bool
+	// MaxInflightHITs bounds how many HITs the pipeline keeps published
+	// and draining at once (Stream / ProcessAllContext). Default 1 —
+	// the paper's one-HIT-at-a-time offline mode; raise it to overlap
+	// HIT lifetimes on a platform where assignments take real time to
+	// arrive. Results are deterministic at any value: every HIT draws
+	// from a seed split off the engine seed by batch index, never from
+	// its neighbours' progress.
+	MaxInflightHITs int
 	// Seed drives the golden-question placement shuffle.
 	Seed uint64
 }
@@ -122,6 +133,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxWorkers == 0 {
 		c.MaxWorkers = 51
 	}
+	if c.MaxInflightHITs == 0 {
+		c.MaxInflightHITs = 1
+	}
 	return c
 }
 
@@ -143,6 +157,9 @@ func (c Config) Validate() error {
 	if c.MaxWorkers < 1 {
 		return fmt.Errorf("engine: max workers must be >= 1, got %d", c.MaxWorkers)
 	}
+	if c.MaxInflightHITs < 1 {
+		return fmt.Errorf("engine: max in-flight HITs must be >= 1, got %d", c.MaxInflightHITs)
+	}
 	return nil
 }
 
@@ -151,12 +168,24 @@ func (c Config) Validate() error {
 // moderately away from the population mean.
 const accuracyPseudoCounts = 4
 
-// Engine is the crowdsourcing engine. Not safe for concurrent use.
+// Engine is the crowdsourcing engine. It is safe for concurrent use: the
+// pipeline (Stream, ProcessAllContext) publishes and drains several HITs
+// at once, and independent goroutines may call ProcessBatch concurrently.
 type Engine struct {
 	platform Platform
 	store    *profile.Store
 	cfg      Config
-	rng      *randx.Source
+
+	// mu guards rng, the engine-owned draw stream of the sequential path
+	// (ProcessBatch golden placement). Pipeline batches never draw from
+	// it — each splits a child source keyed by pipeline and batch index,
+	// so concurrent HITs cannot perturb each other's randomness.
+	mu  sync.Mutex
+	rng *randx.Source
+
+	// pipelineSeq numbers Stream/ProcessAllContext invocations so their
+	// HIT IDs and derived seeds stay unique across an engine's lifetime.
+	pipelineSeq atomic.Uint64
 }
 
 // New constructs an Engine. store may be nil, in which case a fresh
@@ -248,6 +277,52 @@ type BatchResult struct {
 // it may be empty only when SamplingRate is 0. It returns an error if
 // real is empty or exceeds the available slots.
 func (e *Engine) ProcessBatch(real, golden []crowd.Question) (BatchResult, error) {
+	return e.ProcessBatchContext(context.Background(), real, golden)
+}
+
+// ProcessBatchContext is ProcessBatch with cancellation: when ctx is
+// cancelled mid-HIT the published run is cancelled on the platform
+// (outstanding assignments are never charged) and ctx's error is returned.
+func (e *Engine) ProcessBatchContext(ctx context.Context, real, golden []crowd.Question) (BatchResult, error) {
+	n, err := e.PlanWorkers()
+	if err != nil {
+		return BatchResult{}, err
+	}
+	return e.runBatch(ctx, batchJob{
+		real:    real,
+		golden:  golden,
+		workers: n,
+		meanAcc: e.MeanAccuracy(),
+		snap:    e.store.Snapshot(e.cfg.JobName),
+	})
+}
+
+// goldenTally is one worker's golden-question record within a single HIT.
+type goldenTally struct{ correct, total int }
+
+// batchJob is one HIT's work order for runBatch.
+type batchJob struct {
+	// hitID, when non-empty, names the published HIT so the platform's
+	// worker draw is a pure function of the ID (pipeline batches). Empty
+	// lets the platform assign a sequential ID (sequential path).
+	hitID string
+	// rng owns the golden placement draws. nil means the engine-owned
+	// stream, taken under e.mu (sequential path).
+	rng     *randx.Source
+	real    []crowd.Question
+	golden  []crowd.Question
+	workers int              // planned assignment count n
+	meanAcc float64          // population-mean estimate for verifier priors
+	snap    profile.Snapshot // vote-weight baseline (pre-HIT history)
+}
+
+// runBatch executes one HIT end to end: assemble, publish, drain the
+// assignment stream, optionally repost shortfalls, and rank answers.
+// Vote weights combine job.snap with the HIT's own golden tally, so the
+// outcome never depends on what concurrent HITs write to the shared
+// profile store mid-flight.
+func (e *Engine) runBatch(ctx context.Context, job batchJob) (BatchResult, error) {
+	real, golden := job.real, job.golden
 	if len(real) == 0 {
 		return BatchResult{}, errors.New("engine: no questions to process")
 	}
@@ -276,32 +351,41 @@ func (e *Engine) ProcessBatch(real, golden []crowd.Question) (BatchResult, error
 		}
 		return q
 	}
-	questions := make([]crowd.Question, 0, len(real)+nGolden)
-	goldenIDs := make(map[string]crowd.Question, nGolden)
-	for _, idx := range e.rng.SampleWithoutReplacement(len(golden), nGolden) {
-		q := sanitize(golden[idx])
-		goldenIDs[q.ID] = q
-		questions = append(questions, q)
-	}
-	realIDs := make(map[string]crowd.Question, len(real))
-	for _, raw := range real {
-		q := sanitize(raw)
-		if _, dup := realIDs[q.ID]; dup {
-			return BatchResult{}, fmt.Errorf("engine: duplicate question id %q", q.ID)
+	questions, goldenIDs, realIDs, err := func() ([]crowd.Question, map[string]crowd.Question, map[string]crowd.Question, error) {
+		rng := job.rng
+		if rng == nil {
+			e.mu.Lock()
+			defer e.mu.Unlock()
+			rng = e.rng
 		}
-		if _, clash := goldenIDs[q.ID]; clash {
-			return BatchResult{}, fmt.Errorf("engine: question id %q collides with a golden question", q.ID)
+		questions := make([]crowd.Question, 0, len(real)+nGolden)
+		goldenIDs := make(map[string]crowd.Question, nGolden)
+		for _, idx := range rng.SampleWithoutReplacement(len(golden), nGolden) {
+			q := sanitize(golden[idx])
+			goldenIDs[q.ID] = q
+			questions = append(questions, q)
 		}
-		realIDs[q.ID] = q
-		questions = append(questions, q)
-	}
-	randx.Shuffle(e.rng, questions)
-
-	n, err := e.PlanWorkers()
+		realIDs := make(map[string]crowd.Question, len(real))
+		for _, raw := range real {
+			q := sanitize(raw)
+			if _, dup := realIDs[q.ID]; dup {
+				return nil, nil, nil, fmt.Errorf("engine: duplicate question id %q", q.ID)
+			}
+			if _, clash := goldenIDs[q.ID]; clash {
+				return nil, nil, nil, fmt.Errorf("engine: question id %q collides with a golden question", q.ID)
+			}
+			realIDs[q.ID] = q
+			questions = append(questions, q)
+		}
+		randx.Shuffle(rng, questions)
+		return questions, goldenIDs, realIDs, nil
+	}()
 	if err != nil {
 		return BatchResult{}, err
 	}
-	run, err := e.platform.Publish(crowd.HIT{Title: e.cfg.JobName, Questions: questions}, n)
+
+	n := job.workers
+	run, err := e.platform.Publish(crowd.HIT{ID: job.hitID, Title: e.cfg.JobName, Questions: questions}, n)
 	if err != nil {
 		return BatchResult{}, err
 	}
@@ -309,9 +393,8 @@ func (e *Engine) ProcessBatch(real, golden []crowd.Question) (BatchResult, error
 	// Per-question online verifiers. m = |domain| — the engine knows R
 	// for each question it generated.
 	verifiers := make(map[string]*online.Verifier, len(real))
-	meanAcc := e.MeanAccuracy()
 	for id, q := range realIDs {
-		v, err := online.NewVerifier(n, len(q.Domain), meanAcc)
+		v, err := online.NewVerifier(n, len(q.Domain), job.meanAcc)
 		if err != nil {
 			return BatchResult{}, err
 		}
@@ -319,9 +402,16 @@ func (e *Engine) ProcessBatch(real, golden []crowd.Question) (BatchResult, error
 	}
 
 	res := BatchResult{HITID: run.HIT().ID, PlannedWorkers: n, GoldenCount: nGolden}
+	tallies := make(map[string]goldenTally)
 	consume := func(run Run) error {
 		defer func() { res.Cost += run.Charged() }()
 		for {
+			if err := ctx.Err(); err != nil {
+				// Cancelled mid-HIT: forgo (and never pay for) the
+				// outstanding assignments, exactly once.
+				run.Cancel()
+				return err
+			}
 			a, ok := run.Next()
 			if !ok {
 				return nil
@@ -331,13 +421,22 @@ func (e *Engine) ProcessBatch(real, golden []crowd.Question) (BatchResult, error
 			}
 			res.UsedWorkers++
 			// Score golden questions first so this worker's vote weight
-			// uses the freshest profile (Algorithm 4).
+			// uses the freshest estimate (Algorithm 4). Outcomes go to
+			// the shared store (history for later pipelines) and to the
+			// HIT-local tally the weight is actually computed from.
+			t := tallies[a.Worker.ID]
 			for id, gq := range goldenIDs {
-				e.store.Record(e.cfg.JobName, a.Worker.ID, a.AnswerTo(id) == gq.Truth)
+				correct := a.AnswerTo(id) == gq.Truth
+				e.store.Record(e.cfg.JobName, a.Worker.ID, correct)
+				t.total++
+				if correct {
+					t.correct++
+				}
 			}
+			tallies[a.Worker.ID] = t
 			// Vote weights shrink towards the population mean until enough
 			// golden evidence accumulates; see profile.ShrunkAccuracy.
-			acc := e.store.ShrunkAccuracy(e.cfg.JobName, a.Worker.ID, e.cfg.FallbackAccuracy, accuracyPseudoCounts)
+			acc := job.snap.ShrunkAccuracy(a.Worker.ID, t.correct, t.total, e.cfg.FallbackAccuracy, accuracyPseudoCounts)
 			for id, v := range verifiers {
 				if err := v.Add(verification.Vote{
 					Worker:   a.Worker.ID,
@@ -362,7 +461,12 @@ func (e *Engine) ProcessBatch(real, golden []crowd.Question) (BatchResult, error
 	// count (a fresh HIT on the platform, as a requester would).
 	if e.cfg.RepostShortfall {
 		for round := 0; round < maxReposts && !res.TerminatedEarly && res.UsedWorkers < n; round++ {
+			repostID := ""
+			if job.hitID != "" {
+				repostID = fmt.Sprintf("%s/repost-%d", job.hitID, round+1)
+			}
 			rerun, err := e.platform.Publish(crowd.HIT{
+				ID:        repostID,
 				Title:     e.cfg.JobName,
 				Questions: questions,
 			}, n-res.UsedWorkers)
@@ -390,8 +494,9 @@ func (e *Engine) ProcessBatch(real, golden []crowd.Question) (BatchResult, error
 	return res, nil
 }
 
-// ProcessAll chunks questions into HIT-sized batches and processes each.
-func (e *Engine) ProcessAll(real, golden []crowd.Question) ([]BatchResult, error) {
+// chunk splits real questions into HIT-sized batches (the per-HIT real
+// slot count after golden injection).
+func (e *Engine) chunk(real []crowd.Question) ([][]crowd.Question, error) {
 	if len(real) == 0 {
 		return nil, errors.New("engine: no questions to process")
 	}
@@ -399,13 +504,33 @@ func (e *Engine) ProcessAll(real, golden []crowd.Question) ([]BatchResult, error
 	if perHIT <= 0 {
 		return nil, fmt.Errorf("engine: sampling rate %v leaves no real slots", e.cfg.SamplingRate)
 	}
-	var out []BatchResult
+	chunks := make([][]crowd.Question, 0, (len(real)+perHIT-1)/perHIT)
 	for start := 0; start < len(real); start += perHIT {
 		end := start + perHIT
 		if end > len(real) {
 			end = len(real)
 		}
-		br, err := e.ProcessBatch(real[start:end], golden)
+		chunks = append(chunks, real[start:end])
+	}
+	return chunks, nil
+}
+
+// ProcessAll chunks questions into HIT-sized batches and processes each.
+// With MaxInflightHITs > 1 the batches run through the concurrent
+// pipeline (see Stream); at the default of 1 they run strictly in
+// sequence, re-reading the profile store between batches as the paper's
+// offline mode does.
+func (e *Engine) ProcessAll(real, golden []crowd.Question) ([]BatchResult, error) {
+	if e.cfg.MaxInflightHITs > 1 {
+		return e.ProcessAllContext(context.Background(), real, golden)
+	}
+	chunks, err := e.chunk(real)
+	if err != nil {
+		return nil, err
+	}
+	var out []BatchResult
+	for _, qs := range chunks {
+		br, err := e.ProcessBatch(qs, golden)
 		if err != nil {
 			return out, err
 		}

@@ -1,0 +1,144 @@
+// Concurrent HIT execution pipeline.
+//
+// The paper's engine publishes HITs and consumes worker assignments
+// asynchronously (Section 2.1): several HITs are live on the platform at
+// once and each one terminates early on its own schedule as votes arrive.
+// This file implements that overlap. Stream fans batches out to worker
+// goroutines — at most Config.MaxInflightHITs published and draining at
+// any moment — and merges finished HITs through a channel-based collector,
+// so early termination of one HIT never blocks progress on another.
+//
+// Determinism: every batch draws from a randx source split off the engine
+// seed by (pipeline number, batch index), names its HIT after the same
+// pair so the platform's worker draw is a pure function of the ID, and
+// weighs votes from a profile-store snapshot taken when the pipeline
+// started plus its own golden tally. A pipeline's results are therefore
+// bit-for-bit reproducible for a given seed and configuration, no matter
+// how the goroutines interleave or how many run at once.
+package engine
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"cdas/internal/crowd"
+)
+
+// StreamResult carries one finished HIT out of the pipeline.
+type StreamResult struct {
+	// Index is the batch's position in submission order; batch i covers
+	// the i-th HIT-sized chunk of the real questions.
+	Index int
+	// Batch is the finished HIT's result, valid when Err is nil.
+	Batch BatchResult
+	// Err reports a failed or cancelled batch (context.Canceled when the
+	// pipeline was shut down before this batch finished).
+	Err error
+}
+
+// Stream runs the concurrent pipeline over real questions: the questions
+// are chunked into HIT-sized batches exactly as ProcessAll chunks them,
+// up to Config.MaxInflightHITs batches are published and drained at once
+// (each run's assignment stream is consumed in its own goroutine), and
+// every finished HIT is sent on the returned channel in completion order.
+// The channel closes once all batches have finished.
+//
+// Cancelling ctx cancels the published runs on the platform — their
+// outstanding assignments are never delivered nor charged — and the
+// affected batches surface ctx's error. Callers must drain the channel.
+//
+// Pipeline HITs are named after (JobName, Seed, pipeline number, batch
+// index), and the simulated platform draws workers as a pure function of
+// that name. Two engines sharing one platform therefore replay identical
+// worker samples unless they differ in JobName or Seed — give concurrent
+// engines distinct seeds when independent draws matter.
+func (e *Engine) Stream(ctx context.Context, real, golden []crowd.Question) (<-chan StreamResult, error) {
+	chunks, err := e.chunk(real)
+	if err != nil {
+		return nil, err
+	}
+	return e.stream(ctx, chunks, golden), nil
+}
+
+// stream launches one worker goroutine per batch, gated by a
+// MaxInflightHITs-slot semaphore, and closes the returned channel after
+// the last worker reports. Plan size, verifier prior and the vote-weight
+// snapshot are fixed once at launch so every batch sees the same view of
+// the profile store regardless of scheduling.
+func (e *Engine) stream(ctx context.Context, chunks [][]crowd.Question, golden []crowd.Question) <-chan StreamResult {
+	pseq := e.pipelineSeq.Add(1)
+	snap := e.store.Snapshot(e.cfg.JobName)
+	meanAcc := e.MeanAccuracy()
+	workers, planErr := e.PlanWorkers()
+
+	// Buffered to the batch count so a finished HIT parks its result and
+	// releases its in-flight slot immediately — a slow consumer must not
+	// throttle publication of the next HIT.
+	out := make(chan StreamResult, len(chunks))
+	sem := make(chan struct{}, e.cfg.MaxInflightHITs)
+	var wg sync.WaitGroup
+	for i, qs := range chunks {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if planErr != nil {
+				out <- StreamResult{Index: i, Err: planErr}
+				return
+			}
+			select {
+			case sem <- struct{}{}:
+			case <-ctx.Done():
+				out <- StreamResult{Index: i, Err: ctx.Err()}
+				return
+			}
+			defer func() { <-sem }()
+			br, err := e.runBatch(ctx, batchJob{
+				hitID:   fmt.Sprintf("%s/s%d/p%d/h%05d", e.cfg.JobName, e.cfg.Seed, pseq, i),
+				rng:     e.rng.Split(fmt.Sprintf("pipeline/%d/%d", pseq, i)),
+				real:    qs,
+				golden:  golden,
+				workers: workers,
+				meanAcc: meanAcc,
+				snap:    snap,
+			})
+			out <- StreamResult{Index: i, Batch: br, Err: err}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(out)
+	}()
+	return out
+}
+
+// ProcessAllContext runs every batch through the concurrent pipeline and
+// returns the results ordered by batch index — the same order ProcessAll
+// returns them in. The first batch error cancels the remaining batches
+// (their runs are cancelled on the platform, uncharged) and is returned
+// after all pipeline goroutines have drained; no partial results are
+// returned alongside an error.
+func (e *Engine) ProcessAllContext(ctx context.Context, real, golden []crowd.Question) ([]BatchResult, error) {
+	chunks, err := e.chunk(real)
+	if err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	out := make([]BatchResult, len(chunks))
+	var firstErr error
+	for sr := range e.stream(ctx, chunks, golden) {
+		if sr.Err != nil {
+			if firstErr == nil {
+				firstErr = sr.Err
+				cancel() // shed the still-running batches
+			}
+			continue
+		}
+		out[sr.Index] = sr.Batch
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
+}

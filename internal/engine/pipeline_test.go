@@ -1,0 +1,273 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"math"
+	"reflect"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"cdas/internal/crowd"
+)
+
+// latencyPlatform wraps the simulator so every delivered assignment costs
+// wall-clock time — the trickle of a real marketplace. It records the
+// runs it hands out and signals the first delivery, so tests can cancel
+// pipelines deterministically mid-HIT.
+type latencyPlatform struct {
+	inner *crowd.Platform
+	delay time.Duration
+
+	mu   sync.Mutex
+	runs []*latencyRun
+
+	firstDelivery chan struct{}
+	once          sync.Once
+}
+
+func newLatencyPlatform(t testing.TB, seed uint64, delay time.Duration) (*latencyPlatform, *crowd.Platform) {
+	t.Helper()
+	cfg := crowd.DefaultConfig(seed)
+	cfg.Workers = 300
+	sim, err := crowd.NewPlatform(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &latencyPlatform{inner: sim, delay: delay, firstDelivery: make(chan struct{})}, sim
+}
+
+func (p *latencyPlatform) Publish(hit crowd.HIT, n int) (Run, error) {
+	run, err := p.inner.Publish(hit, n)
+	if err != nil {
+		return nil, err
+	}
+	lr := &latencyRun{Run: run, p: p}
+	p.mu.Lock()
+	p.runs = append(p.runs, lr)
+	p.mu.Unlock()
+	return lr, nil
+}
+
+func (p *latencyPlatform) Runs() []*latencyRun {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]*latencyRun(nil), p.runs...)
+}
+
+type latencyRun struct {
+	*crowd.Run
+	p *latencyPlatform
+}
+
+func (r *latencyRun) Next() (crowd.Assignment, bool) {
+	a, ok := r.Run.Next()
+	if ok {
+		r.p.once.Do(func() { close(r.p.firstDelivery) })
+		time.Sleep(r.p.delay)
+	}
+	return a, ok
+}
+
+// pipelineFixture runs one 5-batch pipeline on a fresh platform and
+// engine, so tests can compare complete result sets across runs and
+// in-flight settings.
+func pipelineFixture(t *testing.T, inflight int) []BatchResult {
+	t.Helper()
+	platform, _ := newTestPlatform(t, 21)
+	e, err := New(platform, nil, Config{
+		JobName:         "tsa",
+		HITSize:         10,
+		SamplingRate:    0.2,
+		MaxInflightHITs: inflight,
+		Seed:            7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 40 questions, 8 real slots per HIT -> 5 batches.
+	res, err := e.ProcessAllContext(context.Background(), makeQuestions("r", 40, "pos"), makeQuestions("g", 12, "neg"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestPipelineOrderingAndCoverage(t *testing.T) {
+	res := pipelineFixture(t, 4)
+	if len(res) != 5 {
+		t.Fatalf("batches = %d, want 5", len(res))
+	}
+	total := 0
+	seen := make(map[string]bool)
+	for i, br := range res {
+		if br.HITID == "" {
+			t.Errorf("batch %d missing HIT ID", i)
+		}
+		for _, qr := range br.Results {
+			if seen[qr.Question.ID] {
+				t.Errorf("question %s answered twice", qr.Question.ID)
+			}
+			seen[qr.Question.ID] = true
+			total++
+		}
+	}
+	if total != 40 {
+		t.Errorf("total results = %d, want 40", total)
+	}
+	// Batch i must cover the i-th chunk: the first batch holds the first
+	// 8 question IDs, in ID order within the batch.
+	if got := len(res[0].Results); got != 8 {
+		t.Errorf("first batch has %d results, want 8", got)
+	}
+}
+
+// TestPipelineDeterministic reruns an identical pipeline and demands
+// bit-for-bit equal results: per-HIT derived seeds and snapshot-based
+// vote weights make the outcome independent of goroutine scheduling.
+func TestPipelineDeterministic(t *testing.T) {
+	a := pipelineFixture(t, 8)
+	b := pipelineFixture(t, 8)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("identical pipelines diverged across runs")
+	}
+}
+
+// TestPipelineInflightInvariant demands the same results whether HITs
+// run one at a time or eight abreast.
+func TestPipelineInflightInvariant(t *testing.T) {
+	seq := pipelineFixture(t, 1)
+	conc := pipelineFixture(t, 8)
+	if !reflect.DeepEqual(seq, conc) {
+		t.Fatal("results depend on MaxInflightHITs")
+	}
+}
+
+// waitGoroutines polls until the goroutine count drops back to the
+// baseline (small slack for runtime helpers), failing with a full stack
+// dump on timeout — the goroutine-leak check for pipeline shutdown.
+func waitGoroutines(t *testing.T, baseline int) {
+	t.Helper()
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= baseline {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	buf := make([]byte, 1<<20)
+	t.Fatalf("goroutine leak: %d running, baseline %d\n%s",
+		runtime.NumGoroutine(), baseline, buf[:runtime.Stack(buf, true)])
+}
+
+// TestPipelineCancelMidHIT cancels the context while assignments are
+// draining and asserts the three shutdown guarantees: the pipeline
+// returns ctx's error, every goroutine exits, and cancelled runs are
+// charged exactly once per delivered assignment — never for the
+// outstanding ones.
+func TestPipelineCancelMidHIT(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	lp, sim := newLatencyPlatform(t, 22, 2*time.Millisecond)
+	e, err := New(lp, nil, Config{
+		JobName:         "tsa",
+		HITSize:         10,
+		SamplingRate:    0.2,
+		MaxInflightHITs: 4,
+		Seed:            7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	errc := make(chan error, 1)
+	go func() {
+		_, err := e.ProcessAllContext(ctx, makeQuestions("r", 40, "pos"), makeQuestions("g", 12, "neg"))
+		errc <- err
+	}()
+	<-lp.firstDelivery // at least one HIT is mid-drain
+	cancel()
+	if err := <-errc; !errors.Is(err, context.Canceled) {
+		t.Fatalf("pipeline error = %v, want context.Canceled", err)
+	}
+	waitGoroutines(t, baseline)
+
+	// Every delivered assignment was charged exactly once, and nothing
+	// outstanding on a cancelled run was ever charged.
+	fee := sim.Config().Economics.PerAssignment()
+	var charged float64
+	delivered := 0
+	for _, lr := range lp.Runs() {
+		charged += lr.Charged()
+		delivered += lr.Delivered()
+		if lr.Outstanding() != 0 && !lr.Cancelled() {
+			t.Errorf("run %s left outstanding work without cancellation", lr.HIT().ID)
+		}
+	}
+	if math.Abs(charged-float64(delivered)*fee) > 1e-9 {
+		t.Errorf("charged %v for %d delivered assignments (fee %v): double charge", charged, delivered, fee)
+	}
+	if got := sim.TotalSpent(); math.Abs(got-charged) > 1e-9 {
+		t.Errorf("platform spent %v, runs charged %v", got, charged)
+	}
+	// The spend must stay frozen: no stray goroutine keeps draining.
+	spent := sim.TotalSpent()
+	time.Sleep(20 * time.Millisecond)
+	if got := sim.TotalSpent(); got != spent {
+		t.Errorf("spend moved after shutdown: %v -> %v", spent, got)
+	}
+}
+
+// TestProcessBatchContextPreCancelled publishes nothing extra and charges
+// nothing when the context is dead on arrival.
+func TestProcessBatchContextPreCancelled(t *testing.T) {
+	platform, sim := newTestPlatform(t, 23)
+	e, err := New(platform, nil, Config{JobName: "tsa", HITSize: 10, SamplingRate: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := e.ProcessBatchContext(ctx, makeQuestions("r", 4, "pos"), makeQuestions("g", 10, "neg")); !errors.Is(err, context.Canceled) {
+		t.Fatalf("error = %v, want context.Canceled", err)
+	}
+	if got := sim.TotalSpent(); got != 0 {
+		t.Errorf("cancelled batch still charged %v", got)
+	}
+}
+
+// TestPipelineWallClockSpeedup is the concurrency payoff check: on a
+// platform where each assignment takes real time to arrive, 8 in-flight
+// HITs must finish the same workload at least twice as fast as one at a
+// time. The modelled gap is ~8x, so the 2x bar holds through heavy CI
+// noise.
+func TestPipelineWallClockSpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock measurement")
+	}
+	measure := func(inflight int) time.Duration {
+		lp, _ := newLatencyPlatform(t, 24, 2*time.Millisecond)
+		e, err := New(lp, nil, Config{
+			JobName:         "tsa",
+			HITSize:         10,
+			SamplingRate:    0.2,
+			MaxInflightHITs: inflight,
+			Seed:            7,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		start := time.Now()
+		if _, err := e.ProcessAllContext(context.Background(), makeQuestions("r", 64, "pos"), makeQuestions("g", 12, "neg")); err != nil {
+			t.Fatal(err)
+		}
+		return time.Since(start)
+	}
+	seq := measure(1)
+	conc := measure(8)
+	if conc > seq/2 {
+		t.Errorf("8 in-flight HITs took %v vs %v sequential; want >= 2x speedup", conc, seq)
+	}
+}

@@ -1,0 +1,53 @@
+package exec
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// TestAccumulatorMatchesSummarise: feeding outcomes incrementally — from
+// several goroutines, as the pipeline collector does — must land on the
+// same Summary as one batch Summarise call.
+func TestAccumulatorMatchesSummarise(t *testing.T) {
+	domain := []string{"pos", "neu", "neg"}
+	texts := make(map[string]string)
+	var outcomes []Outcome
+	for i := 0; i < 60; i++ {
+		id := fmt.Sprintf("t%02d", i)
+		texts[id] = fmt.Sprintf("tweet %d was wonderful fun", i)
+		outcomes = append(outcomes, Outcome{ItemID: id, Accepted: domain[i%3]})
+	}
+
+	acc := NewAccumulator(domain, "tweet")
+	for id, text := range texts {
+		acc.AddText(id, text)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := g * 15; i < (g+1)*15; i++ {
+				acc.Observe(outcomes[i])
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	got := acc.Summary()
+	want := Summarise(domain, outcomes, texts, "tweet")
+	if !reflect.DeepEqual(got.Percentages, want.Percentages) {
+		t.Errorf("percentages: got %v, want %v", got.Percentages, want.Percentages)
+	}
+	if !reflect.DeepEqual(got.Reasons, want.Reasons) {
+		t.Errorf("reasons: got %v, want %v", got.Reasons, want.Reasons)
+	}
+	if got.Items != want.Items || acc.Items() != 60 {
+		t.Errorf("items: got %d/%d, want 60", got.Items, acc.Items())
+	}
+	if n := len(acc.Outcomes()); n != 60 {
+		t.Errorf("outcomes copy has %d entries, want 60", n)
+	}
+}

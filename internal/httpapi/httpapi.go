@@ -11,6 +11,7 @@ import (
 	"sort"
 	"sync"
 
+	"cdas/internal/engine"
 	"cdas/internal/exec"
 )
 
@@ -23,8 +24,12 @@ type QueryState struct {
 	Items       int                 `json:"items"`
 	// Progress of the crowdsourcing job in [0, 1].
 	Progress float64 `json:"progress"`
-	// Done marks a completed (or early-terminated) job.
+	// Done marks a finished job — successfully completed, failed or
+	// cancelled; Error distinguishes the unhappy endings.
 	Done bool `json:"done"`
+	// Error carries the failure when a followed stream ended with one;
+	// empty for healthy queries.
+	Error string `json:"error,omitempty"`
 }
 
 // Server holds query states and exposes them over HTTP. It is safe for
@@ -58,6 +63,68 @@ func (s *Server) UpdateFromSummary(name string, sum exec.Summary, progress float
 		Progress:    progress,
 		Done:        done,
 	})
+}
+
+// Follow consumes one query's concurrent-pipeline stream, republishing
+// the running summary after every finished HIT and marking the query done
+// when the stream closes — Figure 4's live view fed directly by
+// Engine.Stream. It blocks until the channel closes (run it in its own
+// goroutine for a live page), always drains the channel, and returns the
+// finished batches ordered by batch index together with the first batch
+// error encountered.
+//
+// texts maps item IDs to their original text for reason extraction;
+// totalItems, when positive, drives the progress fraction; exclude lists
+// words kept out of the reason columns.
+func (s *Server) Follow(name string, domain []string, texts map[string]string, totalItems int, ch <-chan engine.StreamResult, exclude ...string) ([]engine.BatchResult, error) {
+	acc := exec.NewAccumulator(domain, exclude...)
+	for id, text := range texts {
+		acc.AddText(id, text)
+	}
+	byIndex := make(map[int]engine.BatchResult)
+	var firstErr error
+	for sr := range ch {
+		if sr.Err != nil {
+			if firstErr == nil {
+				firstErr = sr.Err
+			}
+			continue
+		}
+		byIndex[sr.Index] = sr.Batch
+		outcomes := make([]exec.Outcome, 0, len(sr.Batch.Results))
+		for _, qr := range sr.Batch.Results {
+			outcomes = append(outcomes, exec.Outcome{ItemID: qr.Question.ID, Accepted: qr.Answer})
+		}
+		acc.Observe(outcomes...)
+		s.UpdateFromSummary(name, acc.Summary(), followProgress(acc.Items(), totalItems, false), false)
+	}
+	// The stream is over either way, but a failed or cancelled query must
+	// not present as 100% complete: keep the real progress and surface
+	// the error on the state.
+	sum := acc.Summary()
+	final := QueryState{
+		Name:        name,
+		Domain:      sum.Domain,
+		Percentages: sum.Percentages,
+		Reasons:     sum.Reasons,
+		Items:       sum.Items,
+		Progress:    followProgress(acc.Items(), totalItems, firstErr == nil),
+		Done:        true,
+	}
+	if firstErr != nil {
+		final.Error = firstErr.Error()
+	}
+	s.Update(final)
+	indices := make([]int, 0, len(byIndex))
+	for i := range byIndex {
+		indices = append(indices, i)
+	}
+	sort.Ints(indices)
+	batches := make([]engine.BatchResult, 0, len(byIndex))
+	for _, i := range indices {
+		batches = append(batches, byIndex[i])
+	}
+	return batches, firstErr
 }
 
 // Get returns a query's state.
@@ -120,6 +187,18 @@ func (s *Server) handleIndex(w http.ResponseWriter, _ *http.Request) {
 	}
 }
 
+// followProgress is the fraction Follow reports: observed items over the
+// expectation, 1 for a complete healthy stream with no expectation set.
+func followProgress(items, totalItems int, complete bool) float64 {
+	if totalItems > 0 {
+		return min(float64(items)/float64(totalItems), 1)
+	}
+	if complete {
+		return 1
+	}
+	return 0
+}
+
 func writeJSON(w http.ResponseWriter, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)
@@ -139,7 +218,7 @@ var indexTemplate = template.Must(template.New("index").Funcs(template.FuncMap{
 {{- if not .}}<p>No queries registered.</p>{{end}}
 {{- range .}}
 <section>
-  <h2>{{.Name}} {{if .Done}}(done){{else}}({{pct .Progress}} of answers in){{end}}</h2>
+  <h2>{{.Name}} {{if .Error}}(failed at {{pct .Progress}}: {{.Error}}){{else if .Done}}(done){{else}}({{pct .Progress}} of answers in){{end}}</h2>
   <table border="1" cellpadding="4">
     <tr><th>answer</th><th>percentage</th><th>reasons</th></tr>
     {{- $st := .}}

@@ -101,6 +101,51 @@ func (s *Store) ShrunkAccuracy(job, worker string, prior, pseudo float64) float6
 	return (float64(jc.Correct[worker]) + pseudo*prior) / (float64(jc.Total[worker]) + pseudo)
 }
 
+// Snapshot is an immutable copy of one job's outcome counts, taken with
+// Store.Snapshot. The engine's concurrent pipeline reads vote weights from
+// a snapshot combined with per-HIT golden tallies, so one HIT's weights
+// never depend on how its neighbours' writes interleave — results stay
+// deterministic while the shared store keeps accumulating history.
+type Snapshot struct {
+	correct map[string]int
+	total   map[string]int
+}
+
+// Snapshot copies job's current counts into an immutable view.
+func (s *Store) Snapshot(job string) Snapshot {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	snap := Snapshot{correct: make(map[string]int), total: make(map[string]int)}
+	if jc, ok := s.jobs[job]; ok {
+		for w, c := range jc.Correct {
+			snap.correct[w] = c
+		}
+		for w, n := range jc.Total {
+			snap.total[w] = n
+		}
+	}
+	return snap
+}
+
+// Samples reports the snapshotted outcome count for worker.
+func (sn Snapshot) Samples(worker string) int { return sn.total[worker] }
+
+// ShrunkAccuracy mirrors Store.ShrunkAccuracy over the snapshot plus
+// extra outcomes observed since the snapshot was taken (a HIT's own golden
+// tally): (correct + extraCorrect + pseudo·prior) / (total + extraTotal +
+// pseudo). Workers with no evidence at all return the prior.
+func (sn Snapshot) ShrunkAccuracy(worker string, extraCorrect, extraTotal int, prior, pseudo float64) float64 {
+	if pseudo < 0 {
+		pseudo = 0
+	}
+	correct := sn.correct[worker] + extraCorrect
+	total := sn.total[worker] + extraTotal
+	if total == 0 {
+		return prior
+	}
+	return (float64(correct) + pseudo*prior) / (float64(total) + pseudo)
+}
+
 // Samples reports how many outcomes are recorded for (job, worker).
 func (s *Store) Samples(job, worker string) int {
 	s.mu.RLock()

@@ -1,0 +1,58 @@
+package profile
+
+import (
+	"math"
+	"testing"
+)
+
+// TestSnapshotMatchesLiveStore: snapshot + per-HIT extras must reproduce
+// exactly what the live store would report after the same records — the
+// equivalence the engine's sequential and pipeline paths rely on.
+func TestSnapshotMatchesLiveStore(t *testing.T) {
+	s := NewStore()
+	s.Record("tsa", "w1", true)
+	s.Record("tsa", "w1", true)
+	s.Record("tsa", "w1", false)
+	snap := s.Snapshot("tsa")
+
+	// Records arriving after the snapshot, mirrored into extras.
+	extras := []bool{true, false, true, true}
+	correct, total := 0, 0
+	for _, ok := range extras {
+		s.Record("tsa", "w1", ok)
+		total++
+		if ok {
+			correct++
+		}
+		live := s.ShrunkAccuracy("tsa", "w1", 0.7, 4)
+		snapped := snap.ShrunkAccuracy("w1", correct, total, 0.7, 4)
+		if math.Abs(live-snapped) > 1e-12 {
+			t.Fatalf("after %d extras: snapshot %v != live %v", total, snapped, live)
+		}
+	}
+}
+
+func TestSnapshotIsolation(t *testing.T) {
+	s := NewStore()
+	s.Record("tsa", "w1", true)
+	snap := s.Snapshot("tsa")
+	before := snap.ShrunkAccuracy("w1", 0, 0, 0.7, 4)
+	// Later store writes must not leak into the snapshot.
+	for i := 0; i < 10; i++ {
+		s.Record("tsa", "w1", false)
+	}
+	if got := snap.ShrunkAccuracy("w1", 0, 0, 0.7, 4); got != before {
+		t.Errorf("snapshot moved with the store: %v -> %v", before, got)
+	}
+	if got := snap.Samples("w1"); got != 1 {
+		t.Errorf("snapshot samples = %d, want 1", got)
+	}
+	// Unknown workers with no extras fall back to the prior.
+	if got := snap.ShrunkAccuracy("nobody", 0, 0, 0.7, 4); got != 0.7 {
+		t.Errorf("unseen worker accuracy = %v, want prior 0.7", got)
+	}
+	// Extras alone (empty snapshot for that worker) still count.
+	if got := snap.ShrunkAccuracy("nobody", 2, 2, 0.7, 4); got <= 0.7 {
+		t.Errorf("two correct extras should raise the estimate, got %v", got)
+	}
+}

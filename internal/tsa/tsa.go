@@ -7,6 +7,7 @@
 package tsa
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
@@ -65,6 +66,51 @@ func GoldenQuestions(tweets []textgen.Tweet) []crowd.Question {
 	return qs
 }
 
+// Matched is the executor's view of one query's filtered stream: the
+// matching tweets plus the text and ground-truth lookups downstream
+// consumers (summaries, accuracy scoring, live result pages) need.
+type Matched struct {
+	Tweets []textgen.Tweet
+	// Texts maps tweet ID to original text, for reason extraction.
+	Texts map[string]string
+	// Truths maps tweet ID to the simulated ground-truth label.
+	Truths map[string]string
+}
+
+// Match filters the stream against the query and indexes the matches.
+func Match(q jobs.Query, stream []textgen.Tweet) Matched {
+	tweets := FilterTweets(stream, q)
+	m := Matched{
+		Tweets: tweets,
+		Texts:  make(map[string]string, len(tweets)),
+		Truths: make(map[string]string, len(tweets)),
+	}
+	for _, t := range tweets {
+		m.Texts[t.ID] = t.Text
+		m.Truths[t.ID] = t.Truth
+	}
+	return m
+}
+
+// Accuracy scores batches against ground truth: the fraction of answered
+// questions whose accepted answer matches truths, and how many questions
+// were answered. answered == 0 yields accuracy 0.
+func Accuracy(batches []engine.BatchResult, truths map[string]string) (accuracy float64, answered int) {
+	correct := 0
+	for _, br := range batches {
+		for _, qr := range br.Results {
+			answered++
+			if qr.Answer == truths[qr.Question.ID] {
+				correct++
+			}
+		}
+	}
+	if answered == 0 {
+		return 0, 0
+	}
+	return float64(correct) / float64(answered), answered
+}
+
 // Result is one processed TSA query.
 type Result struct {
 	Query   jobs.Query
@@ -79,49 +125,67 @@ type Result struct {
 
 // Run executes one TSA query end to end: filter → batch → crowdsource →
 // verify → summarise. golden supplies the ground-truth pool for accuracy
-// sampling.
+// sampling. Batches go through Engine.ProcessAll, so an engine configured
+// with MaxInflightHITs > 1 overlaps its HITs on the platform.
 func Run(eng *engine.Engine, q jobs.Query, stream, golden []textgen.Tweet) (Result, error) {
+	return run(nil, eng, q, stream, golden)
+}
+
+// RunContext executes the query through the engine's concurrent pipeline
+// (Engine.ProcessAllContext): cancelling ctx cancels the in-flight HITs
+// on the platform without charging for their outstanding assignments.
+// Even at MaxInflightHITs = 1 the pipeline differs from Run's sequential
+// path (explicit HIT IDs, one profile snapshot per wave), so the two may
+// return different — both valid and individually deterministic — numbers
+// for the same engine configuration.
+func RunContext(ctx context.Context, eng *engine.Engine, q jobs.Query, stream, golden []textgen.Tweet) (Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return run(ctx, eng, q, stream, golden)
+}
+
+// run is the shared body; a nil ctx selects Engine.ProcessAll (the legacy
+// sequential path at MaxInflightHITs = 1), a non-nil ctx the pipeline.
+func run(ctx context.Context, eng *engine.Engine, q jobs.Query, stream, golden []textgen.Tweet) (Result, error) {
 	if eng == nil {
 		return Result{}, errors.New("tsa: engine is required")
 	}
 	if err := q.Validate(); err != nil {
 		return Result{}, err
 	}
-	matched := FilterTweets(stream, q)
-	if len(matched) == 0 {
+	m := Match(q, stream)
+	if len(m.Tweets) == 0 {
 		return Result{}, fmt.Errorf("tsa: no tweets matched query %v", q.Keywords)
 	}
-	batches, err := eng.ProcessAll(Questions(matched), GoldenQuestions(golden))
+	var batches []engine.BatchResult
+	var err error
+	if ctx != nil {
+		batches, err = eng.ProcessAllContext(ctx, Questions(m.Tweets), GoldenQuestions(golden))
+	} else {
+		batches, err = eng.ProcessAll(Questions(m.Tweets), GoldenQuestions(golden))
+	}
 	if err != nil {
 		return Result{}, err
 	}
 
-	truths := make(map[string]string, len(matched))
-	texts := make(map[string]string, len(matched))
-	for _, t := range matched {
-		truths[t.ID] = t.Truth
-		texts[t.ID] = t.Text
+	acc := exec.NewAccumulator(q.Domain, q.Keywords...)
+	for id, text := range m.Texts {
+		acc.AddText(id, text)
 	}
-	outcomes := make([]exec.Outcome, 0, len(matched))
-	correct := 0
 	for _, br := range batches {
 		for _, qr := range br.Results {
-			outcomes = append(outcomes, exec.Outcome{ItemID: qr.Question.ID, Accepted: qr.Answer})
-			if qr.Answer == truths[qr.Question.ID] {
-				correct++
-			}
+			acc.Observe(exec.Outcome{ItemID: qr.Question.ID, Accepted: qr.Answer})
 		}
 	}
-	res := Result{
-		Query:   q,
-		Summary: exec.Summarise(q.Domain, outcomes, texts, q.Keywords...),
-		Tweets:  len(matched),
-		Batches: batches,
-	}
-	if len(outcomes) > 0 {
-		res.Accuracy = float64(correct) / float64(len(outcomes))
-	}
-	return res, nil
+	accuracy, _ := Accuracy(batches, m.Truths)
+	return Result{
+		Query:    q,
+		Summary:  acc.Summary(),
+		Accuracy: accuracy,
+		Tweets:   len(m.Tweets),
+		Batches:  batches,
+	}, nil
 }
 
 // SplitByMovie partitions tweets into those about the given movies and
