@@ -74,6 +74,28 @@ const (
 // NewJobManager returns an empty job registry.
 func NewJobManager() *JobManager { return jobs.NewManager() }
 
+// Durable job service: a job manager whose lifecycle survives restarts
+// (WAL + snapshot under ServiceConfig.Dir) with a dispatcher pool that
+// executes pending jobs with per-job cancellation.
+type (
+	JobState         = jobs.State
+	JobStatus        = jobs.Status
+	JobService       = jobs.Service
+	JobServiceConfig = jobs.ServiceConfig
+	JobDispatcher    = jobs.Dispatcher
+	JobRunner        = jobs.Runner
+)
+
+// OpenJobService opens (or creates) a durable job service; see
+// jobs.OpenService.
+func OpenJobService(cfg JobServiceConfig) (*JobService, error) { return jobs.OpenService(cfg) }
+
+// NewJobDispatcher builds a worker pool draining a service's pending
+// jobs through run; see jobs.NewDispatcher.
+func NewJobDispatcher(svc *JobService, run JobRunner, workers int) (*JobDispatcher, error) {
+	return jobs.NewDispatcher(svc, run, workers)
+}
+
 // Vote is one worker's answer weighted by their estimated accuracy.
 type (
 	Vote               = verification.Vote

@@ -1,47 +1,62 @@
-// Command cdas-server runs the Figure 4-style result service: it executes
-// a few TSA queries on the simulated platform through the engine's
-// concurrent HIT pipeline and serves their live summaries over HTTP — the
-// page updates as HITs finish, not after the whole query completes.
+// Command cdas-server runs the CDAS job service: a durable job manager
+// (Figure 2) fronted by the Figure 4-style result dashboard. Jobs are
+// submitted over HTTP, executed by a dispatcher pool through the
+// engine's concurrent HIT pipeline, and — when -store is set — every
+// lifecycle transition is committed to a write-ahead log, so a killed
+// server replays the WAL on restart and resumes unfinished jobs.
 //
 // Usage:
 //
 //	cdas-server [-addr :8080] [-seed 1] [-accuracy 0.9] [-inflight 4]
+//	            [-store DIR] [-dispatchers 2] [-demo]
+//
+// HTTP API:
+//
+//	POST   /jobs          submit a job (JSON body, see httpapi.JobSubmission)
+//	GET    /jobs          all job lifecycle records
+//	GET    /jobs/{name}   one job's state, progress, cost and live results
+//	DELETE /jobs/{name}   cancel a pending or running job
+//	GET    /              HTML results overview
+//	GET    /api/metrics   operational counters
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"log"
 	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"cdas/internal/crowd"
 	"cdas/internal/engine"
 	"cdas/internal/httpapi"
+	"cdas/internal/jobs"
+	"cdas/internal/metrics"
 	"cdas/internal/textgen"
 	"cdas/internal/tsa"
 )
 
 func main() {
 	var (
-		addr     = flag.String("addr", ":8080", "listen address")
-		seed     = flag.Uint64("seed", 1, "simulation seed")
-		accuracy = flag.Float64("accuracy", 0.9, "required accuracy C")
-		inflight = flag.Int("inflight", 4, "HITs published and draining at once per query")
+		addr        = flag.String("addr", ":8080", "listen address")
+		seed        = flag.Uint64("seed", 1, "simulation seed")
+		accuracy    = flag.Float64("accuracy", 0.9, "required accuracy C for demo jobs")
+		inflight    = flag.Int("inflight", 4, "HITs published and draining at once per job")
+		store       = flag.String("store", "", "durable job store directory (empty: in-memory only)")
+		dispatchers = flag.Int("dispatchers", 2, "dispatcher workers pulling pending jobs")
+		demo        = flag.Bool("demo", true, "submit the demo TSA jobs at boot")
 	)
 	flag.Parse()
-
-	server := httpapi.NewServer()
-	go func() {
-		if err := runQueries(server, *seed, *accuracy, *inflight); err != nil {
-			log.Printf("cdas-server: %v", err)
-		}
-	}()
-	log.Printf("cdas-server: serving CDAS results on %s", *addr)
-	log.Fatal(http.ListenAndServe(*addr, server.Handler()))
+	if err := run(*addr, *seed, *accuracy, *inflight, *store, *dispatchers, *demo); err != nil {
+		log.Fatalf("cdas-server: %v", err)
+	}
 }
 
-func runQueries(server *httpapi.Server, seed uint64, accuracy float64, inflight int) error {
+func run(addr string, seed uint64, accuracy float64, inflight int, store string, dispatchers int, demo bool) error {
 	platform, err := crowd.NewPlatform(crowd.DefaultConfig(seed))
 	if err != nil {
 		return err
@@ -63,43 +78,76 @@ func runQueries(server *httpapi.Server, seed uint64, accuracy float64, inflight 
 	if err != nil {
 		return err
 	}
-	start := time.Date(2011, 10, 1, 0, 0, 0, 0, time.UTC)
-	for i, movie := range movies {
-		eng, err := engine.New(engine.CrowdPlatform{Platform: platform}, nil, engine.Config{
-			JobName:          "tsa",
-			RequiredAccuracy: accuracy,
-			HITSize:          50,
-			MaxInflightHITs:  inflight,
-			// Distinct per-query seeds keep the queries' worker draws
-			// independent: pipeline HITs are named after (JobName, Seed,
-			// batch index), and the platform samples workers as a pure
-			// function of that name.
-			Seed: seed + uint64(i),
-		})
-		if err != nil {
-			return err
-		}
-		q := tsa.Query(movie, accuracy, start, 24*time.Hour)
-		m := tsa.Match(q, stream)
-		if len(m.Tweets) == 0 {
-			log.Printf("%s: no tweets matched; query not registered", movie)
-			continue
-		}
-		// Stream the query's HITs through the concurrent pipeline; Follow
-		// republishes the summary after every finished HIT, so the page
-		// shows results accumulating while later HITs are still draining.
-		ch, err := eng.Stream(context.Background(), tsa.Questions(m.Tweets), tsa.GoldenQuestions(golden))
-		if err != nil {
-			return err
-		}
-		batches, err := server.Follow(movie, q.Domain, m.Texts, len(m.Tweets), ch, q.Keywords...)
-		if err != nil {
-			return err
-		}
-		if acc, answered := tsa.Accuracy(batches, m.Truths); answered > 0 {
-			log.Printf("%s: %d tweets in %d HITs, accuracy vs ground truth %.3f",
-				movie, answered, len(batches), acc)
+
+	counters := metrics.NewRegistry()
+	svc, err := jobs.OpenService(jobs.ServiceConfig{Dir: store, Counters: counters})
+	if err != nil {
+		return err
+	}
+	defer svc.Close()
+	for _, name := range svc.Resumed() {
+		log.Printf("cdas-server: resuming interrupted job %q from WAL", name)
+	}
+
+	api := httpapi.NewServer()
+	runner := tsa.NewJobRunner(tsa.RunnerConfig{
+		Platform: engine.CrowdPlatform{Platform: platform},
+		Stream:   stream,
+		Golden:   golden,
+		Engine: engine.Config{
+			HITSize:         50,
+			MaxInflightHITs: inflight,
+			Seed:            seed,
+		},
+		API:      api,
+		Counters: counters,
+	})
+	disp, err := jobs.NewDispatcher(svc, runner, dispatchers)
+	if err != nil {
+		return err
+	}
+	api.SetJobs(disp)
+	api.SetCounters(counters)
+	disp.Start()
+	defer disp.Stop()
+
+	if demo {
+		start := time.Date(2011, 10, 1, 0, 0, 0, 0, time.UTC)
+		for _, movie := range movies {
+			_, err := disp.Submit(jobs.Job{
+				Name:  movie,
+				Kind:  jobs.KindTSA,
+				Query: tsa.Query(movie, accuracy, start, 24*time.Hour),
+			})
+			switch {
+			case errors.Is(err, jobs.ErrDuplicateJob):
+				// Restart against an existing store: the job's fate is
+				// already in the WAL.
+			case err != nil:
+				return err
+			}
 		}
 	}
-	return nil
+
+	server := &http.Server{Addr: addr, Handler: api.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- server.ListenAndServe() }()
+	log.Printf("cdas-server: serving the CDAS job service on %s (store=%q, %d dispatchers)",
+		addr, store, dispatchers)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		return err
+	case s := <-sig:
+		log.Printf("cdas-server: %v — draining dispatchers (running jobs requeue to the WAL)", s)
+		disp.Stop()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := server.Shutdown(shutdownCtx); err != nil {
+			return err
+		}
+		return nil
+	}
 }

@@ -1,0 +1,89 @@
+package prediction
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+// Property sweep for the Algorithm 2 planner over a seeded random grid:
+//
+//	(1) RequiredWorkers always returns an odd n >= 1;
+//	(2) the returned n actually meets C (E[P_{n/2}] >= C) and is
+//	    minimal (n-2 misses C);
+//	(3) n is monotonically non-decreasing in the required accuracy C;
+//	(4) n is monotonically non-increasing in the mean accuracy μ;
+//	(5) the refined estimate never exceeds the Chernoff estimate.
+func TestRequiredWorkersProperties(t *testing.T) {
+	rng := rand.New(rand.NewPCG(0xcda5, 42))
+	for trial := 0; trial < 300; trial++ {
+		mu := 0.51 + 0.48*rng.Float64()
+		c := 0.01 + 0.98*rng.Float64()
+		m, err := New(mu)
+		if err != nil {
+			t.Fatalf("New(%v): %v", mu, err)
+		}
+		n, err := m.RequiredWorkers(c)
+		if err != nil {
+			t.Fatalf("RequiredWorkers(μ=%v, C=%v): %v", mu, c, err)
+		}
+		if n < 1 || n%2 == 0 {
+			t.Fatalf("μ=%v C=%v: n = %d, want odd >= 1", mu, c, n)
+		}
+		if got := m.ExpectedAccuracy(n); got < c {
+			t.Errorf("μ=%v C=%v: E[P] at n=%d is %v < C", mu, c, n, got)
+		}
+		if n > 2 {
+			if got := m.ExpectedAccuracy(n - 2); got >= c {
+				t.Errorf("μ=%v C=%v: n=%d not minimal, n-2 already has E[P]=%v", mu, c, n, got)
+			}
+		}
+		cons, err := m.ConservativeWorkers(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n > cons {
+			t.Errorf("μ=%v C=%v: refined n=%d exceeds Chernoff n=%d", mu, c, n, cons)
+		}
+
+		// (3) raise C, fix μ: need at least as many workers.
+		c2 := c + (0.999-c)*rng.Float64()
+		n2, err := m.RequiredWorkers(c2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n2 < n {
+			t.Errorf("monotonicity in C broken: n(C=%v)=%d > n(C=%v)=%d at μ=%v", c, n, c2, n2, mu)
+		}
+
+		// (4) raise μ, fix C: need at most as many workers.
+		mu2 := mu + (0.999-mu)*rng.Float64()
+		mBetter, err := New(mu2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n3, err := mBetter.RequiredWorkers(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n3 > n {
+			t.Errorf("monotonicity in μ broken: n(μ=%v)=%d < n(μ=%v)=%d at C=%v", mu, n, mu2, n3, c)
+		}
+	}
+}
+
+// The planner must reject non-informative crowds and out-of-range C for
+// every input, not just the documented examples.
+func TestPlannerRejectsDegenerateInputs(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 7))
+	for trial := 0; trial < 100; trial++ {
+		if _, err := New(rng.Float64() * 0.5); err == nil {
+			t.Fatal("New accepted μ <= 0.5")
+		}
+		m, _ := New(0.75)
+		for _, c := range []float64{0, 1, -rng.Float64(), 1 + rng.Float64()} {
+			if _, err := m.RequiredWorkers(c); err == nil {
+				t.Fatalf("RequiredWorkers accepted C=%v", c)
+			}
+		}
+	}
+}

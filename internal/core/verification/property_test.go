@@ -1,0 +1,101 @@
+package verification
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"testing"
+)
+
+// Property: when every worker has the same accuracy a > 1/2, the
+// probability-based verification model degenerates to majority voting —
+// each vote carries the same weight, so confidences are ordered exactly
+// by vote counts and the accepted answer is the plurality winner (ties
+// broken by answer string, matching Verify's deterministic tie-break).
+func TestEqualAccuraciesReduceToMajorityVoting(t *testing.T) {
+	rng := rand.New(rand.NewPCG(0xbeef, 11))
+	domain := []string{"positive", "neutral", "negative", "mixed"}
+	for trial := 0; trial < 500; trial++ {
+		a := 0.51 + 0.48*rng.Float64()
+		nVotes := 1 + rng.IntN(25)
+		m := 2 + rng.IntN(4)
+		votes := make([]Vote, nVotes)
+		counts := make(map[string]int)
+		for i := range votes {
+			ans := domain[rng.IntN(min(len(domain), m))]
+			votes[i] = Vote{Worker: fmt.Sprintf("w%d", i), Accuracy: a, Answer: ans}
+			counts[ans]++
+		}
+		res, err := Verify(votes, m)
+		if err != nil {
+			t.Fatalf("Verify: %v", err)
+		}
+
+		// Plurality winner with lexicographic tie-break.
+		var winner string
+		for ans, c := range counts {
+			if winner == "" || c > counts[winner] || (c == counts[winner] && ans < winner) {
+				winner = ans
+			}
+		}
+		if got := res.Best().Answer; got != winner {
+			t.Fatalf("trial %d (a=%v, m=%d, counts=%v): accepted %q, majority says %q",
+				trial, a, m, counts, got, winner)
+		}
+
+		// Full ranking must be ordered by vote count (desc), ties by
+		// answer (asc).
+		for i := 1; i < len(res.Ranked); i++ {
+			prev, cur := res.Ranked[i-1], res.Ranked[i]
+			if counts[prev.Answer] < counts[cur.Answer] {
+				t.Fatalf("trial %d: ranking disagrees with counts: %q(%d votes) above %q(%d votes)",
+					trial, prev.Answer, counts[prev.Answer], cur.Answer, counts[cur.Answer])
+			}
+			if counts[prev.Answer] == counts[cur.Answer] && prev.Answer > cur.Answer {
+				t.Fatalf("trial %d: tie not broken lexicographically: %q above %q", trial, prev.Answer, cur.Answer)
+			}
+			// Same count ⇒ same weight sum ⇒ same confidence.
+			if counts[prev.Answer] == counts[cur.Answer] && !closeEnough(prev.Confidence, cur.Confidence) {
+				t.Fatalf("trial %d: equal counts, unequal confidences: %v vs %v",
+					trial, prev.Confidence, cur.Confidence)
+			}
+		}
+	}
+}
+
+// Property: confidences plus the unobserved mass always form a
+// probability distribution, for arbitrary (unequal) accuracies too.
+func TestConfidencesSumToOne(t *testing.T) {
+	rng := rand.New(rand.NewPCG(0xf00d, 3))
+	domain := []string{"a", "b", "c", "d", "e"}
+	for trial := 0; trial < 300; trial++ {
+		nVotes := 1 + rng.IntN(30)
+		m := 2 + rng.IntN(6)
+		votes := make([]Vote, nVotes)
+		for i := range votes {
+			votes[i] = Vote{
+				Worker:   fmt.Sprintf("w%d", i),
+				Accuracy: 0.05 + 0.9*rng.Float64(), // weights may go negative: still a distribution
+				Answer:   domain[rng.IntN(len(domain))],
+			}
+		}
+		res, err := Verify(votes, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum := res.UnobservedMass
+		for _, s := range res.Ranked {
+			if s.Confidence < 0 || s.Confidence > 1 {
+				t.Fatalf("trial %d: confidence %v outside [0,1]", trial, s.Confidence)
+			}
+			sum += s.Confidence
+		}
+		if !closeEnough(sum, 1) {
+			t.Fatalf("trial %d: confidences+unobserved sum to %v", trial, sum)
+		}
+	}
+}
+
+func closeEnough(a, b float64) bool {
+	d := a - b
+	return d < 1e-9 && d > -1e-9
+}

@@ -1,0 +1,63 @@
+package engine
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"cdas/internal/crowd"
+)
+
+// Property: Engine.PlanWorkers — the prediction model behind every HIT
+// — always plans an odd crowd within the MaxWorkers cap, and planning
+// is monotone in the required accuracy.
+func TestPlanWorkersProperties(t *testing.T) {
+	platform, err := crowd.NewPlatform(crowd.DefaultConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(5, 5))
+	for trial := 0; trial < 200; trial++ {
+		c := 0.01 + 0.98*rng.Float64()
+		mu := 0.51 + 0.48*rng.Float64()
+		maxWorkers := 1 + rng.IntN(100)
+		eng, err := New(CrowdPlatform{Platform: platform}, nil, Config{
+			RequiredAccuracy: c,
+			FallbackAccuracy: mu,
+			MaxWorkers:       maxWorkers,
+		})
+		if err != nil {
+			t.Fatalf("New(C=%v, μ=%v): %v", c, mu, err)
+		}
+		n, err := eng.PlanWorkers()
+		if err != nil {
+			t.Fatalf("PlanWorkers(C=%v, μ=%v): %v", c, mu, err)
+		}
+		if n < 1 || n%2 == 0 {
+			t.Errorf("C=%v μ=%v: planned n=%d, want odd >= 1", c, mu, n)
+		}
+		if n > maxWorkers {
+			t.Errorf("C=%v μ=%v: planned n=%d above cap %d", c, mu, n, maxWorkers)
+		}
+
+		// Lower C with the same crowd: never plan more workers.
+		c2 := c * rng.Float64()
+		if c2 <= 0 {
+			continue
+		}
+		eng2, err := New(CrowdPlatform{Platform: platform}, nil, Config{
+			RequiredAccuracy: c2,
+			FallbackAccuracy: mu,
+			MaxWorkers:       maxWorkers,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		n2, err := eng2.PlanWorkers()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n2 > n {
+			t.Errorf("monotonicity broken: n(C=%v)=%d < n(C=%v)=%d at μ=%v", c, n, c2, n2, mu)
+		}
+	}
+}

@@ -224,6 +224,22 @@ func (a *Accumulator) Items() int {
 	return len(a.outcomes)
 }
 
+// Progress reports the completed fraction against an expected total:
+// observed outcomes over total, clamped to [0, 1]. A non-positive
+// total yields 0 — the caller doesn't know the workload size yet.
+func (a *Accumulator) Progress(total int) float64 {
+	if total <= 0 {
+		return 0
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	p := float64(len(a.outcomes)) / float64(total)
+	if p > 1 {
+		return 1
+	}
+	return p
+}
+
 // Outcomes returns a copy of the observed outcomes.
 func (a *Accumulator) Outcomes() []Outcome {
 	a.mu.Lock()

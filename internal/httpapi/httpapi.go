@@ -13,6 +13,7 @@ import (
 
 	"cdas/internal/engine"
 	"cdas/internal/exec"
+	"cdas/internal/metrics"
 )
 
 // QueryState is the live presentation of one registered query.
@@ -33,10 +34,14 @@ type QueryState struct {
 }
 
 // Server holds query states and exposes them over HTTP. It is safe for
-// concurrent use.
+// concurrent use. Attach a job service with SetJobs to enable the write
+// API (POST/GET/DELETE /jobs) and a counter registry with SetCounters
+// for GET /api/metrics.
 type Server struct {
-	mu      sync.RWMutex
-	queries map[string]QueryState
+	mu       sync.RWMutex
+	queries  map[string]QueryState
+	jobsCtl  JobController
+	counters *metrics.Registry
 }
 
 // NewServer returns an empty Server.
@@ -96,7 +101,7 @@ func (s *Server) Follow(name string, domain []string, texts map[string]string, t
 			outcomes = append(outcomes, exec.Outcome{ItemID: qr.Question.ID, Accepted: qr.Answer})
 		}
 		acc.Observe(outcomes...)
-		s.UpdateFromSummary(name, acc.Summary(), followProgress(acc.Items(), totalItems, false), false)
+		s.UpdateFromSummary(name, acc.Summary(), acc.Progress(totalItems), false)
 	}
 	// The stream is over either way, but a failed or cancelled query must
 	// not present as 100% complete: keep the real progress and surface
@@ -152,10 +157,20 @@ func (s *Server) Names() []string {
 //	GET /                 HTML overview (Figure 4 style)
 //	GET /api/queries      JSON list of query names
 //	GET /api/query?name=  JSON state of one query
+//	GET /api/metrics      operational counters (SetCounters)
+//	POST   /jobs          submit a job (SetJobs)
+//	GET    /jobs          all job lifecycle records
+//	GET    /jobs/{name}   one job's state, progress and live results
+//	DELETE /jobs/{name}   cancel a pending or running job
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /api/queries", s.handleList)
 	mux.HandleFunc("GET /api/query", s.handleQuery)
+	mux.HandleFunc("GET /api/metrics", s.handleMetrics)
+	mux.HandleFunc("POST /jobs", s.handleSubmitJob)
+	mux.HandleFunc("GET /jobs", s.handleListJobs)
+	mux.HandleFunc("GET /jobs/{name}", s.handleGetJob)
+	mux.HandleFunc("DELETE /jobs/{name}", s.handleCancelJob)
 	mux.HandleFunc("GET /{$}", s.handleIndex)
 	return mux
 }

@@ -1,0 +1,234 @@
+// Write API for the durable job service: submit, inspect and cancel
+// analytics jobs over HTTP. This turns the read-only Figure 4 dashboard
+// into the front door of Figure 2's job manager.
+package httpapi
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/url"
+	"strings"
+	"time"
+
+	"cdas/internal/jobs"
+	"cdas/internal/metrics"
+)
+
+// JobController is the slice of the job service the API needs.
+// *jobs.Dispatcher satisfies it.
+type JobController interface {
+	Submit(jobs.Job) (jobs.Plan, error)
+	Status(name string) (jobs.Status, bool)
+	Statuses() []jobs.Status
+	Cancel(name string) error
+}
+
+// SetJobs attaches the job service behind the write API. Call before
+// serving; a Server without a controller answers job routes with 503.
+func (s *Server) SetJobs(c JobController) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.jobsCtl = c
+}
+
+// SetCounters attaches an operational-counter registry served at
+// GET /api/metrics.
+func (s *Server) SetCounters(r *metrics.Registry) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.counters = r
+}
+
+func (s *Server) jobs() JobController {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.jobsCtl
+}
+
+// JobSubmission is the POST /jobs request body: the analytics query of
+// Definition 1 plus a name and application kind.
+type JobSubmission struct {
+	Name string `json:"name"`
+	// Kind selects the plan template; default "tsa".
+	Kind             string   `json:"kind"`
+	Keywords         []string `json:"keywords"`
+	RequiredAccuracy float64  `json:"required_accuracy"`
+	Domain           []string `json:"domain"`
+	// Start is the query timestamp t; zero means "now".
+	Start time.Time `json:"start"`
+	// Window is the query window w as a Go duration string ("24h").
+	Window string `json:"window"`
+}
+
+// Job converts the submission to a jobs.Job (validation happens at
+// registration).
+func (js JobSubmission) Job() (jobs.Job, error) {
+	window, err := time.ParseDuration(js.Window)
+	if err != nil {
+		return jobs.Job{}, fmt.Errorf("bad window %q: %w", js.Window, err)
+	}
+	kind := jobs.Kind(js.Kind)
+	if js.Kind == "" {
+		kind = jobs.KindTSA
+	}
+	start := js.Start
+	if start.IsZero() {
+		start = time.Now().UTC()
+	}
+	return jobs.Job{
+		Name: js.Name,
+		Kind: kind,
+		Query: jobs.Query{
+			Keywords:         js.Keywords,
+			RequiredAccuracy: js.RequiredAccuracy,
+			Domain:           js.Domain,
+			Start:            start,
+			Window:           window,
+		},
+	}, nil
+}
+
+// JobStatus is the wire form of a job's lifecycle record, with the live
+// query results attached when the run has published any.
+type JobStatus struct {
+	Name     string      `json:"name"`
+	Kind     string      `json:"kind"`
+	Keywords []string    `json:"keywords"`
+	State    jobs.State  `json:"state"`
+	Attempts int         `json:"attempts"`
+	Progress float64     `json:"progress"`
+	Cost     float64     `json:"cost"`
+	Error    string      `json:"error,omitempty"`
+	Results  *QueryState `json:"results,omitempty"`
+}
+
+func (s *Server) jobStatus(st jobs.Status) JobStatus {
+	out := JobStatus{
+		Name:     st.Job.Name,
+		Kind:     string(st.Job.Kind),
+		Keywords: st.Job.Query.Keywords,
+		State:    st.State,
+		Attempts: st.Attempts,
+		Progress: st.Progress,
+		Cost:     st.Cost,
+		Error:    st.Error,
+	}
+	if qs, ok := s.Get(st.Job.Name); ok {
+		out.Results = &qs
+	}
+	return out
+}
+
+func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
+	ctl := s.jobs()
+	if ctl == nil {
+		http.Error(w, "no job service attached", http.StatusServiceUnavailable)
+		return
+	}
+	var sub JobSubmission
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&sub); err != nil {
+		http.Error(w, fmt.Sprintf("bad submission: %v", err), http.StatusBadRequest)
+		return
+	}
+	job, err := sub.Job()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if err := checkJobName(job.Name); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if _, err := ctl.Submit(job); err != nil {
+		code := http.StatusBadRequest
+		if errors.Is(err, jobs.ErrDuplicateJob) {
+			code = http.StatusConflict
+		}
+		http.Error(w, err.Error(), code)
+		return
+	}
+	st, _ := ctl.Status(job.Name)
+	// Headers freeze at WriteHeader; Content-Type must be set first.
+	w.Header().Set("Location", "/jobs/"+url.PathEscape(job.Name))
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusCreated)
+	writeJSON(w, s.jobStatus(st))
+}
+
+// checkJobName rejects names that cannot round-trip through the
+// /jobs/{name} path: a ServeMux wildcard spans a single segment, so a
+// job named with a "/" (or a dot segment) could be created but never
+// fetched or cancelled over HTTP.
+func checkJobName(name string) error {
+	if strings.ContainsAny(name, "/\\") || name == "." || name == ".." {
+		return fmt.Errorf("job name %q must not contain path separators", name)
+	}
+	for _, r := range name {
+		if r < 0x20 || r == 0x7f {
+			return fmt.Errorf("job name %q must not contain control characters", name)
+		}
+	}
+	return nil
+}
+
+func (s *Server) handleListJobs(w http.ResponseWriter, _ *http.Request) {
+	ctl := s.jobs()
+	if ctl == nil {
+		http.Error(w, "no job service attached", http.StatusServiceUnavailable)
+		return
+	}
+	sts := ctl.Statuses()
+	out := make([]JobStatus, 0, len(sts))
+	for _, st := range sts {
+		out = append(out, s.jobStatus(st))
+	}
+	writeJSON(w, out)
+}
+
+func (s *Server) handleGetJob(w http.ResponseWriter, r *http.Request) {
+	ctl := s.jobs()
+	if ctl == nil {
+		http.Error(w, "no job service attached", http.StatusServiceUnavailable)
+		return
+	}
+	name := r.PathValue("name")
+	st, ok := ctl.Status(name)
+	if !ok {
+		http.Error(w, fmt.Sprintf("no such job %q", name), http.StatusNotFound)
+		return
+	}
+	writeJSON(w, s.jobStatus(st))
+}
+
+func (s *Server) handleCancelJob(w http.ResponseWriter, r *http.Request) {
+	ctl := s.jobs()
+	if ctl == nil {
+		http.Error(w, "no job service attached", http.StatusServiceUnavailable)
+		return
+	}
+	name := r.PathValue("name")
+	if err := ctl.Cancel(name); err != nil {
+		switch {
+		case errors.Is(err, jobs.ErrUnknownJob):
+			http.Error(w, err.Error(), http.StatusNotFound)
+		case errors.Is(err, jobs.ErrBadTransition):
+			http.Error(w, err.Error(), http.StatusConflict)
+		default:
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+		return
+	}
+	st, _ := ctl.Status(name)
+	writeJSON(w, s.jobStatus(st))
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	s.mu.RLock()
+	reg := s.counters
+	s.mu.RUnlock()
+	writeJSON(w, reg.Snapshot())
+}

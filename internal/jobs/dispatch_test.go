@@ -1,0 +1,287 @@
+package jobs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// waitFor polls until cond returns true or the deadline passes.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+func TestDispatcherRunsJobsToCompletion(t *testing.T) {
+	s := openTestService(t, "")
+	defer s.Close()
+	var runs atomic.Int64
+	d, err := NewDispatcher(s, func(ctx context.Context, job Job, report func(float64, float64)) error {
+		runs.Add(1)
+		report(0.5, 1.0)
+		report(1.0, 2.0)
+		return nil
+	}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Start()
+	defer d.Stop()
+	for _, n := range []string{"a", "b", "c", "d", "e"} {
+		if _, err := d.Submit(testJob(n)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, "all jobs done", func() bool {
+		for _, st := range d.Statuses() {
+			if st.State != StateDone {
+				return false
+			}
+		}
+		return len(d.Statuses()) == 5
+	})
+	if runs.Load() != 5 {
+		t.Errorf("runner invoked %d times, want 5", runs.Load())
+	}
+	for _, st := range d.Statuses() {
+		if st.Cost != 2.0 || st.Progress != 1 {
+			t.Errorf("%s: cost %v progress %v", st.Job.Name, st.Cost, st.Progress)
+		}
+	}
+}
+
+func TestDispatcherRetriesThenFails(t *testing.T) {
+	s := openTestService(t, "", func(c *ServiceConfig) { c.MaxAttempts = 2 })
+	defer s.Close()
+	var runs atomic.Int64
+	d, _ := NewDispatcher(s, func(ctx context.Context, job Job, report func(float64, float64)) error {
+		runs.Add(1)
+		return errors.New("always broken")
+	}, 1)
+	d.Start()
+	defer d.Stop()
+	d.Submit(testJob("doomed"))
+	waitFor(t, "job failed", func() bool {
+		st, _ := d.Status("doomed")
+		return st.State == StateFailed
+	})
+	if runs.Load() != 2 {
+		t.Errorf("runner invoked %d times, want MaxAttempts=2", runs.Load())
+	}
+	st, _ := d.Status("doomed")
+	if st.Error == "" {
+		t.Error("failure cause not recorded")
+	}
+}
+
+func TestDispatcherCancelMidFlight(t *testing.T) {
+	s := openTestService(t, "")
+	defer s.Close()
+	started := make(chan struct{})
+	var runs atomic.Int64
+	d, _ := NewDispatcher(s, func(ctx context.Context, job Job, report func(float64, float64)) error {
+		runs.Add(1)
+		report(0.25, 0.5)
+		close(started)
+		<-ctx.Done() // block until cancelled
+		return ctx.Err()
+	}, 1)
+	d.Start()
+	defer d.Stop()
+	d.Submit(testJob("victim"))
+	<-started
+	if err := d.Cancel("victim"); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "cancelled state", func() bool {
+		st, _ := d.Status("victim")
+		return st.State == StateCancelled
+	})
+	if runs.Load() != 1 {
+		t.Errorf("cancelled job re-ran: %d invocations", runs.Load())
+	}
+	st, _ := d.Status("victim")
+	if st.Cost != 0.5 {
+		t.Errorf("cost of cancelled run = %v, want the 0.5 charged before cancel", st.Cost)
+	}
+}
+
+func TestDispatcherCancelPendingJob(t *testing.T) {
+	s := openTestService(t, "")
+	defer s.Close()
+	blocker := make(chan struct{})
+	d, _ := NewDispatcher(s, func(ctx context.Context, job Job, report func(float64, float64)) error {
+		select {
+		case <-blocker:
+			return nil
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}, 1)
+	d.Start()
+	defer d.Stop()
+	d.Submit(testJob("hog")) // occupies the only worker
+	waitFor(t, "hog running", func() bool {
+		st, _ := d.Status("hog")
+		return st.State == StateRunning
+	})
+	d.Submit(testJob("queued"))
+	if err := d.Cancel("queued"); err != nil {
+		t.Fatal(err)
+	}
+	st, _ := d.Status("queued")
+	if st.State != StateCancelled || st.Attempts != 0 {
+		t.Errorf("pending cancel: %+v", st)
+	}
+	if err := d.Cancel("missing"); !errors.Is(err, ErrUnknownJob) {
+		t.Errorf("Cancel(unknown) = %v", err)
+	}
+	close(blocker)
+	waitFor(t, "hog done", func() bool {
+		st, _ := d.Status("hog")
+		return st.State == StateDone
+	})
+	if err := d.Cancel("hog"); !errors.Is(err, ErrBadTransition) {
+		t.Errorf("Cancel(done) = %v, want ErrBadTransition", err)
+	}
+}
+
+// TestDispatcherStopRequeuesInFlight: a graceful Stop interrupts running
+// jobs and hands them back as Pending, ready for the next incarnation.
+func TestDispatcherStopRequeuesInFlight(t *testing.T) {
+	dir := t.TempDir()
+	s := openTestService(t, dir)
+	started := make(chan struct{})
+	d, _ := NewDispatcher(s, func(ctx context.Context, job Job, report func(float64, float64)) error {
+		close(started)
+		<-ctx.Done()
+		return ctx.Err()
+	}, 1)
+	d.Start()
+	d.Submit(testJob("unfinished"))
+	<-started
+	d.Stop()
+	st, _ := s.Status("unfinished")
+	if st.State != StatePending {
+		t.Fatalf("after Stop: state = %s, want pending", st.State)
+	}
+	s.Close()
+
+	// And the requeue is durable: a fresh process sees Pending.
+	s2 := openTestService(t, dir)
+	defer s2.Close()
+	st, _ = s2.Status("unfinished")
+	if st.State != StatePending {
+		t.Errorf("after restart: state = %s, want pending", st.State)
+	}
+}
+
+// TestDispatcherCancelCommitsBeforeAck: the Cancelled state must be
+// durable by the time Cancel returns, not only after the runner
+// unwinds — a crash right after the acknowledgement must replay as
+// cancelled.
+func TestDispatcherCancelCommitsBeforeAck(t *testing.T) {
+	dir := t.TempDir()
+	s := openTestService(t, dir)
+	started := make(chan struct{})
+	release := make(chan struct{})
+	d, _ := NewDispatcher(s, func(ctx context.Context, job Job, report func(float64, float64)) error {
+		close(started)
+		<-release // keep the runner alive past the Cancel call
+		<-ctx.Done()
+		return ctx.Err()
+	}, 1)
+	d.Start()
+	defer d.Stop()
+	defer close(release)
+	d.Submit(testJob("victim"))
+	<-started
+	if err := d.Cancel("victim"); err != nil {
+		t.Fatal(err)
+	}
+	// The runner is still blocked, yet the state is already Cancelled —
+	// in memory and on disk.
+	st, _ := s.Status("victim")
+	if st.State != StateCancelled {
+		t.Fatalf("state right after Cancel ack = %s, want cancelled", st.State)
+	}
+	s.Close() // release the store lock; the log is replayed as-is
+	s2 := openTestService(t, dir)
+	defer s2.Close()
+	st, _ = s2.Status("victim")
+	if st.State != StateCancelled {
+		t.Errorf("replayed state = %s, want cancelled", st.State)
+	}
+	if got := s2.Resumed(); len(got) != 0 {
+		t.Errorf("cancelled job resumed after crash: %v", got)
+	}
+}
+
+// TestDispatcherPermanentFailureSkipsRetries: an ErrPermanent-wrapped
+// failure goes straight to Failed without burning the retry budget.
+func TestDispatcherPermanentFailureSkipsRetries(t *testing.T) {
+	s := openTestService(t, "", func(c *ServiceConfig) { c.MaxAttempts = 3 })
+	defer s.Close()
+	var runs atomic.Int64
+	d, _ := NewDispatcher(s, func(ctx context.Context, job Job, report func(float64, float64)) error {
+		runs.Add(1)
+		return fmt.Errorf("%w: nothing matched", ErrPermanent)
+	}, 1)
+	d.Start()
+	defer d.Stop()
+	d.Submit(testJob("hopeless"))
+	waitFor(t, "terminal failure", func() bool {
+		st, _ := d.Status("hopeless")
+		return st.State == StateFailed
+	})
+	if runs.Load() != 1 {
+		t.Errorf("permanent failure ran %d times, want 1", runs.Load())
+	}
+}
+
+// TestDispatcherConcurrentSubmitters hammers the pool from several
+// goroutines; meant for -race.
+func TestDispatcherConcurrentSubmitters(t *testing.T) {
+	s := openTestService(t, "")
+	defer s.Close()
+	d, _ := NewDispatcher(s, func(ctx context.Context, job Job, report func(float64, float64)) error {
+		report(1, 0.1)
+		return nil
+	}, 4)
+	d.Start()
+	defer d.Stop()
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				name := string(rune('a'+g)) + "-" + string(rune('0'+i))
+				if _, err := d.Submit(testJob(name)); err != nil {
+					t.Errorf("Submit(%s): %v", name, err)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	waitFor(t, "40 jobs done", func() bool {
+		done := 0
+		for _, st := range d.Statuses() {
+			if st.State == StateDone {
+				done++
+			}
+		}
+		return done == 40
+	})
+}

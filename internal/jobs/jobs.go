@@ -126,14 +126,42 @@ func planFor(job Job) (Plan, error) {
 	}
 }
 
-// Manager is the job registry. It is safe for concurrent use.
+// DefaultMaxAttempts is how many times a job may be claimed before a
+// failure becomes terminal, when the Manager doesn't override it.
+const DefaultMaxAttempts = 3
+
+// Manager is the job registry and lifecycle state machine (see
+// lifecycle.go for the states). It is safe for concurrent use.
 type Manager struct {
-	mu   sync.RWMutex
-	jobs map[string]Job
+	mu          sync.RWMutex
+	recs        map[string]*Status
+	maxAttempts int
+	nextSeq     uint64
 }
 
-// NewManager returns an empty Manager.
-func NewManager() *Manager { return &Manager{jobs: make(map[string]Job)} }
+// NewManager returns an empty Manager with DefaultMaxAttempts.
+func NewManager() *Manager {
+	return &Manager{recs: make(map[string]*Status), maxAttempts: DefaultMaxAttempts}
+}
+
+// SetMaxAttempts bounds the retry loop: a job failing on its n-th claim
+// with n >= max lands in Failed instead of requeueing. Values < 1 are
+// ignored.
+func (m *Manager) SetMaxAttempts(max int) {
+	if max < 1 {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.maxAttempts = max
+}
+
+// MaxAttempts reports the retry bound.
+func (m *Manager) MaxAttempts() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.maxAttempts
+}
 
 // Registration errors.
 var (
@@ -141,7 +169,8 @@ var (
 	ErrUnknownJob   = errors.New("jobs: no such job")
 )
 
-// Register validates the job, stores it, and returns its processing plan.
+// Register validates the job, stores it in state Pending, and returns
+// its processing plan.
 func (m *Manager) Register(job Job) (Plan, error) {
 	if job.Name == "" {
 		return Plan{}, errors.New("jobs: job needs a name")
@@ -155,10 +184,11 @@ func (m *Manager) Register(job Job) (Plan, error) {
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	if _, dup := m.jobs[job.Name]; dup {
+	if _, dup := m.recs[job.Name]; dup {
 		return Plan{}, fmt.Errorf("%w: %q", ErrDuplicateJob, job.Name)
 	}
-	m.jobs[job.Name] = job
+	m.recs[job.Name] = &Status{Job: job, State: StatePending, seq: m.nextSeq}
+	m.nextSeq++
 	return plan, nil
 }
 
@@ -166,18 +196,22 @@ func (m *Manager) Register(job Job) (Plan, error) {
 func (m *Manager) Get(name string) (Job, bool) {
 	m.mu.RLock()
 	defer m.mu.RUnlock()
-	j, ok := m.jobs[name]
-	return j, ok
+	rec, ok := m.recs[name]
+	if !ok {
+		return Job{}, false
+	}
+	return rec.Job, true
 }
 
-// Unregister removes a job; it returns ErrUnknownJob if absent.
+// Unregister removes a job and its lifecycle record; it returns
+// ErrUnknownJob if absent.
 func (m *Manager) Unregister(name string) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	if _, ok := m.jobs[name]; !ok {
+	if _, ok := m.recs[name]; !ok {
 		return fmt.Errorf("%w: %q", ErrUnknownJob, name)
 	}
-	delete(m.jobs, name)
+	delete(m.recs, name)
 	return nil
 }
 
@@ -185,10 +219,14 @@ func (m *Manager) Unregister(name string) error {
 func (m *Manager) Jobs() []Job {
 	m.mu.RLock()
 	defer m.mu.RUnlock()
-	out := make([]Job, 0, len(m.jobs))
-	for _, j := range m.jobs {
-		out = append(out, j)
+	out := make([]Job, 0, len(m.recs))
+	for _, rec := range m.recs {
+		out = append(out, rec.Job)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out
+}
+
+func sortStatuses(out []Status) {
+	sort.Slice(out, func(i, j int) bool { return out[i].Job.Name < out[j].Job.Name })
 }

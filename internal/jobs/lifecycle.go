@@ -1,0 +1,291 @@
+// Job lifecycle state machine. A registered job moves through
+//
+//	Pending ──► Running ──► Done
+//	   │           │  ├───► Failed     (attempts exhausted)
+//	   │           │  └───► Pending    (retry / requeue after a crash)
+//	   └───────────┴──────► Cancelled
+//
+// Terminal states (Done, Failed, Cancelled) are absorbing: no
+// transition leaves them, which is what makes replaying a job's event
+// log idempotent and a restarted server unable to double-run a
+// finished job.
+package jobs
+
+import (
+	"errors"
+	"fmt"
+)
+
+// State is a job's lifecycle position.
+type State string
+
+// Lifecycle states.
+const (
+	StatePending   State = "pending"
+	StateRunning   State = "running"
+	StateDone      State = "done"
+	StateFailed    State = "failed"
+	StateCancelled State = "cancelled"
+)
+
+// Valid reports whether s is one of the defined states.
+func (s State) Valid() bool {
+	switch s {
+	case StatePending, StateRunning, StateDone, StateFailed, StateCancelled:
+		return true
+	}
+	return false
+}
+
+// Terminal reports whether s is absorbing: Done, Failed or Cancelled.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
+
+// transitions lists the legal moves of the state machine.
+var transitions = map[State]map[State]bool{
+	StatePending: {StateRunning: true, StateCancelled: true},
+	StateRunning: {StateDone: true, StateFailed: true, StatePending: true, StateCancelled: true},
+}
+
+// CanTransition reports whether from → to is a legal lifecycle move.
+func CanTransition(from, to State) bool { return transitions[from][to] }
+
+// ErrBadTransition reports an illegal lifecycle move (e.g. cancelling a
+// job that already finished).
+var ErrBadTransition = errors.New("jobs: illegal state transition")
+
+// ErrPermanent marks a job failure as not retryable: a runner that
+// wraps its error with this sentinel (fmt.Errorf("%w: ...",
+// jobs.ErrPermanent)) sends the job straight to Failed regardless of
+// remaining attempts — for deterministic failures (bad query, nothing
+// to process) where retrying would only replay the same outcome.
+var ErrPermanent = errors.New("jobs: permanent job failure")
+
+// Status is a job's full lifecycle record.
+type Status struct {
+	Job   Job
+	State State
+	// Attempts counts how many times the job has been claimed by a
+	// dispatcher (including the current run).
+	Attempts int
+	// Progress is the completed fraction in [0, 1] of the current run.
+	Progress float64
+	// Cost is the total crowdsourcing fee charged across all attempts.
+	Cost float64
+	// Error holds the most recent failure, empty while healthy.
+	Error string
+
+	// seq orders jobs for FIFO claiming; baseCost carries the fees of
+	// earlier attempts so a retry's running cost accumulates.
+	seq      uint64
+	baseCost float64
+}
+
+// Status returns a job's lifecycle record.
+func (m *Manager) Status(name string) (Status, bool) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	rec, ok := m.recs[name]
+	if !ok {
+		return Status{}, false
+	}
+	return *rec, true
+}
+
+// Statuses lists every job's lifecycle record, sorted by name.
+func (m *Manager) Statuses() []Status {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := make([]Status, 0, len(m.recs))
+	for _, rec := range m.recs {
+		out = append(out, *rec)
+	}
+	sortStatuses(out)
+	return out
+}
+
+// Claim atomically moves the oldest Pending job to Running and returns
+// it; ok is false when nothing is pending. The claim counts as an
+// attempt.
+func (m *Manager) Claim() (Status, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var oldest *Status
+	for _, rec := range m.recs {
+		if rec.State != StatePending {
+			continue
+		}
+		if oldest == nil || rec.seq < oldest.seq {
+			oldest = rec
+		}
+	}
+	if oldest == nil {
+		return Status{}, false
+	}
+	oldest.State = StateRunning
+	oldest.Attempts++
+	oldest.Progress = 0
+	oldest.baseCost = oldest.Cost
+	return *oldest, true
+}
+
+// Complete moves a Running job to Done, recording the final cost of the
+// finishing attempt.
+func (m *Manager) Complete(name string, cost float64) (Status, error) {
+	return m.finish(name, StateDone, "", cost)
+}
+
+// Fail records a Running job's failure. While the job has attempts left
+// and the cause is not marked ErrPermanent it is requeued to Pending
+// (requeued = true); otherwise it lands in Failed.
+func (m *Manager) Fail(name string, cause error, cost float64) (st Status, requeued bool, err error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	rec, ok := m.recs[name]
+	if !ok {
+		return Status{}, false, fmt.Errorf("%w: %q", ErrUnknownJob, name)
+	}
+	if !CanTransition(rec.State, StateFailed) {
+		return Status{}, false, fmt.Errorf("%w: %s → %s for %q", ErrBadTransition, rec.State, StateFailed, name)
+	}
+	rec.Cost = rec.baseCost + cost
+	if cause != nil {
+		rec.Error = cause.Error()
+	} else {
+		rec.Error = "unknown failure"
+	}
+	if rec.Attempts < m.maxAttempts && !errors.Is(cause, ErrPermanent) {
+		rec.State = StatePending
+		rec.Progress = 0
+		return *rec, true, nil
+	}
+	rec.State = StateFailed
+	return *rec, false, nil
+}
+
+// Cancel moves a Pending or Running job to Cancelled.
+func (m *Manager) Cancel(name string) (Status, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	rec, ok := m.recs[name]
+	if !ok {
+		return Status{}, fmt.Errorf("%w: %q", ErrUnknownJob, name)
+	}
+	if !CanTransition(rec.State, StateCancelled) {
+		return Status{}, fmt.Errorf("%w: %s → %s for %q", ErrBadTransition, rec.State, StateCancelled, name)
+	}
+	rec.State = StateCancelled
+	return *rec, nil
+}
+
+// Requeue moves a Running job back to Pending without charging an
+// attempt's failure — the restart path for jobs a dead dispatcher left
+// behind.
+func (m *Manager) Requeue(name string) (Status, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	rec, ok := m.recs[name]
+	if !ok {
+		return Status{}, fmt.Errorf("%w: %q", ErrUnknownJob, name)
+	}
+	if !CanTransition(rec.State, StatePending) {
+		return Status{}, fmt.Errorf("%w: %s → %s for %q", ErrBadTransition, rec.State, StatePending, name)
+	}
+	rec.State = StatePending
+	rec.Progress = 0
+	return *rec, nil
+}
+
+// SetProgress updates a Running job's progress fraction and the cost
+// charged so far in the current attempt.
+func (m *Manager) SetProgress(name string, progress, cost float64) (Status, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	rec, ok := m.recs[name]
+	if !ok {
+		return Status{}, fmt.Errorf("%w: %q", ErrUnknownJob, name)
+	}
+	if rec.State != StateRunning {
+		return Status{}, fmt.Errorf("%w: progress on %s job %q", ErrBadTransition, rec.State, name)
+	}
+	rec.Progress = clamp01(progress)
+	rec.Cost = rec.baseCost + cost
+	return *rec, nil
+}
+
+// finish applies a terminal completion under the transition rules.
+func (m *Manager) finish(name string, to State, errMsg string, cost float64) (Status, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	rec, ok := m.recs[name]
+	if !ok {
+		return Status{}, fmt.Errorf("%w: %q", ErrUnknownJob, name)
+	}
+	if !CanTransition(rec.State, to) {
+		return Status{}, fmt.Errorf("%w: %s → %s for %q", ErrBadTransition, rec.State, to, name)
+	}
+	rec.State = to
+	rec.Error = errMsg
+	rec.Cost = rec.baseCost + cost
+	if to == StateDone {
+		rec.Progress = 1
+	}
+	return *rec, nil
+}
+
+// unclaim reverts a Claim that could not be committed to the log: the
+// job returns to Pending and the claim's attempt increment is undone,
+// so transient storage failures never consume the retry budget.
+func (m *Manager) unclaim(name string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	rec, ok := m.recs[name]
+	if !ok || rec.State != StateRunning {
+		return
+	}
+	rec.State = StatePending
+	rec.Progress = 0
+	if rec.Attempts > 0 {
+		rec.Attempts--
+	}
+}
+
+// revert restores a job's record to a previously captured Status —
+// the rollback for a state transition whose log commit failed. The
+// copy carries the unexported seq and baseCost, so the revert is exact.
+func (m *Manager) revert(prev Status) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if rec, ok := m.recs[prev.Job.Name]; ok {
+		*rec = prev
+	}
+}
+
+// restore overwrites a job's record from a trusted replay source,
+// bypassing transition checks (the log already validated them when the
+// events were first applied).
+func (m *Manager) restore(st Status) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	rec, ok := m.recs[st.Job.Name]
+	if !ok {
+		rec = &Status{}
+		m.recs[st.Job.Name] = rec
+	}
+	*rec = st
+	rec.baseCost = st.Cost
+	if st.seq >= m.nextSeq {
+		m.nextSeq = st.seq + 1
+	}
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}

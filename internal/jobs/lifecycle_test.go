@@ -1,0 +1,218 @@
+package jobs
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func testJob(name string) Job {
+	return Job{Name: name, Kind: KindTSA, Query: validQuery()}
+}
+
+func TestStateMachineShape(t *testing.T) {
+	for _, s := range []State{StatePending, StateRunning, StateDone, StateFailed, StateCancelled} {
+		if !s.Valid() {
+			t.Errorf("%s not Valid", s)
+		}
+	}
+	if State("bogus").Valid() {
+		t.Error("bogus state Valid")
+	}
+	terminal := map[State]bool{StateDone: true, StateFailed: true, StateCancelled: true}
+	for s, want := range map[State]bool{
+		StatePending: false, StateRunning: false,
+		StateDone: true, StateFailed: true, StateCancelled: true,
+	} {
+		if s.Terminal() != want {
+			t.Errorf("%s.Terminal() = %v, want %v", s, s.Terminal(), want)
+		}
+	}
+	// Terminal states are absorbing.
+	for from := range terminal {
+		for _, to := range []State{StatePending, StateRunning, StateDone, StateFailed, StateCancelled} {
+			if CanTransition(from, to) {
+				t.Errorf("terminal %s allows transition to %s", from, to)
+			}
+		}
+	}
+	if !CanTransition(StatePending, StateRunning) || !CanTransition(StateRunning, StateDone) {
+		t.Error("happy path transitions rejected")
+	}
+	if CanTransition(StatePending, StateDone) {
+		t.Error("Pending → Done allowed without running")
+	}
+}
+
+func TestClaimFIFO(t *testing.T) {
+	m := NewManager()
+	for _, n := range []string{"c-job", "a-job", "b-job"} {
+		if _, err := m.Register(testJob(n)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var got []string
+	for {
+		st, ok := m.Claim()
+		if !ok {
+			break
+		}
+		if st.State != StateRunning || st.Attempts != 1 {
+			t.Errorf("claimed %q in state %s attempts %d", st.Job.Name, st.State, st.Attempts)
+		}
+		got = append(got, st.Job.Name)
+	}
+	want := []string{"c-job", "a-job", "b-job"} // submission order, not name order
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Errorf("claim order %v, want %v", got, want)
+	}
+}
+
+func TestCompleteAndCostAccounting(t *testing.T) {
+	m := NewManager()
+	m.Register(testJob("j"))
+	m.Claim()
+	if _, err := m.SetProgress("j", 0.5, 1.25); err != nil {
+		t.Fatal(err)
+	}
+	st, _ := m.Status("j")
+	if st.Progress != 0.5 || st.Cost != 1.25 {
+		t.Errorf("mid-run status = %+v", st)
+	}
+	if _, err := m.Complete("j", 2.5); err != nil {
+		t.Fatal(err)
+	}
+	st, _ = m.Status("j")
+	if st.State != StateDone || st.Progress != 1 || st.Cost != 2.5 {
+		t.Errorf("done status = %+v", st)
+	}
+	// Absorbing: nothing moves a Done job.
+	if _, err := m.Cancel("j"); !errors.Is(err, ErrBadTransition) {
+		t.Errorf("Cancel(done) err = %v, want ErrBadTransition", err)
+	}
+	if _, _, err := m.Fail("j", errors.New("x"), 0); !errors.Is(err, ErrBadTransition) {
+		t.Errorf("Fail(done) err = %v, want ErrBadTransition", err)
+	}
+}
+
+func TestRetryBudgetAndCostAccumulation(t *testing.T) {
+	m := NewManager()
+	m.SetMaxAttempts(3)
+	m.Register(testJob("flaky"))
+	for attempt := 1; attempt <= 3; attempt++ {
+		st, ok := m.Claim()
+		if !ok {
+			t.Fatalf("attempt %d: nothing to claim", attempt)
+		}
+		if st.Attempts != attempt {
+			t.Errorf("attempt %d recorded as %d", attempt, st.Attempts)
+		}
+		_, requeued, err := m.Fail("flaky", fmt.Errorf("boom %d", attempt), 1.0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if wantRequeue := attempt < 3; requeued != wantRequeue {
+			t.Errorf("attempt %d requeued = %v, want %v", attempt, requeued, wantRequeue)
+		}
+	}
+	st, _ := m.Status("flaky")
+	if st.State != StateFailed {
+		t.Errorf("state after exhausted retries = %s, want failed", st.State)
+	}
+	if st.Error != "boom 3" {
+		t.Errorf("Error = %q, want last failure", st.Error)
+	}
+	// Money spent on failed attempts is real: costs accumulate.
+	if st.Cost != 3.0 {
+		t.Errorf("Cost = %v, want 3.0 across attempts", st.Cost)
+	}
+	if _, ok := m.Claim(); ok {
+		t.Error("failed job still claimable")
+	}
+}
+
+func TestCancelPendingAndRunning(t *testing.T) {
+	m := NewManager()
+	m.Register(testJob("p"))
+	m.Register(testJob("r"))
+	if _, err := m.Cancel("p"); err != nil {
+		t.Fatal(err)
+	}
+	st, _ := m.Status("p")
+	if st.State != StateCancelled {
+		t.Errorf("pending cancel → %s", st.State)
+	}
+	claimed, _ := m.Claim()
+	if claimed.Job.Name != "r" {
+		t.Fatalf("claimed %q, want r (p was cancelled)", claimed.Job.Name)
+	}
+	if _, err := m.Cancel("r"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Cancel("nope"); !errors.Is(err, ErrUnknownJob) {
+		t.Errorf("Cancel(unknown) err = %v", err)
+	}
+}
+
+func TestRequeuePreservesAttempts(t *testing.T) {
+	m := NewManager()
+	m.Register(testJob("j"))
+	m.Claim()
+	if _, err := m.Requeue("j"); err != nil {
+		t.Fatal(err)
+	}
+	st, _ := m.Status("j")
+	if st.State != StatePending || st.Attempts != 1 {
+		t.Errorf("after requeue: %+v", st)
+	}
+	st2, ok := m.Claim()
+	if !ok || st2.Attempts != 2 {
+		t.Errorf("reclaim attempts = %d, want 2", st2.Attempts)
+	}
+	// Requeue of a non-running job is illegal.
+	if _, err := m.Complete("j", 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Requeue("j"); !errors.Is(err, ErrBadTransition) {
+		t.Errorf("Requeue of done job: err = %v, want ErrBadTransition", err)
+	}
+}
+
+func TestUnclaimRevertsAttempt(t *testing.T) {
+	m := NewManager()
+	m.Register(testJob("j"))
+	st, _ := m.Claim()
+	if st.Attempts != 1 {
+		t.Fatalf("claim attempts = %d", st.Attempts)
+	}
+	m.unclaim("j")
+	got, _ := m.Status("j")
+	if got.State != StatePending || got.Attempts != 0 {
+		t.Errorf("after unclaim: %+v, want pending with 0 attempts", got)
+	}
+	// unclaim is a no-op on anything but a Running job.
+	m.unclaim("j")
+	got, _ = m.Status("j")
+	if got.Attempts != 0 {
+		t.Errorf("unclaim on pending mutated attempts: %+v", got)
+	}
+}
+
+func TestProgressClampsAndRejectsNonRunning(t *testing.T) {
+	m := NewManager()
+	m.Register(testJob("j"))
+	if _, err := m.SetProgress("j", 0.5, 0); !errors.Is(err, ErrBadTransition) {
+		t.Errorf("progress on pending job: err = %v", err)
+	}
+	m.Claim()
+	m.SetProgress("j", 2.5, 0)
+	st, _ := m.Status("j")
+	if st.Progress != 1 {
+		t.Errorf("progress not clamped: %v", st.Progress)
+	}
+	m.SetProgress("j", -3, 0)
+	st, _ = m.Status("j")
+	if st.Progress != 0 {
+		t.Errorf("negative progress not clamped: %v", st.Progress)
+	}
+}

@@ -1,0 +1,398 @@
+// Durable job service: a Manager whose every lifecycle change is
+// committed to a jobstore WAL before it is acknowledged, so a killed
+// server replays the log on restart, requeues the jobs it was running
+// and never re-runs a finished one.
+package jobs
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+
+	"cdas/internal/jobstore"
+	"cdas/internal/metrics"
+)
+
+// ServiceConfig tunes OpenService. The zero value is a volatile
+// (memory-only) service with default retry and compaction settings.
+type ServiceConfig struct {
+	// Dir roots the WAL and snapshot files. Empty disables persistence:
+	// the service still runs the full lifecycle, in memory only.
+	Dir string
+	// MaxAttempts bounds the retry loop (default DefaultMaxAttempts).
+	MaxAttempts int
+	// SnapshotEvery compacts the WAL into a snapshot after this many
+	// appended events (default 256; negative disables compaction).
+	SnapshotEvery int
+	// Counters, when set, receives lifecycle and WAL counters.
+	Counters *metrics.Registry
+}
+
+// Service is the durable job lifecycle service. It is safe for
+// concurrent use.
+type Service struct {
+	cfg ServiceConfig
+	m   *Manager
+
+	// mu serialises state mutation with WAL appends so the log's event
+	// order always matches the order the state machine applied them in.
+	mu      sync.Mutex
+	log     *jobstore.Log
+	wake    chan struct{}
+	resumed []string
+}
+
+// walStatus is a job lifecycle record as written to the WAL and
+// snapshot. It mirrors Status plus the FIFO sequence.
+type walStatus struct {
+	Job      Job     `json:"job"`
+	State    State   `json:"state"`
+	Attempts int     `json:"attempts"`
+	Progress float64 `json:"progress"`
+	Cost     float64 `json:"cost"`
+	Error    string  `json:"error,omitempty"`
+	Seq      uint64  `json:"seq"`
+}
+
+// walEvent is one WAL record: the full post-transition record of the
+// job it concerns, which makes replay a plain overwrite — trivially
+// idempotent under the storage layer's at-least-once crash windows.
+type walEvent struct {
+	Op     string    `json:"op"` // "submit" or "update"
+	Status walStatus `json:"status"`
+}
+
+// walSnapshot is the snapshot payload: every job's current record.
+type walSnapshot struct {
+	Jobs []walStatus `json:"jobs"`
+}
+
+func toWal(st Status) walStatus {
+	return walStatus{
+		Job:      st.Job,
+		State:    st.State,
+		Attempts: st.Attempts,
+		Progress: st.Progress,
+		Cost:     st.Cost,
+		Error:    st.Error,
+		Seq:      st.seq,
+	}
+}
+
+func fromWal(ws walStatus) Status {
+	return Status{
+		Job:      ws.Job,
+		State:    ws.State,
+		Attempts: ws.Attempts,
+		Progress: ws.Progress,
+		Cost:     ws.Cost,
+		Error:    ws.Error,
+		seq:      ws.Seq,
+	}
+}
+
+// OpenService opens (or creates) the durable service: it replays the
+// snapshot and WAL under cfg.Dir, then requeues every job the previous
+// process left Running — those are exactly the jobs a crash or
+// shutdown interrupted mid-flight.
+func OpenService(cfg ServiceConfig) (*Service, error) {
+	if cfg.MaxAttempts == 0 {
+		cfg.MaxAttempts = DefaultMaxAttempts
+	}
+	if cfg.SnapshotEvery == 0 {
+		cfg.SnapshotEvery = 256
+	}
+	s := &Service{
+		cfg:  cfg,
+		m:    NewManager(),
+		wake: make(chan struct{}, 1),
+	}
+	s.m.SetMaxAttempts(cfg.MaxAttempts)
+	if cfg.Dir == "" {
+		return s, nil
+	}
+	log, err := jobstore.Open(cfg.Dir)
+	if err != nil {
+		return nil, err
+	}
+	s.log = log
+	if snap, _ := log.Snapshot(); snap != nil {
+		var ws walSnapshot
+		if err := json.Unmarshal(snap, &ws); err != nil {
+			log.Close()
+			return nil, fmt.Errorf("jobs: decoding snapshot: %w", err)
+		}
+		for _, st := range ws.Jobs {
+			s.m.restore(fromWal(st))
+		}
+	}
+	for i, rec := range log.Entries() {
+		var ev walEvent
+		if err := json.Unmarshal(rec, &ev); err != nil {
+			log.Close()
+			return nil, fmt.Errorf("jobs: decoding WAL record %d: %w", i, err)
+		}
+		s.m.restore(fromWal(ev.Status))
+	}
+	// Resume: jobs the dead process had claimed go back to Pending so a
+	// dispatcher can pick them up again.
+	for _, st := range s.m.Statuses() {
+		if st.State != StateRunning {
+			continue
+		}
+		re, err := s.m.Requeue(st.Job.Name)
+		if err != nil {
+			log.Close()
+			return nil, err
+		}
+		if err := s.append("update", re, true); err != nil {
+			log.Close()
+			return nil, err
+		}
+		s.resumed = append(s.resumed, st.Job.Name)
+		cfg.Counters.Inc(metrics.CounterJobsResumed)
+	}
+	return s, nil
+}
+
+// Resumed lists the jobs OpenService moved from Running back to
+// Pending — the unfinished work recovered from the log.
+func (s *Service) Resumed() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]string(nil), s.resumed...)
+}
+
+// Wake returns a channel that receives a token whenever new Pending
+// work may exist; dispatcher workers select on it instead of busy
+// polling.
+func (s *Service) Wake() <-chan struct{} { return s.wake }
+
+func (s *Service) notify() {
+	select {
+	case s.wake <- struct{}{}:
+	default:
+	}
+}
+
+// append commits one lifecycle event to the WAL (no-op when the
+// service is volatile) and compacts when the policy says so. sync
+// selects fsync-on-commit; progress events pass false — they are
+// advisory (reset on requeue), and a later synced transition flushes
+// them anyway. Callers hold s.mu.
+func (s *Service) append(op string, st Status, sync bool) error {
+	if s.log == nil {
+		return nil
+	}
+	rec, err := json.Marshal(walEvent{Op: op, Status: toWal(st)})
+	if err != nil {
+		return fmt.Errorf("jobs: encoding event: %w", err)
+	}
+	if sync {
+		_, err = s.log.Append(rec)
+	} else {
+		_, err = s.log.AppendNoSync(rec)
+	}
+	if err != nil {
+		return err
+	}
+	s.cfg.Counters.Inc(metrics.CounterWALAppends)
+	if s.cfg.SnapshotEvery > 0 && s.log.AppendsSinceSnapshot() >= s.cfg.SnapshotEvery {
+		// The event above is already durably committed; compaction is
+		// best-effort housekeeping and must not fail the transition (a
+		// failed compaction simply retries on a later append).
+		_ = s.compact()
+	}
+	return nil
+}
+
+// compact writes a full-state snapshot, truncating the WAL. Callers
+// hold s.mu.
+func (s *Service) compact() error {
+	var snap walSnapshot
+	for _, st := range s.m.Statuses() {
+		snap.Jobs = append(snap.Jobs, toWal(st))
+	}
+	payload, err := json.Marshal(snap)
+	if err != nil {
+		return fmt.Errorf("jobs: encoding snapshot: %w", err)
+	}
+	if err := s.log.WriteSnapshot(payload); err != nil {
+		return err
+	}
+	s.cfg.Counters.Inc(metrics.CounterWALSnapshots)
+	return nil
+}
+
+// Submit registers the job (state Pending), commits it, and wakes the
+// dispatcher pool. On a WAL failure the registration is rolled back so
+// memory never acknowledges more than disk.
+func (s *Service) Submit(job Job) (Plan, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	plan, err := s.m.Register(job)
+	if err != nil {
+		return Plan{}, err
+	}
+	st, _ := s.m.Status(job.Name)
+	if err := s.append("submit", st, true); err != nil {
+		s.m.Unregister(job.Name)
+		return Plan{}, err
+	}
+	s.cfg.Counters.Inc(metrics.CounterJobsSubmitted)
+	s.notify()
+	return plan, nil
+}
+
+// Claim moves the oldest Pending job to Running and commits the
+// transition. ok is false when nothing is pending.
+func (s *Service) Claim() (Status, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, ok := s.m.Claim()
+	if !ok {
+		return Status{}, false
+	}
+	if err := s.append("update", st, true); err != nil {
+		// Disk refused the claim: revert it entirely (state and attempt
+		// count) so no work runs unlogged and transient storage errors
+		// don't eat the retry budget.
+		s.m.unclaim(st.Job.Name)
+		return Status{}, false
+	}
+	s.cfg.Counters.Inc(metrics.CounterJobsStarted)
+	return st, true
+}
+
+// commitUpdate appends a post-transition record. If the log refuses
+// the commit, the in-memory record is reverted to prev, preserving the
+// invariant that memory never acknowledges more than disk.
+func (s *Service) commitUpdate(prev, st Status, sync bool) error {
+	if err := s.append("update", st, sync); err != nil {
+		s.m.revert(prev)
+		return err
+	}
+	return nil
+}
+
+// Complete commits a Running job's successful finish with the final
+// cost of the finishing attempt.
+func (s *Service) Complete(name string, cost float64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	prev, _ := s.m.Status(name)
+	st, err := s.m.Complete(name, cost)
+	if err != nil {
+		return err
+	}
+	if err := s.commitUpdate(prev, st, true); err != nil {
+		return err
+	}
+	s.cfg.Counters.Inc(metrics.CounterJobsCompleted)
+	return nil
+}
+
+// Fail commits a Running job's failure: requeued (retry) while
+// attempts remain and the cause is not permanent, terminal Failed
+// otherwise.
+func (s *Service) Fail(name string, cause error, cost float64) (requeued bool, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	prev, _ := s.m.Status(name)
+	st, requeued, err := s.m.Fail(name, cause, cost)
+	if err != nil {
+		return false, err
+	}
+	if err := s.commitUpdate(prev, st, true); err != nil {
+		return false, err
+	}
+	if requeued {
+		s.cfg.Counters.Inc(metrics.CounterJobsRetried)
+		s.notify()
+	} else {
+		s.cfg.Counters.Inc(metrics.CounterJobsFailed)
+	}
+	return requeued, nil
+}
+
+// Cancel commits a Pending or Running job's cancellation. Cancelling a
+// Running job here only records the state — interrupting the actual
+// run is the dispatcher's half (per-job context cancellation).
+func (s *Service) Cancel(name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	prev, _ := s.m.Status(name)
+	st, err := s.m.Cancel(name)
+	if err != nil {
+		return err
+	}
+	if err := s.commitUpdate(prev, st, true); err != nil {
+		return err
+	}
+	s.cfg.Counters.Inc(metrics.CounterJobsCancelled)
+	return nil
+}
+
+// Requeue commits a Running job's return to Pending (graceful shutdown
+// of its worker) and wakes the pool.
+func (s *Service) Requeue(name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	prev, _ := s.m.Status(name)
+	st, err := s.m.Requeue(name)
+	if err != nil {
+		return err
+	}
+	if err := s.commitUpdate(prev, st, true); err != nil {
+		return err
+	}
+	s.notify()
+	return nil
+}
+
+// Progress commits a Running job's progress fraction and the cost
+// charged so far in the current attempt.
+func (s *Service) Progress(name string, progress, cost float64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	prev, _ := s.m.Status(name)
+	st, err := s.m.SetProgress(name, progress, cost)
+	if err != nil {
+		return err
+	}
+	return s.commitUpdate(prev, st, false)
+}
+
+// Status returns a job's lifecycle record. It takes the commit lock,
+// so a transition is never observable before its WAL commit succeeded
+// (or was rolled back) — reads see only acknowledged state.
+func (s *Service) Status(name string) (Status, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.m.Status(name)
+}
+
+// Statuses lists every job's lifecycle record, sorted by name, under
+// the same acknowledged-state guarantee as Status.
+func (s *Service) Statuses() []Status {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.m.Statuses()
+}
+
+// MaxAttempts reports the retry bound.
+func (s *Service) MaxAttempts() int { return s.m.MaxAttempts() }
+
+// Close releases the WAL. The in-memory view stays readable; further
+// mutations fail on the closed log.
+func (s *Service) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.log == nil {
+		return nil
+	}
+	return s.log.Close()
+}
+
+// Durable reports whether the service is backed by a store.
+func (s *Service) Durable() bool { return s.log != nil }

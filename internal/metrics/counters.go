@@ -1,0 +1,89 @@
+// Operational counters for the running service, alongside the package's
+// evaluation metrics: the job service and dispatcher publish lifecycle
+// counts here and httpapi exposes them at /api/metrics.
+package metrics
+
+import (
+	"sort"
+	"sync"
+)
+
+// Registry is a set of named monotonic counters. It is safe for
+// concurrent use, and every method is nil-receiver safe so callers can
+// instrument unconditionally and let wiring decide whether a registry
+// exists.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]int64
+}
+
+// NewRegistry returns an empty Registry.
+func NewRegistry() *Registry {
+	return &Registry{counters: make(map[string]int64)}
+}
+
+// Inc adds 1 to the named counter.
+func (r *Registry) Inc(name string) { r.Add(name, 1) }
+
+// Add adds delta to the named counter, creating it at zero first.
+func (r *Registry) Add(name string, delta int64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.counters[name] += delta
+}
+
+// Get returns the named counter's value (zero when absent).
+func (r *Registry) Get(name string) int64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.counters[name]
+}
+
+// Snapshot copies every counter.
+func (r *Registry) Snapshot() map[string]int64 {
+	if r == nil {
+		return map[string]int64{}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]int64, len(r.counters))
+	for k, v := range r.counters {
+		out[k] = v
+	}
+	return out
+}
+
+// Names lists the registered counters, sorted.
+func (r *Registry) Names() []string {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, 0, len(r.counters))
+	for k := range r.counters {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Counter names published by the job service and dispatcher.
+const (
+	CounterJobsSubmitted = "jobs_submitted"
+	CounterJobsStarted   = "jobs_started"
+	CounterJobsCompleted = "jobs_completed"
+	CounterJobsFailed    = "jobs_failed"
+	CounterJobsRetried   = "jobs_retried"
+	CounterJobsCancelled = "jobs_cancelled"
+	CounterJobsResumed   = "jobs_resumed"
+	CounterWALAppends    = "wal_appends"
+	CounterWALSnapshots  = "wal_snapshots"
+	CounterHITsFinished  = "hits_finished"
+)

@@ -1,0 +1,64 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestRegistryBasics(t *testing.T) {
+	r := NewRegistry()
+	r.Inc("a")
+	r.Add("a", 2)
+	r.Add("b", 5)
+	if got := r.Get("a"); got != 3 {
+		t.Errorf("Get(a) = %d, want 3", got)
+	}
+	if got := r.Get("missing"); got != 0 {
+		t.Errorf("Get(missing) = %d, want 0", got)
+	}
+	snap := r.Snapshot()
+	if snap["a"] != 3 || snap["b"] != 5 {
+		t.Errorf("Snapshot = %v", snap)
+	}
+	snap["a"] = 99
+	if r.Get("a") != 3 {
+		t.Error("Snapshot aliases registry state")
+	}
+	names := r.Names()
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Errorf("Names = %v", names)
+	}
+}
+
+func TestRegistryNilSafe(t *testing.T) {
+	var r *Registry
+	r.Inc("a") // must not panic
+	r.Add("a", 5)
+	if r.Get("a") != 0 {
+		t.Error("nil registry returned a count")
+	}
+	if got := r.Snapshot(); len(got) != 0 {
+		t.Errorf("nil Snapshot = %v", got)
+	}
+	if got := r.Names(); got != nil {
+		t.Errorf("nil Names = %v", got)
+	}
+}
+
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				r.Inc("n")
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Get("n"); got != 8000 {
+		t.Errorf("Get(n) = %d, want 8000", got)
+	}
+}

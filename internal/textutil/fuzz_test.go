@@ -1,0 +1,75 @@
+package textutil
+
+import (
+	"strings"
+	"testing"
+)
+
+// refContainsAny is a naive reference for ContainsAny over ASCII
+// inputs: manual byte-wise lower-casing and an O(n·m) substring scan,
+// sharing no code with the implementation.
+func refContainsAny(text string, keywords []string) bool {
+	lower := func(s string) []byte {
+		b := []byte(s)
+		for i := range b {
+			if b[i] >= 'A' && b[i] <= 'Z' {
+				b[i] += 'a' - 'A'
+			}
+		}
+		return b
+	}
+	t := lower(text)
+	for _, k := range keywords {
+		if k == "" {
+			continue
+		}
+		kb := lower(k)
+		for i := 0; i+len(kb) <= len(t); i++ {
+			match := true
+			for j := range kb {
+				if t[i+j] != kb[j] {
+					match = false
+					break
+				}
+			}
+			if match {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func isASCII(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] >= 0x80 {
+			return false
+		}
+	}
+	return true
+}
+
+// FuzzContainsAny: never panics on arbitrary input, and on ASCII input
+// agrees with the naive reference. (Non-ASCII is excluded from the
+// agreement check only because Unicode case folding legitimately
+// differs from byte-wise lowering — e.g. the Kelvin sign.)
+func FuzzContainsAny(f *testing.F) {
+	f.Add("loving my new iphone4s!!", "iPhone4S|iPhone 4S")
+	f.Add("android forever", "iPhone4S|iPhone 4S")
+	f.Add("", "")
+	f.Add("some text", "|||")
+	f.Add("ALL CAPS TEXT", "caps")
+	f.Add("unicode ünïcödé", "ÜNÏCÖDÉ")
+	f.Add("a", "a|b|c|d|e|f")
+
+	f.Fuzz(func(t *testing.T, text, joined string) {
+		keywords := strings.Split(joined, "|")
+		got := ContainsAny(text, keywords) // must not panic
+		if !isASCII(text) || !isASCII(joined) {
+			return
+		}
+		if want := refContainsAny(text, keywords); got != want {
+			t.Errorf("ContainsAny(%q, %q) = %v, reference says %v", text, keywords, got, want)
+		}
+	})
+}
