@@ -1,23 +1,30 @@
 // Command cdas-server runs the CDAS job service: a durable job manager
 // (Figure 2) fronted by the Figure 4-style result dashboard. Jobs are
-// submitted over HTTP, executed by a dispatcher pool through the
-// engine's concurrent HIT pipeline, and — when -store is set — every
-// lifecycle transition is committed to a write-ahead log, so a killed
-// server replays the WAL on restart and resumes unfinished jobs.
+// submitted over HTTP and executed by a dispatcher pool through the
+// cross-query crowd scheduler, which coalesces concurrent jobs'
+// questions into shared HIT batches, answers repeated questions from a
+// verified-answer cache, and enforces per-job and global crowd budgets
+// (over-budget jobs park instead of failing). When -store is set every
+// lifecycle transition and budget charge is committed to a write-ahead
+// log, so a killed server replays the WAL on restart, resumes
+// unfinished jobs and keeps charging from where it stopped.
 //
 // Usage:
 //
 //	cdas-server [-addr :8080] [-seed 1] [-accuracy 0.9] [-inflight 4]
 //	            [-store DIR] [-dispatchers 2] [-demo]
+//	            [-budget 0] [-dedup=true]
 //
 // HTTP API:
 //
-//	POST   /jobs          submit a job (JSON body, see httpapi.JobSubmission)
-//	GET    /jobs          all job lifecycle records
-//	GET    /jobs/{name}   one job's state, progress, cost and live results
-//	DELETE /jobs/{name}   cancel a pending or running job
-//	GET    /              HTML results overview
-//	GET    /api/metrics   operational counters
+//	POST   /jobs               submit a job (JSON body, see httpapi.JobSubmission)
+//	GET    /jobs               all job lifecycle records
+//	GET    /jobs/{name}        one job's state, progress, cost and live results
+//	DELETE /jobs/{name}        cancel a pending, parked or running job
+//	POST   /jobs/{name}/unpark resume a budget-parked job
+//	GET    /                   HTML results overview
+//	GET    /api/metrics        operational counters
+//	GET    /api/scheduler      scheduler batching, cache and budget state
 package main
 
 import (
@@ -36,9 +43,20 @@ import (
 	"cdas/internal/httpapi"
 	"cdas/internal/jobs"
 	"cdas/internal/metrics"
+	"cdas/internal/scheduler"
 	"cdas/internal/textgen"
 	"cdas/internal/tsa"
 )
+
+// budgetLines converts the service's persisted spend into scheduler
+// ledger lines (limits re-arrive with each job's enqueue).
+func budgetLines(b jobs.BudgetState) map[string]scheduler.JobBudget {
+	out := make(map[string]scheduler.JobBudget, len(b.Jobs))
+	for name, spent := range b.Jobs {
+		out[name] = scheduler.JobBudget{Spent: spent}
+	}
+	return out
+}
 
 func main() {
 	var (
@@ -49,14 +67,16 @@ func main() {
 		store       = flag.String("store", "", "durable job store directory (empty: in-memory only)")
 		dispatchers = flag.Int("dispatchers", 2, "dispatcher workers pulling pending jobs")
 		demo        = flag.Bool("demo", true, "submit the demo TSA jobs at boot")
+		budget      = flag.Float64("budget", 0, "global crowd budget across all jobs (0: unlimited)")
+		dedup       = flag.Bool("dedup", true, "coalesce identical questions across jobs and cache verified answers")
 	)
 	flag.Parse()
-	if err := run(*addr, *seed, *accuracy, *inflight, *store, *dispatchers, *demo); err != nil {
+	if err := run(*addr, *seed, *accuracy, *inflight, *store, *dispatchers, *demo, *budget, *dedup); err != nil {
 		log.Fatalf("cdas-server: %v", err)
 	}
 }
 
-func run(addr string, seed uint64, accuracy float64, inflight int, store string, dispatchers int, demo bool) error {
+func run(addr string, seed uint64, accuracy float64, inflight int, store string, dispatchers int, demo bool, budget float64, dedup bool) error {
 	platform, err := crowd.NewPlatform(crowd.DefaultConfig(seed))
 	if err != nil {
 		return err
@@ -90,17 +110,39 @@ func run(addr string, seed uint64, accuracy float64, inflight int, store string,
 	}
 
 	api := httpapi.NewServer()
-	runner := tsa.NewJobRunner(tsa.RunnerConfig{
+	sched, err := scheduler.New(scheduler.Config{
 		Platform: engine.CrowdPlatform{Platform: platform},
-		Stream:   stream,
-		Golden:   golden,
 		Engine: engine.Config{
-			HITSize:         50,
-			MaxInflightHITs: inflight,
-			Seed:            seed,
+			RequiredAccuracy: accuracy,
+			HITSize:          50,
+			MaxInflightHITs:  inflight,
+			Seed:             seed,
 		},
-		API:      api,
+		Golden:        tsa.GoldenQuestions(golden),
+		GlobalBudget:  budget,
+		DisableDedup:  !dedup,
+		FlushInterval: 50 * time.Millisecond,
+		OnCharge: func(job string, amount float64) {
+			// Persist every charge so a restarted server keeps the
+			// ledger (budget state replays from the WAL).
+			if err := svc.ChargeBudget(job, amount); err != nil {
+				log.Printf("cdas-server: recording budget charge for %q: %v", job, err)
+			}
+		},
 		Counters: counters,
+	})
+	if err != nil {
+		return err
+	}
+	defer sched.Close()
+	// A restart resumes accounting where the dead process stopped.
+	persisted := svc.Budget()
+	sched.Ledger().Restore(persisted.GlobalSpent, budgetLines(persisted))
+
+	runner := tsa.NewScheduledJobRunner(tsa.ScheduledRunnerConfig{
+		Scheduler: sched,
+		Stream:    stream,
+		API:       api,
 	})
 	disp, err := jobs.NewDispatcher(svc, runner, dispatchers)
 	if err != nil {
@@ -108,6 +150,7 @@ func run(addr string, seed uint64, accuracy float64, inflight int, store string,
 	}
 	api.SetJobs(disp)
 	api.SetCounters(counters)
+	api.SetScheduler(sched)
 	disp.Start()
 	defer disp.Stop()
 
@@ -132,8 +175,8 @@ func run(addr string, seed uint64, accuracy float64, inflight int, store string,
 	server := &http.Server{Addr: addr, Handler: api.Handler()}
 	errc := make(chan error, 1)
 	go func() { errc <- server.ListenAndServe() }()
-	log.Printf("cdas-server: serving the CDAS job service on %s (store=%q, %d dispatchers)",
-		addr, store, dispatchers)
+	log.Printf("cdas-server: serving the CDAS job service on %s (store=%q, %d dispatchers, dedup=%v, budget=%v)",
+		addr, store, dispatchers, dedup, budget)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

@@ -229,6 +229,13 @@ func (e *Engine) MeanAccuracy() float64 {
 	return e.cfg.FallbackAccuracy
 }
 
+// RealSlots reports how many real (non-golden) questions fit in one HIT
+// under the engine's size and sampling configuration — the chunking unit
+// of ProcessAll/Stream, which upstream schedulers use to price a batch.
+func (e *Engine) RealSlots() int {
+	return e.cfg.HITSize - sampling.GoldenCount(e.cfg.HITSize, e.cfg.SamplingRate)
+}
+
 // PlanWorkers runs the prediction model for the engine's required
 // accuracy: the minimum odd n with E[P_{n/2}] >= C, capped at MaxWorkers.
 func (e *Engine) PlanWorkers() (int, error) {

@@ -1,0 +1,15 @@
+// Bridging helper between the crowdsourcing engine's verdicts and the
+// executor's presentation layer.
+package exec
+
+import "cdas/internal/engine"
+
+// OutcomesFromResults converts engine question verdicts into the
+// outcomes the summary layer consumes: one accepted answer per item.
+func OutcomesFromResults(rs []engine.QuestionResult) []Outcome {
+	out := make([]Outcome, len(rs))
+	for i, qr := range rs {
+		out[i] = Outcome{ItemID: qr.Question.ID, Accepted: qr.Answer}
+	}
+	return out
+}

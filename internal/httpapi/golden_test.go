@@ -1,0 +1,192 @@
+package httpapi
+
+import (
+	"flag"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"cdas/internal/jobs"
+	"cdas/internal/metrics"
+	"cdas/internal/scheduler"
+)
+
+// update rewrites the golden files instead of comparing against them:
+//
+//	go test ./internal/httpapi/ -run TestGolden -update
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenController serves a fixed set of job records.
+type goldenController struct{ statuses []jobs.Status }
+
+func (c *goldenController) Submit(jobs.Job) (jobs.Plan, error) { return jobs.Plan{}, nil }
+func (c *goldenController) Cancel(string) error                { return nil }
+func (c *goldenController) Unpark(string) error                { return nil }
+func (c *goldenController) Statuses() []jobs.Status            { return c.statuses }
+func (c *goldenController) Status(name string) (jobs.Status, bool) {
+	for _, st := range c.statuses {
+		if st.Job.Name == name {
+			return st, true
+		}
+	}
+	return jobs.Status{}, false
+}
+
+// goldenScheduler serves a fixed scheduler state.
+type goldenScheduler struct{ st scheduler.State }
+
+func (g goldenScheduler) State() scheduler.State { return g.st }
+
+// goldenServer assembles a Server whose every route renders from fixed
+// inputs, so response bodies are byte-stable.
+func goldenServer() *Server {
+	s := NewServer()
+	start := time.Date(2011, 10, 1, 0, 0, 0, 0, time.UTC)
+	query := jobs.Query{
+		Keywords:         []string{"Kung Fu Panda 2"},
+		RequiredAccuracy: 0.9,
+		Domain:           []string{"Positive", "Neutral", "Negative"},
+		Start:            start,
+		Window:           24 * time.Hour,
+	}
+	s.SetJobs(&goldenController{statuses: []jobs.Status{
+		{
+			Job:      jobs.Job{Name: "panda", Kind: jobs.KindTSA, Query: query, Priority: 2, Budget: 1.5},
+			State:    jobs.StateRunning,
+			Attempts: 1,
+			Progress: 0.5,
+			Cost:     0.21,
+		},
+		{
+			Job:   jobs.Job{Name: "strapped", Kind: jobs.KindTSA, Query: query},
+			State: jobs.StateParked,
+		},
+		{
+			Job:      jobs.Job{Name: "thor", Kind: jobs.KindTSA, Query: query},
+			State:    jobs.StateFailed,
+			Attempts: 3,
+			Progress: 0.25,
+			Cost:     0.8,
+			Error:    "run: platform exhausted",
+		},
+	}})
+	reg := metrics.NewRegistry()
+	reg.Add(metrics.CounterJobsSubmitted, 3)
+	reg.Add(metrics.CounterJobsStarted, 2)
+	reg.Add(metrics.CounterJobsParked, 1)
+	reg.Add(metrics.CounterSchedCacheHits, 60)
+	reg.Add(metrics.CounterSchedCacheMisses, 240)
+	reg.Add(metrics.CounterSchedBatches, 9)
+	reg.Add(metrics.CounterBudgetCharges, 4)
+	s.SetCounters(reg)
+	s.SetScheduler(goldenScheduler{st: scheduler.State{
+		Generations:        3,
+		PendingJobs:        1,
+		DedupEnabled:       true,
+		CacheEntries:       118,
+		CacheHits:          60,
+		CacheMisses:        240,
+		QuestionsEnqueued:  310,
+		QuestionsPublished: 118,
+		QuestionsDeduped:   122,
+		BatchesPublished:   9,
+		JobsAdmitted:       5,
+		JobsParked:         1,
+		Budget: scheduler.BudgetSnapshot{
+			GlobalLimit: 2.0,
+			GlobalSpent: 0.648,
+			Jobs: []scheduler.JobBudgetLine{
+				{Job: "panda", JobBudget: scheduler.JobBudget{Limit: 1.5, Spent: 0.21}},
+				{Job: "thor", JobBudget: scheduler.JobBudget{Spent: 0.438}},
+			},
+		},
+	}})
+	s.Update(QueryState{
+		Name:        "panda",
+		Domain:      []string{"Positive", "Neutral", "Negative"},
+		Percentages: map[string]float64{"Positive": 0.5, "Neutral": 0.25, "Negative": 0.25},
+		Reasons:     map[string][]string{"Positive": {"awesome", "fun"}, "Negative": {"boring"}},
+		Items:       40,
+		Progress:    0.5,
+	})
+	return s
+}
+
+// TestGoldenResponses locks every JSON response shape to a golden file:
+// API drift shows up as a diff, not as a silently changed contract.
+func TestGoldenResponses(t *testing.T) {
+	ts := httptest.NewServer(goldenServer().Handler())
+	defer ts.Close()
+	cases := []struct {
+		golden string
+		method string
+		path   string
+	}{
+		{"jobs_list.golden", http.MethodGet, "/jobs"},
+		{"jobs_get.golden", http.MethodGet, "/jobs/panda"},
+		{"jobs_get_parked.golden", http.MethodGet, "/jobs/strapped"},
+		{"metrics.golden", http.MethodGet, "/api/metrics"},
+		{"scheduler.golden", http.MethodGet, "/api/scheduler"},
+		{"queries.golden", http.MethodGet, "/api/queries"},
+		{"query.golden", http.MethodGet, "/api/query?name=panda"},
+	}
+	for _, c := range cases {
+		t.Run(c.golden, func(t *testing.T) {
+			req, err := http.NewRequest(c.method, ts.URL+c.path, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp, err := ts.Client().Do(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("%s %s: status %d", c.method, c.path, resp.StatusCode)
+			}
+			if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+				t.Errorf("Content-Type = %q, want application/json", ct)
+			}
+			body, err := io.ReadAll(resp.Body)
+			if err != nil {
+				t.Fatal(err)
+			}
+			path := filepath.Join("testdata", c.golden)
+			if *update {
+				if err := os.WriteFile(path, body, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update to create): %v", err)
+			}
+			if string(body) != string(want) {
+				t.Errorf("%s %s drifted from %s:\n got: %s\nwant: %s",
+					c.method, c.path, path, body, want)
+			}
+		})
+	}
+}
+
+// TestGoldenUnattachedRoutes locks the 503 contract for servers missing
+// their backends.
+func TestGoldenUnattachedRoutes(t *testing.T) {
+	ts := httptest.NewServer(NewServer().Handler())
+	defer ts.Close()
+	for _, path := range []string{"/jobs", "/api/scheduler"} {
+		resp, err := ts.Client().Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Errorf("GET %s without backend: status %d, want 503", path, resp.StatusCode)
+		}
+	}
+}

@@ -42,6 +42,7 @@ type Server struct {
 	queries  map[string]QueryState
 	jobsCtl  JobController
 	counters *metrics.Registry
+	sched    SchedulerReporter
 }
 
 // NewServer returns an empty Server.
@@ -96,11 +97,7 @@ func (s *Server) Follow(name string, domain []string, texts map[string]string, t
 			continue
 		}
 		byIndex[sr.Index] = sr.Batch
-		outcomes := make([]exec.Outcome, 0, len(sr.Batch.Results))
-		for _, qr := range sr.Batch.Results {
-			outcomes = append(outcomes, exec.Outcome{ItemID: qr.Question.ID, Accepted: qr.Answer})
-		}
-		acc.Observe(outcomes...)
+		acc.Observe(exec.OutcomesFromResults(sr.Batch.Results)...)
 		s.UpdateFromSummary(name, acc.Summary(), acc.Progress(totalItems), false)
 	}
 	// The stream is over either way, but a failed or cancelled query must
@@ -158,19 +155,23 @@ func (s *Server) Names() []string {
 //	GET /api/queries      JSON list of query names
 //	GET /api/query?name=  JSON state of one query
 //	GET /api/metrics      operational counters (SetCounters)
-//	POST   /jobs          submit a job (SetJobs)
-//	GET    /jobs          all job lifecycle records
-//	GET    /jobs/{name}   one job's state, progress and live results
-//	DELETE /jobs/{name}   cancel a pending or running job
+//	GET /api/scheduler    cross-query scheduler state (SetScheduler)
+//	POST   /jobs               submit a job (SetJobs)
+//	GET    /jobs               all job lifecycle records
+//	GET    /jobs/{name}        one job's state, progress and live results
+//	DELETE /jobs/{name}        cancel a pending, parked or running job
+//	POST   /jobs/{name}/unpark resume a budget-parked job
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /api/queries", s.handleList)
 	mux.HandleFunc("GET /api/query", s.handleQuery)
 	mux.HandleFunc("GET /api/metrics", s.handleMetrics)
+	mux.HandleFunc("GET /api/scheduler", s.handleScheduler)
 	mux.HandleFunc("POST /jobs", s.handleSubmitJob)
 	mux.HandleFunc("GET /jobs", s.handleListJobs)
 	mux.HandleFunc("GET /jobs/{name}", s.handleGetJob)
 	mux.HandleFunc("DELETE /jobs/{name}", s.handleCancelJob)
+	mux.HandleFunc("POST /jobs/{name}/unpark", s.handleUnparkJob)
 	mux.HandleFunc("GET /{$}", s.handleIndex)
 	return mux
 }

@@ -23,6 +23,7 @@ type JobController interface {
 	Status(name string) (jobs.Status, bool)
 	Statuses() []jobs.Status
 	Cancel(name string) error
+	Unpark(name string) error
 }
 
 // SetJobs attaches the job service behind the write API. Call before
@@ -60,6 +61,10 @@ type JobSubmission struct {
 	Start time.Time `json:"start"`
 	// Window is the query window w as a Go duration string ("24h").
 	Window string `json:"window"`
+	// Priority orders budget admission (higher first; default 0).
+	Priority int `json:"priority"`
+	// Budget caps the job's crowd spend (0 = unlimited).
+	Budget float64 `json:"budget"`
 }
 
 // Job converts the submission to a jobs.Job (validation happens at
@@ -78,8 +83,10 @@ func (js JobSubmission) Job() (jobs.Job, error) {
 		start = time.Now().UTC()
 	}
 	return jobs.Job{
-		Name: js.Name,
-		Kind: kind,
+		Name:     js.Name,
+		Kind:     kind,
+		Priority: js.Priority,
+		Budget:   js.Budget,
 		Query: jobs.Query{
 			Keywords:         js.Keywords,
 			RequiredAccuracy: js.RequiredAccuracy,
@@ -100,6 +107,8 @@ type JobStatus struct {
 	Attempts int         `json:"attempts"`
 	Progress float64     `json:"progress"`
 	Cost     float64     `json:"cost"`
+	Priority int         `json:"priority,omitempty"`
+	Budget   float64     `json:"budget,omitempty"`
 	Error    string      `json:"error,omitempty"`
 	Results  *QueryState `json:"results,omitempty"`
 }
@@ -113,6 +122,8 @@ func (s *Server) jobStatus(st jobs.Status) JobStatus {
 		Attempts: st.Attempts,
 		Progress: st.Progress,
 		Cost:     st.Cost,
+		Priority: st.Job.Priority,
+		Budget:   st.Job.Budget,
 		Error:    st.Error,
 	}
 	if qs, ok := s.Get(st.Job.Name); ok {

@@ -1,0 +1,59 @@
+// Read API for the cross-query crowd scheduler: GET /api/scheduler
+// reports batching, dedup-cache and budget state, and POST
+// /jobs/{name}/unpark resumes a budget-parked job.
+package httpapi
+
+import (
+	"errors"
+	"net/http"
+
+	"cdas/internal/jobs"
+	"cdas/internal/scheduler"
+)
+
+// SchedulerReporter is the slice of the scheduler the API needs.
+// *scheduler.Scheduler satisfies it.
+type SchedulerReporter interface {
+	State() scheduler.State
+}
+
+// SetScheduler attaches the cross-query scheduler behind GET
+// /api/scheduler. A Server without one answers the route with 503.
+func (s *Server) SetScheduler(r SchedulerReporter) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.sched = r
+}
+
+func (s *Server) handleScheduler(w http.ResponseWriter, _ *http.Request) {
+	s.mu.RLock()
+	sched := s.sched
+	s.mu.RUnlock()
+	if sched == nil {
+		http.Error(w, "no scheduler attached", http.StatusServiceUnavailable)
+		return
+	}
+	writeJSON(w, sched.State())
+}
+
+func (s *Server) handleUnparkJob(w http.ResponseWriter, r *http.Request) {
+	ctl := s.jobs()
+	if ctl == nil {
+		http.Error(w, "no job service attached", http.StatusServiceUnavailable)
+		return
+	}
+	name := r.PathValue("name")
+	if err := ctl.Unpark(name); err != nil {
+		switch {
+		case errors.Is(err, jobs.ErrUnknownJob):
+			http.Error(w, err.Error(), http.StatusNotFound)
+		case errors.Is(err, jobs.ErrBadTransition):
+			http.Error(w, err.Error(), http.StatusConflict)
+		default:
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+		return
+	}
+	st, _ := ctl.Status(name)
+	writeJSON(w, s.jobStatus(st))
+}

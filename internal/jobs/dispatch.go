@@ -116,6 +116,10 @@ func (d *Dispatcher) Cancel(name string) error {
 // Submit registers a job with the service (the pool wakes on its own).
 func (d *Dispatcher) Submit(job Job) (Plan, error) { return d.svc.Submit(job) }
 
+// Unpark resumes a budget-parked job: Parked → Pending, after which the
+// pool claims it like any other pending job.
+func (d *Dispatcher) Unpark(name string) error { return d.svc.Unpark(name) }
+
 // Status returns a job's lifecycle record.
 func (d *Dispatcher) Status(name string) (Status, bool) { return d.svc.Status(name) }
 
@@ -158,6 +162,17 @@ func (d *Dispatcher) execute(st Status) {
 		d.mu.Unlock()
 		return
 	}
+	if d.ctx.Err() != nil {
+		// Stop slipped in between the worker's shutdown check and its
+		// Claim: hand the job straight back — with the attempt refunded,
+		// since the runner never started — instead of launching it under
+		// an already-dead context. The error is ignored on purpose: a
+		// concurrent Cancel may have beaten us to a terminal state,
+		// which then stands.
+		d.mu.Unlock()
+		_ = d.svc.VoidClaim(name)
+		return
+	}
 	d.cancels[name] = cancel
 	d.mu.Unlock()
 
@@ -192,6 +207,11 @@ func (d *Dispatcher) execute(st Status) {
 		// the log is down, in which case the state reverts to Running
 		// and a restart will requeue it); nothing more to do.
 		d.svc.Complete(name, cost)
+	case errors.Is(err, ErrParked):
+		// Budget admission refused the run: park the job — resumable
+		// via Unpark, no retry burned, not a failure. A commit error
+		// means a concurrent terminal transition won; it stands.
+		_ = d.svc.Park(name)
 	case d.ctx.Err() != nil && errors.Is(err, context.Canceled):
 		// Shutdown, not user cancellation: hand the job back for the
 		// next incarnation.

@@ -1,0 +1,174 @@
+package jobs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestDispatcherCancelVsAckHammer is the regression hammer for the
+// cancel-vs-ack window: jobs finish at the same moment they are
+// cancelled and the pool is stopping. Meant for -race. Invariants:
+//
+//   - a job is never executed by two runners at once;
+//   - after Stop returns, nothing is left Running and no attempts were
+//     double-charged past the retry bound;
+//   - requeued jobs stay runnable — a fresh dispatcher on the same
+//     service drains every survivor to a terminal state exactly once
+//     per claim (no double-requeue resurrects finished work).
+func TestDispatcherCancelVsAckHammer(t *testing.T) {
+	const (
+		rounds  = 25
+		jobs    = 8
+		workers = 4
+	)
+	for round := 0; round < rounds; round++ {
+		s := openTestService(t, "")
+		var mu sync.Mutex
+		inflight := make(map[string]int)
+		runs := make(map[string]int)
+		runner := func(ctx context.Context, job Job, report func(float64, float64)) error {
+			mu.Lock()
+			inflight[job.Name]++
+			runs[job.Name]++
+			if inflight[job.Name] > 1 {
+				t.Errorf("round %d: %s executed by %d runners at once", round, job.Name, inflight[job.Name])
+			}
+			mu.Unlock()
+			defer func() {
+				mu.Lock()
+				inflight[job.Name]--
+				mu.Unlock()
+			}()
+			// Half the jobs ack instantly — the cancel-vs-ack window —
+			// and half linger so Stop and Cancel race the run itself.
+			if job.Name[len(job.Name)-1]%2 == 0 {
+				return nil
+			}
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(time.Millisecond):
+				return nil
+			}
+		}
+		d, err := NewDispatcher(s, runner, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d.Start()
+		names := make([]string, jobs)
+		for i := range names {
+			names[i] = fmt.Sprintf("job-%d", i)
+			if _, err := d.Submit(testJob(names[i])); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Cancel every job from its own goroutine while runners are
+		// acking, and stop the pool in the middle of it all.
+		var wg sync.WaitGroup
+		for _, n := range names {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				err := d.Cancel(n)
+				// Losing the race to an ack (ErrBadTransition) or to a
+				// teardown commit is fine; what must never happen is a
+				// cancel acknowledged and then overridden.
+				if err != nil && !errors.Is(err, ErrBadTransition) && !errors.Is(err, ErrUnknownJob) {
+					t.Errorf("round %d: Cancel(%s): %v", round, n, err)
+				}
+			}()
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			d.Stop()
+		}()
+		wg.Wait()
+		d.Stop() // idempotent; ensures the pool is fully drained
+
+		for _, st := range s.Statuses() {
+			switch st.State {
+			case StateRunning:
+				t.Errorf("round %d: %s stuck Running after Stop", round, st.Job.Name)
+			case StateParked:
+				t.Errorf("round %d: %s parked without a budget verdict", round, st.Job.Name)
+			}
+			if st.Attempts > s.MaxAttempts() {
+				t.Errorf("round %d: %s charged %d attempts (max %d) — double-claimed",
+					round, st.Job.Name, st.Attempts, s.MaxAttempts())
+			}
+		}
+
+		// Survivors requeued by Stop must still be runnable, and jobs
+		// that already reached a terminal state must not run again.
+		mu.Lock()
+		terminalRuns := make(map[string]int)
+		for _, st := range s.Statuses() {
+			if st.State.Terminal() {
+				terminalRuns[st.Job.Name] = runs[st.Job.Name]
+			}
+		}
+		mu.Unlock()
+		d2, err := NewDispatcher(s, runner, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d2.Start()
+		waitFor(t, "survivors drained", func() bool {
+			for _, st := range s.Statuses() {
+				if !st.State.Terminal() {
+					return false
+				}
+			}
+			return true
+		})
+		d2.Stop()
+		mu.Lock()
+		for name, before := range terminalRuns {
+			if runs[name] != before {
+				t.Errorf("round %d: terminal job %s re-ran after its verdict (%d -> %d runs)",
+					round, name, before, runs[name])
+			}
+		}
+		mu.Unlock()
+		s.Close()
+		if t.Failed() {
+			t.FailNow()
+		}
+	}
+}
+
+// TestDispatcherStopClaimWindow pins the shutdown fix: a worker that
+// wins a Claim just as Stop lands must hand the job straight back
+// without invoking the runner under a dead context.
+func TestDispatcherStopClaimWindow(t *testing.T) {
+	for i := 0; i < 50; i++ {
+		s := openTestService(t, "")
+		d, err := NewDispatcher(s, func(ctx context.Context, job Job, report func(float64, float64)) error {
+			<-ctx.Done()
+			return ctx.Err()
+		}, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d.Start()
+		// Submit and stop immediately: some claims land after the stop.
+		for j := 0; j < 4; j++ {
+			if _, err := d.Submit(testJob(fmt.Sprintf("w-%d", j))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		d.Stop()
+		for _, st := range s.Statuses() {
+			if st.State != StatePending {
+				t.Fatalf("iteration %d: %s in state %s after immediate Stop, want pending", i, st.Job.Name, st.State)
+			}
+		}
+		s.Close()
+	}
+}

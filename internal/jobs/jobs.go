@@ -75,6 +75,13 @@ type Job struct {
 	Name  string
 	Kind  Kind
 	Query Query
+	// Priority orders budget admission in the cross-query scheduler:
+	// when the remaining budget cannot cover every pending job, higher
+	// priorities are admitted first. Zero is the default tier.
+	Priority int
+	// Budget caps the job's total crowd spend (0 = unlimited). A job
+	// whose estimated next run would exceed it is parked, not failed.
+	Budget float64
 }
 
 // Task is one step of a processing plan.
@@ -174,6 +181,9 @@ var (
 func (m *Manager) Register(job Job) (Plan, error) {
 	if job.Name == "" {
 		return Plan{}, errors.New("jobs: job needs a name")
+	}
+	if job.Budget < 0 || math.IsNaN(job.Budget) {
+		return Plan{}, fmt.Errorf("jobs: job budget must be >= 0, got %v", job.Budget)
 	}
 	if err := job.Query.Validate(); err != nil {
 		return Plan{}, err

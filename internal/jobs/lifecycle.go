@@ -2,13 +2,18 @@
 //
 //	Pending ──► Running ──► Done
 //	   │           │  ├───► Failed     (attempts exhausted)
-//	   │           │  └───► Pending    (retry / requeue after a crash)
-//	   └───────────┴──────► Cancelled
+//	   │           │  ├───► Pending    (retry / requeue after a crash)
+//	   │           │  └───► Parked     (budget exhausted; resumable)
+//	   │           │           │
+//	   │           │           └─────► Pending (unpark)
+//	   └───────────┴───────────┴─────► Cancelled
 //
 // Terminal states (Done, Failed, Cancelled) are absorbing: no
 // transition leaves them, which is what makes replaying a job's event
 // log idempotent and a restarted server unable to double-run a
-// finished job.
+// finished job. Parked is NOT terminal: it holds jobs the budget
+// admission refused, out of the dispatcher's claim queue but one
+// Unpark away from running again.
 package jobs
 
 import (
@@ -23,6 +28,7 @@ type State string
 const (
 	StatePending   State = "pending"
 	StateRunning   State = "running"
+	StateParked    State = "parked"
 	StateDone      State = "done"
 	StateFailed    State = "failed"
 	StateCancelled State = "cancelled"
@@ -31,7 +37,7 @@ const (
 // Valid reports whether s is one of the defined states.
 func (s State) Valid() bool {
 	switch s {
-	case StatePending, StateRunning, StateDone, StateFailed, StateCancelled:
+	case StatePending, StateRunning, StateParked, StateDone, StateFailed, StateCancelled:
 		return true
 	}
 	return false
@@ -45,7 +51,8 @@ func (s State) Terminal() bool {
 // transitions lists the legal moves of the state machine.
 var transitions = map[State]map[State]bool{
 	StatePending: {StateRunning: true, StateCancelled: true},
-	StateRunning: {StateDone: true, StateFailed: true, StatePending: true, StateCancelled: true},
+	StateRunning: {StateDone: true, StateFailed: true, StatePending: true, StateParked: true, StateCancelled: true},
+	StateParked:  {StatePending: true, StateCancelled: true},
 }
 
 // CanTransition reports whether from → to is a legal lifecycle move.
@@ -54,6 +61,12 @@ func CanTransition(from, to State) bool { return transitions[from][to] }
 // ErrBadTransition reports an illegal lifecycle move (e.g. cancelling a
 // job that already finished).
 var ErrBadTransition = errors.New("jobs: illegal state transition")
+
+// ErrParked marks a job run refused by budget admission: a runner that
+// wraps its error with this sentinel sends the job to Parked — kept out
+// of the claim queue but resumable via Unpark once budget frees up —
+// instead of burning retries or failing.
+var ErrParked = errors.New("jobs: job parked: budget exhausted")
 
 // ErrPermanent marks a job failure as not retryable: a runner that
 // wraps its error with this sentinel (fmt.Errorf("%w: ...",
@@ -179,6 +192,44 @@ func (m *Manager) Cancel(name string) (Status, error) {
 	return *rec, nil
 }
 
+// Park moves a Running job to Parked: budget admission refused the run,
+// so it leaves the claim queue without consuming its attempt as a
+// failure. The claim's attempt increment is undone — a parked run never
+// executed, and parking must not erode the retry budget.
+func (m *Manager) Park(name string) (Status, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	rec, ok := m.recs[name]
+	if !ok {
+		return Status{}, fmt.Errorf("%w: %q", ErrUnknownJob, name)
+	}
+	if !CanTransition(rec.State, StateParked) {
+		return Status{}, fmt.Errorf("%w: %s → %s for %q", ErrBadTransition, rec.State, StateParked, name)
+	}
+	rec.State = StateParked
+	rec.Progress = 0
+	if rec.Attempts > 0 {
+		rec.Attempts--
+	}
+	return *rec, nil
+}
+
+// Unpark moves a Parked job back to Pending so a dispatcher can claim
+// it again.
+func (m *Manager) Unpark(name string) (Status, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	rec, ok := m.recs[name]
+	if !ok {
+		return Status{}, fmt.Errorf("%w: %q", ErrUnknownJob, name)
+	}
+	if rec.State != StateParked {
+		return Status{}, fmt.Errorf("%w: %s → %s for %q", ErrBadTransition, rec.State, StatePending, name)
+	}
+	rec.State = StatePending
+	return *rec, nil
+}
+
 // Requeue moves a Running job back to Pending without charging an
 // attempt's failure — the restart path for jobs a dead dispatcher left
 // behind.
@@ -234,9 +285,36 @@ func (m *Manager) finish(name string, to State, errMsg string, cost float64) (St
 	return *rec, nil
 }
 
-// unclaim reverts a Claim that could not be committed to the log: the
-// job returns to Pending and the claim's attempt increment is undone,
-// so transient storage failures never consume the retry budget.
+// refundClaim is the shared claim reversal: back to Pending with the
+// claim's attempt increment undone — an attempt that never reached a
+// verdict must not erode the retry budget. Callers hold m.mu and have
+// verified rec is Running.
+func refundClaim(rec *Status) {
+	rec.State = StatePending
+	rec.Progress = 0
+	if rec.Attempts > 0 {
+		rec.Attempts--
+	}
+}
+
+// voidClaim reverts a committed Claim whose runner never started (the
+// dispatcher lost the race with its own shutdown).
+func (m *Manager) voidClaim(name string) (Status, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	rec, ok := m.recs[name]
+	if !ok {
+		return Status{}, fmt.Errorf("%w: %q", ErrUnknownJob, name)
+	}
+	if rec.State != StateRunning {
+		return Status{}, fmt.Errorf("%w: %s → %s for %q", ErrBadTransition, rec.State, StatePending, name)
+	}
+	refundClaim(rec)
+	return *rec, nil
+}
+
+// unclaim reverts a Claim that could not be committed to the log, so
+// transient storage failures never consume the retry budget.
 func (m *Manager) unclaim(name string) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -244,11 +322,7 @@ func (m *Manager) unclaim(name string) {
 	if !ok || rec.State != StateRunning {
 		return
 	}
-	rec.State = StatePending
-	rec.Progress = 0
-	if rec.Attempts > 0 {
-		rec.Attempts--
-	}
+	refundClaim(rec)
 }
 
 // revert restores a job's record to a previously captured Status —

@@ -1,0 +1,222 @@
+package jobs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"cdas/internal/metrics"
+)
+
+// TestDispatcherParksBudgetRefusedJob: a runner surfacing ErrParked
+// sends the job to Parked — no retry burned, resumable via Unpark —
+// and the parked state survives WAL replay.
+func TestDispatcherParksBudgetRefusedJob(t *testing.T) {
+	dir := t.TempDir()
+	reg := metrics.NewRegistry()
+	s := openTestService(t, dir, func(c *ServiceConfig) { c.Counters = reg })
+	var overBudget atomic.Bool
+	overBudget.Store(true)
+	var runs atomic.Int64
+	runner := func(ctx context.Context, job Job, report func(float64, float64)) error {
+		runs.Add(1)
+		if overBudget.Load() {
+			return fmt.Errorf("%w: estimated 0.5 over the cap", ErrParked)
+		}
+		report(1, 0.25)
+		return nil
+	}
+	d, err := NewDispatcher(s, runner, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Start()
+	if _, err := d.Submit(testJob("strapped")); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "job parked", func() bool {
+		st, _ := d.Status("strapped")
+		return st.State == StateParked
+	})
+	st, _ := d.Status("strapped")
+	if st.Attempts != 0 {
+		t.Errorf("parking burned an attempt: %d", st.Attempts)
+	}
+	if reg.Get(metrics.CounterJobsParked) != 1 {
+		t.Errorf("parked counter = %d", reg.Get(metrics.CounterJobsParked))
+	}
+	d.Stop()
+	s.Close()
+
+	// Replay: parked stays parked — not resumed, not requeued.
+	s2 := openTestService(t, dir, func(c *ServiceConfig) { c.Counters = reg })
+	if got := s2.Resumed(); len(got) != 0 {
+		t.Errorf("parked job resumed on replay: %v", got)
+	}
+	st, _ = s2.Status("strapped")
+	if st.State != StateParked {
+		t.Fatalf("replayed state = %s, want parked", st.State)
+	}
+
+	// Unpark: back to Pending, claimed and completed once budget allows.
+	overBudget.Store(false)
+	d2, err := NewDispatcher(s2, runner, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2.Start()
+	defer d2.Stop()
+	defer s2.Close()
+	if err := d2.Unpark("strapped"); err != nil {
+		t.Fatal(err)
+	}
+	if reg.Get(metrics.CounterJobsUnparked) != 1 {
+		t.Errorf("unparked counter = %d", reg.Get(metrics.CounterJobsUnparked))
+	}
+	waitFor(t, "unparked job done", func() bool {
+		st, _ := d2.Status("strapped")
+		return st.State == StateDone
+	})
+	if runs.Load() != 2 {
+		t.Errorf("runner invoked %d times, want 2 (parked once, completed once)", runs.Load())
+	}
+}
+
+func TestParkTransitions(t *testing.T) {
+	s := openTestService(t, "")
+	defer s.Close()
+	if _, err := s.Submit(testJob("j")); err != nil {
+		t.Fatal(err)
+	}
+	// Pending cannot park (only a refused *run* parks).
+	if err := s.Park("j"); !errors.Is(err, ErrBadTransition) {
+		t.Errorf("Park(pending) = %v, want ErrBadTransition", err)
+	}
+	if _, ok := s.Claim(); !ok {
+		t.Fatal("claim failed")
+	}
+	if err := s.Park("j"); err != nil {
+		t.Fatal(err)
+	}
+	// Parked is not terminal, not claimable, and cancellable.
+	if st, _ := s.Status("j"); st.State.Terminal() {
+		t.Error("parked counted as terminal")
+	}
+	if _, ok := s.Claim(); ok {
+		t.Error("claimed a parked job")
+	}
+	if err := s.Unpark("j"); err != nil {
+		t.Fatal(err)
+	}
+	if st, _ := s.Status("j"); st.State != StatePending {
+		t.Errorf("after unpark: %s", st.State)
+	}
+	if err := s.Unpark("j"); !errors.Is(err, ErrBadTransition) {
+		t.Errorf("Unpark(pending) = %v, want ErrBadTransition", err)
+	}
+	if _, ok := s.Claim(); !ok {
+		t.Fatal("reclaim failed")
+	}
+	if err := s.Park("j"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Cancel("j"); err != nil {
+		t.Errorf("Cancel(parked) = %v, want nil", err)
+	}
+	if err := s.Unpark("missing"); !errors.Is(err, ErrUnknownJob) {
+		t.Errorf("Unpark(unknown) = %v", err)
+	}
+}
+
+// TestBudgetStateSurvivesReplay: charges committed through the service
+// reappear after a crash, through both WAL replay and snapshots.
+func TestBudgetStateSurvivesReplay(t *testing.T) {
+	dir := t.TempDir()
+	s := openTestService(t, dir)
+	if err := s.ChargeBudget("a", 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.ChargeBudget("a", 0.25); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.ChargeBudget("b", 1.0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.ChargeBudget("ignored", 0); err != nil {
+		t.Fatal(err)
+	}
+	b := s.Budget()
+	if b.GlobalSpent != 1.75 || b.Jobs["a"] != 0.75 || b.Jobs["b"] != 1.0 {
+		t.Fatalf("budget = %+v", b)
+	}
+	if _, zeroRecorded := b.Jobs["ignored"]; zeroRecorded {
+		t.Error("zero charge created a ledger line")
+	}
+	s.Close()
+
+	s2 := openTestService(t, dir)
+	b = s2.Budget()
+	if b.GlobalSpent != 1.75 || b.Jobs["a"] != 0.75 || b.Jobs["b"] != 1.0 {
+		t.Errorf("replayed budget = %+v", b)
+	}
+	// Returned state is a copy: mutating it must not leak back.
+	b.Jobs["a"] = 99
+	if got := s2.Budget().Jobs["a"]; got != 0.75 {
+		t.Errorf("Budget() aliases internal state: %v", got)
+	}
+	s2.Close()
+
+	// Snapshot compaction preserves the ledger too.
+	s3 := openTestService(t, dir, func(c *ServiceConfig) { c.SnapshotEvery = 1 })
+	if err := s3.ChargeBudget("c", 0.1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s3.Submit(testJob("trigger")); err != nil { // forces a compaction pass
+		t.Fatal(err)
+	}
+	s3.Close()
+	s4 := openTestService(t, dir)
+	defer s4.Close()
+	b = s4.Budget()
+	if !floatEq(b.GlobalSpent, 1.85) || b.Jobs["c"] != 0.1 {
+		t.Errorf("post-compaction budget = %+v", b)
+	}
+}
+
+func floatEq(a, b float64) bool {
+	d := a - b
+	return d < 1e-9 && d > -1e-9
+}
+
+// TestVoidClaimRefundsAttempt: the shutdown-window reversal returns the
+// job to Pending with the attempt refunded, durably.
+func TestVoidClaimRefundsAttempt(t *testing.T) {
+	dir := t.TempDir()
+	s := openTestService(t, dir)
+	if _, err := s.Submit(testJob("j")); err != nil {
+		t.Fatal(err)
+	}
+	st, ok := s.Claim()
+	if !ok || st.Attempts != 1 {
+		t.Fatalf("claim: %+v ok=%v", st, ok)
+	}
+	if err := s.VoidClaim("j"); err != nil {
+		t.Fatal(err)
+	}
+	st, _ = s.Status("j")
+	if st.State != StatePending || st.Attempts != 0 {
+		t.Errorf("after void claim: state=%s attempts=%d, want pending/0", st.State, st.Attempts)
+	}
+	if err := s.VoidClaim("j"); !errors.Is(err, ErrBadTransition) {
+		t.Errorf("VoidClaim(pending) = %v, want ErrBadTransition", err)
+	}
+	s.Close()
+	s2 := openTestService(t, dir)
+	defer s2.Close()
+	st, _ = s2.Status("j")
+	if st.State != StatePending || st.Attempts != 0 {
+		t.Errorf("replayed void claim: state=%s attempts=%d", st.State, st.Attempts)
+	}
+}

@@ -40,6 +40,30 @@ type Service struct {
 	log     *jobstore.Log
 	wake    chan struct{}
 	resumed []string
+	budget  BudgetState
+}
+
+// BudgetState is the durable crowd-budget ledger the scheduler's
+// accounting is persisted through: global spend plus per-job spend,
+// WAL-committed so a restarted server keeps charging from where the
+// dead one stopped rather than re-granting spent money.
+type BudgetState struct {
+	// GlobalSpent is the total crowd spend across every job.
+	GlobalSpent float64 `json:"global_spent"`
+	// Jobs maps job name to its spend so far.
+	Jobs map[string]float64 `json:"jobs,omitempty"`
+}
+
+// clone deep-copies the state so callers never alias the live map.
+func (b BudgetState) clone() BudgetState {
+	out := BudgetState{GlobalSpent: b.GlobalSpent}
+	if len(b.Jobs) > 0 {
+		out.Jobs = make(map[string]float64, len(b.Jobs))
+		for k, v := range b.Jobs {
+			out.Jobs[k] = v
+		}
+	}
+	return out
 }
 
 // walStatus is a job lifecycle record as written to the WAL and
@@ -54,17 +78,22 @@ type walStatus struct {
 	Seq      uint64  `json:"seq"`
 }
 
-// walEvent is one WAL record: the full post-transition record of the
-// job it concerns, which makes replay a plain overwrite — trivially
-// idempotent under the storage layer's at-least-once crash windows.
+// walEvent is one WAL record. Lifecycle events ("submit", "update")
+// carry the full post-transition record of the job they concern, which
+// makes replay a plain overwrite — trivially idempotent under the
+// storage layer's at-least-once crash windows. Budget events ("budget")
+// carry the full ledger for the same reason: replay keeps the last one.
 type walEvent struct {
-	Op     string    `json:"op"` // "submit" or "update"
-	Status walStatus `json:"status"`
+	Op     string       `json:"op"` // "submit", "update" or "budget"
+	Status walStatus    `json:"status,omitempty"`
+	Budget *BudgetState `json:"budget,omitempty"`
 }
 
-// walSnapshot is the snapshot payload: every job's current record.
+// walSnapshot is the snapshot payload: every job's current record plus
+// the budget ledger.
 type walSnapshot struct {
-	Jobs []walStatus `json:"jobs"`
+	Jobs   []walStatus  `json:"jobs"`
+	Budget *BudgetState `json:"budget,omitempty"`
 }
 
 func toWal(st Status) walStatus {
@@ -125,12 +154,21 @@ func OpenService(cfg ServiceConfig) (*Service, error) {
 		for _, st := range ws.Jobs {
 			s.m.restore(fromWal(st))
 		}
+		if ws.Budget != nil {
+			s.budget = ws.Budget.clone()
+		}
 	}
 	for i, rec := range log.Entries() {
 		var ev walEvent
 		if err := json.Unmarshal(rec, &ev); err != nil {
 			log.Close()
 			return nil, fmt.Errorf("jobs: decoding WAL record %d: %w", i, err)
+		}
+		if ev.Op == "budget" {
+			if ev.Budget != nil {
+				s.budget = ev.Budget.clone()
+			}
+			continue
 		}
 		s.m.restore(fromWal(ev.Status))
 	}
@@ -175,16 +213,23 @@ func (s *Service) notify() {
 	}
 }
 
-// append commits one lifecycle event to the WAL (no-op when the
-// service is volatile) and compacts when the policy says so. sync
-// selects fsync-on-commit; progress events pass false — they are
+// append commits one lifecycle event to the WAL. Callers hold s.mu.
+// sync selects fsync-on-commit; progress events pass false — they are
 // advisory (reset on requeue), and a later synced transition flushes
-// them anyway. Callers hold s.mu.
+// them anyway.
 func (s *Service) append(op string, st Status, sync bool) error {
+	return s.appendEvent(walEvent{Op: op, Status: toWal(st)}, sync)
+}
+
+// appendEvent commits any WAL event (no-op when the service is
+// volatile) and compacts when the policy says so — the single choke
+// point for lifecycle and budget records alike, so every event kind
+// counts toward and triggers compaction. Callers hold s.mu.
+func (s *Service) appendEvent(ev walEvent, sync bool) error {
 	if s.log == nil {
 		return nil
 	}
-	rec, err := json.Marshal(walEvent{Op: op, Status: toWal(st)})
+	rec, err := json.Marshal(ev)
 	if err != nil {
 		return fmt.Errorf("jobs: encoding event: %w", err)
 	}
@@ -212,6 +257,10 @@ func (s *Service) compact() error {
 	var snap walSnapshot
 	for _, st := range s.m.Statuses() {
 		snap.Jobs = append(snap.Jobs, toWal(st))
+	}
+	if s.budget.GlobalSpent > 0 || len(s.budget.Jobs) > 0 {
+		b := s.budget.clone()
+		snap.Budget = &b
 	}
 	payload, err := json.Marshal(snap)
 	if err != nil {
@@ -330,6 +379,91 @@ func (s *Service) Cancel(name string) error {
 		return err
 	}
 	s.cfg.Counters.Inc(metrics.CounterJobsCancelled)
+	return nil
+}
+
+// Park commits a Running job's move to Parked: budget admission refused
+// the run. The job leaves the claim queue but stays resumable.
+func (s *Service) Park(name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	prev, _ := s.m.Status(name)
+	st, err := s.m.Park(name)
+	if err != nil {
+		return err
+	}
+	if err := s.commitUpdate(prev, st, true); err != nil {
+		return err
+	}
+	s.cfg.Counters.Inc(metrics.CounterJobsParked)
+	return nil
+}
+
+// Unpark commits a Parked job's return to Pending and wakes the pool —
+// the resume path once budget frees up or the operator raises it.
+func (s *Service) Unpark(name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	prev, _ := s.m.Status(name)
+	st, err := s.m.Unpark(name)
+	if err != nil {
+		return err
+	}
+	if err := s.commitUpdate(prev, st, true); err != nil {
+		return err
+	}
+	s.cfg.Counters.Inc(metrics.CounterJobsUnparked)
+	s.notify()
+	return nil
+}
+
+// ChargeBudget commits a crowd-spend charge against the job and the
+// global ledger — the scheduler's persistence hook, so budget state
+// survives WAL replay. Charges are facts about money already spent;
+// they are recorded even for jobs the service has never seen.
+func (s *Service) ChargeBudget(name string, amount float64) error {
+	if amount <= 0 {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	prev := s.budget.clone()
+	s.budget.GlobalSpent += amount
+	if s.budget.Jobs == nil {
+		s.budget.Jobs = make(map[string]float64)
+	}
+	s.budget.Jobs[name] += amount
+	b := s.budget.clone()
+	if err := s.appendEvent(walEvent{Op: "budget", Budget: &b}, true); err != nil {
+		s.budget = prev
+		return err
+	}
+	s.cfg.Counters.Inc(metrics.CounterBudgetCharges)
+	return nil
+}
+
+// Budget returns a copy of the durable budget ledger.
+func (s *Service) Budget() BudgetState {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.budget.clone()
+}
+
+// VoidClaim commits the reversal of a claim whose runner never started
+// (shutdown won the claim race): the job returns to Pending with the
+// claim's attempt increment refunded.
+func (s *Service) VoidClaim(name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	prev, _ := s.m.Status(name)
+	st, err := s.m.voidClaim(name)
+	if err != nil {
+		return err
+	}
+	if err := s.commitUpdate(prev, st, true); err != nil {
+		return err
+	}
+	s.notify()
 	return nil
 }
 

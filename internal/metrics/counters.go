@@ -83,7 +83,20 @@ const (
 	CounterJobsRetried   = "jobs_retried"
 	CounterJobsCancelled = "jobs_cancelled"
 	CounterJobsResumed   = "jobs_resumed"
+	CounterJobsParked    = "jobs_parked"
+	CounterJobsUnparked  = "jobs_unparked"
 	CounterWALAppends    = "wal_appends"
 	CounterWALSnapshots  = "wal_snapshots"
 	CounterHITsFinished  = "hits_finished"
+	CounterBudgetCharges = "budget_charges"
+)
+
+// Counter names published by the cross-query crowd scheduler.
+const (
+	CounterSchedCacheHits   = "sched_cache_hits"
+	CounterSchedCacheMisses = "sched_cache_misses"
+	CounterSchedDeduped     = "sched_questions_deduped"
+	CounterSchedPublished   = "sched_questions_published"
+	CounterSchedBatches     = "sched_batches"
+	CounterSchedParked      = "sched_jobs_parked"
 )

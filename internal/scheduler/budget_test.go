@@ -1,0 +1,103 @@
+package scheduler
+
+import "testing"
+
+func TestLedgerGlobalLimit(t *testing.T) {
+	l := NewLedger(1.0)
+	if !l.Admissible("a", 0.6, 0, 0) {
+		t.Fatal("fresh ledger refused an affordable job")
+	}
+	l.Charge("a", 0.6)
+	if l.Admissible("b", 0.5, 0, 0) {
+		t.Error("ledger admitted past the global limit")
+	}
+	if !l.Admissible("b", 0.4, 0, 0) {
+		t.Error("ledger refused a job that still fits")
+	}
+	if got := l.Spent(); got != 0.6 {
+		t.Errorf("Spent = %v, want 0.6", got)
+	}
+}
+
+func TestLedgerUnlimited(t *testing.T) {
+	l := NewLedger(0)
+	l.Charge("a", 1e9)
+	if !l.Admissible("a", 1e9, 0, 0) {
+		t.Error("unlimited ledger refused admission")
+	}
+}
+
+func TestLedgerJobLimit(t *testing.T) {
+	l := NewLedger(0)
+	l.SetJobLimit("a", 0.5)
+	if !l.Admissible("a", 0.5, 0, 0) {
+		t.Error("refused exactly-fitting job work")
+	}
+	if l.Admissible("a", 0.51, 0, 0) {
+		t.Error("admitted past the job limit")
+	}
+	l.Charge("a", 0.4)
+	if l.Admissible("a", 0.2, 0, 0) {
+		t.Error("admitted past the job limit after spend")
+	}
+	if !l.Admissible("b", 100, 0, 0) {
+		t.Error("job limit leaked onto another job")
+	}
+	// Charges past the limit still settle: they are facts.
+	l.Charge("a", 0.3)
+	snap := l.Snapshot()
+	if len(snap.Jobs) != 1 || snap.Jobs[0].Spent != 0.7 {
+		t.Errorf("snapshot = %+v", snap)
+	}
+}
+
+func TestLedgerReserved(t *testing.T) {
+	l := NewLedger(1.0)
+	// A peer's reservation weighs against the global limit...
+	if l.Admissible("b", 0.5, 0.6, 0) {
+		t.Error("admitted past the global limit despite a peer's reservation")
+	}
+	if !l.Admissible("b", 0.4, 0.6, 0) {
+		t.Error("refused work that fits beside the reservation")
+	}
+	// ...but not against the job's own cap.
+	l.SetJobLimit("b", 0.4)
+	if !l.Admissible("b", 0.4, 0.6, 0) {
+		t.Error("peer reservation shrank the job's own cap")
+	}
+	// The job's own same-round reservation does count against its cap:
+	// two tickets under one name must not jointly blow it.
+	if l.Admissible("b", 0.3, 0.6, 0.2) {
+		t.Error("admitted past the job cap despite its own reservation")
+	}
+}
+
+func TestLedgerRestore(t *testing.T) {
+	l := NewLedger(2)
+	l.Restore(1.5, map[string]JobBudget{"a": {Limit: 1, Spent: 0.9}})
+	if l.Admissible("b", 0.6, 0, 0) {
+		t.Error("restored global spend not enforced")
+	}
+	if l.Admissible("a", 0.2, 0, 0) {
+		t.Error("restored job spend not enforced")
+	}
+	if !l.Admissible("a", 0.1, 0, 0) {
+		t.Error("restored ledger refused fitting work")
+	}
+}
+
+func TestLedgerSnapshotSorted(t *testing.T) {
+	l := NewLedger(3)
+	l.Charge("zed", 1)
+	l.Charge("abe", 1)
+	l.Charge("mid", 1)
+	snap := l.Snapshot()
+	if snap.GlobalLimit != 3 || snap.GlobalSpent != 3 {
+		t.Errorf("snapshot global = %+v", snap)
+	}
+	for i := 1; i < len(snap.Jobs); i++ {
+		if snap.Jobs[i-1].Job > snap.Jobs[i].Job {
+			t.Fatalf("snapshot jobs unsorted: %+v", snap.Jobs)
+		}
+	}
+}

@@ -1,0 +1,97 @@
+// Verified-answer cache: the scheduler consults it before publishing
+// anything to the crowd, so a question any job has already paid to
+// verify is answered for free until its entry expires.
+package scheduler
+
+import (
+	"sync"
+	"time"
+)
+
+// CachedAnswer is one verified result held by the cache.
+type CachedAnswer struct {
+	// Answer is the accepted answer and Confidence its Equation 4
+	// confidence at acceptance time.
+	Answer     string
+	Confidence float64
+	// Votes is how many worker votes backed the acceptance.
+	Votes int
+	// StoredAt is the cache admission time (the scheduler's clock).
+	StoredAt time.Time
+}
+
+// AnswerCache maps canonical question keys to verified answers with a
+// TTL. It is safe for concurrent use. A zero TTL never expires entries —
+// the right setting for deterministic simulations, where wall-clock
+// expiry would make reruns diverge.
+type AnswerCache struct {
+	ttl time.Duration
+	now func() time.Time
+
+	mu      sync.Mutex
+	entries map[string]CachedAnswer
+}
+
+// NewAnswerCache builds a cache. now may be nil (defaults to time.Now);
+// inject a fixed clock for deterministic runs.
+func NewAnswerCache(ttl time.Duration, now func() time.Time) *AnswerCache {
+	if now == nil {
+		now = time.Now
+	}
+	return &AnswerCache{ttl: ttl, now: now, entries: make(map[string]CachedAnswer)}
+}
+
+// Get returns the live entry for key. Expired entries are dropped on
+// access and reported as misses.
+func (c *AnswerCache) Get(key string) (CachedAnswer, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[key]
+	if !ok {
+		return CachedAnswer{}, false
+	}
+	if c.expired(e) {
+		delete(c.entries, key)
+		return CachedAnswer{}, false
+	}
+	return e, true
+}
+
+// Put stores (or refreshes) a verified answer under key.
+func (c *AnswerCache) Put(key string, answer string, confidence float64, votes int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries[key] = CachedAnswer{
+		Answer:     answer,
+		Confidence: confidence,
+		Votes:      votes,
+		StoredAt:   c.now(),
+	}
+}
+
+// Len reports the number of stored entries, expired ones included until
+// their next access or Sweep.
+func (c *AnswerCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Sweep drops every expired entry and reports how many were removed.
+func (c *AnswerCache) Sweep() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	removed := 0
+	for k, e := range c.entries {
+		if c.expired(e) {
+			delete(c.entries, k)
+			removed++
+		}
+	}
+	return removed
+}
+
+// expired reports whether e has outlived the TTL. Callers hold c.mu.
+func (c *AnswerCache) expired(e CachedAnswer) bool {
+	return c.ttl > 0 && c.now().Sub(e.StoredAt) >= c.ttl
+}

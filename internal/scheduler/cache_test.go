@@ -1,0 +1,67 @@
+package scheduler
+
+import (
+	"testing"
+	"time"
+)
+
+func TestAnswerCachePutGet(t *testing.T) {
+	c := NewAnswerCache(0, nil)
+	if _, ok := c.Get("missing"); ok {
+		t.Fatal("empty cache reported a hit")
+	}
+	c.Put("k", "pos", 0.97, 11)
+	e, ok := c.Get("k")
+	if !ok {
+		t.Fatal("stored entry not found")
+	}
+	if e.Answer != "pos" || e.Confidence != 0.97 || e.Votes != 11 {
+		t.Errorf("entry = %+v", e)
+	}
+	if c.Len() != 1 {
+		t.Errorf("Len = %d, want 1", c.Len())
+	}
+	// Zero TTL never expires.
+	if _, ok := c.Get("k"); !ok {
+		t.Error("zero-TTL entry expired")
+	}
+}
+
+func TestAnswerCacheTTL(t *testing.T) {
+	now := time.Unix(1000, 0)
+	clock := func() time.Time { return now }
+	c := NewAnswerCache(time.Hour, clock)
+	c.Put("k", "pos", 0.9, 5)
+	now = now.Add(59 * time.Minute)
+	if _, ok := c.Get("k"); !ok {
+		t.Fatal("entry expired before its TTL")
+	}
+	now = now.Add(2 * time.Minute)
+	if _, ok := c.Get("k"); ok {
+		t.Fatal("entry survived past its TTL")
+	}
+	if c.Len() != 0 {
+		t.Errorf("expired entry not dropped on access: Len = %d", c.Len())
+	}
+	// Refreshing restarts the clock.
+	c.Put("k", "neg", 0.8, 3)
+	now = now.Add(30 * time.Minute)
+	if e, ok := c.Get("k"); !ok || e.Answer != "neg" {
+		t.Errorf("refreshed entry = %+v, ok=%v", e, ok)
+	}
+}
+
+func TestAnswerCacheSweep(t *testing.T) {
+	now := time.Unix(0, 0)
+	c := NewAnswerCache(time.Minute, func() time.Time { return now })
+	c.Put("a", "x", 1, 1)
+	c.Put("b", "y", 1, 1)
+	now = now.Add(2 * time.Minute)
+	c.Put("c", "z", 1, 1)
+	if removed := c.Sweep(); removed != 2 {
+		t.Errorf("Sweep removed %d, want 2", removed)
+	}
+	if c.Len() != 1 {
+		t.Errorf("Len after sweep = %d, want 1", c.Len())
+	}
+}

@@ -1,0 +1,122 @@
+// Canonical question identity: the dedup key of the cross-query
+// scheduler. Two questions submitted by different jobs are the same unit
+// of crowd work when a worker could not tell them apart — same prompt
+// text up to case and whitespace, same answer set up to order. The key
+// deliberately ignores the submitting job's question ID and the
+// simulation-only fields (Truth, Difficulty, Trap): a real deployment
+// doesn't know them, and jobs re-asking a known question must hit the
+// cache regardless of how they labelled it.
+//
+// Key structure: "<domain-hash>/<text-hash>", both halves SHA-256 over a
+// length-prefixed encoding. The domain hash leads, so questions over
+// distinct answer sets can never share a key (they would be distinct
+// units of crowd work even with identical prompts), and a key's group —
+// the shared-HIT batch it may ride in — is recoverable by prefix.
+package scheduler
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"sort"
+	"strings"
+	"unicode"
+
+	"cdas/internal/crowd"
+)
+
+// hashHexLen is how many hex characters of the SHA-256 are kept per key
+// half: 16 chars = 64 bits, far beyond collision reach for any realistic
+// question population while keeping keys printable and short.
+const hashHexLen = 16
+
+// NormalizeText canonicalises a prompt: lower-cased, whitespace runs
+// collapsed to single spaces, leading and trailing space trimmed.
+func NormalizeText(s string) string {
+	var b strings.Builder
+	b.Grow(len(s))
+	space := false
+	for _, r := range strings.ToLower(s) {
+		if unicode.IsSpace(r) {
+			space = b.Len() > 0
+			continue
+		}
+		if space {
+			b.WriteByte(' ')
+			space = false
+		}
+		b.WriteRune(r)
+	}
+	return b.String()
+}
+
+// CanonicalDomain canonicalises an answer set: entries normalised like
+// prompt text, de-duplicated, sorted. The result identifies the set, not
+// the presentation order.
+func CanonicalDomain(domain []string) []string {
+	out := make([]string, 0, len(domain))
+	seen := make(map[string]struct{}, len(domain))
+	for _, d := range domain {
+		n := NormalizeText(d)
+		if _, dup := seen[n]; dup {
+			continue
+		}
+		seen[n] = struct{}{}
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// hashStrings hashes a string list injectively: every element is
+// length-prefixed, so no concatenation of different lists can produce
+// the same byte stream (no separator-injection collisions).
+func hashStrings(parts []string) string {
+	h := sha256.New()
+	var lenBuf [8]byte
+	for _, p := range parts {
+		binary.BigEndian.PutUint64(lenBuf[:], uint64(len(p)))
+		h.Write(lenBuf[:])
+		h.Write([]byte(p))
+	}
+	sum := h.Sum(nil)
+	return hex.EncodeToString(sum[:hashHexLen/2])
+}
+
+// DomainKey identifies an answer set: the hash of its canonical form.
+// Questions share a HIT batch only within one domain key.
+func DomainKey(domain []string) string {
+	return hashStrings(CanonicalDomain(domain))
+}
+
+// QuestionKey is the scheduler's dedup key for a question:
+// "<domain-hash>/<text-hash>". Canonically-equal questions (equal
+// normalised text and canonical domain) always produce equal keys;
+// questions over distinct canonical domains never collide, because the
+// domain hash is a dedicated prefix.
+func QuestionKey(q crowd.Question) string {
+	return DomainKey(q.Domain) + "/" + hashStrings([]string{NormalizeText(q.Text)})
+}
+
+// MapAnswer returns the caller's own spelling of a canonically-equal
+// answer: the domain entry whose canonical form matches answer's,
+// falling back to the answer verbatim. Coalesced questions are
+// published in one subscriber's literal form, so every other
+// subscriber's verdict must be translated back into its own domain
+// strings before its presentation layer counts votes.
+func MapAnswer(answer string, domain []string) string {
+	norm := NormalizeText(answer)
+	for _, d := range domain {
+		if NormalizeText(d) == norm {
+			return d
+		}
+	}
+	return answer
+}
+
+// CanonicalID is the question ID the scheduler publishes a deduplicated
+// question under: derived from the dedup key alone, so the published HIT
+// content is independent of which job contributed the question. The
+// "c/" prefix keeps it clear of golden-question IDs ("golden/...") and
+// ordinary per-job item IDs.
+func CanonicalID(key string) string { return "c/" + key }

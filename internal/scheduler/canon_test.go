@@ -1,0 +1,102 @@
+package scheduler
+
+import (
+	"strings"
+	"testing"
+
+	"cdas/internal/crowd"
+)
+
+func TestNormalizeText(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"", ""},
+		{"  ", ""},
+		{"Hello World", "hello world"},
+		{"  Hello   World  ", "hello world"},
+		{"HELLO\t\nworld", "hello world"},
+		{"a  b\tc\nd", "a b c d"},
+		{"already normal", "already normal"},
+	}
+	for _, c := range cases {
+		if got := NormalizeText(c.in); got != c.want {
+			t.Errorf("NormalizeText(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestCanonicalDomain(t *testing.T) {
+	a := CanonicalDomain([]string{"Positive", "Neutral", "Negative"})
+	b := CanonicalDomain([]string{"negative", " neutral ", "POSITIVE"})
+	if strings.Join(a, "|") != strings.Join(b, "|") {
+		t.Errorf("canonical domains differ: %v vs %v", a, b)
+	}
+	if got := strings.Join(a, "|"); got != "negative|neutral|positive" {
+		t.Errorf("canonical domain = %q, want sorted normalised entries", got)
+	}
+	// Duplicates (after normalisation) collapse.
+	c := CanonicalDomain([]string{"pos", "POS", "neg"})
+	if len(c) != 2 {
+		t.Errorf("duplicate entries kept: %v", c)
+	}
+}
+
+func TestQuestionKeyEquivalence(t *testing.T) {
+	base := crowd.Question{
+		ID:     "t1/q1",
+		Text:   "Is this tweet positive about Thor?",
+		Domain: []string{"Positive", "Neutral", "Negative"},
+	}
+	same := []crowd.Question{
+		{ID: "other/id", Text: base.Text, Domain: base.Domain},
+		{ID: "x", Text: "  is THIS tweet  positive about thor? ", Domain: base.Domain},
+		{ID: "y", Text: base.Text, Domain: []string{"negative", "Neutral", "positive"}},
+		{ID: "z", Text: base.Text, Domain: base.Domain, Truth: "Positive", Difficulty: 0.9},
+	}
+	want := QuestionKey(base)
+	for i, q := range same {
+		if got := QuestionKey(q); got != want {
+			t.Errorf("case %d: key %q != base key %q", i, got, want)
+		}
+	}
+}
+
+func TestQuestionKeyDistinctions(t *testing.T) {
+	base := crowd.Question{Text: "Is this tweet positive?", Domain: []string{"pos", "neu", "neg"}}
+	diffText := crowd.Question{Text: "Is this tweet negative?", Domain: base.Domain}
+	diffDomain := crowd.Question{Text: base.Text, Domain: []string{"yes", "no"}}
+	if QuestionKey(base) == QuestionKey(diffText) {
+		t.Error("different texts share a key")
+	}
+	if QuestionKey(base) == QuestionKey(diffDomain) {
+		t.Error("different domains share a key")
+	}
+	// The domain hash is a dedicated key prefix: distinct canonical
+	// domains can never collide on the full key.
+	if !strings.HasPrefix(QuestionKey(base), DomainKey(base.Domain)+"/") {
+		t.Error("question key does not start with its domain key")
+	}
+}
+
+func TestHashStringsInjective(t *testing.T) {
+	// Length-prefixing means concatenation ambiguity cannot collide:
+	// ["ab","c"] vs ["a","bc"] vs ["abc"].
+	keys := map[string][]string{}
+	for _, parts := range [][]string{{"ab", "c"}, {"a", "bc"}, {"abc"}, {"", "abc"}, {"abc", ""}} {
+		h := hashStrings(parts)
+		if prev, dup := keys[h]; dup {
+			t.Fatalf("hash collision between %v and %v", prev, parts)
+		}
+		keys[h] = parts
+	}
+}
+
+func TestCanonicalID(t *testing.T) {
+	key := QuestionKey(crowd.Question{Text: "q", Domain: []string{"a", "b"}})
+	id := CanonicalID(key)
+	if !strings.HasPrefix(id, "c/") {
+		t.Errorf("canonical ID %q lacks the c/ prefix", id)
+	}
+	if strings.HasPrefix(id, "golden/") {
+		t.Errorf("canonical ID %q collides with the golden namespace", id)
+	}
+}

@@ -1,0 +1,94 @@
+package scheduler
+
+import (
+	"strings"
+	"testing"
+
+	"cdas/internal/crowd"
+)
+
+// FuzzQuestionKey checks the dedup key's two safety properties on
+// arbitrary inputs:
+//
+//  1. canonically-equal questions never produce distinct keys — case,
+//     edge whitespace, domain order, question ID and simulation-only
+//     fields must not affect identity;
+//  2. questions over distinct canonical domains never collide — the
+//     domain hash is a dedicated key prefix, so cross-domain reuse of a
+//     cached answer is structurally impossible.
+//
+// The committed seed corpus (testdata/fuzz/FuzzQuestionKey) pins the
+// known-tricky shapes: separator injection, unicode case folding,
+// whitespace-only distinctions, and domains differing only by a dup.
+func FuzzQuestionKey(f *testing.F) {
+	f.Add("Is this tweet positive about Thor?", "Positive,Neutral,Negative", "Mixed", 1)
+	f.Add("a  b", "yes,no", "maybe", 2)
+	f.Add("", "x,y", "z", 0)
+	f.Add("pos,neu", "a,b", "a,b", 3) // commas in text vs domain separators
+	f.Add("HELLO\tWORLD", "Yes, No ", "NO", 5)
+	f.Fuzz(func(t *testing.T, text, domainCSV, extra string, rot int) {
+		domain := strings.Split(domainCSV, ",")
+		base := crowd.Question{ID: "base/0", Text: text, Domain: domain}
+		key := QuestionKey(base)
+
+		// Property 1a: key is domain-prefixed and well-formed.
+		if !strings.HasPrefix(key, DomainKey(domain)+"/") {
+			t.Fatalf("key %q lacks its domain prefix", key)
+		}
+
+		// Property 1b: canonical perturbations preserve the key.
+		perturbed := crowd.Question{
+			ID:         "other/1",
+			Text:       "  " + strings.ToUpper(text) + "\t",
+			Domain:     rotate(domain, rot),
+			Truth:      extra,
+			Difficulty: 0.5,
+			Trap:       extra,
+		}
+		if got := QuestionKey(perturbed); got != key {
+			t.Errorf("canonically-equal questions got distinct keys:\n%q\n%q", key, got)
+		}
+
+		// Property 2: a canonically-distinct domain never shares a key
+		// (nor a domain group) with the base question.
+		other := append(rotate(domain, rot), extra)
+		if sameCanonicalDomain(domain, other) {
+			return
+		}
+		if DomainKey(other) == DomainKey(domain) {
+			t.Errorf("distinct canonical domains %v and %v share a domain key", domain, other)
+		}
+		if got := QuestionKey(crowd.Question{Text: text, Domain: other}); got == key {
+			t.Errorf("distinct domains collided on full key %q", key)
+		}
+	})
+}
+
+// rotate returns a copy of xs rotated by n (canonical-set preserving).
+func rotate(xs []string, n int) []string {
+	out := make([]string, 0, len(xs))
+	if len(xs) == 0 {
+		return out
+	}
+	if n < 0 {
+		n = -n
+	}
+	n %= len(xs)
+	out = append(out, xs[n:]...)
+	return append(out, xs[:n]...)
+}
+
+// sameCanonicalDomain is the naive reference the fuzzed implementation
+// is checked against.
+func sameCanonicalDomain(a, b []string) bool {
+	ca, cb := CanonicalDomain(a), CanonicalDomain(b)
+	if len(ca) != len(cb) {
+		return false
+	}
+	for i := range ca {
+		if ca[i] != cb[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,684 @@
+package scheduler
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"cdas/internal/crowd"
+	"cdas/internal/engine"
+	"cdas/internal/metrics"
+)
+
+var testDomain = []string{"Positive", "Neutral", "Negative"}
+
+// sharedQuestion builds the i-th question of the cross-job shared pool:
+// jobs asking it use their own IDs, but the content is identical, so the
+// scheduler must recognise it as one unit of crowd work.
+func sharedQuestion(job string, i int) crowd.Question {
+	return crowd.Question{
+		ID:     fmt.Sprintf("%s/shared%03d", job, i),
+		Text:   fmt.Sprintf("Is shared tweet #%d positive about the movie?", i),
+		Domain: testDomain,
+		Truth:  "Positive",
+	}
+}
+
+// uniqueQuestion builds a question only this job asks.
+func uniqueQuestion(job string, i int) crowd.Question {
+	return crowd.Question{
+		ID:     fmt.Sprintf("%s/uniq%03d", job, i),
+		Text:   fmt.Sprintf("Is %s's own tweet #%d positive?", job, i),
+		Domain: testDomain,
+		Truth:  "Negative",
+	}
+}
+
+// workload builds per-job question sets with the given overlap fraction:
+// overlap*perJob questions are drawn from a pool common to all jobs.
+func workload(jobs, perJob int, overlap float64) map[string][]crowd.Question {
+	shared := int(overlap * float64(perJob))
+	out := make(map[string][]crowd.Question, jobs)
+	for j := 0; j < jobs; j++ {
+		job := fmt.Sprintf("job%02d", j)
+		qs := make([]crowd.Question, 0, perJob)
+		for i := 0; i < shared; i++ {
+			qs = append(qs, sharedQuestion(job, i))
+		}
+		for i := shared; i < perJob; i++ {
+			qs = append(qs, uniqueQuestion(job, i))
+		}
+		out[job] = qs
+	}
+	return out
+}
+
+func goldenPool(n int) []crowd.Question {
+	qs := make([]crowd.Question, n)
+	for i := range qs {
+		qs[i] = crowd.Question{
+			ID:     fmt.Sprintf("golden/g%03d", i),
+			Text:   fmt.Sprintf("Calibration tweet #%d", i),
+			Domain: testDomain,
+			Truth:  "Neutral",
+		}
+	}
+	return qs
+}
+
+// newTestScheduler builds a scheduler over a fresh simulated platform.
+// mutate tweaks the config before construction.
+func newTestScheduler(t *testing.T, mutate func(*Config)) *Scheduler {
+	t.Helper()
+	platform, err := crowd.NewPlatform(crowd.DefaultConfig(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{
+		Platform: engine.CrowdPlatform{Platform: platform},
+		Engine:   engine.Config{HITSize: 20, MaxInflightHITs: 4, Seed: 9},
+		Golden:   goldenPool(12),
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	return s
+}
+
+// runWorkload enqueues every job from `concurrency` goroutines, flushes
+// once, and returns each job's result.
+func runWorkload(t *testing.T, s *Scheduler, w map[string][]crowd.Question, concurrency int) map[string]JobResult {
+	t.Helper()
+	type pair struct {
+		job    string
+		ticket *Ticket
+	}
+	jobs := make(chan string, len(w))
+	for job := range w {
+		jobs <- job
+	}
+	close(jobs)
+	results := make(chan pair, len(w))
+	var wg sync.WaitGroup
+	for c := 0; c < concurrency; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for job := range jobs {
+				ticket, err := s.Enqueue(Request{Job: job, Questions: w[job]})
+				if err != nil {
+					t.Errorf("enqueue %s: %v", job, err)
+					return
+				}
+				results <- pair{job, ticket}
+			}
+		}()
+	}
+	wg.Wait()
+	close(results)
+	if err := s.Flush(context.Background()); err != nil {
+		t.Fatalf("flush: %v", err)
+	}
+	out := make(map[string]JobResult, len(w))
+	for p := range results {
+		res, err := p.ticket.Wait(context.Background())
+		if err != nil {
+			t.Fatalf("%s: %v", p.job, err)
+		}
+		out[p.job] = res
+	}
+	return out
+}
+
+// TestSchedulerDedupSavings is the headline guarantee: at 50% question
+// overlap across 8 jobs, cross-query dedup cuts crowd spend by at least
+// 25% against the same workload scheduled without coalescing.
+func TestSchedulerDedupSavings(t *testing.T) {
+	w := workload(8, 30, 0.5)
+	spend := func(disableDedup bool) (float64, map[string]JobResult) {
+		s := newTestScheduler(t, func(c *Config) { c.DisableDedup = disableDedup })
+		res := runWorkload(t, s, w, 4)
+		return s.Ledger().Spent(), res
+	}
+	dedupSpend, dedupRes := spend(false)
+	naiveSpend, naiveRes := spend(true)
+	if naiveSpend <= 0 {
+		t.Fatalf("naive spend = %v, expected positive", naiveSpend)
+	}
+	saving := 1 - dedupSpend/naiveSpend
+	t.Logf("dedup spend %.3f vs naive %.3f: %.1f%% saved", dedupSpend, naiveSpend, 100*saving)
+	if saving < 0.25 {
+		t.Errorf("dedup saved only %.1f%% at 50%% overlap, want >= 25%%", 100*saving)
+	}
+	// Both modes answer every question of every job.
+	for job, qs := range w {
+		if got := len(dedupRes[job].Results); got != len(qs) {
+			t.Errorf("dedup: %s got %d answers, want %d", job, got, len(qs))
+		}
+		if got := len(naiveRes[job].Results); got != len(qs) {
+			t.Errorf("naive: %s got %d answers, want %d", job, got, len(qs))
+		}
+	}
+	// Attributed costs sum to the actual spend in both modes.
+	sum := func(rs map[string]JobResult) float64 {
+		var tot float64
+		for _, r := range rs {
+			tot += r.Cost
+		}
+		return tot
+	}
+	if got := sum(dedupRes); !close2(got, dedupSpend) {
+		t.Errorf("dedup attribution %.6f != spend %.6f", got, dedupSpend)
+	}
+	if got := sum(naiveRes); !close2(got, naiveSpend) {
+		t.Errorf("naive attribution %.6f != spend %.6f", got, naiveSpend)
+	}
+}
+
+func close2(a, b float64) bool {
+	d := a - b
+	return d < 1e-6 && d > -1e-6
+}
+
+// TestSchedulerDeterministicAcrossConcurrency: a generation's results
+// are bit-equal no matter how many goroutines enqueued the jobs.
+func TestSchedulerDeterministicAcrossConcurrency(t *testing.T) {
+	w := workload(6, 25, 0.4)
+	run := func(concurrency int) string {
+		s := newTestScheduler(t, nil)
+		res := runWorkload(t, s, w, concurrency)
+		blob, err := json.Marshal(res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(blob)
+	}
+	serial := run(1)
+	for _, c := range []int{2, 16} {
+		if got := run(c); got != serial {
+			t.Errorf("results differ between 1 and %d enqueue goroutines", c)
+		}
+	}
+}
+
+// TestSchedulerSharedAnswersAgree: subscribers of one shared question
+// receive the same verdict, each under its own original question.
+func TestSchedulerSharedAnswersAgree(t *testing.T) {
+	s := newTestScheduler(t, nil)
+	w := workload(3, 10, 1.0) // fully shared
+	res := runWorkload(t, s, w, 3)
+	var ref JobResult
+	first := true
+	for job, r := range res {
+		for i, qr := range r.Results {
+			wantID := fmt.Sprintf("%s/shared%03d", job, i)
+			if qr.Question.ID != wantID {
+				t.Errorf("%s result %d: question ID %q, want original %q", job, i, qr.Question.ID, wantID)
+			}
+		}
+		if first {
+			ref, first = r, false
+			continue
+		}
+		for i := range r.Results {
+			if r.Results[i].Answer != ref.Results[i].Answer ||
+				r.Results[i].Confidence != ref.Results[i].Confidence {
+				t.Errorf("%s result %d diverges from its shared verdict", job, i)
+			}
+		}
+	}
+	st := s.State()
+	// 3 jobs × 10 questions, 10 unique: 20 fan-outs beyond the first.
+	if st.QuestionsPublished != 10 || st.QuestionsDeduped != 20 {
+		t.Errorf("published %d / deduped %d, want 10 / 20", st.QuestionsPublished, st.QuestionsDeduped)
+	}
+}
+
+// TestSchedulerCacheAcrossGenerations: a later job re-asking verified
+// questions is answered from the cache, free of charge.
+func TestSchedulerCacheAcrossGenerations(t *testing.T) {
+	reg := metrics.NewRegistry()
+	s := newTestScheduler(t, func(c *Config) { c.Counters = reg })
+	qs := workload(1, 12, 0)["job00"]
+	first := runWorkload(t, s, map[string][]crowd.Question{"job00": qs}, 1)["job00"]
+	if first.CacheHits != 0 || first.Cost <= 0 {
+		t.Fatalf("first run: hits=%d cost=%v", first.CacheHits, first.Cost)
+	}
+	spendAfterFirst := s.Ledger().Spent()
+
+	// Same content, different job and IDs.
+	again := make([]crowd.Question, len(qs))
+	for i, q := range qs {
+		q.ID = fmt.Sprintf("rerun/%03d", i)
+		again[i] = q
+	}
+	second := runWorkload(t, s, map[string][]crowd.Question{"rerun": again}, 1)["rerun"]
+	if second.CacheHits != len(qs) {
+		t.Errorf("second run: %d cache hits, want %d", second.CacheHits, len(qs))
+	}
+	if second.Cost != 0 {
+		t.Errorf("second run charged %v, want 0", second.Cost)
+	}
+	if got := s.Ledger().Spent(); got != spendAfterFirst {
+		t.Errorf("cache hit still spent money: %v -> %v", spendAfterFirst, got)
+	}
+	for i := range qs {
+		if second.Results[i].Answer != first.Results[i].Answer {
+			t.Errorf("cached answer %d diverges", i)
+		}
+	}
+	if reg.Get(metrics.CounterSchedCacheHits) != int64(len(qs)) {
+		t.Errorf("cache-hit counter = %d", reg.Get(metrics.CounterSchedCacheHits))
+	}
+}
+
+// TestSchedulerCacheTTL: an expired entry is re-purchased.
+func TestSchedulerCacheTTL(t *testing.T) {
+	now := time.Unix(10_000, 0)
+	var mu sync.Mutex
+	clock := func() time.Time { mu.Lock(); defer mu.Unlock(); return now }
+	s := newTestScheduler(t, func(c *Config) {
+		c.CacheTTL = time.Hour
+		c.Now = clock
+	})
+	qs := workload(1, 5, 0)["job00"]
+	runWorkload(t, s, map[string][]crowd.Question{"job00": qs}, 1)
+	mu.Lock()
+	now = now.Add(2 * time.Hour)
+	mu.Unlock()
+	again := make([]crowd.Question, len(qs))
+	for i, q := range qs {
+		q.ID = fmt.Sprintf("rerun/%03d", i)
+		again[i] = q
+	}
+	res := runWorkload(t, s, map[string][]crowd.Question{"rerun": again}, 1)["rerun"]
+	if res.CacheHits != 0 {
+		t.Errorf("expired entries served %d hits", res.CacheHits)
+	}
+	if res.Cost <= 0 {
+		t.Error("re-purchase after expiry cost nothing")
+	}
+}
+
+// TestSchedulerBudgetAdmission: when the global budget covers only one
+// job, the higher-priority one runs and the other parks — resumable,
+// not failed.
+func TestSchedulerBudgetAdmission(t *testing.T) {
+	reg := metrics.NewRegistry()
+	s := newTestScheduler(t, func(c *Config) {
+		c.GlobalBudget = 0.2
+		c.Counters = reg
+	})
+	w := workload(2, 16, 0)
+	tHigh, err := s.Enqueue(Request{Job: "job00", Priority: 5, Questions: w["job00"]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tLow, err := s.Enqueue(Request{Job: "job01", Priority: 1, Questions: w["job01"]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Flush(context.Background()); err != nil {
+		t.Fatalf("flush: %v", err)
+	}
+	if res, err := tHigh.Wait(context.Background()); err != nil {
+		t.Fatalf("high-priority job: %v", err)
+	} else if len(res.Results) != 16 {
+		t.Errorf("high-priority job got %d answers", len(res.Results))
+	}
+	if _, err := tLow.Wait(context.Background()); !errors.Is(err, ErrParked) {
+		t.Fatalf("low-priority job: err = %v, want ErrParked", err)
+	}
+	st := s.State()
+	if st.JobsAdmitted != 1 || st.JobsParked != 1 {
+		t.Errorf("admitted %d / parked %d, want 1 / 1", st.JobsAdmitted, st.JobsParked)
+	}
+	if reg.Get(metrics.CounterSchedParked) != 1 {
+		t.Errorf("parked counter = %d", reg.Get(metrics.CounterSchedParked))
+	}
+	if st.Budget.GlobalLimit != 0.2 || st.Budget.GlobalSpent <= 0 {
+		t.Errorf("budget snapshot = %+v", st.Budget)
+	}
+}
+
+// TestSchedulerPerJobBudget: a job whose own cap cannot cover its
+// estimate parks even with global budget to spare.
+func TestSchedulerPerJobBudget(t *testing.T) {
+	s := newTestScheduler(t, nil)
+	qs := workload(1, 16, 0)["job00"]
+	ticket, err := s.Enqueue(Request{Job: "job00", Budget: 0.0001, Questions: qs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Flush(context.Background()); err != nil {
+		t.Fatalf("flush: %v", err)
+	}
+	if _, err := ticket.Wait(context.Background()); !errors.Is(err, ErrParked) {
+		t.Fatalf("err = %v, want ErrParked", err)
+	}
+	// Budget 0 means unlimited and must clear the stale cap: the same
+	// job name resubmitted without a budget runs.
+	again, err := s.Enqueue(Request{Job: "job00", Questions: qs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Flush(context.Background()); err != nil {
+		t.Fatalf("flush: %v", err)
+	}
+	if res, err := again.Wait(context.Background()); err != nil {
+		t.Fatalf("unlimited resubmission: %v (stale cap not cleared)", err)
+	} else if len(res.Results) != len(qs) {
+		t.Errorf("unlimited resubmission got %d answers", len(res.Results))
+	}
+}
+
+// TestSchedulerSharedRidesRespectJobBudget: riding a slot a peer
+// already opened still costs real money, so it must not be admitted
+// for free past the rider's own budget cap.
+func TestSchedulerSharedRidesRespectJobBudget(t *testing.T) {
+	s := newTestScheduler(t, nil)
+	qs := workload(1, 16, 0)["job00"]
+	rider := make([]crowd.Question, len(qs))
+	for i, q := range qs {
+		q.ID = fmt.Sprintf("rider/%03d", i) // same content, own IDs
+		rider[i] = q
+	}
+	payer, err := s.Enqueue(Request{Job: "payer", Priority: 5, Questions: qs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	broke, err := s.Enqueue(Request{Job: "broke", Priority: 0, Budget: 0.0001, Questions: rider})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Flush(context.Background()); err != nil {
+		t.Fatalf("flush: %v", err)
+	}
+	if _, err := payer.Wait(context.Background()); err != nil {
+		t.Fatalf("payer: %v", err)
+	}
+	if _, err := broke.Wait(context.Background()); !errors.Is(err, ErrParked) {
+		t.Fatalf("rider with a blown budget: err = %v, want ErrParked (shared rides are not free)", err)
+	}
+}
+
+// TestSchedulerOnCharge: the persistence hook sees one charge per job
+// per generation, summing to the attributed costs.
+func TestSchedulerOnCharge(t *testing.T) {
+	var mu sync.Mutex
+	charges := make(map[string]float64)
+	s := newTestScheduler(t, func(c *Config) {
+		c.OnCharge = func(job string, amount float64) {
+			mu.Lock()
+			defer mu.Unlock()
+			charges[job] += amount
+		}
+	})
+	w := workload(3, 12, 0.5)
+	res := runWorkload(t, s, w, 3)
+	for job, r := range res {
+		if !close2(charges[job], r.Cost) {
+			t.Errorf("%s: hook saw %.6f, result cost %.6f", job, charges[job], r.Cost)
+		}
+	}
+}
+
+// TestSchedulerMixedDomains: one request spanning two answer domains is
+// split into two groups and fully answered.
+func TestSchedulerMixedDomains(t *testing.T) {
+	s := newTestScheduler(t, func(c *Config) { c.Engine.DisableSampling = true; c.Golden = nil })
+	qs := []crowd.Question{
+		{ID: "a", Text: "sentiment?", Domain: testDomain, Truth: "Positive"},
+		{ID: "b", Text: "is it a cat?", Domain: []string{"yes", "no"}, Truth: "yes"},
+		{ID: "c", Text: "really a cat?", Domain: []string{"yes", "no"}, Truth: "no"},
+	}
+	res := runWorkload(t, s, map[string][]crowd.Question{"mixed": qs}, 1)["mixed"]
+	if len(res.Results) != 3 {
+		t.Fatalf("got %d results, want 3", len(res.Results))
+	}
+	for i, want := range []string{"a", "b", "c"} {
+		if res.Results[i].Question.ID != want {
+			t.Errorf("result %d: ID %q, want %q (sorted by original ID)", i, res.Results[i].Question.ID, want)
+		}
+		if res.Results[i].Answer == "" {
+			t.Errorf("result %d unanswered", i)
+		}
+	}
+}
+
+// TestSchedulerAnswerMappedToSubscriberDomain: a coalesced question is
+// published in one subscriber's literal form, but every subscriber's
+// verdict — batch-delivered, ranked and cache-served alike — must
+// arrive spelled in its own domain strings, or its presentation layer
+// would drop the votes.
+func TestSchedulerAnswerMappedToSubscriberDomain(t *testing.T) {
+	s := newTestScheduler(t, nil)
+	lower, err := s.Enqueue(Request{Job: "alpha", Questions: []crowd.Question{
+		{ID: "a/q", Text: "is the shared tweet positive?", Domain: []string{"positive", "negative"}, Truth: "positive"},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	upper, err := s.Enqueue(Request{Job: "beta", Questions: []crowd.Question{
+		{ID: "b/q", Text: "  IS the shared tweet POSITIVE? ", Domain: []string{"Negative", "Positive"}, Truth: "Positive"},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Flush(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	inDomain := func(answer string, domain []string) bool {
+		for _, d := range domain {
+			if d == answer {
+				return true
+			}
+		}
+		return false
+	}
+	check := func(name string, ticket *Ticket, domain []string) {
+		t.Helper()
+		res, err := ticket.Wait(context.Background())
+		if err != nil || len(res.Results) != 1 {
+			t.Fatalf("%s: %d results, err %v", name, len(res.Results), err)
+		}
+		qr := res.Results[0]
+		if !inDomain(qr.Answer, domain) {
+			t.Errorf("%s: answer %q not spelled in its own domain %v", name, qr.Answer, domain)
+		}
+		for _, sc := range qr.Ranked {
+			if !inDomain(sc.Answer, domain) {
+				t.Errorf("%s: ranked answer %q not spelled in its own domain %v", name, sc.Answer, domain)
+			}
+		}
+	}
+	check("alpha", lower, []string{"positive", "negative"})
+	check("beta", upper, []string{"Negative", "Positive"})
+
+	// The cache path maps too: a third spelling served from the cache.
+	cached, err := s.Enqueue(Request{Job: "gamma", Questions: []crowd.Question{
+		{ID: "c/q", Text: "IS THE SHARED TWEET POSITIVE?", Domain: []string{"POSITIVE", "NEGATIVE"}, Truth: "POSITIVE"},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Flush(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	res, err := cached.Wait(context.Background())
+	if err != nil || res.CacheHits != 1 {
+		t.Fatalf("gamma: hits=%d err=%v", res.CacheHits, err)
+	}
+	if got := res.Results[0].Answer; got != "POSITIVE" && got != "NEGATIVE" {
+		t.Errorf("cache-served answer %q not mapped into gamma's domain", got)
+	}
+}
+
+// TestSchedulerAbandonedTicket: an abandoned (cancelled) ticket is
+// resolved without publishing or charging anything.
+func TestSchedulerAbandonedTicket(t *testing.T) {
+	s := newTestScheduler(t, nil)
+	w := workload(2, 8, 0)
+	dead, err := s.Enqueue(Request{Job: "job00", Questions: w["job00"]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	alive, err := s.Enqueue(Request{Job: "job01", Questions: w["job01"]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dead.Abandon()
+	if err := s.Flush(context.Background()); err != nil {
+		t.Fatalf("flush: %v", err)
+	}
+	if _, err := dead.Wait(context.Background()); !errors.Is(err, ErrAbandoned) {
+		t.Errorf("abandoned ticket err = %v, want ErrAbandoned", err)
+	}
+	res, err := alive.Wait(context.Background())
+	if err != nil || len(res.Results) != 8 {
+		t.Fatalf("live ticket: %d results, err %v", len(res.Results), err)
+	}
+	st := s.State()
+	if st.QuestionsPublished != 8 {
+		t.Errorf("published %d questions, want only the live job's 8", st.QuestionsPublished)
+	}
+	for _, line := range st.Budget.Jobs {
+		if line.Job == "job00" && line.Spent != 0 {
+			t.Errorf("abandoned job charged %v", line.Spent)
+		}
+	}
+}
+
+// failingPlatform refuses HITs published under one title (one domain
+// group's engine), leaving the other groups to succeed.
+type failingPlatform struct {
+	engine.Platform
+	failTitle string
+}
+
+func (p failingPlatform) Publish(hit crowd.HIT, n int) (engine.Run, error) {
+	if hit.Title == p.failTitle {
+		return nil, errors.New("platform down for this domain")
+	}
+	return p.Platform.Publish(hit, n)
+}
+
+// TestSchedulerPartialFailureKeepsCost: when one domain group dies the
+// ticket surfaces the error together with the surviving groups'
+// results and their attributed cost — the spend the ledger recorded
+// must be visible to the job's accounting.
+func TestSchedulerPartialFailureKeepsCost(t *testing.T) {
+	binary := []string{"yes", "no"}
+	var s *Scheduler
+	s = newTestScheduler(t, func(c *Config) {
+		c.Engine.DisableSampling = true
+		c.Golden = nil
+		c.Platform = failingPlatform{Platform: c.Platform, failTitle: "sched/" + DomainKey(binary)}
+	})
+	qs := append(workload(1, 6, 0)["job00"],
+		crowd.Question{ID: "bin/a", Text: "binary one?", Domain: binary, Truth: "yes"},
+		crowd.Question{ID: "bin/b", Text: "binary two?", Domain: binary, Truth: "no"},
+	)
+	ticket, err := s.Enqueue(Request{Job: "job00", Questions: qs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Flush(context.Background()); err == nil {
+		t.Fatal("flush succeeded despite a dead domain group")
+	}
+	res, err := ticket.Wait(context.Background())
+	if err == nil {
+		t.Fatal("ticket resolved without the group error")
+	}
+	if len(res.Results) != 6 {
+		t.Errorf("surviving results = %d, want the sentiment group's 6", len(res.Results))
+	}
+	if res.Cost <= 0 {
+		t.Error("surviving groups' spend lost from the partial result")
+	}
+	if !close2(res.Cost, s.Ledger().Spent()) {
+		t.Errorf("partial result cost %.6f != ledger spend %.6f", res.Cost, s.Ledger().Spent())
+	}
+}
+
+func TestSchedulerEnqueueValidation(t *testing.T) {
+	s := newTestScheduler(t, nil)
+	ok := crowd.Question{ID: "q", Text: "t", Domain: testDomain}
+	cases := []struct {
+		name string
+		req  Request
+	}{
+		{"no job", Request{Questions: []crowd.Question{ok}}},
+		{"no questions", Request{Job: "j"}},
+		{"negative budget", Request{Job: "j", Budget: -1, Questions: []crowd.Question{ok}}},
+		{"empty question id", Request{Job: "j", Questions: []crowd.Question{{Text: "t", Domain: testDomain}}}},
+		{"duplicate ids", Request{Job: "j", Questions: []crowd.Question{ok, ok}}},
+		{"small domain", Request{Job: "j", Questions: []crowd.Question{{ID: "x", Text: "t", Domain: []string{"only"}}}}},
+	}
+	for _, c := range cases {
+		if _, err := s.Enqueue(c.req); err == nil {
+			t.Errorf("%s: Enqueue accepted an invalid request", c.name)
+		}
+	}
+}
+
+func TestSchedulerClose(t *testing.T) {
+	s := newTestScheduler(t, nil)
+	qs := workload(1, 3, 0)["job00"]
+	ticket, err := s.Enqueue(Request{Job: "job00", Questions: qs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	if _, err := ticket.Wait(context.Background()); !errors.Is(err, ErrClosed) {
+		t.Errorf("pending ticket err = %v, want ErrClosed", err)
+	}
+	if _, err := s.Enqueue(Request{Job: "late", Questions: qs}); !errors.Is(err, ErrClosed) {
+		t.Errorf("post-close Enqueue err = %v, want ErrClosed", err)
+	}
+	if err := s.Flush(context.Background()); !errors.Is(err, ErrClosed) {
+		t.Errorf("post-close Flush err = %v, want ErrClosed", err)
+	}
+	s.Close() // idempotent
+}
+
+func TestTicketWaitCancelled(t *testing.T) {
+	s := newTestScheduler(t, nil)
+	ticket, err := s.Enqueue(Request{Job: "j", Questions: workload(1, 3, 0)["job00"]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := ticket.Wait(ctx); !errors.Is(err, context.Canceled) {
+		t.Errorf("Wait err = %v, want context.Canceled", err)
+	}
+}
+
+// TestSchedulerAutoFlush: a background FlushInterval drains enqueued
+// work without manual flushes.
+func TestSchedulerAutoFlush(t *testing.T) {
+	s := newTestScheduler(t, func(c *Config) { c.FlushInterval = 5 * time.Millisecond })
+	ticket, err := s.Enqueue(Request{Job: "auto", Questions: workload(1, 6, 0)["job00"]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	res, err := ticket.Wait(ctx)
+	if err != nil {
+		t.Fatalf("auto-flushed ticket: %v", err)
+	}
+	if len(res.Results) != 6 {
+		t.Errorf("got %d results, want 6", len(res.Results))
+	}
+}
