@@ -1,0 +1,161 @@
+// Package api is the versioned wire contract of the CDAS v1 HTTP
+// surface: the typed request/response DTOs exchanged by the server
+// (internal/httpapi), the Go SDK (client) and any third-party consumer.
+// Every shape here is stable within /v1 — additive evolution only.
+//
+// The contract is documented as OpenAPI in api/openapi.yaml; the golden
+// tests under internal/httpapi/testdata pin the exact bytes.
+package api
+
+// Version is the API version prefix every v1 route lives under.
+const Version = "v1"
+
+// JobState is a job's lifecycle position on the wire. The values mirror
+// the internal lifecycle state machine (internal/jobs).
+type JobState string
+
+// Job lifecycle states.
+const (
+	JobPending   JobState = "pending"
+	JobRunning   JobState = "running"
+	JobParked    JobState = "parked"
+	JobDone      JobState = "done"
+	JobFailed    JobState = "failed"
+	JobCancelled JobState = "cancelled"
+)
+
+// Valid reports whether s is one of the defined states.
+func (s JobState) Valid() bool {
+	switch s {
+	case JobPending, JobRunning, JobParked, JobDone, JobFailed, JobCancelled:
+		return true
+	}
+	return false
+}
+
+// Terminal reports whether s is absorbing: done, failed or cancelled.
+func (s JobState) Terminal() bool {
+	return s == JobDone || s == JobFailed || s == JobCancelled
+}
+
+// JobSubmission is the POST /v1/jobs request body: the analytics query
+// of the paper's Definition 1 plus a name and application kind.
+type JobSubmission struct {
+	Name string `json:"name"`
+	// Kind selects the plan template; default "tsa".
+	Kind             string   `json:"kind"`
+	Keywords         []string `json:"keywords"`
+	RequiredAccuracy float64  `json:"required_accuracy"`
+	Domain           []string `json:"domain"`
+	// Start is the query timestamp t in RFC 3339; zero means "now".
+	Start string `json:"start,omitempty"`
+	// Window is the query window w as a Go duration string ("24h").
+	Window string `json:"window"`
+	// Priority orders budget admission (higher first; default 0).
+	Priority int `json:"priority,omitempty"`
+	// Budget caps the job's crowd spend (0 = unlimited).
+	Budget float64 `json:"budget,omitempty"`
+}
+
+// JobStatus is the wire form of a job's lifecycle record, with the live
+// query results attached when the run has published any.
+type JobStatus struct {
+	Name     string      `json:"name"`
+	Kind     string      `json:"kind"`
+	Keywords []string    `json:"keywords"`
+	State    JobState    `json:"state"`
+	Attempts int         `json:"attempts"`
+	Progress float64     `json:"progress"`
+	Cost     float64     `json:"cost"`
+	Priority int         `json:"priority,omitempty"`
+	Budget   float64     `json:"budget,omitempty"`
+	Error    string      `json:"error,omitempty"`
+	Results  *QueryState `json:"results,omitempty"`
+}
+
+// JobList is the paginated GET /v1/jobs response envelope.
+type JobList struct {
+	Jobs []JobStatus `json:"jobs"`
+	// NextPageToken, when non-empty, fetches the next page when passed
+	// back as ?page_token=.
+	NextPageToken string `json:"next_page_token,omitempty"`
+}
+
+// QueryState is the live presentation of one query — the paper's
+// Figure 4 row: running percentages, reason keywords and progress,
+// refreshed as the crowdsourcing engine accepts answers.
+type QueryState struct {
+	Name        string              `json:"name"`
+	Domain      []string            `json:"domain"`
+	Percentages map[string]float64  `json:"percentages"`
+	Reasons     map[string][]string `json:"reasons"`
+	Items       int                 `json:"items"`
+	// Progress of the crowdsourcing job in [0, 1].
+	Progress float64 `json:"progress"`
+	// Done marks a finished job — successfully completed, failed or
+	// cancelled; Error distinguishes the unhappy endings.
+	Done bool `json:"done"`
+	// Error carries the failure when a followed stream ended with one;
+	// empty for healthy queries.
+	Error string `json:"error,omitempty"`
+}
+
+// QueryList is the GET /v1/queries response envelope.
+type QueryList struct {
+	Queries []QueryState `json:"queries"`
+}
+
+// SSE event types pushed by GET /v1/queries/{name}/events. Each event's
+// data is one QueryState revision; the event id is the revision number
+// (monotonically increasing per query), so Last-Event-ID resumes
+// without replaying already-seen states.
+const (
+	// EventState carries an intermediate QueryState revision.
+	EventState = "state"
+	// EventDone carries the terminal QueryState; the server closes the
+	// stream after sending it.
+	EventDone = "done"
+)
+
+// SchedulerState is the cross-query scheduler's reportable state:
+// generation batching, dedup-cache effectiveness and budget ledger.
+type SchedulerState struct {
+	Generations        int            `json:"generations"`
+	PendingJobs        int            `json:"pending_jobs"`
+	DedupEnabled       bool           `json:"dedup_enabled"`
+	CacheEntries       int            `json:"cache_entries"`
+	CacheHits          int64          `json:"cache_hits"`
+	CacheMisses        int64          `json:"cache_misses"`
+	QuestionsEnqueued  int64          `json:"questions_enqueued"`
+	QuestionsPublished int64          `json:"questions_published"`
+	QuestionsDeduped   int64          `json:"questions_deduped"`
+	BatchesPublished   int64          `json:"batches_published"`
+	JobsAdmitted       int64          `json:"jobs_admitted"`
+	JobsParked         int64          `json:"jobs_parked"`
+	Budget             BudgetSnapshot `json:"budget"`
+}
+
+// BudgetSnapshot is the budget ledger's state.
+type BudgetSnapshot struct {
+	GlobalLimit float64         `json:"global_limit"` // 0 = unlimited
+	GlobalSpent float64         `json:"global_spent"`
+	Jobs        []JobBudgetLine `json:"jobs,omitempty"` // sorted by job name
+}
+
+// JobBudgetLine is one job's budget line: its cap and what it has spent.
+type JobBudgetLine struct {
+	Job   string  `json:"job"`
+	Limit float64 `json:"limit"` // 0 = unlimited
+	Spent float64 `json:"spent"`
+}
+
+// Metrics is the GET /v1/metrics response: operational counters.
+type Metrics struct {
+	Counters map[string]int64 `json:"counters"`
+}
+
+// Health is the GET /v1/healthz response.
+type Health struct {
+	Status  string `json:"status"`
+	Version string `json:"version"`
+}

@@ -1,0 +1,86 @@
+package api
+
+import (
+	"encoding/json"
+	"errors"
+	"testing"
+)
+
+func TestJobStateValidTerminal(t *testing.T) {
+	cases := []struct {
+		s        JobState
+		valid    bool
+		terminal bool
+	}{
+		{JobPending, true, false},
+		{JobRunning, true, false},
+		{JobParked, true, false},
+		{JobDone, true, true},
+		{JobFailed, true, true},
+		{JobCancelled, true, true},
+		{JobState("limbo"), false, false},
+		{JobState(""), false, false},
+	}
+	for _, c := range cases {
+		if got := c.s.Valid(); got != c.valid {
+			t.Errorf("%q.Valid() = %v, want %v", c.s, got, c.valid)
+		}
+		if got := c.s.Terminal(); got != c.terminal {
+			t.Errorf("%q.Terminal() = %v, want %v", c.s, got, c.terminal)
+		}
+	}
+}
+
+func TestErrorFormatting(t *testing.T) {
+	e := NotFound("no such job %q", "x")
+	if e.Code != CodeNotFound || e.Status != 404 {
+		t.Errorf("NotFound built %+v", e)
+	}
+	if got := e.Error(); got != `not_found (404): no such job "x"` {
+		t.Errorf("Error() = %q", got)
+	}
+	e.Detail = "try listing jobs"
+	if got := e.Error(); got != `not_found (404): no such job "x": try listing jobs` {
+		t.Errorf("Error() with detail = %q", got)
+	}
+}
+
+func TestErrorConstructors(t *testing.T) {
+	cases := []struct {
+		err    *Error
+		code   string
+		status int
+	}{
+		{InvalidArgument("x"), CodeInvalidArgument, 400},
+		{NotFound("x"), CodeNotFound, 404},
+		{Conflict("x"), CodeConflict, 409},
+		{Unavailable("x"), CodeUnavailable, 503},
+		{Internal("x"), CodeInternal, 500},
+	}
+	for _, c := range cases {
+		if c.err.Code != c.code || c.err.Status != c.status {
+			t.Errorf("constructor built %+v, want code %s status %d", c.err, c.code, c.status)
+		}
+	}
+}
+
+// TestErrorEnvelopeRoundTrip pins the envelope wire shape and that a
+// decoded Error still works with errors.As.
+func TestErrorEnvelopeRoundTrip(t *testing.T) {
+	b, err := json.Marshal(ErrorResponse{Error: Conflict("job already registered")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"error":{"code":"conflict","status":409,"message":"job already registered"}}`
+	if string(b) != want {
+		t.Errorf("envelope = %s, want %s", b, want)
+	}
+	var decoded ErrorResponse
+	if err := json.Unmarshal(b, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	var apiErr *Error
+	if !errors.As(error(decoded.Error), &apiErr) || apiErr.Status != 409 {
+		t.Errorf("decoded envelope lost the typed error: %+v", decoded.Error)
+	}
+}

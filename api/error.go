@@ -1,0 +1,79 @@
+// Structured error envelope: every v1 error response carries a typed,
+// machine-readable body in the spirit of RFC 7807, instead of the
+// free-text http.Error lines of the legacy routes.
+package api
+
+import "fmt"
+
+// Error codes. Codes are stable identifiers a client can switch on;
+// Status carries the matching HTTP status for convenience.
+const (
+	CodeInvalidArgument = "invalid_argument" // 400
+	CodeNotFound        = "not_found"        // 404
+	CodeConflict        = "conflict"         // 409
+	CodeUnavailable     = "unavailable"      // 503
+	CodeInternal        = "internal"         // 500
+)
+
+// Error is the structured error of every v1 error response, wrapped in
+// an ErrorResponse envelope on the wire:
+//
+//	{"error": {"code": "not_found", "status": 404,
+//	           "message": "no such job", "detail": "..."}}
+//
+// It implements the error interface, so SDK callers can errors.As it
+// straight out of any client method.
+type Error struct {
+	// Code is the stable machine-readable identifier.
+	Code string `json:"code"`
+	// Status is the HTTP status the response was (or should be) served
+	// with.
+	Status int `json:"status"`
+	// Message is the short human-readable summary.
+	Message string `json:"message"`
+	// Detail optionally elaborates on this specific occurrence.
+	Detail string `json:"detail,omitempty"`
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string {
+	if e.Detail != "" {
+		return fmt.Sprintf("%s (%d): %s: %s", e.Code, e.Status, e.Message, e.Detail)
+	}
+	return fmt.Sprintf("%s (%d): %s", e.Code, e.Status, e.Message)
+}
+
+// ErrorResponse is the wire envelope wrapping an Error.
+type ErrorResponse struct {
+	Error *Error `json:"error"`
+}
+
+// Errorf builds an Error with a formatted message.
+func Errorf(code string, status int, format string, args ...any) *Error {
+	return &Error{Code: code, Status: status, Message: fmt.Sprintf(format, args...)}
+}
+
+// InvalidArgument builds a 400 invalid_argument error.
+func InvalidArgument(format string, args ...any) *Error {
+	return Errorf(CodeInvalidArgument, 400, format, args...)
+}
+
+// NotFound builds a 404 not_found error.
+func NotFound(format string, args ...any) *Error {
+	return Errorf(CodeNotFound, 404, format, args...)
+}
+
+// Conflict builds a 409 conflict error.
+func Conflict(format string, args ...any) *Error {
+	return Errorf(CodeConflict, 409, format, args...)
+}
+
+// Unavailable builds a 503 unavailable error.
+func Unavailable(format string, args ...any) *Error {
+	return Errorf(CodeUnavailable, 503, format, args...)
+}
+
+// Internal builds a 500 internal error.
+func Internal(format string, args ...any) *Error {
+	return Errorf(CodeInternal, 500, format, args...)
+}

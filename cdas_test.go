@@ -1,6 +1,7 @@
 package cdas_test
 
 import (
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -301,5 +302,88 @@ func TestEngineDeterministicUnderSeed(t *testing.T) {
 		if a[i] != b[i] {
 			t.Fatalf("engine not deterministic: %v vs %v", a, b)
 		}
+	}
+}
+
+// TestServiceFacadesPublicAPI smokes the facade constructors the v1
+// stack builds on: the durable job service + dispatcher, the result
+// server (the SSE-capable dashboard), the streaming processor, the
+// remote-platform pair and the crowd-join helpers.
+func TestServiceFacadesPublicAPI(t *testing.T) {
+	// Job service + dispatcher (in-memory).
+	svc, err := cdas.OpenJobService(cdas.JobServiceConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	ran := make(chan string, 1)
+	disp, err := cdas.NewJobDispatcher(svc, func(ctx context.Context, job cdas.Job, report func(float64, float64)) error {
+		report(1, 0)
+		ran <- job.Name
+		return nil
+	}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	disp.Start()
+	defer disp.Stop()
+	q := cdas.Query{
+		Keywords:         []string{"iPhone4S"},
+		RequiredAccuracy: 0.9,
+		Domain:           []string{"Good", "Bad"},
+		Start:            time.Date(2011, 10, 14, 0, 0, 0, 0, time.UTC),
+		Window:           24 * time.Hour,
+	}
+	if _, err := disp.Submit(cdas.Job{Name: "facade", Kind: cdas.JobTSA, Query: q}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case name := <-ran:
+		if name != "facade" {
+			t.Errorf("dispatcher ran %q", name)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("dispatcher never ran the submitted job")
+	}
+
+	// Result server: publish and read back a query state.
+	rs := cdas.NewResultServer()
+	rs.Update(cdas.QueryState{Name: "facade", Domain: q.Domain, Progress: 0.5})
+	if st, ok := rs.Get("facade"); !ok || st.Progress != 0.5 {
+		t.Errorf("result server state = %+v (ok=%v)", st, ok)
+	}
+
+	// Streaming processor over a real engine.
+	_, eng := simulated(t, 99)
+	proc, err := cdas.NewStreamProcessor(cdas.StreamConfig{
+		Name:   "facade",
+		Query:  q,
+		Engine: eng,
+		Convert: func(item cdas.StreamItem) cdas.CrowdQuestion {
+			return cdas.CrowdQuestion{ID: item.ID, Text: item.Text, Domain: q.Domain}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = proc
+
+	// Remote platform pair: the REST server over a simulated crowd and
+	// a client constructed for its protocol.
+	_, rawSim, err := cdas.NewSimulatedPlatform(cdas.DefaultSimulatorConfig(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if remote := cdas.NewRemoteServer(rawSim); remote == nil {
+		t.Fatal("NewRemoteServer returned nil")
+	}
+	if rc := cdas.NewRemotePlatform("http://127.0.0.1:1", nil); rc == nil {
+		t.Fatal("NewRemotePlatform returned nil")
+	}
+
+	// Matches filters a join result to accepted pairs.
+	pairs := []cdas.JoinPair{{Match: true}, {Match: false}}
+	if got := cdas.Matches(pairs); len(got) != 1 || !got[0].Match {
+		t.Errorf("Matches = %+v", got)
 	}
 }

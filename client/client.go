@@ -1,0 +1,241 @@
+// Package client is the Go SDK for the CDAS v1 API. It speaks the
+// typed wire contract of cdas/api: every method returns the contract's
+// DTOs, every non-2xx response decodes into a *api.Error the caller
+// can errors.As on, job listings auto-paginate through an iterator, and
+// WatchQuery turns the server's SSE stream into a channel of query
+// states.
+//
+//	c := client.New("http://localhost:8080")
+//	st, err := c.SubmitJob(ctx, api.JobSubmission{...})
+//	for ev := range watch { ... }
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"iter"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+
+	"cdas/api"
+)
+
+// Client calls the CDAS v1 API. The zero value is not usable; construct
+// with New. Safe for concurrent use.
+type Client struct {
+	baseURL string
+	hc      *http.Client
+}
+
+// Option configures a Client.
+type Option func(*Client)
+
+// WithHTTPClient substitutes the underlying *http.Client (timeouts,
+// transports, test doubles). The default is http.DefaultClient.
+func WithHTTPClient(hc *http.Client) Option {
+	return func(c *Client) { c.hc = hc }
+}
+
+// New returns a Client for the server at baseURL (scheme://host[:port],
+// with or without a trailing slash).
+func New(baseURL string, opts ...Option) *Client {
+	c := &Client{baseURL: strings.TrimRight(baseURL, "/"), hc: http.DefaultClient}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// do runs one JSON round-trip: method path, optional in body, decoded
+// into out when non-nil. Non-2xx responses return the decoded
+// *api.Error envelope (or a synthesized one when the body isn't the
+// envelope, e.g. a proxy error page).
+func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		b, err := json.Marshal(in)
+		if err != nil {
+			return fmt.Errorf("client: encoding request: %w", err)
+		}
+		body = bytes.NewReader(b)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.baseURL+path, body)
+	if err != nil {
+		return fmt.Errorf("client: building request: %w", err)
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	req.Header.Set("Accept", "application/json")
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return fmt.Errorf("client: %s %s: %w", method, path, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 400 {
+		return decodeError(resp)
+	}
+	if out == nil {
+		io.Copy(io.Discard, resp.Body)
+		return nil
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("client: decoding %s %s response: %w", method, path, err)
+	}
+	return nil
+}
+
+// decodeError turns a non-2xx response into a *api.Error.
+func decodeError(resp *http.Response) error {
+	b, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	var envelope api.ErrorResponse
+	if err := json.Unmarshal(b, &envelope); err == nil && envelope.Error != nil && envelope.Error.Code != "" {
+		if envelope.Error.Status == 0 {
+			envelope.Error.Status = resp.StatusCode
+		}
+		return envelope.Error
+	}
+	return &api.Error{
+		Code:    "http_" + strconv.Itoa(resp.StatusCode),
+		Status:  resp.StatusCode,
+		Message: http.StatusText(resp.StatusCode),
+		Detail:  strings.TrimSpace(string(b)),
+	}
+}
+
+// jobPath escapes a job name into its /v1/jobs/{name} path.
+func jobPath(name string) string { return "/v1/jobs/" + url.PathEscape(name) }
+
+// SubmitJob registers a new analytics job and returns its initial
+// status.
+func (c *Client) SubmitJob(ctx context.Context, sub api.JobSubmission) (api.JobStatus, error) {
+	var st api.JobStatus
+	err := c.do(ctx, http.MethodPost, "/v1/jobs", sub, &st)
+	return st, err
+}
+
+// Job fetches one job's lifecycle record and live results.
+func (c *Client) Job(ctx context.Context, name string) (api.JobStatus, error) {
+	var st api.JobStatus
+	err := c.do(ctx, http.MethodGet, jobPath(name), nil, &st)
+	return st, err
+}
+
+// CancelJob cancels a pending, parked or running job and returns its
+// final record.
+func (c *Client) CancelJob(ctx context.Context, name string) (api.JobStatus, error) {
+	var st api.JobStatus
+	err := c.do(ctx, http.MethodDelete, jobPath(name), nil, &st)
+	return st, err
+}
+
+// UnparkJob resumes a budget-parked job.
+func (c *Client) UnparkJob(ctx context.Context, name string) (api.JobStatus, error) {
+	var st api.JobStatus
+	err := c.do(ctx, http.MethodPost, jobPath(name)+":unpark", nil, &st)
+	return st, err
+}
+
+// ListJobsOptions filters and paginates ListJobs.
+type ListJobsOptions struct {
+	// Limit bounds the page size (server default and cap apply).
+	Limit int
+	// PageToken resumes after a previous page's NextPageToken.
+	PageToken string
+	// State keeps only jobs in the given lifecycle state.
+	State api.JobState
+}
+
+func (o ListJobsOptions) query() string {
+	q := url.Values{}
+	if o.Limit > 0 {
+		q.Set("limit", strconv.Itoa(o.Limit))
+	}
+	if o.PageToken != "" {
+		q.Set("page_token", o.PageToken)
+	}
+	if o.State != "" {
+		q.Set("state", string(o.State))
+	}
+	if len(q) == 0 {
+		return ""
+	}
+	return "?" + q.Encode()
+}
+
+// ListJobs fetches one page of the job list.
+func (c *Client) ListJobs(ctx context.Context, opts ListJobsOptions) (api.JobList, error) {
+	var page api.JobList
+	err := c.do(ctx, http.MethodGet, "/v1/jobs"+opts.query(), nil, &page)
+	return page, err
+}
+
+// Jobs iterates every job matching opts, fetching pages as needed —
+// range over it and stop early whenever you like:
+//
+//	for st, err := range c.Jobs(ctx, client.ListJobsOptions{}) {
+//		if err != nil { ... }
+//	}
+//
+// A transport or server error is yielded once as the final element.
+func (c *Client) Jobs(ctx context.Context, opts ListJobsOptions) iter.Seq2[api.JobStatus, error] {
+	return func(yield func(api.JobStatus, error) bool) {
+		for {
+			page, err := c.ListJobs(ctx, opts)
+			if err != nil {
+				yield(api.JobStatus{}, err)
+				return
+			}
+			for _, st := range page.Jobs {
+				if !yield(st, nil) {
+					return
+				}
+			}
+			if page.NextPageToken == "" {
+				return
+			}
+			opts.PageToken = page.NextPageToken
+		}
+	}
+}
+
+// Queries lists every live query state.
+func (c *Client) Queries(ctx context.Context) ([]api.QueryState, error) {
+	var list api.QueryList
+	err := c.do(ctx, http.MethodGet, "/v1/queries", nil, &list)
+	return list.Queries, err
+}
+
+// Query fetches one query's live state.
+func (c *Client) Query(ctx context.Context, name string) (api.QueryState, error) {
+	var st api.QueryState
+	err := c.do(ctx, http.MethodGet, "/v1/queries/"+url.PathEscape(name), nil, &st)
+	return st, err
+}
+
+// SchedulerState reports the cross-query scheduler's batching, cache
+// and budget state.
+func (c *Client) SchedulerState(ctx context.Context) (api.SchedulerState, error) {
+	var st api.SchedulerState
+	err := c.do(ctx, http.MethodGet, "/v1/scheduler", nil, &st)
+	return st, err
+}
+
+// Metrics fetches the operational counters.
+func (c *Client) Metrics(ctx context.Context) (api.Metrics, error) {
+	var m api.Metrics
+	err := c.do(ctx, http.MethodGet, "/v1/metrics", nil, &m)
+	return m, err
+}
+
+// Health probes liveness.
+func (c *Client) Health(ctx context.Context) (api.Health, error) {
+	var h api.Health
+	err := c.do(ctx, http.MethodGet, "/v1/healthz", nil, &h)
+	return h, err
+}

@@ -1,0 +1,152 @@
+// WatchQuery: the SDK side of GET /v1/queries/{name}/events. The SSE
+// stream is parsed into QueryEvents delivered on a channel, so callers
+// consume the paper's Figure 4 live view with a plain range loop.
+package client
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+
+	"cdas/api"
+)
+
+// QueryEvent is one delivery from WatchQuery's channel.
+type QueryEvent struct {
+	// ID is the state's revision number (the SSE event id).
+	ID int64
+	// Type is api.EventState for intermediate revisions and
+	// api.EventDone for the terminal one.
+	Type string
+	// State is the query state carried by the event.
+	State api.QueryState
+	// Err, when non-nil, reports why the watch ended early (transport
+	// drop, decode failure, cancelled context). It is always the last
+	// event on the channel.
+	Err error
+}
+
+// WatchOptions tunes WatchQuery.
+type WatchOptions struct {
+	// LastEventID resumes a watch: the server suppresses the initial
+	// replay when the client proves it has already seen this revision.
+	LastEventID int64
+}
+
+// WatchQuery subscribes to a query's SSE stream and returns a channel
+// of its state revisions. The channel closes after the terminal "done"
+// event, after a delivery with Err set, or once ctx is cancelled; the
+// caller should consume until close. The first delivery is the current
+// state (unless suppressed via WatchOptions.LastEventID), so a watcher
+// renders immediately instead of waiting for the next answer batch.
+func (c *Client) WatchQuery(ctx context.Context, name string, opts ...WatchOptions) (<-chan QueryEvent, error) {
+	path := "/v1/queries/" + url.PathEscape(name) + "/events"
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.baseURL+path, nil)
+	if err != nil {
+		return nil, fmt.Errorf("client: building watch request: %w", err)
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	req.Header.Set("Cache-Control", "no-cache")
+	for _, o := range opts {
+		if o.LastEventID > 0 {
+			req.Header.Set("Last-Event-ID", strconv.FormatInt(o.LastEventID, 10))
+		}
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("client: watch %s: %w", name, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		defer resp.Body.Close()
+		return nil, decodeError(resp)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/event-stream") {
+		resp.Body.Close()
+		return nil, fmt.Errorf("client: watch %s: unexpected Content-Type %q", name, ct)
+	}
+
+	out := make(chan QueryEvent)
+	go func() {
+		defer close(out)
+		defer resp.Body.Close()
+		err := parseSSE(resp.Body, func(ev QueryEvent) bool {
+			select {
+			case out <- ev:
+			case <-ctx.Done():
+				return false
+			}
+			return ev.Type != api.EventDone
+		})
+		if err != nil && ctx.Err() == nil {
+			select {
+			case out <- QueryEvent{Err: err}:
+			case <-ctx.Done():
+			}
+		}
+	}()
+	return out, nil
+}
+
+// parseSSE reads text/event-stream frames, invoking emit per complete
+// event until emit returns false, the stream ends, or a frame fails to
+// decode. A clean EOF (server closed after "done") returns nil.
+func parseSSE(r io.Reader, emit func(QueryEvent) bool) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	var id int64
+	var kind, data string
+	flush := func() (bool, error) {
+		if data == "" {
+			return true, nil // comment-only or empty frame: keep-alive
+		}
+		ev := QueryEvent{ID: id, Type: kind}
+		if ev.Type == "" {
+			ev.Type = api.EventState
+		}
+		if err := json.Unmarshal([]byte(data), &ev.State); err != nil {
+			return false, fmt.Errorf("client: decoding SSE data: %w", err)
+		}
+		keep := emit(ev)
+		kind, data = "", ""
+		return keep, nil
+	}
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == "":
+			keep, err := flush()
+			if err != nil {
+				return err
+			}
+			if !keep {
+				return nil
+			}
+		case strings.HasPrefix(line, ":"):
+			// comment / heartbeat
+		case strings.HasPrefix(line, "id:"):
+			v, err := strconv.ParseInt(strings.TrimSpace(line[3:]), 10, 64)
+			if err == nil {
+				id = v
+			}
+		case strings.HasPrefix(line, "event:"):
+			kind = strings.TrimSpace(line[6:])
+		case strings.HasPrefix(line, "data:"):
+			if data != "" {
+				data += "\n"
+			}
+			data += strings.TrimPrefix(line[5:], " ")
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("client: reading SSE stream: %w", err)
+	}
+	// Trailing frame without a blank line (server closed right after).
+	_, err := flush()
+	return err
+}

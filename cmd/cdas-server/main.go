@@ -15,16 +15,24 @@
 //	            [-store DIR] [-dispatchers 2] [-demo]
 //	            [-budget 0] [-dedup=true]
 //
-// HTTP API:
+// HTTP API (v1; see api/openapi.yaml for the wire contract and
+// cmd/cdasctl for the CLI speaking it):
 //
-//	POST   /jobs               submit a job (JSON body, see httpapi.JobSubmission)
-//	GET    /jobs               all job lifecycle records
-//	GET    /jobs/{name}        one job's state, progress, cost and live results
-//	DELETE /jobs/{name}        cancel a pending, parked or running job
-//	POST   /jobs/{name}/unpark resume a budget-parked job
-//	GET    /                   HTML results overview
-//	GET    /api/metrics        operational counters
-//	GET    /api/scheduler      scheduler batching, cache and budget state
+//	POST   /v1/jobs                   submit a job (JSON body, see api.JobSubmission)
+//	GET    /v1/jobs                   paginated, filterable job list
+//	GET    /v1/jobs/{name}            one job's state, progress, cost and live results
+//	DELETE /v1/jobs/{name}            cancel a pending, parked or running job
+//	POST   /v1/jobs/{name}:unpark     resume a budget-parked job
+//	GET    /v1/queries                all live query states
+//	GET    /v1/queries/{name}         one query's state
+//	GET    /v1/queries/{name}/events  SSE stream of live result revisions
+//	GET    /v1/scheduler              scheduler batching, cache and budget state
+//	GET    /v1/metrics                operational counters
+//	GET    /v1/healthz                liveness probe
+//	GET    /                          HTML results overview
+//
+// The pre-v1 routes (/jobs..., /api/...) stay mounted as deprecated
+// aliases with a Deprecation header.
 package main
 
 import (
@@ -32,7 +40,6 @@ import (
 	"errors"
 	"flag"
 	"log"
-	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
@@ -110,6 +117,7 @@ func run(addr string, seed uint64, accuracy float64, inflight int, store string,
 	}
 
 	api := httpapi.NewServer()
+	api.SetLogf(log.Printf)
 	sched, err := scheduler.New(scheduler.Config{
 		Platform: engine.CrowdPlatform{Platform: platform},
 		Engine: engine.Config{
@@ -172,7 +180,9 @@ func run(addr string, seed uint64, accuracy float64, inflight int, store string,
 		}
 	}
 
-	server := &http.Server{Addr: addr, Handler: api.Handler()}
+	// NewHTTPServer's timeouts are SSE-aware: header/idle deadlines
+	// bound abuse without severing long-lived event streams.
+	server := httpapi.NewHTTPServer(addr, api.Handler())
 	errc := make(chan error, 1)
 	go func() { errc <- server.ListenAndServe() }()
 	log.Printf("cdas-server: serving the CDAS job service on %s (store=%q, %d dispatchers, dedup=%v, budget=%v)",

@@ -1,0 +1,257 @@
+// Command cdasctl is the CDAS control CLI. It is built exclusively on
+// the cdas/client SDK — every subcommand is one or two SDK calls, which
+// keeps the CLI honest as a proof that the v1 wire contract is complete.
+//
+// Usage:
+//
+//	cdasctl [-server http://localhost:8080] <command> [flags] [args]
+//
+// Commands:
+//
+//	submit     register a job (-name, -keywords, -domain, -accuracy, -window, ...)
+//	get        print one job's record               (cdasctl get NAME)
+//	list       list jobs (-state filter, -limit page size; auto-paginates)
+//	cancel     cancel a pending, parked or running job
+//	unpark     resume a budget-parked job
+//	watch      stream a query's live results over SSE until it finishes
+//	queries    list live query states
+//	scheduler  print the cross-query scheduler state
+//	metrics    print the operational counters
+//	health     probe the server
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"text/tabwriter"
+
+	"cdas/api"
+	"cdas/client"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run executes one invocation; it is main minus the process exit, so
+// tests drive the CLI in-process against httptest servers.
+func run(argv []string, stdout, stderr io.Writer) int {
+	global := flag.NewFlagSet("cdasctl", flag.ContinueOnError)
+	global.SetOutput(stderr)
+	server := global.String("server", envOr("CDAS_SERVER", "http://localhost:8080"), "CDAS server base URL")
+	global.Usage = func() {
+		fmt.Fprintln(stderr, "usage: cdasctl [-server URL] <command> [flags] [args]")
+		fmt.Fprintln(stderr, "commands: submit, get, list, cancel, unpark, watch, queries, scheduler, metrics, health")
+		global.PrintDefaults()
+	}
+	if err := global.Parse(argv); err != nil {
+		return 2
+	}
+	rest := global.Args()
+	if len(rest) == 0 {
+		global.Usage()
+		return 2
+	}
+	c := client.New(*server)
+	ctx := context.Background()
+	cmd, args := rest[0], rest[1:]
+	var err error
+	switch cmd {
+	case "submit":
+		err = cmdSubmit(ctx, c, args, stdout, stderr)
+	case "get":
+		err = oneJob(args, func(name string) (api.JobStatus, error) { return c.Job(ctx, name) }, stdout)
+	case "cancel":
+		err = oneJob(args, func(name string) (api.JobStatus, error) { return c.CancelJob(ctx, name) }, stdout)
+	case "unpark":
+		err = oneJob(args, func(name string) (api.JobStatus, error) { return c.UnparkJob(ctx, name) }, stdout)
+	case "list":
+		err = cmdList(ctx, c, args, stdout, stderr)
+	case "watch":
+		err = cmdWatch(ctx, c, args, stdout)
+	case "queries":
+		err = printJSON(stdout)(c.Queries(ctx))
+	case "scheduler":
+		err = printJSON(stdout)(c.SchedulerState(ctx))
+	case "metrics":
+		err = printJSON(stdout)(c.Metrics(ctx))
+	case "health":
+		err = printJSON(stdout)(c.Health(ctx))
+	default:
+		fmt.Fprintf(stderr, "cdasctl: unknown command %q\n", cmd)
+		global.Usage()
+		return 2
+	}
+	if err != nil {
+		fmt.Fprintf(stderr, "cdasctl: %v\n", err)
+		return 1
+	}
+	return 0
+}
+
+func envOr(key, fallback string) string {
+	if v := os.Getenv(key); v != "" {
+		return v
+	}
+	return fallback
+}
+
+// printJSON adapts any (value, error) SDK result into pretty JSON on w.
+func printJSON(w io.Writer) func(v any, err error) error {
+	return func(v any, err error) error {
+		if err != nil {
+			return err
+		}
+		b, err := json.MarshalIndent(v, "", "  ")
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, string(b))
+		return nil
+	}
+}
+
+// oneJob runs a single-name SDK call (get/cancel/unpark) and prints the
+// resulting record.
+func oneJob(args []string, call func(name string) (api.JobStatus, error), stdout io.Writer) error {
+	if len(args) != 1 {
+		return fmt.Errorf("expected exactly one job name, got %d args", len(args))
+	}
+	st, err := call(args[0])
+	if err != nil {
+		return err
+	}
+	return printJSON(stdout)(st, nil)
+}
+
+func cmdSubmit(ctx context.Context, c *client.Client, args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("submit", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		name     = fs.String("name", "", "job name (required)")
+		kind     = fs.String("kind", "tsa", "job kind")
+		keywords = fs.String("keywords", "", "comma-separated filter keywords (required)")
+		domain   = fs.String("domain", "Positive,Neutral,Negative", "comma-separated answer domain")
+		accuracy = fs.Float64("accuracy", 0.9, "required accuracy C in (0,1)")
+		window   = fs.String("window", "24h", "query window w (Go duration)")
+		start    = fs.String("start", "", "query timestamp t (RFC 3339; empty = now)")
+		priority = fs.Int("priority", 0, "budget-admission priority (higher first)")
+		budget   = fs.Float64("budget", 0, "crowd-spend cap (0 = unlimited)")
+		watch    = fs.Bool("watch", false, "stream the query's live results after submitting")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *name == "" || *keywords == "" {
+		return fmt.Errorf("submit needs -name and -keywords")
+	}
+	st, err := c.SubmitJob(ctx, api.JobSubmission{
+		Name:             *name,
+		Kind:             *kind,
+		Keywords:         splitList(*keywords),
+		RequiredAccuracy: *accuracy,
+		Domain:           splitList(*domain),
+		Start:            *start,
+		Window:           *window,
+		Priority:         *priority,
+		Budget:           *budget,
+	})
+	if err != nil {
+		return err
+	}
+	if err := printJSON(stdout)(st, nil); err != nil {
+		return err
+	}
+	if *watch {
+		return watchQuery(ctx, c, *name, stdout)
+	}
+	return nil
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+func cmdList(ctx context.Context, c *client.Client, args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("list", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	state := fs.String("state", "", "filter by lifecycle state (pending, running, parked, done, failed, cancelled)")
+	limit := fs.Int("limit", 0, "page size hint (the iterator still fetches every page)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	opts := client.ListJobsOptions{Limit: *limit, State: api.JobState(*state)}
+	tw := newTabWriter(stdout)
+	fmt.Fprintln(tw, "NAME\tSTATE\tPROGRESS\tCOST\tATTEMPTS\tERROR")
+	n := 0
+	for st, err := range c.Jobs(ctx, opts) {
+		if err != nil {
+			tw.Flush()
+			return err
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%.0f%%\t%.3f\t%d\t%s\n",
+			st.Name, st.State, st.Progress*100, st.Cost, st.Attempts, st.Error)
+		n++
+	}
+	tw.Flush()
+	fmt.Fprintf(stdout, "%d job(s)\n", n)
+	return nil
+}
+
+func newTabWriter(w io.Writer) *tabwriter.Writer {
+	return tabwriter.NewWriter(w, 0, 4, 2, ' ', 0)
+}
+
+func cmdWatch(ctx context.Context, c *client.Client, args []string, stdout io.Writer) error {
+	if len(args) != 1 {
+		return fmt.Errorf("expected exactly one query name, got %d args", len(args))
+	}
+	return watchQuery(ctx, c, args[0], stdout)
+}
+
+// watchQuery streams SSE events, rendering one line per revision until
+// the terminal event arrives.
+func watchQuery(ctx context.Context, c *client.Client, name string, stdout io.Writer) error {
+	events, err := c.WatchQuery(ctx, name)
+	if err != nil {
+		return err
+	}
+	for ev := range events {
+		if ev.Err != nil {
+			return ev.Err
+		}
+		fmt.Fprintf(stdout, "%s rev=%d progress=%.1f%% items=%d%s\n",
+			ev.Type, ev.ID, ev.State.Progress*100, ev.State.Items, formatPercentages(ev.State))
+		if ev.Type == api.EventDone {
+			if ev.State.Error != "" {
+				return fmt.Errorf("query %q finished with error: %s", name, ev.State.Error)
+			}
+			return nil
+		}
+	}
+	return fmt.Errorf("watch %q: stream ended before the terminal event", name)
+}
+
+func formatPercentages(st api.QueryState) string {
+	if len(st.Percentages) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	for _, d := range st.Domain {
+		if p, ok := st.Percentages[d]; ok {
+			fmt.Fprintf(&b, " %s=%.1f%%", d, p*100)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,219 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"cdas/api"
+	"cdas/internal/exec"
+	"cdas/internal/httpapi"
+	"cdas/internal/jobs"
+	"cdas/internal/metrics"
+)
+
+// smokeBackend is a real job service + API server whose runner
+// publishes two query-state revisions (intermediate, then done) before
+// completing — enough for watch to see a live stream.
+func smokeBackend(t *testing.T) *httptest.Server {
+	t.Helper()
+	svc, err := jobs.OpenService(jobs.ServiceConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { svc.Close() })
+	srv := httpapi.NewServer()
+	var mu sync.Mutex
+	blocked := make(map[string]chan struct{})
+	gate := func(name string) chan struct{} {
+		mu.Lock()
+		defer mu.Unlock()
+		if _, ok := blocked[name]; !ok {
+			blocked[name] = make(chan struct{})
+		}
+		return blocked[name]
+	}
+	disp, err := jobs.NewDispatcher(svc, func(ctx context.Context, job jobs.Job, report func(float64, float64)) error {
+		pct := make(map[string]float64, len(job.Query.Domain))
+		for i, d := range job.Query.Domain {
+			if i == 0 {
+				pct[d] = 1
+			} else {
+				pct[d] = 0
+			}
+		}
+		sum := exec.Summary{Domain: job.Query.Domain, Percentages: pct, Items: 10}
+		srv.UpdateFromSummary(job.Name, sum, 0.5, false)
+		report(0.5, 0.1)
+		if strings.HasPrefix(job.Name, "held-") {
+			select {
+			case <-gate(job.Name):
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+		}
+		sum.Items = 20
+		srv.UpdateFromSummary(job.Name, sum, 1, true)
+		report(1, 0.2)
+		return nil
+	}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	disp.Start()
+	t.Cleanup(disp.Stop)
+	srv.SetJobs(disp)
+	srv.SetCounters(metrics.NewRegistry())
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// ctl runs one CLI invocation in-process and returns exit code, stdout
+// and stderr.
+func ctl(t *testing.T, server string, args ...string) (int, string, string) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	code := run(append([]string{"-server", server}, args...), &stdout, &stderr)
+	return code, stdout.String(), stderr.String()
+}
+
+// TestCtlSmoke is the CI smoke: submit → watch → list → get → cancel,
+// all through the SDK-backed CLI against a live server.
+func TestCtlSmoke(t *testing.T) {
+	ts := smokeBackend(t)
+
+	// submit -watch streams the live view through to the done event.
+	code, out, errOut := ctl(t, ts.URL, "submit",
+		"-name", "panda", "-keywords", "Kung Fu Panda 2", "-domain", "pos,neu,neg",
+		"-accuracy", "0.9", "-window", "24h", "-watch")
+	if code != 0 {
+		t.Fatalf("submit -watch exited %d: %s", code, errOut)
+	}
+	var st api.JobStatus
+	// The first JSON object on stdout is the submitted record.
+	dec := json.NewDecoder(strings.NewReader(out))
+	if err := dec.Decode(&st); err != nil {
+		t.Fatalf("submit output not a JobStatus: %v\n%s", err, out)
+	}
+	if st.Name != "panda" {
+		t.Errorf("submitted job = %+v", st)
+	}
+	if !strings.Contains(out, "done rev=") {
+		t.Errorf("watch output missing the terminal done event:\n%s", out)
+	}
+
+	// A held job stays running so cancel lands mid-flight.
+	if code, _, errOut := ctl(t, ts.URL, "submit",
+		"-name", "held-thor", "-keywords", "Thor"); code != 0 {
+		t.Fatalf("submit held-thor exited %d: %s", code, errOut)
+	}
+
+	// get shows the record; list shows both jobs.
+	code, out, errOut = ctl(t, ts.URL, "get", "panda")
+	if code != 0 || !strings.Contains(out, `"state": "done"`) {
+		t.Errorf("get exited %d: %s / %s", code, out, errOut)
+	}
+	code, out, _ = ctl(t, ts.URL, "list")
+	if code != 0 {
+		t.Fatalf("list exited %d", code)
+	}
+	if !strings.Contains(out, "panda") || !strings.Contains(out, "held-thor") {
+		t.Errorf("list output:\n%s", out)
+	}
+	if !strings.Contains(out, "2 job(s)") {
+		t.Errorf("list count missing:\n%s", out)
+	}
+	// list -state filters.
+	code, out, _ = ctl(t, ts.URL, "list", "-state", "done")
+	if code != 0 || strings.Contains(out, "held-thor") || !strings.Contains(out, "panda") {
+		t.Errorf("filtered list (%d):\n%s", code, out)
+	}
+
+	// watch an already-finished query: the replay alone carries the
+	// terminal event, with the per-answer percentages rendered.
+	code, out, errOut = ctl(t, ts.URL, "watch", "panda")
+	if code != 0 {
+		t.Fatalf("watch exited %d: %s", code, errOut)
+	}
+	if !strings.Contains(out, "done rev=") || !strings.Contains(out, "pos=") {
+		t.Errorf("watch replay output:\n%s", out)
+	}
+
+	// cancel the held job.
+	code, out, errOut = ctl(t, ts.URL, "cancel", "held-thor")
+	if code != 0 {
+		t.Fatalf("cancel exited %d: %s", code, errOut)
+	}
+
+	// health round-trips.
+	code, out, _ = ctl(t, ts.URL, "health")
+	if code != 0 || !strings.Contains(out, `"status": "ok"`) {
+		t.Errorf("health (%d):\n%s", code, out)
+	}
+	// metrics and queries don't error.
+	if code, _, errOut := ctl(t, ts.URL, "metrics"); code != 0 {
+		t.Errorf("metrics exited %d: %s", code, errOut)
+	}
+	if code, _, errOut := ctl(t, ts.URL, "queries"); code != 0 {
+		t.Errorf("queries exited %d: %s", code, errOut)
+	}
+}
+
+// TestCtlErrors: server-side envelopes surface as exit 1 with the typed
+// message; usage errors exit 2.
+func TestCtlErrors(t *testing.T) {
+	ts := smokeBackend(t)
+
+	code, _, errOut := ctl(t, ts.URL, "get", "nope")
+	if code != 1 || !strings.Contains(errOut, "not_found") {
+		t.Errorf("get nope = %d / %s", code, errOut)
+	}
+	code, _, errOut = ctl(t, ts.URL, "submit", "-name", "x")
+	if code != 1 || !strings.Contains(errOut, "-keywords") {
+		t.Errorf("submit without keywords = %d / %s", code, errOut)
+	}
+	if code, _, _ := ctl(t, ts.URL, "frobnicate"); code != 2 {
+		t.Errorf("unknown command exited %d, want 2", code)
+	}
+	if code, _, _ := ctl(t, ts.URL); code != 2 {
+		t.Errorf("no command exited %d, want 2", code)
+	}
+	// scheduler without one attached: unavailable envelope.
+	code, _, errOut = ctl(t, ts.URL, "scheduler")
+	if code != 1 || !strings.Contains(errOut, "unavailable") {
+		t.Errorf("scheduler = %d / %s", code, errOut)
+	}
+	// unpark a job that isn't parked: conflict envelope.
+	if code, _, errOut := ctl(t, ts.URL, "unpark", "ghost"); code != 1 || !strings.Contains(errOut, "not_found") {
+		t.Errorf("unpark ghost = %d / %s", code, errOut)
+	}
+	// watch an unknown query: the subscribe itself 404s.
+	if code, _, errOut := ctl(t, ts.URL, "watch", "ghost"); code != 1 || !strings.Contains(errOut, "not_found") {
+		t.Errorf("watch ghost = %d / %s", code, errOut)
+	}
+	// arity errors.
+	if code, _, _ := ctl(t, ts.URL, "watch"); code != 1 {
+		t.Errorf("watch without a name exited %d, want 1", code)
+	}
+	if code, _, _ := ctl(t, ts.URL, "get", "a", "b"); code != 1 {
+		t.Errorf("get with two names exited %d, want 1", code)
+	}
+}
+
+// TestCtlServerFromEnv: CDAS_SERVER supplies the default base URL.
+func TestCtlServerFromEnv(t *testing.T) {
+	ts := smokeBackend(t)
+	t.Setenv("CDAS_SERVER", ts.URL)
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"health"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("health via CDAS_SERVER exited %d: %s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), `"status": "ok"`) {
+		t.Errorf("health output:\n%s", stdout.String())
+	}
+}

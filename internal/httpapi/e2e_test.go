@@ -11,6 +11,7 @@ import (
 	"testing"
 	"time"
 
+	"cdas/api"
 	"cdas/internal/jobs"
 	"cdas/internal/metrics"
 )
@@ -123,7 +124,7 @@ func (h *e2eHarness) waitCond(name, what string, cond func(JobStatus) bool) JobS
 	return JobStatus{}
 }
 
-func (h *e2eHarness) waitState(name string, want jobs.State) JobStatus {
+func (h *e2eHarness) waitState(name string, want api.JobState) JobStatus {
 	h.t.Helper()
 	return h.waitCond(name, string(want), func(st JobStatus) bool { return st.State == want })
 }
@@ -161,10 +162,10 @@ func TestJobServiceEndToEnd(t *testing.T) {
 		t.Fatal(err)
 	}
 	disp.Start()
-	api := NewServer()
-	api.SetJobs(disp)
-	api.SetCounters(reg)
-	ts := httptest.NewServer(api.Handler())
+	srv := NewServer()
+	srv.SetJobs(disp)
+	srv.SetCounters(reg)
+	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 	h := &e2eHarness{t: t, ts: ts, client: ts.Client()}
 
@@ -177,13 +178,13 @@ func TestJobServiceEndToEnd(t *testing.T) {
 		t.Errorf("Location = %q", loc)
 	}
 	st := h.waitCond("alpha", "running with progress", func(st JobStatus) bool {
-		return st.State == jobs.StateRunning && st.Progress > 0
+		return st.State == api.JobRunning && st.Progress > 0
 	})
 	if st.Progress != 0.5 || st.Cost != 1.25 {
 		t.Errorf("alpha mid-run: progress %v cost %v, want 0.5 / 1.25", st.Progress, st.Cost)
 	}
 	close(runner.gate("alpha"))
-	st = h.waitState("alpha", jobs.StateDone)
+	st = h.waitState("alpha", api.JobDone)
 	if st.Progress != 1 || st.Cost != 2.5 || st.Attempts != 1 {
 		t.Errorf("alpha done: %+v", st)
 	}
@@ -227,7 +228,7 @@ func TestJobServiceEndToEnd(t *testing.T) {
 		t.Errorf("GET escaped name = %d, want 200", code)
 	}
 	close(runner.gate("spaced name"))
-	h.waitState("spaced name", jobs.StateDone)
+	h.waitState("spaced name", api.JobDone)
 
 	// Cancel beta mid-flight.
 	if resp, body := h.do(http.MethodPost, "/jobs", submission("beta")); resp.StatusCode != http.StatusCreated {
@@ -237,12 +238,12 @@ func TestJobServiceEndToEnd(t *testing.T) {
 	// DELETE in the claim-to-start window cancels before execution and
 	// legitimately charges nothing).
 	h.waitCond("beta", "running with progress", func(st JobStatus) bool {
-		return st.State == jobs.StateRunning && st.Progress > 0
+		return st.State == api.JobRunning && st.Progress > 0
 	})
 	if resp, body := h.do(http.MethodDelete, "/jobs/beta", nil); resp.StatusCode != http.StatusOK {
 		t.Fatalf("DELETE beta = %d (%s)", resp.StatusCode, body)
 	}
-	st = h.waitState("beta", jobs.StateCancelled)
+	st = h.waitState("beta", api.JobCancelled)
 	if st.Cost != 1.25 {
 		t.Errorf("beta kept cost %v, want the 1.25 charged before cancel", st.Cost)
 	}
@@ -258,7 +259,7 @@ func TestJobServiceEndToEnd(t *testing.T) {
 	// Wait for the progress event too: its WAL commit is what the
 	// post-restart cost assertion depends on.
 	h.waitCond("gamma", "running with progress", func(st JobStatus) bool {
-		return st.State == jobs.StateRunning && st.Progress > 0
+		return st.State == api.JobRunning && st.Progress > 0
 	})
 
 	// Metrics are served.
@@ -296,15 +297,15 @@ func TestJobServiceEndToEnd(t *testing.T) {
 	}
 	disp2.Start()
 	defer disp2.Stop()
-	api2 := NewServer()
-	api2.SetJobs(disp2)
-	ts2 := httptest.NewServer(api2.Handler())
+	srv2 := NewServer()
+	srv2.SetJobs(disp2)
+	ts2 := httptest.NewServer(srv2.Handler())
 	defer ts2.Close()
 	h2 := &e2eHarness{t: t, ts: ts2, client: ts2.Client()}
 
 	// The interrupted job resumes and completes; costs accumulate
 	// across the crash (1.25 charged pre-crash + 2.5 in the rerun).
-	st = h2.waitState("gamma", jobs.StateDone)
+	st = h2.waitState("gamma", api.JobDone)
 	if st.Attempts != 2 {
 		t.Errorf("gamma attempts = %d, want 2 (one per incarnation)", st.Attempts)
 	}
@@ -316,11 +317,11 @@ func TestJobServiceEndToEnd(t *testing.T) {
 	// cost, beta stays Cancelled, and the new incarnation's runner only
 	// ever executed gamma.
 	st, _ = h2.jobStatus("alpha")
-	if st.State != jobs.StateDone || st.Cost != 2.5 || st.Attempts != 1 {
+	if st.State != api.JobDone || st.Cost != 2.5 || st.Attempts != 1 {
 		t.Errorf("alpha after restart: %+v", st)
 	}
 	st, _ = h2.jobStatus("beta")
-	if st.State != jobs.StateCancelled {
+	if st.State != api.JobCancelled {
 		t.Errorf("beta after restart: %+v", st)
 	}
 	for _, name := range []string{"alpha", "beta"} {
@@ -341,13 +342,13 @@ func TestJobServiceEndToEnd(t *testing.T) {
 	if err := json.Unmarshal(body, &all); err != nil {
 		t.Fatal(err)
 	}
-	states := map[string]jobs.State{}
+	states := map[string]api.JobState{}
 	for _, js := range all {
 		states[js.Name] = js.State
 	}
-	want := map[string]jobs.State{
-		"alpha": jobs.StateDone, "beta": jobs.StateCancelled,
-		"gamma": jobs.StateDone, "spaced name": jobs.StateDone,
+	want := map[string]api.JobState{
+		"alpha": api.JobDone, "beta": api.JobCancelled,
+		"gamma": api.JobDone, "spaced name": api.JobDone,
 	}
 	if fmt.Sprint(states) != fmt.Sprint(want) {
 		t.Errorf("states after restart = %v, want %v", states, want)

@@ -41,10 +41,8 @@ type goldenScheduler struct{ st scheduler.State }
 
 func (g goldenScheduler) State() scheduler.State { return g.st }
 
-// goldenServer assembles a Server whose every route renders from fixed
-// inputs, so response bodies are byte-stable.
-func goldenServer() *Server {
-	s := NewServer()
+// goldenStatuses is the fixed job-record set behind the golden servers.
+func goldenStatuses() []jobs.Status {
 	start := time.Date(2011, 10, 1, 0, 0, 0, 0, time.UTC)
 	query := jobs.Query{
 		Keywords:         []string{"Kung Fu Panda 2"},
@@ -53,7 +51,7 @@ func goldenServer() *Server {
 		Start:            start,
 		Window:           24 * time.Hour,
 	}
-	s.SetJobs(&goldenController{statuses: []jobs.Status{
+	return []jobs.Status{
 		{
 			Job:      jobs.Job{Name: "panda", Kind: jobs.KindTSA, Query: query, Priority: 2, Budget: 1.5},
 			State:    jobs.StateRunning,
@@ -73,7 +71,14 @@ func goldenServer() *Server {
 			Cost:     0.8,
 			Error:    "run: platform exhausted",
 		},
-	}})
+	}
+}
+
+// goldenServer assembles a Server whose every route renders from fixed
+// inputs, so response bodies are byte-stable.
+func goldenServer() *Server {
+	s := NewServer()
+	s.SetJobs(&goldenController{statuses: goldenStatuses()})
 	reg := metrics.NewRegistry()
 	reg.Add(metrics.CounterJobsSubmitted, 3)
 	reg.Add(metrics.CounterJobsStarted, 2)

@@ -1,6 +1,14 @@
 // Package httpapi serves CDAS results over HTTP in the style of the
 // paper's Figure 4: a query's running percentages, reason keywords and
 // HIT progress, refreshed as the crowdsourcing engine accepts answers.
+//
+// The public surface is the versioned /v1 API (v1.go): resource-oriented
+// routes speaking the typed wire contract of the top-level api package,
+// structured api.Error envelopes on every error path, pagination on job
+// lists, and an SSE stream pushing each QueryState revision as answers
+// arrive (sse.go). The pre-v1 routes remain mounted as thin deprecated
+// aliases (a Deprecation header points at the successor) so existing
+// consumers keep working.
 package httpapi
 
 import (
@@ -11,50 +19,66 @@ import (
 	"sort"
 	"sync"
 
+	"cdas/api"
 	"cdas/internal/engine"
 	"cdas/internal/exec"
 	"cdas/internal/metrics"
 )
 
-// QueryState is the live presentation of one registered query.
-type QueryState struct {
-	Name        string              `json:"name"`
-	Domain      []string            `json:"domain"`
-	Percentages map[string]float64  `json:"percentages"`
-	Reasons     map[string][]string `json:"reasons"`
-	Items       int                 `json:"items"`
-	// Progress of the crowdsourcing job in [0, 1].
-	Progress float64 `json:"progress"`
-	// Done marks a finished job — successfully completed, failed or
-	// cancelled; Error distinguishes the unhappy endings.
-	Done bool `json:"done"`
-	// Error carries the failure when a followed stream ended with one;
-	// empty for healthy queries.
-	Error string `json:"error,omitempty"`
-}
+// QueryState is the live presentation of one registered query. It is
+// the api.QueryState wire type: the dashboard, the SSE stream and the
+// v1 routes all serve exactly what the contract declares.
+type QueryState = api.QueryState
 
 // Server holds query states and exposes them over HTTP. It is safe for
 // concurrent use. Attach a job service with SetJobs to enable the write
-// API (POST/GET/DELETE /jobs) and a counter registry with SetCounters
-// for GET /api/metrics.
+// API (POST/GET/DELETE jobs) and a counter registry with SetCounters
+// for the metrics routes.
 type Server struct {
 	mu       sync.RWMutex
 	queries  map[string]QueryState
+	revs     map[string]int64
+	subs     map[string]map[*subscriber]struct{}
 	jobsCtl  JobController
 	counters *metrics.Registry
 	sched    SchedulerReporter
+	logf     func(format string, args ...any)
 }
 
 // NewServer returns an empty Server.
 func NewServer() *Server {
-	return &Server{queries: make(map[string]QueryState)}
+	return &Server{
+		queries: make(map[string]QueryState),
+		revs:    make(map[string]int64),
+		subs:    make(map[string]map[*subscriber]struct{}),
+	}
 }
 
-// Update publishes (or replaces) a query's state.
+// SetLogf attaches an access/error logger (log.Printf-shaped). A Server
+// without one stays silent.
+func (s *Server) SetLogf(logf func(format string, args ...any)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.logf = logf
+}
+
+func (s *Server) logfn() func(format string, args ...any) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.logf
+}
+
+// Update publishes (or replaces) a query's state and fans the new
+// revision out to every SSE subscriber of that query.
 func (s *Server) Update(st QueryState) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.queries[st.Name] = st
+	s.revs[st.Name]++
+	ev := event{rev: s.revs[st.Name], state: st}
+	for sub := range s.subs[st.Name] {
+		sub.push(ev)
+	}
 }
 
 // UpdateFromSummary is a convenience wrapper building a QueryState from
@@ -149,31 +173,50 @@ func (s *Server) Names() []string {
 	return out
 }
 
-// Handler returns the HTTP handler:
+// Handler returns the HTTP handler. The v1 surface (see v1.go):
 //
-//	GET /                 HTML overview (Figure 4 style)
-//	GET /api/queries      JSON list of query names
-//	GET /api/query?name=  JSON state of one query
-//	GET /api/metrics      operational counters (SetCounters)
-//	GET /api/scheduler    cross-query scheduler state (SetScheduler)
-//	POST   /jobs               submit a job (SetJobs)
-//	GET    /jobs               all job lifecycle records
-//	GET    /jobs/{name}        one job's state, progress and live results
-//	DELETE /jobs/{name}        cancel a pending, parked or running job
-//	POST   /jobs/{name}/unpark resume a budget-parked job
+//	POST   /v1/jobs                   submit a job
+//	GET    /v1/jobs                   paginated, filterable job list
+//	GET    /v1/jobs/{name}            one job's record and live results
+//	DELETE /v1/jobs/{name}            cancel a pending, parked or running job
+//	POST   /v1/jobs/{name}:unpark     resume a budget-parked job
+//	GET    /v1/queries                all live query states
+//	GET    /v1/queries/{name}         one query's state
+//	GET    /v1/queries/{name}/events  SSE stream of QueryState revisions
+//	GET    /v1/scheduler              cross-query scheduler state
+//	GET    /v1/metrics                operational counters
+//	GET    /v1/healthz                liveness probe
+//
+// plus GET / (HTML overview) and the deprecated pre-v1 aliases
+// (/api/queries, /api/query, /api/metrics, /api/scheduler, /jobs...),
+// which serve their historical shapes with a Deprecation header.
+// Requests flow through the middleware chain: request ID, panic
+// recovery into a 500 envelope, and optional access logging (SetLogf).
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /api/queries", s.handleList)
-	mux.HandleFunc("GET /api/query", s.handleQuery)
-	mux.HandleFunc("GET /api/metrics", s.handleMetrics)
-	mux.HandleFunc("GET /api/scheduler", s.handleScheduler)
-	mux.HandleFunc("POST /jobs", s.handleSubmitJob)
-	mux.HandleFunc("GET /jobs", s.handleListJobs)
-	mux.HandleFunc("GET /jobs/{name}", s.handleGetJob)
-	mux.HandleFunc("DELETE /jobs/{name}", s.handleCancelJob)
-	mux.HandleFunc("POST /jobs/{name}/unpark", s.handleUnparkJob)
+	s.mountV1(mux)
+	mux.HandleFunc("GET /api/queries", deprecated("/v1/queries", s.handleList))
+	mux.HandleFunc("GET /api/query", deprecated("/v1/queries/{name}", s.handleQuery))
+	mux.HandleFunc("GET /api/metrics", deprecated("/v1/metrics", s.handleMetrics))
+	mux.HandleFunc("GET /api/scheduler", deprecated("/v1/scheduler", s.handleScheduler))
+	mux.HandleFunc("POST /jobs", deprecated("/v1/jobs", s.handleSubmitJob))
+	mux.HandleFunc("GET /jobs", deprecated("/v1/jobs", s.handleListJobs))
+	mux.HandleFunc("GET /jobs/{name}", deprecated("/v1/jobs/{name}", s.handleGetJob))
+	mux.HandleFunc("DELETE /jobs/{name}", deprecated("/v1/jobs/{name}", s.handleCancelJob))
+	mux.HandleFunc("POST /jobs/{name}/unpark", deprecated("/v1/jobs/{name}:unpark", s.handleUnparkJob))
 	mux.HandleFunc("GET /{$}", s.handleIndex)
-	return mux
+	return s.middleware(mux)
+}
+
+// deprecated marks a legacy route: the response carries a Deprecation
+// header (RFC 9745) and a successor-version Link so clients can find
+// the v1 replacement, while the body keeps its historical shape.
+func deprecated(successor string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Deprecation", "true")
+		w.Header().Set("Link", fmt.Sprintf("<%s>; rel=\"successor-version\"", successor))
+		h(w, r)
+	}
 }
 
 func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
@@ -184,7 +227,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	name := r.URL.Query().Get("name")
 	st, ok := s.Get(name)
 	if !ok {
-		http.Error(w, fmt.Sprintf("no such query %q", name), http.StatusNotFound)
+		writeError(w, api.NotFound("no such query %q", name))
 		return
 	}
 	writeJSON(w, st)
@@ -199,7 +242,9 @@ func (s *Server) handleIndex(w http.ResponseWriter, _ *http.Request) {
 	s.mu.RUnlock()
 	w.Header().Set("Content-Type", "text/html; charset=utf-8")
 	if err := indexTemplate.Execute(w, states); err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
+		if logf := s.logfn(); logf != nil {
+			logf("httpapi: rendering index: %v", err)
+		}
 	}
 }
 
@@ -215,13 +260,39 @@ func followProgress(items, totalItems int, complete bool) float64 {
 	return 0
 }
 
+// writeJSON serves v with status 200.
 func writeJSON(w http.ResponseWriter, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(v); err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
+	writeJSONStatus(w, http.StatusOK, v)
+}
+
+// writeJSONStatus marshals v to a buffer before touching the response:
+// an encoding failure yields a clean 500 envelope instead of a partial
+// 200 body followed by an unsendable error.
+func writeJSONStatus(w http.ResponseWriter, status int, v any) {
+	b, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		writeError(w, api.Internal("encoding response: %v", err))
+		return
 	}
+	b = append(b, '\n')
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(b)
+}
+
+// writeError serves a structured api.Error envelope.
+func writeError(w http.ResponseWriter, e *api.Error) {
+	b, err := json.MarshalIndent(api.ErrorResponse{Error: e}, "", "  ")
+	if err != nil {
+		// An Error is all strings and ints; this cannot fail. Keep a
+		// plain-text fallback rather than recursing.
+		http.Error(w, e.Message, e.Status)
+		return
+	}
+	b = append(b, '\n')
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(e.Status)
+	w.Write(b)
 }
 
 var indexTemplate = template.Must(template.New("index").Funcs(template.FuncMap{

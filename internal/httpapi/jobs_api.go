@@ -1,6 +1,8 @@
 // Write API for the durable job service: submit, inspect and cancel
-// analytics jobs over HTTP. This turns the read-only Figure 4 dashboard
-// into the front door of Figure 2's job manager.
+// analytics jobs over HTTP. The DTOs are the cdas/api wire contract;
+// the legacy /jobs routes here serve the same shapes they always did
+// (now with a Deprecation header), while v1.go mounts the versioned
+// successors.
 package httpapi
 
 import (
@@ -10,8 +12,8 @@ import (
 	"net/http"
 	"net/url"
 	"strings"
-	"time"
 
+	"cdas/api"
 	"cdas/internal/jobs"
 	"cdas/internal/metrics"
 )
@@ -35,7 +37,7 @@ func (s *Server) SetJobs(c JobController) {
 }
 
 // SetCounters attaches an operational-counter registry served at
-// GET /api/metrics.
+// GET /v1/metrics (and the deprecated /api/metrics).
 func (s *Server) SetCounters(r *metrics.Registry) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -48,77 +50,21 @@ func (s *Server) jobs() JobController {
 	return s.jobsCtl
 }
 
-// JobSubmission is the POST /jobs request body: the analytics query of
-// Definition 1 plus a name and application kind.
-type JobSubmission struct {
-	Name string `json:"name"`
-	// Kind selects the plan template; default "tsa".
-	Kind             string   `json:"kind"`
-	Keywords         []string `json:"keywords"`
-	RequiredAccuracy float64  `json:"required_accuracy"`
-	Domain           []string `json:"domain"`
-	// Start is the query timestamp t; zero means "now".
-	Start time.Time `json:"start"`
-	// Window is the query window w as a Go duration string ("24h").
-	Window string `json:"window"`
-	// Priority orders budget admission (higher first; default 0).
-	Priority int `json:"priority"`
-	// Budget caps the job's crowd spend (0 = unlimited).
-	Budget float64 `json:"budget"`
-}
+// JobSubmission is the job-submission request body — the api wire type.
+type JobSubmission = api.JobSubmission
 
-// Job converts the submission to a jobs.Job (validation happens at
-// registration).
-func (js JobSubmission) Job() (jobs.Job, error) {
-	window, err := time.ParseDuration(js.Window)
-	if err != nil {
-		return jobs.Job{}, fmt.Errorf("bad window %q: %w", js.Window, err)
-	}
-	kind := jobs.Kind(js.Kind)
-	if js.Kind == "" {
-		kind = jobs.KindTSA
-	}
-	start := js.Start
-	if start.IsZero() {
-		start = time.Now().UTC()
-	}
-	return jobs.Job{
-		Name:     js.Name,
-		Kind:     kind,
-		Priority: js.Priority,
-		Budget:   js.Budget,
-		Query: jobs.Query{
-			Keywords:         js.Keywords,
-			RequiredAccuracy: js.RequiredAccuracy,
-			Domain:           js.Domain,
-			Start:            start,
-			Window:           window,
-		},
-	}, nil
-}
+// JobStatus is the wire form of a job's lifecycle record — the api wire
+// type, with the live query results attached when the run has published
+// any.
+type JobStatus = api.JobStatus
 
-// JobStatus is the wire form of a job's lifecycle record, with the live
-// query results attached when the run has published any.
-type JobStatus struct {
-	Name     string      `json:"name"`
-	Kind     string      `json:"kind"`
-	Keywords []string    `json:"keywords"`
-	State    jobs.State  `json:"state"`
-	Attempts int         `json:"attempts"`
-	Progress float64     `json:"progress"`
-	Cost     float64     `json:"cost"`
-	Priority int         `json:"priority,omitempty"`
-	Budget   float64     `json:"budget,omitempty"`
-	Error    string      `json:"error,omitempty"`
-	Results  *QueryState `json:"results,omitempty"`
-}
-
+// jobStatus renders a lifecycle record onto the wire contract.
 func (s *Server) jobStatus(st jobs.Status) JobStatus {
 	out := JobStatus{
 		Name:     st.Job.Name,
 		Kind:     string(st.Job.Kind),
 		Keywords: st.Job.Query.Keywords,
-		State:    st.State,
+		State:    api.JobState(st.State),
 		Attempts: st.Attempts,
 		Progress: st.Progress,
 		Cost:     st.Cost,
@@ -133,50 +79,57 @@ func (s *Server) jobStatus(st jobs.Status) JobStatus {
 }
 
 func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
-	ctl := s.jobs()
-	if ctl == nil {
-		http.Error(w, "no job service attached", http.StatusServiceUnavailable)
+	s.submitJob(w, r, "/jobs/")
+}
+
+// submitJob is the shared submit implementation; locPrefix distinguishes
+// the v1 and legacy Location headers.
+func (s *Server) submitJob(w http.ResponseWriter, r *http.Request, locPrefix string) {
+	ctl, ok := s.requireJobs(w)
+	if !ok {
 		return
 	}
 	var sub JobSubmission
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&sub); err != nil {
-		http.Error(w, fmt.Sprintf("bad submission: %v", err), http.StatusBadRequest)
+		writeError(w, api.InvalidArgument("bad submission: %v", err))
 		return
 	}
-	job, err := sub.Job()
+	job, err := jobFromSubmission(sub)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		writeError(w, api.InvalidArgument("%v", err))
 		return
 	}
 	if err := checkJobName(job.Name); err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		writeError(w, api.InvalidArgument("%v", err))
 		return
 	}
 	if _, err := ctl.Submit(job); err != nil {
-		code := http.StatusBadRequest
+		// Registration rejects semantically invalid jobs with plain
+		// errors; only a duplicate name is a conflict.
 		if errors.Is(err, jobs.ErrDuplicateJob) {
-			code = http.StatusConflict
+			writeError(w, api.Conflict("%v", err))
+		} else {
+			writeError(w, api.InvalidArgument("%v", err))
 		}
-		http.Error(w, err.Error(), code)
 		return
 	}
 	st, _ := ctl.Status(job.Name)
-	// Headers freeze at WriteHeader; Content-Type must be set first.
-	w.Header().Set("Location", "/jobs/"+url.PathEscape(job.Name))
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(http.StatusCreated)
-	writeJSON(w, s.jobStatus(st))
+	// writeJSONStatus sets Content-Type exactly once, before the status
+	// line freezes the headers.
+	w.Header().Set("Location", locPrefix+url.PathEscape(job.Name))
+	writeJSONStatus(w, http.StatusCreated, s.jobStatus(st))
 }
 
 // checkJobName rejects names that cannot round-trip through the
-// /jobs/{name} path: a ServeMux wildcard spans a single segment, so a
-// job named with a "/" (or a dot segment) could be created but never
-// fetched or cancelled over HTTP.
+// /v1/jobs/{name} path: a ServeMux wildcard spans a single segment, so
+// a job named with a "/" (or a dot segment) could be created but never
+// fetched or cancelled over HTTP, and ":" would collide with the
+// {name}:unpark custom-method syntax.
 func checkJobName(name string) error {
-	if strings.ContainsAny(name, "/\\") || name == "." || name == ".." {
-		return fmt.Errorf("job name %q must not contain path separators", name)
+	if strings.ContainsAny(name, "/\\:") || name == "." || name == ".." {
+		return fmt.Errorf("job name %q must not contain path separators or ':'", name)
 	}
 	for _, r := range name {
 		if r < 0x20 || r == 0x7f {
@@ -187,9 +140,8 @@ func checkJobName(name string) error {
 }
 
 func (s *Server) handleListJobs(w http.ResponseWriter, _ *http.Request) {
-	ctl := s.jobs()
-	if ctl == nil {
-		http.Error(w, "no job service attached", http.StatusServiceUnavailable)
+	ctl, ok := s.requireJobs(w)
+	if !ok {
 		return
 	}
 	sts := ctl.Statuses()
@@ -201,36 +153,29 @@ func (s *Server) handleListJobs(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (s *Server) handleGetJob(w http.ResponseWriter, r *http.Request) {
-	ctl := s.jobs()
-	if ctl == nil {
-		http.Error(w, "no job service attached", http.StatusServiceUnavailable)
+	ctl, ok := s.requireJobs(w)
+	if !ok {
 		return
 	}
 	name := r.PathValue("name")
 	st, ok := ctl.Status(name)
 	if !ok {
-		http.Error(w, fmt.Sprintf("no such job %q", name), http.StatusNotFound)
+		writeError(w, api.NotFound("no such job %q", name))
 		return
 	}
 	writeJSON(w, s.jobStatus(st))
 }
 
 func (s *Server) handleCancelJob(w http.ResponseWriter, r *http.Request) {
-	ctl := s.jobs()
-	if ctl == nil {
-		http.Error(w, "no job service attached", http.StatusServiceUnavailable)
+	ctl, ok := s.requireJobs(w)
+	if !ok {
 		return
 	}
 	name := r.PathValue("name")
 	if err := ctl.Cancel(name); err != nil {
-		switch {
-		case errors.Is(err, jobs.ErrUnknownJob):
-			http.Error(w, err.Error(), http.StatusNotFound)
-		case errors.Is(err, jobs.ErrBadTransition):
-			http.Error(w, err.Error(), http.StatusConflict)
-		default:
-			http.Error(w, err.Error(), http.StatusInternalServerError)
-		}
+		// Cancelling an already-terminal job is the same structured 409
+		// envelope the v1 route serves — consistent on both surfaces.
+		writeError(w, jobError(err))
 		return
 	}
 	st, _ := ctl.Status(name)

@@ -1,0 +1,145 @@
+// Middleware chain for the API server: request IDs, panic recovery into
+// a structured 500 envelope, optional access logging, and the tuned
+// http.Server constructor (timeouts chosen to coexist with SSE).
+package httpapi
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"net/http"
+	"time"
+
+	"cdas/api"
+)
+
+// requestIDHeader carries the request's correlation ID, echoed back on
+// the response. Incoming values are reused (truncated and sanitised) so
+// callers can stitch traces across services.
+const requestIDHeader = "X-Request-Id"
+
+// middleware wraps the mux with the standard chain, outermost first:
+// request ID, access log, panic recovery.
+func (s *Server) middleware(next http.Handler) http.Handler {
+	return withRequestID(s.accessLog(s.recoverPanics(next)))
+}
+
+func withRequestID(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := sanitizeRequestID(r.Header.Get(requestIDHeader))
+		if id == "" {
+			id = newRequestID()
+		}
+		r.Header.Set(requestIDHeader, id)
+		w.Header().Set(requestIDHeader, id)
+		next.ServeHTTP(w, r)
+	})
+}
+
+// sanitizeRequestID keeps caller-supplied IDs header-safe: printable
+// ASCII, bounded length.
+func sanitizeRequestID(id string) string {
+	if len(id) > 64 {
+		id = id[:64]
+	}
+	for _, c := range []byte(id) {
+		if c <= 0x20 || c >= 0x7f {
+			return ""
+		}
+	}
+	return id
+}
+
+func newRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return fmt.Sprintf("t%d", time.Now().UnixNano())
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// statusRecorder captures the response status for the access log and
+// lets recovery know whether headers already left. Flush passes through
+// so SSE keeps streaming under the middleware.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+	wrote  bool
+}
+
+func (sr *statusRecorder) WriteHeader(code int) {
+	if !sr.wrote {
+		sr.status = code
+		sr.wrote = true
+	}
+	sr.ResponseWriter.WriteHeader(code)
+}
+
+func (sr *statusRecorder) Write(b []byte) (int, error) {
+	if !sr.wrote {
+		sr.status = http.StatusOK
+		sr.wrote = true
+	}
+	return sr.ResponseWriter.Write(b)
+}
+
+func (sr *statusRecorder) Flush() {
+	if f, ok := sr.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+func (s *Server) accessLog(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		logf := s.logfn()
+		if logf == nil {
+			next.ServeHTTP(w, r)
+			return
+		}
+		sr := &statusRecorder{ResponseWriter: w}
+		start := time.Now()
+		next.ServeHTTP(sr, r)
+		logf("httpapi: %s %s -> %d (%s) id=%s",
+			r.Method, r.URL.Path, sr.status, time.Since(start).Round(time.Microsecond),
+			r.Header.Get(requestIDHeader))
+	})
+}
+
+// recoverPanics turns a handler panic into a structured 500 envelope
+// when the response has not started, and re-panics http.ErrAbortHandler
+// so deliberate aborts keep their net/http semantics.
+func (s *Server) recoverPanics(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sr := &statusRecorder{ResponseWriter: w}
+		defer func() {
+			rec := recover()
+			if rec == nil {
+				return
+			}
+			if rec == http.ErrAbortHandler {
+				panic(rec)
+			}
+			if logf := s.logfn(); logf != nil {
+				logf("httpapi: panic serving %s %s: %v", r.Method, r.URL.Path, rec)
+			}
+			if !sr.wrote {
+				writeError(sr, api.Internal("internal server error"))
+			}
+		}()
+		next.ServeHTTP(sr, r)
+	})
+}
+
+// NewHTTPServer wraps the handler in an http.Server with production
+// timeouts. ReadTimeout and WriteTimeout stay zero on purpose: the SSE
+// stream is a long-lived connection and either deadline would sever
+// every watcher after it elapsed; ReadHeaderTimeout and IdleTimeout
+// still bound slowloris-style abuse.
+func NewHTTPServer(addr string, h http.Handler) *http.Server {
+	return &http.Server{
+		Addr:              addr,
+		Handler:           h,
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+}

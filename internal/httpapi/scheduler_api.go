@@ -1,13 +1,14 @@
-// Read API for the cross-query crowd scheduler: GET /api/scheduler
-// reports batching, dedup-cache and budget state, and POST
-// /jobs/{name}/unpark resumes a budget-parked job.
+// Read API for the cross-query crowd scheduler: the deprecated
+// GET /api/scheduler reports batching, dedup-cache and budget state in
+// the scheduler's native shape (v1.go serves the typed api.SchedulerState
+// at GET /v1/scheduler), and POST /jobs/{name}/unpark is the deprecated
+// alias of POST /v1/jobs/{name}:unpark.
 package httpapi
 
 import (
-	"errors"
 	"net/http"
 
-	"cdas/internal/jobs"
+	"cdas/api"
 	"cdas/internal/scheduler"
 )
 
@@ -17,8 +18,8 @@ type SchedulerReporter interface {
 	State() scheduler.State
 }
 
-// SetScheduler attaches the cross-query scheduler behind GET
-// /api/scheduler. A Server without one answers the route with 503.
+// SetScheduler attaches the cross-query scheduler behind the scheduler
+// routes. A Server without one answers them with 503.
 func (s *Server) SetScheduler(r SchedulerReporter) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -30,28 +31,20 @@ func (s *Server) handleScheduler(w http.ResponseWriter, _ *http.Request) {
 	sched := s.sched
 	s.mu.RUnlock()
 	if sched == nil {
-		http.Error(w, "no scheduler attached", http.StatusServiceUnavailable)
+		writeError(w, api.Unavailable("no scheduler attached"))
 		return
 	}
 	writeJSON(w, sched.State())
 }
 
 func (s *Server) handleUnparkJob(w http.ResponseWriter, r *http.Request) {
-	ctl := s.jobs()
-	if ctl == nil {
-		http.Error(w, "no job service attached", http.StatusServiceUnavailable)
+	ctl, ok := s.requireJobs(w)
+	if !ok {
 		return
 	}
 	name := r.PathValue("name")
 	if err := ctl.Unpark(name); err != nil {
-		switch {
-		case errors.Is(err, jobs.ErrUnknownJob):
-			http.Error(w, err.Error(), http.StatusNotFound)
-		case errors.Is(err, jobs.ErrBadTransition):
-			http.Error(w, err.Error(), http.StatusConflict)
-		default:
-			http.Error(w, err.Error(), http.StatusInternalServerError)
-		}
+		writeError(w, jobError(err))
 		return
 	}
 	st, _ := ctl.Status(name)

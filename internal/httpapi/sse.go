@@ -1,0 +1,243 @@
+// Server-Sent Events: GET /v1/queries/{name}/events pushes every
+// QueryState revision to connected clients as answers arrive — the
+// paper's Figure 4 live view as a push stream instead of a poll loop.
+//
+// Fan-out design: Server.Update assigns each query a monotonically
+// increasing revision and offers the new state to every subscriber's
+// buffered channel. A slow consumer never blocks Update (or other
+// subscribers): when a subscriber's buffer is full the oldest pending
+// revision is dropped — intermediate states are snapshots, so skipping
+// one loses nothing the next event doesn't restate. The event id is the
+// revision, so a reconnecting client's Last-Event-ID suppresses the
+// initial replay when it has already seen the current state.
+package httpapi
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"cdas/api"
+)
+
+// subscriberBuffer is each SSE client's pending-event capacity. Events
+// are full-state snapshots, so the buffer only needs to absorb bursts,
+// not preserve history.
+const subscriberBuffer = 16
+
+// event is one QueryState revision en route to a subscriber.
+type event struct {
+	rev   int64
+	state QueryState
+}
+
+// subscriber is one connected SSE client's queue.
+type subscriber struct {
+	ch chan event
+}
+
+// push offers ev without ever blocking: a full queue drops its oldest
+// event first. Only Server.Update calls this, under s.mu, so the
+// drain-then-send pair cannot interleave with another push.
+func (sub *subscriber) push(ev event) {
+	for {
+		select {
+		case sub.ch <- ev:
+			return
+		default:
+		}
+		select {
+		case <-sub.ch: // drop-oldest
+		default:
+		}
+	}
+}
+
+// subscribe registers a new subscriber for name and returns it with the
+// query's current state and revision (rev 0, ok false when the query
+// has not published yet).
+func (s *Server) subscribe(name string) (sub *subscriber, cur QueryState, rev int64, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sub = &subscriber{ch: make(chan event, subscriberBuffer)}
+	set, exists := s.subs[name]
+	if !exists {
+		set = make(map[*subscriber]struct{})
+		s.subs[name] = set
+	}
+	set[sub] = struct{}{}
+	cur, ok = s.queries[name]
+	return sub, cur, s.revs[name], ok
+}
+
+// unsubscribe removes sub. The channel is abandoned, not closed:
+// Update's pushes happen under s.mu, so after removal nothing sends,
+// and the garbage collector reclaims it with the handler.
+func (s *Server) unsubscribe(name string, sub *subscriber) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	set := s.subs[name]
+	delete(set, sub)
+	if len(set) == 0 {
+		delete(s.subs, name)
+	}
+}
+
+// queryRev returns a query's current state and revision.
+func (s *Server) queryRev(name string) (QueryState, int64, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	st, ok := s.queries[name]
+	return st, s.revs[name], ok
+}
+
+// subscriberCount reports how many SSE clients follow name — the
+// goroutine-leak probe for tests.
+func (s *Server) subscriberCount(name string) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.subs[name])
+}
+
+// knownQuery reports whether name identifies a published query or a
+// registered job (whose query may publish later).
+func (s *Server) knownQuery(name string) bool {
+	if _, ok := s.Get(name); ok {
+		return true
+	}
+	if ctl := s.jobs(); ctl != nil {
+		if _, ok := ctl.Status(name); ok {
+			return true
+		}
+	}
+	return false
+}
+
+// v1QueryEvents is GET /v1/queries/{name}/events: an SSE stream of the
+// query's state revisions. The current state is replayed immediately
+// (unless Last-Event-ID proves the client has it), every subsequent
+// Update pushes an "state" event, and the terminal revision arrives as
+// "done", after which the server closes the stream. A job that reaches
+// a terminal lifecycle state without publishing a final query state
+// (e.g. a permanent failure before any answers were bought) produces a
+// synthetic done event carrying the job error, so watchers never hang
+// on a dead job. Client disconnect tears the subscription down through
+// the request context.
+func (s *Server) v1QueryEvents(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if !s.knownQuery(name) {
+		writeError(w, api.NotFound("no such query %q", name))
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, api.Internal("streaming unsupported by connection"))
+		return
+	}
+	var lastSeen int64 = -1
+	if v := r.Header.Get("Last-Event-ID"); v != "" {
+		id, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			writeError(w, api.InvalidArgument("bad Last-Event-ID %q: %v", v, err))
+			return
+		}
+		lastSeen = id
+	}
+
+	sub, cur, rev, published := s.subscribe(name)
+	defer s.unsubscribe(name, sub)
+
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	h.Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+	flusher.Flush()
+
+	send := func(ev event) bool {
+		kind := api.EventState
+		if ev.state.Done {
+			kind = api.EventDone
+		}
+		if err := writeSSE(w, ev.rev, kind, ev.state); err != nil {
+			return false
+		}
+		flusher.Flush()
+		return !ev.state.Done
+	}
+
+	// Replay the current state unless the client proved it has it. A
+	// terminal state is always (re-)sent: a client resuming after the
+	// done event must get a clean close, not an eternal hang waiting
+	// for revisions that will never come.
+	if published && (rev > lastSeen || cur.Done) {
+		if !send(event{rev: rev, state: cur}) {
+			return
+		}
+	}
+	// Not every terminal job publishes a final query state: a run that
+	// fails before buying any answers (no matching items, permanent
+	// config error) ends with nothing on the stream. Poll the job's
+	// lifecycle record so such watchers get a synthetic done event
+	// instead of hanging forever.
+	ticker := time.NewTicker(250 * time.Millisecond)
+	defer ticker.Stop()
+	ctx := r.Context()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case ev := <-sub.ch:
+			if !send(ev) {
+				return
+			}
+		case <-ticker.C:
+			ctl := s.jobs()
+			if ctl == nil {
+				continue
+			}
+			st, ok := ctl.Status(name)
+			if !ok || !api.JobState(st.State).Terminal() {
+				continue
+			}
+			// Give an in-flight final publish priority over synthesis:
+			// the runner publishes before the dispatcher commits the
+			// terminal transition, so anything real is already queued.
+			select {
+			case ev := <-sub.ch:
+				if !send(ev) {
+					return
+				}
+				continue
+			default:
+			}
+			// Synthesize the terminal event from whatever the run
+			// published: partial results stay visible (events are
+			// full-state snapshots), only Done and the job error are
+			// stamped on.
+			cur, rev, published := s.queryRev(name)
+			if !published {
+				cur = QueryState{Name: name}
+			}
+			if !cur.Done {
+				cur.Done = true
+				cur.Error = st.Error
+			}
+			send(event{rev: rev, state: cur})
+			return
+		}
+	}
+}
+
+// writeSSE frames one event. The data is compact JSON — json.Marshal
+// never emits raw newlines, so a single data: line suffices.
+func writeSSE(w http.ResponseWriter, id int64, kind string, st QueryState) error {
+	data, err := json.Marshal(st)
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", id, kind, data)
+	return err
+}

@@ -1,0 +1,290 @@
+// The versioned v1 surface: resource-oriented routes speaking the typed
+// wire contract of the cdas/api package. Every error path here returns
+// a structured api.Error envelope; GET /v1/jobs paginates and filters;
+// the SSE stream lives in sse.go.
+package httpapi
+
+import (
+	"encoding/base64"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"cdas/api"
+	"cdas/internal/jobs"
+)
+
+// Pagination bounds for GET /v1/jobs.
+const (
+	defaultPageSize = 100
+	maxPageSize     = 500
+)
+
+// unparkVerb is the custom-method suffix of POST /v1/jobs/{name}:unpark.
+const unparkVerb = ":unpark"
+
+func (s *Server) mountV1(mux *http.ServeMux) {
+	mux.HandleFunc("GET /v1/healthz", s.v1Health)
+	mux.HandleFunc("GET /v1/metrics", s.v1Metrics)
+	mux.HandleFunc("GET /v1/scheduler", s.v1Scheduler)
+	mux.HandleFunc("GET /v1/queries", s.v1Queries)
+	mux.HandleFunc("GET /v1/queries/{name}", s.v1Query)
+	mux.HandleFunc("GET /v1/queries/{name}/events", s.v1QueryEvents)
+	mux.HandleFunc("POST /v1/jobs", s.v1SubmitJob)
+	mux.HandleFunc("GET /v1/jobs", s.v1ListJobs)
+	mux.HandleFunc("GET /v1/jobs/{name}", s.v1GetJob)
+	mux.HandleFunc("DELETE /v1/jobs/{name}", s.v1CancelJob)
+	// ServeMux wildcards span whole segments, so the AIP-style custom
+	// method POST /v1/jobs/{name}:unpark arrives with "name:unpark" as
+	// the segment; v1JobAction splits the verb off.
+	mux.HandleFunc("POST /v1/jobs/{nameAction}", s.v1JobAction)
+	// Everything else under /v1 is a structured 404, not a plain-text
+	// mux miss.
+	mux.HandleFunc("/v1/", s.v1NotFound)
+}
+
+func (s *Server) v1NotFound(w http.ResponseWriter, r *http.Request) {
+	writeError(w, api.NotFound("no route %s %s", r.Method, r.URL.Path))
+}
+
+func (s *Server) v1Health(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, api.Health{Status: "ok", Version: api.Version})
+}
+
+func (s *Server) v1Metrics(w http.ResponseWriter, _ *http.Request) {
+	s.mu.RLock()
+	reg := s.counters
+	s.mu.RUnlock()
+	writeJSON(w, api.Metrics{Counters: reg.Snapshot()})
+}
+
+func (s *Server) v1Scheduler(w http.ResponseWriter, _ *http.Request) {
+	s.mu.RLock()
+	sched := s.sched
+	s.mu.RUnlock()
+	if sched == nil {
+		writeError(w, api.Unavailable("no scheduler attached"))
+		return
+	}
+	st := sched.State()
+	out := api.SchedulerState{
+		Generations:        st.Generations,
+		PendingJobs:        st.PendingJobs,
+		DedupEnabled:       st.DedupEnabled,
+		CacheEntries:       st.CacheEntries,
+		CacheHits:          st.CacheHits,
+		CacheMisses:        st.CacheMisses,
+		QuestionsEnqueued:  st.QuestionsEnqueued,
+		QuestionsPublished: st.QuestionsPublished,
+		QuestionsDeduped:   st.QuestionsDeduped,
+		BatchesPublished:   st.BatchesPublished,
+		JobsAdmitted:       st.JobsAdmitted,
+		JobsParked:         st.JobsParked,
+		Budget: api.BudgetSnapshot{
+			GlobalLimit: st.Budget.GlobalLimit,
+			GlobalSpent: st.Budget.GlobalSpent,
+		},
+	}
+	for _, line := range st.Budget.Jobs {
+		out.Budget.Jobs = append(out.Budget.Jobs, api.JobBudgetLine{
+			Job: line.Job, Limit: line.Limit, Spent: line.Spent,
+		})
+	}
+	writeJSON(w, out)
+}
+
+func (s *Server) v1Queries(w http.ResponseWriter, _ *http.Request) {
+	out := api.QueryList{Queries: []QueryState{}}
+	for _, n := range s.Names() {
+		if st, ok := s.Get(n); ok {
+			out.Queries = append(out.Queries, st)
+		}
+	}
+	writeJSON(w, out)
+}
+
+func (s *Server) v1Query(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	st, ok := s.Get(name)
+	if !ok {
+		writeError(w, api.NotFound("no such query %q", name))
+		return
+	}
+	writeJSON(w, st)
+}
+
+// requireJobs fetches the controller or serves the 503 envelope.
+func (s *Server) requireJobs(w http.ResponseWriter) (JobController, bool) {
+	ctl := s.jobs()
+	if ctl == nil {
+		writeError(w, api.Unavailable("no job service attached"))
+		return nil, false
+	}
+	return ctl, true
+}
+
+func (s *Server) v1SubmitJob(w http.ResponseWriter, r *http.Request) {
+	s.submitJob(w, r, "/v1/jobs/")
+}
+
+// parseListJobs extracts and validates the pagination and filter
+// parameters of GET /v1/jobs.
+func parseListJobs(r *http.Request) (limit int, afterName string, state api.JobState, err *api.Error) {
+	q := r.URL.Query()
+	limit = defaultPageSize
+	if v := q.Get("limit"); v != "" {
+		n, perr := strconv.Atoi(v)
+		if perr != nil || n < 1 {
+			return 0, "", "", api.InvalidArgument("limit must be a positive integer, got %q", v)
+		}
+		limit = min(n, maxPageSize)
+	}
+	if v := q.Get("page_token"); v != "" {
+		raw, derr := base64.RawURLEncoding.DecodeString(v)
+		if derr != nil {
+			return 0, "", "", api.InvalidArgument("bad page_token %q", v)
+		}
+		afterName = string(raw)
+	}
+	if v := q.Get("state"); v != "" {
+		state = api.JobState(v)
+		if !state.Valid() {
+			return 0, "", "", api.InvalidArgument("unknown state filter %q", v)
+		}
+	}
+	return limit, afterName, state, nil
+}
+
+func (s *Server) v1ListJobs(w http.ResponseWriter, r *http.Request) {
+	ctl, ok := s.requireJobs(w)
+	if !ok {
+		return
+	}
+	limit, afterName, state, aerr := parseListJobs(r)
+	if aerr != nil {
+		writeError(w, aerr)
+		return
+	}
+	out := api.JobList{Jobs: []api.JobStatus{}}
+	// Statuses are sorted by name; the page token is the last returned
+	// name, so a page picks up where the previous one stopped even when
+	// jobs were inserted or removed in between.
+	for _, st := range ctl.Statuses() {
+		if afterName != "" && st.Job.Name <= afterName {
+			continue
+		}
+		if state != "" && api.JobState(st.State) != state {
+			continue
+		}
+		if len(out.Jobs) == limit {
+			out.NextPageToken = base64.RawURLEncoding.EncodeToString(
+				[]byte(out.Jobs[len(out.Jobs)-1].Name))
+			break
+		}
+		out.Jobs = append(out.Jobs, s.jobStatus(st))
+	}
+	writeJSON(w, out)
+}
+
+func (s *Server) v1GetJob(w http.ResponseWriter, r *http.Request) {
+	ctl, ok := s.requireJobs(w)
+	if !ok {
+		return
+	}
+	name := r.PathValue("name")
+	st, found := ctl.Status(name)
+	if !found {
+		writeError(w, api.NotFound("no such job %q", name))
+		return
+	}
+	writeJSON(w, s.jobStatus(st))
+}
+
+func (s *Server) v1CancelJob(w http.ResponseWriter, r *http.Request) {
+	ctl, ok := s.requireJobs(w)
+	if !ok {
+		return
+	}
+	name := r.PathValue("name")
+	if err := ctl.Cancel(name); err != nil {
+		writeError(w, jobError(err))
+		return
+	}
+	st, _ := ctl.Status(name)
+	writeJSON(w, s.jobStatus(st))
+}
+
+// v1JobAction dispatches AIP-style custom methods: POST
+// /v1/jobs/{name}:verb. Only :unpark exists today.
+func (s *Server) v1JobAction(w http.ResponseWriter, r *http.Request) {
+	seg := r.PathValue("nameAction")
+	name, verb, found := strings.Cut(seg, ":")
+	if !found {
+		writeError(w, api.NotFound("no route POST /v1/jobs/%s (custom methods use /v1/jobs/{name}:verb)", seg))
+		return
+	}
+	if ":"+verb != unparkVerb {
+		writeError(w, api.InvalidArgument("unknown action %q on job %q", verb, name))
+		return
+	}
+	ctl, ok := s.requireJobs(w)
+	if !ok {
+		return
+	}
+	if err := ctl.Unpark(name); err != nil {
+		writeError(w, jobError(err))
+		return
+	}
+	st, _ := ctl.Status(name)
+	writeJSON(w, s.jobStatus(st))
+}
+
+// jobError maps job-service errors onto the structured envelope.
+func jobError(err error) *api.Error {
+	switch {
+	case errors.Is(err, jobs.ErrUnknownJob):
+		return api.NotFound("%v", err)
+	case errors.Is(err, jobs.ErrDuplicateJob):
+		return api.Conflict("%v", err)
+	case errors.Is(err, jobs.ErrBadTransition):
+		return api.Conflict("%v", err)
+	default:
+		return api.Internal("%v", err)
+	}
+}
+
+// jobFromSubmission converts the wire submission into a jobs.Job
+// (semantic validation happens at registration).
+func jobFromSubmission(sub api.JobSubmission) (jobs.Job, error) {
+	window, err := time.ParseDuration(sub.Window)
+	if err != nil {
+		return jobs.Job{}, fmt.Errorf("bad window %q: %w", sub.Window, err)
+	}
+	kind := jobs.Kind(sub.Kind)
+	if sub.Kind == "" {
+		kind = jobs.KindTSA
+	}
+	start := time.Now().UTC()
+	if sub.Start != "" {
+		start, err = time.Parse(time.RFC3339, sub.Start)
+		if err != nil {
+			return jobs.Job{}, fmt.Errorf("bad start %q (want RFC 3339): %w", sub.Start, err)
+		}
+	}
+	return jobs.Job{
+		Name:     sub.Name,
+		Kind:     kind,
+		Priority: sub.Priority,
+		Budget:   sub.Budget,
+		Query: jobs.Query{
+			Keywords:         sub.Keywords,
+			RequiredAccuracy: sub.RequiredAccuracy,
+			Domain:           sub.Domain,
+			Start:            start,
+			Window:           window,
+		},
+	}, nil
+}

@@ -10,11 +10,23 @@ import (
 	"hash/fnv"
 
 	"cdas/internal/engine"
-	"cdas/internal/httpapi"
+	"cdas/internal/exec"
 	"cdas/internal/jobs"
 	"cdas/internal/metrics"
 	"cdas/internal/textgen"
 )
+
+// ResultSink receives a running job's live results — the Figure 4
+// dashboard feed, which the API server fans out to its SSE
+// subscribers. *httpapi.Server satisfies it; the runners only need this
+// slice, so tsa stays decoupled from the HTTP layer.
+type ResultSink interface {
+	// UpdateFromSummary publishes one query-state revision.
+	UpdateFromSummary(name string, sum exec.Summary, progress float64, done bool)
+	// Follow consumes a pipeline stream, publishing a revision per
+	// finished HIT; it blocks until the stream closes.
+	Follow(name string, domain []string, texts map[string]string, totalItems int, ch <-chan engine.StreamResult, exclude ...string) ([]engine.BatchResult, error)
+}
 
 // RunnerConfig wires NewJobRunner.
 type RunnerConfig struct {
@@ -29,7 +41,7 @@ type RunnerConfig struct {
 	Engine engine.Config
 	// API, when set, receives live summaries after every finished HIT
 	// (the Figure 4 dashboard).
-	API *httpapi.Server
+	API ResultSink
 	// Counters, when set, receives per-HIT counters.
 	Counters *metrics.Registry
 }

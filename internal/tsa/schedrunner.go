@@ -10,7 +10,6 @@ import (
 	"fmt"
 
 	"cdas/internal/exec"
-	"cdas/internal/httpapi"
 	"cdas/internal/jobs"
 	"cdas/internal/scheduler"
 	"cdas/internal/textgen"
@@ -26,7 +25,7 @@ type ScheduledRunnerConfig struct {
 	Stream []textgen.Tweet
 	// API, when set, receives the job's summary when its generation
 	// flushes (the Figure 4 dashboard).
-	API *httpapi.Server
+	API ResultSink
 }
 
 // NewScheduledJobRunner builds a jobs.Runner that routes TSA queries
