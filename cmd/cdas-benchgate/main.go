@@ -1,0 +1,129 @@
+// Command cdas-benchgate is the CI bench-regression gate: it compares
+// fresh benchmark results against the committed BENCH_*.json baselines
+// and fails (exit 1) on any regression beyond the tolerance.
+//
+// Two comparison modes, combinable in one invocation:
+//
+//	cdas-benchgate -baseline BENCH_scheduler.json -bench fresh-bench.txt
+//	cdas-benchgate -e2e-baseline BENCH_e2e.json -e2e fresh-e2e.json
+//
+// -bench consumes `go test -bench` output (a file, or - for stdin) and
+// gates ns/op (must not exceed baseline by more than -tolerance) and
+// the questions/s metric (must not fall below by more than -tolerance).
+// -e2e consumes cdas-loadgen reports and additionally pins the
+// deterministic profiles' aggregate spend and results hash exactly —
+// those are reproducibility guarantees, not measurements, so no
+// tolerance excuses a mismatch.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"cdas/internal/loadgen"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("cdas-benchgate", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		baselinePath = fs.String("baseline", "", "committed benchmark baseline (cdas-bench/v1 JSON)")
+		benchPath    = fs.String("bench", "", "fresh `go test -bench` output (path or - for stdin)")
+		e2eBasePath  = fs.String("e2e-baseline", "", "committed loadgen report baseline (cdas-loadgen/v1 JSON)")
+		e2ePath      = fs.String("e2e", "", "fresh loadgen report")
+		tolerance    = fs.Float64("tolerance", 0.30, "allowed relative regression")
+		emit         = fs.String("emit", "", "write a fresh baseline built from -bench here (regeneration mode; no comparison unless -baseline is also given)")
+		benchtime    = fs.String("benchtime", "", "benchtime recorded in the emitted baseline")
+		notes        = fs.String("notes", "", "notes recorded in the emitted baseline")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 1
+	}
+	if *benchPath == "" && (*baselinePath != "" || *emit != "") {
+		fmt.Fprintln(stderr, "cdas-benchgate: -baseline/-emit need -bench input")
+		return 1
+	}
+	if (*e2eBasePath == "") != (*e2ePath == "") {
+		fmt.Fprintln(stderr, "cdas-benchgate: -e2e-baseline and -e2e must be given together")
+		return 1
+	}
+	if *baselinePath == "" && *e2eBasePath == "" && *emit == "" {
+		fmt.Fprintln(stderr, "cdas-benchgate: nothing to do (see -h)")
+		return 1
+	}
+
+	var violations []string
+	if *benchPath != "" {
+		var r io.Reader = os.Stdin
+		if *benchPath != "-" {
+			f, err := os.Open(*benchPath)
+			if err != nil {
+				fmt.Fprintf(stderr, "cdas-benchgate: %v\n", err)
+				return 1
+			}
+			defer f.Close()
+			r = f
+		}
+		fresh, err := loadgen.ParseBenchRun(r)
+		if err != nil {
+			fmt.Fprintf(stderr, "cdas-benchgate: %v\n", err)
+			return 1
+		}
+		if *emit != "" {
+			if err := loadgen.NewBenchBaseline(fresh, *benchtime, *notes).WriteJSON(*emit); err != nil {
+				fmt.Fprintf(stderr, "cdas-benchgate: %v\n", err)
+				return 1
+			}
+			fmt.Fprintf(stdout, "baseline with %d benchmark(s) written to %s\n", len(fresh.Benchmarks), *emit)
+		}
+		if *baselinePath != "" {
+			base, err := loadgen.LoadBenchBaseline(*baselinePath)
+			if err != nil {
+				fmt.Fprintf(stderr, "cdas-benchgate: %v\n", err)
+				return 1
+			}
+			fmt.Fprintf(stdout, "bench gate: %d baseline benchmark(s) vs %s (tolerance ±%.0f%%)\n",
+				len(base.Benchmarks), *benchPath, 100**tolerance)
+			// Absolute ns/op and questions/s only compare meaningfully on
+			// the hardware class the baseline was recorded on; flag any
+			// drift loudly so a violation (or a suspicious pass) can be
+			// read in context, and so baseline regeneration gets prompted.
+			for _, w := range base.EnvMismatch(fresh) {
+				fmt.Fprintf(stderr, "cdas-benchgate: warning: %s — regenerate the baseline on this machine class if the numbers drifted (see the baseline's notes field)\n", w)
+			}
+			violations = append(violations, loadgen.CompareBench(base, fresh.Benchmarks, *tolerance)...)
+		}
+	}
+	if *e2eBasePath != "" {
+		base, err := loadgen.LoadReport(*e2eBasePath)
+		if err != nil {
+			fmt.Fprintf(stderr, "cdas-benchgate: %v\n", err)
+			return 1
+		}
+		fresh, err := loadgen.LoadReport(*e2ePath)
+		if err != nil {
+			fmt.Fprintf(stderr, "cdas-benchgate: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "e2e gate: profile %s vs %s (tolerance ±%.0f%%)\n",
+			base.Profile.Name, *e2ePath, 100**tolerance)
+		violations = append(violations, loadgen.CompareE2E(base, fresh, *tolerance)...)
+	}
+	if len(violations) > 0 {
+		fmt.Fprintf(stderr, "cdas-benchgate: %d regression(s):\n", len(violations))
+		for _, v := range violations {
+			fmt.Fprintf(stderr, "  - %s\n", v)
+		}
+		return 1
+	}
+	if *baselinePath != "" || *e2eBasePath != "" {
+		fmt.Fprintln(stdout, "bench gate passed: no regressions beyond tolerance")
+	}
+	return 0
+}

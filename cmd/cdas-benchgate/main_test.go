@@ -1,0 +1,109 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"cdas/internal/loadgen"
+)
+
+const freshBench = `goos: linux
+BenchmarkSchedulerDedup/jobs=8-8   3   1000000 ns/op   100000 questions/s
+BenchmarkSchedulerContention/jobs=8-8   3   2000000 ns/op
+PASS
+`
+
+func write(t *testing.T, dir, name, content string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestGateEmitThenCompare(t *testing.T) {
+	dir := t.TempDir()
+	benchPath := write(t, dir, "fresh.txt", freshBench)
+	baseline := filepath.Join(dir, "BENCH.json")
+
+	var out, errOut strings.Builder
+	if code := run([]string{"-bench", benchPath, "-emit", baseline, "-benchtime", "3x", "-notes", "test"}, &out, &errOut); code != 0 {
+		t.Fatalf("emit failed (%d): %s", code, errOut.String())
+	}
+	base, err := loadgen.LoadBenchBaseline(baseline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(base.Benchmarks) != 2 || base.Benchtime != "3x" {
+		t.Fatalf("emitted baseline wrong: %+v", base)
+	}
+
+	// Identical numbers gate clean.
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{"-baseline", baseline, "-bench", benchPath}, &out, &errOut); code != 0 {
+		t.Fatalf("clean gate failed (%d): %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "bench gate passed") {
+		t.Fatalf("missing pass message: %s", out.String())
+	}
+
+	// A 2x slowdown fails the gate.
+	slow := strings.ReplaceAll(freshBench, "1000000 ns/op   100000 questions/s", "2000000 ns/op   50000 questions/s")
+	slowPath := write(t, dir, "slow.txt", slow)
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{"-baseline", baseline, "-bench", slowPath}, &out, &errOut); code != 1 {
+		t.Fatalf("slowdown gate returned %d: %s", code, errOut.String())
+	}
+	if !strings.Contains(errOut.String(), "regression") {
+		t.Fatalf("missing regression report: %s", errOut.String())
+	}
+}
+
+func TestGateE2EPair(t *testing.T) {
+	dir := t.TempDir()
+	rep := &loadgen.Report{
+		Schema:          loadgen.ReportSchema,
+		Profile:         loadgen.Profile{Name: "smoke", Seed: 1},
+		GOARCH:          "amd64",
+		Deterministic:   true,
+		QuestionsPerSec: 1000,
+		SpendJobs:       3.5,
+		ResultsHash:     "aa",
+	}
+	basePath := filepath.Join(dir, "base.json")
+	if err := rep.WriteJSON(basePath); err != nil {
+		t.Fatal(err)
+	}
+	var out, errOut strings.Builder
+	if code := run([]string{"-e2e-baseline", basePath, "-e2e", basePath}, &out, &errOut); code != 0 {
+		t.Fatalf("identical e2e gate failed (%d): %s", code, errOut.String())
+	}
+	// Diverged hash fails.
+	rep.ResultsHash = "bb"
+	freshPath := filepath.Join(dir, "fresh.json")
+	if err := rep.WriteJSON(freshPath); err != nil {
+		t.Fatal(err)
+	}
+	if code := run([]string{"-e2e-baseline", basePath, "-e2e", freshPath}, &out, &errOut); code != 1 {
+		t.Fatalf("hash divergence not caught (%d)", code)
+	}
+}
+
+func TestGateArgErrors(t *testing.T) {
+	var out, errOut strings.Builder
+	for _, args := range [][]string{
+		{},                 // nothing to do
+		{"-baseline", "x"}, // baseline without bench
+		{"-e2e", "x"},      // unpaired e2e
+		{"-bench", "/does/not/exist", "-baseline", "/nope"}, // unreadable
+	} {
+		if code := run(args, &out, &errOut); code != 1 {
+			t.Fatalf("args %v returned %d, want 1", args, code)
+		}
+	}
+}

@@ -1,0 +1,189 @@
+// Command cdas-loadgen drives the full CDAS stack under a
+// deterministic, seedable multi-tenant workload and reports latency
+// percentiles, throughput, crowd spend and dedup savings.
+//
+// By default it boots a complete in-process server (simulated crowd →
+// engine → cross-query scheduler → job service → dispatchers → v1 API)
+// and talks to it purely through the cdas/client SDK; -addr points it
+// at a running cdas-server instead.
+//
+// Usage:
+//
+//	cdas-loadgen [-profile smoke|contention|dedup|budget] [-out BENCH_e2e.json]
+//	             [-seed N] [-tenants N] [-questions N] [-overlap F] [-domains N]
+//	             [-rounds N] [-watchers F] [-arrival DUR] [-dispatchers N]
+//	             [-priorities N] [-tenant-budget F] [-global-budget F]
+//	             [-accuracy F] [-hitsize N] [-inflight N] [-dedup=true]
+//	             [-addr URL] [-timeout DUR] [-quiet]
+//
+// With -arrival 0 (the default for every named profile) the run is
+// closed-loop and deterministic: a fixed seed reproduces the same
+// aggregate spend, job outcomes and results hash across repeats and
+// across -dispatchers settings. A positive -arrival switches to timed
+// mode: tenants arrive on a seeded exponential process against a
+// periodically flushing server, which measures realistic latency at the
+// price of reproducible attribution.
+//
+// On SIGINT or -timeout the run stops, SSE watchers are drained with a
+// bounded deadline, the partial report is still written (marked
+// "partial": true) and the exit status is 2 — never a hang, never a
+// silent empty report. Exit status is 0 on success and 1 on
+// configuration or setup errors.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"cdas/internal/loadgen"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr, nil))
+}
+
+// run is the testable entry point. sigCh, when non-nil, substitutes the
+// process signal feed.
+func run(args []string, stdout, stderr io.Writer, sig <-chan os.Signal) int {
+	fs := flag.NewFlagSet("cdas-loadgen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		profileName  = fs.String("profile", "smoke", "named workload profile: "+strings.Join(loadgen.ProfileNames(), "|"))
+		list         = fs.Bool("list", false, "list the named profiles and exit")
+		seed         = fs.Uint64("seed", 0, "override the profile's seed")
+		tenants      = fs.Int("tenants", 0, "override the tenant count")
+		questions    = fs.Int("questions", 0, "override questions per tenant")
+		overlap      = fs.Float64("overlap", -1, "override the shared-question overlap fraction")
+		domains      = fs.Int("domains", 0, "override the domain-variant count")
+		rounds       = fs.Int("rounds", 0, "override the round count")
+		watchers     = fs.Float64("watchers", -1, "override the SSE watcher fraction")
+		arrival      = fs.Duration("arrival", 0, "mean inter-arrival gap (0: closed-loop deterministic mode)")
+		dispatchers  = fs.Int("dispatchers", 0, "override the dispatcher pool size")
+		priorities   = fs.Int("priorities", -1, "override the priority level count")
+		tenantBudget = fs.Float64("tenant-budget", -1, "override the per-job budget (0: unlimited)")
+		globalBudget = fs.Float64("global-budget", -1, "override the global budget (0: unlimited)")
+		accuracy     = fs.Float64("accuracy", 0, "override the required accuracy")
+		hitSize      = fs.Int("hitsize", 0, "override the HIT size")
+		inflight     = fs.Int("inflight", 0, "override max in-flight HITs per engine")
+		dedup        = fs.Bool("dedup", true, "coalesce identical questions across jobs")
+		addr         = fs.String("addr", "", "drive a running cdas-server at this base URL instead of in-process")
+		out          = fs.String("out", "", "write the machine-readable report (BENCH_e2e.json schema) here")
+		timeout      = fs.Duration("timeout", 10*time.Minute, "abort the run after this long (partial report, exit 2)")
+		quiet        = fs.Bool("quiet", false, "suppress progress logging")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 1
+	}
+	if *list {
+		for _, n := range loadgen.ProfileNames() {
+			p, _ := loadgen.Named(n)
+			fmt.Fprintf(stdout, "%-12s %3d tenants x %3d questions x %d rounds, overlap %.0f%%, %d domains, watchers %.0f%%\n",
+				n, p.Tenants, p.QuestionsPerTenant, p.Rounds, 100*p.Overlap, p.Domains, 100*p.WatcherFraction)
+		}
+		return 0
+	}
+	p, ok := loadgen.Named(*profileName)
+	if !ok {
+		fmt.Fprintf(stderr, "cdas-loadgen: unknown profile %q (have: %s)\n", *profileName, strings.Join(loadgen.ProfileNames(), ", "))
+		return 1
+	}
+	set := map[string]bool{}
+	fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	if set["seed"] {
+		p.Seed = *seed
+	}
+	if set["tenants"] {
+		p.Tenants = *tenants
+	}
+	if set["questions"] {
+		p.QuestionsPerTenant = *questions
+	}
+	if set["overlap"] {
+		p.Overlap = *overlap
+	}
+	if set["domains"] {
+		p.Domains = *domains
+	}
+	if set["rounds"] {
+		p.Rounds = *rounds
+	}
+	if set["watchers"] {
+		p.WatcherFraction = *watchers
+	}
+	if set["arrival"] {
+		p.ArrivalMean = *arrival
+	}
+	if set["dispatchers"] {
+		p.Dispatchers = *dispatchers
+	}
+	if set["priorities"] {
+		p.PriorityLevels = *priorities
+	}
+	if set["tenant-budget"] {
+		p.TenantBudget = *tenantBudget
+	}
+	if set["global-budget"] {
+		p.GlobalBudget = *globalBudget
+	}
+	if set["accuracy"] {
+		p.RequiredAccuracy = *accuracy
+	}
+	if set["hitsize"] {
+		p.HITSize = *hitSize
+	}
+	if set["inflight"] {
+		p.Inflight = *inflight
+	}
+	p.DisableDedup = !*dedup
+
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+	if sig == nil {
+		ch := make(chan os.Signal, 1)
+		signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+		defer signal.Stop(ch)
+		sig = ch
+	}
+	go func() {
+		select {
+		case s := <-sig:
+			fmt.Fprintf(stderr, "cdas-loadgen: %v — draining and writing the partial report\n", s)
+			cancel()
+		case <-ctx.Done():
+		}
+	}()
+
+	cfg := loadgen.Config{Profile: p, Addr: *addr}
+	if !*quiet {
+		cfg.Logf = func(format string, args ...any) { fmt.Fprintf(stderr, format+"\n", args...) }
+	}
+	rep, err := loadgen.Run(ctx, cfg)
+	if rep != nil {
+		fmt.Fprint(stdout, rep.Table())
+		if *out != "" {
+			if werr := rep.WriteJSON(*out); werr != nil {
+				fmt.Fprintf(stderr, "cdas-loadgen: %v\n", werr)
+				return 1
+			}
+			fmt.Fprintf(stderr, "cdas-loadgen: report written to %s\n", *out)
+		}
+	}
+	switch {
+	case err == nil:
+		return 0
+	case errors.Is(err, loadgen.ErrInterrupted), errors.Is(err, loadgen.ErrStalled):
+		fmt.Fprintf(stderr, "cdas-loadgen: %v\n", err)
+		return 2
+	default:
+		fmt.Fprintf(stderr, "cdas-loadgen: %v\n", err)
+		return 1
+	}
+}

@@ -1,0 +1,109 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"cdas/internal/loadgen"
+)
+
+func TestList(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-list"}, &out, &errOut, nil); code != 0 {
+		t.Fatalf("-list returned %d: %s", code, errOut.String())
+	}
+	for _, name := range loadgen.ProfileNames() {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("-list missing profile %q:\n%s", name, out.String())
+		}
+	}
+}
+
+func TestUnknownProfile(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-profile", "nope"}, &out, &errOut, nil); code != 1 {
+		t.Fatalf("unknown profile returned %d", code)
+	}
+	if !strings.Contains(errOut.String(), "unknown profile") {
+		t.Fatalf("missing error: %s", errOut.String())
+	}
+}
+
+// TestRunSmallProfile drives a scaled-down run end to end through the
+// CLI, with enough overrides to cover the flag plumbing, and checks the
+// report lands on disk.
+func TestRunSmallProfile(t *testing.T) {
+	dir := t.TempDir()
+	outPath := filepath.Join(dir, "report.json")
+	var out, errOut strings.Builder
+	code := run([]string{
+		"-profile", "smoke",
+		"-seed", "7",
+		"-tenants", "2",
+		"-questions", "8",
+		"-overlap", "0.5",
+		"-domains", "1",
+		"-rounds", "1",
+		"-watchers", "0.5",
+		"-dispatchers", "2",
+		"-priorities", "2",
+		"-tenant-budget", "0",
+		"-global-budget", "0",
+		"-accuracy", "0.8",
+		"-hitsize", "20",
+		"-inflight", "2",
+		"-quiet",
+		"-out", outPath,
+	}, &out, &errOut, nil)
+	if code != 0 {
+		t.Fatalf("run returned %d\nstdout: %s\nstderr: %s", code, out.String(), errOut.String())
+	}
+	raw, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep loadgen.Report
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Profile.Seed != 7 || rep.Profile.Tenants != 2 || rep.Jobs.Done != 2 {
+		t.Fatalf("report does not reflect overrides: %+v", rep.Profile)
+	}
+	if !strings.Contains(out.String(), "results hash") {
+		t.Fatalf("table missing from stdout: %s", out.String())
+	}
+}
+
+// TestRunInterrupted feeds a synthetic SIGINT into a timed-mode run:
+// the CLI must exit 2 and still write the partial report.
+func TestRunInterrupted(t *testing.T) {
+	dir := t.TempDir()
+	outPath := filepath.Join(dir, "partial.json")
+	sig := make(chan os.Signal, 1)
+	go func() {
+		time.Sleep(300 * time.Millisecond)
+		sig <- syscall.SIGINT
+	}()
+	var out, errOut strings.Builder
+	code := run([]string{
+		"-profile", "contention",
+		"-arrival", "500ms",
+		"-quiet",
+		"-out", outPath,
+	}, &out, &errOut, sig)
+	if code != 2 {
+		t.Fatalf("interrupted run returned %d\nstderr: %s", code, errOut.String())
+	}
+	rep, err := loadgen.LoadReport(outPath)
+	if err != nil {
+		t.Fatalf("partial report unreadable: %v", err)
+	}
+	if !rep.Partial {
+		t.Fatalf("report not marked partial: %+v", rep)
+	}
+}

@@ -3,8 +3,10 @@ package crowd
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"cdas/internal/core/prediction"
 	"cdas/internal/randx"
@@ -92,15 +94,20 @@ func (c Config) Validate() error {
 
 // Platform is the simulated crowdsourcing marketplace. It is safe for
 // concurrent use: the engine's pipeline publishes and drains several HITs
-// at once.
+// at once. Its shared state — the cumulative spend and the HIT sequence
+// number — is kept in atomics rather than behind a mutex: charge runs
+// once per delivered assignment across every concurrent run, and a
+// platform-wide lock there serialises all in-flight HITs of all engines
+// sharing the platform. Fees are constant per platform (the configured
+// per-assignment rate), so the CAS-accumulated float total is the same
+// regardless of arrival order.
 type Platform struct {
 	cfg     Config
 	rng     *randx.Source
 	workers []*Worker
 
-	mu     sync.Mutex // guards spent and hitSeq
-	spent  float64
-	hitSeq int
+	spentBits atomic.Uint64 // float64 bits of the cumulative spend
+	hitSeq    atomic.Int64
 }
 
 // NewPlatform builds the worker population and returns the platform.
@@ -157,16 +164,19 @@ func (p *Platform) MeanAccuracy() float64 {
 // TotalSpent reports the cumulative fees charged for delivered
 // assignments across all HITs.
 func (p *Platform) TotalSpent() float64 {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.spent
+	return math.Float64frombits(p.spentBits.Load())
 }
 
-// charge accounts one delivered assignment's fee.
+// charge accounts one delivered assignment's fee with a lock-free CAS
+// loop on the float's bits.
 func (p *Platform) charge(fee float64) {
-	p.mu.Lock()
-	p.spent += fee
-	p.mu.Unlock()
+	for {
+		old := p.spentBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + fee)
+		if p.spentBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
 }
 
 // HIT is a published human-intelligence task: a batch of questions every
@@ -227,10 +237,7 @@ func (p *Platform) Publish(hit HIT, n int) (*Run, error) {
 	if n > len(p.workers) {
 		return nil, fmt.Errorf("%w (need %d, have %d)", ErrNotEnoughWork, n, len(p.workers))
 	}
-	p.mu.Lock()
-	p.hitSeq++
-	seq := p.hitSeq
-	p.mu.Unlock()
+	seq := p.hitSeq.Add(1)
 	// A caller-supplied ID seeds the run from the ID alone, so the draw is
 	// a pure function of (platform seed, hit ID) — concurrent publishers
 	// get identical worker samples regardless of publish order, which is

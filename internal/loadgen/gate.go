@@ -1,0 +1,307 @@
+// Bench-regression gating: parse `go test -bench` output, compare it —
+// and fresh loadgen e2e reports — against committed BENCH_*.json
+// baselines with a relative tolerance. cmd/cdas-benchgate is the thin
+// CLI over these helpers; CI fails when any violation comes back.
+package loadgen
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"regexp"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// BenchSchema identifies the benchmark-baseline wire shape.
+const BenchSchema = "cdas-bench/v1"
+
+// BenchResult is one benchmark's measurements.
+type BenchResult struct {
+	NsPerOp float64 `json:"ns_per_op"`
+	// Metrics holds the benchmark's custom units (questions/s,
+	// %spend_saved, ...).
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// BenchBaseline is the committed baseline file (BENCH_scheduler.json
+// and friends).
+type BenchBaseline struct {
+	Schema      string                 `json:"schema"`
+	Description string                 `json:"description,omitempty"`
+	PR          int                    `json:"pr,omitempty"`
+	GOOS        string                 `json:"goos"`
+	GOARCH      string                 `json:"goarch"`
+	CPU         string                 `json:"cpu,omitempty"`
+	Benchtime   string                 `json:"benchtime,omitempty"`
+	Benchmarks  map[string]BenchResult `json:"benchmarks"`
+	Notes       string                 `json:"notes,omitempty"`
+}
+
+// LoadBenchBaseline reads and validates a baseline file.
+func LoadBenchBaseline(path string) (BenchBaseline, error) {
+	var b BenchBaseline
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return b, err
+	}
+	if err := json.Unmarshal(raw, &b); err != nil {
+		return b, fmt.Errorf("benchgate: parsing %s: %w", path, err)
+	}
+	if b.Schema != BenchSchema {
+		return b, fmt.Errorf("benchgate: %s: unexpected schema %q (want %q)", path, b.Schema, BenchSchema)
+	}
+	if len(b.Benchmarks) == 0 {
+		return b, fmt.Errorf("benchgate: %s: no benchmarks", path)
+	}
+	return b, nil
+}
+
+// NewBenchBaseline builds a baseline from a fresh run — the
+// "regenerate the committed baseline" workflow (cdas-benchgate -emit).
+// The environment is taken from the bench output's own goos/goarch/cpu
+// header lines, falling back to this process's when absent.
+func NewBenchBaseline(fresh BenchRun, benchtime, notes string) BenchBaseline {
+	b := BenchBaseline{
+		Schema:     BenchSchema,
+		GOOS:       fresh.GOOS,
+		GOARCH:     fresh.GOARCH,
+		CPU:        fresh.CPU,
+		Benchtime:  benchtime,
+		Benchmarks: fresh.Benchmarks,
+		Notes:      notes,
+	}
+	if b.GOOS == "" {
+		b.GOOS = runtime.GOOS
+	}
+	if b.GOARCH == "" {
+		b.GOARCH = runtime.GOARCH
+	}
+	if b.CPU == "" {
+		b.CPU = cpuModel()
+	}
+	return b
+}
+
+// EnvMismatch compares the baseline's recorded environment against a
+// fresh run's and describes the differences — absolute ns/op and
+// throughput comparisons only mean something on comparable hardware,
+// so gates surface this as a loud warning next to any violation.
+func (b BenchBaseline) EnvMismatch(fresh BenchRun) []string {
+	var out []string
+	if b.GOOS != "" && fresh.GOOS != "" && b.GOOS != fresh.GOOS {
+		out = append(out, fmt.Sprintf("goos differs: baseline %s, fresh %s", b.GOOS, fresh.GOOS))
+	}
+	if b.GOARCH != "" && fresh.GOARCH != "" && b.GOARCH != fresh.GOARCH {
+		out = append(out, fmt.Sprintf("goarch differs: baseline %s, fresh %s", b.GOARCH, fresh.GOARCH))
+	}
+	if b.CPU != "" && fresh.CPU != "" && b.CPU != fresh.CPU {
+		out = append(out, fmt.Sprintf("cpu differs: baseline %q, fresh %q", b.CPU, fresh.CPU))
+	}
+	return out
+}
+
+// WriteJSON writes the baseline to path (pretty-printed, trailing
+// newline).
+func (b BenchBaseline) WriteJSON(path string) error {
+	raw, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return fmt.Errorf("benchgate: encoding baseline: %w", err)
+	}
+	return os.WriteFile(path, append(raw, '\n'), 0o644)
+}
+
+// benchLine matches one `go test -bench` result line:
+//
+//	BenchmarkName/sub-8   3   1234567 ns/op   42.5 questions/s
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+(.*)$`)
+
+// BenchRun is one parsed `go test -bench` invocation: the results plus
+// the environment header lines the tool prints (goos/goarch/cpu).
+type BenchRun struct {
+	GOOS, GOARCH, CPU string
+	Benchmarks        map[string]BenchResult
+}
+
+// ParseBenchOutput extracts every benchmark result from `go test
+// -bench` output (see ParseBenchRun for the environment too).
+func ParseBenchOutput(r io.Reader) (map[string]BenchResult, error) {
+	run, err := ParseBenchRun(r)
+	return run.Benchmarks, err
+}
+
+// ParseBenchRun extracts every benchmark result and the environment
+// header from `go test -bench` output. Sub-benchmark names keep their
+// slashes; the trailing -GOMAXPROCS suffix is stripped. When a
+// benchmark appears more than once (e.g. -count > 1), the best (lowest)
+// ns/op and the best (highest) value per metric are kept — the gate
+// compares capability, not noise.
+func ParseBenchRun(r io.Reader) (BenchRun, error) {
+	run := BenchRun{Benchmarks: make(map[string]BenchResult)}
+	out := run.Benchmarks
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if v, ok := strings.CutPrefix(line, "goos: "); ok {
+			run.GOOS = strings.TrimSpace(v)
+			continue
+		}
+		if v, ok := strings.CutPrefix(line, "goarch: "); ok {
+			run.GOARCH = strings.TrimSpace(v)
+			continue
+		}
+		if v, ok := strings.CutPrefix(line, "cpu: "); ok {
+			run.CPU = strings.TrimSpace(v)
+			continue
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		name, rest := m[1], m[2]
+		fields := strings.Fields(rest)
+		res := BenchResult{Metrics: map[string]float64{}}
+		seenNs := false
+		for i := 0; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			unit := fields[i+1]
+			if unit == "ns/op" {
+				res.NsPerOp = v
+				seenNs = true
+			} else {
+				res.Metrics[unit] = v
+			}
+		}
+		if !seenNs {
+			continue
+		}
+		if prev, ok := out[name]; ok {
+			if prev.NsPerOp < res.NsPerOp {
+				res.NsPerOp = prev.NsPerOp
+			}
+			for k, v := range prev.Metrics {
+				if v > res.Metrics[k] {
+					res.Metrics[k] = v
+				}
+			}
+		}
+		out[name] = res
+	}
+	if err := sc.Err(); err != nil {
+		return run, fmt.Errorf("benchgate: reading bench output: %w", err)
+	}
+	if len(out) == 0 {
+		return run, fmt.Errorf("benchgate: no benchmark results found in input")
+	}
+	return run, nil
+}
+
+// ThroughputMetric is the custom bench unit the gate treats as
+// higher-is-better alongside ns/op.
+const ThroughputMetric = "questions/s"
+
+// CompareBench checks fresh results against the baseline: every
+// baseline benchmark must be present, its ns/op must not exceed the
+// baseline by more than tol (relative), and its questions/s metric (when
+// the baseline records one) must not fall below baseline by more than
+// tol. It returns human-readable violations, empty when the gate
+// passes.
+func CompareBench(base BenchBaseline, fresh map[string]BenchResult, tol float64) []string {
+	var out []string
+	names := make([]string, 0, len(base.Benchmarks))
+	for n := range base.Benchmarks {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		want := base.Benchmarks[name]
+		got, ok := fresh[name]
+		if !ok {
+			out = append(out, fmt.Sprintf("%s: missing from fresh run (renamed or skipped?)", name))
+			continue
+		}
+		if want.NsPerOp > 0 && got.NsPerOp > want.NsPerOp*(1+tol) {
+			out = append(out, fmt.Sprintf("%s: ns/op regressed %.0f -> %.0f (+%.0f%%, tolerance %.0f%%)",
+				name, want.NsPerOp, got.NsPerOp, 100*(got.NsPerOp/want.NsPerOp-1), 100*tol))
+		}
+		if wantQ, ok := want.Metrics[ThroughputMetric]; ok && wantQ > 0 {
+			if gotQ := got.Metrics[ThroughputMetric]; gotQ < wantQ*(1-tol) {
+				out = append(out, fmt.Sprintf("%s: %s regressed %.0f -> %.0f (-%.0f%%, tolerance %.0f%%)",
+					name, ThroughputMetric, wantQ, gotQ, 100*(1-gotQ/wantQ), 100*tol))
+			}
+		}
+	}
+	return out
+}
+
+// LoadReport reads a loadgen report from path.
+func LoadReport(path string) (*Report, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Report
+	if err := json.Unmarshal(raw, &r); err != nil {
+		return nil, fmt.Errorf("benchgate: parsing %s: %w", path, err)
+	}
+	if r.Schema != ReportSchema {
+		return nil, fmt.Errorf("benchgate: %s: unexpected schema %q (want %q)", path, r.Schema, ReportSchema)
+	}
+	return &r, nil
+}
+
+// CompareE2E checks a fresh loadgen report against the committed
+// baseline: throughput within tolerance, and — when both runs are
+// deterministic instances of the same profile/seed on the same
+// goarch — the aggregate spend and results hash must match exactly (a
+// mismatch means the pipeline's determinism regressed, which no
+// tolerance excuses).
+func CompareE2E(base, fresh *Report, tol float64) []string {
+	var out []string
+	if fresh.Partial {
+		out = append(out, "fresh run is partial (interrupted or stalled)")
+	}
+	if fresh.Jobs.Unsettled > 0 {
+		out = append(out, fmt.Sprintf("%d job(s) never settled", fresh.Jobs.Unsettled))
+	}
+	if base.QuestionsPerSec > 0 && fresh.QuestionsPerSec < base.QuestionsPerSec*(1-tol) {
+		out = append(out, fmt.Sprintf("questions/s regressed %.0f -> %.0f (-%.0f%%, tolerance %.0f%%)",
+			base.QuestionsPerSec, fresh.QuestionsPerSec, 100*(1-fresh.QuestionsPerSec/base.QuestionsPerSec), 100*tol))
+	}
+	comparable := base.Deterministic && fresh.Deterministic &&
+		base.Profile.Name == fresh.Profile.Name &&
+		base.Profile.Seed == fresh.Profile.Seed &&
+		base.GOARCH == fresh.GOARCH
+	if !comparable {
+		return out
+	}
+	if base.Jobs != fresh.Jobs {
+		out = append(out, fmt.Sprintf("job outcomes diverged: baseline %+v, fresh %+v", base.Jobs, fresh.Jobs))
+	}
+	if !floatEq(base.SpendLedger, fresh.SpendLedger) || !floatEq(base.SpendJobs, fresh.SpendJobs) {
+		out = append(out, fmt.Sprintf("spend diverged on a deterministic profile: baseline ledger=%v jobs=%v, fresh ledger=%v jobs=%v",
+			base.SpendLedger, base.SpendJobs, fresh.SpendLedger, fresh.SpendJobs))
+	}
+	if base.ResultsHash != fresh.ResultsHash {
+		out = append(out, fmt.Sprintf("results hash diverged on a deterministic profile: baseline %s, fresh %s",
+			base.ResultsHash, fresh.ResultsHash))
+	}
+	return out
+}
+
+// floatEq compares spends with a tiny absolute-plus-relative epsilon:
+// deterministic runs agree bit for bit, but the JSON round-trip of the
+// baseline may shave the last ulp.
+func floatEq(a, b float64) bool {
+	diff := math.Abs(a - b)
+	return diff <= 1e-9 || diff <= 1e-12*math.Max(math.Abs(a), math.Abs(b))
+}

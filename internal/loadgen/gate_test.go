@@ -1,0 +1,228 @@
+package loadgen
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestProfileValidateErrors(t *testing.T) {
+	base, _ := Named("smoke")
+	cases := []struct {
+		name   string
+		mutate func(*Profile)
+	}{
+		{"no tenants", func(p *Profile) { p.Tenants = 0 }},
+		{"no questions", func(p *Profile) { p.QuestionsPerTenant = 0 }},
+		{"overlap too big", func(p *Profile) { p.Overlap = 1.5 }},
+		{"negative priorities", func(p *Profile) { p.PriorityLevels = -1 }},
+		{"negative budget", func(p *Profile) { p.TenantBudget = -1 }},
+		{"watcher fraction", func(p *Profile) { p.WatcherFraction = 2 }},
+		{"negative arrival", func(p *Profile) { p.ArrivalMean = -time.Second }},
+		{"accuracy", func(p *Profile) { p.RequiredAccuracy = 1.2 }},
+		{"hit size", func(p *Profile) { p.HITSize = 1 }},
+	}
+	for _, tc := range cases {
+		p := base
+		tc.mutate(&p)
+		if _, err := p.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted %+v", tc.name, p)
+		}
+	}
+	// Normalisation: questions round up to blocks, domains clip to
+	// tenants, zero dispatchers default.
+	p := base
+	p.QuestionsPerTenant = BlockSize + 1
+	p.Domains = 99
+	p.Dispatchers = 0
+	got, err := p.Validate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.QuestionsPerTenant != 2*BlockSize || got.Domains != p.Tenants || got.Dispatchers < 1 {
+		t.Fatalf("normalisation wrong: %+v", got)
+	}
+	if _, ok := Named("no-such-profile"); ok {
+		t.Fatal("Named accepted an unknown profile")
+	}
+}
+
+func TestReportJSONRoundTrip(t *testing.T) {
+	rep := &Report{
+		Schema:          ReportSchema,
+		Profile:         Profile{Name: "smoke", Seed: 3, Tenants: 2},
+		Deterministic:   true,
+		QuestionsPerSec: 123,
+		SpendJobs:       1.25,
+		ResultsHash:     "cafe",
+		Jobs:            JobsSummary{Total: 2, Done: 2},
+	}
+	path := filepath.Join(t.TempDir(), "rep.json")
+	if err := rep.WriteJSON(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Profile.Seed != 3 || got.SpendJobs != 1.25 || got.ResultsHash != "cafe" {
+		t.Fatalf("round trip lost fields: %+v", got)
+	}
+	if tbl := rep.Table(); !strings.Contains(tbl, "results hash    cafe") {
+		t.Fatalf("table rendering: %s", tbl)
+	}
+	// Schema guard.
+	bad := &Report{Schema: "other"}
+	badPath := filepath.Join(t.TempDir(), "bad.json")
+	if err := bad.WriteJSON(badPath); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadReport(badPath); err == nil {
+		t.Fatal("LoadReport accepted a foreign schema")
+	}
+}
+
+const benchFixture = `goos: linux
+goarch: amd64
+pkg: cdas/internal/scheduler
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkSchedulerDedup/jobs=8/overlap=50%-8         	       3	   1335007 ns/op	        37.50 %spend_saved	     95880 questions/s
+BenchmarkSchedulerContention/jobs=64-8               	       1	  14170059 ns/op
+BenchmarkEngineConcurrent/inflight=8                 	       2	   5000000 ns/op
+PASS
+ok  	cdas/internal/scheduler	2.154s
+`
+
+func TestParseBenchRunEnv(t *testing.T) {
+	run, err := ParseBenchRun(strings.NewReader(benchFixture))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.GOOS != "linux" || run.GOARCH != "amd64" || !strings.Contains(run.CPU, "Xeon") {
+		t.Fatalf("environment header not parsed: %+v", run)
+	}
+	base := NewBenchBaseline(run, "3x", "n")
+	if base.CPU != run.CPU || base.GOARCH != "amd64" {
+		t.Fatalf("baseline env not taken from the run: %+v", base)
+	}
+	if w := base.EnvMismatch(run); len(w) != 0 {
+		t.Fatalf("same env flagged: %v", w)
+	}
+	other := run
+	other.CPU = "AMD EPYC 7B13"
+	other.GOARCH = "arm64"
+	if w := base.EnvMismatch(other); len(w) != 2 {
+		t.Fatalf("mismatches not flagged: %v", w)
+	}
+}
+
+func TestParseBenchOutput(t *testing.T) {
+	got, err := ParseBenchOutput(strings.NewReader(benchFixture))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dedup, ok := got["BenchmarkSchedulerDedup/jobs=8/overlap=50%"]
+	if !ok {
+		t.Fatalf("dedup bench missing (GOMAXPROCS suffix not stripped?): %v", got)
+	}
+	if dedup.NsPerOp != 1335007 {
+		t.Fatalf("ns/op = %v", dedup.NsPerOp)
+	}
+	if dedup.Metrics[ThroughputMetric] != 95880 || dedup.Metrics["%spend_saved"] != 37.5 {
+		t.Fatalf("metrics = %v", dedup.Metrics)
+	}
+	if _, ok := got["BenchmarkEngineConcurrent/inflight=8"]; !ok {
+		t.Fatalf("unsuffixed bench name missing: %v", got)
+	}
+	if len(got) != 3 {
+		t.Fatalf("parsed %d benches, want 3", len(got))
+	}
+}
+
+func TestParseBenchOutputKeepsBest(t *testing.T) {
+	in := `BenchmarkX-8   3   200 ns/op   50 questions/s
+BenchmarkX-8   3   100 ns/op   40 questions/s
+`
+	got, err := ParseBenchOutput(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := got["BenchmarkX"]
+	if x.NsPerOp != 100 || x.Metrics[ThroughputMetric] != 50 {
+		t.Fatalf("best-of merge wrong: %+v", x)
+	}
+}
+
+func TestCompareBench(t *testing.T) {
+	base := BenchBaseline{
+		Schema: BenchSchema,
+		Benchmarks: map[string]BenchResult{
+			"BenchmarkA": {NsPerOp: 1000, Metrics: map[string]float64{ThroughputMetric: 100}},
+			"BenchmarkB": {NsPerOp: 1000},
+		},
+	}
+	fresh := map[string]BenchResult{
+		"BenchmarkA": {NsPerOp: 1250, Metrics: map[string]float64{ThroughputMetric: 80}},
+		"BenchmarkB": {NsPerOp: 1290},
+	}
+	if v := CompareBench(base, fresh, 0.30); len(v) != 0 {
+		t.Fatalf("within tolerance but flagged: %v", v)
+	}
+	// Inject a 2x slowdown: both the ns/op and throughput checks fire.
+	fresh["BenchmarkA"] = BenchResult{NsPerOp: 2000, Metrics: map[string]float64{ThroughputMetric: 50}}
+	v := CompareBench(base, fresh, 0.30)
+	if len(v) != 2 {
+		t.Fatalf("2x slowdown produced %d violations, want 2: %v", len(v), v)
+	}
+	// A missing benchmark fails loudly.
+	delete(fresh, "BenchmarkB")
+	if v := CompareBench(base, fresh, 0.30); len(v) != 3 {
+		t.Fatalf("missing bench not flagged: %v", v)
+	}
+}
+
+func TestCompareE2E(t *testing.T) {
+	mk := func() *Report {
+		return &Report{
+			Schema:          ReportSchema,
+			Profile:         Profile{Name: "smoke", Seed: 1},
+			GOARCH:          "amd64",
+			Deterministic:   true,
+			QuestionsPerSec: 1000,
+			SpendLedger:     12.5,
+			SpendJobs:       12.5,
+			Jobs:            JobsSummary{Total: 8, Done: 8},
+			ResultsHash:     "abc",
+		}
+	}
+	base, fresh := mk(), mk()
+	if v := CompareE2E(base, fresh, 0.30); len(v) != 0 {
+		t.Fatalf("identical reports flagged: %v", v)
+	}
+	// 2x slowdown on throughput.
+	fresh.QuestionsPerSec = 450
+	if v := CompareE2E(base, fresh, 0.30); len(v) != 1 {
+		t.Fatalf("throughput regression not flagged once: %v", v)
+	}
+	// Determinism regression: spend or hash divergence is a violation
+	// regardless of tolerance.
+	fresh = mk()
+	fresh.SpendJobs = 12.6
+	fresh.ResultsHash = "xyz"
+	if v := CompareE2E(base, fresh, 0.30); len(v) != 2 {
+		t.Fatalf("determinism regression produced %d violations, want 2: %v", len(v), v)
+	}
+	// Different goarch: determinism checks are skipped, throughput still
+	// gates.
+	fresh.GOARCH = "arm64"
+	if v := CompareE2E(base, fresh, 0.30); len(v) != 0 {
+		t.Fatalf("cross-arch run should skip determinism checks: %v", v)
+	}
+	// Partial runs always fail.
+	fresh = mk()
+	fresh.Partial = true
+	if v := CompareE2E(base, fresh, 0.30); len(v) != 1 {
+		t.Fatalf("partial run not flagged: %v", v)
+	}
+}

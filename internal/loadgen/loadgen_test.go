@@ -1,0 +1,163 @@
+package loadgen
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+// testProfile is a scaled-down smoke shape that keeps -race runs quick.
+func testProfile(dispatchers int) Profile {
+	p, ok := Named("smoke")
+	if !ok {
+		panic("smoke profile missing")
+	}
+	p.Dispatchers = dispatchers
+	return p
+}
+
+func TestWorkloadDeterministic(t *testing.T) {
+	p := testProfile(2)
+	w1, err := BuildWorkload(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2, err := BuildWorkload(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w1.Tenants) != p.Tenants || len(w2.Tenants) != p.Tenants {
+		t.Fatalf("tenant counts: %d, %d, want %d", len(w1.Tenants), len(w2.Tenants), p.Tenants)
+	}
+	for i := range w1.Tenants {
+		a, b := w1.Tenants[i], w2.Tenants[i]
+		if a.Name != b.Name || a.DomainVariant != b.DomainVariant || a.Watcher != b.Watcher ||
+			strings.Join(a.Keywords, ",") != strings.Join(b.Keywords, ",") {
+			t.Fatalf("tenant %d diverged between builds: %+v vs %+v", i, a, b)
+		}
+		if len(a.Keywords)*BlockSize != p.QuestionsPerTenant {
+			t.Fatalf("tenant %d: %d keyword blocks cover %d questions, want %d",
+				i, len(a.Keywords), len(a.Keywords)*BlockSize, p.QuestionsPerTenant)
+		}
+	}
+	if len(w1.Stream) != len(w2.Stream) {
+		t.Fatalf("stream lengths diverged: %d vs %d", len(w1.Stream), len(w2.Stream))
+	}
+	// Overlap rounds to blocks: tenants of one variant share exactly the
+	// shared blocks and nothing else.
+	t0, t2 := w1.Tenants[0], w1.Tenants[2] // same variant (Domains=2)
+	if t0.DomainVariant != t2.DomainVariant {
+		t.Fatalf("expected tenants 0 and 2 in one variant")
+	}
+	sharedSeen := 0
+	kw2 := make(map[string]bool, len(t2.Keywords))
+	for _, k := range t2.Keywords {
+		kw2[k] = true
+	}
+	for _, k := range t0.Keywords {
+		if kw2[k] {
+			sharedSeen++
+		}
+	}
+	if sharedSeen != w1.SharedBlocks {
+		t.Fatalf("shared blocks between same-variant tenants: %d, want %d", sharedSeen, w1.SharedBlocks)
+	}
+}
+
+// TestRunReproducibleAcrossDispatchers is the harness's core guarantee:
+// a fixed-seed closed-loop run produces identical aggregate spend,
+// job outcomes and results hash no matter the -dispatchers setting or
+// how goroutines interleave.
+func TestRunReproducibleAcrossDispatchers(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	var reports []*Report
+	for _, d := range []int{1, 8} {
+		rep, err := Run(ctx, Config{Profile: testProfile(d)})
+		if err != nil {
+			t.Fatalf("run with %d dispatchers: %v", d, err)
+		}
+		if rep.Partial {
+			t.Fatalf("run with %d dispatchers reported partial", d)
+		}
+		if rep.Jobs.Done != rep.Jobs.Total {
+			t.Fatalf("run with %d dispatchers: %d/%d jobs done (%+v; errors %v)",
+				d, rep.Jobs.Done, rep.Jobs.Total, rep.Jobs, rep.Errors)
+		}
+		if !rep.Deterministic {
+			t.Fatalf("closed-loop in-process run must report deterministic")
+		}
+		if rep.QuestionsPerSec <= 0 || rep.SpendJobs <= 0 {
+			t.Fatalf("degenerate throughput/spend: %+v", rep)
+		}
+		reports = append(reports, rep)
+	}
+	a, b := reports[0], reports[1]
+	if a.SpendLedger != b.SpendLedger || a.SpendJobs != b.SpendJobs {
+		t.Errorf("spend diverged across dispatcher settings: %v/%v vs %v/%v",
+			a.SpendLedger, a.SpendJobs, b.SpendLedger, b.SpendJobs)
+	}
+	if a.ResultsHash != b.ResultsHash {
+		t.Errorf("results hash diverged: %s vs %s", a.ResultsHash, b.ResultsHash)
+	}
+	if a.Jobs != b.Jobs {
+		t.Errorf("job outcomes diverged: %+v vs %+v", a.Jobs, b.Jobs)
+	}
+	// The second round re-asks round one's questions: the cache must
+	// answer them, and the dedup accounting must say so.
+	if a.Sched.CacheHits == 0 || a.DedupSavedPct <= 0 {
+		t.Errorf("expected cache hits on the second round: %+v", a.Sched)
+	}
+	if a.Watchers == 0 || a.SSEEvents == 0 {
+		t.Errorf("expected SSE watcher traffic: watchers=%d events=%d", a.Watchers, a.SSEEvents)
+	}
+	if a.E2E.Count == 0 || a.Submit.Count != a.Jobs.Total {
+		t.Errorf("latency populations incomplete: submit=%d e2e=%d total=%d",
+			a.Submit.Count, a.E2E.Count, a.Jobs.Total)
+	}
+}
+
+// TestRunBudgetParking drives the budget profile and expects the
+// admission control to park at least one tenant.
+func TestRunBudgetParking(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	p, _ := Named("budget")
+	rep, err := Run(ctx, Config{Profile: p})
+	if err != nil {
+		t.Fatalf("budget run: %v", err)
+	}
+	if rep.Jobs.Parked == 0 {
+		t.Fatalf("budget profile parked no jobs: %+v (errors %v)", rep.Jobs, rep.Errors)
+	}
+	if rep.Jobs.Done == 0 {
+		t.Fatalf("budget profile completed no jobs: %+v", rep.Jobs)
+	}
+	if rep.Jobs.Unsettled != 0 {
+		t.Fatalf("unsettled jobs after budget run: %+v", rep.Jobs)
+	}
+}
+
+// TestRunPartialOnCancel interrupts a timed-mode run mid-flight: the
+// harness must drain and still return a (partial) report instead of
+// hanging on open SSE watchers.
+func TestRunPartialOnCancel(t *testing.T) {
+	p := testProfile(2)
+	p.ArrivalMean = 100 * time.Millisecond // timed mode: submissions spread out
+	p.Rounds = 1
+	ctx, cancel := context.WithTimeout(context.Background(), 150*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	rep, err := Run(ctx, Config{Profile: p, DrainTimeout: 2 * time.Second})
+	if err == nil || !errors.Is(err, ErrInterrupted) {
+		t.Fatalf("expected ErrInterrupted, got %v", err)
+	}
+	if rep == nil || !rep.Partial {
+		t.Fatalf("expected a partial report, got %+v", rep)
+	}
+	if took := time.Since(start); took > 30*time.Second {
+		t.Fatalf("interrupted run took %v to unwind", took)
+	}
+}

@@ -1,0 +1,232 @@
+// Package loadgen is the end-to-end load-generation harness: it boots a
+// complete in-process CDAS server (or points at a remote one), drives
+// it purely through the cdas/client SDK with a deterministic, seedable
+// multi-tenant workload, and reports submit/end-to-end latency
+// percentiles, throughput, crowd spend and dedup savings in a
+// machine-readable form (the BENCH_e2e.json schema) plus a human table.
+//
+// Two driving modes:
+//
+//   - Closed-loop (ArrivalMean == 0, in-process only): every tenant of a
+//     round is submitted back to back, the harness flushes the scheduler
+//     once the whole wave is enqueued, and the next round starts when
+//     the previous one settled. Generation composition is then a pure
+//     function of the profile — a run's aggregate spend, per-job costs
+//     and verdict distribution are bit-equal across repeats and across
+//     -dispatchers settings, which is what makes the numbers gateable
+//     in CI.
+//   - Timed (ArrivalMean > 0): tenants arrive on a seeded exponential
+//     arrival process against a periodically flushing server — the
+//     realistic-latency mode. Which jobs share a generation then depends
+//     on real time, so only the workload (not the spend attribution) is
+//     reproducible.
+package loadgen
+
+import (
+	"fmt"
+	"time"
+)
+
+// BlockSize is the workload's question granularity: tenant question
+// sets are composed of blocks of this many questions (one synthetic
+// "movie" per block), and Overlap rounds to block boundaries.
+const BlockSize = 8
+
+// Profile is one workload shape. The zero value is not runnable;
+// construct from Named or fill every field and Validate.
+type Profile struct {
+	// Name labels the profile in reports and baselines.
+	Name string `json:"name"`
+	// Seed drives every random choice in the run: the crowd population,
+	// the tweet stream, arrival times and watcher draws.
+	Seed uint64 `json:"seed"`
+	// Tenants is the number of concurrent jobs per round.
+	Tenants int `json:"tenants"`
+	// QuestionsPerTenant is each tenant's question-set size; it must be
+	// a multiple of BlockSize.
+	QuestionsPerTenant int `json:"questions_per_tenant"`
+	// Overlap is the fraction of each tenant's questions drawn from its
+	// domain group's shared pool (identical across the group's tenants);
+	// the rest are private. Rounded to block granularity.
+	Overlap float64 `json:"overlap"`
+	// Domains spreads tenants round-robin over this many distinct
+	// answer-domain variants; questions only coalesce within a variant,
+	// and each variant runs its own engine, so Domains > 1 exercises the
+	// scheduler's concurrent domain groups.
+	Domains int `json:"domains"`
+	// Rounds repeats the workload: round r re-asks round r-1's questions
+	// under fresh job names, so rounds beyond the first measure the
+	// verified-answer cache.
+	Rounds int `json:"rounds"`
+	// PriorityLevels cycles tenants through 0..PriorityLevels-1 budget
+	// admission priorities (0 = all default priority).
+	PriorityLevels int `json:"priority_levels,omitempty"`
+	// TenantBudget caps each job's crowd spend (0 = unlimited); jobs the
+	// budget cannot cover are parked, and the harness counts them.
+	TenantBudget float64 `json:"tenant_budget,omitempty"`
+	// GlobalBudget caps the service-wide spend (0 = unlimited).
+	GlobalBudget float64 `json:"global_budget,omitempty"`
+	// WatcherFraction attaches an SSE watcher to this fraction of
+	// tenants (by index), consuming the live event stream end to end.
+	WatcherFraction float64 `json:"watcher_fraction"`
+	// ArrivalMean is the mean inter-arrival gap of the timed mode; 0
+	// selects the closed-loop deterministic mode.
+	ArrivalMean time.Duration `json:"arrival_mean,omitempty"`
+	// Dispatchers sizes the server's dispatcher pool. In closed-loop
+	// mode the effective pool is max(Dispatchers, Tenants) so a whole
+	// wave can block in one generation — the flag then changes only
+	// goroutine scheduling, never batch composition or results.
+	Dispatchers int `json:"dispatchers"`
+	// RequiredAccuracy is every job's C (and the service verification
+	// level).
+	RequiredAccuracy float64 `json:"required_accuracy"`
+	// HITSize and Inflight configure the engine template.
+	HITSize  int `json:"hit_size"`
+	Inflight int `json:"inflight"`
+	// DisableDedup turns cross-query coalescing and the answer cache
+	// off — the naive baseline.
+	DisableDedup bool `json:"disable_dedup,omitempty"`
+}
+
+// Validate normalises and checks the profile, returning the effective
+// copy. QuestionsPerTenant is rounded up to a BlockSize multiple.
+func (p Profile) Validate() (Profile, error) {
+	if p.Name == "" {
+		p.Name = "custom"
+	}
+	if p.Tenants < 1 {
+		return p, fmt.Errorf("loadgen: tenants must be >= 1, got %d", p.Tenants)
+	}
+	if p.QuestionsPerTenant < 1 {
+		return p, fmt.Errorf("loadgen: questions per tenant must be >= 1, got %d", p.QuestionsPerTenant)
+	}
+	if rem := p.QuestionsPerTenant % BlockSize; rem != 0 {
+		p.QuestionsPerTenant += BlockSize - rem
+	}
+	if p.Overlap < 0 || p.Overlap > 1 {
+		return p, fmt.Errorf("loadgen: overlap %v outside [0,1]", p.Overlap)
+	}
+	if p.Domains < 1 {
+		p.Domains = 1
+	}
+	if p.Domains > p.Tenants {
+		p.Domains = p.Tenants
+	}
+	if p.Rounds < 1 {
+		p.Rounds = 1
+	}
+	if p.PriorityLevels < 0 {
+		return p, fmt.Errorf("loadgen: priority levels must be >= 0, got %d", p.PriorityLevels)
+	}
+	if p.TenantBudget < 0 || p.GlobalBudget < 0 {
+		return p, fmt.Errorf("loadgen: budgets must be >= 0")
+	}
+	if p.WatcherFraction < 0 || p.WatcherFraction > 1 {
+		return p, fmt.Errorf("loadgen: watcher fraction %v outside [0,1]", p.WatcherFraction)
+	}
+	if p.ArrivalMean < 0 {
+		return p, fmt.Errorf("loadgen: arrival mean must be >= 0, got %v", p.ArrivalMean)
+	}
+	if p.Dispatchers < 1 {
+		p.Dispatchers = 2
+	}
+	if p.RequiredAccuracy == 0 {
+		p.RequiredAccuracy = 0.85
+	}
+	if p.RequiredAccuracy <= 0 || p.RequiredAccuracy >= 1 {
+		return p, fmt.Errorf("loadgen: required accuracy %v outside (0,1)", p.RequiredAccuracy)
+	}
+	if p.HITSize == 0 {
+		p.HITSize = 20
+	}
+	if p.HITSize < 2 {
+		return p, fmt.Errorf("loadgen: HIT size must be >= 2, got %d", p.HITSize)
+	}
+	if p.Inflight < 1 {
+		p.Inflight = 2
+	}
+	return p, nil
+}
+
+// Deterministic reports whether the profile runs in the closed-loop
+// mode whose aggregate results are reproducible bit for bit.
+func (p Profile) Deterministic() bool { return p.ArrivalMean == 0 }
+
+// Named returns a predefined profile by name. Callers may override
+// fields before Validate.
+func Named(name string) (Profile, bool) {
+	switch name {
+	case "smoke":
+		// Small enough for CI's bench gate: 4 tenants over 2 domain
+		// variants, one cache round, watchers on half the tenants.
+		return Profile{
+			Name:               "smoke",
+			Seed:               1,
+			Tenants:            4,
+			QuestionsPerTenant: 16,
+			Overlap:            0.5,
+			Domains:            2,
+			Rounds:             2,
+			WatcherFraction:    0.5,
+			Dispatchers:        4,
+			RequiredAccuracy:   0.85,
+			HITSize:            20,
+			Inflight:           2,
+		}, true
+	case "contention":
+		// The headline profile: 64 tenants hammering 4 domain groups.
+		return Profile{
+			Name:               "contention",
+			Seed:               1,
+			Tenants:            64,
+			QuestionsPerTenant: 16,
+			Overlap:            0.5,
+			Domains:            4,
+			Rounds:             1,
+			WatcherFraction:    0.25,
+			Dispatchers:        8,
+			RequiredAccuracy:   0.85,
+			HITSize:            20,
+			Inflight:           4,
+		}, true
+	case "dedup":
+		// High-overlap multi-round shape for cache/dedup accounting.
+		return Profile{
+			Name:               "dedup",
+			Seed:               1,
+			Tenants:            16,
+			QuestionsPerTenant: 24,
+			Overlap:            0.75,
+			Domains:            2,
+			Rounds:             3,
+			WatcherFraction:    0.25,
+			Dispatchers:        8,
+			RequiredAccuracy:   0.85,
+			HITSize:            20,
+			Inflight:           4,
+		}, true
+	case "budget":
+		// Scarce budgets with priority tiers: exercises parking.
+		return Profile{
+			Name:               "budget",
+			Seed:               1,
+			Tenants:            12,
+			QuestionsPerTenant: 16,
+			Overlap:            0.5,
+			Domains:            2,
+			Rounds:             1,
+			PriorityLevels:     3,
+			TenantBudget:       0.3,
+			GlobalBudget:       0.8,
+			WatcherFraction:    0.25,
+			Dispatchers:        6,
+			RequiredAccuracy:   0.85,
+			HITSize:            20,
+			Inflight:           2,
+		}, true
+	}
+	return Profile{}, false
+}
+
+// ProfileNames lists the predefined profiles.
+func ProfileNames() []string { return []string{"smoke", "contention", "dedup", "budget"} }

@@ -1,0 +1,236 @@
+// The loadgen report: the machine-readable BENCH_e2e.json schema and
+// its human-readable table.
+package loadgen
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+
+	"cdas/api"
+	"cdas/internal/stats"
+)
+
+// ReportSchema identifies the report's wire shape.
+const ReportSchema = "cdas-loadgen/v1"
+
+// LatencySummary summarises one latency population in milliseconds.
+type LatencySummary struct {
+	Count int     `json:"count"`
+	P50   float64 `json:"p50_ms"`
+	P95   float64 `json:"p95_ms"`
+	P99   float64 `json:"p99_ms"`
+	Max   float64 `json:"max_ms"`
+}
+
+// summarize builds a LatencySummary from millisecond samples.
+func summarize(ms []float64) LatencySummary {
+	if len(ms) == 0 {
+		return LatencySummary{}
+	}
+	max := ms[0]
+	for _, v := range ms {
+		if v > max {
+			max = v
+		}
+	}
+	return LatencySummary{
+		Count: len(ms),
+		P50:   stats.Quantile(ms, 0.50),
+		P95:   stats.Quantile(ms, 0.95),
+		P99:   stats.Quantile(ms, 0.99),
+		Max:   max,
+	}
+}
+
+// JobsSummary counts the workload's jobs by final state.
+type JobsSummary struct {
+	Total     int `json:"total"`
+	Done      int `json:"done"`
+	Parked    int `json:"parked"`
+	Failed    int `json:"failed"`
+	Cancelled int `json:"cancelled"`
+	Unsettled int `json:"unsettled"`
+}
+
+// SchedStats is the scheduler-side accounting of the run (deltas when
+// driving a remote server that had prior traffic).
+type SchedStats struct {
+	Generations int   `json:"generations"`
+	Enqueued    int64 `json:"questions_enqueued"`
+	Published   int64 `json:"questions_published"`
+	Deduped     int64 `json:"questions_deduped"`
+	CacheHits   int64 `json:"cache_hits"`
+	CacheMisses int64 `json:"cache_misses"`
+	Batches     int64 `json:"batches_published"`
+}
+
+// Report is one loadgen run's result.
+type Report struct {
+	Schema  string  `json:"schema"`
+	Profile Profile `json:"profile"`
+	// Addr is the remote target, empty for in-process runs.
+	Addr   string `json:"addr,omitempty"`
+	GOOS   string `json:"goos"`
+	GOARCH string `json:"goarch"`
+	CPU    string `json:"cpu,omitempty"`
+	CPUs   int    `json:"cpus"`
+	// EffectiveDispatchers is the dispatcher pool the run actually used
+	// (closed-loop mode widens the pool to the tenant count so a whole
+	// wave shares one generation).
+	EffectiveDispatchers int `json:"effective_dispatchers"`
+	// Deterministic marks a closed-loop in-process run whose spend,
+	// per-job costs and ResultsHash are reproducible bit for bit.
+	Deterministic bool `json:"deterministic"`
+	// Partial marks a run cut short by cancellation or timeout; counts
+	// and spend cover only what completed.
+	Partial bool `json:"partial,omitempty"`
+
+	WallSeconds        float64 `json:"wall_seconds"`
+	QuestionsSubmitted int     `json:"questions_submitted"`
+	QuestionsPerSec    float64 `json:"questions_per_second"`
+
+	Jobs      JobsSummary    `json:"jobs"`
+	Submit    LatencySummary `json:"submit_latency"`
+	E2E       LatencySummary `json:"e2e_latency"`
+	Watchers  int            `json:"watchers"`
+	SSEEvents int64          `json:"sse_events"`
+
+	// SpendLedger is the scheduler budget ledger's spend delta;
+	// SpendJobs sums the per-job costs the API reports. They agree on a
+	// settled run (the ledger charges exactly what tickets attribute).
+	SpendLedger      float64 `json:"spend_ledger"`
+	SpendJobs        float64 `json:"spend_jobs"`
+	SpendPerQuestion float64 `json:"spend_per_question"`
+
+	Sched SchedStats `json:"scheduler"`
+	// DedupSavedPct is the fraction of enqueued questions answered
+	// without a fresh crowd purchase (cache hits + rides on shared
+	// slots), in percent.
+	DedupSavedPct float64 `json:"dedup_saved_pct"`
+
+	// ResultsHash fingerprints the run's semantic outcome: every job's
+	// final state, cost, item count and result percentages, folded in
+	// name order. Two deterministic runs of one profile must agree.
+	ResultsHash string `json:"results_hash"`
+
+	Errors []string `json:"errors,omitempty"`
+}
+
+// newReport seeds the environment fields.
+func newReport(p Profile, addr string, effDispatchers int, inproc bool) *Report {
+	return &Report{
+		Schema:               ReportSchema,
+		Profile:              p,
+		Addr:                 addr,
+		GOOS:                 runtime.GOOS,
+		GOARCH:               runtime.GOARCH,
+		CPU:                  cpuModel(),
+		CPUs:                 runtime.NumCPU(),
+		EffectiveDispatchers: effDispatchers,
+		Deterministic:        p.Deterministic() && inproc,
+	}
+}
+
+// cpuModel best-effort reads the CPU model name (linux); empty
+// elsewhere.
+func cpuModel() string {
+	b, err := os.ReadFile("/proc/cpuinfo")
+	if err != nil {
+		return ""
+	}
+	for _, line := range strings.Split(string(b), "\n") {
+		if name, ok := strings.CutPrefix(line, "model name"); ok {
+			if _, v, ok := strings.Cut(name, ":"); ok {
+				return strings.TrimSpace(v)
+			}
+		}
+	}
+	return ""
+}
+
+// hashResults folds the final job records into the determinism
+// fingerprint. Records are visited in name order and floats rendered at
+// full precision, so any bit of divergence shows.
+func hashResults(sts []api.JobStatus) string {
+	sorted := append([]api.JobStatus(nil), sts...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Name < sorted[j].Name })
+	h := fnv.New64a()
+	write := func(parts ...string) {
+		for _, p := range parts {
+			h.Write([]byte(p))
+			h.Write([]byte{0})
+		}
+	}
+	for _, st := range sorted {
+		write(st.Name, string(st.State), strconv.FormatFloat(st.Cost, 'g', -1, 64))
+		if st.Results != nil {
+			write(strconv.Itoa(st.Results.Items))
+			labels := make([]string, 0, len(st.Results.Percentages))
+			for l := range st.Results.Percentages {
+				labels = append(labels, l)
+			}
+			sort.Strings(labels)
+			for _, l := range labels {
+				write(l, strconv.FormatFloat(st.Results.Percentages[l], 'g', -1, 64))
+			}
+		}
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// WriteJSON writes the report to path (pretty-printed, trailing
+// newline).
+func (r *Report) WriteJSON(path string) error {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return fmt.Errorf("loadgen: encoding report: %w", err)
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// Table renders the human-readable summary.
+func (r *Report) Table() string {
+	var b strings.Builder
+	mode := "timed"
+	if r.Deterministic {
+		mode = "closed-loop (deterministic)"
+	}
+	status := ""
+	if r.Partial {
+		status = "  [PARTIAL]"
+	}
+	fmt.Fprintf(&b, "profile %s seed=%d%s\n", r.Profile.Name, r.Profile.Seed, status)
+	fmt.Fprintf(&b, "  %d tenants x %d questions x %d rounds, overlap %.0f%%, %d domain group(s), mode %s\n",
+		r.Profile.Tenants, r.Profile.QuestionsPerTenant, r.Profile.Rounds, 100*r.Profile.Overlap, r.Profile.Domains, mode)
+	fmt.Fprintf(&b, "  dispatchers %d (effective %d), inflight %d, HIT size %d, dedup %v\n",
+		r.Profile.Dispatchers, r.EffectiveDispatchers, r.Profile.Inflight, r.Profile.HITSize, !r.Profile.DisableDedup)
+	fmt.Fprintf(&b, "\n")
+	fmt.Fprintf(&b, "  wall            %8.2f s\n", r.WallSeconds)
+	fmt.Fprintf(&b, "  questions       %8d submitted   %10.0f questions/s\n", r.QuestionsSubmitted, r.QuestionsPerSec)
+	fmt.Fprintf(&b, "  jobs            %8d total: %d done, %d parked, %d failed, %d cancelled, %d unsettled\n",
+		r.Jobs.Total, r.Jobs.Done, r.Jobs.Parked, r.Jobs.Failed, r.Jobs.Cancelled, r.Jobs.Unsettled)
+	fmt.Fprintf(&b, "  submit latency  p50 %7.2f ms   p95 %7.2f ms   p99 %7.2f ms   max %7.2f ms\n",
+		r.Submit.P50, r.Submit.P95, r.Submit.P99, r.Submit.Max)
+	fmt.Fprintf(&b, "  e2e latency     p50 %7.2f ms   p95 %7.2f ms   p99 %7.2f ms   max %7.2f ms\n",
+		r.E2E.P50, r.E2E.P95, r.E2E.P99, r.E2E.Max)
+	fmt.Fprintf(&b, "  SSE             %8d watchers    %8d events\n", r.Watchers, r.SSEEvents)
+	fmt.Fprintf(&b, "  spend           %8.2f (ledger)   %8.2f (jobs)   %.4f per question\n",
+		r.SpendLedger, r.SpendJobs, r.SpendPerQuestion)
+	fmt.Fprintf(&b, "  dedup           %5.1f%% of enqueued questions answered without a purchase\n", r.DedupSavedPct)
+	fmt.Fprintf(&b, "    scheduler: %d generation(s), %d enqueued, %d published, %d deduped, %d cache hits, %d batches\n",
+		r.Sched.Generations, r.Sched.Enqueued, r.Sched.Published, r.Sched.Deduped, r.Sched.CacheHits, r.Sched.Batches)
+	fmt.Fprintf(&b, "  results hash    %s\n", r.ResultsHash)
+	if len(r.Errors) > 0 {
+		fmt.Fprintf(&b, "  errors (%d):\n", len(r.Errors))
+		for _, e := range r.Errors {
+			fmt.Fprintf(&b, "    - %s\n", e)
+		}
+	}
+	return b.String()
+}

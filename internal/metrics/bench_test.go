@@ -1,0 +1,42 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+)
+
+// mutexRegistry is the pre-striping implementation (single mutex over a
+// map), kept here as the benchmark baseline the lock-free Registry is
+// measured against.
+type mutexRegistry struct {
+	mu       sync.Mutex
+	counters map[string]int64
+}
+
+func (r *mutexRegistry) Add(name string, delta int64) {
+	r.mu.Lock()
+	r.counters[name] += delta
+	r.mu.Unlock()
+}
+
+// BenchmarkRegistryAdd measures the hot increment path of the lock-free
+// registry under parallel writers.
+func BenchmarkRegistryAdd(b *testing.B) {
+	r := NewRegistry()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			r.Add("jobs_completed", 1)
+		}
+	})
+}
+
+// BenchmarkMutexRegistryAdd is the old implementation's equivalent path
+// for comparison.
+func BenchmarkMutexRegistryAdd(b *testing.B) {
+	r := &mutexRegistry{counters: make(map[string]int64)}
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			r.Add("jobs_completed", 1)
+		}
+	})
+}

@@ -1,0 +1,65 @@
+package profile
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// mutexStore is the pre-striping implementation (one RWMutex over the
+// whole store), kept as the benchmark baseline.
+type mutexStore struct {
+	mu   sync.RWMutex
+	jobs map[string]*jobCounts
+}
+
+func (s *mutexStore) Record(job, worker string, correct bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	jc, ok := s.jobs[job]
+	if !ok {
+		jc = newJobCounts()
+		s.jobs[job] = jc
+	}
+	jc.Total[worker]++
+	if correct {
+		jc.Correct[worker]++
+	}
+}
+
+// benchWorkers mirrors the simulator's population: many distinct worker
+// IDs, each goroutine cycling through its own slice.
+func benchWorkers(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("w%04d", i)
+	}
+	return out
+}
+
+// BenchmarkStoreRecordParallel measures the striped store's Record
+// under parallel writers — the engine pipeline's per-assignment path.
+func BenchmarkStoreRecordParallel(b *testing.B) {
+	s := NewStore()
+	workers := benchWorkers(512)
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			s.Record("job", workers[i%len(workers)], i%3 != 0)
+			i++
+		}
+	})
+}
+
+// BenchmarkMutexStoreRecordParallel is the old single-lock equivalent.
+func BenchmarkMutexStoreRecordParallel(b *testing.B) {
+	s := &mutexStore{jobs: make(map[string]*jobCounts)}
+	workers := benchWorkers(512)
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			s.Record("job", workers[i%len(workers)], i%3 != 0)
+			i++
+		}
+	})
+}

@@ -6,6 +6,14 @@
 // worker's accuracy varies widely across task types (a good image tagger
 // may be a poor sentiment judge). The store is safe for concurrent use and
 // serialises to JSON for persistence across engine restarts.
+//
+// Internally the store is lock-striped by worker ID: every assignment a
+// HIT consumes records that worker's golden outcomes and reads that
+// worker's accuracy, so striping by worker lets the engine's concurrent
+// pipeline — and the scheduler's concurrent domain groups sharing one
+// store — proceed in parallel instead of serialising every vote through
+// a single store-wide mutex. Whole-store operations (Snapshot, Workers,
+// MeanAccuracy, Save, Load) visit the stripes in a fixed order.
 package profile
 
 import (
@@ -15,11 +23,25 @@ import (
 	"os"
 	"sort"
 	"sync"
+
+	"cdas/internal/textutil"
 )
+
+// stripeCount is the number of independent locks; a power of two so the
+// worker-hash fold is a mask. 32 stripes keep the collision rate low for
+// realistic worker populations while costing a few hundred bytes.
+const stripeCount = 32
 
 // Store maps (job, worker) to golden-question outcome counts. The zero
 // value is ready to use.
 type Store struct {
+	stripes [stripeCount]stripe
+}
+
+// stripe holds the counts of every worker hashing to it, still grouped
+// by job: jobs maps job name to that job's counts for this stripe's
+// workers only.
+type stripe struct {
 	mu   sync.RWMutex
 	jobs map[string]*jobCounts
 }
@@ -34,24 +56,43 @@ func newJobCounts() *jobCounts {
 }
 
 // NewStore returns an empty Store.
-func NewStore() *Store { return &Store{jobs: make(map[string]*jobCounts)} }
+func NewStore() *Store { return &Store{} }
+
+// stripeFor picks the stripe owning a worker's counts (allocation-free
+// FNV-1a — this sits on the engine's per-assignment path).
+func (s *Store) stripeFor(worker string) *stripe {
+	return &s.stripes[textutil.Hash32(worker)&(stripeCount-1)]
+}
 
 // Record notes one golden-question outcome for worker under job.
 func (s *Store) Record(job, worker string, correct bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.jobs == nil {
-		s.jobs = make(map[string]*jobCounts)
+	st := s.stripeFor(worker)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.jobs == nil {
+		st.jobs = make(map[string]*jobCounts)
 	}
-	jc, ok := s.jobs[job]
+	jc, ok := st.jobs[job]
 	if !ok {
 		jc = newJobCounts()
-		s.jobs[job] = jc
+		st.jobs[job] = jc
 	}
 	jc.Total[worker]++
 	if correct {
 		jc.Correct[worker]++
 	}
+}
+
+// counts reads one worker's (correct, total) for job.
+func (s *Store) counts(job, worker string) (int, int) {
+	st := s.stripeFor(worker)
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	jc, ok := st.jobs[job]
+	if !ok {
+		return 0, 0
+	}
+	return jc.Correct[worker], jc.Total[worker]
 }
 
 // Accuracy returns worker's estimated accuracy for job and whether any
@@ -62,13 +103,11 @@ func (s *Store) Record(job, worker string, correct bool) {
 // question would actively push the answers they got right DOWN. Smoothing
 // keeps early weights moderate and washes out as samples accumulate.
 func (s *Store) Accuracy(job, worker string) (float64, bool) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	jc, ok := s.jobs[job]
-	if !ok || jc.Total[worker] == 0 {
+	correct, total := s.counts(job, worker)
+	if total == 0 {
 		return 0, false
 	}
-	return (float64(jc.Correct[worker]) + 1) / (float64(jc.Total[worker]) + 2), true
+	return (float64(correct) + 1) / (float64(total) + 2), true
 }
 
 // AccuracyOr returns the estimate or fallback for unseen workers.
@@ -92,13 +131,11 @@ func (s *Store) ShrunkAccuracy(job, worker string, prior, pseudo float64) float6
 	if pseudo < 0 {
 		pseudo = 0
 	}
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	jc, ok := s.jobs[job]
-	if !ok || jc.Total[worker] == 0 {
+	correct, total := s.counts(job, worker)
+	if total == 0 {
 		return prior
 	}
-	return (float64(jc.Correct[worker]) + pseudo*prior) / (float64(jc.Total[worker]) + pseudo)
+	return (float64(correct) + pseudo*prior) / (float64(total) + pseudo)
 }
 
 // Snapshot is an immutable copy of one job's outcome counts, taken with
@@ -111,18 +148,24 @@ type Snapshot struct {
 	total   map[string]int
 }
 
-// Snapshot copies job's current counts into an immutable view.
+// Snapshot copies job's current counts into an immutable view, visiting
+// the stripes in index order. Workers recorded concurrently with the
+// call may or may not appear — the same guarantee the single-lock store
+// gave a caller racing Record.
 func (s *Store) Snapshot(job string) Snapshot {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
 	snap := Snapshot{correct: make(map[string]int), total: make(map[string]int)}
-	if jc, ok := s.jobs[job]; ok {
-		for w, c := range jc.Correct {
-			snap.correct[w] = c
+	for i := range s.stripes {
+		st := &s.stripes[i]
+		st.mu.RLock()
+		if jc, ok := st.jobs[job]; ok {
+			for w, c := range jc.Correct {
+				snap.correct[w] = c
+			}
+			for w, n := range jc.Total {
+				snap.total[w] = n
+			}
 		}
-		for w, n := range jc.Total {
-			snap.total[w] = n
-		}
+		st.mu.RUnlock()
 	}
 	return snap
 }
@@ -148,25 +191,22 @@ func (sn Snapshot) ShrunkAccuracy(worker string, extraCorrect, extraTotal int, p
 
 // Samples reports how many outcomes are recorded for (job, worker).
 func (s *Store) Samples(job, worker string) int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	if jc, ok := s.jobs[job]; ok {
-		return jc.Total[worker]
-	}
-	return 0
+	_, total := s.counts(job, worker)
+	return total
 }
 
 // Workers lists workers with recorded outcomes for job, sorted.
 func (s *Store) Workers(job string) []string {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	jc, ok := s.jobs[job]
-	if !ok {
-		return nil
-	}
-	out := make([]string, 0, len(jc.Total))
-	for w := range jc.Total {
-		out = append(out, w)
+	var out []string
+	for i := range s.stripes {
+		st := &s.stripes[i]
+		st.mu.RLock()
+		if jc, ok := st.jobs[job]; ok {
+			for w := range jc.Total {
+				out = append(out, w)
+			}
+		}
+		st.mu.RUnlock()
 	}
 	sort.Strings(out)
 	return out
@@ -176,26 +216,57 @@ func (s *Store) Workers(job string) []string {
 // recorded for job, and false when no worker has been recorded. The
 // prediction model uses this as μ once sampling has warmed up.
 func (s *Store) MeanAccuracy(job string) (float64, bool) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	jc, ok := s.jobs[job]
-	if !ok || len(jc.Total) == 0 {
+	sum, n := 0.0, 0
+	for i := range s.stripes {
+		st := &s.stripes[i]
+		st.mu.RLock()
+		if jc, ok := st.jobs[job]; ok {
+			for w, total := range jc.Total {
+				if total > 0 {
+					sum += float64(jc.Correct[w]) / float64(total)
+					n++
+				}
+			}
+		}
+		st.mu.RUnlock()
+	}
+	if n == 0 {
 		return 0, false
 	}
-	sum := 0.0
-	for w, n := range jc.Total {
-		sum += float64(jc.Correct[w]) / float64(n)
+	return sum / float64(n), true
+}
+
+// merged collects every stripe's counts into one per-job view — the
+// wire shape Save has always written (and Load reads back), so striping
+// is invisible in the serialised form.
+func (s *Store) merged() map[string]*jobCounts {
+	out := make(map[string]*jobCounts)
+	for i := range s.stripes {
+		st := &s.stripes[i]
+		st.mu.RLock()
+		for job, jc := range st.jobs {
+			dst, ok := out[job]
+			if !ok {
+				dst = newJobCounts()
+				out[job] = dst
+			}
+			for w, c := range jc.Correct {
+				dst.Correct[w] = c
+			}
+			for w, n := range jc.Total {
+				dst.Total[w] = n
+			}
+		}
+		st.mu.RUnlock()
 	}
-	return sum / float64(len(jc.Total)), true
+	return out
 }
 
 // Save serialises the store as JSON.
 func (s *Store) Save(w io.Writer) error {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	if err := enc.Encode(s.jobs); err != nil {
+	if err := enc.Encode(s.merged()); err != nil {
 		return fmt.Errorf("profile: save: %w", err)
 	}
 	return nil
@@ -224,9 +295,37 @@ func (s *Store) Load(r io.Reader) error {
 			}
 		}
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.jobs = jobs
+	// Redistribute the flat per-job view across the stripes. Locks are
+	// taken in index order, the same order every other whole-store
+	// operation uses, so Load cannot deadlock against them.
+	for i := range s.stripes {
+		s.stripes[i].mu.Lock()
+	}
+	defer func() {
+		for i := range s.stripes {
+			s.stripes[i].mu.Unlock()
+		}
+	}()
+	for i := range s.stripes {
+		s.stripes[i].jobs = nil
+	}
+	for job, jc := range jobs {
+		for w, total := range jc.Total {
+			st := s.stripeFor(w)
+			if st.jobs == nil {
+				st.jobs = make(map[string]*jobCounts)
+			}
+			dst, ok := st.jobs[job]
+			if !ok {
+				dst = newJobCounts()
+				st.jobs[job] = dst
+			}
+			dst.Total[w] = total
+			if c := jc.Correct[w]; c > 0 {
+				dst.Correct[w] = c
+			}
+		}
+	}
 	return nil
 }
 

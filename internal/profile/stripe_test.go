@@ -1,0 +1,134 @@
+package profile
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// sameStripeWorkers finds n distinct worker IDs hashing to one stripe,
+// plus one worker from a different stripe — the fixture for boundary
+// tests.
+func sameStripeWorkers(t *testing.T, s *Store, n int) (same []string, other string) {
+	t.Helper()
+	target := s.stripeFor("w-0000")
+	for i := 0; len(same) < n && i < 100000; i++ {
+		w := fmt.Sprintf("w-%04d", i)
+		if s.stripeFor(w) == target {
+			same = append(same, w)
+		} else if other == "" {
+			other = w
+		}
+	}
+	if len(same) < n || other == "" {
+		t.Fatalf("could not build the stripe fixture (%d same, other=%q)", len(same), other)
+	}
+	return same, other
+}
+
+// TestStripeBoundary drives concurrent writers whose workers all hash
+// to one stripe (maximum collision pressure) alongside a worker on
+// another stripe, and asserts every count lands exactly: striping must
+// never lose or cross-credit outcomes, whether keys share a stripe or
+// not.
+func TestStripeBoundary(t *testing.T) {
+	s := NewStore()
+	same, other := sameStripeWorkers(t, s, 4)
+	const (
+		jobs    = 3
+		rounds  = 500
+		writers = 4 // one per same-stripe worker
+	)
+	var wg sync.WaitGroup
+	for wi, w := range same {
+		wg.Add(1)
+		go func(wi int, w string) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				for j := 0; j < jobs; j++ {
+					// Worker wi answers correctly when r%(wi+2) == 0 — a
+					// per-worker deterministic pattern so expected counts
+					// are computable.
+					s.Record(fmt.Sprintf("job%d", j), w, r%(wi+2) == 0)
+				}
+			}
+		}(wi, w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for r := 0; r < rounds; r++ {
+			s.Record("job0", other, true)
+		}
+	}()
+	wg.Wait()
+
+	for j := 0; j < jobs; j++ {
+		job := fmt.Sprintf("job%d", j)
+		for wi, w := range same {
+			if got := s.Samples(job, w); got != rounds {
+				t.Errorf("%s/%s: %d samples, want %d", job, w, got, rounds)
+			}
+			wantCorrect := 0
+			for r := 0; r < rounds; r++ {
+				if r%(wi+2) == 0 {
+					wantCorrect++
+				}
+			}
+			acc, ok := s.Accuracy(job, w)
+			if !ok {
+				t.Fatalf("%s/%s: no accuracy", job, w)
+			}
+			want := (float64(wantCorrect) + 1) / (float64(rounds) + 2)
+			if acc != want {
+				t.Errorf("%s/%s: accuracy %v, want %v", job, w, acc, want)
+			}
+		}
+	}
+	if got := s.Samples("job0", other); got != rounds {
+		t.Errorf("cross-stripe worker %s: %d samples, want %d", other, got, rounds)
+	}
+	// Whole-store views must merge the stripes consistently.
+	if got := len(s.Workers("job0")); got != len(same)+1 {
+		t.Errorf("Workers(job0) = %d entries, want %d", got, len(same)+1)
+	}
+	snap := s.Snapshot("job0")
+	for _, w := range same {
+		if snap.Samples(w) != rounds {
+			t.Errorf("snapshot %s: %d samples, want %d", w, snap.Samples(w), rounds)
+		}
+	}
+}
+
+// TestStripeSaveLoadRoundTrip checks that striping is invisible in the
+// serialised form: save, load into a fresh store, and every per-worker
+// count survives regardless of stripe placement.
+func TestStripeSaveLoadRoundTrip(t *testing.T) {
+	s := NewStore()
+	same, other := sameStripeWorkers(t, s, 3)
+	workers := append(append([]string(nil), same...), other)
+	for i, w := range workers {
+		for n := 0; n <= i; n++ {
+			s.Record("job", w, n%2 == 0)
+		}
+	}
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored := NewStore()
+	if err := restored.Load(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for i, w := range workers {
+		if got, want := restored.Samples("job", w), i+1; got != want {
+			t.Errorf("%s: %d samples after round trip, want %d", w, got, want)
+		}
+		a1, ok1 := s.Accuracy("job", w)
+		a2, ok2 := restored.Accuracy("job", w)
+		if ok1 != ok2 || a1 != a2 {
+			t.Errorf("%s: accuracy changed across round trip: %v/%v vs %v/%v", w, a1, ok1, a2, ok2)
+		}
+	}
+}

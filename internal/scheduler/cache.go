@@ -6,7 +6,14 @@ package scheduler
 import (
 	"sync"
 	"time"
+
+	"cdas/internal/textutil"
 )
+
+// cacheStripes is the shard count: a power of two so the key-hash fold
+// is a mask. Keys are already uniform SHA-256 prefixes, so the hash
+// spreads evenly.
+const cacheStripes = 16
 
 // CachedAnswer is one verified result held by the cache.
 type CachedAnswer struct {
@@ -21,13 +28,20 @@ type CachedAnswer struct {
 }
 
 // AnswerCache maps canonical question keys to verified answers with a
-// TTL. It is safe for concurrent use. A zero TTL never expires entries —
-// the right setting for deterministic simulations, where wall-clock
-// expiry would make reruns diverge.
+// TTL. It is safe for concurrent use and sharded internally so lookups
+// for different keys do not serialise on one lock — the flush path
+// probes it once per enqueued question, and a State or Sweep poll must
+// not stall a generation. A zero TTL never expires entries — the right
+// setting for deterministic simulations, where wall-clock expiry would
+// make reruns diverge.
 type AnswerCache struct {
 	ttl time.Duration
 	now func() time.Time
 
+	stripes [cacheStripes]cacheStripe
+}
+
+type cacheStripe struct {
 	mu      sync.Mutex
 	entries map[string]CachedAnswer
 }
@@ -38,20 +52,31 @@ func NewAnswerCache(ttl time.Duration, now func() time.Time) *AnswerCache {
 	if now == nil {
 		now = time.Now
 	}
-	return &AnswerCache{ttl: ttl, now: now, entries: make(map[string]CachedAnswer)}
+	c := &AnswerCache{ttl: ttl, now: now}
+	for i := range c.stripes {
+		c.stripes[i].entries = make(map[string]CachedAnswer)
+	}
+	return c
+}
+
+// stripeFor picks the shard owning key (allocation-free FNV-1a on the
+// per-question probe path).
+func (c *AnswerCache) stripeFor(key string) *cacheStripe {
+	return &c.stripes[textutil.Hash32(key)&(cacheStripes-1)]
 }
 
 // Get returns the live entry for key. Expired entries are dropped on
 // access and reported as misses.
 func (c *AnswerCache) Get(key string) (CachedAnswer, bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	e, ok := c.entries[key]
+	st := c.stripeFor(key)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	e, ok := st.entries[key]
 	if !ok {
 		return CachedAnswer{}, false
 	}
 	if c.expired(e) {
-		delete(c.entries, key)
+		delete(st.entries, key)
 		return CachedAnswer{}, false
 	}
 	return e, true
@@ -59,9 +84,10 @@ func (c *AnswerCache) Get(key string) (CachedAnswer, bool) {
 
 // Put stores (or refreshes) a verified answer under key.
 func (c *AnswerCache) Put(key string, answer string, confidence float64, votes int) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.entries[key] = CachedAnswer{
+	st := c.stripeFor(key)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.entries[key] = CachedAnswer{
 		Answer:     answer,
 		Confidence: confidence,
 		Votes:      votes,
@@ -72,26 +98,35 @@ func (c *AnswerCache) Put(key string, answer string, confidence float64, votes i
 // Len reports the number of stored entries, expired ones included until
 // their next access or Sweep.
 func (c *AnswerCache) Len() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return len(c.entries)
+	n := 0
+	for i := range c.stripes {
+		st := &c.stripes[i]
+		st.mu.Lock()
+		n += len(st.entries)
+		st.mu.Unlock()
+	}
+	return n
 }
 
 // Sweep drops every expired entry and reports how many were removed.
 func (c *AnswerCache) Sweep() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	removed := 0
-	for k, e := range c.entries {
-		if c.expired(e) {
-			delete(c.entries, k)
-			removed++
+	for i := range c.stripes {
+		st := &c.stripes[i]
+		st.mu.Lock()
+		for k, e := range st.entries {
+			if c.expired(e) {
+				delete(st.entries, k)
+				removed++
+			}
 		}
+		st.mu.Unlock()
 	}
 	return removed
 }
 
-// expired reports whether e has outlived the TTL. Callers hold c.mu.
+// expired reports whether e has outlived the TTL. Callers hold the
+// owning stripe's lock.
 func (c *AnswerCache) expired(e CachedAnswer) bool {
 	return c.ttl > 0 && c.now().Sub(e.StoredAt) >= c.ttl
 }

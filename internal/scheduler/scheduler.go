@@ -211,16 +211,20 @@ type Scheduler struct {
 	estSlots        int
 	serviceAccuracy float64
 
-	// flushMu serialises generations; mu guards the queue, engines and
-	// stats underneath it.
-	flushMu sync.Mutex
-	mu      sync.Mutex
-	pending []*Ticket
-	engines map[string]*engine.Engine
-	stats   State
-	closed  bool
-	stopBg  context.CancelFunc
-	bgDone  chan struct{}
+	// flushMu serialises generations; mu guards the queue and stats
+	// underneath it. The domain-engine map lives behind its own lock
+	// (enginesMu) so building an engine mid-flush — prediction-model
+	// planning included — never blocks Enqueue or State callers, which
+	// only need mu.
+	flushMu   sync.Mutex
+	mu        sync.Mutex
+	pending   []*Ticket
+	stats     State
+	closed    bool
+	enginesMu sync.Mutex
+	engines   map[string]*engine.Engine
+	stopBg    context.CancelFunc
+	bgDone    chan struct{}
 }
 
 // New builds a Scheduler.
@@ -555,83 +559,130 @@ func (s *Scheduler) estimate(newWork map[string]int, shared int) float64 {
 	return est
 }
 
-// runGroups executes every domain group in sorted order and fans results
-// out to subscribers, returning the first engine error.
+// groupOutcome is one domain group's drained crowd output, handed from
+// the concurrent collection phase to the sequential fan-out phase.
+type groupOutcome struct {
+	g       *group
+	ordered []*slot          // slots sorted by canonical key
+	byID    map[string]*slot // canonical question ID -> slot
+	perHIT  int              // real slots per HIT (chunking unit)
+	results map[int]engine.StreamResult
+	err     error // engine construction or stream-start failure
+}
+
+// runGroups executes every domain group and fans results out to
+// subscribers, returning the first engine error (by sorted domain
+// order). The crowd work — publishing HITs and draining assignments —
+// runs concurrently across groups: each group owns a distinct engine,
+// profile-store job and HIT namespace, so groups only meet at the
+// lock-striped store and the platform's atomic accounting. Fan-out
+// stays strictly sequential in sorted domain order because it mutates
+// tickets shared across groups and accumulates floating-point cost,
+// where order changes bits; collecting first and distributing second
+// keeps results bit-equal to the old fully-serial path.
 func (s *Scheduler) runGroups(ctx context.Context, groups map[string]*group, tl *genTally) error {
 	keys := make([]string, 0, len(groups))
 	for k := range groups {
 		keys = append(keys, k)
 	}
 	sort.Strings(keys)
-	var firstErr error
-	for _, dk := range keys {
+	outcomes := make([]*groupOutcome, len(keys))
+	var wg sync.WaitGroup
+	for i, dk := range keys {
 		g := groups[dk]
 		if len(g.slots) == 0 {
 			continue
 		}
-		if err := s.runGroup(ctx, g, tl); err != nil && firstErr == nil {
+		wg.Add(1)
+		go func(i int, g *group) {
+			defer wg.Done()
+			outcomes[i] = s.collectGroup(ctx, g)
+		}(i, g)
+	}
+	wg.Wait()
+	var firstErr error
+	for _, oc := range outcomes {
+		if oc == nil {
+			continue
+		}
+		if err := s.distributeGroup(oc, tl); err != nil && firstErr == nil {
 			firstErr = err
 		}
 	}
 	return firstErr
 }
 
-// runGroup publishes one domain group's unique questions (sorted by
+// collectGroup publishes one domain group's unique questions (sorted by
 // canonical key, so batch composition is arrival-order independent)
-// through the domain's engine and distributes results and cost shares.
-// It consumes the engine's stream batch by batch: a batch that fails
+// through the domain's engine and drains the stream completely. It
+// touches no cross-group state beyond the engine/platform/store layers,
+// which are concurrency-safe, so collectGroup calls may run in
+// parallel.
+func (s *Scheduler) collectGroup(ctx context.Context, g *group) *groupOutcome {
+	oc := &groupOutcome{g: g}
+	oc.ordered = make([]*slot, 0, len(g.slots))
+	for _, sl := range g.slots {
+		oc.ordered = append(oc.ordered, sl)
+	}
+	sort.Slice(oc.ordered, func(i, j int) bool { return oc.ordered[i].key < oc.ordered[j].key })
+	questions := make([]crowd.Question, len(oc.ordered))
+	oc.byID = make(map[string]*slot, len(oc.ordered))
+	for i, sl := range oc.ordered {
+		questions[i] = sl.canon
+		oc.byID[sl.canon.ID] = sl
+	}
+	eng, err := s.engine(g.domainKey)
+	if err != nil {
+		oc.err = err
+		return oc
+	}
+	oc.perHIT = eng.RealSlots()
+	ch, err := eng.Stream(ctx, questions, s.cfg.Golden)
+	if err != nil {
+		oc.err = err
+		return oc
+	}
+	// Drain completely; distribution happens later in batch-index order,
+	// because completion order varies run to run and result fan-out must
+	// not — floating-point cost accumulation is order-sensitive, and the
+	// determinism guarantee covers every bit of a JobResult.
+	oc.results = make(map[int]engine.StreamResult)
+	for sr := range ch {
+		oc.results[sr.Index] = sr
+	}
+	return oc
+}
+
+// distributeGroup fans one collected group's answers, cost shares and
+// failures out to subscribers in batch-index order. A batch that failed
 // marks exactly its own slots' subscribers with the error, while every
 // completed batch's answers and spend are distributed regardless — the
 // crowd was paid, so the ledger and the job records must say so.
-func (s *Scheduler) runGroup(ctx context.Context, g *group, tl *genTally) error {
-	ordered := make([]*slot, 0, len(g.slots))
-	for _, sl := range g.slots {
-		ordered = append(ordered, sl)
-	}
-	sort.Slice(ordered, func(i, j int) bool { return ordered[i].key < ordered[j].key })
-	questions := make([]crowd.Question, len(ordered))
-	byID := make(map[string]*slot, len(ordered))
-	for i, sl := range ordered {
-		questions[i] = sl.canon
-		byID[sl.canon.ID] = sl
-	}
-
+// Callers invoke it sequentially, in sorted domain order.
+func (s *Scheduler) distributeGroup(oc *groupOutcome, tl *genTally) error {
 	failSlots := func(slots []*slot, err error) {
 		for _, sl := range slots {
 			for _, sub := range sl.subs {
 				if sub.ticket.err == nil {
-					sub.ticket.err = fmt.Errorf("scheduler: domain group %s: %w", g.domainKey, err)
+					sub.ticket.err = fmt.Errorf("scheduler: domain group %s: %w", oc.g.domainKey, err)
 				}
 			}
 		}
 	}
-	eng, err := s.engine(g.domainKey)
-	if err != nil {
-		failSlots(ordered, err)
-		return err
+	if oc.err != nil {
+		failSlots(oc.ordered, oc.err)
+		return oc.err
 	}
-	ch, err := eng.Stream(ctx, questions, s.cfg.Golden)
-	if err != nil {
-		failSlots(ordered, err)
-		return err
-	}
-	// Drain the stream completely, then distribute in batch-index order:
-	// completion order varies run to run, and result fan-out must not —
-	// floating-point cost accumulation is order-sensitive, and the
-	// determinism guarantee covers every bit of a JobResult.
-	byIndex := make(map[int]engine.StreamResult)
-	for sr := range ch {
-		byIndex[sr.Index] = sr
-	}
-	indices := make([]int, 0, len(byIndex))
-	for i := range byIndex {
+	ordered, byID := oc.ordered, oc.byID
+	indices := make([]int, 0, len(oc.results))
+	for i := range oc.results {
 		indices = append(indices, i)
 	}
 	sort.Ints(indices)
-	perHIT := eng.RealSlots()
+	perHIT := oc.perHIT
 	var firstErr error
 	for _, idx := range indices {
-		sr := byIndex[idx]
+		sr := oc.results[idx]
 		if sr.Err != nil {
 			if firstErr == nil {
 				firstErr = sr.Err
@@ -692,9 +743,12 @@ func (s *Scheduler) runGroup(ctx context.Context, g *group, tl *genTally) error 
 // engine returns (creating if needed) the domain group's engine: named
 // and seeded from the domain key alone, sharing the scheduler's profile
 // store, so its HIT identities are independent of which jobs fed it.
+// Engines live behind their own lock so concurrent group collection —
+// and the prediction-model work inside engine.New — never contends with
+// Enqueue or State.
 func (s *Scheduler) engine(domainKey string) (*engine.Engine, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.enginesMu.Lock()
+	defer s.enginesMu.Unlock()
 	if eng, ok := s.engines[domainKey]; ok {
 		return eng, nil
 	}

@@ -68,3 +68,15 @@ func ContainsAny(text string, keywords []string) bool {
 	}
 	return false
 }
+
+// Hash32 is allocation-free FNV-1a over s — the stripe selector shared
+// by the lock-striped structures (profile store, scheduler answer
+// cache). Callers fold the result with a power-of-two mask.
+func Hash32(s string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= 16777619
+	}
+	return h
+}

@@ -63,12 +63,17 @@ func NewJobRunner(cfg RunnerConfig) jobs.Runner {
 			// Bad configuration replays identically: don't retry.
 			return fmt.Errorf("%w: %w", jobs.ErrPermanent, err)
 		}
+		if derr := ValidateDomain(job.Query.Domain); derr != nil {
+			// The platform would reject every HIT (truth not in domain);
+			// deterministic, so don't burn retries on it.
+			return fmt.Errorf("%w: %w", jobs.ErrPermanent, derr)
+		}
 		m := Match(job.Query, cfg.Stream)
 		if len(m.Tweets) == 0 {
 			// A keyword filter matching nothing is deterministic too.
 			return fmt.Errorf("%w: tsa: no tweets matched query %v", jobs.ErrPermanent, job.Query.Keywords)
 		}
-		ch, err := eng.Stream(ctx, Questions(m.Tweets), GoldenQuestions(cfg.Golden))
+		ch, err := eng.Stream(ctx, QuestionsInDomain(m.Tweets, job.Query.Domain), GoldenQuestions(cfg.Golden))
 		if err != nil {
 			return err
 		}

@@ -58,6 +58,11 @@ func NewScheduledJobRunner(cfg ScheduledRunnerConfig) jobs.Runner {
 			return fmt.Errorf("%w: tsa: job requires accuracy %v above the service level %v",
 				jobs.ErrPermanent, job.Query.RequiredAccuracy, serviceAcc)
 		}
+		if derr := ValidateDomain(job.Query.Domain); derr != nil {
+			// The platform would reject every HIT (truth not in domain);
+			// deterministic, so don't burn retries on it.
+			return fmt.Errorf("%w: %w", jobs.ErrPermanent, derr)
+		}
 		m := Match(job.Query, cfg.Stream)
 		if len(m.Tweets) == 0 {
 			// A keyword filter matching nothing is deterministic: retrying
@@ -68,7 +73,7 @@ func NewScheduledJobRunner(cfg ScheduledRunnerConfig) jobs.Runner {
 			Job:       job.Name,
 			Priority:  job.Priority,
 			Budget:    job.Budget,
-			Questions: Questions(m.Tweets),
+			Questions: QuestionsInDomain(m.Tweets, job.Query.Domain),
 		})
 		if err != nil {
 			return fmt.Errorf("%w: tsa: %w", jobs.ErrPermanent, err)

@@ -44,13 +44,55 @@ func FilterTweets(tweets []textgen.Tweet, q jobs.Query) []textgen.Tweet {
 	return out
 }
 
-// Questions converts tweets to crowd questions.
+// Questions converts tweets to crowd questions over the default TSA
+// domain (textgen.Labels).
 func Questions(tweets []textgen.Tweet) []crowd.Question {
 	qs := make([]crowd.Question, len(tweets))
 	for i, t := range tweets {
 		qs[i] = t.Question()
 	}
 	return qs
+}
+
+// QuestionsInDomain converts tweets to crowd questions answered over the
+// query's own domain R (Definition 1) instead of the default labels. The
+// domain must contain the sentiment truth labels (see ValidateDomain) —
+// a superset such as textgen.Labels plus extra answers is fine. Passing
+// a domain equal to textgen.Labels reproduces Questions exactly, so
+// standard TSA jobs are unaffected; distinct domains also schedule as
+// distinct cross-query groups (a worker asked to pick from a different
+// answer set is doing different work, so their questions never
+// coalesce).
+func QuestionsInDomain(tweets []textgen.Tweet, domain []string) []crowd.Question {
+	qs := make([]crowd.Question, len(tweets))
+	for i, t := range tweets {
+		q := t.Question()
+		q.Domain = append([]string(nil), domain...)
+		qs[i] = q
+	}
+	return qs
+}
+
+// ValidateDomain checks that a TSA query's answer domain can host the
+// sentiment questions: every truth label must appear verbatim, or the
+// platform would reject each HIT at publish time ("truth not in
+// domain"). That failure is deterministic — retrying replays it — so
+// runners surface it as permanent instead of burning the retry budget.
+func ValidateDomain(domain []string) error {
+	for _, label := range textgen.Labels {
+		found := false
+		for _, d := range domain {
+			if d == label {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("tsa: query domain %v does not contain the sentiment label %q (must be a superset of %v)",
+				domain, label, textgen.Labels)
+		}
+	}
+	return nil
 }
 
 // GoldenQuestions builds the golden pool from tweets whose labels the
@@ -154,16 +196,20 @@ func run(ctx context.Context, eng *engine.Engine, q jobs.Query, stream, golden [
 	if err := q.Validate(); err != nil {
 		return Result{}, err
 	}
+	if err := ValidateDomain(q.Domain); err != nil {
+		return Result{}, err
+	}
 	m := Match(q, stream)
 	if len(m.Tweets) == 0 {
 		return Result{}, fmt.Errorf("tsa: no tweets matched query %v", q.Keywords)
 	}
+	questions := QuestionsInDomain(m.Tweets, q.Domain)
 	var batches []engine.BatchResult
 	var err error
 	if ctx != nil {
-		batches, err = eng.ProcessAllContext(ctx, Questions(m.Tweets), GoldenQuestions(golden))
+		batches, err = eng.ProcessAllContext(ctx, questions, GoldenQuestions(golden))
 	} else {
-		batches, err = eng.ProcessAll(Questions(m.Tweets), GoldenQuestions(golden))
+		batches, err = eng.ProcessAll(questions, GoldenQuestions(golden))
 	}
 	if err != nil {
 		return Result{}, err

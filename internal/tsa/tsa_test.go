@@ -146,3 +146,15 @@ func TestCorpus(t *testing.T) {
 		}
 	}
 }
+
+func TestValidateDomain(t *testing.T) {
+	if err := ValidateDomain(textgen.Labels); err != nil {
+		t.Fatalf("default labels rejected: %v", err)
+	}
+	if err := ValidateDomain(append(append([]string(nil), textgen.Labels...), "Abstain01")); err != nil {
+		t.Fatalf("superset rejected: %v", err)
+	}
+	if err := ValidateDomain([]string{"good", "bad"}); err == nil {
+		t.Fatal("domain without the sentiment labels accepted")
+	}
+}
