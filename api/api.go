@@ -55,22 +55,29 @@ type JobSubmission struct {
 	Priority int `json:"priority,omitempty"`
 	// Budget caps the job's crowd spend (0 = unlimited).
 	Budget float64 `json:"budget,omitempty"`
+	// Aggregator selects the answer-aggregation method; one of the
+	// names GET /v1/aggregators lists. Empty selects the default,
+	// "cdas". Unknown names are rejected with code "unknown_aggregator".
+	Aggregator string `json:"aggregator,omitempty"`
 }
 
 // JobStatus is the wire form of a job's lifecycle record, with the live
 // query results attached when the run has published any.
 type JobStatus struct {
-	Name     string      `json:"name"`
-	Kind     string      `json:"kind"`
-	Keywords []string    `json:"keywords"`
-	State    JobState    `json:"state"`
-	Attempts int         `json:"attempts"`
-	Progress float64     `json:"progress"`
-	Cost     float64     `json:"cost"`
-	Priority int         `json:"priority,omitempty"`
-	Budget   float64     `json:"budget,omitempty"`
-	Error    string      `json:"error,omitempty"`
-	Results  *QueryState `json:"results,omitempty"`
+	Name     string   `json:"name"`
+	Kind     string   `json:"kind"`
+	Keywords []string `json:"keywords"`
+	State    JobState `json:"state"`
+	Attempts int      `json:"attempts"`
+	Progress float64  `json:"progress"`
+	Cost     float64  `json:"cost"`
+	Priority int      `json:"priority,omitempty"`
+	Budget   float64  `json:"budget,omitempty"`
+	// Aggregator is the job's answer-aggregation method; omitted when
+	// the job runs the default ("cdas").
+	Aggregator string      `json:"aggregator,omitempty"`
+	Error      string      `json:"error,omitempty"`
+	Results    *QueryState `json:"results,omitempty"`
 }
 
 // JobList is the paginated GET /v1/jobs response envelope.
@@ -95,6 +102,12 @@ type QueryState struct {
 	// Done marks a finished job — successfully completed, failed or
 	// cancelled; Error distinguishes the unhappy endings.
 	Done bool `json:"done"`
+	// Confidence is the mean aggregator confidence over the query's
+	// accepted answers; omitted until an answer is accepted.
+	Confidence float64 `json:"confidence,omitempty"`
+	// Quality is the mean voter agreement with the accepted answers;
+	// omitted until an answer is accepted.
+	Quality float64 `json:"quality,omitempty"`
 	// Error carries the failure when a followed stream ended with one;
 	// empty for healthy queries.
 	Error string `json:"error,omitempty"`
@@ -147,6 +160,28 @@ type JobBudgetLine struct {
 	Job   string  `json:"job"`
 	Limit float64 `json:"limit"` // 0 = unlimited
 	Spent float64 `json:"spent"`
+}
+
+// AggregatorInfo describes one registered answer-aggregation method —
+// an entry of the GET /v1/aggregators discovery response.
+type AggregatorInfo struct {
+	// Name is the registry key accepted by JobSubmission.Aggregator.
+	Name string `json:"name"`
+	// Incremental reports whether the method folds assignments in one
+	// at a time (cheap on heavy-traffic paths) or runs once per batch.
+	Incremental bool `json:"incremental"`
+	// ResponseType is the worker-response shape the method aggregates
+	// (currently always "categorical").
+	ResponseType string `json:"response_type"`
+	// Description is a one-line human-readable summary.
+	Description string `json:"description,omitempty"`
+}
+
+// AggregatorList is the GET /v1/aggregators response envelope.
+type AggregatorList struct {
+	// Default is the name jobs run with when they do not pick one.
+	Default     string           `json:"default"`
+	Aggregators []AggregatorInfo `json:"aggregators"`
 }
 
 // Metrics is the GET /v1/metrics response: operational counters.

@@ -3,16 +3,23 @@
 // free-text http.Error lines of the legacy routes.
 package api
 
-import "fmt"
+import (
+	"fmt"
+	"strings"
+)
 
 // Error codes. Codes are stable identifiers a client can switch on;
 // Status carries the matching HTTP status for convenience.
 const (
 	CodeInvalidArgument = "invalid_argument" // 400
-	CodeNotFound        = "not_found"        // 404
-	CodeConflict        = "conflict"         // 409
-	CodeUnavailable     = "unavailable"      // 503
-	CodeInternal        = "internal"         // 500
+	// CodeUnknownAggregator rejects a JobSubmission naming an
+	// aggregation method the registry doesn't know; Detail lists the
+	// registered names. 400.
+	CodeUnknownAggregator = "unknown_aggregator"
+	CodeNotFound          = "not_found"   // 404
+	CodeConflict          = "conflict"    // 409
+	CodeUnavailable       = "unavailable" // 503
+	CodeInternal          = "internal"    // 500
 )
 
 // Error is the structured error of every v1 error response, wrapped in
@@ -56,6 +63,14 @@ func Errorf(code string, status int, format string, args ...any) *Error {
 // InvalidArgument builds a 400 invalid_argument error.
 func InvalidArgument(format string, args ...any) *Error {
 	return Errorf(CodeInvalidArgument, 400, format, args...)
+}
+
+// UnknownAggregator builds a 400 unknown_aggregator error whose Detail
+// lists the registered method names.
+func UnknownAggregator(name string, registered []string) *Error {
+	e := Errorf(CodeUnknownAggregator, 400, "unknown aggregator %q", name)
+	e.Detail = fmt.Sprintf("registered aggregators: %s", strings.Join(registered, ", "))
+	return e
 }
 
 // NotFound builds a 404 not_found error.

@@ -218,6 +218,14 @@ func (c *Client) Query(ctx context.Context, name string) (api.QueryState, error)
 	return st, err
 }
 
+// Aggregators lists the registered answer-aggregation methods — the
+// names a JobSubmission.Aggregator may pick — plus the default.
+func (c *Client) Aggregators(ctx context.Context) (api.AggregatorList, error) {
+	var list api.AggregatorList
+	err := c.do(ctx, http.MethodGet, "/v1/aggregators", nil, &list)
+	return list, err
+}
+
 // SchedulerState reports the cross-query scheduler's batching, cache
 // and budget state.
 func (c *Client) SchedulerState(ctx context.Context) (api.SchedulerState, error) {

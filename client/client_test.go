@@ -208,6 +208,27 @@ func TestClientReadEndpoints(t *testing.T) {
 	if _, err := c.Query(ctx, "nope"); !errors.As(err, &apiErr) || apiErr.Code != api.CodeNotFound {
 		t.Errorf("Query(nope) error = %v", err)
 	}
+
+	// Aggregator discovery: the registry with the default marked.
+	al, err := c.Aggregators(ctx)
+	if err != nil {
+		t.Fatalf("Aggregators: %v", err)
+	}
+	if al.Default != "cdas" || len(al.Aggregators) < 5 {
+		t.Errorf("Aggregators = %+v", al)
+	}
+	seen := map[string]bool{}
+	for _, info := range al.Aggregators {
+		seen[info.Name] = true
+		if info.Description == "" || info.ResponseType == "" {
+			t.Errorf("aggregator %s missing description or response type: %+v", info.Name, info)
+		}
+	}
+	for _, want := range []string{"cdas", "majority", "wawa", "zbs", "dawid-skene"} {
+		if !seen[want] {
+			t.Errorf("Aggregators missing %q: %v", want, al.Aggregators)
+		}
+	}
 }
 
 // TestWatchQuery streams revisions through the SDK channel: replay

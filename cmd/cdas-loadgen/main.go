@@ -14,7 +14,13 @@
 //	             [-rounds N] [-watchers F] [-arrival DUR] [-dispatchers N]
 //	             [-priorities N] [-tenant-budget F] [-global-budget F]
 //	             [-accuracy F] [-hitsize N] [-inflight N] [-dedup=true]
-//	             [-addr URL] [-timeout DUR] [-quiet]
+//	             [-aggregator NAME] [-matrix] [-addr URL] [-timeout DUR] [-quiet]
+//
+// -aggregator runs every submitted job under the named answer-
+// aggregation method (see GET /v1/aggregators); -matrix additionally
+// attaches the engine-direct accuracy-vs-cost sweep over
+// (aggregator × assignment overlap) to the report, which the bench
+// gate then pins.
 //
 // With -arrival 0 (the default for every named profile) the run is
 // closed-loop and deterministic: a fixed seed reproduces the same
@@ -74,6 +80,8 @@ func run(args []string, stdout, stderr io.Writer, sig <-chan os.Signal) int {
 		hitSize      = fs.Int("hitsize", 0, "override the HIT size")
 		inflight     = fs.Int("inflight", 0, "override max in-flight HITs per engine")
 		dedup        = fs.Bool("dedup", true, "coalesce identical questions across jobs")
+		aggregator   = fs.String("aggregator", "", "answer-aggregation method for every job (empty: server default)")
+		matrix       = fs.Bool("matrix", false, "attach the accuracy-vs-cost (aggregator x overlap) matrix to the report")
 		addr         = fs.String("addr", "", "drive a running cdas-server at this base URL instead of in-process")
 		out          = fs.String("out", "", "write the machine-readable report (BENCH_e2e.json schema) here")
 		timeout      = fs.Duration("timeout", 10*time.Minute, "abort the run after this long (partial report, exit 2)")
@@ -143,6 +151,9 @@ func run(args []string, stdout, stderr io.Writer, sig <-chan os.Signal) int {
 		p.Inflight = *inflight
 	}
 	p.DisableDedup = !*dedup
+	if set["aggregator"] {
+		p.Aggregator = *aggregator
+	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
 	defer cancel()
@@ -166,6 +177,14 @@ func run(args []string, stdout, stderr io.Writer, sig <-chan os.Signal) int {
 		cfg.Logf = func(format string, args ...any) { fmt.Fprintf(stderr, format+"\n", args...) }
 	}
 	rep, err := loadgen.Run(ctx, cfg)
+	if rep != nil && *matrix {
+		m, merr := loadgen.RunMatrix(loadgen.MatrixConfig{Seed: p.Seed})
+		if merr != nil {
+			fmt.Fprintf(stderr, "cdas-loadgen: %v\n", merr)
+			return 1
+		}
+		rep.Matrix = m
+	}
 	if rep != nil {
 		fmt.Fprint(stdout, rep.Table())
 		if *out != "" {

@@ -15,6 +15,7 @@
 //	unpark     resume a budget-parked job
 //	watch      stream a query's live results over SSE until it finishes
 //	queries    list live query states
+//	aggregators  list the registered answer-aggregation methods
 //	scheduler  print the cross-query scheduler state
 //	metrics    print the operational counters
 //	health     probe the server
@@ -46,7 +47,7 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	server := global.String("server", envOr("CDAS_SERVER", "http://localhost:8080"), "CDAS server base URL")
 	global.Usage = func() {
 		fmt.Fprintln(stderr, "usage: cdasctl [-server URL] <command> [flags] [args]")
-		fmt.Fprintln(stderr, "commands: submit, get, list, cancel, unpark, watch, queries, scheduler, metrics, health")
+		fmt.Fprintln(stderr, "commands: submit, get, list, cancel, unpark, watch, queries, aggregators, scheduler, metrics, health")
 		global.PrintDefaults()
 	}
 	if err := global.Parse(argv); err != nil {
@@ -76,6 +77,8 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		err = cmdWatch(ctx, c, args, stdout)
 	case "queries":
 		err = printJSON(stdout)(c.Queries(ctx))
+	case "aggregators":
+		err = cmdAggregators(ctx, c, stdout)
 	case "scheduler":
 		err = printJSON(stdout)(c.SchedulerState(ctx))
 	case "metrics":
@@ -133,16 +136,17 @@ func cmdSubmit(ctx context.Context, c *client.Client, args []string, stdout, std
 	fs := flag.NewFlagSet("submit", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		name     = fs.String("name", "", "job name (required)")
-		kind     = fs.String("kind", "tsa", "job kind")
-		keywords = fs.String("keywords", "", "comma-separated filter keywords (required)")
-		domain   = fs.String("domain", "Positive,Neutral,Negative", "comma-separated answer domain")
-		accuracy = fs.Float64("accuracy", 0.9, "required accuracy C in (0,1)")
-		window   = fs.String("window", "24h", "query window w (Go duration)")
-		start    = fs.String("start", "", "query timestamp t (RFC 3339; empty = now)")
-		priority = fs.Int("priority", 0, "budget-admission priority (higher first)")
-		budget   = fs.Float64("budget", 0, "crowd-spend cap (0 = unlimited)")
-		watch    = fs.Bool("watch", false, "stream the query's live results after submitting")
+		name       = fs.String("name", "", "job name (required)")
+		kind       = fs.String("kind", "tsa", "job kind")
+		keywords   = fs.String("keywords", "", "comma-separated filter keywords (required)")
+		domain     = fs.String("domain", "Positive,Neutral,Negative", "comma-separated answer domain")
+		accuracy   = fs.Float64("accuracy", 0.9, "required accuracy C in (0,1)")
+		window     = fs.String("window", "24h", "query window w (Go duration)")
+		start      = fs.String("start", "", "query timestamp t (RFC 3339; empty = now)")
+		priority   = fs.Int("priority", 0, "budget-admission priority (higher first)")
+		budget     = fs.Float64("budget", 0, "crowd-spend cap (0 = unlimited)")
+		aggregator = fs.String("aggregator", "", "answer-aggregation method (see 'cdasctl aggregators'; empty = server default)")
+		watch      = fs.Bool("watch", false, "stream the query's live results after submitting")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -160,6 +164,7 @@ func cmdSubmit(ctx context.Context, c *client.Client, args []string, stdout, std
 		Window:           *window,
 		Priority:         *priority,
 		Budget:           *budget,
+		Aggregator:       *aggregator,
 	})
 	if err != nil {
 		return err
@@ -207,6 +212,29 @@ func cmdList(ctx context.Context, c *client.Client, args []string, stdout, stder
 	tw.Flush()
 	fmt.Fprintf(stdout, "%d job(s)\n", n)
 	return nil
+}
+
+// cmdAggregators prints the server's answer-aggregation registry as a
+// table, with the default marked.
+func cmdAggregators(ctx context.Context, c *client.Client, stdout io.Writer) error {
+	list, err := c.Aggregators(ctx)
+	if err != nil {
+		return err
+	}
+	tw := newTabWriter(stdout)
+	fmt.Fprintln(tw, "NAME\tMODE\tRESPONSES\tDESCRIPTION")
+	for _, a := range list.Aggregators {
+		name := a.Name
+		if a.Name == list.Default {
+			name += " (default)"
+		}
+		mode := "batch"
+		if a.Incremental {
+			mode = "incremental"
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\n", name, mode, a.ResponseType, a.Description)
+	}
+	return tw.Flush()
 }
 
 func newTabWriter(w io.Writer) *tabwriter.Writer {

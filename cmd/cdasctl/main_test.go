@@ -217,3 +217,44 @@ func TestCtlServerFromEnv(t *testing.T) {
 		t.Errorf("health output:\n%s", stdout.String())
 	}
 }
+
+// TestCtlAggregators: the discovery subcommand lists the registry and
+// submit -aggregator round-trips the method onto the job record (and
+// surfaces the typed rejection for an unknown one).
+func TestCtlAggregators(t *testing.T) {
+	ts := smokeBackend(t)
+
+	code, out, errOut := ctl(t, ts.URL, "aggregators")
+	if code != 0 {
+		t.Fatalf("aggregators exited %d: %s", code, errOut)
+	}
+	for _, want := range []string{"NAME", "cdas", "(default)", "majority", "wawa", "zbs", "dawid-skene", "incremental", "batch"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("aggregators output missing %q:\n%s", want, out)
+		}
+	}
+
+	code, out, errOut = ctl(t, ts.URL, "submit",
+		"-name", "weighted", "-keywords", "Kung Fu Panda 2", "-aggregator", "wawa")
+	if code != 0 {
+		t.Fatalf("submit -aggregator wawa exited %d: %s", code, errOut)
+	}
+	var st api.JobStatus
+	if err := json.NewDecoder(strings.NewReader(out)).Decode(&st); err != nil {
+		t.Fatalf("submit output not a JobStatus: %v\n%s", err, out)
+	}
+	if st.Aggregator != "wawa" {
+		t.Errorf("submitted record aggregator = %q, want \"wawa\"", st.Aggregator)
+	}
+	// The record keeps the method on later reads too.
+	if code, out, _ := ctl(t, ts.URL, "get", "weighted"); code != 0 || !strings.Contains(out, `"aggregator": "wawa"`) {
+		t.Errorf("get weighted (%d):\n%s", code, out)
+	}
+
+	// An unknown method is the structured rejection, not a silent default.
+	code, _, errOut = ctl(t, ts.URL, "submit",
+		"-name", "bogus", "-keywords", "Thor", "-aggregator", "consensus-9000")
+	if code != 1 || !strings.Contains(errOut, "unknown_aggregator") {
+		t.Errorf("submit with unknown aggregator = %d / %s", code, errOut)
+	}
+}

@@ -1,0 +1,107 @@
+// Dawid–Skene one-coin EM on the Aggregator contract: worker accuracies
+// inferred from inter-worker agreement alone, no golden questions. The
+// computation is exactly dawidskene.Estimate — the aggregator only
+// groups questions by their domain size m (Estimate fixes one m per
+// run) and translates the posteriors into verdicts.
+package aggregate
+
+import (
+	"fmt"
+	"sort"
+
+	"cdas/internal/core/dawidskene"
+	"cdas/internal/core/verification"
+)
+
+// DawidSkeneName is the Dawid–Skene aggregator's registry key.
+const DawidSkeneName = "dawid-skene"
+
+func init() {
+	Register(dawidSkeneAggregator{}, "one-coin Dawid-Skene EM: worker accuracies and answers inferred jointly from inter-worker agreement (batch only)")
+}
+
+type dawidSkeneAggregator struct{}
+
+func (dawidSkeneAggregator) Name() string { return DawidSkeneName }
+
+func (dawidSkeneAggregator) Aggregate(b Batch) (Result, error) {
+	// Estimate runs over one domain size at a time; group the questions
+	// by m and run EM per group, in sorted m order for determinism.
+	byM := make(map[int][]Question)
+	for _, q := range b.Questions {
+		if len(b.Votes[q.ID]) == 0 {
+			continue
+		}
+		byM[q.M] = append(byM[q.M], q)
+	}
+	ms := make([]int, 0, len(byM))
+	for m := range byM {
+		ms = append(ms, m)
+	}
+	sort.Ints(ms)
+
+	verdicts := make(map[string]Verdict, len(b.Questions))
+	// Worker accuracy merges across groups weighted by how many votes
+	// the worker cast in each — a worker judged on more votes counts
+	// more towards their overall quality.
+	accSum := make(map[string]float64)
+	accVotes := make(map[string]int)
+	for _, m := range ms {
+		group := byM[m]
+		var votes []dawidskene.Vote
+		perWorker := make(map[string]int)
+		for _, q := range group {
+			for _, v := range b.Votes[q.ID] {
+				votes = append(votes, dawidskene.Vote{Question: q.ID, Worker: v.Worker, Answer: v.Answer})
+				perWorker[v.Worker]++
+			}
+		}
+		res, err := dawidskene.Estimate(votes, m, dawidskene.Options{})
+		if err != nil {
+			return Result{}, fmt.Errorf("aggregate: dawid-skene (m=%d): %w", m, err)
+		}
+		for _, q := range group {
+			post, ok := res.Posteriors[q.ID]
+			if !ok {
+				continue
+			}
+			verdicts[q.ID] = posteriorVerdict(post)
+		}
+		if len(ms) == 1 {
+			// Single domain size — the common case — keeps the EM
+			// accuracies bit-identical: no weighted merge to round them.
+			return Result{Verdicts: verdicts, WorkerQuality: res.WorkerAccuracy}, nil
+		}
+		for w, a := range res.WorkerAccuracy {
+			accSum[w] += a * float64(perWorker[w])
+			accVotes[w] += perWorker[w]
+		}
+	}
+	quality := make(map[string]float64, len(accSum))
+	for w, sum := range accSum {
+		quality[w] = sum / float64(accVotes[w])
+	}
+	return Result{Verdicts: verdicts, WorkerQuality: quality}, nil
+}
+
+// posteriorVerdict ranks a question's posterior over observed answers,
+// with the same MAP tie-break (smallest answer string) Estimate uses.
+func posteriorVerdict(post map[string]float64) Verdict {
+	answers := make([]string, 0, len(post))
+	for a := range post {
+		answers = append(answers, a)
+	}
+	sort.Strings(answers)
+	ranked := make([]verification.Scored, 0, len(answers))
+	for _, a := range answers {
+		ranked = append(ranked, verification.Scored{Answer: a, Confidence: post[a]})
+	}
+	sort.SliceStable(ranked, func(i, j int) bool {
+		if ranked[i].Confidence != ranked[j].Confidence {
+			return ranked[i].Confidence > ranked[j].Confidence
+		}
+		return ranked[i].Answer < ranked[j].Answer
+	})
+	best := ranked[0]
+	return Verdict{Answer: best.Answer, Confidence: best.Confidence, Ranked: ranked}
+}

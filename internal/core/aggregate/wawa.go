@@ -1,0 +1,58 @@
+// Wawa ("worker agreement with aggregate") on the Aggregator contract,
+// after the Crowd-Kit method of the same name: a plain majority vote
+// fixes a provisional answer per question, each worker's skill is the
+// share of their votes agreeing with those answers, and one final
+// skill-weighted vote decides. Workers who mostly echo the crowd count
+// more; when every worker agrees with the majority at the same rate the
+// skills are equal and the weighted vote reduces exactly to plain
+// majority voting.
+package aggregate
+
+// WawaName is the Wawa aggregator's registry key.
+const WawaName = "wawa"
+
+func init() {
+	Register(wawaAggregator{}, "worker-agreement-with-aggregate: majority vote, skill = agreement with it, one skill-weighted re-vote (batch only)")
+}
+
+type wawaAggregator struct{}
+
+func (wawaAggregator) Name() string { return WawaName }
+
+func (wawaAggregator) Aggregate(b Batch) (Result, error) {
+	ids := sortedQuestionIDs(b)
+
+	// Round 1: provisional answers by unweighted majority.
+	provisional := make(map[string]Verdict, len(ids))
+	for _, id := range ids {
+		votes := b.Votes[id]
+		if len(votes) == 0 {
+			continue
+		}
+		counts := make(map[string]float64, 4)
+		for _, v := range votes {
+			counts[v.Answer]++
+		}
+		provisional[id] = shareVerdict(counts)
+	}
+
+	// Skill: each worker's agreement with the provisional answers.
+	skill := agreementQuality(b, provisional)
+
+	// Round 2: one skill-weighted vote per question. A question whose
+	// voters all carry zero skill degenerates to the uniform share in
+	// shareVerdict, keeping the verdict defined.
+	verdicts := make(map[string]Verdict, len(ids))
+	for _, id := range ids {
+		votes := b.Votes[id]
+		if len(votes) == 0 {
+			continue
+		}
+		weighted := make(map[string]float64, 4)
+		for _, v := range votes {
+			weighted[v.Answer] += skill[v.Worker]
+		}
+		verdicts[id] = shareVerdict(weighted)
+	}
+	return Result{Verdicts: verdicts, WorkerQuality: skill}, nil
+}

@@ -1,0 +1,72 @@
+// Zero-Based Skill on the Aggregator contract, after the Crowd-Kit
+// method: skills start uniform (the first aggregate is a plain majority
+// vote), then skill and aggregate are re-estimated in alternation —
+// each worker's skill takes a learning-rate step towards their
+// agreement with the current aggregate, and the aggregate is recomputed
+// as a skill-weighted vote — until the skills stabilise. Unlike Wawa's
+// single refinement round, the fixpoint lets a consistent minority
+// overturn a noisy majority.
+package aggregate
+
+import "math"
+
+// ZeroBasedSkillName is the Zero-Based Skill aggregator's registry key.
+const ZeroBasedSkillName = "zbs"
+
+// Zero-Based Skill iteration constants: the learning rate of the skill
+// step, the convergence threshold on the largest skill movement, and
+// the iteration cap that bounds a non-converging alternation.
+const (
+	zbsLearningRate = 0.5
+	zbsTolerance    = 1e-6
+	zbsMaxIter      = 30
+)
+
+func init() {
+	Register(zbsAggregator{}, "zero-based skill: alternate skill-weighted voting and learning-rate skill updates to a fixpoint (batch only)")
+}
+
+type zbsAggregator struct{}
+
+func (zbsAggregator) Name() string { return ZeroBasedSkillName }
+
+func (zbsAggregator) Aggregate(b Batch) (Result, error) {
+	ids := sortedQuestionIDs(b)
+	skill := make(map[string]float64)
+	for _, id := range ids {
+		for _, v := range b.Votes[id] {
+			skill[v.Worker] = 1 // uniform start: iteration 0 is plain majority
+		}
+	}
+
+	var verdicts map[string]Verdict
+	for iter := 0; iter < zbsMaxIter; iter++ {
+		// Aggregate under the current skills.
+		verdicts = make(map[string]Verdict, len(ids))
+		for _, id := range ids {
+			votes := b.Votes[id]
+			if len(votes) == 0 {
+				continue
+			}
+			weighted := make(map[string]float64, 4)
+			for _, v := range votes {
+				weighted[v.Answer] += skill[v.Worker]
+			}
+			verdicts[id] = shareVerdict(weighted)
+		}
+		// Skill step towards agreement with the aggregate.
+		agreement := agreementQuality(b, verdicts)
+		maxDelta := 0.0
+		for w := range skill {
+			next := skill[w] + zbsLearningRate*(agreement[w]-skill[w])
+			if d := math.Abs(next - skill[w]); d > maxDelta {
+				maxDelta = d
+			}
+			skill[w] = next
+		}
+		if maxDelta < zbsTolerance {
+			break
+		}
+	}
+	return Result{Verdicts: verdicts, WorkerQuality: skill}, nil
+}

@@ -32,6 +32,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"cdas/internal/core/aggregate"
 	"cdas/internal/core/online"
 	"cdas/internal/core/prediction"
 	"cdas/internal/core/sampling"
@@ -105,6 +106,17 @@ type Config struct {
 	// from a seed split off the engine seed by batch index, never from
 	// its neighbours' progress.
 	MaxInflightHITs int
+	// Aggregator names the answer-aggregation method from the
+	// aggregate registry. Default aggregate.DefaultName ("cdas"), the
+	// paper's probability-based verification model — the only method
+	// that supports online early termination (Strategy). Batch-only
+	// methods run once per HIT when its assignment stream drains.
+	Aggregator string
+	// QualityFeedback, when set, records each worker's agreement with
+	// the accepted answers into the profile store after every HIT, so
+	// vote weights improve online even without golden questions. Off by
+	// default: the paper's model learns from golden outcomes only.
+	QualityFeedback bool
 	// Seed drives the golden-question placement shuffle.
 	Seed uint64
 }
@@ -136,6 +148,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxInflightHITs == 0 {
 		c.MaxInflightHITs = 1
 	}
+	if c.Aggregator == "" {
+		c.Aggregator = aggregate.DefaultName
+	}
 	return c
 }
 
@@ -160,6 +175,9 @@ func (c Config) Validate() error {
 	if c.MaxInflightHITs < 1 {
 		return fmt.Errorf("engine: max in-flight HITs must be >= 1, got %d", c.MaxInflightHITs)
 	}
+	if err := aggregate.Validate(c.Aggregator); err != nil {
+		return fmt.Errorf("engine: %w", err)
+	}
 	return nil
 }
 
@@ -175,6 +193,7 @@ type Engine struct {
 	platform Platform
 	store    *profile.Store
 	cfg      Config
+	agg      aggregate.Aggregator
 
 	// mu guards rng, the engine-owned draw stream of the sequential path
 	// (ProcessBatch golden placement). Pipeline batches never draw from
@@ -201,13 +220,22 @@ func New(platform Platform, store *profile.Store, cfg Config) (*Engine, error) {
 	if store == nil {
 		store = profile.NewStore()
 	}
+	agg, ok := aggregate.Get(cfg.Aggregator)
+	if !ok {
+		// Unreachable after Validate; kept as a guard.
+		return nil, fmt.Errorf("engine: unknown aggregator %q", cfg.Aggregator)
+	}
 	return &Engine{
 		platform: platform,
 		store:    store,
 		cfg:      cfg,
+		agg:      agg,
 		rng:      randx.New(cfg.Seed ^ 0xcda5cda5),
 	}, nil
 }
+
+// Aggregator returns the engine's effective aggregation method name.
+func (e *Engine) Aggregator() string { return e.cfg.Aggregator }
 
 // Store exposes the profile store (e.g. for persistence).
 func (e *Engine) Store() *profile.Store { return e.store }
@@ -260,9 +288,13 @@ func (e *Engine) PlanWorkers() (int, error) {
 type QuestionResult struct {
 	Question   crowd.Question
 	Answer     string  // accepted answer (highest confidence)
-	Confidence float64 // Equation 4 confidence of the accepted answer
+	Confidence float64 // the aggregator's confidence in the accepted answer
 	Ranked     []verification.Scored
 	Votes      int // votes actually received for this question
+	// Quality is the share of this question's voters that agreed with
+	// the accepted answer — a per-result agreement signal independent of
+	// the aggregator's own confidence scale. Zero when unanswered.
+	Quality float64
 }
 
 // BatchResult reports one processed HIT.
@@ -277,6 +309,10 @@ type BatchResult struct {
 	// shortfalls (Config.RepostShortfall).
 	Reposts int
 	Results []QuestionResult
+	// WorkerQuality is the aggregator's per-worker quality estimate for
+	// this HIT: agreement-with-aggregate for the voting methods, EM
+	// accuracy for Dawid–Skene, skill for Wawa and Zero-Based Skill.
+	WorkerQuality map[string]float64
 }
 
 // ProcessBatch runs one HIT over up to HITSize questions (minus golden
@@ -397,16 +433,25 @@ func (e *Engine) runBatch(ctx context.Context, job batchJob) (BatchResult, error
 		return BatchResult{}, err
 	}
 
-	// Per-question online verifiers. m = |domain| — the engine knows R
-	// for each question it generated.
-	verifiers := make(map[string]*online.Verifier, len(real))
-	for id, q := range realIDs {
-		v, err := online.NewVerifier(n, len(q.Domain), job.meanAcc)
-		if err != nil {
-			return BatchResult{}, err
+	// Per-question folders for incremental aggregators (the CDAS model's
+	// folder wraps its online verifier, m = |domain| — the engine knows
+	// R for each question it generated). Batch-only aggregators instead
+	// run once over the collected votes when the stream drains.
+	inc, isInc := e.agg.(aggregate.Incremental)
+	folders := make(map[string]aggregate.Folder, len(real))
+	if isInc {
+		for id, q := range realIDs {
+			f, err := inc.NewFolder(aggregate.Spec{Planned: n, M: len(q.Domain), MeanAccuracy: job.meanAcc})
+			if err != nil {
+				return BatchResult{}, err
+			}
+			folders[id] = f
 		}
-		verifiers[id] = v
 	}
+	// Votes are collected for every aggregator: batch methods consume
+	// them wholesale, and the per-question agreement quality is computed
+	// from them either way.
+	collected := make(map[string][]aggregate.Vote, len(real))
 
 	res := BatchResult{HITID: run.HIT().ID, PlannedWorkers: n, GoldenCount: nGolden}
 	tallies := make(map[string]goldenTally)
@@ -444,16 +489,22 @@ func (e *Engine) runBatch(ctx context.Context, job batchJob) (BatchResult, error
 			// Vote weights shrink towards the population mean until enough
 			// golden evidence accumulates; see profile.ShrunkAccuracy.
 			acc := job.snap.ShrunkAccuracy(a.Worker.ID, t.correct, t.total, e.cfg.FallbackAccuracy, accuracyPseudoCounts)
-			for id, v := range verifiers {
-				if err := v.Add(verification.Vote{
+			for id := range realIDs {
+				vote := aggregate.Vote{
 					Worker:   a.Worker.ID,
 					Accuracy: acc,
 					Answer:   a.AnswerTo(id),
-				}); err != nil {
-					return fmt.Errorf("engine: question %s: %w", id, err)
 				}
+				if isInc {
+					if err := folders[id].Fold(vote); err != nil {
+						return fmt.Errorf("engine: question %s: %w", id, err)
+					}
+				} else if len(collected[id]) >= n {
+					return fmt.Errorf("engine: question %s: %w", id, aggregate.ErrOverfilled)
+				}
+				collected[id] = append(collected[id], vote)
 			}
-			if e.cfg.Strategy != online.Never && allTerminated(verifiers, e.cfg.Strategy) {
+			if isInc && e.cfg.Strategy != online.Never && allTerminated(folders, e.cfg.Strategy) {
 				run.Cancel()
 				res.TerminatedEarly = true
 				return nil
@@ -487,18 +538,96 @@ func (e *Engine) runBatch(ctx context.Context, job batchJob) (BatchResult, error
 		}
 	}
 
-	for id, v := range verifiers {
-		q := realIDs[id]
-		qr := QuestionResult{Question: q, Votes: v.Received()}
-		if cur, err := v.Current(); err == nil {
-			qr.Answer = cur.Best().Answer
-			qr.Confidence = cur.Best().Confidence
-			qr.Ranked = cur.Ranked
+	// Batch-only aggregators run once over everything collected; the
+	// incremental ones already hold their verdicts in the folders.
+	var batchOut aggregate.Result
+	if !isInc {
+		batch := aggregate.Batch{Votes: collected, MeanAccuracy: job.meanAcc}
+		for id, q := range realIDs {
+			batch.Questions = append(batch.Questions, aggregate.Question{ID: id, M: len(q.Domain)})
+		}
+		sort.Slice(batch.Questions, func(i, j int) bool { return batch.Questions[i].ID < batch.Questions[j].ID })
+		out, err := e.agg.Aggregate(batch)
+		if err != nil {
+			return BatchResult{}, fmt.Errorf("engine: %w", err)
+		}
+		batchOut = out
+	}
+	for id, q := range realIDs {
+		qr := QuestionResult{Question: q, Votes: len(collected[id])}
+		var verdict aggregate.Verdict
+		ok := false
+		if isInc {
+			if v, err := folders[id].Verdict(); err == nil {
+				verdict, ok = v, true
+			}
+		} else {
+			verdict, ok = batchOut.Verdicts[id]
+		}
+		if ok {
+			qr.Answer = verdict.Answer
+			qr.Confidence = verdict.Confidence
+			qr.Ranked = verdict.Ranked
+			agree := 0
+			for _, v := range collected[id] {
+				if v.Answer == verdict.Answer {
+					agree++
+				}
+			}
+			if qr.Votes > 0 {
+				qr.Quality = float64(agree) / float64(qr.Votes)
+			}
 		}
 		res.Results = append(res.Results, qr)
 	}
 	sortResults(res.Results)
+	res.WorkerQuality = e.workerQuality(batchOut, res.Results, collected, isInc)
+	if e.cfg.QualityFeedback {
+		// Feed each worker's agreement with the accepted answers back
+		// into the profile store, so vote weights improve online even
+		// without golden questions. Iterate results in sorted order and
+		// votes in arrival order — recording is order-sensitive only in
+		// that it must be deterministic.
+		for _, qr := range res.Results {
+			if qr.Answer == "" {
+				continue
+			}
+			for _, v := range collected[qr.Question.ID] {
+				e.store.Record(e.cfg.JobName, v.Worker, v.Answer == qr.Answer)
+			}
+		}
+	}
 	return res, nil
+}
+
+// workerQuality assembles the per-HIT worker quality map: the batch
+// aggregator's own estimate when it produced one, otherwise the share
+// of each worker's votes agreeing with the accepted answers.
+func (e *Engine) workerQuality(batchOut aggregate.Result, results []QuestionResult, collected map[string][]aggregate.Vote, isInc bool) map[string]float64 {
+	if !isInc && batchOut.WorkerQuality != nil {
+		return batchOut.WorkerQuality
+	}
+	agree := make(map[string]int)
+	total := make(map[string]int)
+	for _, qr := range results {
+		if qr.Answer == "" {
+			continue
+		}
+		for _, v := range collected[qr.Question.ID] {
+			total[v.Worker]++
+			if v.Answer == qr.Answer {
+				agree[v.Worker]++
+			}
+		}
+	}
+	if len(total) == 0 {
+		return nil
+	}
+	out := make(map[string]float64, len(total))
+	for w, n := range total {
+		out[w] = float64(agree[w]) / float64(n)
+	}
+	return out
 }
 
 // chunk splits real questions into HIT-sized batches (the per-HIT real
@@ -546,9 +675,18 @@ func (e *Engine) ProcessAll(real, golden []crowd.Question) ([]BatchResult, error
 	return out, nil
 }
 
-func allTerminated(vs map[string]*online.Verifier, s online.Strategy) bool {
-	for _, v := range vs {
-		if !v.Terminated(s) {
+// terminator is the optional early-termination face of a Folder. Only
+// the CDAS model's folder implements it (the Section 4.2.2 bounds are
+// specific to the probability model); folders without it never allow
+// early termination.
+type terminator interface {
+	Terminated(online.Strategy) bool
+}
+
+func allTerminated(fs map[string]aggregate.Folder, s online.Strategy) bool {
+	for _, f := range fs {
+		t, ok := f.(terminator)
+		if !ok || !t.Terminated(s) {
 			return false
 		}
 	}

@@ -81,6 +81,12 @@ type Outcome struct {
 	ItemID      string
 	Accepted    string
 	Confidences map[string]float64
+	// Confidence is the aggregator's confidence in the accepted answer
+	// (0 when nothing is accepted yet).
+	Confidence float64
+	// Quality is the share of the item's voters that agreed with the
+	// accepted answer.
+	Quality float64
 }
 
 // Percentages computes the Section 4.3 result presentation: for each
@@ -261,15 +267,35 @@ type Summary struct {
 	Percentages map[string]float64
 	Reasons     map[string][]string
 	Items       int
+	// Confidence is the mean aggregator confidence over items with an
+	// accepted answer; zero when none carried one.
+	Confidence float64
+	// Quality is the mean voter agreement with the accepted answers
+	// over the same items; zero when none carried one.
+	Quality float64
 }
 
 // Summarise builds a Summary from outcomes. exclude lists words (e.g. the
 // query keywords) to keep out of the reason lists.
 func Summarise(domain []string, outcomes []Outcome, texts map[string]string, exclude ...string) Summary {
-	return Summary{
+	confSum, qualSum, accepted := 0.0, 0.0, 0
+	for _, oc := range outcomes {
+		if oc.Accepted == "" {
+			continue
+		}
+		accepted++
+		confSum += oc.Confidence
+		qualSum += oc.Quality
+	}
+	s := Summary{
 		Domain:      append([]string(nil), domain...),
 		Percentages: Percentages(domain, outcomes),
 		Reasons:     Reasons(outcomes, texts, 3, exclude...),
 		Items:       len(outcomes),
 	}
+	if accepted > 0 {
+		s.Confidence = confSum / float64(accepted)
+		s.Quality = qualSum / float64(accepted)
+	}
+	return s
 }

@@ -5,11 +5,17 @@ package exec
 import "cdas/internal/engine"
 
 // OutcomesFromResults converts engine question verdicts into the
-// outcomes the summary layer consumes: one accepted answer per item.
+// outcomes the summary layer consumes: one accepted answer per item,
+// with the aggregator's confidence and the voters' agreement attached.
 func OutcomesFromResults(rs []engine.QuestionResult) []Outcome {
 	out := make([]Outcome, len(rs))
 	for i, qr := range rs {
-		out[i] = Outcome{ItemID: qr.Question.ID, Accepted: qr.Answer}
+		out[i] = Outcome{
+			ItemID:     qr.Question.ID,
+			Accepted:   qr.Answer,
+			Confidence: qr.Confidence,
+			Quality:    qr.Quality,
+		}
 	}
 	return out
 }

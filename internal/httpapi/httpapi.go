@@ -92,6 +92,8 @@ func (s *Server) UpdateFromSummary(name string, sum exec.Summary, progress float
 		Items:       sum.Items,
 		Progress:    progress,
 		Done:        done,
+		Confidence:  sum.Confidence,
+		Quality:     sum.Quality,
 	})
 }
 
@@ -136,6 +138,8 @@ func (s *Server) Follow(name string, domain []string, texts map[string]string, t
 		Items:       sum.Items,
 		Progress:    followProgress(acc.Items(), totalItems, firstErr == nil),
 		Done:        true,
+		Confidence:  sum.Confidence,
+		Quality:     sum.Quality,
 	}
 	if firstErr != nil {
 		final.Error = firstErr.Error()

@@ -14,6 +14,7 @@ import (
 	"strings"
 
 	"cdas/api"
+	"cdas/internal/core/aggregate"
 	"cdas/internal/jobs"
 	"cdas/internal/metrics"
 )
@@ -61,16 +62,17 @@ type JobStatus = api.JobStatus
 // jobStatus renders a lifecycle record onto the wire contract.
 func (s *Server) jobStatus(st jobs.Status) JobStatus {
 	out := JobStatus{
-		Name:     st.Job.Name,
-		Kind:     string(st.Job.Kind),
-		Keywords: st.Job.Query.Keywords,
-		State:    api.JobState(st.State),
-		Attempts: st.Attempts,
-		Progress: st.Progress,
-		Cost:     st.Cost,
-		Priority: st.Job.Priority,
-		Budget:   st.Job.Budget,
-		Error:    st.Error,
+		Name:       st.Job.Name,
+		Kind:       string(st.Job.Kind),
+		Keywords:   st.Job.Query.Keywords,
+		State:      api.JobState(st.State),
+		Attempts:   st.Attempts,
+		Progress:   st.Progress,
+		Cost:       st.Cost,
+		Priority:   st.Job.Priority,
+		Budget:     st.Job.Budget,
+		Aggregator: st.Job.Aggregator,
+		Error:      st.Error,
 	}
 	if qs, ok := s.Get(st.Job.Name); ok {
 		out.Results = &qs
@@ -94,6 +96,13 @@ func (s *Server) submitJob(w http.ResponseWriter, r *http.Request, locPrefix str
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&sub); err != nil {
 		writeError(w, api.InvalidArgument("bad submission: %v", err))
+		return
+	}
+	// An unknown aggregation method gets its own error code, with the
+	// registry listed in Detail — the fix is discoverable from the error
+	// alone (or from GET /v1/aggregators).
+	if err := aggregate.Validate(sub.Aggregator); err != nil {
+		writeError(w, api.UnknownAggregator(sub.Aggregator, aggregate.Names()))
 		return
 	}
 	job, err := jobFromSubmission(sub)

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"cdas/api"
+	"cdas/internal/core/aggregate"
 	"cdas/internal/jobs"
 )
 
@@ -30,6 +31,7 @@ func (s *Server) mountV1(mux *http.ServeMux) {
 	mux.HandleFunc("GET /v1/healthz", s.v1Health)
 	mux.HandleFunc("GET /v1/metrics", s.v1Metrics)
 	mux.HandleFunc("GET /v1/scheduler", s.v1Scheduler)
+	mux.HandleFunc("GET /v1/aggregators", s.v1Aggregators)
 	mux.HandleFunc("GET /v1/queries", s.v1Queries)
 	mux.HandleFunc("GET /v1/queries/{name}", s.v1Query)
 	mux.HandleFunc("GET /v1/queries/{name}/events", s.v1QueryEvents)
@@ -91,6 +93,26 @@ func (s *Server) v1Scheduler(w http.ResponseWriter, _ *http.Request) {
 	for _, line := range st.Budget.Jobs {
 		out.Budget.Jobs = append(out.Budget.Jobs, api.JobBudgetLine{
 			Job: line.Job, Limit: line.Limit, Spent: line.Spent,
+		})
+	}
+	writeJSON(w, out)
+}
+
+// v1Aggregators serves the answer-aggregation registry: the discovery
+// counterpart of JobSubmission.Aggregator, so clients can enumerate the
+// methods before picking one.
+func (s *Server) v1Aggregators(w http.ResponseWriter, _ *http.Request) {
+	infos := aggregate.Infos()
+	out := api.AggregatorList{
+		Default:     aggregate.DefaultName,
+		Aggregators: make([]api.AggregatorInfo, 0, len(infos)),
+	}
+	for _, info := range infos {
+		out.Aggregators = append(out.Aggregators, api.AggregatorInfo{
+			Name:         info.Name,
+			Incremental:  info.Incremental,
+			ResponseType: info.ResponseType,
+			Description:  info.Description,
 		})
 	}
 	writeJSON(w, out)
@@ -275,10 +297,11 @@ func jobFromSubmission(sub api.JobSubmission) (jobs.Job, error) {
 		}
 	}
 	return jobs.Job{
-		Name:     sub.Name,
-		Kind:     kind,
-		Priority: sub.Priority,
-		Budget:   sub.Budget,
+		Name:       sub.Name,
+		Kind:       kind,
+		Priority:   sub.Priority,
+		Budget:     sub.Budget,
+		Aggregator: sub.Aggregator,
 		Query: jobs.Query{
 			Keywords:         sub.Keywords,
 			RequiredAccuracy: sub.RequiredAccuracy,

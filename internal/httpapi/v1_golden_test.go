@@ -36,6 +36,7 @@ func TestV1GoldenResponses(t *testing.T) {
 		{"v1_query.golden", http.MethodGet, "/v1/queries/panda", "", 200, ts},
 		{"v1_scheduler.golden", http.MethodGet, "/v1/scheduler", "", 200, ts},
 		{"v1_metrics.golden", http.MethodGet, "/v1/metrics", "", 200, ts},
+		{"v1_aggregators.golden", http.MethodGet, "/v1/aggregators", "", 200, ts},
 		// Error envelopes.
 		{"v1_error_job_notfound.golden", http.MethodGet, "/v1/jobs/nope", "", 404, ts},
 		{"v1_error_query_notfound.golden", http.MethodGet, "/v1/queries/nope", "", 404, ts},
@@ -46,6 +47,7 @@ func TestV1GoldenResponses(t *testing.T) {
 		{"v1_error_no_action.golden", http.MethodPost, "/v1/jobs/panda", "", 404, ts},
 		{"v1_error_no_route.golden", http.MethodGet, "/v1/nope", "", 404, ts},
 		{"v1_error_bad_submission.golden", http.MethodPost, "/v1/jobs", "{not json", 400, ts},
+		{"v1_error_unknown_aggregator.golden", http.MethodPost, "/v1/jobs", `{"name":"agg-test","aggregator":"consensus-9000"}`, 400, ts},
 		{"v1_error_unattached_jobs.golden", http.MethodGet, "/v1/jobs", "", 503, bare},
 		{"v1_error_unattached_sched.golden", http.MethodGet, "/v1/scheduler", "", 503, bare},
 	}
@@ -96,6 +98,34 @@ func TestV1GoldenResponses(t *testing.T) {
 					c.method, c.path, path, got, want)
 			}
 		})
+	}
+}
+
+// TestUnknownAggregatorOnLegacySurface: the structured rejection is
+// shared with the pre-v1 submit route — the same envelope bytes as the
+// v1 golden, just with the legacy route's Deprecation header on top.
+func TestUnknownAggregatorOnLegacySurface(t *testing.T) {
+	ts := httptest.NewServer(goldenServer().Handler())
+	defer ts.Close()
+	resp, err := ts.Client().Post(ts.URL+"/jobs", "application/json",
+		strings.NewReader(`{"name":"agg-test","aggregator":"consensus-9000"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("POST /jobs = %d, want 400", resp.StatusCode)
+	}
+	got, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile(filepath.Join("testdata", "v1_error_unknown_aggregator.golden"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(want) {
+		t.Errorf("legacy surface envelope differs from v1:\n got: %s\nwant: %s", got, want)
 	}
 }
 

@@ -13,6 +13,7 @@ import (
 	"sync"
 	"time"
 
+	"cdas/internal/core/aggregate"
 	"cdas/internal/textutil"
 )
 
@@ -82,6 +83,10 @@ type Job struct {
 	// Budget caps the job's total crowd spend (0 = unlimited). A job
 	// whose estimated next run would exceed it is parked, not failed.
 	Budget float64
+	// Aggregator names the answer-aggregation method (aggregate
+	// registry) the job's crowd questions are decided with. Empty
+	// selects the default, the CDAS probability model.
+	Aggregator string
 }
 
 // Task is one step of a processing plan.
@@ -184,6 +189,9 @@ func (m *Manager) Register(job Job) (Plan, error) {
 	}
 	if job.Budget < 0 || math.IsNaN(job.Budget) {
 		return Plan{}, fmt.Errorf("jobs: job budget must be >= 0, got %v", job.Budget)
+	}
+	if err := aggregate.Validate(job.Aggregator); err != nil {
+		return Plan{}, fmt.Errorf("jobs: %w", err)
 	}
 	if err := job.Query.Validate(); err != nil {
 		return Plan{}, err

@@ -295,6 +295,33 @@ func CompareE2E(base, fresh *Report, tol float64) []string {
 		out = append(out, fmt.Sprintf("results hash diverged on a deterministic profile: baseline %s, fresh %s",
 			base.ResultsHash, fresh.ResultsHash))
 	}
+	out = append(out, compareMatrix(base.Matrix, fresh.Matrix)...)
+	return out
+}
+
+// compareMatrix pins the accuracy-vs-cost sweep: when both reports
+// carry one for the same seed, every baseline cell must reappear with
+// identical accuracy and spend — the sweep is seeded and engine-direct,
+// so any drift is a real behaviour change in an aggregator. A report
+// without a matrix (e.g. a -matrix=false cross-check run) skips the
+// comparison.
+func compareMatrix(base, fresh *AccuracyMatrix) []string {
+	if base == nil || fresh == nil || base.Seed != fresh.Seed {
+		return nil
+	}
+	var out []string
+	for _, want := range base.Cells {
+		got, ok := fresh.Cell(want.Aggregator, want.MaxWorkers)
+		if !ok {
+			out = append(out, fmt.Sprintf("matrix cell %s/w%d missing from fresh run", want.Aggregator, want.MaxWorkers))
+			continue
+		}
+		if want.Questions != got.Questions || want.Votes != got.Votes ||
+			!floatEq(want.Accuracy, got.Accuracy) || !floatEq(want.Cost, got.Cost) {
+			out = append(out, fmt.Sprintf("matrix cell %s/w%d diverged: baseline acc=%v votes=%d cost=%v, fresh acc=%v votes=%d cost=%v",
+				want.Aggregator, want.MaxWorkers, want.Accuracy, want.Votes, want.Cost, got.Accuracy, got.Votes, got.Cost))
+		}
+	}
 	return out
 }
 

@@ -22,6 +22,7 @@ func TestProfileValidateErrors(t *testing.T) {
 		{"negative arrival", func(p *Profile) { p.ArrivalMean = -time.Second }},
 		{"accuracy", func(p *Profile) { p.RequiredAccuracy = 1.2 }},
 		{"hit size", func(p *Profile) { p.HITSize = 1 }},
+		{"unknown aggregator", func(p *Profile) { p.Aggregator = "consensus-9000" }},
 	}
 	for _, tc := range cases {
 		p := base
@@ -224,5 +225,55 @@ func TestCompareE2E(t *testing.T) {
 	fresh.Partial = true
 	if v := CompareE2E(base, fresh, 0.30); len(v) != 1 {
 		t.Fatalf("partial run not flagged: %v", v)
+	}
+}
+
+func TestCompareE2EMatrix(t *testing.T) {
+	mk := func() *Report {
+		return &Report{
+			Schema:        ReportSchema,
+			Profile:       Profile{Name: "smoke", Seed: 1},
+			GOARCH:        "amd64",
+			Deterministic: true,
+			Jobs:          JobsSummary{Total: 1, Done: 1},
+			ResultsHash:   "abc",
+			Matrix: &AccuracyMatrix{
+				Seed:        1,
+				Questions:   24,
+				Aggregators: []string{"cdas", "wawa"},
+				Overlaps:    []int{3},
+				Cells: []MatrixCell{
+					{Aggregator: "cdas", MaxWorkers: 3, Questions: 24, Accuracy: 0.875, Votes: 72, Cost: 0.864},
+					{Aggregator: "wawa", MaxWorkers: 3, Questions: 24, Accuracy: 0.917, Votes: 72, Cost: 0.864},
+				},
+			},
+		}
+	}
+	base, fresh := mk(), mk()
+	if v := CompareE2E(base, fresh, 0.30); len(v) != 0 {
+		t.Fatalf("identical matrices flagged: %v", v)
+	}
+	// A drifted cell is a violation regardless of tolerance.
+	fresh.Matrix.Cells[1].Accuracy = 0.875
+	if v := CompareE2E(base, fresh, 0.30); len(v) != 1 {
+		t.Fatalf("drifted matrix cell produced %d violations, want 1: %v", len(v), v)
+	}
+	// A missing cell is a violation.
+	fresh = mk()
+	fresh.Matrix.Cells = fresh.Matrix.Cells[:1]
+	if v := CompareE2E(base, fresh, 0.30); len(v) != 1 {
+		t.Fatalf("missing matrix cell produced %d violations, want 1: %v", len(v), v)
+	}
+	// A fresh run without a matrix (e.g. -matrix=false) skips the check.
+	fresh = mk()
+	fresh.Matrix = nil
+	if v := CompareE2E(base, fresh, 0.30); len(v) != 0 {
+		t.Fatalf("matrix-less fresh run should skip the matrix gate: %v", v)
+	}
+	// So does a matrix swept under a different seed.
+	fresh = mk()
+	fresh.Matrix.Seed = 2
+	if v := CompareE2E(base, fresh, 0.30); len(v) != 0 {
+		t.Fatalf("different-seed matrix should skip the matrix gate: %v", v)
 	}
 }

@@ -1,0 +1,67 @@
+package loadgen
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestRunMatrix: the sweep produces one cell per (aggregator, overlap)
+// coordinate, the overlap axis binds (more allowed workers means more
+// votes and spend), and the whole matrix is deterministic for a seed.
+func TestRunMatrix(t *testing.T) {
+	cfg := MatrixConfig{
+		Seed:        11,
+		Questions:   8,
+		Aggregators: []string{"cdas", "majority"},
+		Overlaps:    []int{3, 7},
+		HITSize:     8,
+	}
+	m, err := RunMatrix(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Cells) != 4 {
+		t.Fatalf("got %d cells, want 4: %+v", len(m.Cells), m.Cells)
+	}
+	for _, agg := range cfg.Aggregators {
+		for _, w := range cfg.Overlaps {
+			c, ok := m.Cell(agg, w)
+			if !ok {
+				t.Fatalf("no cell for %s/w%d", agg, w)
+			}
+			if c.Questions != cfg.Questions {
+				t.Errorf("%s/w%d: %d questions, want %d", agg, w, c.Questions, cfg.Questions)
+			}
+			if c.Votes <= 0 || c.Cost <= 0 || c.CostPerQuestion <= 0 {
+				t.Errorf("%s/w%d: empty measurement %+v", agg, w, c)
+			}
+			if c.Accuracy < 0 || c.Accuracy > 1 {
+				t.Errorf("%s/w%d: accuracy %v out of range", agg, w, c.Accuracy)
+			}
+		}
+		// The overlap axis must bind: a higher cap buys more votes.
+		lo, _ := m.Cell(agg, 3)
+		hi, _ := m.Cell(agg, 7)
+		if hi.Votes <= lo.Votes || hi.Cost <= lo.Cost {
+			t.Errorf("%s: overlap cap not binding: w3=%+v w7=%+v", agg, lo, hi)
+		}
+	}
+	if _, ok := m.Cell("cdas", 99); ok {
+		t.Error("Cell returned a measurement for an unswept overlap")
+	}
+
+	again, err := RunMatrix(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(m, again) {
+		t.Errorf("matrix not deterministic:\n first: %+v\nsecond: %+v", m, again)
+	}
+}
+
+func TestRunMatrixUnknownAggregator(t *testing.T) {
+	_, err := RunMatrix(MatrixConfig{Seed: 1, Aggregators: []string{"consensus-9000"}})
+	if err == nil {
+		t.Fatal("RunMatrix accepted an unknown aggregator")
+	}
+}

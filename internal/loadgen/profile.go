@@ -25,6 +25,8 @@ package loadgen
 import (
 	"fmt"
 	"time"
+
+	"cdas/internal/core/aggregate"
 )
 
 // BlockSize is the workload's question granularity: tenant question
@@ -86,6 +88,9 @@ type Profile struct {
 	// DisableDedup turns cross-query coalescing and the answer cache
 	// off — the naive baseline.
 	DisableDedup bool `json:"disable_dedup,omitempty"`
+	// Aggregator names the answer-aggregation method every submitted
+	// job runs with (empty = the server default, "cdas").
+	Aggregator string `json:"aggregator,omitempty"`
 }
 
 // Validate normalises and checks the profile, returning the effective
@@ -144,6 +149,9 @@ func (p Profile) Validate() (Profile, error) {
 	}
 	if p.Inflight < 1 {
 		p.Inflight = 2
+	}
+	if err := aggregate.Validate(p.Aggregator); err != nil {
+		return p, fmt.Errorf("loadgen: %w", err)
 	}
 	return p, nil
 }

@@ -119,6 +119,11 @@ type Report struct {
 	// name order. Two deterministic runs of one profile must agree.
 	ResultsHash string `json:"results_hash"`
 
+	// Matrix, when present, is the accuracy-vs-cost sweep over
+	// (aggregator × assignment overlap) — see RunMatrix. Deterministic
+	// for a fixed seed, so the gate pins it exactly.
+	Matrix *AccuracyMatrix `json:"matrix,omitempty"`
+
 	Errors []string `json:"errors,omitempty"`
 }
 
@@ -226,6 +231,14 @@ func (r *Report) Table() string {
 	fmt.Fprintf(&b, "    scheduler: %d generation(s), %d enqueued, %d published, %d deduped, %d cache hits, %d batches\n",
 		r.Sched.Generations, r.Sched.Enqueued, r.Sched.Published, r.Sched.Deduped, r.Sched.CacheHits, r.Sched.Batches)
 	fmt.Fprintf(&b, "  results hash    %s\n", r.ResultsHash)
+	if r.Matrix != nil {
+		fmt.Fprintf(&b, "\n  accuracy vs cost (seed %d, %d questions per cell):\n", r.Matrix.Seed, r.Matrix.Questions)
+		fmt.Fprintf(&b, "    %-12s %8s %9s %6s %9s %8s\n", "aggregator", "overlap", "accuracy", "votes", "cost", "cost/q")
+		for _, c := range r.Matrix.Cells {
+			fmt.Fprintf(&b, "    %-12s %8d %8.1f%% %6d %9.3f %8.4f\n",
+				c.Aggregator, c.MaxWorkers, 100*c.Accuracy, c.Votes, c.Cost, c.CostPerQuestion)
+		}
+	}
 	if len(r.Errors) > 0 {
 		fmt.Fprintf(&b, "  errors (%d):\n", len(r.Errors))
 		for _, e := range r.Errors {

@@ -189,6 +189,7 @@ func (w *Workload) Submission(t Tenant, round int) api.JobSubmission {
 		Window:           w.Window.String(),
 		Priority:         t.Priority,
 		Budget:           t.Budget,
+		Aggregator:       w.Profile.Aggregator,
 	}
 }
 

@@ -35,10 +35,12 @@ import (
 	"hash/fnv"
 	"math"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"cdas/internal/core/aggregate"
 	"cdas/internal/core/prediction"
 	"cdas/internal/core/verification"
 	"cdas/internal/crowd"
@@ -112,6 +114,14 @@ type Request struct {
 	Priority int
 	// Budget caps this job's total crowd spend (0 = unlimited).
 	Budget float64
+	// Aggregator names the answer-aggregation method (aggregate
+	// registry) this job's questions are verified with. Empty or
+	// aggregate.DefaultName selects the engine template's default, the
+	// CDAS probability model. Non-default methods schedule under
+	// aggregator-qualified dedup keys: their questions never coalesce
+	// with — and their cached verdicts are never served to — jobs using
+	// a different method.
+	Aggregator string
 	// Questions is the job's question set. IDs must be unique within
 	// the request.
 	Questions []crowd.Question
@@ -301,6 +311,16 @@ func (s *Scheduler) Enqueue(req Request) (*Ticket, error) {
 	if len(req.Questions) == 0 {
 		return nil, errors.New("scheduler: request needs at least one question")
 	}
+	if err := aggregate.Validate(req.Aggregator); err != nil {
+		return nil, fmt.Errorf("scheduler: %w", err)
+	}
+	// The default method keeps the bare canonical keys (bit-compatible
+	// with every cached answer and seed derived before aggregators were
+	// selectable); non-default methods get a qualified key space.
+	aggPrefix := ""
+	if agg := req.Aggregator; agg != "" && agg != aggregate.DefaultName {
+		aggPrefix = "agg/" + agg + "/"
+	}
 	keys := make([]slotRef, len(req.Questions))
 	ids := make(map[string]struct{}, len(req.Questions))
 	for i, q := range req.Questions {
@@ -314,7 +334,7 @@ func (s *Scheduler) Enqueue(req Request) (*Ticket, error) {
 		if len(q.Domain) < 2 {
 			return nil, fmt.Errorf("scheduler: question %q needs a domain of >= 2 answers", q.ID)
 		}
-		ref := slotRef{key: QuestionKey(q), dk: DomainKey(q.Domain)}
+		ref := slotRef{key: aggPrefix + QuestionKey(q), dk: aggPrefix + DomainKey(q.Domain)}
 		ref.slotKey = ref.key
 		if s.cfg.DisableDedup {
 			// Job- and ID-qualified: no coalescing at all, neither
@@ -743,9 +763,11 @@ func (s *Scheduler) distributeGroup(oc *groupOutcome, tl *genTally) error {
 // engine returns (creating if needed) the domain group's engine: named
 // and seeded from the domain key alone, sharing the scheduler's profile
 // store, so its HIT identities are independent of which jobs fed it.
-// Engines live behind their own lock so concurrent group collection —
-// and the prediction-model work inside engine.New — never contends with
-// Enqueue or State.
+// An aggregator-qualified domain key ("agg/<name>/<hash>") additionally
+// selects that aggregation method on the group's engine — the template
+// default otherwise. Engines live behind their own lock so concurrent
+// group collection — and the prediction-model work inside engine.New —
+// never contends with Enqueue or State.
 func (s *Scheduler) engine(domainKey string) (*engine.Engine, error) {
 	s.enginesMu.Lock()
 	defer s.enginesMu.Unlock()
@@ -754,6 +776,11 @@ func (s *Scheduler) engine(domainKey string) (*engine.Engine, error) {
 	}
 	cfg := s.cfg.Engine
 	cfg.JobName = "sched/" + domainKey
+	if rest, ok := strings.CutPrefix(domainKey, "agg/"); ok {
+		if name, _, ok := strings.Cut(rest, "/"); ok {
+			cfg.Aggregator = name
+		}
+	}
 	h := fnv.New64a()
 	h.Write([]byte(domainKey))
 	cfg.Seed ^= h.Sum64()

@@ -57,6 +57,9 @@ func NewJobRunner(cfg RunnerConfig) jobs.Runner {
 		ecfg := cfg.Engine
 		ecfg.JobName = job.Name
 		ecfg.RequiredAccuracy = job.Query.RequiredAccuracy
+		if job.Aggregator != "" {
+			ecfg.Aggregator = job.Aggregator
+		}
 		ecfg.Seed ^= nameSeed(job.Name)
 		eng, err := engine.New(cfg.Platform, nil, ecfg)
 		if err != nil {

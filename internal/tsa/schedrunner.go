@@ -70,10 +70,11 @@ func NewScheduledJobRunner(cfg ScheduledRunnerConfig) jobs.Runner {
 			return fmt.Errorf("%w: tsa: no tweets matched query %v", jobs.ErrPermanent, job.Query.Keywords)
 		}
 		ticket, err := cfg.Scheduler.Enqueue(scheduler.Request{
-			Job:       job.Name,
-			Priority:  job.Priority,
-			Budget:    job.Budget,
-			Questions: QuestionsInDomain(m.Tweets, job.Query.Domain),
+			Job:        job.Name,
+			Priority:   job.Priority,
+			Budget:     job.Budget,
+			Aggregator: job.Aggregator,
+			Questions:  QuestionsInDomain(m.Tweets, job.Query.Domain),
 		})
 		if err != nil {
 			return fmt.Errorf("%w: tsa: %w", jobs.ErrPermanent, err)

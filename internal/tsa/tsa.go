@@ -220,9 +220,7 @@ func run(ctx context.Context, eng *engine.Engine, q jobs.Query, stream, golden [
 		acc.AddText(id, text)
 	}
 	for _, br := range batches {
-		for _, qr := range br.Results {
-			acc.Observe(exec.Outcome{ItemID: qr.Question.ID, Accepted: qr.Answer})
-		}
+		acc.Observe(exec.OutcomesFromResults(br.Results)...)
 	}
 	accuracy, _ := Accuracy(batches, m.Truths)
 	return Result{
