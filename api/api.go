@@ -59,6 +59,9 @@ type JobSubmission struct {
 	// names GET /v1/aggregators lists. Empty selects the default,
 	// "cdas". Unknown names are rejected with code "unknown_aggregator".
 	Aggregator string `json:"aggregator,omitempty"`
+	// Tenant scopes the job to the submitting organisation; GET
+	// /v1/jobs can filter on it. Empty is the default scope.
+	Tenant string `json:"tenant,omitempty"`
 }
 
 // JobStatus is the wire form of a job's lifecycle record, with the live
@@ -75,9 +78,12 @@ type JobStatus struct {
 	Budget   float64  `json:"budget,omitempty"`
 	// Aggregator is the job's answer-aggregation method; omitted when
 	// the job runs the default ("cdas").
-	Aggregator string      `json:"aggregator,omitempty"`
-	Error      string      `json:"error,omitempty"`
-	Results    *QueryState `json:"results,omitempty"`
+	Aggregator string `json:"aggregator,omitempty"`
+	// Tenant is the job's organisation scope; omitted for the default
+	// scope.
+	Tenant  string      `json:"tenant,omitempty"`
+	Error   string      `json:"error,omitempty"`
+	Results *QueryState `json:"results,omitempty"`
 }
 
 // JobList is the paginated GET /v1/jobs response envelope.

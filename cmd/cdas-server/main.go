@@ -72,18 +72,19 @@ func main() {
 		accuracy    = flag.Float64("accuracy", 0.9, "required accuracy C for demo jobs")
 		inflight    = flag.Int("inflight", 4, "HITs published and draining at once per job")
 		store       = flag.String("store", "", "durable job store directory (empty: in-memory only)")
+		storeEngine = flag.String("store-engine", jobs.EngineWAL, `storage engine for -store: "wal" (append-only log + snapshots) or "lsm" (indexed, checkpointed LSM store)`)
 		dispatchers = flag.Int("dispatchers", 2, "dispatcher workers pulling pending jobs")
 		demo        = flag.Bool("demo", true, "submit the demo TSA jobs at boot")
 		budget      = flag.Float64("budget", 0, "global crowd budget across all jobs (0: unlimited)")
 		dedup       = flag.Bool("dedup", true, "coalesce identical questions across jobs and cache verified answers")
 	)
 	flag.Parse()
-	if err := run(*addr, *seed, *accuracy, *inflight, *store, *dispatchers, *demo, *budget, *dedup); err != nil {
+	if err := run(*addr, *seed, *accuracy, *inflight, *store, *storeEngine, *dispatchers, *demo, *budget, *dedup); err != nil {
 		log.Fatalf("cdas-server: %v", err)
 	}
 }
 
-func run(addr string, seed uint64, accuracy float64, inflight int, store string, dispatchers int, demo bool, budget float64, dedup bool) error {
+func run(addr string, seed uint64, accuracy float64, inflight int, store, storeEngine string, dispatchers int, demo bool, budget float64, dedup bool) error {
 	platform, err := crowd.NewPlatform(crowd.DefaultConfig(seed))
 	if err != nil {
 		return err
@@ -107,13 +108,13 @@ func run(addr string, seed uint64, accuracy float64, inflight int, store string,
 	}
 
 	counters := metrics.NewRegistry()
-	svc, err := jobs.OpenService(jobs.ServiceConfig{Dir: store, Counters: counters})
+	svc, err := jobs.OpenService(jobs.ServiceConfig{Dir: store, Engine: storeEngine, Counters: counters})
 	if err != nil {
 		return err
 	}
 	defer svc.Close()
 	for _, name := range svc.Resumed() {
-		log.Printf("cdas-server: resuming interrupted job %q from WAL", name)
+		log.Printf("cdas-server: resuming interrupted job %q from the %s store", name, storeEngine)
 	}
 
 	api := httpapi.NewServer()

@@ -144,15 +144,23 @@ func submission(name string) JobSubmission {
 // submit a job and follow its streaming progress to completion, cancel
 // a second job mid-flight, kill the first server incarnation (-9
 // style: no graceful dispatcher drain) while a third job is running,
-// then restart onto the same store and assert the WAL replay resumed
+// then restart onto the same store and assert the replay resumed
 // exactly the unfinished job — completed and cancelled jobs keep their
-// states and costs, and nothing runs twice.
+// states and costs, and nothing runs twice. The whole scenario runs
+// once per storage engine: the WAL+snapshot log and the LSM store must
+// survive the same crash identically.
 func TestJobServiceEndToEnd(t *testing.T) {
+	for _, engine := range []string{jobs.EngineWAL, jobs.EngineLSM} {
+		t.Run(engine, func(t *testing.T) { testJobServiceEndToEnd(t, engine) })
+	}
+}
+
+func testJobServiceEndToEnd(t *testing.T, engine string) {
 	dir := t.TempDir()
 	reg := metrics.NewRegistry()
 
 	// ---- First incarnation. ----
-	svc, err := jobs.OpenService(jobs.ServiceConfig{Dir: dir, Counters: reg})
+	svc, err := jobs.OpenService(jobs.ServiceConfig{Dir: dir, Counters: reg, Engine: engine})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -281,7 +289,7 @@ func TestJobServiceEndToEnd(t *testing.T) {
 	t.Cleanup(func() { close(runner.gate("gamma")); disp.Stop() })
 
 	// ---- Second incarnation on the same store. ----
-	svc2, err := jobs.OpenService(jobs.ServiceConfig{Dir: dir, Counters: reg})
+	svc2, err := jobs.OpenService(jobs.ServiceConfig{Dir: dir, Counters: reg, Engine: engine})
 	if err != nil {
 		t.Fatal(err)
 	}

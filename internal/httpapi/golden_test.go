@@ -27,6 +27,9 @@ func (c *goldenController) Submit(jobs.Job) (jobs.Plan, error) { return jobs.Pla
 func (c *goldenController) Cancel(string) error                { return nil }
 func (c *goldenController) Unpark(string) error                { return nil }
 func (c *goldenController) Statuses() []jobs.Status            { return c.statuses }
+func (c *goldenController) StatusesPage(after string, limit int, state jobs.State, tenant string) ([]jobs.Status, bool) {
+	return pageStatuses(c.statuses, after, limit, state, tenant)
+}
 func (c *goldenController) Status(name string) (jobs.Status, bool) {
 	for _, st := range c.statuses {
 		if st.Job.Name == name {
@@ -72,6 +75,18 @@ func goldenStatuses() []jobs.Status {
 			Error:    "run: platform exhausted",
 		},
 	}
+}
+
+// tenantServer serves the golden job set with tenant scopes attached —
+// the fixture behind the tenant-filter golden.
+func tenantServer() *Server {
+	sts := goldenStatuses()
+	sts[0].Job.Tenant = "acme"
+	sts[1].Job.Tenant = "globex"
+	sts[2].Job.Tenant = "acme"
+	s := NewServer()
+	s.SetJobs(&goldenController{statuses: sts})
+	return s
 }
 
 // goldenServer assembles a Server whose every route renders from fixed

@@ -25,6 +25,12 @@ type JobController interface {
 	Submit(jobs.Job) (jobs.Plan, error)
 	Status(name string) (jobs.Status, bool)
 	Statuses() []jobs.Status
+	// StatusesPage lists up to limit records in name order strictly
+	// after the given name, optionally filtered by state and/or tenant;
+	// more reports that records beyond the page remain. Backed by the
+	// service's secondary indexes, so a page costs O(limit), not a sort
+	// of every job.
+	StatusesPage(after string, limit int, state jobs.State, tenant string) (page []jobs.Status, more bool)
 	Cancel(name string) error
 	Unpark(name string) error
 }
@@ -72,6 +78,7 @@ func (s *Server) jobStatus(st jobs.Status) JobStatus {
 		Priority:   st.Job.Priority,
 		Budget:     st.Job.Budget,
 		Aggregator: st.Job.Aggregator,
+		Tenant:     st.Job.Tenant,
 		Error:      st.Error,
 	}
 	if qs, ok := s.Get(st.Job.Name); ok {

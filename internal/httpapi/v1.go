@@ -154,30 +154,31 @@ func (s *Server) v1SubmitJob(w http.ResponseWriter, r *http.Request) {
 
 // parseListJobs extracts and validates the pagination and filter
 // parameters of GET /v1/jobs.
-func parseListJobs(r *http.Request) (limit int, afterName string, state api.JobState, err *api.Error) {
+func parseListJobs(r *http.Request) (limit int, afterName string, state api.JobState, tenant string, err *api.Error) {
 	q := r.URL.Query()
 	limit = defaultPageSize
 	if v := q.Get("limit"); v != "" {
 		n, perr := strconv.Atoi(v)
 		if perr != nil || n < 1 {
-			return 0, "", "", api.InvalidArgument("limit must be a positive integer, got %q", v)
+			return 0, "", "", "", api.InvalidArgument("limit must be a positive integer, got %q", v)
 		}
 		limit = min(n, maxPageSize)
 	}
 	if v := q.Get("page_token"); v != "" {
 		raw, derr := base64.RawURLEncoding.DecodeString(v)
 		if derr != nil {
-			return 0, "", "", api.InvalidArgument("bad page_token %q", v)
+			return 0, "", "", "", api.InvalidArgument("bad page_token %q", v)
 		}
 		afterName = string(raw)
 	}
 	if v := q.Get("state"); v != "" {
 		state = api.JobState(v)
 		if !state.Valid() {
-			return 0, "", "", api.InvalidArgument("unknown state filter %q", v)
+			return 0, "", "", "", api.InvalidArgument("unknown state filter %q", v)
 		}
 	}
-	return limit, afterName, state, nil
+	tenant = q.Get("tenant")
+	return limit, afterName, state, tenant, nil
 }
 
 func (s *Server) v1ListJobs(w http.ResponseWriter, r *http.Request) {
@@ -185,28 +186,23 @@ func (s *Server) v1ListJobs(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	limit, afterName, state, aerr := parseListJobs(r)
+	limit, afterName, state, tenant, aerr := parseListJobs(r)
 	if aerr != nil {
 		writeError(w, aerr)
 		return
 	}
 	out := api.JobList{Jobs: []api.JobStatus{}}
-	// Statuses are sorted by name; the page token is the last returned
-	// name, so a page picks up where the previous one stopped even when
-	// jobs were inserted or removed in between.
-	for _, st := range ctl.Statuses() {
-		if afterName != "" && st.Job.Name <= afterName {
-			continue
-		}
-		if state != "" && api.JobState(st.State) != state {
-			continue
-		}
-		if len(out.Jobs) == limit {
-			out.NextPageToken = base64.RawURLEncoding.EncodeToString(
-				[]byte(out.Jobs[len(out.Jobs)-1].Name))
-			break
-		}
+	// One index range-read serves the page: names are index-ordered, so
+	// the page token is the last returned name and a page picks up where
+	// the previous one stopped even when jobs were inserted or removed
+	// in between.
+	page, more := ctl.StatusesPage(afterName, limit, jobs.State(state), tenant)
+	for _, st := range page {
 		out.Jobs = append(out.Jobs, s.jobStatus(st))
+	}
+	if more && len(out.Jobs) > 0 {
+		out.NextPageToken = base64.RawURLEncoding.EncodeToString(
+			[]byte(out.Jobs[len(out.Jobs)-1].Name))
 	}
 	writeJSON(w, out)
 }
@@ -302,6 +298,7 @@ func jobFromSubmission(sub api.JobSubmission) (jobs.Job, error) {
 		Priority:   sub.Priority,
 		Budget:     sub.Budget,
 		Aggregator: sub.Aggregator,
+		Tenant:     sub.Tenant,
 		Query: jobs.Query{
 			Keywords:         sub.Keywords,
 			RequiredAccuracy: sub.RequiredAccuracy,

@@ -18,6 +18,10 @@ func TestV1GoldenResponses(t *testing.T) {
 	defer ts.Close()
 	bare := httptest.NewServer(NewServer().Handler())
 	defer bare.Close()
+	// A separate fixture carries tenant scopes, so the tenant-filter
+	// golden exists without disturbing the tenantless legacy bodies.
+	tenants := httptest.NewServer(tenantServer().Handler())
+	defer tenants.Close()
 
 	cases := []struct {
 		golden string
@@ -31,6 +35,7 @@ func TestV1GoldenResponses(t *testing.T) {
 		{"v1_jobs_list.golden", http.MethodGet, "/v1/jobs", "", 200, ts},
 		{"v1_jobs_list_page.golden", http.MethodGet, "/v1/jobs?limit=2", "", 200, ts},
 		{"v1_jobs_list_parked.golden", http.MethodGet, "/v1/jobs?state=parked", "", 200, ts},
+		{"v1_jobs_list_tenant.golden", http.MethodGet, "/v1/jobs?tenant=acme", "", 200, tenants},
 		{"v1_jobs_get.golden", http.MethodGet, "/v1/jobs/panda", "", 200, ts},
 		{"v1_queries.golden", http.MethodGet, "/v1/queries", "", 200, ts},
 		{"v1_query.golden", http.MethodGet, "/v1/queries/panda", "", 200, ts},

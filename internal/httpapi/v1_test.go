@@ -7,6 +7,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"sort"
 	"strings"
 	"testing"
 	"time"
@@ -34,11 +35,42 @@ func (c *errController) Status(name string) (jobs.Status, bool) {
 	}
 	return jobs.Status{}, false
 }
+func (c *errController) StatusesPage(after string, limit int, state jobs.State, tenant string) ([]jobs.Status, bool) {
+	return pageStatuses(c.statuses, after, limit, state, tenant)
+}
+
+// pageStatuses is the reference pager the fake controllers share: a
+// brute-force walk with the same semantics the real indexes implement.
+func pageStatuses(sts []jobs.Status, after string, limit int, state jobs.State, tenant string) ([]jobs.Status, bool) {
+	sorted := make([]jobs.Status, len(sts))
+	copy(sorted, sts)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Job.Name < sorted[j].Job.Name })
+	var page []jobs.Status
+	for _, st := range sorted {
+		if st.Job.Name <= after {
+			continue
+		}
+		if state != "" && st.State != state {
+			continue
+		}
+		if tenant != "" && st.Job.Tenant != tenant {
+			continue
+		}
+		if len(page) == limit {
+			return page, true
+		}
+		page = append(page, st)
+	}
+	return page, false
+}
 
 // panicController blows up on listing — the recovery-middleware probe.
 type panicController struct{ *errController }
 
 func (panicController) Statuses() []jobs.Status { panic("listing exploded") }
+func (panicController) StatusesPage(string, int, jobs.State, string) ([]jobs.Status, bool) {
+	panic("listing exploded")
+}
 
 func decodeEnvelope(t *testing.T, body io.Reader) *api.Error {
 	t.Helper()

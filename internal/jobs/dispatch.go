@@ -126,6 +126,13 @@ func (d *Dispatcher) Status(name string) (Status, bool) { return d.svc.Status(na
 // Statuses lists every job's lifecycle record, sorted by name.
 func (d *Dispatcher) Statuses() []Status { return d.svc.Statuses() }
 
+// StatusesPage lists up to limit records in name order after the given
+// name, optionally filtered by state and/or tenant — an index
+// range-read over the service's status table.
+func (d *Dispatcher) StatusesPage(after string, limit int, state State, tenant string) ([]Status, bool) {
+	return d.svc.StatusesPage(after, limit, state, tenant)
+}
+
 func (d *Dispatcher) worker() {
 	defer d.wg.Done()
 	ticker := time.NewTicker(d.poll)

@@ -1,0 +1,285 @@
+// In-memory secondary indexes over the Manager's status table. The
+// Manager's map gives O(1) point lookups but nothing else; every list
+// endpoint used to sort the whole table per request and Claim scanned
+// it linearly. The indexes here make those queries range-reads:
+//
+//   - a name-ordered skiplist over all jobs (primary iteration order,
+//     shared by pagination),
+//   - one name-ordered skiplist per lifecycle state (state-filtered
+//     pagination without touching other states' records),
+//   - one per tenant (tenant-filtered pagination),
+//   - a min-heap of pending jobs keyed by FIFO seq (O(log n) Claim
+//     instead of a full-table scan).
+//
+// Every mutation path in the Manager funnels through enterIndexes /
+// leaveIndexes / moveState below, so the indexes cannot drift from the
+// table; the property tests drive random op interleavings and assert
+// exactly that.
+package jobs
+
+import (
+	"container/heap"
+	"math/rand"
+)
+
+// skipMaxLevel bounds the skiplist height; 2^14 expected capacity per
+// level-14 node is far above any realistic in-memory job count.
+const skipMaxLevel = 14
+
+type skipNode struct {
+	name string
+	next [skipMaxLevel]*skipNode
+}
+
+// nameIndex is a name-ordered set of job names: an ordinary skiplist,
+// chosen over a sorted slice so restores of very large stores insert in
+// O(log n) regardless of arrival order.
+type nameIndex struct {
+	head  skipNode
+	level int
+	n     int
+	rng   *rand.Rand
+}
+
+func newNameIndex(rng *rand.Rand) *nameIndex {
+	return &nameIndex{level: 1, rng: rng}
+}
+
+func (ix *nameIndex) randomLevel() int {
+	lvl := 1
+	for lvl < skipMaxLevel && ix.rng.Intn(4) == 0 {
+		lvl++
+	}
+	return lvl
+}
+
+// insert adds name (no-op when present).
+func (ix *nameIndex) insert(name string) {
+	var update [skipMaxLevel]*skipNode
+	x := &ix.head
+	for i := ix.level - 1; i >= 0; i-- {
+		for x.next[i] != nil && x.next[i].name < name {
+			x = x.next[i]
+		}
+		update[i] = x
+	}
+	if next := update[0].next[0]; next != nil && next.name == name {
+		return
+	}
+	lvl := ix.randomLevel()
+	for i := ix.level; i < lvl; i++ {
+		update[i] = &ix.head
+	}
+	if lvl > ix.level {
+		ix.level = lvl
+	}
+	node := &skipNode{name: name}
+	for i := 0; i < lvl; i++ {
+		node.next[i] = update[i].next[i]
+		update[i].next[i] = node
+	}
+	ix.n++
+}
+
+// remove deletes name (no-op when absent).
+func (ix *nameIndex) remove(name string) {
+	var update [skipMaxLevel]*skipNode
+	x := &ix.head
+	for i := ix.level - 1; i >= 0; i-- {
+		for x.next[i] != nil && x.next[i].name < name {
+			x = x.next[i]
+		}
+		update[i] = x
+	}
+	target := update[0].next[0]
+	if target == nil || target.name != name {
+		return
+	}
+	for i := 0; i < ix.level; i++ {
+		if update[i].next[i] == target {
+			update[i].next[i] = target.next[i]
+		}
+	}
+	for ix.level > 1 && ix.head.next[ix.level-1] == nil {
+		ix.level--
+	}
+	ix.n--
+}
+
+// ascend walks names > after in ascending order until fn returns false.
+func (ix *nameIndex) ascend(after string, fn func(name string) bool) {
+	x := &ix.head
+	for i := ix.level - 1; i >= 0; i-- {
+		for x.next[i] != nil && x.next[i].name <= after {
+			x = x.next[i]
+		}
+	}
+	for x = x.next[0]; x != nil; x = x.next[0] {
+		if !fn(x.name) {
+			return
+		}
+	}
+}
+
+func (ix *nameIndex) len() int { return ix.n }
+
+// pendingEntry is one claimable job in FIFO order.
+type pendingEntry struct {
+	seq  uint64
+	name string
+}
+
+// pendingHeap orders claimable jobs by submission seq. Entries are
+// lazily invalidated: a pop must be checked against the live record
+// (still pending, same seq) before use, because jobs can leave Pending
+// without visiting the heap (e.g. cancel) and re-enter it (requeue)
+// while a stale entry is still queued.
+type pendingHeap []pendingEntry
+
+func (h pendingHeap) Len() int            { return len(h) }
+func (h pendingHeap) Less(i, j int) bool  { return h[i].seq < h[j].seq }
+func (h pendingHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *pendingHeap) Push(x interface{}) { *h = append(*h, x.(pendingEntry)) }
+func (h *pendingHeap) Pop() interface{} {
+	old := *h
+	e := old[len(old)-1]
+	*h = old[:len(old)-1]
+	return e
+}
+
+// indexes is the Manager's index bundle. All access is under the
+// Manager's lock.
+type indexes struct {
+	primary  *nameIndex
+	byState  map[State]*nameIndex
+	byTenant map[string]*nameIndex
+	pending  pendingHeap
+	rng      *rand.Rand
+}
+
+func newIndexes() *indexes {
+	// A fixed seed keeps skiplist shapes reproducible run to run; the
+	// seed only influences performance, never results.
+	rng := rand.New(rand.NewSource(0x5d1f))
+	return &indexes{
+		primary:  newNameIndex(rng),
+		byState:  make(map[State]*nameIndex),
+		byTenant: make(map[string]*nameIndex),
+		rng:      rng,
+	}
+}
+
+func (ix *indexes) stateIndex(s State) *nameIndex {
+	idx, ok := ix.byState[s]
+	if !ok {
+		idx = newNameIndex(ix.rng)
+		ix.byState[s] = idx
+	}
+	return idx
+}
+
+func (ix *indexes) tenantIndex(t string) *nameIndex {
+	idx, ok := ix.byTenant[t]
+	if !ok {
+		idx = newNameIndex(ix.rng)
+		ix.byTenant[t] = idx
+	}
+	return idx
+}
+
+// enter indexes a record that just joined the table (or was restored
+// into it). Idempotent: skiplist inserts ignore duplicates and the
+// pending heap is lazily validated.
+func (ix *indexes) enter(rec *Status) {
+	ix.primary.insert(rec.Job.Name)
+	ix.stateIndex(rec.State).insert(rec.Job.Name)
+	if rec.Job.Tenant != "" {
+		ix.tenantIndex(rec.Job.Tenant).insert(rec.Job.Name)
+	}
+	if rec.State == StatePending {
+		heap.Push(&ix.pending, pendingEntry{seq: rec.seq, name: rec.Job.Name})
+	}
+}
+
+// leave removes a record that left the table.
+func (ix *indexes) leave(rec *Status) {
+	ix.primary.remove(rec.Job.Name)
+	ix.stateIndex(rec.State).remove(rec.Job.Name)
+	if rec.Job.Tenant != "" {
+		ix.tenantIndex(rec.Job.Tenant).remove(rec.Job.Name)
+	}
+	// A stale pending entry, if any, dies at the next pop's liveness
+	// check.
+}
+
+// move re-files a record whose state changed from old. The caller has
+// already updated rec.State.
+func (ix *indexes) move(rec *Status, old State) {
+	if old == rec.State {
+		return
+	}
+	ix.stateIndex(old).remove(rec.Job.Name)
+	ix.stateIndex(rec.State).insert(rec.Job.Name)
+	if rec.State == StatePending {
+		heap.Push(&ix.pending, pendingEntry{seq: rec.seq, name: rec.Job.Name})
+	}
+}
+
+// popPending returns the oldest genuinely-pending job, discarding stale
+// heap entries. recs is the live table; the caller holds the lock.
+func (ix *indexes) popPending(recs map[string]*Status) (*Status, bool) {
+	for ix.pending.Len() > 0 {
+		e := heap.Pop(&ix.pending).(pendingEntry)
+		rec, ok := recs[e.name]
+		if ok && rec.State == StatePending && rec.seq == e.seq {
+			return rec, true
+		}
+	}
+	return nil, false
+}
+
+// StatusesPage returns up to limit lifecycle records in name order,
+// strictly after the given name, optionally filtered to one state
+// and/or tenant; more reports whether records beyond the page remain.
+// The scan is an index range-read: the narrowest applicable index is
+// walked and only matching records are touched.
+func (m *Manager) StatusesPage(after string, limit int, state State, tenant string) (page []Status, more bool) {
+	if limit <= 0 {
+		return nil, false
+	}
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	// Plain map reads only: lazily-created indexes must not be
+	// materialised under the read lock.
+	var idx *nameIndex
+	switch {
+	case state != "":
+		idx = m.ix.byState[state]
+	case tenant != "":
+		idx = m.ix.byTenant[tenant]
+	default:
+		idx = m.ix.primary
+	}
+	if idx == nil {
+		return nil, false
+	}
+	idx.ascend(after, func(name string) bool {
+		rec := m.recs[name]
+		if rec == nil {
+			return true
+		}
+		if state != "" && rec.State != state {
+			return true
+		}
+		if tenant != "" && rec.Job.Tenant != tenant {
+			return true
+		}
+		if len(page) == limit {
+			more = true
+			return false
+		}
+		page = append(page, *rec)
+		return true
+	})
+	return page, more
+}

@@ -76,6 +76,9 @@ type Job struct {
 	Name  string
 	Kind  Kind
 	Query Query
+	// Tenant scopes the job to the submitting organisation. Empty is
+	// the default (single-tenant) scope; list queries can filter by it.
+	Tenant string
 	// Priority orders budget admission in the cross-query scheduler:
 	// when the remaining budget cannot cover every pending job, higher
 	// priorities are admitted first. Zero is the default tier.
@@ -147,13 +150,18 @@ const DefaultMaxAttempts = 3
 type Manager struct {
 	mu          sync.RWMutex
 	recs        map[string]*Status
+	ix          *indexes
 	maxAttempts int
 	nextSeq     uint64
 }
 
 // NewManager returns an empty Manager with DefaultMaxAttempts.
 func NewManager() *Manager {
-	return &Manager{recs: make(map[string]*Status), maxAttempts: DefaultMaxAttempts}
+	return &Manager{
+		recs:        make(map[string]*Status),
+		ix:          newIndexes(),
+		maxAttempts: DefaultMaxAttempts,
+	}
 }
 
 // SetMaxAttempts bounds the retry loop: a job failing on its n-th claim
@@ -205,7 +213,9 @@ func (m *Manager) Register(job Job) (Plan, error) {
 	if _, dup := m.recs[job.Name]; dup {
 		return Plan{}, fmt.Errorf("%w: %q", ErrDuplicateJob, job.Name)
 	}
-	m.recs[job.Name] = &Status{Job: job, State: StatePending, seq: m.nextSeq}
+	rec := &Status{Job: job, State: StatePending, seq: m.nextSeq}
+	m.recs[job.Name] = rec
+	m.ix.enter(rec)
 	m.nextSeq++
 	return plan, nil
 }
@@ -226,9 +236,11 @@ func (m *Manager) Get(name string) (Job, bool) {
 func (m *Manager) Unregister(name string) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	if _, ok := m.recs[name]; !ok {
+	rec, ok := m.recs[name]
+	if !ok {
 		return fmt.Errorf("%w: %q", ErrUnknownJob, name)
 	}
+	m.ix.leave(rec)
 	delete(m.recs, name)
 	return nil
 }

@@ -120,27 +120,29 @@ func (m *Manager) Statuses() []Status {
 
 // Claim atomically moves the oldest Pending job to Running and returns
 // it; ok is false when nothing is pending. The claim counts as an
-// attempt.
+// attempt. The oldest pending job comes off the FIFO index heap —
+// O(log n), not a table scan.
 func (m *Manager) Claim() (Status, bool) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	var oldest *Status
-	for _, rec := range m.recs {
-		if rec.State != StatePending {
-			continue
-		}
-		if oldest == nil || rec.seq < oldest.seq {
-			oldest = rec
-		}
-	}
-	if oldest == nil {
+	oldest, ok := m.ix.popPending(m.recs)
+	if !ok {
 		return Status{}, false
 	}
-	oldest.State = StateRunning
+	m.setState(oldest, StateRunning)
 	oldest.Attempts++
 	oldest.Progress = 0
 	oldest.baseCost = oldest.Cost
 	return *oldest, true
+}
+
+// setState applies a state change and re-files the record in the
+// secondary indexes — the single choke point keeping them consistent
+// with the table. Callers hold m.mu and have validated the transition.
+func (m *Manager) setState(rec *Status, to State) {
+	old := rec.State
+	rec.State = to
+	m.ix.move(rec, old)
 }
 
 // Complete moves a Running job to Done, recording the final cost of the
@@ -169,11 +171,11 @@ func (m *Manager) Fail(name string, cause error, cost float64) (st Status, reque
 		rec.Error = "unknown failure"
 	}
 	if rec.Attempts < m.maxAttempts && !errors.Is(cause, ErrPermanent) {
-		rec.State = StatePending
+		m.setState(rec, StatePending)
 		rec.Progress = 0
 		return *rec, true, nil
 	}
-	rec.State = StateFailed
+	m.setState(rec, StateFailed)
 	return *rec, false, nil
 }
 
@@ -188,7 +190,7 @@ func (m *Manager) Cancel(name string) (Status, error) {
 	if !CanTransition(rec.State, StateCancelled) {
 		return Status{}, fmt.Errorf("%w: %s → %s for %q", ErrBadTransition, rec.State, StateCancelled, name)
 	}
-	rec.State = StateCancelled
+	m.setState(rec, StateCancelled)
 	return *rec, nil
 }
 
@@ -206,7 +208,7 @@ func (m *Manager) Park(name string) (Status, error) {
 	if !CanTransition(rec.State, StateParked) {
 		return Status{}, fmt.Errorf("%w: %s → %s for %q", ErrBadTransition, rec.State, StateParked, name)
 	}
-	rec.State = StateParked
+	m.setState(rec, StateParked)
 	rec.Progress = 0
 	if rec.Attempts > 0 {
 		rec.Attempts--
@@ -226,7 +228,7 @@ func (m *Manager) Unpark(name string) (Status, error) {
 	if rec.State != StateParked {
 		return Status{}, fmt.Errorf("%w: %s → %s for %q", ErrBadTransition, rec.State, StatePending, name)
 	}
-	rec.State = StatePending
+	m.setState(rec, StatePending)
 	return *rec, nil
 }
 
@@ -243,7 +245,7 @@ func (m *Manager) Requeue(name string) (Status, error) {
 	if !CanTransition(rec.State, StatePending) {
 		return Status{}, fmt.Errorf("%w: %s → %s for %q", ErrBadTransition, rec.State, StatePending, name)
 	}
-	rec.State = StatePending
+	m.setState(rec, StatePending)
 	rec.Progress = 0
 	return *rec, nil
 }
@@ -276,7 +278,7 @@ func (m *Manager) finish(name string, to State, errMsg string, cost float64) (St
 	if !CanTransition(rec.State, to) {
 		return Status{}, fmt.Errorf("%w: %s → %s for %q", ErrBadTransition, rec.State, to, name)
 	}
-	rec.State = to
+	m.setState(rec, to)
 	rec.Error = errMsg
 	rec.Cost = rec.baseCost + cost
 	if to == StateDone {
@@ -289,8 +291,8 @@ func (m *Manager) finish(name string, to State, errMsg string, cost float64) (St
 // claim's attempt increment undone — an attempt that never reached a
 // verdict must not erode the retry budget. Callers hold m.mu and have
 // verified rec is Running.
-func refundClaim(rec *Status) {
-	rec.State = StatePending
+func (m *Manager) refundClaim(rec *Status) {
+	m.setState(rec, StatePending)
 	rec.Progress = 0
 	if rec.Attempts > 0 {
 		rec.Attempts--
@@ -309,7 +311,7 @@ func (m *Manager) voidClaim(name string) (Status, error) {
 	if rec.State != StateRunning {
 		return Status{}, fmt.Errorf("%w: %s → %s for %q", ErrBadTransition, rec.State, StatePending, name)
 	}
-	refundClaim(rec)
+	m.refundClaim(rec)
 	return *rec, nil
 }
 
@@ -322,7 +324,7 @@ func (m *Manager) unclaim(name string) {
 	if !ok || rec.State != StateRunning {
 		return
 	}
-	refundClaim(rec)
+	m.refundClaim(rec)
 }
 
 // revert restores a job's record to a previously captured Status —
@@ -332,7 +334,9 @@ func (m *Manager) revert(prev Status) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if rec, ok := m.recs[prev.Job.Name]; ok {
+		m.ix.leave(rec)
 		*rec = prev
+		m.ix.enter(rec)
 	}
 }
 
@@ -346,9 +350,12 @@ func (m *Manager) restore(st Status) {
 	if !ok {
 		rec = &Status{}
 		m.recs[st.Job.Name] = rec
+	} else {
+		m.ix.leave(rec)
 	}
 	*rec = st
 	rec.baseCost = st.Cost
+	m.ix.enter(rec)
 	if st.seq >= m.nextSeq {
 		m.nextSeq = st.seq + 1
 	}

@@ -7,25 +7,45 @@ package jobs
 import (
 	"encoding/json"
 	"fmt"
+	"strings"
 	"sync"
 
 	"cdas/internal/jobstore"
 	"cdas/internal/metrics"
 )
 
+// Storage engine names for ServiceConfig.Engine.
+const (
+	// EngineWAL is the original append-only log: every event replayed
+	// from seq zero (or the latest snapshot) at boot.
+	EngineWAL = "wal"
+	// EngineLSM is the indexed store: an LSM tree holding each job's
+	// current record under a primary key plus (state, priority, tenant)
+	// secondary indexes, booted from the newest checkpoint + WAL tail.
+	EngineLSM = "lsm"
+)
+
 // ServiceConfig tunes OpenService. The zero value is a volatile
 // (memory-only) service with default retry and compaction settings.
 type ServiceConfig struct {
-	// Dir roots the WAL and snapshot files. Empty disables persistence:
-	// the service still runs the full lifecycle, in memory only.
+	// Dir roots the store's files. Empty disables persistence: the
+	// service still runs the full lifecycle, in memory only.
 	Dir string
+	// Engine selects the storage engine: EngineWAL (the default) or
+	// EngineLSM. The engines use disjoint file names, but do not share
+	// state — switching engines on an existing Dir starts empty.
+	Engine string
 	// MaxAttempts bounds the retry loop (default DefaultMaxAttempts).
 	MaxAttempts int
-	// SnapshotEvery compacts the WAL into a snapshot after this many
-	// appended events (default 256; negative disables compaction).
+	// SnapshotEvery compacts the store after this many committed events
+	// (default 256; negative disables compaction). Under EngineWAL this
+	// writes a snapshot; under EngineLSM it cuts a checkpoint.
 	SnapshotEvery int
 	// Counters, when set, receives lifecycle and WAL counters.
 	Counters *metrics.Registry
+	// StoreFail injects storage failpoints (EngineLSM only) — the
+	// crash-equivalence tests' hook. Leave nil in production.
+	StoreFail jobstore.FailFunc
 }
 
 // Service is the durable job lifecycle service. It is safe for
@@ -37,10 +57,51 @@ type Service struct {
 	// mu serialises state mutation with WAL appends so the log's event
 	// order always matches the order the state machine applied them in.
 	mu      sync.Mutex
-	log     *jobstore.Log
+	log     *jobstore.Log // EngineWAL backend (nil otherwise)
+	lsm     *jobstore.LSM // EngineLSM backend (nil otherwise)
+	events  int           // committed events since the last LSM checkpoint
 	wake    chan struct{}
 	resumed []string
 	budget  BudgetState
+}
+
+// LSM keyspace. The primary record lives under "j/<name>"; secondary
+// index entries are empty values whose keys order the scan:
+//
+//	j/<name>                      → walStatus JSON (current record)
+//	b                             → BudgetState JSON (ledger)
+//	xs/<state>/<seq>/<name>       state index, FIFO order within a state
+//	xp/<priority>/<name>          priority index (admission order)
+//	xt/<tenant>/<name>            tenant index
+//
+// seq and priority are fixed-width big-endian hex so byte order equals
+// numeric order; priority is offset-encoded to order negatives first.
+const (
+	lsmPrimaryPrefix = "j/"
+	lsmBudgetKey     = "b"
+	lsmStatePrefix   = "xs/"
+	lsmPrioPrefix    = "xp/"
+	lsmTenantPrefix  = "xt/"
+)
+
+func lsmPrimaryKey(name string) string { return lsmPrimaryPrefix + name }
+
+func lsmStateKey(state State, seq uint64, name string) string {
+	return fmt.Sprintf("%s%s/%016x/%s", lsmStatePrefix, state, seq, name)
+}
+
+func lsmPrioKey(priority int, name string) string {
+	return fmt.Sprintf("%s%016x/%s", lsmPrioPrefix, uint64(int64(priority))+(1<<63), name)
+}
+
+func lsmTenantKey(tenant, name string) string {
+	return lsmTenantPrefix + tenant + "/" + name
+}
+
+// prefixEnd is the smallest key greater than every key with the given
+// prefix — the exclusive upper bound for a prefix range-read.
+func prefixEnd(prefix string) string {
+	return prefix[:len(prefix)-1] + string(prefix[len(prefix)-1]+1)
 }
 
 // BudgetState is the durable crowd-budget ledger the scheduler's
@@ -140,6 +201,13 @@ func OpenService(cfg ServiceConfig) (*Service, error) {
 	if cfg.Dir == "" {
 		return s, nil
 	}
+	switch cfg.Engine {
+	case "", EngineWAL:
+	case EngineLSM:
+		return openLSMService(s)
+	default:
+		return nil, fmt.Errorf("jobs: unknown storage engine %q", cfg.Engine)
+	}
 	log, err := jobstore.Open(cfg.Dir)
 	if err != nil {
 		return nil, err
@@ -183,12 +251,80 @@ func OpenService(cfg ServiceConfig) (*Service, error) {
 			log.Close()
 			return nil, err
 		}
-		if err := s.append("update", re, true); err != nil {
+		if err := s.append("update", StateRunning, re, true); err != nil {
 			log.Close()
 			return nil, err
 		}
 		s.resumed = append(s.resumed, st.Job.Name)
 		cfg.Counters.Inc(metrics.CounterJobsResumed)
+	}
+	return s, nil
+}
+
+// openLSMService finishes OpenService for EngineLSM: boot from the
+// newest checkpoint plus the WAL tail, restore every job's current
+// record from the primary keyspace, then requeue the jobs the dead
+// process was running — found by a range-read of the state index, and
+// cross-checked against the primary records (the two are committed in
+// one atomic batch, so any disagreement is an engine bug worth failing
+// the boot over).
+func openLSMService(s *Service) (*Service, error) {
+	lsm, err := jobstore.OpenLSM(jobstore.LSMConfig{Dir: s.cfg.Dir, Fail: s.cfg.StoreFail})
+	if err != nil {
+		return nil, err
+	}
+	s.lsm = lsm
+	fail := func(err error) (*Service, error) {
+		lsm.Close()
+		return nil, err
+	}
+	if raw, ok, err := lsm.Get(lsmBudgetKey); err != nil {
+		return fail(err)
+	} else if ok {
+		if err := json.Unmarshal(raw, &s.budget); err != nil {
+			return fail(fmt.Errorf("jobs: decoding budget record: %w", err))
+		}
+	}
+	var decodeErr error
+	err = lsm.Scan(lsmPrimaryPrefix, prefixEnd(lsmPrimaryPrefix), func(key string, val []byte) bool {
+		var ws walStatus
+		if decodeErr = json.Unmarshal(val, &ws); decodeErr != nil {
+			decodeErr = fmt.Errorf("jobs: decoding job record %q: %w", key, decodeErr)
+			return false
+		}
+		s.m.restore(fromWal(ws))
+		return true
+	})
+	if err == nil {
+		err = decodeErr
+	}
+	if err != nil {
+		return fail(err)
+	}
+	// Resume via the state index: every xs/running entry names a job a
+	// crash or shutdown interrupted mid-flight.
+	runningPrefix := lsmStatePrefix + string(StateRunning) + "/"
+	var running []string
+	err = lsm.Scan(runningPrefix, prefixEnd(runningPrefix), func(key string, _ []byte) bool {
+		running = append(running, key[strings.LastIndexByte(key, '/')+1:])
+		return true
+	})
+	if err != nil {
+		return fail(err)
+	}
+	for _, name := range running {
+		if st, ok := s.m.Status(name); !ok || st.State != StateRunning {
+			return fail(fmt.Errorf("jobs: state index lists %q as running but the primary record disagrees", name))
+		}
+		re, err := s.m.Requeue(name)
+		if err != nil {
+			return fail(err)
+		}
+		if err := s.append("update", StateRunning, re, true); err != nil {
+			return fail(err)
+		}
+		s.resumed = append(s.resumed, name)
+		s.cfg.Counters.Inc(metrics.CounterJobsResumed)
 	}
 	return s, nil
 }
@@ -213,19 +349,24 @@ func (s *Service) notify() {
 	}
 }
 
-// append commits one lifecycle event to the WAL. Callers hold s.mu.
-// sync selects fsync-on-commit; progress events pass false — they are
-// advisory (reset on requeue), and a later synced transition flushes
-// them anyway.
-func (s *Service) append(op string, st Status, sync bool) error {
-	return s.appendEvent(walEvent{Op: op, Status: toWal(st)}, sync)
+// append commits one lifecycle event. prevState is the job's state
+// before the transition ("" for a brand-new submission) — the LSM
+// engine uses it to re-file the state index entry in the same atomic
+// batch. Callers hold s.mu. sync selects fsync-on-commit; progress
+// events pass false — they are advisory (reset on requeue), and a
+// later synced transition flushes them anyway.
+func (s *Service) append(op string, prevState State, st Status, sync bool) error {
+	return s.appendEvent(walEvent{Op: op, Status: toWal(st)}, prevState, sync)
 }
 
-// appendEvent commits any WAL event (no-op when the service is
-// volatile) and compacts when the policy says so — the single choke
-// point for lifecycle and budget records alike, so every event kind
-// counts toward and triggers compaction. Callers hold s.mu.
-func (s *Service) appendEvent(ev walEvent, sync bool) error {
+// appendEvent commits any event (no-op when the service is volatile)
+// and compacts when the policy says so — the single choke point for
+// lifecycle and budget records alike, so every event kind counts
+// toward and triggers compaction. Callers hold s.mu.
+func (s *Service) appendEvent(ev walEvent, prevState State, sync bool) error {
+	if s.lsm != nil {
+		return s.lsmCommit(ev, prevState)
+	}
 	if s.log == nil {
 		return nil
 	}
@@ -247,6 +388,56 @@ func (s *Service) appendEvent(ev walEvent, sync bool) error {
 		// best-effort housekeeping and must not fail the transition (a
 		// failed compaction simply retries on a later append).
 		_ = s.compact()
+	}
+	return nil
+}
+
+// lsmCommit turns one event into an atomic LSM batch: the primary
+// record plus every secondary index entry the event adds, moves or
+// removes — all under one WAL frame, so a crash can never persist the
+// record without its index entries or vice versa. Callers hold s.mu.
+func (s *Service) lsmCommit(ev walEvent, prevState State) error {
+	var batch []jobstore.Op
+	if ev.Op == "budget" {
+		payload, err := json.Marshal(ev.Budget)
+		if err != nil {
+			return fmt.Errorf("jobs: encoding budget: %w", err)
+		}
+		batch = append(batch, jobstore.Op{Key: lsmBudgetKey, Value: payload})
+	} else {
+		ws := ev.Status
+		payload, err := json.Marshal(ws)
+		if err != nil {
+			return fmt.Errorf("jobs: encoding job record: %w", err)
+		}
+		batch = append(batch, jobstore.Op{Key: lsmPrimaryKey(ws.Job.Name), Value: payload})
+		if prevState != "" && prevState != ws.State {
+			batch = append(batch, jobstore.Op{Key: lsmStateKey(prevState, ws.Seq, ws.Job.Name), Delete: true})
+		}
+		if prevState != ws.State {
+			batch = append(batch, jobstore.Op{Key: lsmStateKey(ws.State, ws.Seq, ws.Job.Name)})
+		}
+		if ev.Op == "submit" {
+			// Priority and tenant are immutable, so their index entries
+			// are written once, at submission.
+			batch = append(batch, jobstore.Op{Key: lsmPrioKey(ws.Job.Priority, ws.Job.Name)})
+			if ws.Job.Tenant != "" {
+				batch = append(batch, jobstore.Op{Key: lsmTenantKey(ws.Job.Tenant, ws.Job.Name)})
+			}
+		}
+	}
+	if err := s.lsm.Apply(batch); err != nil {
+		return err
+	}
+	s.cfg.Counters.Inc(metrics.CounterWALAppends)
+	s.events++
+	if s.cfg.SnapshotEvery > 0 && s.events >= s.cfg.SnapshotEvery {
+		s.events = 0
+		// Best-effort housekeeping, same contract as the WAL engine's
+		// compaction: the batch above is already durable.
+		if s.lsm.Checkpoint() == nil {
+			s.cfg.Counters.Inc(metrics.CounterWALSnapshots)
+		}
 	}
 	return nil
 }
@@ -284,7 +475,7 @@ func (s *Service) Submit(job Job) (Plan, error) {
 		return Plan{}, err
 	}
 	st, _ := s.m.Status(job.Name)
-	if err := s.append("submit", st, true); err != nil {
+	if err := s.append("submit", "", st, true); err != nil {
 		s.m.Unregister(job.Name)
 		return Plan{}, err
 	}
@@ -302,7 +493,7 @@ func (s *Service) Claim() (Status, bool) {
 	if !ok {
 		return Status{}, false
 	}
-	if err := s.append("update", st, true); err != nil {
+	if err := s.append("update", StatePending, st, true); err != nil {
 		// Disk refused the claim: revert it entirely (state and attempt
 		// count) so no work runs unlogged and transient storage errors
 		// don't eat the retry budget.
@@ -317,7 +508,7 @@ func (s *Service) Claim() (Status, bool) {
 // the commit, the in-memory record is reverted to prev, preserving the
 // invariant that memory never acknowledges more than disk.
 func (s *Service) commitUpdate(prev, st Status, sync bool) error {
-	if err := s.append("update", st, sync); err != nil {
+	if err := s.append("update", prev.State, st, sync); err != nil {
 		s.m.revert(prev)
 		return err
 	}
@@ -434,7 +625,7 @@ func (s *Service) ChargeBudget(name string, amount float64) error {
 	}
 	s.budget.Jobs[name] += amount
 	b := s.budget.clone()
-	if err := s.appendEvent(walEvent{Op: "budget", Budget: &b}, true); err != nil {
+	if err := s.appendEvent(walEvent{Op: "budget", Budget: &b}, "", true); err != nil {
 		s.budget = prev
 		return err
 	}
@@ -514,14 +705,27 @@ func (s *Service) Statuses() []Status {
 	return s.m.Statuses()
 }
 
+// StatusesPage lists up to limit lifecycle records in name order,
+// strictly after the given name, optionally filtered by state and/or
+// tenant — an index range-read, not a sort of the whole table. It
+// takes the commit lock, so pages see only acknowledged state.
+func (s *Service) StatusesPage(after string, limit int, state State, tenant string) ([]Status, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.m.StatusesPage(after, limit, state, tenant)
+}
+
 // MaxAttempts reports the retry bound.
 func (s *Service) MaxAttempts() int { return s.m.MaxAttempts() }
 
-// Close releases the WAL. The in-memory view stays readable; further
-// mutations fail on the closed log.
+// Close releases the store. The in-memory view stays readable; further
+// mutations fail on the closed store.
 func (s *Service) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.lsm != nil {
+		return s.lsm.Close()
+	}
 	if s.log == nil {
 		return nil
 	}
@@ -529,4 +733,4 @@ func (s *Service) Close() error {
 }
 
 // Durable reports whether the service is backed by a store.
-func (s *Service) Durable() bool { return s.log != nil }
+func (s *Service) Durable() bool { return s.log != nil || s.lsm != nil }

@@ -1,0 +1,181 @@
+package jobs
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"testing"
+	"time"
+
+	"cdas/internal/jobstore"
+)
+
+// benchStoreJobs sizes the populated store behind the boot and listing
+// benchmarks (see BENCH_jobstore.json). 100k records is the "busy
+// server restarted after a long run" scenario the recovery bound is
+// about.
+const benchStoreJobs = 100_000
+
+// benchStatus builds the i-th fixture record. The states cycle through
+// Pending/Done/Parked only: a Running record would make every boot
+// requeue it (a store write), and the boot benchmark needs reopening
+// the same directory to be read-only.
+func benchStatus(i int) walStatus {
+	states := []State{StatePending, StateDone, StateParked, StateDone}
+	return walStatus{
+		Job: Job{
+			Name:     fmt.Sprintf("job-%06d", i),
+			Kind:     KindTSA,
+			Priority: i % 7,
+			Tenant:   fmt.Sprintf("tenant-%d", i%5),
+			Query: Query{
+				Keywords:         []string{"iPhone4S", "camera"},
+				RequiredAccuracy: 0.9,
+				Domain:           []string{"positive", "neutral", "negative"},
+				Window:           24 * time.Hour,
+			},
+		},
+		State:    states[i%len(states)],
+		Attempts: 1,
+		Progress: float64(i%10) / 10,
+		Cost:     float64(i%13) * 0.25,
+		Seq:      uint64(i + 1),
+	}
+}
+
+// buildBenchStore populates dir with benchStoreJobs records through
+// the same on-disk encodings the service commits — unsynced, since the
+// benchmark measures boot, not the build.
+func buildBenchStore(b *testing.B, dir, engine string) {
+	b.Helper()
+	switch engine {
+	case EngineWAL:
+		log, err := jobstore.Open(dir)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < benchStoreJobs; i++ {
+			rec, err := json.Marshal(walEvent{Op: "submit", Status: benchStatus(i)})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := log.AppendNoSync(rec); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := log.Close(); err != nil {
+			b.Fatal(err)
+		}
+	case EngineLSM:
+		// A large memtable keeps the build to a couple of checkpoints;
+		// the final Checkpoint leaves the boot a run set plus an empty
+		// WAL tail — the recovery shape the engine promises.
+		lsm, err := jobstore.OpenLSM(jobstore.LSMConfig{Dir: dir, NoSync: true, MemtableBytes: 64 << 20})
+		if err != nil {
+			b.Fatal(err)
+		}
+		var batch []jobstore.Op
+		for i := 0; i < benchStoreJobs; i++ {
+			ws := benchStatus(i)
+			payload, err := json.Marshal(ws)
+			if err != nil {
+				b.Fatal(err)
+			}
+			batch = append(batch,
+				jobstore.Op{Key: lsmPrimaryKey(ws.Job.Name), Value: payload},
+				jobstore.Op{Key: lsmStateKey(ws.State, ws.Seq, ws.Job.Name)},
+				jobstore.Op{Key: lsmPrioKey(ws.Job.Priority, ws.Job.Name)},
+				jobstore.Op{Key: lsmTenantKey(ws.Job.Tenant, ws.Job.Name)},
+			)
+			if len(batch) >= 4096 {
+				if err := lsm.Apply(batch); err != nil {
+					b.Fatal(err)
+				}
+				batch = batch[:0]
+			}
+		}
+		if len(batch) > 0 {
+			if err := lsm.Apply(batch); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := lsm.Checkpoint(); err != nil {
+			b.Fatal(err)
+		}
+		if err := lsm.Close(); err != nil {
+			b.Fatal(err)
+		}
+	default:
+		b.Fatalf("unknown engine %q", engine)
+	}
+}
+
+// BenchmarkStoreBoot measures cold-start recovery of a 100k-job store
+// under each engine: WAL replay from seq zero versus LSM checkpoint +
+// tail. Reports boot_ms, the per-boot wall time the bench gate bounds.
+func BenchmarkStoreBoot(b *testing.B) {
+	for _, engine := range []string{EngineWAL, EngineLSM} {
+		b.Run(engine, func(b *testing.B) {
+			dir := b.TempDir()
+			buildBenchStore(b, dir, engine)
+			// One throwaway boot verifies the fixture before the clock runs.
+			svc, err := OpenService(ServiceConfig{Dir: dir, Engine: engine, SnapshotEvery: -1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if n := len(svc.Statuses()); n != benchStoreJobs {
+				b.Fatalf("fixture store has %d jobs, want %d", n, benchStoreJobs)
+			}
+			svc.Close()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				svc, err := OpenService(ServiceConfig{Dir: dir, Engine: engine, SnapshotEvery: -1})
+				if err != nil {
+					b.Fatal(err)
+				}
+				svc.Close()
+			}
+			b.StopTimer()
+			b.ReportMetric(b.Elapsed().Seconds()*1e3/float64(b.N), "boot_ms")
+		})
+	}
+}
+
+// BenchmarkJobsListP99 measures one GET /v1/jobs page (limit 100) over
+// a 100k-job table, walking the primary index page by page. Reports
+// list_p99_us, the tail latency the bench gate bounds — the index
+// range-read must stay O(page), not O(table).
+func BenchmarkJobsListP99(b *testing.B) {
+	svc, err := OpenService(ServiceConfig{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < benchStoreJobs; i++ {
+		svc.m.restore(fromWal(benchStatus(i)))
+	}
+	// Each iteration reads a fixed batch of pages, so even a -benchtime
+	// 3x baseline run collects a few hundred samples for the percentile.
+	const (
+		pageSize   = 100
+		pagesPerOp = 256
+	)
+	durs := make([]time.Duration, 0, b.N*pagesPerOp)
+	after := ""
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for p := 0; p < pagesPerOp; p++ {
+			start := time.Now()
+			page, more := svc.StatusesPage(after, pageSize, "", "")
+			durs = append(durs, time.Since(start))
+			if !more || len(page) == 0 {
+				after = ""
+			} else {
+				after = page[len(page)-1].Job.Name
+			}
+		}
+	}
+	b.StopTimer()
+	sort.Slice(durs, func(i, j int) bool { return durs[i] < durs[j] })
+	p99 := durs[len(durs)*99/100]
+	b.ReportMetric(float64(p99.Nanoseconds())/1e3, "list_p99_us")
+}

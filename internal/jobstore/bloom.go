@@ -1,0 +1,68 @@
+// Bloom filter over a sorted run's keys: negative Gets skip the run's
+// blocks entirely, which is what keeps point lookups cheap once
+// compaction has stacked a few runs. The filter is built once at run
+// write time and serialised into the run file; false positives cost a
+// block read, false negatives are impossible (the property tests pin
+// that).
+package jobstore
+
+import "hash/fnv"
+
+// bloomBitsPerKey sizes the filter: 10 bits/key ≈ 1% false positives
+// with the 7 probes below.
+const (
+	bloomBitsPerKey = 10
+	bloomHashes     = 7
+)
+
+// bloom is a split (double-hashed) Bloom filter.
+type bloom struct {
+	bits []byte
+}
+
+// newBloom sizes a filter for n keys.
+func newBloom(n int) *bloom {
+	if n < 1 {
+		n = 1
+	}
+	nbits := n * bloomBitsPerKey
+	return &bloom{bits: make([]byte, (nbits+7)/8)}
+}
+
+// bloomHash derives the two independent hash streams from one FNV-64a
+// pass; probe i uses h1 + i*h2 (Kirsch–Mitzenmacher double hashing).
+func bloomHash(key string) (h1, h2 uint64) {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	sum := h.Sum64()
+	h1 = sum
+	h2 = sum>>33 | sum<<31
+	h2 |= 1 // odd, so probes cycle through the whole bit array
+	return h1, h2
+}
+
+func (b *bloom) add(key string) {
+	nbits := uint64(len(b.bits)) * 8
+	h1, h2 := bloomHash(key)
+	for i := uint64(0); i < bloomHashes; i++ {
+		bit := (h1 + i*h2) % nbits
+		b.bits[bit/8] |= 1 << (bit % 8)
+	}
+}
+
+// mayContain reports whether key could be in the set. False means
+// definitely absent.
+func (b *bloom) mayContain(key string) bool {
+	if len(b.bits) == 0 {
+		return false
+	}
+	nbits := uint64(len(b.bits)) * 8
+	h1, h2 := bloomHash(key)
+	for i := uint64(0); i < bloomHashes; i++ {
+		bit := (h1 + i*h2) % nbits
+		if b.bits[bit/8]&(1<<(bit%8)) == 0 {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,66 @@
+// Failpoint injection for the LSM engine's durability boundary. Every
+// fsync, rename and WAL/run write the engine performs passes through a
+// named failpoint first; a test hook (LSMConfig.Fail) can make any of
+// them return ErrInjectedCrash, simulating a process that died at
+// exactly that syscall. The crash-equivalence harness drives identical
+// op sequences with a crash injected at every point in turn and asserts
+// the recovered store always equals a reference model.
+//
+// Semantics of an injected crash: bytes written before the failpoint
+// are on disk (our simulated crash does not lose the page cache), the
+// guarded syscall and everything after it never happened. The torn
+// points ("wal.write", "run.write") additionally support partial
+// writes: when the hook returns ErrTornWrite the writer persists a
+// prefix of the frame and then crashes, modelling a write cut mid-page.
+package jobstore
+
+import "errors"
+
+// ErrInjectedCrash is the error a failpoint hook returns (or the engine
+// converts ErrTornWrite into) to simulate dying at that point. The
+// engine aborts the in-flight operation immediately; the store must be
+// reopened from disk, exactly like a process restart.
+var ErrInjectedCrash = errors.New("jobstore: injected crash")
+
+// ErrTornWrite instructs a torn-capable failpoint to persist only a
+// prefix of the bytes it was about to write before crashing — the
+// deterministic version of a write cut mid-page by power loss.
+var ErrTornWrite = errors.New("jobstore: injected torn write")
+
+// FailFunc is the failpoint hook: called with the point's name before
+// the guarded syscall runs. Returning nil proceeds; returning an error
+// aborts the operation with that error (use ErrInjectedCrash, or
+// ErrTornWrite at torn-capable points).
+type FailFunc func(point string) error
+
+// The LSM engine's failpoints, in the rough order a write's life
+// passes through them. Exported so harnesses can enumerate coverage.
+const (
+	FailWALWrite       = "wal.write"       // torn-capable: WAL frame write
+	FailWALSync        = "wal.sync"        // WAL fsync acknowledging a batch
+	FailWALTruncate    = "wal.truncate"    // WAL truncation after a checkpoint
+	FailRunWrite       = "run.write"       // torn-capable: sorted-run body write
+	FailRunSync        = "run.sync"        // run file fsync before install
+	FailRunRename      = "run.rename"      // temp → run-NNN.run install rename
+	FailManifestWrite  = "manifest.write"  // manifest temp-file write
+	FailManifestSync   = "manifest.sync"   // manifest fsync before install
+	FailManifestRename = "manifest.rename" // temp → MANIFEST install rename
+	FailDirSync        = "dir.sync"        // directory fsync making renames durable
+)
+
+// LSMFailpoints lists every failpoint the engine can hit, for harnesses
+// that want to assert full coverage.
+var LSMFailpoints = []string{
+	FailWALWrite, FailWALSync, FailWALTruncate,
+	FailRunWrite, FailRunSync, FailRunRename,
+	FailManifestWrite, FailManifestSync, FailManifestRename,
+	FailDirSync,
+}
+
+// fail invokes the hook, nil-safely.
+func (f FailFunc) fail(point string) error {
+	if f == nil {
+		return nil
+	}
+	return f(point)
+}

@@ -11,7 +11,10 @@ import (
 // panic or error on junk (junk is a torn tail, not an IO failure), the
 // recovered state must be appendable, and a second recovery must see
 // exactly the first recovery's entries plus the new append — i.e.
-// recovery is a fixed point no matter what was on disk.
+// recovery is a fixed point no matter what was on disk. The same
+// property must hold across a snapshot: checkpoint + tail recovery
+// (snapshot watermark plus post-snapshot appends) is also a fixed
+// point.
 func FuzzReplay(f *testing.F) {
 	f.Add([]byte{})
 	f.Add([]byte("not a wal at all"))
@@ -52,6 +55,34 @@ func FuzzReplay(f *testing.F) {
 		}
 		if string(again[len(again)-1]) != "post-recovery" {
 			t.Fatalf("appended record lost: %q", again[len(again)-1])
+		}
+
+		// Checkpoint + tail: snapshot the recovered state, append one
+		// more record, and recover again — the snapshot watermark plus
+		// the post-snapshot tail must be exactly what was written.
+		if err := r.WriteSnapshot([]byte("state-at-snapshot")); err != nil {
+			t.Fatalf("WriteSnapshot: %v", err)
+		}
+		if _, err := r.Append([]byte("post-snapshot")); err != nil {
+			t.Fatalf("Append after snapshot: %v", err)
+		}
+		r.Close()
+
+		s, err := Open(dir)
+		if err != nil {
+			t.Fatalf("post-snapshot Open: %v", err)
+		}
+		defer s.Close()
+		snap, snapSeq := s.Snapshot()
+		if string(snap) != "state-at-snapshot" {
+			t.Fatalf("snapshot payload lost: %q", snap)
+		}
+		if snapSeq == 0 || snapSeq > s.Seq() {
+			t.Fatalf("snapshot watermark %d outside committed range %d", snapSeq, s.Seq())
+		}
+		tail := s.Entries()
+		if len(tail) != 1 || string(tail[0]) != "post-snapshot" {
+			t.Fatalf("checkpoint+tail recovery saw %d entries %q, want [post-snapshot]", len(tail), tail)
 		}
 	})
 }

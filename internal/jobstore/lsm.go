@@ -1,0 +1,775 @@
+// The LSM engine: a durable key/value store with bounded-time recovery,
+// built for the job service's "millions of jobs" regime where the
+// append-only Log's replay-the-world recovery becomes a boot-time and
+// memory cliff.
+//
+// Shape (classic log-structured merge tree, one level):
+//
+//   - Writes are framed into a WAL (fsynced batch-atomically), then
+//     applied to the memtable. A batch's ops commit together or not at
+//     all: the batch is one CRC-framed WAL record.
+//   - When the memtable outgrows its budget (or on an explicit
+//     Checkpoint) it is flushed into an immutable sorted run — CRC-framed
+//     blocks, a block index and a Bloom filter (run.go) — installed by
+//     atomic rename, after which a new MANIFEST records the live run set
+//     and the WAL sequence watermark the runs cover, and the WAL is
+//     truncated.
+//   - Compaction merges the run stack into one run (dropping tombstones)
+//     once it grows past MaxRuns, synchronously by default or in the
+//     background when BackgroundCompaction is set.
+//   - Open reads the MANIFEST, opens each run's footer/index/bloom
+//     (O(runs), not O(records)), deletes orphan files from interrupted
+//     installs, and replays only the WAL tail past the manifest
+//     watermark — checkpoint + tail, never seq-zero replay.
+//
+// Every fsync and rename on this path is guarded by a named failpoint
+// (failpoint.go); the crash-equivalence tests drive op sequences with a
+// crash injected at each one and assert recovery always matches a
+// reference model.
+package jobstore
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"syscall"
+)
+
+// LSM file names. They are disjoint from the Log's (wal.dat,
+// snapshot.dat), so pointing one engine at the other's directory finds
+// an empty store instead of corrupting it.
+const (
+	lsmWALName      = "lsm.wal"
+	manifestName    = "MANIFEST"
+	manifestTmpName = "MANIFEST.tmp"
+	runTmpName      = "run.tmp"
+)
+
+func runFileName(id uint64) string { return fmt.Sprintf("run-%08d.run", id) }
+
+// Op is one mutation in an atomic batch: a put, or a delete when
+// Delete is set.
+type Op struct {
+	Key    string
+	Value  []byte
+	Delete bool
+}
+
+// LSMConfig tunes OpenLSM. Only Dir is required.
+type LSMConfig struct {
+	// Dir roots the store's files.
+	Dir string
+	// MemtableBytes is the flush threshold (default 4 MiB).
+	MemtableBytes int
+	// MaxRuns triggers compaction when the run stack grows past it
+	// (default 4; minimum 1).
+	MaxRuns int
+	// BlockSize is the sorted-run block payload target (default 4 KiB).
+	BlockSize int
+	// NoSync skips fsyncs — bulk loading and benchmarks only; a crash
+	// can lose acknowledged writes.
+	NoSync bool
+	// BackgroundCompaction runs compaction in a goroutine instead of
+	// synchronously inside the triggering checkpoint.
+	BackgroundCompaction bool
+	// Fail is the failpoint hook (tests only; see failpoint.go).
+	Fail FailFunc
+}
+
+// BootStats describes what recovery did — the observable difference
+// between checkpoint+tail boot and replay-the-world.
+type BootStats struct {
+	// Runs is the number of sorted runs opened from the manifest.
+	Runs int
+	// RunRecords is the total record count the runs hold (from their
+	// footers; the records themselves are not read at boot).
+	RunRecords int
+	// TailRecords is the number of WAL frames replayed past the
+	// manifest watermark — the only part of boot proportional to
+	// un-checkpointed writes.
+	TailRecords int
+	// TailTruncated reports a torn WAL tail was cut off.
+	TailTruncated bool
+}
+
+// lsmManifest is the durable run-set record.
+type lsmManifest struct {
+	// Runs lists live run IDs, oldest first.
+	Runs []uint64 `json:"runs"`
+	// WalSeq is the watermark: WAL frames at or below it are covered by
+	// the runs and skipped on replay.
+	WalSeq uint64 `json:"wal_seq"`
+	// NextRun is the next run ID to allocate.
+	NextRun uint64 `json:"next_run"`
+}
+
+// LSM is the engine handle. It is safe for concurrent use.
+type LSM struct {
+	mu  sync.Mutex
+	cfg LSMConfig
+	dir string
+
+	wal      *os.File
+	walSeq   uint64
+	manifest lsmManifest
+	runs     []*runReader // parallel to manifest.Runs (oldest first)
+	mem      *memtable
+
+	boot       BootStats
+	compacting bool
+	closed     bool
+}
+
+// OpenLSM opens (creating if needed) the store at cfg.Dir and recovers
+// it: manifest, run skeletons, orphan cleanup, WAL tail replay.
+func OpenLSM(cfg LSMConfig) (*LSM, error) {
+	if cfg.Dir == "" {
+		return nil, errors.New("jobstore: dir is required")
+	}
+	if cfg.MemtableBytes <= 0 {
+		cfg.MemtableBytes = 4 << 20
+	}
+	if cfg.MaxRuns <= 0 {
+		cfg.MaxRuns = 4
+	}
+	if cfg.BlockSize <= 0 {
+		cfg.BlockSize = defaultBlockSize
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("jobstore: %w", err)
+	}
+	l := &LSM{cfg: cfg, dir: cfg.Dir, mem: newMemtable()}
+	if err := l.recover(); err != nil {
+		if l.wal != nil {
+			l.wal.Close()
+		}
+		for _, r := range l.runs {
+			r.close()
+		}
+		return nil, err
+	}
+	return l, nil
+}
+
+// recover loads the manifest and runs, removes orphans and replays the
+// WAL tail.
+func (l *LSM) recover() error {
+	// Lock first: the WAL file doubles as the single-writer flock, like
+	// the Log's.
+	wal, err := os.OpenFile(filepath.Join(l.dir, lsmWALName), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return fmt.Errorf("jobstore: %w", err)
+	}
+	if err := syscall.Flock(int(wal.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		wal.Close()
+		return fmt.Errorf("%w (%s): %v", ErrLocked, filepath.Join(l.dir, lsmWALName), err)
+	}
+	l.wal = wal
+
+	if err := l.loadManifest(); err != nil {
+		return err
+	}
+	if l.manifest.NextRun == 0 {
+		// Run IDs start at 1: installManifest uses 0 as "no new run".
+		l.manifest.NextRun = 1
+	}
+	live := make(map[string]bool, len(l.manifest.Runs)+2)
+	for _, id := range l.manifest.Runs {
+		live[runFileName(id)] = true
+	}
+	for _, id := range l.manifest.Runs {
+		r, err := openRun(filepath.Join(l.dir, runFileName(id)))
+		if err != nil {
+			return err
+		}
+		l.runs = append(l.runs, r)
+		l.boot.RunRecords += r.count
+	}
+	l.boot.Runs = len(l.runs)
+	// Orphans: run files an interrupted install left behind (present on
+	// disk, absent from the manifest) and temp files. Removing them is
+	// safe — the manifest is the commit point.
+	names, err := os.ReadDir(l.dir)
+	if err != nil {
+		return fmt.Errorf("jobstore: %w", err)
+	}
+	for _, de := range names {
+		name := de.Name()
+		orphanRun := strings.HasPrefix(name, "run-") && strings.HasSuffix(name, ".run") && !live[name]
+		if orphanRun || name == runTmpName || name == manifestTmpName {
+			os.Remove(filepath.Join(l.dir, name))
+		}
+	}
+	return l.replayTail()
+}
+
+// loadManifest reads the MANIFEST, tolerating absence (empty store).
+func (l *LSM) loadManifest() error {
+	data, err := os.ReadFile(filepath.Join(l.dir, manifestName))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("jobstore: %w", err)
+	}
+	_, payload, size, ok := parseFrame(data)
+	if !ok || size != len(data) {
+		return fmt.Errorf("%w: manifest failed validation (%s)", ErrCorruptRun, filepath.Join(l.dir, manifestName))
+	}
+	if err := json.Unmarshal(payload, &l.manifest); err != nil {
+		return fmt.Errorf("jobstore: decoding manifest: %w", err)
+	}
+	l.walSeq = l.manifest.WalSeq
+	return nil
+}
+
+// replayTail scans the WAL, applying batches past the manifest
+// watermark to the memtable and truncating any torn tail.
+func (l *LSM) replayTail() error {
+	data, err := io.ReadAll(l.wal)
+	if err != nil {
+		return fmt.Errorf("jobstore: %w", err)
+	}
+	offset := 0
+	for offset < len(data) {
+		seq, payload, size, ok := parseFrame(data[offset:])
+		if !ok {
+			break
+		}
+		if seq > l.manifest.WalSeq {
+			ops, err := decodeEntries(payload)
+			if err != nil {
+				// A CRC-valid frame with undecodable ops is corruption,
+				// not a torn tail.
+				return fmt.Errorf("jobstore: WAL record %d: %w", seq, err)
+			}
+			for _, e := range ops {
+				l.mem.apply(e)
+			}
+			l.boot.TailRecords++
+		}
+		if seq > l.walSeq {
+			l.walSeq = seq
+		}
+		offset += size
+	}
+	if offset < len(data) {
+		l.boot.TailTruncated = true
+		if err := l.wal.Truncate(int64(offset)); err != nil {
+			return fmt.Errorf("jobstore: tail truncate: %w", err)
+		}
+	}
+	if _, err := l.wal.Seek(int64(offset), io.SeekStart); err != nil {
+		return fmt.Errorf("jobstore: %w", err)
+	}
+	return nil
+}
+
+// BootStats reports what recovery did at Open.
+func (l *LSM) BootStats() BootStats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.boot
+}
+
+// Runs reports the current run count (tests and compaction policy
+// introspection).
+func (l *LSM) Runs() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.runs)
+}
+
+// Put commits a single-key write.
+func (l *LSM) Put(key string, value []byte) error {
+	return l.Apply([]Op{{Key: key, Value: value}})
+}
+
+// Delete commits a single-key delete (a tombstone shadowing any older
+// run's value).
+func (l *LSM) Delete(key string) error {
+	return l.Apply([]Op{{Key: key, Delete: true}})
+}
+
+// Apply commits a batch atomically: one CRC-framed WAL record holds
+// every op, so recovery sees all of them or none. When Apply returns
+// nil the batch is durable (unless NoSync). An error after the WAL
+// fsync (from checkpoint housekeeping) still means the batch itself
+// committed; callers that need to distinguish should reopen and read.
+func (l *LSM) Apply(batch []Op) error {
+	if len(batch) == 0 {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return errors.New("jobstore: store is closed")
+	}
+	var payload []byte
+	for _, op := range batch {
+		if op.Key == "" {
+			return errors.New("jobstore: empty key")
+		}
+		payload = appendEntry(payload, kvEntry{key: op.Key, val: op.Value, del: op.Delete})
+	}
+	if len(payload) > maxRecordSize {
+		return fmt.Errorf("jobstore: batch of %d bytes exceeds the %d byte cap", len(payload), maxRecordSize)
+	}
+	seq := l.walSeq + 1
+	if err := tornWrite(l.wal, frame(seq, payload), FailWALWrite, l.cfg.Fail); err != nil {
+		return err
+	}
+	if err := l.syncWAL(); err != nil {
+		return err
+	}
+	l.walSeq = seq
+	for _, op := range batch {
+		l.mem.apply(kvEntry{key: op.Key, val: op.Value, del: op.Delete})
+	}
+	if l.mem.bytes >= l.cfg.MemtableBytes {
+		return l.checkpointLocked()
+	}
+	return nil
+}
+
+func (l *LSM) syncWAL() error {
+	if err := l.cfg.Fail.fail(FailWALSync); err != nil {
+		return err
+	}
+	if l.cfg.NoSync {
+		return nil
+	}
+	if err := l.wal.Sync(); err != nil {
+		return fmt.Errorf("jobstore: wal fsync: %w", err)
+	}
+	return nil
+}
+
+// Get returns the newest value for key: memtable first, then runs from
+// newest to oldest, with each run's Bloom filter short-circuiting
+// definite misses.
+func (l *LSM) Get(key string) ([]byte, bool, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if e, ok := l.mem.get(key); ok {
+		if e.del {
+			return nil, false, nil
+		}
+		return append([]byte(nil), e.val...), true, nil
+	}
+	for i := len(l.runs) - 1; i >= 0; i-- {
+		e, ok, err := l.runs[i].get(key)
+		if err != nil {
+			return nil, false, err
+		}
+		if ok {
+			if e.del {
+				return nil, false, nil
+			}
+			return append([]byte(nil), e.val...), true, nil
+		}
+	}
+	return nil, false, nil
+}
+
+// Scan streams live entries with lo <= key < hi (hi == "" means no
+// upper bound) in ascending key order, merging the memtable and every
+// run with newest-wins shadowing; tombstoned keys are skipped. fn
+// returning false stops the scan. fn must not call back into the
+// store.
+func (l *LSM) Scan(lo, hi string, fn func(key string, value []byte) bool) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.scanLocked(lo, hi, fn)
+}
+
+func (l *LSM) scanLocked(lo, hi string, fn func(key string, value []byte) bool) error {
+	// Sources in priority order: memtable shadows runs, newer runs
+	// shadow older ones.
+	type source struct {
+		entries []kvEntry // memtable source
+		pos     int
+		it      *runIterator // run source
+		cur     kvEntry
+		ok      bool
+	}
+	var sources []*source
+	mem := &source{}
+	for _, e := range l.mem.sorted() {
+		if e.key >= lo {
+			mem.entries = append(mem.entries, e)
+		}
+	}
+	mem.ok = len(mem.entries) > 0
+	if mem.ok {
+		mem.cur = mem.entries[0]
+		mem.pos = 1
+	}
+	sources = append(sources, mem)
+	for i := len(l.runs) - 1; i >= 0; i-- {
+		it := l.runs[i].iterator(lo)
+		s := &source{it: it}
+		s.cur, s.ok = it.next()
+		if it.err != nil {
+			return it.err
+		}
+		sources = append(sources, s)
+	}
+	advance := func(s *source) error {
+		if s.it == nil {
+			if s.pos < len(s.entries) {
+				s.cur = s.entries[s.pos]
+				s.pos++
+			} else {
+				s.ok = false
+			}
+			return nil
+		}
+		s.cur, s.ok = s.it.next()
+		return s.it.err
+	}
+	for {
+		// Minimum key among live sources.
+		minKey := ""
+		found := false
+		for _, s := range sources {
+			if s.ok && (!found || s.cur.key < minKey) {
+				minKey = s.cur.key
+				found = true
+			}
+		}
+		if !found || (hi != "" && minKey >= hi) {
+			return nil
+		}
+		// Highest-priority source holding minKey wins; every source at
+		// minKey advances.
+		var winner kvEntry
+		taken := false
+		for _, s := range sources {
+			if s.ok && s.cur.key == minKey {
+				if !taken {
+					winner = s.cur
+					taken = true
+				}
+				if err := advance(s); err != nil {
+					return err
+				}
+			}
+		}
+		if !winner.del {
+			if !fn(winner.key, append([]byte(nil), winner.val...)) {
+				return nil
+			}
+		}
+	}
+}
+
+// Checkpoint flushes the memtable into a new sorted run, installs a
+// manifest covering every committed write, and truncates the WAL —
+// after which recovery boots from the run stack plus an empty tail.
+// Compaction runs when the stack is past MaxRuns.
+func (l *LSM) Checkpoint() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return errors.New("jobstore: store is closed")
+	}
+	return l.checkpointLocked()
+}
+
+func (l *LSM) checkpointLocked() error {
+	if l.mem.len() > 0 {
+		id := l.manifest.NextRun
+		if err := l.writeRunFile(id, l.mem.sorted()); err != nil {
+			return err
+		}
+		next := lsmManifest{
+			Runs:    append(append([]uint64(nil), l.manifest.Runs...), id),
+			WalSeq:  l.walSeq,
+			NextRun: id + 1,
+		}
+		r, err := l.installManifest(next, id)
+		if err != nil {
+			return err
+		}
+		l.runs = append(l.runs, r)
+		l.manifest = next
+		l.mem.reset()
+		if err := l.truncateWAL(); err != nil {
+			return err
+		}
+	}
+	if len(l.runs) > l.cfg.MaxRuns {
+		if l.cfg.BackgroundCompaction {
+			l.kickCompaction()
+			return nil
+		}
+		return l.compactLocked()
+	}
+	return nil
+}
+
+// writeRunFile writes entries into run-<id>.run via the temp file +
+// fsync + rename + dirsync protocol, every step failpoint-guarded.
+func (l *LSM) writeRunFile(id uint64, entries []kvEntry) error {
+	tmp := filepath.Join(l.dir, runTmpName)
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("jobstore: run: %w", err)
+	}
+	if _, err := writeRun(f, entries, l.cfg.BlockSize, l.cfg.Fail); err != nil {
+		f.Close()
+		return err
+	}
+	if err := l.cfg.Fail.fail(FailRunSync); err != nil {
+		f.Close()
+		return err
+	}
+	if !l.cfg.NoSync {
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return fmt.Errorf("jobstore: run fsync: %w", err)
+		}
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("jobstore: run: %w", err)
+	}
+	if err := l.cfg.Fail.fail(FailRunRename); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(l.dir, runFileName(id))); err != nil {
+		return fmt.Errorf("jobstore: run install: %w", err)
+	}
+	return l.syncDirFP()
+}
+
+// installManifest durably replaces the MANIFEST and opens the freshly
+// installed run newID (when nonzero it must be in next.Runs).
+func (l *LSM) installManifest(next lsmManifest, newID uint64) (*runReader, error) {
+	payload, err := json.Marshal(next)
+	if err != nil {
+		return nil, fmt.Errorf("jobstore: encoding manifest: %w", err)
+	}
+	tmp := filepath.Join(l.dir, manifestTmpName)
+	if err := l.cfg.Fail.fail(FailManifestWrite); err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("jobstore: manifest: %w", err)
+	}
+	if _, err := f.Write(frame(next.WalSeq, payload)); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("jobstore: manifest: %w", err)
+	}
+	if err := l.cfg.Fail.fail(FailManifestSync); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if !l.cfg.NoSync {
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("jobstore: manifest fsync: %w", err)
+		}
+	}
+	if err := f.Close(); err != nil {
+		return nil, fmt.Errorf("jobstore: manifest: %w", err)
+	}
+	// The new run must be readable before the manifest points at it: a
+	// failed open here aborts the install with the old manifest intact.
+	var r *runReader
+	if newID != 0 {
+		r, err = openRun(filepath.Join(l.dir, runFileName(newID)))
+		if err != nil {
+			return nil, err
+		}
+	}
+	if err := l.cfg.Fail.fail(FailManifestRename); err != nil {
+		if r != nil {
+			r.close()
+		}
+		return nil, err
+	}
+	if err := os.Rename(tmp, filepath.Join(l.dir, manifestName)); err != nil {
+		if r != nil {
+			r.close()
+		}
+		return nil, fmt.Errorf("jobstore: manifest install: %w", err)
+	}
+	if err := l.syncDirFP(); err != nil {
+		if r != nil {
+			r.close()
+		}
+		return nil, err
+	}
+	return r, nil
+}
+
+func (l *LSM) truncateWAL() error {
+	if err := l.cfg.Fail.fail(FailWALTruncate); err != nil {
+		return err
+	}
+	if err := l.wal.Truncate(0); err != nil {
+		return fmt.Errorf("jobstore: wal truncate: %w", err)
+	}
+	if _, err := l.wal.Seek(0, io.SeekStart); err != nil {
+		return fmt.Errorf("jobstore: wal seek: %w", err)
+	}
+	if !l.cfg.NoSync {
+		if err := l.wal.Sync(); err != nil {
+			return fmt.Errorf("jobstore: wal fsync: %w", err)
+		}
+	}
+	return nil
+}
+
+func (l *LSM) syncDirFP() error {
+	if err := l.cfg.Fail.fail(FailDirSync); err != nil {
+		return err
+	}
+	if l.cfg.NoSync {
+		return nil
+	}
+	return syncDir(l.dir)
+}
+
+// kickCompaction starts one background compaction if none is running.
+// The caller holds l.mu.
+func (l *LSM) kickCompaction() {
+	if l.compacting {
+		return
+	}
+	l.compacting = true
+	go func() {
+		defer func() {
+			l.mu.Lock()
+			l.compacting = false
+			l.mu.Unlock()
+		}()
+		l.Compact()
+	}()
+}
+
+// Compact merges the whole run stack into a single run, dropping
+// tombstones (the output is the bottom level), and installs a manifest
+// pointing at it. The memtable and WAL are untouched: the watermark
+// does not move.
+func (l *LSM) Compact() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return errors.New("jobstore: store is closed")
+	}
+	return l.compactLocked()
+}
+
+func (l *LSM) compactLocked() error {
+	if len(l.runs) <= 1 {
+		return nil
+	}
+	// Merge runs only (newest wins), keeping no tombstones: anything
+	// deleted is gone from the bottom level.
+	merged, err := l.mergeRuns()
+	if err != nil {
+		return err
+	}
+	id := l.manifest.NextRun
+	if err := l.writeRunFile(id, merged); err != nil {
+		return err
+	}
+	next := lsmManifest{Runs: []uint64{id}, WalSeq: l.manifest.WalSeq, NextRun: id + 1}
+	r, err := l.installManifest(next, id)
+	if err != nil {
+		return err
+	}
+	old := l.runs
+	oldIDs := l.manifest.Runs
+	l.runs = []*runReader{r}
+	l.manifest = next
+	// The old runs are garbage now; removal failures are harmless —
+	// recovery deletes orphans.
+	for _, or := range old {
+		or.close()
+	}
+	for _, oid := range oldIDs {
+		os.Remove(filepath.Join(l.dir, runFileName(oid)))
+	}
+	return nil
+}
+
+// mergeRuns k-way merges every run, newest-wins, dropping tombstones.
+func (l *LSM) mergeRuns() ([]kvEntry, error) {
+	var out []kvEntry
+	type src struct {
+		it  *runIterator
+		cur kvEntry
+		ok  bool
+	}
+	// Priority order: newest run first.
+	var sources []*src
+	for i := len(l.runs) - 1; i >= 0; i-- {
+		it := l.runs[i].iterator("")
+		s := &src{it: it}
+		s.cur, s.ok = it.next()
+		if it.err != nil {
+			return nil, it.err
+		}
+		sources = append(sources, s)
+	}
+	for {
+		minKey := ""
+		found := false
+		for _, s := range sources {
+			if s.ok && (!found || s.cur.key < minKey) {
+				minKey = s.cur.key
+				found = true
+			}
+		}
+		if !found {
+			sort.Slice(out, func(i, j int) bool { return out[i].key < out[j].key })
+			return out, nil
+		}
+		taken := false
+		for _, s := range sources {
+			if s.ok && s.cur.key == minKey {
+				if !taken {
+					if !s.cur.del {
+						out = append(out, s.cur)
+					}
+					taken = true
+				}
+				s.cur, s.ok = s.it.next()
+				if s.it.err != nil {
+					return nil, s.it.err
+				}
+			}
+		}
+	}
+}
+
+// Close releases the WAL handle and run readers. Mutations fail after
+// Close.
+func (l *LSM) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	l.closed = true
+	var first error
+	for _, r := range l.runs {
+		if err := r.close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	if err := l.wal.Close(); err != nil && first == nil {
+		first = err
+	}
+	return first
+}

@@ -1,0 +1,47 @@
+// The memtable: the LSM engine's mutable in-memory level. Writes land
+// here (after their WAL frame is durable) and are served from here
+// until a checkpoint flushes the table into an immutable sorted run.
+// Deletes are buffered as tombstones so they shadow older runs.
+package jobstore
+
+import "sort"
+
+type memtable struct {
+	entries map[string]kvEntry
+	bytes   int // approximate payload footprint, drives flush policy
+}
+
+func newMemtable() *memtable {
+	return &memtable{entries: make(map[string]kvEntry)}
+}
+
+// apply upserts one op (put or tombstone).
+func (m *memtable) apply(e kvEntry) {
+	if old, ok := m.entries[e.key]; ok {
+		m.bytes -= len(old.key) + len(old.val)
+	}
+	m.entries[e.key] = e
+	m.bytes += len(e.key) + len(e.val)
+}
+
+func (m *memtable) get(key string) (kvEntry, bool) {
+	e, ok := m.entries[key]
+	return e, ok
+}
+
+func (m *memtable) len() int { return len(m.entries) }
+
+// sorted returns the entries in ascending key order — the flush input.
+func (m *memtable) sorted() []kvEntry {
+	out := make([]kvEntry, 0, len(m.entries))
+	for _, e := range m.entries {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].key < out[j].key })
+	return out
+}
+
+func (m *memtable) reset() {
+	m.entries = make(map[string]kvEntry)
+	m.bytes = 0
+}

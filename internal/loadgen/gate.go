@@ -138,9 +138,10 @@ func ParseBenchOutput(r io.Reader) (map[string]BenchResult, error) {
 // ParseBenchRun extracts every benchmark result and the environment
 // header from `go test -bench` output. Sub-benchmark names keep their
 // slashes; the trailing -GOMAXPROCS suffix is stripped. When a
-// benchmark appears more than once (e.g. -count > 1), the best (lowest)
-// ns/op and the best (highest) value per metric are kept — the gate
-// compares capability, not noise.
+// benchmark appears more than once (e.g. -count > 1), the best value
+// is kept per measurement — lowest for ns/op and the latency-style
+// metrics (boot_ms, list_p99_us), highest for everything else — the
+// gate compares capability, not noise.
 func ParseBenchRun(r io.Reader) (BenchRun, error) {
 	run := BenchRun{Benchmarks: make(map[string]BenchResult)}
 	out := run.Benchmarks
@@ -189,7 +190,11 @@ func ParseBenchRun(r io.Reader) (BenchRun, error) {
 				res.NsPerOp = prev.NsPerOp
 			}
 			for k, v := range prev.Metrics {
-				if v > res.Metrics[k] {
+				if lowerIsBetter[k] {
+					if cur, ok := res.Metrics[k]; !ok || v < cur {
+						res.Metrics[k] = v
+					}
+				} else if v > res.Metrics[k] {
 					res.Metrics[k] = v
 				}
 			}
@@ -209,12 +214,22 @@ func ParseBenchRun(r io.Reader) (BenchRun, error) {
 // higher-is-better alongside ns/op.
 const ThroughputMetric = "questions/s"
 
+// lowerIsBetter lists the custom bench units the gate treats like
+// ns/op: latency-style measurements that must not grow past tolerance.
+// Everything else in Metrics is informational unless named here or in
+// ThroughputMetric.
+var lowerIsBetter = map[string]bool{
+	"boot_ms":     true, // cold-start recovery of a populated job store
+	"list_p99_us": true, // tail latency of one GET /v1/jobs index page
+}
+
 // CompareBench checks fresh results against the baseline: every
 // baseline benchmark must be present, its ns/op must not exceed the
-// baseline by more than tol (relative), and its questions/s metric (when
+// baseline by more than tol (relative), its questions/s metric (when
 // the baseline records one) must not fall below baseline by more than
-// tol. It returns human-readable violations, empty when the gate
-// passes.
+// tol, and its latency-style metrics (boot_ms, list_p99_us) must not
+// exceed baseline by more than tol. It returns human-readable
+// violations, empty when the gate passes.
 func CompareBench(base BenchBaseline, fresh map[string]BenchResult, tol float64) []string {
 	var out []string
 	names := make([]string, 0, len(base.Benchmarks))
@@ -237,6 +252,23 @@ func CompareBench(base BenchBaseline, fresh map[string]BenchResult, tol float64)
 			if gotQ := got.Metrics[ThroughputMetric]; gotQ < wantQ*(1-tol) {
 				out = append(out, fmt.Sprintf("%s: %s regressed %.0f -> %.0f (-%.0f%%, tolerance %.0f%%)",
 					name, ThroughputMetric, wantQ, gotQ, 100*(1-gotQ/wantQ), 100*tol))
+			}
+		}
+		metrics := make([]string, 0, len(want.Metrics))
+		for unit := range want.Metrics {
+			if lowerIsBetter[unit] {
+				metrics = append(metrics, unit)
+			}
+		}
+		sort.Strings(metrics)
+		for _, unit := range metrics {
+			wantV := want.Metrics[unit]
+			if wantV <= 0 {
+				continue
+			}
+			if gotV := got.Metrics[unit]; gotV > wantV*(1+tol) {
+				out = append(out, fmt.Sprintf("%s: %s regressed %.2f -> %.2f (+%.0f%%, tolerance %.0f%%)",
+					name, unit, wantV, gotV, 100*(gotV/wantV-1), 100*tol))
 			}
 		}
 	}

@@ -153,6 +153,19 @@ BenchmarkX-8   3   100 ns/op   40 questions/s
 	if x.NsPerOp != 100 || x.Metrics[ThroughputMetric] != 50 {
 		t.Fatalf("best-of merge wrong: %+v", x)
 	}
+	// Latency-style metrics keep the lowest value across repeats — the
+	// best run, mirroring ns/op — while throughput keeps the highest.
+	in = `BenchmarkBoot-8   3   200 ns/op   9.0 boot_ms   80 list_p99_us
+BenchmarkBoot-8   3   100 ns/op   12.0 boot_ms   95 list_p99_us
+`
+	got, err = ParseBenchOutput(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	boot := got["BenchmarkBoot"]
+	if boot.Metrics["boot_ms"] != 9.0 || boot.Metrics["list_p99_us"] != 80 {
+		t.Fatalf("lower-is-better merge wrong: %+v", boot)
+	}
 }
 
 func TestCompareBench(t *testing.T) {
@@ -180,6 +193,40 @@ func TestCompareBench(t *testing.T) {
 	delete(fresh, "BenchmarkB")
 	if v := CompareBench(base, fresh, 0.30); len(v) != 3 {
 		t.Fatalf("missing bench not flagged: %v", v)
+	}
+}
+
+// TestCompareBenchLowerIsBetter gates the latency-style custom metrics
+// (boot_ms, list_p99_us): growth past tolerance is a violation, shrink
+// never is, and unknown custom units stay informational.
+func TestCompareBenchLowerIsBetter(t *testing.T) {
+	base := BenchBaseline{
+		Schema: BenchSchema,
+		Benchmarks: map[string]BenchResult{
+			"BenchmarkStoreBoot/lsm": {NsPerOp: 5e6, Metrics: map[string]float64{"boot_ms": 5.0, "runs": 3}},
+			"BenchmarkJobsListP99":   {NsPerOp: 1e5, Metrics: map[string]float64{"list_p99_us": 120}},
+		},
+	}
+	fresh := map[string]BenchResult{
+		"BenchmarkStoreBoot/lsm": {NsPerOp: 5e6, Metrics: map[string]float64{"boot_ms": 6.0, "runs": 900}},
+		"BenchmarkJobsListP99":   {NsPerOp: 1e5, Metrics: map[string]float64{"list_p99_us": 60}},
+	}
+	// boot_ms +20% and list_p99_us halved: both inside a 30% gate, and
+	// the unlisted "runs" metric exploding changes nothing.
+	if v := CompareBench(base, fresh, 0.30); len(v) != 0 {
+		t.Fatalf("within tolerance but flagged: %v", v)
+	}
+	// Slow the boot 2x and the listing tail 3x: one violation each.
+	fresh["BenchmarkStoreBoot/lsm"] = BenchResult{NsPerOp: 5e6, Metrics: map[string]float64{"boot_ms": 10.0}}
+	fresh["BenchmarkJobsListP99"] = BenchResult{NsPerOp: 1e5, Metrics: map[string]float64{"list_p99_us": 360}}
+	v := CompareBench(base, fresh, 0.30)
+	if len(v) != 2 {
+		t.Fatalf("latency regressions produced %d violations, want 2: %v", len(v), v)
+	}
+	for _, msg := range v {
+		if !strings.Contains(msg, "boot_ms") && !strings.Contains(msg, "list_p99_us") {
+			t.Errorf("violation does not name the latency metric: %q", msg)
+		}
 	}
 }
 
