@@ -5,9 +5,12 @@
 // questions into shared HIT batches, answers repeated questions from a
 // verified-answer cache, and enforces per-job and global crowd budgets
 // (over-budget jobs park instead of failing). When -store is set every
-// lifecycle transition and budget charge is committed to a write-ahead
-// log, so a killed server replays the WAL on restart, resumes
-// unfinished jobs and keeps charging from where it stopped.
+// lifecycle transition and budget charge is committed to the indexed
+// LSM job store (checkpointed off the commit path), so a killed server
+// replays on restart, resumes unfinished jobs and keeps charging from
+// where it stopped. Stores written by the legacy "wal" engine are
+// upgraded in place with cdas-storectl migrate, or served as-is via
+// -store-engine=wal.
 //
 // Usage:
 //
@@ -72,7 +75,7 @@ func main() {
 		accuracy    = flag.Float64("accuracy", 0.9, "required accuracy C for demo jobs")
 		inflight    = flag.Int("inflight", 4, "HITs published and draining at once per job")
 		store       = flag.String("store", "", "durable job store directory (empty: in-memory only)")
-		storeEngine = flag.String("store-engine", jobs.EngineWAL, `storage engine for -store: "wal" (append-only log + snapshots) or "lsm" (indexed, checkpointed LSM store)`)
+		storeEngine = flag.String("store-engine", jobs.EngineLSM, `storage engine for -store: "lsm" (indexed, checkpointed LSM store; the default) or "wal" (legacy append-only log + snapshots; upgrade with cdas-storectl migrate)`)
 		dispatchers = flag.Int("dispatchers", 2, "dispatcher workers pulling pending jobs")
 		demo        = flag.Bool("demo", true, "submit the demo TSA jobs at boot")
 		budget      = flag.Float64("budget", 0, "global crowd budget across all jobs (0: unlimited)")
@@ -108,7 +111,7 @@ func run(addr string, seed uint64, accuracy float64, inflight int, store, storeE
 	}
 
 	counters := metrics.NewRegistry()
-	svc, err := jobs.OpenService(jobs.ServiceConfig{Dir: store, Engine: storeEngine, Counters: counters})
+	svc, err := jobs.OpenService(jobs.ServiceConfig{Dir: store, Engine: storeEngine, Counters: counters, Logf: log.Printf})
 	if err != nil {
 		return err
 	}

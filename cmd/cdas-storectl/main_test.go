@@ -1,0 +1,100 @@
+package main
+
+// In-process CLI tests: seed a WAL store through the real service,
+// drive the migrate subcommand via run(), and boot the result as an
+// LSM-engine service.
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"cdas/internal/jobs"
+)
+
+func seedStore(t *testing.T, dir string) {
+	t.Helper()
+	s, err := jobs.OpenService(jobs.ServiceConfig{Dir: dir, Engine: jobs.EngineWAL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"alpha", "beta", "gamma"} {
+		job := jobs.Job{
+			Name:   name,
+			Kind:   jobs.KindTSA,
+			Tenant: "acme",
+			Query: jobs.Query{
+				Keywords:         []string{"iPhone4S"},
+				RequiredAccuracy: 0.95,
+				Domain:           []string{"Good", "Bad"},
+				Start:            time.Date(2011, 10, 14, 0, 0, 0, 0, time.UTC),
+				Window:           24 * time.Hour,
+			},
+		}
+		if _, err := s.Submit(job); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, ok := s.Claim(); !ok {
+		t.Fatal("claim failed")
+	}
+	if err := s.Complete("alpha", 2.5); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.ChargeBudget("alpha", 2.5); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStorectlMigrate(t *testing.T) {
+	dir := t.TempDir()
+	seedStore(t, dir)
+
+	var out, errOut bytes.Buffer
+	if code := run([]string{"migrate", "-dir", dir}, &out, &errOut); code != 0 {
+		t.Fatalf("migrate exited %d: %s%s", code, out.String(), errOut.String())
+	}
+	if !strings.Contains(out.String(), "migrated 3 jobs") {
+		t.Fatalf("output missing job count:\n%s", out.String())
+	}
+
+	r, err := jobs.OpenService(jobs.ServiceConfig{Dir: dir, Engine: jobs.EngineLSM})
+	if err != nil {
+		t.Fatalf("boot migrated store: %v", err)
+	}
+	defer r.Close()
+	st, ok := r.Status("alpha")
+	if !ok || st.State != jobs.StateDone || st.Cost != 2.5 {
+		t.Fatalf("alpha after migration = %+v/%v", st, ok)
+	}
+	if b := r.Budget(); b.GlobalSpent != 2.5 {
+		t.Fatalf("budget after migration = %+v", b)
+	}
+
+	// Second run: idempotent success.
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{"migrate", "-dir", dir, "-quiet"}, &out, &errOut); code != 0 {
+		t.Fatalf("re-run exited %d: %s", code, errOut.String())
+	}
+}
+
+func TestStorectlUsageErrors(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run(nil, &out, &errOut); code == 0 {
+		t.Fatal("no args: want nonzero exit")
+	}
+	if code := run([]string{"defrag"}, &out, &errOut); code == 0 {
+		t.Fatal("unknown command: want nonzero exit")
+	}
+	if code := run([]string{"migrate"}, &out, &errOut); code == 0 {
+		t.Fatal("migrate without -dir: want nonzero exit")
+	}
+	if code := run([]string{"migrate", "-dir", t.TempDir()}, &out, &errOut); code == 0 {
+		t.Fatal("migrate of empty dir: want nonzero exit")
+	}
+}

@@ -140,8 +140,18 @@ func (p slowPlatform) Publish(hit crowd.HIT, n int) (engine.Run, error) {
 }
 
 func printStatuses(svc *jobs.Service) {
-	for _, st := range svc.Statuses() {
-		fmt.Printf("  %-16s state=%-9s attempts=%d progress=%4.0f%% cost=$%.2f\n",
-			st.Job.Name, st.State, st.Attempts, st.Progress*100, st.Cost)
+	// Page through the index instead of materializing the whole table —
+	// the idiom every listing consumer should use.
+	after := ""
+	for {
+		page, more := svc.StatusesPage(after, 100, "", "")
+		for _, st := range page {
+			fmt.Printf("  %-16s state=%-9s attempts=%d progress=%4.0f%% cost=$%.2f\n",
+				st.Job.Name, st.State, st.Attempts, st.Progress*100, st.Cost)
+		}
+		if !more {
+			return
+		}
+		after = page[len(page)-1].Job.Name
 	}
 }

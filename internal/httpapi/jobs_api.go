@@ -20,11 +20,12 @@ import (
 )
 
 // JobController is the slice of the job service the API needs.
-// *jobs.Dispatcher satisfies it.
+// *jobs.Dispatcher satisfies it. Listing goes exclusively through
+// StatusesPage: no handler materializes the full job table, so the API
+// stays O(page) however many jobs the store holds.
 type JobController interface {
 	Submit(jobs.Job) (jobs.Plan, error)
 	Status(name string) (jobs.Status, bool)
-	Statuses() []jobs.Status
 	// StatusesPage lists up to limit records in name order strictly
 	// after the given name, optionally filtered by state and/or tenant;
 	// more reports that records beyond the page remain. Backed by the
@@ -160,10 +161,20 @@ func (s *Server) handleListJobs(w http.ResponseWriter, _ *http.Request) {
 	if !ok {
 		return
 	}
-	sts := ctl.Statuses()
-	out := make([]JobStatus, 0, len(sts))
-	for _, st := range sts {
-		out = append(out, s.jobStatus(st))
+	// The legacy route's contract is the full unfiltered listing; build
+	// it by paging the index so even this route never asks the service
+	// to materialize the whole table in one call.
+	out := []JobStatus{}
+	after := ""
+	for {
+		page, more := ctl.StatusesPage(after, maxPageSize, "", "")
+		for _, st := range page {
+			out = append(out, s.jobStatus(st))
+		}
+		if !more {
+			break
+		}
+		after = page[len(page)-1].Job.Name
 	}
 	writeJSON(w, out)
 }

@@ -12,6 +12,7 @@ import (
 	"strconv"
 	"strings"
 	"time"
+	"unicode/utf8"
 
 	"cdas/api"
 	"cdas/internal/core/aggregate"
@@ -169,7 +170,14 @@ func parseListJobs(r *http.Request) (limit int, afterName string, state api.JobS
 		if derr != nil {
 			return 0, "", "", "", api.InvalidArgument("bad page_token %q", v)
 		}
+		// A token is always the base64 of a job name this server issued,
+		// so its payload must satisfy the same rules submission enforces;
+		// anything else is a forged or corrupted token, rejected rather
+		// than passed to the index as an arbitrary range bound.
 		afterName = string(raw)
+		if !utf8.ValidString(afterName) || checkJobName(afterName) != nil {
+			return 0, "", "", "", api.InvalidArgument("page_token %q does not decode to a valid job name", v)
+		}
 	}
 	if v := q.Get("state"); v != "" {
 		state = api.JobState(v)

@@ -48,6 +48,9 @@ func TestV1GoldenResponses(t *testing.T) {
 		{"v1_error_bad_limit.golden", http.MethodGet, "/v1/jobs?limit=many", "", 400, ts},
 		{"v1_error_bad_state.golden", http.MethodGet, "/v1/jobs?state=limbo", "", 400, ts},
 		{"v1_error_bad_token.golden", http.MethodGet, "/v1/jobs?page_token=%21%21", "", 400, ts},
+		// "Li4vZXZpbA" decodes cleanly — to "../evil", which no submission
+		// could ever have named, so the token is forged rather than stale.
+		{"v1_error_bad_token_name.golden", http.MethodGet, "/v1/jobs?page_token=Li4vZXZpbA", "", 400, ts},
 		{"v1_error_bad_action.golden", http.MethodPost, "/v1/jobs/panda:frobnicate", "", 400, ts},
 		{"v1_error_no_action.golden", http.MethodPost, "/v1/jobs/panda", "", 404, ts},
 		{"v1_error_no_route.golden", http.MethodGet, "/v1/nope", "", 404, ts},

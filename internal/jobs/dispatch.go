@@ -123,8 +123,25 @@ func (d *Dispatcher) Unpark(name string) error { return d.svc.Unpark(name) }
 // Status returns a job's lifecycle record.
 func (d *Dispatcher) Status(name string) (Status, bool) { return d.svc.Status(name) }
 
-// Statuses lists every job's lifecycle record, sorted by name.
-func (d *Dispatcher) Statuses() []Status { return d.svc.Statuses() }
+// Statuses lists every job's lifecycle record, sorted by name. It is
+// assembled by paging StatusesPage — each service call stays O(page),
+// and the commit lock is released between pages — so callers that can
+// consume pages directly should; this is the convenience form.
+func (d *Dispatcher) Statuses() []Status {
+	var out []Status
+	after := ""
+	for {
+		page, more := d.svc.StatusesPage(after, statusesPageSize, "", "")
+		out = append(out, page...)
+		if !more {
+			return out
+		}
+		after = page[len(page)-1].Job.Name
+	}
+}
+
+// statusesPageSize is the chunk Dispatcher.Statuses pages with.
+const statusesPageSize = 500
 
 // StatusesPage lists up to limit records in name order after the given
 // name, optionally filtered by state and/or tenant — an index

@@ -13,6 +13,7 @@ import (
 	"math/rand"
 	"reflect"
 	"strings"
+	"sync"
 	"testing"
 
 	"cdas/internal/jobstore"
@@ -29,6 +30,83 @@ func TestOpenServiceUnknownEngine(t *testing.T) {
 	_, err := OpenService(ServiceConfig{Dir: t.TempDir(), Engine: "btree"})
 	if err == nil || !strings.Contains(err.Error(), "unknown storage engine") {
 		t.Fatalf("err = %v, want unknown storage engine", err)
+	}
+}
+
+// TestServiceCloseIdempotent pins the Close contract for both engines:
+// Close twice is fine, Durable flips to false, reads keep working, and
+// every post-Close mutation fails with ErrServiceClosed (after rolling
+// back, so memory never acknowledges more than disk).
+func TestServiceCloseIdempotent(t *testing.T) {
+	for _, engine := range []string{EngineWAL, EngineLSM} {
+		t.Run(engine, func(t *testing.T) {
+			s, err := OpenService(ServiceConfig{Dir: t.TempDir(), Engine: engine})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := s.Submit(testJob("keep")); err != nil {
+				t.Fatal(err)
+			}
+			if !s.Durable() {
+				t.Fatal("Durable() = false before Close")
+			}
+			if err := s.Close(); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Close(); err != nil {
+				t.Fatalf("second Close: %v", err)
+			}
+			if s.Durable() {
+				t.Fatal("Durable() = true after Close")
+			}
+			if _, err := s.Submit(testJob("late")); !errors.Is(err, ErrServiceClosed) {
+				t.Fatalf("Submit after Close: %v, want ErrServiceClosed", err)
+			}
+			if err := s.ChargeBudget("keep", 1); !errors.Is(err, ErrServiceClosed) {
+				t.Fatalf("ChargeBudget after Close: %v, want ErrServiceClosed", err)
+			}
+			if err := s.Cancel("keep"); !errors.Is(err, ErrServiceClosed) {
+				t.Fatalf("Cancel after Close: %v, want ErrServiceClosed", err)
+			}
+			// The in-memory view stays readable, and the rolled-back
+			// submission is gone from it.
+			if _, ok := s.Status("keep"); !ok {
+				t.Fatal("Status(keep) lost after Close")
+			}
+			if _, ok := s.Status("late"); ok {
+				t.Fatal("rolled-back post-Close submit still visible")
+			}
+		})
+	}
+}
+
+// TestOpenServiceEngineMismatch: booting one engine over the other
+// engine's store must fail loudly instead of coming up empty.
+func TestOpenServiceEngineMismatch(t *testing.T) {
+	walDir := t.TempDir()
+	s, err := OpenService(ServiceConfig{Dir: walDir, Engine: EngineWAL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Submit(testJob("a")); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	if _, err := OpenService(ServiceConfig{Dir: walDir, Engine: EngineLSM}); err == nil || !strings.Contains(err.Error(), "cdas-storectl migrate") {
+		t.Fatalf("lsm over wal store: err = %v, want migration hint", err)
+	}
+
+	lsmDir := t.TempDir()
+	s, err = OpenService(ServiceConfig{Dir: lsmDir, Engine: EngineLSM})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Submit(testJob("a")); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	if _, err := OpenService(ServiceConfig{Dir: lsmDir, Engine: EngineWAL}); err == nil || !strings.Contains(err.Error(), "store-engine=lsm") {
+		t.Fatalf("wal over lsm store: err = %v, want engine hint", err)
 	}
 }
 
@@ -209,8 +287,11 @@ func modelAt(t *testing.T, ops []svcOp) (map[string]normStatus, BudgetState) {
 	return normalize(m), m.Budget()
 }
 
-// svcCrash is the failpoint hook for the service-level sweep.
+// svcCrash is the failpoint hook for the service-level sweep. The
+// mutex matters: with online checkpointing the hook is hit from both
+// the commit path and the background flush goroutine.
 type svcCrash struct {
+	mu    sync.Mutex
 	n     int
 	torn  bool
 	hits  int
@@ -219,6 +300,8 @@ type svcCrash struct {
 }
 
 func (c *svcCrash) fn(point string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	c.hits++
 	if c.hits == c.n {
 		c.fired = true
@@ -229,6 +312,18 @@ func (c *svcCrash) fn(point string) error {
 		return jobstore.ErrInjectedCrash
 	}
 	return nil
+}
+
+func (c *svcCrash) totalHits() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits
+}
+
+func (c *svcCrash) state() (fired bool, point string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.fired, c.point
 }
 
 // TestServiceCrashEquivalence is the headline harness: identical
@@ -248,6 +343,9 @@ func TestServiceCrashEquivalence(t *testing.T) {
 			ops := genSvcOps(seed, 30)
 
 			// Dry run: count failpoint hits with a hook that never fires.
+			// Quiesce after every op so the background checkpoint flush's
+			// hits land in a deterministic position in the global order —
+			// the sweep below replays the same schedule.
 			counter := &svcCrash{n: -1}
 			dry, err := OpenService(ServiceConfig{Dir: t.TempDir(), Engine: EngineLSM, SnapshotEvery: 3, StoreFail: counter.fn})
 			if err != nil {
@@ -255,13 +353,14 @@ func TestServiceCrashEquivalence(t *testing.T) {
 			}
 			for _, op := range ops {
 				applySvcOp(dry, op)
+				dry.Quiesce()
 			}
 			dry.Close()
-			if counter.hits == 0 {
+			if counter.totalHits() == 0 {
 				t.Fatalf("seed %d: no failpoint hits", seed)
 			}
 
-			for n := 1; n <= counter.hits; n++ {
+			for n := 1; n <= counter.totalHits(); n++ {
 				dir := t.TempDir()
 				crash := &svcCrash{n: n, torn: torn}
 				s, err := OpenService(ServiceConfig{Dir: dir, Engine: EngineLSM, SnapshotEvery: 3, StoreFail: crash.fn})
@@ -271,7 +370,8 @@ func TestServiceCrashEquivalence(t *testing.T) {
 				crashedAt := -1
 				for i, op := range ops {
 					applySvcOp(s, op)
-					if crash.fired {
+					s.Quiesce()
+					if fired, _ := crash.state(); fired {
 						crashedAt = i
 						break
 					}
@@ -280,11 +380,12 @@ func TestServiceCrashEquivalence(t *testing.T) {
 				if crashedAt == -1 {
 					continue // sequence finished before hit n (scheduling drift)
 				}
-				crashedPoints[crash.point] = true
+				_, crashPoint := crash.state()
+				crashedPoints[crashPoint] = true
 
 				r, err := OpenService(ServiceConfig{Dir: dir, Engine: EngineLSM})
 				if err != nil {
-					t.Fatalf("seed %d n %d (%s): recovery failed: %v", seed, n, crash.point, err)
+					t.Fatalf("seed %d n %d (%s): recovery failed: %v", seed, n, crashPoint, err)
 				}
 				got := normalize(r)
 				gotBudget := r.Budget()
@@ -296,7 +397,7 @@ func TestServiceCrashEquivalence(t *testing.T) {
 				budgetOK := reflect.DeepEqual(gotBudget, beforeBudget) || reflect.DeepEqual(gotBudget, afterBudget)
 				if !stateOK || !budgetOK {
 					t.Fatalf("seed %d torn=%v crash at hit %d (%s, op %d %+v):\nrecovered %v budget %v\nbefore    %v budget %v\nafter     %v budget %v",
-						seed, torn, n, crash.point, crashedAt, ops[crashedAt],
+						seed, torn, n, crashPoint, crashedAt, ops[crashedAt],
 						got, gotBudget, beforeState, beforeBudget, afterState, afterBudget)
 				}
 			}

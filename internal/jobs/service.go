@@ -6,6 +6,7 @@ package jobs
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"strings"
 	"sync"
@@ -17,13 +18,19 @@ import (
 // Storage engine names for ServiceConfig.Engine.
 const (
 	// EngineWAL is the original append-only log: every event replayed
-	// from seq zero (or the latest snapshot) at boot.
+	// from seq zero (or the latest snapshot) at boot. Still selectable;
+	// cdas-storectl migrate converts a WAL store to LSM in place.
 	EngineWAL = "wal"
 	// EngineLSM is the indexed store: an LSM tree holding each job's
 	// current record under a primary key plus (state, priority, tenant)
 	// secondary indexes, booted from the newest checkpoint + WAL tail.
+	// It is the production default (cdas-server's -store-engine flag
+	// defaults to it); checkpoints flush off the commit path.
 	EngineLSM = "lsm"
 )
+
+// ErrServiceClosed is returned by every mutation after Close.
+var ErrServiceClosed = errors.New("jobs: service is closed")
 
 // ServiceConfig tunes OpenService. The zero value is a volatile
 // (memory-only) service with default retry and compaction settings.
@@ -31,9 +38,11 @@ type ServiceConfig struct {
 	// Dir roots the store's files. Empty disables persistence: the
 	// service still runs the full lifecycle, in memory only.
 	Dir string
-	// Engine selects the storage engine: EngineWAL (the default) or
-	// EngineLSM. The engines use disjoint file names, but do not share
-	// state — switching engines on an existing Dir starts empty.
+	// Engine selects the storage engine: EngineWAL (the default when
+	// empty, for compatibility) or EngineLSM. The engines use disjoint
+	// file names and do not share state; OpenService refuses to boot an
+	// engine against a directory holding the other engine's store —
+	// migrate with cdas-storectl instead of switching in place.
 	Engine string
 	// MaxAttempts bounds the retry loop (default DefaultMaxAttempts).
 	MaxAttempts int
@@ -46,6 +55,9 @@ type ServiceConfig struct {
 	// StoreFail injects storage failpoints (EngineLSM only) — the
 	// crash-equivalence tests' hook. Leave nil in production.
 	StoreFail jobstore.FailFunc
+	// Logf, when set, receives operational log lines (checkpoint
+	// failures and the like). Nil discards them.
+	Logf func(format string, args ...any)
 }
 
 // Service is the durable job lifecycle service. It is safe for
@@ -60,6 +72,7 @@ type Service struct {
 	log     *jobstore.Log // EngineWAL backend (nil otherwise)
 	lsm     *jobstore.LSM // EngineLSM backend (nil otherwise)
 	events  int           // committed events since the last LSM checkpoint
+	closed  bool
 	wake    chan struct{}
 	resumed []string
 	budget  BudgetState
@@ -201,9 +214,22 @@ func OpenService(cfg ServiceConfig) (*Service, error) {
 	if cfg.Dir == "" {
 		return s, nil
 	}
+	// Refuse to boot an engine over the other engine's store: the file
+	// sets are disjoint, so the wrong engine would come up empty and
+	// look exactly like data loss.
+	hasWAL, hasLSM := jobstore.DetectEngines(cfg.Dir)
 	switch cfg.Engine {
 	case "", EngineWAL:
+		if hasLSM {
+			return nil, fmt.Errorf("jobs: %s holds an LSM-engine store but engine %q was selected; pass -store-engine=lsm (if both engines' files are present, an interrupted migration left them — re-run cdas-storectl migrate)", cfg.Dir, EngineWAL)
+		}
 	case EngineLSM:
+		if hasWAL && hasLSM {
+			return nil, fmt.Errorf("jobs: %s holds both WAL- and LSM-engine files — an interrupted migration; re-run cdas-storectl migrate -dir %s", cfg.Dir, cfg.Dir)
+		}
+		if hasWAL {
+			return nil, fmt.Errorf("jobs: %s holds a WAL-engine store but engine %q was selected; run cdas-storectl migrate -dir %s first, or pass -store-engine=wal", cfg.Dir, EngineLSM, cfg.Dir)
+		}
 		return openLSMService(s)
 	default:
 		return nil, fmt.Errorf("jobs: unknown storage engine %q", cfg.Engine)
@@ -269,7 +295,15 @@ func OpenService(cfg ServiceConfig) (*Service, error) {
 // one atomic batch, so any disagreement is an engine bug worth failing
 // the boot over).
 func openLSMService(s *Service) (*Service, error) {
-	lsm, err := jobstore.OpenLSM(jobstore.LSMConfig{Dir: s.cfg.Dir, Fail: s.cfg.StoreFail})
+	lsm, err := jobstore.OpenLSM(jobstore.LSMConfig{
+		Dir:  s.cfg.Dir,
+		Fail: s.cfg.StoreFail,
+		// Checkpoints cut off the commit path: lsmCommit only freezes
+		// the memtable and rotates the WAL segment; the flush runs in
+		// the background and reports through onCheckpoint.
+		OnlineCheckpoint: true,
+		OnCheckpoint:     s.onCheckpoint,
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -364,6 +398,9 @@ func (s *Service) append(op string, prevState State, st Status, sync bool) error
 // lifecycle and budget records alike, so every event kind counts
 // toward and triggers compaction. Callers hold s.mu.
 func (s *Service) appendEvent(ev walEvent, prevState State, sync bool) error {
+	if s.closed {
+		return ErrServiceClosed
+	}
 	if s.lsm != nil {
 		return s.lsmCommit(ev, prevState)
 	}
@@ -432,14 +469,47 @@ func (s *Service) lsmCommit(ev walEvent, prevState State) error {
 	s.cfg.Counters.Inc(metrics.CounterWALAppends)
 	s.events++
 	if s.cfg.SnapshotEvery > 0 && s.events >= s.cfg.SnapshotEvery {
-		s.events = 0
 		// Best-effort housekeeping, same contract as the WAL engine's
-		// compaction: the batch above is already durable.
-		if s.lsm.Checkpoint() == nil {
-			s.cfg.Counters.Inc(metrics.CounterWALSnapshots)
+		// compaction: the batch above is already durable. The cut is
+		// asynchronous — only the freeze and WAL-segment rotation happen
+		// here; the flush's outcome arrives through onCheckpoint. The
+		// event counter resets only when a checkpoint actually covers
+		// the events, so a failure here retries on the very next commit
+		// instead of waiting out another SnapshotEvery window.
+		if _, err := s.lsm.CheckpointAsync(); err != nil {
+			s.noteCheckpointFailureLocked(err)
+		} else {
+			s.events = 0
 		}
 	}
 	return nil
+}
+
+// onCheckpoint receives every checkpoint flush's outcome from the LSM
+// engine (called on the flush goroutine, no store locks held).
+func (s *Service) onCheckpoint(err error) {
+	if err == nil {
+		s.cfg.Counters.Inc(metrics.CounterWALSnapshots)
+		return
+	}
+	s.mu.Lock()
+	s.noteCheckpointFailureLocked(err)
+	s.mu.Unlock()
+}
+
+// noteCheckpointFailureLocked surfaces a failed checkpoint: counted,
+// logged, and the event counter re-armed so the next commit retries
+// immediately. Callers hold s.mu.
+func (s *Service) noteCheckpointFailureLocked(err error) {
+	s.events = s.cfg.SnapshotEvery
+	s.cfg.Counters.Inc(metrics.CounterCheckpointFailures)
+	s.logf("jobs: store checkpoint failed (will retry on next commit): %v", err)
+}
+
+func (s *Service) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
 }
 
 // compact writes a full-state snapshot, truncating the WAL. Callers
@@ -718,19 +788,46 @@ func (s *Service) StatusesPage(after string, limit int, state State, tenant stri
 // MaxAttempts reports the retry bound.
 func (s *Service) MaxAttempts() int { return s.m.MaxAttempts() }
 
-// Close releases the store. The in-memory view stays readable; further
-// mutations fail on the closed store.
-func (s *Service) Close() error {
+// Quiesce blocks until no store checkpoint is in flight — a graceful
+// shutdown (and the crash harness) uses it to reach a settled store.
+func (s *Service) Quiesce() {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.lsm != nil {
-		return s.lsm.Close()
+	lsm := s.lsm
+	s.mu.Unlock()
+	if lsm != nil {
+		lsm.Quiesce()
 	}
-	if s.log == nil {
-		return nil
-	}
-	return s.log.Close()
 }
 
-// Durable reports whether the service is backed by a store.
-func (s *Service) Durable() bool { return s.log != nil || s.lsm != nil }
+// Close releases every configured store. The in-memory view stays
+// readable; mutations after Close fail with ErrServiceClosed. Close is
+// idempotent.
+func (s *Service) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	log, lsm := s.log, s.lsm
+	// Drop the lock before closing: the LSM drains in-flight checkpoint
+	// flushes, whose completion callback (onCheckpoint) takes s.mu.
+	s.mu.Unlock()
+	var first error
+	if lsm != nil {
+		first = lsm.Close()
+	}
+	if log != nil {
+		if err := log.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Durable reports whether the service is backed by an open store.
+func (s *Service) Durable() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return !s.closed && (s.log != nil || s.lsm != nil)
+}

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"math/rand"
 	"reflect"
+	"sync"
 	"testing"
 )
 
@@ -78,8 +79,10 @@ func applyModel(m map[string]string, op crashOp) {
 }
 
 // crashAt is the failpoint hook: crash on the nth hit (1-based), with
-// a torn write when torn is set and the point supports it.
+// a torn write when torn is set and the point supports it. The mutex
+// makes the hook safe for stores that flush in the background.
 type crashAt struct {
+	mu    sync.Mutex
 	n     int
 	torn  bool
 	hits  int
@@ -91,6 +94,8 @@ func tornCapable(point string) bool {
 }
 
 func (c *crashAt) fn(point string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	c.hits++
 	if c.hits == c.n {
 		c.point = point
@@ -100,6 +105,18 @@ func (c *crashAt) fn(point string) error {
 		return ErrInjectedCrash
 	}
 	return nil
+}
+
+func (c *crashAt) totalHits() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits
+}
+
+func (c *crashAt) crashedPoint() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.point
 }
 
 // runOps executes ops against a store in dir with the given hook,
@@ -165,7 +182,7 @@ func TestLSMCrashEquivalence(t *testing.T) {
 			if i, err := runOps(t.TempDir(), ops, counter.fn); i != -1 || err != nil {
 				t.Fatalf("dry run crashed: op %d, err %v", i, err)
 			}
-			totalHits := counter.hits
+			totalHits := counter.totalHits()
 			if totalHits == 0 {
 				t.Fatalf("seed %d produced no failpoint hits", seed)
 			}
@@ -183,7 +200,7 @@ func TestLSMCrashEquivalence(t *testing.T) {
 					// that completes is simply a smaller sweep.
 					continue
 				}
-				crashedPoints[crash.point] = true
+				crashedPoints[crash.crashedPoint()] = true
 
 				// Model state before and after the in-flight op: the
 				// recovered store must be exactly one of the two.
@@ -200,7 +217,7 @@ func TestLSMCrashEquivalence(t *testing.T) {
 				got := recoveredState(t, dir)
 				if !reflect.DeepEqual(got, before) && !reflect.DeepEqual(got, after) {
 					t.Fatalf("seed %d torn=%v crash at hit %d (%s, op %d %s):\nrecovered %v\nwant before %v\nor after  %v",
-						seed, torn, n, crash.point, crashedAt, ops[crashedAt].kind, got, before, after)
+						seed, torn, n, crash.crashedPoint(), crashedAt, ops[crashedAt].kind, got, before, after)
 				}
 
 				// Recovery is a fixed point: reopening again changes

@@ -38,7 +38,8 @@ type FailFunc func(point string) error
 const (
 	FailWALWrite       = "wal.write"       // torn-capable: WAL frame write
 	FailWALSync        = "wal.sync"        // WAL fsync acknowledging a batch
-	FailWALTruncate    = "wal.truncate"    // WAL truncation after a checkpoint
+	FailWALRotate      = "wal.rotate"      // new WAL segment creation at checkpoint start
+	FailWALTruncate    = "wal.truncate"    // covered WAL segment removal after a checkpoint
 	FailRunWrite       = "run.write"       // torn-capable: sorted-run body write
 	FailRunSync        = "run.sync"        // run file fsync before install
 	FailRunRename      = "run.rename"      // temp → run-NNN.run install rename
@@ -51,7 +52,7 @@ const (
 // LSMFailpoints lists every failpoint the engine can hit, for harnesses
 // that want to assert full coverage.
 var LSMFailpoints = []string{
-	FailWALWrite, FailWALSync, FailWALTruncate,
+	FailWALWrite, FailWALSync, FailWALRotate, FailWALTruncate,
 	FailRunWrite, FailRunSync, FailRunRename,
 	FailManifestWrite, FailManifestSync, FailManifestRename,
 	FailDirSync,

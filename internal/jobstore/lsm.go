@@ -5,27 +5,33 @@
 //
 // Shape (classic log-structured merge tree, one level):
 //
-//   - Writes are framed into a WAL (fsynced batch-atomically), then
-//     applied to the memtable. A batch's ops commit together or not at
-//     all: the batch is one CRC-framed WAL record.
-//   - When the memtable outgrows its budget (or on an explicit
-//     Checkpoint) it is flushed into an immutable sorted run — CRC-framed
-//     blocks, a block index and a Bloom filter (run.go) — installed by
-//     atomic rename, after which a new MANIFEST records the live run set
-//     and the WAL sequence watermark the runs cover, and the WAL is
-//     truncated.
+//   - Writes are framed into the current WAL segment (fsynced
+//     batch-atomically), then applied to the memtable. A batch's ops
+//     commit together or not at all: the batch is one CRC-framed WAL
+//     record.
+//   - A checkpoint freezes the memtable behind an immutable view, opens
+//     a fresh WAL segment for subsequent commits, and flushes the frozen
+//     entries into an immutable sorted run — CRC-framed blocks, a block
+//     index and a Bloom filter (run.go) — installed by atomic rename.
+//     A new MANIFEST then records the live run set and the WAL sequence
+//     watermark the runs cover, and the covered WAL segments are
+//     deleted. With OnlineCheckpoint set the flush runs in a background
+//     goroutine (single-flight), so a checkpoint never blocks Apply;
+//     otherwise it runs inline, on the triggering caller.
 //   - Compaction merges the run stack into one run (dropping tombstones)
 //     once it grows past MaxRuns, synchronously by default or in the
 //     background when BackgroundCompaction is set.
 //   - Open reads the MANIFEST, opens each run's footer/index/bloom
 //     (O(runs), not O(records)), deletes orphan files from interrupted
-//     installs, and replays only the WAL tail past the manifest
-//     watermark — checkpoint + tail, never seq-zero replay.
+//     installs, drops WAL segments fully covered by the watermark and
+//     replays only the frames past it — checkpoint + tail, never
+//     seq-zero replay.
 //
-// Every fsync and rename on this path is guarded by a named failpoint
-// (failpoint.go); the crash-equivalence tests drive op sequences with a
-// crash injected at each one and assert recovery always matches a
-// reference model.
+// Every fsync, rename and segment transition on this path is guarded by
+// a named failpoint (failpoint.go); the crash-equivalence tests drive op
+// sequences with a crash injected at each one — including mid-flight
+// online checkpoints — and assert recovery always matches a reference
+// model.
 package jobstore
 
 import (
@@ -36,6 +42,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"syscall"
@@ -45,13 +52,37 @@ import (
 // snapshot.dat), so pointing one engine at the other's directory finds
 // an empty store instead of corrupting it.
 const (
+	// lsmWALName is the pre-segmented single WAL file; recovery adopts
+	// it as the first segment so old stores open unchanged.
 	lsmWALName      = "lsm.wal"
+	lsmLockName     = "lsm.lock"
 	manifestName    = "MANIFEST"
 	manifestTmpName = "MANIFEST.tmp"
 	runTmpName      = "run.tmp"
 )
 
 func runFileName(id uint64) string { return fmt.Sprintf("run-%08d.run", id) }
+
+// segmentFileName names WAL segment id. Fixed-width decimal keeps
+// lexical order equal to numeric order for directory listings.
+func segmentFileName(id uint64) string { return fmt.Sprintf("wal-%08d.wal", id) }
+
+// parseSegmentName extracts the id from a WAL segment file name.
+func parseSegmentName(name string) (uint64, bool) {
+	mid, ok := strings.CutPrefix(name, "wal-")
+	if !ok {
+		return 0, false
+	}
+	mid, ok = strings.CutSuffix(mid, ".wal")
+	if !ok || len(mid) == 0 {
+		return 0, false
+	}
+	id, err := strconv.ParseUint(mid, 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return id, true
+}
 
 // Op is one mutation in an atomic batch: a put, or a delete when
 // Delete is set.
@@ -75,6 +106,15 @@ type LSMConfig struct {
 	// NoSync skips fsyncs — bulk loading and benchmarks only; a crash
 	// can lose acknowledged writes.
 	NoSync bool
+	// OnlineCheckpoint flushes checkpoints in a background goroutine:
+	// the commit path only freezes the memtable and rotates the WAL
+	// segment (two O(1) pointer swaps plus one file creation), so Apply
+	// never waits for a run flush or manifest install.
+	OnlineCheckpoint bool
+	// OnCheckpoint, when set, is called once per checkpoint flush with
+	// its outcome, after the flush completes and with no store locks
+	// held. This is how online checkpoint errors surface to the owner.
+	OnCheckpoint func(err error)
 	// BackgroundCompaction runs compaction in a goroutine instead of
 	// synchronously inside the triggering checkpoint.
 	BackgroundCompaction bool
@@ -109,22 +149,57 @@ type lsmManifest struct {
 	NextRun uint64 `json:"next_run"`
 }
 
+// walSegment is a rotated-out WAL segment awaiting coverage: once the
+// manifest watermark reaches maxSeq the file is deleted.
+type walSegment struct {
+	id     uint64
+	maxSeq uint64
+}
+
+// ckptJob tracks one checkpoint flush from freeze to install. done is
+// closed when the flush finished (either way); err is valid after.
+type ckptJob struct {
+	done chan struct{}
+	err  error
+}
+
 // LSM is the engine handle. It is safe for concurrent use.
 type LSM struct {
 	mu  sync.Mutex
 	cfg LSMConfig
 	dir string
 
-	wal      *os.File
+	lockf    *os.File // flock handle held for the store's lifetime
+	wal      *os.File // current WAL segment
+	walID    uint64   // current segment id
 	walSeq   uint64
+	oldSegs  []walSegment // rotated-out segments, ascending id
 	manifest lsmManifest
 	runs     []*runReader // parallel to manifest.Runs (oldest first)
 	mem      *memtable
 
+	// frozen is the immutable memtable view an in-flight checkpoint is
+	// flushing; reads overlay mem (newer) over frozen over the runs.
+	frozen    *memtable
+	frozenSeq uint64
+	inflight  *ckptJob
+
+	// maintMu serialises the file-level maintenance work — checkpoint
+	// flushes and compactions — without blocking the commit path, which
+	// only ever takes mu. Lock order: maintMu before mu.
+	maintMu sync.Mutex
+	wg      sync.WaitGroup // background flushes and compactions
+
 	boot       BootStats
 	compacting bool
 	closed     bool
+	// poisoned is set when an injected crash fired (possibly on a
+	// background flush): the simulated process is dead, so every
+	// subsequent mutation must fail until the store is reopened.
+	poisoned error
 }
+
+var errLSMClosed = errors.New("jobstore: store is closed")
 
 // OpenLSM opens (creating if needed) the store at cfg.Dir and recovers
 // it: manifest, run skeletons, orphan cleanup, WAL tail replay.
@@ -152,25 +227,28 @@ func OpenLSM(cfg LSMConfig) (*LSM, error) {
 		for _, r := range l.runs {
 			r.close()
 		}
+		if l.lockf != nil {
+			l.lockf.Close()
+		}
 		return nil, err
 	}
 	return l, nil
 }
 
 // recover loads the manifest and runs, removes orphans and replays the
-// WAL tail.
+// WAL segments past the watermark.
 func (l *LSM) recover() error {
-	// Lock first: the WAL file doubles as the single-writer flock, like
-	// the Log's.
-	wal, err := os.OpenFile(filepath.Join(l.dir, lsmWALName), os.O_CREATE|os.O_RDWR, 0o644)
+	// Lock first: a dedicated flock file is the single-writer guard
+	// (the WAL itself rotates, so it can no longer double as the lock).
+	lockf, err := os.OpenFile(filepath.Join(l.dir, lsmLockName), os.O_CREATE|os.O_RDWR, 0o644)
 	if err != nil {
 		return fmt.Errorf("jobstore: %w", err)
 	}
-	if err := syscall.Flock(int(wal.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
-		wal.Close()
-		return fmt.Errorf("%w (%s): %v", ErrLocked, filepath.Join(l.dir, lsmWALName), err)
+	if err := syscall.Flock(int(lockf.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		lockf.Close()
+		return fmt.Errorf("%w (%s): %v", ErrLocked, filepath.Join(l.dir, lsmLockName), err)
 	}
-	l.wal = wal
+	l.lockf = lockf
 
 	if err := l.loadManifest(); err != nil {
 		return err
@@ -206,7 +284,7 @@ func (l *LSM) recover() error {
 			os.Remove(filepath.Join(l.dir, name))
 		}
 	}
-	return l.replayTail()
+	return l.recoverWAL()
 }
 
 // loadManifest reads the MANIFEST, tolerating absence (empty store).
@@ -229,14 +307,98 @@ func (l *LSM) loadManifest() error {
 	return nil
 }
 
-// replayTail scans the WAL, applying batches past the manifest
-// watermark to the memtable and truncating any torn tail.
-func (l *LSM) replayTail() error {
-	data, err := io.ReadAll(l.wal)
+// recoverWAL discovers the WAL segments, replays every frame past the
+// manifest watermark in segment order, deletes segments the watermark
+// fully covers, and leaves the newest segment open as the write head.
+func (l *LSM) recoverWAL() error {
+	// A pre-segmented store has a single lsm.wal: adopt it as segment 1
+	// so the upgrade is invisible.
+	legacy := filepath.Join(l.dir, lsmWALName)
+	if _, err := os.Stat(legacy); err == nil {
+		ids, lerr := l.listSegments()
+		if lerr != nil {
+			return lerr
+		}
+		if len(ids) > 0 {
+			return fmt.Errorf("%w: both %s and segmented WAL files present (%s)", ErrCorruptRun, lsmWALName, l.dir)
+		}
+		if err := os.Rename(legacy, filepath.Join(l.dir, segmentFileName(1))); err != nil {
+			return fmt.Errorf("jobstore: adopting legacy WAL: %w", err)
+		}
+		if !l.cfg.NoSync {
+			syncDir(l.dir)
+		}
+	}
+	ids, err := l.listSegments()
+	if err != nil {
+		return err
+	}
+	if len(ids) == 0 {
+		return l.createSegment(1)
+	}
+	for i, id := range ids {
+		last := i == len(ids)-1
+		if err := l.replaySegment(id, last); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// listSegments returns the on-disk WAL segment ids, ascending.
+func (l *LSM) listSegments() ([]uint64, error) {
+	entries, err := os.ReadDir(l.dir)
+	if err != nil {
+		return nil, fmt.Errorf("jobstore: %w", err)
+	}
+	var ids []uint64
+	for _, de := range entries {
+		if id, ok := parseSegmentName(de.Name()); ok {
+			ids = append(ids, id)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids, nil
+}
+
+// createSegment makes an empty segment the write head.
+func (l *LSM) createSegment(id uint64) error {
+	f, err := os.OpenFile(filepath.Join(l.dir, segmentFileName(id)), os.O_CREATE|os.O_TRUNC|os.O_RDWR, 0o644)
 	if err != nil {
 		return fmt.Errorf("jobstore: %w", err)
 	}
+	l.wal = f
+	l.walID = id
+	return nil
+}
+
+// replaySegment applies one segment's frames past the watermark to the
+// memtable. The last segment stays open as the write head (with any
+// torn tail truncated); older segments are deleted when covered, kept
+// in oldSegs otherwise.
+func (l *LSM) replaySegment(id uint64, last bool) error {
+	path := filepath.Join(l.dir, segmentFileName(id))
+	var f *os.File
+	var data []byte
+	var err error
+	if last {
+		f, err = os.OpenFile(path, os.O_RDWR, 0o644)
+		if err != nil {
+			return fmt.Errorf("jobstore: %w", err)
+		}
+		data, err = io.ReadAll(f)
+		if err != nil {
+			f.Close()
+			return fmt.Errorf("jobstore: %w", err)
+		}
+	} else {
+		data, err = os.ReadFile(path)
+		if err != nil {
+			return fmt.Errorf("jobstore: %w", err)
+		}
+	}
 	offset := 0
+	maxSeq := uint64(0)
 	for offset < len(data) {
 		seq, payload, size, ok := parseFrame(data[offset:])
 		if !ok {
@@ -247,6 +409,9 @@ func (l *LSM) replayTail() error {
 			if err != nil {
 				// A CRC-valid frame with undecodable ops is corruption,
 				// not a torn tail.
+				if f != nil {
+					f.Close()
+				}
 				return fmt.Errorf("jobstore: WAL record %d: %w", seq, err)
 			}
 			for _, e := range ops {
@@ -254,20 +419,43 @@ func (l *LSM) replayTail() error {
 			}
 			l.boot.TailRecords++
 		}
+		if seq > maxSeq {
+			maxSeq = seq
+		}
 		if seq > l.walSeq {
 			l.walSeq = seq
 		}
 		offset += size
 	}
 	if offset < len(data) {
+		// A torn frame is the signature of a crash mid-write; it can
+		// only carry unacknowledged bytes, so cutting it is safe in any
+		// segment (older segments see one only under NoSync).
 		l.boot.TailTruncated = true
-		if err := l.wal.Truncate(int64(offset)); err != nil {
-			return fmt.Errorf("jobstore: tail truncate: %w", err)
+	}
+	if last {
+		if offset < len(data) {
+			if err := f.Truncate(int64(offset)); err != nil {
+				f.Close()
+				return fmt.Errorf("jobstore: tail truncate: %w", err)
+			}
 		}
+		if _, err := f.Seek(int64(offset), io.SeekStart); err != nil {
+			f.Close()
+			return fmt.Errorf("jobstore: %w", err)
+		}
+		l.wal = f
+		l.walID = id
+		return nil
 	}
-	if _, err := l.wal.Seek(int64(offset), io.SeekStart); err != nil {
-		return fmt.Errorf("jobstore: %w", err)
+	if maxSeq <= l.manifest.WalSeq {
+		// Fully covered by the checkpoint (including empty segments from
+		// an aborted rotation): an interrupted post-checkpoint deletion,
+		// finished here.
+		os.Remove(path)
+		return nil
 	}
+	l.oldSegs = append(l.oldSegs, walSegment{id: id, maxSeq: maxSeq})
 	return nil
 }
 
@@ -302,38 +490,69 @@ func (l *LSM) Delete(key string) error {
 // nil the batch is durable (unless NoSync). An error after the WAL
 // fsync (from checkpoint housekeeping) still means the batch itself
 // committed; callers that need to distinguish should reopen and read.
+// With OnlineCheckpoint set, a full memtable only starts a background
+// flush — Apply never waits for one.
 func (l *LSM) Apply(batch []Op) error {
 	if len(batch) == 0 {
 		return nil
 	}
 	l.mu.Lock()
-	defer l.mu.Unlock()
 	if l.closed {
-		return errors.New("jobstore: store is closed")
+		l.mu.Unlock()
+		return errLSMClosed
+	}
+	if l.poisoned != nil {
+		err := l.poisoned
+		l.mu.Unlock()
+		return err
 	}
 	var payload []byte
 	for _, op := range batch {
 		if op.Key == "" {
+			l.mu.Unlock()
 			return errors.New("jobstore: empty key")
 		}
 		payload = appendEntry(payload, kvEntry{key: op.Key, val: op.Value, del: op.Delete})
 	}
 	if len(payload) > maxRecordSize {
+		l.mu.Unlock()
 		return fmt.Errorf("jobstore: batch of %d bytes exceeds the %d byte cap", len(payload), maxRecordSize)
 	}
 	seq := l.walSeq + 1
 	if err := tornWrite(l.wal, frame(seq, payload), FailWALWrite, l.cfg.Fail); err != nil {
+		l.notePoisonLocked(err)
+		l.mu.Unlock()
 		return err
 	}
 	if err := l.syncWAL(); err != nil {
+		l.notePoisonLocked(err)
+		l.mu.Unlock()
 		return err
 	}
 	l.walSeq = seq
 	for _, op := range batch {
 		l.mem.apply(kvEntry{key: op.Key, val: op.Value, del: op.Delete})
 	}
-	if l.mem.bytes >= l.cfg.MemtableBytes {
-		return l.checkpointLocked()
+	over := l.mem.bytes >= l.cfg.MemtableBytes
+	if over && l.cfg.OnlineCheckpoint {
+		kickErr := l.kickCheckpointLocked()
+		if kickErr != nil && l.cfg.OnCheckpoint != nil {
+			// The batch is committed; a failed checkpoint *start* is a
+			// checkpoint failure, reported like a failed flush — on its
+			// own goroutine, because the Apply caller may hold locks the
+			// callback needs.
+			l.wg.Add(1)
+			go func() {
+				defer l.wg.Done()
+				l.cfg.OnCheckpoint(kickErr)
+			}()
+		}
+		l.mu.Unlock()
+		return nil
+	}
+	l.mu.Unlock()
+	if over {
+		return l.Checkpoint()
 	}
 	return nil
 }
@@ -351,17 +570,33 @@ func (l *LSM) syncWAL() error {
 	return nil
 }
 
-// Get returns the newest value for key: memtable first, then runs from
-// newest to oldest, with each run's Bloom filter short-circuiting
-// definite misses.
+// notePoisonLocked records an injected crash: the simulated process is
+// dead, so until reopen every mutation fails with the crash error —
+// nothing may be acknowledged after the point of death. Real storage
+// errors do not poison; the store rolls the failed operation back and
+// keeps serving. Caller holds l.mu.
+func (l *LSM) notePoisonLocked(err error) {
+	if err != nil && errors.Is(err, ErrInjectedCrash) && l.poisoned == nil {
+		l.poisoned = err
+	}
+}
+
+// Get returns the newest value for key: memtable first, then the frozen
+// checkpoint view, then runs from newest to oldest, with each run's
+// Bloom filter short-circuiting definite misses.
 func (l *LSM) Get(key string) ([]byte, bool, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	if e, ok := l.mem.get(key); ok {
-		if e.del {
-			return nil, false, nil
+	for _, m := range []*memtable{l.mem, l.frozen} {
+		if m == nil {
+			continue
 		}
-		return append([]byte(nil), e.val...), true, nil
+		if e, ok := m.get(key); ok {
+			if e.del {
+				return nil, false, nil
+			}
+			return append([]byte(nil), e.val...), true, nil
+		}
 	}
 	for i := len(l.runs) - 1; i >= 0; i-- {
 		e, ok, err := l.runs[i].get(key)
@@ -379,10 +614,10 @@ func (l *LSM) Get(key string) ([]byte, bool, error) {
 }
 
 // Scan streams live entries with lo <= key < hi (hi == "" means no
-// upper bound) in ascending key order, merging the memtable and every
-// run with newest-wins shadowing; tombstoned keys are skipped. fn
-// returning false stops the scan. fn must not call back into the
-// store.
+// upper bound) in ascending key order, merging the memtable, the frozen
+// checkpoint view and every run with newest-wins shadowing; tombstoned
+// keys are skipped. fn returning false stops the scan. fn must not call
+// back into the store.
 func (l *LSM) Scan(lo, hi string, fn func(key string, value []byte) bool) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -390,8 +625,8 @@ func (l *LSM) Scan(lo, hi string, fn func(key string, value []byte) bool) error 
 }
 
 func (l *LSM) scanLocked(lo, hi string, fn func(key string, value []byte) bool) error {
-	// Sources in priority order: memtable shadows runs, newer runs
-	// shadow older ones.
+	// Sources in priority order: the memtable shadows the frozen view,
+	// which shadows the runs; newer runs shadow older ones.
 	type source struct {
 		entries []kvEntry // memtable source
 		pos     int
@@ -400,18 +635,23 @@ func (l *LSM) scanLocked(lo, hi string, fn func(key string, value []byte) bool) 
 		ok      bool
 	}
 	var sources []*source
-	mem := &source{}
-	for _, e := range l.mem.sorted() {
-		if e.key >= lo {
-			mem.entries = append(mem.entries, e)
+	for _, m := range []*memtable{l.mem, l.frozen} {
+		if m == nil {
+			continue
 		}
+		s := &source{}
+		for _, e := range m.sorted() {
+			if e.key >= lo {
+				s.entries = append(s.entries, e)
+			}
+		}
+		s.ok = len(s.entries) > 0
+		if s.ok {
+			s.cur = s.entries[0]
+			s.pos = 1
+		}
+		sources = append(sources, s)
 	}
-	mem.ok = len(mem.entries) > 0
-	if mem.ok {
-		mem.cur = mem.entries[0]
-		mem.pos = 1
-	}
-	sources = append(sources, mem)
 	for i := len(l.runs) - 1; i >= 0; i-- {
 		it := l.runs[i].iterator(lo)
 		s := &source{it: it}
@@ -470,47 +710,271 @@ func (l *LSM) scanLocked(lo, hi string, fn func(key string, value []byte) bool) 
 	}
 }
 
-// Checkpoint flushes the memtable into a new sorted run, installs a
-// manifest covering every committed write, and truncates the WAL —
-// after which recovery boots from the run stack plus an empty tail.
-// Compaction runs when the stack is past MaxRuns.
-func (l *LSM) Checkpoint() error {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	if l.closed {
-		return errors.New("jobstore: store is closed")
+// rotateWALLocked opens a fresh segment as the write head and retires
+// the current one into oldSegs. Caller holds l.mu.
+func (l *LSM) rotateWALLocked() error {
+	if err := l.cfg.Fail.fail(FailWALRotate); err != nil {
+		return err
 	}
-	return l.checkpointLocked()
+	id := l.walID + 1
+	path := filepath.Join(l.dir, segmentFileName(id))
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_RDWR, 0o644)
+	if err != nil {
+		return fmt.Errorf("jobstore: wal rotate: %w", err)
+	}
+	// The new segment's directory entry must be durable before any
+	// acknowledged write lands in it.
+	if err := l.syncDirFP(); err != nil {
+		f.Close()
+		os.Remove(path)
+		return err
+	}
+	l.oldSegs = append(l.oldSegs, walSegment{id: l.walID, maxSeq: l.walSeq})
+	l.wal.Close()
+	l.wal = f
+	l.walID = id
+	return nil
 }
 
-func (l *LSM) checkpointLocked() error {
-	if l.mem.len() > 0 {
-		id := l.manifest.NextRun
-		if err := l.writeRunFile(id, l.mem.sorted()); err != nil {
+// startCheckpointLocked freezes the memtable behind an immutable view
+// and rotates the WAL segment — the only checkpoint work the commit
+// lock ever covers. It returns the flush job to run (nil when the
+// memtable is empty). Caller holds l.mu and has checked closed,
+// poisoned and inflight.
+func (l *LSM) startCheckpointLocked() (*ckptJob, error) {
+	if l.mem.len() == 0 {
+		return nil, nil
+	}
+	if err := l.rotateWALLocked(); err != nil {
+		l.notePoisonLocked(err)
+		return nil, err
+	}
+	job := &ckptJob{done: make(chan struct{})}
+	l.frozen = l.mem
+	l.frozenSeq = l.walSeq
+	l.mem = newMemtable()
+	l.inflight = job
+	return job, nil
+}
+
+// kickCheckpointLocked starts a background checkpoint flush if none is
+// in flight. A returned error means the checkpoint failed to start; the
+// triggering commit is unaffected. Caller holds l.mu.
+func (l *LSM) kickCheckpointLocked() error {
+	if l.inflight != nil {
+		return nil
+	}
+	job, err := l.startCheckpointLocked()
+	if job == nil || err != nil {
+		return err
+	}
+	l.wg.Add(1)
+	go func() {
+		defer l.wg.Done()
+		l.flush(job)
+	}()
+	return nil
+}
+
+// Checkpoint flushes the memtable into a new sorted run, installs a
+// manifest covering every committed write, and deletes the covered WAL
+// segments — after which recovery boots from the run stack plus an
+// empty tail. The flush runs inline: Checkpoint returns once the
+// checkpoint (or a concurrent one it waited for) is durable. Compaction
+// runs when the stack is past MaxRuns.
+func (l *LSM) Checkpoint() error {
+	for {
+		l.mu.Lock()
+		if l.closed {
+			l.mu.Unlock()
+			return errLSMClosed
+		}
+		if l.poisoned != nil {
+			err := l.poisoned
+			l.mu.Unlock()
 			return err
 		}
-		next := lsmManifest{
-			Runs:    append(append([]uint64(nil), l.manifest.Runs...), id),
-			WalSeq:  l.walSeq,
-			NextRun: id + 1,
+		if cur := l.inflight; cur != nil {
+			l.mu.Unlock()
+			<-cur.done
+			if cur.err != nil {
+				return cur.err
+			}
+			continue
 		}
-		r, err := l.installManifest(next, id)
+		if l.mem.len() == 0 {
+			needCompact := len(l.runs) > l.cfg.MaxRuns
+			if needCompact && l.cfg.BackgroundCompaction {
+				l.kickCompaction()
+				needCompact = false
+			}
+			l.mu.Unlock()
+			if needCompact {
+				return l.Compact()
+			}
+			return nil
+		}
+		job, err := l.startCheckpointLocked()
+		l.mu.Unlock()
 		if err != nil {
 			return err
 		}
-		l.runs = append(l.runs, r)
-		l.manifest = next
-		l.mem.reset()
-		if err := l.truncateWAL(); err != nil {
-			return err
+		l.flush(job)
+		return job.err
+	}
+}
+
+// CheckpointAsync starts an online checkpoint flush in the background,
+// reporting started=false when there is nothing to flush or one is
+// already in flight. The flush's outcome is delivered through
+// LSMConfig.OnCheckpoint; an error here means the checkpoint could not
+// even start (its freeze or WAL rotation failed).
+func (l *LSM) CheckpointAsync() (started bool, err error) {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return false, errLSMClosed
+	}
+	if l.poisoned != nil {
+		err := l.poisoned
+		l.mu.Unlock()
+		return false, err
+	}
+	if l.inflight != nil || l.mem.len() == 0 {
+		l.mu.Unlock()
+		return false, nil
+	}
+	job, err := l.startCheckpointLocked()
+	if job == nil || err != nil {
+		l.mu.Unlock()
+		return false, err
+	}
+	l.wg.Add(1)
+	l.mu.Unlock()
+	go func() {
+		defer l.wg.Done()
+		l.flush(job)
+	}()
+	return true, nil
+}
+
+// Quiesce blocks until no checkpoint flush is in flight. New
+// checkpoints may start as soon as it returns; Close performs its own
+// drain.
+func (l *LSM) Quiesce() {
+	for {
+		l.mu.Lock()
+		cur := l.inflight
+		l.mu.Unlock()
+		if cur == nil {
+			return
+		}
+		<-cur.done
+	}
+}
+
+// flush runs one checkpoint job to completion and reports its outcome
+// to the configured callback. It may run inline (Checkpoint) or on a
+// background goroutine (CheckpointAsync, a full memtable under
+// OnlineCheckpoint).
+func (l *LSM) flush(job *ckptJob) {
+	l.maintMu.Lock()
+	err := l.flushFrozen()
+	l.maintMu.Unlock()
+	job.err = err
+	close(job.done)
+	if l.cfg.OnCheckpoint != nil {
+		l.cfg.OnCheckpoint(err)
+	}
+}
+
+// flushFrozen writes the frozen memtable into a run, installs the
+// manifest and deletes the covered WAL segments. On failure the frozen
+// entries merge back into the live memtable (newer writes win) so
+// nothing committed is lost and a later checkpoint retries. Caller
+// holds maintMu only: the commit path stays open for the whole flush.
+func (l *LSM) flushFrozen() error {
+	l.mu.Lock()
+	entries := l.frozen.sorted()
+	frozenSeq := l.frozenSeq
+	id := l.manifest.NextRun
+	baseRuns := append([]uint64(nil), l.manifest.Runs...)
+	l.mu.Unlock()
+
+	abort := func(err error) error {
+		l.mu.Lock()
+		for k, e := range l.frozen.entries {
+			if _, shadowed := l.mem.entries[k]; !shadowed {
+				l.mem.apply(e)
+			}
+		}
+		l.frozen = nil
+		l.inflight = nil
+		l.notePoisonLocked(err)
+		l.mu.Unlock()
+		return err
+	}
+
+	if err := l.writeRunFile(id, entries); err != nil {
+		return abort(err)
+	}
+	next := lsmManifest{Runs: append(baseRuns, id), WalSeq: frozenSeq, NextRun: id + 1}
+	r, err := l.installManifest(next, id)
+	if err != nil {
+		return abort(err)
+	}
+
+	l.mu.Lock()
+	if l.closed {
+		// Close ran while this inline flush was between manifest
+		// install and bookkeeping. The checkpoint is durable on disk —
+		// recovery picks it up — but the in-memory handle is dead.
+		l.frozen = nil
+		l.inflight = nil
+		l.mu.Unlock()
+		r.close()
+		return nil
+	}
+	l.runs = append(l.runs, r)
+	l.manifest = next
+	l.frozen = nil
+	l.inflight = nil
+	var covered []uint64
+	keep := l.oldSegs[:0]
+	for _, seg := range l.oldSegs {
+		if seg.maxSeq <= frozenSeq {
+			covered = append(covered, seg.id)
+		} else {
+			keep = append(keep, seg)
 		}
 	}
-	if len(l.runs) > l.cfg.MaxRuns {
+	l.oldSegs = keep
+	needCompact := len(l.runs) > l.cfg.MaxRuns
+	l.mu.Unlock()
+
+	// The checkpoint is installed; segment deletion is the WAL-trim
+	// half. A failure here leaves covered segments behind, which the
+	// next boot (or checkpoint) removes.
+	if err := l.cfg.Fail.fail(FailWALTruncate); err != nil {
+		l.mu.Lock()
+		l.notePoisonLocked(err)
+		l.mu.Unlock()
+		return err
+	}
+	for _, sid := range covered {
+		os.Remove(filepath.Join(l.dir, segmentFileName(sid)))
+	}
+	if needCompact {
+		l.mu.Lock()
 		if l.cfg.BackgroundCompaction {
 			l.kickCompaction()
+			l.mu.Unlock()
 			return nil
 		}
-		return l.compactLocked()
+		err := l.compactLocked()
+		l.notePoisonLocked(err)
+		l.mu.Unlock()
+		return err
 	}
 	return nil
 }
@@ -611,24 +1075,6 @@ func (l *LSM) installManifest(next lsmManifest, newID uint64) (*runReader, error
 	return r, nil
 }
 
-func (l *LSM) truncateWAL() error {
-	if err := l.cfg.Fail.fail(FailWALTruncate); err != nil {
-		return err
-	}
-	if err := l.wal.Truncate(0); err != nil {
-		return fmt.Errorf("jobstore: wal truncate: %w", err)
-	}
-	if _, err := l.wal.Seek(0, io.SeekStart); err != nil {
-		return fmt.Errorf("jobstore: wal seek: %w", err)
-	}
-	if !l.cfg.NoSync {
-		if err := l.wal.Sync(); err != nil {
-			return fmt.Errorf("jobstore: wal fsync: %w", err)
-		}
-	}
-	return nil
-}
-
 func (l *LSM) syncDirFP() error {
 	if err := l.cfg.Fail.fail(FailDirSync); err != nil {
 		return err
@@ -646,7 +1092,9 @@ func (l *LSM) kickCompaction() {
 		return
 	}
 	l.compacting = true
+	l.wg.Add(1)
 	go func() {
+		defer l.wg.Done()
 		defer func() {
 			l.mu.Lock()
 			l.compacting = false
@@ -661,12 +1109,19 @@ func (l *LSM) kickCompaction() {
 // pointing at it. The memtable and WAL are untouched: the watermark
 // does not move.
 func (l *LSM) Compact() error {
+	l.maintMu.Lock()
+	defer l.maintMu.Unlock()
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.closed {
-		return errors.New("jobstore: store is closed")
+		return errLSMClosed
 	}
-	return l.compactLocked()
+	if l.poisoned != nil {
+		return l.poisoned
+	}
+	err := l.compactLocked()
+	l.notePoisonLocked(err)
+	return err
 }
 
 func (l *LSM) compactLocked() error {
@@ -753,23 +1208,35 @@ func (l *LSM) mergeRuns() ([]kvEntry, error) {
 	}
 }
 
-// Close releases the WAL handle and run readers. Mutations fail after
-// Close.
+// Close drains in-flight checkpoint flushes and compactions, then
+// releases the WAL handle, run readers and the store lock. Mutations
+// fail after Close. Close is idempotent.
 func (l *LSM) Close() error {
 	l.mu.Lock()
-	defer l.mu.Unlock()
 	if l.closed {
+		l.mu.Unlock()
 		return nil
 	}
 	l.closed = true
+	l.mu.Unlock()
+	// No locks held while draining: a background flush needs both
+	// maintMu and mu to finish.
+	l.wg.Wait()
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	var first error
 	for _, r := range l.runs {
 		if err := r.close(); err != nil && first == nil {
 			first = err
 		}
 	}
-	if err := l.wal.Close(); err != nil && first == nil {
-		first = err
+	if l.wal != nil {
+		if err := l.wal.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	if l.lockf != nil {
+		l.lockf.Close()
 	}
 	return first
 }

@@ -277,7 +277,7 @@ func TestLSMTornTailTruncated(t *testing.T) {
 	}
 	mustApply(t, l, Op{Key: "safe", Value: []byte("yes")})
 	l.Close()
-	f, err := os.OpenFile(filepath.Join(dir, lsmWALName), os.O_APPEND|os.O_WRONLY, 0o644)
+	f, err := os.OpenFile(filepath.Join(dir, segmentFileName(1)), os.O_APPEND|os.O_WRONLY, 0o644)
 	if err != nil {
 		t.Fatal(err)
 	}

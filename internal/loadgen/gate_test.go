@@ -166,6 +166,20 @@ BenchmarkBoot-8   3   100 ns/op   12.0 boot_ms   95 list_p99_us
 	if boot.Metrics["boot_ms"] != 9.0 || boot.Metrics["list_p99_us"] != 80 {
 		t.Fatalf("lower-is-better merge wrong: %+v", boot)
 	}
+	// Mixed units on one benchmark: each metric merges in its own
+	// direction, even when the best values come from different repeats —
+	// run 1 has the better tail latency, run 2 the better throughput.
+	in = `BenchmarkServe-8   3   300 ns/op   70 list_p99_us   400 questions/s
+BenchmarkServe-8   3   250 ns/op   90 list_p99_us   500 questions/s
+`
+	got, err = ParseBenchOutput(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	serve := got["BenchmarkServe"]
+	if serve.NsPerOp != 250 || serve.Metrics["list_p99_us"] != 70 || serve.Metrics[ThroughputMetric] != 500 {
+		t.Fatalf("mixed-direction merge wrong: %+v", serve)
+	}
 }
 
 func TestCompareBench(t *testing.T) {
@@ -227,6 +241,52 @@ func TestCompareBenchLowerIsBetter(t *testing.T) {
 		if !strings.Contains(msg, "boot_ms") && !strings.Contains(msg, "list_p99_us") {
 			t.Errorf("violation does not name the latency metric: %q", msg)
 		}
+	}
+}
+
+// TestCompareBenchMixedMetrics pins the gate's direction handling when a
+// single benchmark carries both a throughput and a latency metric: each
+// is judged its own way, so a fast-but-slow-tail run and a
+// slow-but-tight-tail run each trip exactly the right check.
+func TestCompareBenchMixedMetrics(t *testing.T) {
+	base := BenchBaseline{
+		Schema: BenchSchema,
+		Benchmarks: map[string]BenchResult{
+			"BenchmarkServe": {NsPerOp: 1000, Metrics: map[string]float64{
+				ThroughputMetric: 1000,
+				"list_p99_us":    100,
+			}},
+		},
+	}
+	// Throughput halves while the tail latency improves: only the
+	// throughput check may fire — a lower list_p99_us must never count
+	// against the run.
+	fresh := map[string]BenchResult{
+		"BenchmarkServe": {NsPerOp: 1000, Metrics: map[string]float64{
+			ThroughputMetric: 500,
+			"list_p99_us":    50,
+		}},
+	}
+	v := CompareBench(base, fresh, 0.30)
+	if len(v) != 1 || !strings.Contains(v[0], ThroughputMetric) {
+		t.Fatalf("throughput-only regression: got %v", v)
+	}
+	// The mirror image: throughput improves, the tail doubles.
+	fresh["BenchmarkServe"] = BenchResult{NsPerOp: 1000, Metrics: map[string]float64{
+		ThroughputMetric: 2000,
+		"list_p99_us":    200,
+	}}
+	v = CompareBench(base, fresh, 0.30)
+	if len(v) != 1 || !strings.Contains(v[0], "list_p99_us") {
+		t.Fatalf("latency-only regression: got %v", v)
+	}
+	// Both directions regress at once: two distinct violations.
+	fresh["BenchmarkServe"] = BenchResult{NsPerOp: 1000, Metrics: map[string]float64{
+		ThroughputMetric: 500,
+		"list_p99_us":    200,
+	}}
+	if v := CompareBench(base, fresh, 0.30); len(v) != 2 {
+		t.Fatalf("double regression produced %d violations, want 2: %v", len(v), v)
 	}
 }
 

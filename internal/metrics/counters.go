@@ -106,6 +106,10 @@ const (
 	CounterWALSnapshots  = "wal_snapshots"
 	CounterHITsFinished  = "hits_finished"
 	CounterBudgetCharges = "budget_charges"
+	// CounterCheckpointFailures counts store checkpoints that failed
+	// (the store keeps serving; the failed checkpoint is retried on the
+	// next commit).
+	CounterCheckpointFailures = "checkpoint_failures"
 )
 
 // Counter names published by the cross-query crowd scheduler.
