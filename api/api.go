@@ -136,6 +136,128 @@ const (
 	EventDone = "done"
 )
 
+// StreamSubmission is the POST /v1/streams request body: a standing
+// (continuous) query over an arrival stream. Window is the tumbling
+// event-time window width; the job never ends on its own unless the
+// source is finite (items > 0).
+type StreamSubmission struct {
+	Name             string   `json:"name"`
+	Keywords         []string `json:"keywords"`
+	RequiredAccuracy float64  `json:"required_accuracy"`
+	Domain           []string `json:"domain"`
+	// Start is the stream origin (window 0 starts here) in RFC 3339;
+	// zero means "now".
+	Start string `json:"start,omitempty"`
+	// Window is the tumbling window width as a Go duration string.
+	Window string `json:"window"`
+	// Lateness is the watermark lag as a Go duration string; a window
+	// closes once an event time that far past its end is seen. Empty
+	// picks half the window.
+	Lateness string `json:"lateness,omitempty"`
+	// TargetFill is the batch-fill target the adaptive batcher aims
+	// for, as a Go duration string. Empty picks half the window.
+	TargetFill string `json:"target_fill,omitempty"`
+	// WindowCapacity caps crowd questions per window (0 = engine real
+	// slots per HIT).
+	WindowCapacity int `json:"window_capacity,omitempty"`
+	// MaxBacklog bounds buffered matched items across open windows
+	// (0 = 4 x window capacity).
+	MaxBacklog int `json:"max_backlog,omitempty"`
+	// Items sizes the built-in deterministic source; 0 lets the server
+	// default apply.
+	Items int `json:"items,omitempty"`
+	// Rate is the built-in source's mean arrival rate in items per
+	// second of event time.
+	Rate float64 `json:"rate,omitempty"`
+	// SourceSeed seeds the built-in source's arrival process.
+	SourceSeed uint64 `json:"source_seed,omitempty"`
+	// Priority, Budget, Aggregator and Tenant mean exactly what they
+	// mean on JobSubmission.
+	Priority   int     `json:"priority,omitempty"`
+	Budget     float64 `json:"budget,omitempty"`
+	Aggregator string  `json:"aggregator,omitempty"`
+	Tenant     string  `json:"tenant,omitempty"`
+}
+
+// StreamWindow is one closed tumbling window on the wire — the payload
+// of the SSE "window" event and StreamStatus.LastWindow.
+type StreamWindow struct {
+	// Window is the tumbling-window index (0 = the first window after
+	// Start).
+	Window int `json:"window"`
+	// Start and End bound the window's event-time interval, RFC 3339.
+	Start string `json:"start"`
+	End   string `json:"end"`
+	// Items = Answered + Degraded + Dropped.
+	Items    int `json:"items"`
+	Answered int `json:"answered"`
+	// Degraded items settled with partial-vote verdicts inferred from
+	// the window majority (saturation).
+	Degraded int `json:"degraded,omitempty"`
+	// Dropped items got no verdict at all.
+	Dropped int `json:"dropped,omitempty"`
+	// BatchSize is the adaptive batch size the window ran with; Shed
+	// marks a window opened under saturation with halved batch and
+	// capacity.
+	BatchSize   int                `json:"batch_size"`
+	Shed        bool               `json:"shed,omitempty"`
+	Percentages map[string]float64 `json:"percentages"`
+	Confidence  float64            `json:"confidence,omitempty"`
+	Quality     float64            `json:"quality,omitempty"`
+	Cost        float64            `json:"cost"`
+	CacheHits   int                `json:"cache_hits,omitempty"`
+}
+
+// StreamStatus is the GET /v1/streams/{name} response: the standing
+// query's cumulative accounting and running fold. Job lifecycle detail
+// (attempts, park/fail reasons) lives on GET /v1/jobs/{name} — a
+// stream is a continuous job underneath.
+type StreamStatus struct {
+	Name     string   `json:"name"`
+	Keywords []string `json:"keywords"`
+	Domain   []string `json:"domain"`
+	// State is the underlying continuous job's lifecycle state.
+	State JobState `json:"state"`
+	// WindowsClosed counts durably committed windows.
+	WindowsClosed int `json:"windows_closed"`
+	// Cumulative arrival accounting: items seen, items matching the
+	// filter, accounted drops (late, overflow, no-verdict), degraded
+	// verdicts.
+	Seen     int64 `json:"seen"`
+	Matched  int64 `json:"matched"`
+	Dropped  int64 `json:"dropped,omitempty"`
+	Degraded int64 `json:"degraded,omitempty"`
+	// Spent is the cumulative attributed crowd cost across windows.
+	Spent    float64 `json:"spent"`
+	Progress float64 `json:"progress"`
+	Done     bool    `json:"done"`
+	// LastWindow is the most recently closed window.
+	LastWindow *StreamWindow `json:"last_window,omitempty"`
+	// Results is the running whole-stream fold.
+	Results *QueryState `json:"results,omitempty"`
+	Error   string      `json:"error,omitempty"`
+}
+
+// StreamList is the GET /v1/streams response envelope.
+type StreamList struct {
+	Streams []StreamStatus `json:"streams"`
+}
+
+// StreamEvent is the data payload of GET /v1/streams/{name}/events SSE
+// frames: every event carries the stream's state snapshot; "window"
+// events additionally carry the window that just closed.
+type StreamEvent struct {
+	// Window is the closed window on EventWindow events; nil on
+	// EventState replays and EventDone.
+	Window *StreamWindow `json:"window,omitempty"`
+	State  StreamStatus  `json:"state"`
+}
+
+// EventWindow is the SSE event type carrying one closed stream window.
+// Stream SSE also reuses EventState (snapshot replay on connect) and
+// EventDone (terminal state; the server closes the stream after it).
+const EventWindow = "window"
+
 // SchedulerState is the cross-query scheduler's reportable state:
 // generation batching, dedup-cache effectiveness and budget ledger.
 type SchedulerState struct {

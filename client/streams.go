@@ -1,0 +1,129 @@
+// Stream methods: the SDK side of /v1/streams. Standing (continuous)
+// queries are submitted like jobs, but their results arrive window by
+// window — WatchStream turns the server's per-window SSE events into a
+// channel a caller can range over.
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+
+	"cdas/api"
+)
+
+// streamPath escapes a stream name into its /v1/streams/{name} path.
+func streamPath(name string) string { return "/v1/streams/" + url.PathEscape(name) }
+
+// SubmitStream registers a standing query and returns its initial
+// status (no windows closed yet).
+func (c *Client) SubmitStream(ctx context.Context, sub api.StreamSubmission) (api.StreamStatus, error) {
+	var st api.StreamStatus
+	err := c.do(ctx, http.MethodPost, "/v1/streams", sub, &st)
+	return st, err
+}
+
+// Stream fetches one standing query's window accounting and live
+// results.
+func (c *Client) Stream(ctx context.Context, name string) (api.StreamStatus, error) {
+	var st api.StreamStatus
+	err := c.do(ctx, http.MethodGet, streamPath(name), nil, &st)
+	return st, err
+}
+
+// ListStreams lists every standing query's status.
+func (c *Client) ListStreams(ctx context.Context) ([]api.StreamStatus, error) {
+	var list api.StreamList
+	err := c.do(ctx, http.MethodGet, "/v1/streams", nil, &list)
+	return list.Streams, err
+}
+
+// CancelStream cancels a standing query and returns its final record.
+func (c *Client) CancelStream(ctx context.Context, name string) (api.StreamStatus, error) {
+	var st api.StreamStatus
+	err := c.do(ctx, http.MethodDelete, streamPath(name), nil, &st)
+	return st, err
+}
+
+// StreamEvent is one delivery from WatchStream's channel.
+type StreamEvent struct {
+	// ID is the stream state's revision number (the SSE event id).
+	ID int64
+	// Type is api.EventWindow when a window just closed, api.EventState
+	// for replayed or synthesized snapshots, and api.EventDone for the
+	// terminal one.
+	Type string
+	// Event carries the stream status and, on window events, the closed
+	// window's accounting.
+	Event api.StreamEvent
+	// Err, when non-nil, reports why the watch ended early (transport
+	// drop, decode failure, cancelled context). It is always the last
+	// event on the channel.
+	Err error
+}
+
+// WatchStream subscribes to a standing query's SSE stream and returns
+// a channel of its window closes. The channel closes after the
+// terminal "done" event, after a delivery with Err set, or once ctx is
+// cancelled; the caller should consume until close. The first delivery
+// is the current state (unless suppressed via WatchOptions.LastEventID),
+// so a watcher renders immediately instead of waiting for the next
+// window to close.
+func (c *Client) WatchStream(ctx context.Context, name string, opts ...WatchOptions) (<-chan StreamEvent, error) {
+	path := streamPath(name) + "/events"
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.baseURL+path, nil)
+	if err != nil {
+		return nil, fmt.Errorf("client: building watch request: %w", err)
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	req.Header.Set("Cache-Control", "no-cache")
+	for _, o := range opts {
+		if o.LastEventID > 0 {
+			req.Header.Set("Last-Event-ID", strconv.FormatInt(o.LastEventID, 10))
+		}
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("client: watch stream %s: %w", name, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		defer resp.Body.Close()
+		return nil, decodeError(resp)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/event-stream") {
+		resp.Body.Close()
+		return nil, fmt.Errorf("client: watch stream %s: unexpected Content-Type %q", name, ct)
+	}
+
+	out := make(chan StreamEvent)
+	go func() {
+		defer close(out)
+		defer resp.Body.Close()
+		err := parseSSEFrames(resp.Body, func(fr sseFrame) (bool, error) {
+			ev := StreamEvent{ID: fr.id, Type: fr.kind}
+			if ev.Type == "" {
+				ev.Type = api.EventState
+			}
+			if err := json.Unmarshal([]byte(fr.data), &ev.Event); err != nil {
+				return false, fmt.Errorf("client: decoding SSE data: %w", err)
+			}
+			select {
+			case out <- ev:
+			case <-ctx.Done():
+				return false, nil
+			}
+			return ev.Type != api.EventDone, nil
+		})
+		if err != nil && ctx.Err() == nil {
+			select {
+			case out <- StreamEvent{Err: err}:
+			case <-ctx.Done():
+			}
+		}
+	}()
+	return out, nil
+}

@@ -93,10 +93,35 @@ func (c *Client) WatchQuery(ctx context.Context, name string, opts ...WatchOptio
 	return out, nil
 }
 
-// parseSSE reads text/event-stream frames, invoking emit per complete
-// event until emit returns false, the stream ends, or a frame fails to
+// sseFrame is one raw text/event-stream event: id, event type and the
+// undecoded data payload. The typed watchers (WatchQuery, WatchStream)
+// decode data into their own DTOs.
+type sseFrame struct {
+	id   int64
+	kind string
+	data string
+}
+
+// parseSSE reads QueryState frames, invoking emit per complete event
+// until emit returns false, the stream ends, or a frame fails to
 // decode. A clean EOF (server closed after "done") returns nil.
 func parseSSE(r io.Reader, emit func(QueryEvent) bool) error {
+	return parseSSEFrames(r, func(fr sseFrame) (bool, error) {
+		ev := QueryEvent{ID: fr.id, Type: fr.kind}
+		if ev.Type == "" {
+			ev.Type = api.EventState
+		}
+		if err := json.Unmarshal([]byte(fr.data), &ev.State); err != nil {
+			return false, fmt.Errorf("client: decoding SSE data: %w", err)
+		}
+		return emit(ev), nil
+	})
+}
+
+// parseSSEFrames reads raw text/event-stream frames, invoking emit per
+// complete non-empty frame until emit returns false (or errors), the
+// stream ends, or a line fails to scan. A clean EOF returns nil.
+func parseSSEFrames(r io.Reader, emit func(sseFrame) (bool, error)) error {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
 	var id int64
@@ -105,16 +130,9 @@ func parseSSE(r io.Reader, emit func(QueryEvent) bool) error {
 		if data == "" {
 			return true, nil // comment-only or empty frame: keep-alive
 		}
-		ev := QueryEvent{ID: id, Type: kind}
-		if ev.Type == "" {
-			ev.Type = api.EventState
-		}
-		if err := json.Unmarshal([]byte(data), &ev.State); err != nil {
-			return false, fmt.Errorf("client: decoding SSE data: %w", err)
-		}
-		keep := emit(ev)
+		keep, err := emit(sseFrame{id: id, kind: kind, data: data})
 		kind, data = "", ""
-		return keep, nil
+		return keep, err
 	}
 	for sc.Scan() {
 		line := sc.Text()

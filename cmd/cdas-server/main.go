@@ -29,6 +29,11 @@
 //	GET    /v1/queries                all live query states
 //	GET    /v1/queries/{name}         one query's state
 //	GET    /v1/queries/{name}/events  SSE stream of live result revisions
+//	POST   /v1/streams                submit a standing (continuous) query
+//	GET    /v1/streams                list standing queries
+//	GET    /v1/streams/{name}         one stream's window accounting
+//	GET    /v1/streams/{name}/events  SSE stream of closed windows
+//	DELETE /v1/streams/{name}         cancel a standing query
 //	GET    /v1/scheduler              scheduler batching, cache and budget state
 //	GET    /v1/metrics                operational counters
 //	GET    /v1/healthz                liveness probe
@@ -54,9 +59,14 @@ import (
 	"cdas/internal/jobs"
 	"cdas/internal/metrics"
 	"cdas/internal/scheduler"
+	"cdas/internal/standing"
 	"cdas/internal/textgen"
 	"cdas/internal/tsa"
 )
+
+// windowDeadline bounds how long a standing query's window close waits
+// for the other live streams' window batches before force-flushing.
+const windowDeadline = 500 * time.Millisecond
 
 // budgetLines converts the service's persisted spend into scheduler
 // ledger lines (limits re-arrive with each job's enqueue).
@@ -151,11 +161,28 @@ func run(addr string, seed uint64, accuracy float64, inflight int, store, storeE
 	persisted := svc.Budget()
 	sched.Ledger().Restore(persisted.GlobalSpent, budgetLines(persisted))
 
-	runner := tsa.NewScheduledJobRunner(tsa.ScheduledRunnerConfig{
+	tsaRunner := tsa.NewScheduledJobRunner(tsa.ScheduledRunnerConfig{
 		Scheduler: sched,
 		Stream:    stream,
 		API:       api,
 	})
+	// Standing queries close windows through a generation barrier; on a
+	// live server the deadline keeps one slow stream from stalling every
+	// other stream's window close.
+	coord := standing.NewCoordinator(sched, windowDeadline)
+	standingRunner := standing.NewRunner(standing.RunnerConfig{
+		Scheduler: sched,
+		Coord:     coord,
+		Marks:     svc,
+		Counters:  counters,
+		Publish:   api.StandingPublisher(),
+	})
+	runner := func(ctx context.Context, job jobs.Job, report func(progress, cost float64)) error {
+		if job.Kind == jobs.KindContinuous {
+			return standingRunner(ctx, job, report)
+		}
+		return tsaRunner(ctx, job, report)
+	}
 	disp, err := jobs.NewDispatcher(svc, runner, dispatchers)
 	if err != nil {
 		return err

@@ -14,6 +14,7 @@
 //	cancel     cancel a pending, parked or running job
 //	unpark     resume a budget-parked job
 //	watch      stream a query's live results over SSE until it finishes
+//	streams    standing queries: streams <list|submit|get|cancel|watch>
 //	queries    list live query states
 //	aggregators  list the registered answer-aggregation methods
 //	scheduler  print the cross-query scheduler state
@@ -47,7 +48,7 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	server := global.String("server", envOr("CDAS_SERVER", "http://localhost:8080"), "CDAS server base URL")
 	global.Usage = func() {
 		fmt.Fprintln(stderr, "usage: cdasctl [-server URL] <command> [flags] [args]")
-		fmt.Fprintln(stderr, "commands: submit, get, list, cancel, unpark, watch, queries, aggregators, scheduler, metrics, health")
+		fmt.Fprintln(stderr, "commands: submit, get, list, cancel, unpark, watch, streams, queries, aggregators, scheduler, metrics, health")
 		global.PrintDefaults()
 	}
 	if err := global.Parse(argv); err != nil {
@@ -75,6 +76,8 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		err = cmdList(ctx, c, args, stdout, stderr)
 	case "watch":
 		err = cmdWatch(ctx, c, args, stdout)
+	case "streams":
+		err = cmdStreams(ctx, c, args, stdout, stderr)
 	case "queries":
 		err = printJSON(stdout)(c.Queries(ctx))
 	case "aggregators":

@@ -1,0 +1,168 @@
+// The streams command group: cdasctl streams <list|submit|get|cancel|
+// watch> drives the /v1/streams surface — standing (continuous)
+// queries whose results arrive window by window.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+
+	"cdas/api"
+	"cdas/client"
+)
+
+// cmdStreams dispatches the streams sub-subcommands.
+func cmdStreams(ctx context.Context, c *client.Client, args []string, stdout, stderr io.Writer) error {
+	if len(args) == 0 {
+		args = []string{"list"}
+	}
+	sub, rest := args[0], args[1:]
+	switch sub {
+	case "list":
+		return cmdStreamList(ctx, c, stdout)
+	case "submit":
+		return cmdStreamSubmit(ctx, c, rest, stdout, stderr)
+	case "get":
+		return oneStream(rest, func(name string) (api.StreamStatus, error) { return c.Stream(ctx, name) }, stdout)
+	case "cancel":
+		return oneStream(rest, func(name string) (api.StreamStatus, error) { return c.CancelStream(ctx, name) }, stdout)
+	case "watch":
+		if len(rest) != 1 {
+			return fmt.Errorf("expected exactly one stream name, got %d args", len(rest))
+		}
+		return watchStream(ctx, c, rest[0], stdout)
+	default:
+		return fmt.Errorf("unknown streams subcommand %q (want list, submit, get, cancel or watch)", sub)
+	}
+}
+
+// oneStream runs a single-name SDK call (get/cancel) and prints the
+// resulting record.
+func oneStream(args []string, call func(name string) (api.StreamStatus, error), stdout io.Writer) error {
+	if len(args) != 1 {
+		return fmt.Errorf("expected exactly one stream name, got %d args", len(args))
+	}
+	st, err := call(args[0])
+	if err != nil {
+		return err
+	}
+	return printJSON(stdout)(st, nil)
+}
+
+func cmdStreamList(ctx context.Context, c *client.Client, stdout io.Writer) error {
+	streams, err := c.ListStreams(ctx)
+	if err != nil {
+		return err
+	}
+	tw := newTabWriter(stdout)
+	fmt.Fprintln(tw, "NAME\tSTATE\tWINDOWS\tSEEN\tMATCHED\tDROPPED\tDEGRADED\tSPENT\tERROR")
+	for _, st := range streams {
+		fmt.Fprintf(tw, "%s\t%s\t%d\t%d\t%d\t%d\t%d\t%.3f\t%s\n",
+			st.Name, st.State, st.WindowsClosed, st.Seen, st.Matched, st.Dropped, st.Degraded, st.Spent, st.Error)
+	}
+	tw.Flush()
+	fmt.Fprintf(stdout, "%d stream(s)\n", len(streams))
+	return nil
+}
+
+func cmdStreamSubmit(ctx context.Context, c *client.Client, args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("streams submit", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		name       = fs.String("name", "", "stream name (required)")
+		keywords   = fs.String("keywords", "", "comma-separated filter keywords (required)")
+		domain     = fs.String("domain", "Positive,Neutral,Negative", "comma-separated answer domain")
+		accuracy   = fs.Float64("accuracy", 0.9, "required accuracy C in (0,1)")
+		window     = fs.String("window", "1m", "tumbling window width (Go duration)")
+		lateness   = fs.String("lateness", "", "watermark lag (Go duration; empty = window/2)")
+		targetFill = fs.String("target-fill", "", "adaptive batch fill target (Go duration; empty = window/2)")
+		capacity   = fs.Int("capacity", 0, "crowd questions per window (0 = engine slots per HIT)")
+		backlog    = fs.Int("max-backlog", 0, "buffered matched items across open windows (0 = 4x capacity)")
+		items      = fs.Int("items", 0, "built-in source size (0 = server default)")
+		rate       = fs.Float64("rate", 0, "built-in source mean arrivals per second of event time")
+		seed       = fs.Uint64("source-seed", 0, "built-in source arrival seed")
+		start      = fs.String("start", "", "stream origin (RFC 3339; empty = now)")
+		priority   = fs.Int("priority", 0, "budget-admission priority (higher first)")
+		budget     = fs.Float64("budget", 0, "crowd-spend cap (0 = unlimited)")
+		aggregator = fs.String("aggregator", "", "answer-aggregation method (empty = server default)")
+		watch      = fs.Bool("watch", false, "stream the window closes after submitting")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *name == "" || *keywords == "" {
+		return fmt.Errorf("streams submit needs -name and -keywords")
+	}
+	st, err := c.SubmitStream(ctx, api.StreamSubmission{
+		Name:             *name,
+		Keywords:         splitList(*keywords),
+		RequiredAccuracy: *accuracy,
+		Domain:           splitList(*domain),
+		Start:            *start,
+		Window:           *window,
+		Lateness:         *lateness,
+		TargetFill:       *targetFill,
+		WindowCapacity:   *capacity,
+		MaxBacklog:       *backlog,
+		Items:            *items,
+		Rate:             *rate,
+		SourceSeed:       *seed,
+		Priority:         *priority,
+		Budget:           *budget,
+		Aggregator:       *aggregator,
+	})
+	if err != nil {
+		return err
+	}
+	if err := printJSON(stdout)(st, nil); err != nil {
+		return err
+	}
+	if *watch {
+		return watchStream(ctx, c, *name, stdout)
+	}
+	return nil
+}
+
+// watchStream streams window-close SSE events, rendering one line per
+// window until the terminal event arrives.
+func watchStream(ctx context.Context, c *client.Client, name string, stdout io.Writer) error {
+	events, err := c.WatchStream(ctx, name)
+	if err != nil {
+		return err
+	}
+	for ev := range events {
+		if ev.Err != nil {
+			return ev.Err
+		}
+		st := ev.Event.State
+		if w := ev.Event.Window; w != nil {
+			shed := ""
+			if w.Shed {
+				shed = " shed"
+			}
+			fmt.Fprintf(stdout, "%s rev=%d window=%d items=%d answered=%d degraded=%d dropped=%d batch=%d cost=%.3f%s%s\n",
+				ev.Type, ev.ID, w.Window, w.Items, w.Answered, w.Degraded, w.Dropped, w.BatchSize, w.Cost, shed,
+				formatStreamPercentages(w.Percentages, st.Domain))
+		} else {
+			fmt.Fprintf(stdout, "%s rev=%d windows=%d seen=%d matched=%d dropped=%d spent=%.3f\n",
+				ev.Type, ev.ID, st.WindowsClosed, st.Seen, st.Matched, st.Dropped, st.Spent)
+		}
+		if ev.Type == api.EventDone {
+			if st.Error != "" {
+				return fmt.Errorf("stream %q finished with error: %s", name, st.Error)
+			}
+			return nil
+		}
+	}
+	return fmt.Errorf("watch %q: stream ended before the terminal event", name)
+}
+
+func formatStreamPercentages(pct map[string]float64, domain []string) string {
+	if len(pct) == 0 {
+		return ""
+	}
+	st := api.QueryState{Percentages: pct, Domain: domain}
+	return formatPercentages(st)
+}

@@ -1,0 +1,170 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"cdas/api"
+	"cdas/internal/httpapi"
+	"cdas/internal/jobs"
+	"cdas/internal/metrics"
+)
+
+// streamBackend is a real job service + API server whose runner plays
+// a scripted standing query: two window closes, then the terminal done
+// event — enough for streams watch to render the full ladder. Names
+// prefixed "held-" stall after the first window so cancel lands
+// mid-run.
+func streamBackend(t *testing.T) *httptest.Server {
+	t.Helper()
+	svc, err := jobs.OpenService(jobs.ServiceConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { svc.Close() })
+	srv := httpapi.NewServer()
+	disp, err := jobs.NewDispatcher(svc, func(ctx context.Context, job jobs.Job, report func(float64, float64)) error {
+		if job.Kind != jobs.KindContinuous {
+			report(1, 0)
+			return nil
+		}
+		status := func(windows int, done bool) api.StreamStatus {
+			return api.StreamStatus{
+				Name:          job.Name,
+				Keywords:      job.Query.Keywords,
+				Domain:        job.Query.Domain,
+				State:         api.JobRunning,
+				WindowsClosed: windows,
+				Seen:          int64(12 * windows),
+				Matched:       int64(12 * windows),
+				Spent:         0.25 * float64(windows),
+				Progress:      float64(windows) / 3,
+				Done:          done,
+			}
+		}
+		if strings.HasPrefix(job.Name, "slow-") {
+			// Leave the submitter time to attach its watcher before the
+			// first window closes, so -watch sees live window events
+			// instead of a terminal replay.
+			time.Sleep(250 * time.Millisecond)
+		}
+		for w := 0; w < 2; w++ {
+			srv.PublishStreamWindow(status(w+1, false), &api.StreamWindow{
+				Window:      w,
+				Items:       12,
+				Answered:    10,
+				Degraded:    1,
+				Dropped:     1,
+				BatchSize:   5,
+				Shed:        w == 1,
+				Percentages: map[string]float64{job.Query.Domain[0]: 1},
+				Cost:        0.25,
+			})
+			report(float64(w+1)/3, 0.25)
+			if w == 0 && strings.HasPrefix(job.Name, "held-") {
+				<-ctx.Done()
+				return ctx.Err()
+			}
+		}
+		srv.PublishStreamWindow(status(3, true), nil)
+		report(1, 0.25)
+		return nil
+	}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	disp.Start()
+	t.Cleanup(disp.Stop)
+	srv.SetJobs(disp)
+	srv.SetCounters(metrics.NewRegistry())
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// TestCtlStreams drives the streams command group end to end: submit
+// -watch renders every window close plus the terminal line, get/list
+// show the record, cancel lands on a held stream.
+func TestCtlStreams(t *testing.T) {
+	ts := streamBackend(t)
+
+	code, out, errOut := ctl(t, ts.URL, "streams", "submit",
+		"-name", "slow-thor", "-keywords", "Thor", "-domain", "pos,neu,neg",
+		"-accuracy", "0.85", "-window", "1m", "-items", "24", "-rate", "1",
+		"-source-seed", "5", "-start", "2011-10-01T00:00:00Z", "-watch")
+	if code != 0 {
+		t.Fatalf("streams submit -watch exited %d: %s", code, errOut)
+	}
+	var st api.StreamStatus
+	dec := json.NewDecoder(strings.NewReader(out))
+	if err := dec.Decode(&st); err != nil {
+		t.Fatalf("submit output not a StreamStatus: %v\n%s", err, out)
+	}
+	if st.Name != "slow-thor" {
+		t.Errorf("submitted stream = %+v", st)
+	}
+	if !strings.Contains(out, "window rev=") || !strings.Contains(out, "window=1") {
+		t.Errorf("watch output missing window lines:\n%s", out)
+	}
+	if !strings.Contains(out, " shed") {
+		t.Errorf("watch output missing the shed marker:\n%s", out)
+	}
+	if !strings.Contains(out, "done rev=") {
+		t.Errorf("watch output missing the terminal done line:\n%s", out)
+	}
+
+	// get prints the record as JSON; the bare command lists it.
+	code, out, errOut = ctl(t, ts.URL, "streams", "get", "slow-thor")
+	if code != 0 || !strings.Contains(out, `"windows_closed": 3`) {
+		t.Errorf("streams get exited %d: %s / %s", code, out, errOut)
+	}
+	code, out, _ = ctl(t, ts.URL, "streams")
+	if code != 0 || !strings.Contains(out, "NAME") || !strings.Contains(out, "slow-thor") ||
+		!strings.Contains(out, "1 stream(s)") {
+		t.Errorf("streams list output:\n%s", out)
+	}
+
+	// watch on a finished stream replays straight to done.
+	code, out, errOut = ctl(t, ts.URL, "streams", "watch", "slow-thor")
+	if code != 0 || !strings.Contains(out, "done rev=") {
+		t.Errorf("streams watch exited %d: %s / %s", code, out, errOut)
+	}
+
+	// cancel a held stream mid-run.
+	if code, _, errOut := ctl(t, ts.URL, "streams", "submit",
+		"-name", "held-loki", "-keywords", "Loki"); code != 0 {
+		t.Fatalf("submit held-loki exited %d: %s", code, errOut)
+	}
+	code, out, errOut = ctl(t, ts.URL, "streams", "cancel", "held-loki")
+	if code != 0 {
+		t.Fatalf("streams cancel exited %d: %s", code, errOut)
+	}
+	if !strings.Contains(out, `"held-loki"`) {
+		t.Errorf("cancel output: %s", out)
+	}
+}
+
+func TestCtlStreamsErrors(t *testing.T) {
+	ts := streamBackend(t)
+	for _, tc := range []struct {
+		name string
+		args []string
+	}{
+		{"unknown subcommand", []string{"streams", "frobnicate"}},
+		{"get without name", []string{"streams", "get"}},
+		{"get unknown", []string{"streams", "get", "ghost"}},
+		{"cancel unknown", []string{"streams", "cancel", "ghost"}},
+		{"watch without name", []string{"streams", "watch"}},
+		{"submit without name", []string{"streams", "submit", "-keywords", "x"}},
+		{"submit bad flag", []string{"streams", "submit", "-name", "x", "-keywords", "x", "-bogus"}},
+		{"submit bad window", []string{"streams", "submit", "-name", "x", "-keywords", "x", "-window", "nope"}},
+	} {
+		if code, _, errOut := ctl(t, ts.URL, tc.args...); code == 0 {
+			t.Errorf("%s: exited 0, want failure (stderr %q)", tc.name, errOut)
+		}
+	}
+}

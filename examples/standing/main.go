@@ -1,0 +1,213 @@
+// Example standing demonstrates the continuous-query subsystem: a
+// standing query consumes a deterministic event-time stream, closes
+// tumbling windows at the watermark, sizes its crowd batches from the
+// observed arrival rate, and degrades under saturation (shed batches,
+// partial-vote verdicts, accounted drops) instead of buffering without
+// bound. Every window close commits a durable stream mark, so the
+// example kills the service mid-stream — kill -9, morally — reopens
+// the store and shows the replay resuming behind the last committed
+// window without re-charging the crowd for windows already paid for.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"cdas/internal/crowd"
+	"cdas/internal/engine"
+	"cdas/internal/exec"
+	"cdas/internal/jobs"
+	"cdas/internal/metrics"
+	"cdas/internal/scheduler"
+	"cdas/internal/standing"
+	"cdas/internal/textgen"
+	"cdas/internal/tsa"
+)
+
+const (
+	seed     = 11
+	jobName  = "thor-standing"
+	accuracy = 0.85
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "cdas-standing-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	fmt.Printf("job store: %s\n\n", dir)
+
+	counters := metrics.NewRegistry()
+
+	// ---- First incarnation: close a few windows, then pull the plug. ----
+	svc, err := jobs.OpenService(jobs.ServiceConfig{Dir: dir, Counters: counters})
+	if err != nil {
+		log.Fatal(err)
+	}
+	disp := newIncarnation(svc, counters, 40*time.Millisecond)
+	disp.Start()
+	if _, err := disp.Submit(continuousJob()); err != nil {
+		log.Fatal(err)
+	}
+	// Wait for two durably committed windows, then cut the process down:
+	// the store stops accepting writes first, so whatever the runner was
+	// doing next never reaches disk.
+	for {
+		if mark, ok := svc.StreamMarkFor(jobName); ok && mark.Window >= 1 {
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	svc.Close()
+	disp.Stop()
+	mark, _ := svc.StreamMarkFor(jobName)
+	fmt.Printf("\ncrash after window %d: committed spend=$%.2f seen=%d matched=%d\n\n",
+		mark.Window, mark.Spent, mark.Seen, mark.Matched)
+
+	// ---- Second incarnation: replay the store and resume the stream. ----
+	svc2, err := jobs.OpenService(jobs.ServiceConfig{Dir: dir, Counters: counters})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer svc2.Close()
+	mark2, _ := svc2.StreamMarkFor(jobName)
+	fmt.Printf("replay recovered stream mark: window=%d spend=$%.2f\n", mark2.Window, mark2.Spent)
+	for _, name := range svc2.Resumed() {
+		fmt.Printf("replay resumed interrupted job %q\n", name)
+	}
+	fmt.Println()
+	disp2 := newIncarnation(svc2, counters, 0)
+	disp2.Start()
+	for {
+		st, ok := disp2.Status(jobName)
+		if ok && st.State.Terminal() {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	disp2.Stop()
+
+	final, _ := svc2.StreamMarkFor(jobName)
+	st, _ := disp2.Status(jobName)
+	fmt.Printf("\nfinal: state=%s windows=%d seen=%d matched=%d dropped=%d degraded=%d spend=$%.2f\n",
+		st.State, final.Window+1, final.Seen, final.Matched, final.Dropped, final.Degraded, final.Spent)
+	fmt.Printf("counters: windows_closed=%d items_seen=%d items_dropped=%d degraded_verdicts=%d\n",
+		counters.Get(metrics.CounterStreamWindowsClosed),
+		counters.Get(metrics.CounterStreamItemsSeen),
+		counters.Get(metrics.CounterStreamItemsDropped),
+		counters.Get(metrics.CounterStreamDegradedVerdicts))
+}
+
+// continuousJob is the demo standing query: a one-minute tumbling
+// window over a seeded stream arriving too fast for the tiny window
+// capacity, so the degrade ladder (shed, degraded verdicts, accounted
+// drops) actually engages.
+func continuousJob() jobs.Job {
+	return jobs.Job{
+		Name: jobName,
+		Kind: jobs.KindContinuous,
+		Query: jobs.Query{
+			Keywords:         []string{"Thor"},
+			RequiredAccuracy: accuracy,
+			Domain:           append([]string(nil), textgen.Labels...),
+			Start:            time.Date(2011, 10, 1, 0, 0, 0, 0, time.UTC),
+			Window:           time.Minute,
+		},
+		Stream: &jobs.StreamSpec{
+			Items:          96,
+			Rate:           0.4, // ~24 arrivals per window
+			SourceSeed:     seed,
+			WindowCapacity: 5,
+			MaxBacklog:     10,
+		},
+	}
+}
+
+// newIncarnation wires one process lifetime: scheduler, window
+// coordinator, standing runner and a single-worker dispatcher, with
+// the persisted budget ledger restored. delay paces HIT publication so
+// the first incarnation has a mid-stream moment to die in.
+func newIncarnation(svc *jobs.Service, counters *metrics.Registry, delay time.Duration) *jobs.Dispatcher {
+	platform, err := crowd.NewPlatform(crowd.DefaultConfig(seed))
+	if err != nil {
+		log.Fatal(err)
+	}
+	golden, err := textgen.Generate(textgen.Config{
+		Seed: seed + 2, Movies: []string{"The Calibration Reel"}, TweetsPerMovie: 30,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	var pf engine.Platform = engine.CrowdPlatform{Platform: platform}
+	if delay > 0 {
+		pf = slowPlatform{Platform: pf, delay: delay}
+	}
+	sched, err := scheduler.New(scheduler.Config{
+		Platform: pf,
+		Engine:   engine.Config{RequiredAccuracy: 0.9, HITSize: 20, MaxInflightHITs: 2, Seed: seed},
+		Golden:   tsa.GoldenQuestions(golden),
+		OnCharge: func(job string, amount float64) {
+			if err := svc.ChargeBudget(job, amount); err != nil {
+				log.Printf("standing: recording charge for %q: %v", job, err)
+			}
+		},
+		Counters: counters,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	persisted := svc.Budget()
+	lines := make(map[string]scheduler.JobBudget, len(persisted.Jobs))
+	for name, spent := range persisted.Jobs {
+		lines[name] = scheduler.JobBudget{Spent: spent}
+	}
+	sched.Ledger().Restore(persisted.GlobalSpent, lines)
+
+	coord := standing.NewCoordinator(sched, 0)
+	runner := standing.NewRunner(standing.RunnerConfig{
+		Scheduler: sched,
+		Coord:     coord,
+		Marks:     svc,
+		Counters:  counters,
+		Publish:   printWindow,
+	})
+	disp, err := jobs.NewDispatcher(svc, runner, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return disp
+}
+
+// printWindow renders each window close (and the terminal event) as
+// one line — the example's stand-in for the SSE stream.
+func printWindow(job jobs.Job, win *standing.WindowResult, mark jobs.StreamMark, sum exec.Summary, progress float64, done bool) {
+	if win == nil {
+		if done {
+			fmt.Printf("  stream done: progress=%.0f%% spend=$%.2f\n", progress*100, mark.Spent)
+		}
+		return
+	}
+	shed := ""
+	if win.Shed {
+		shed = " [shed]"
+	}
+	fmt.Printf("  window %d [%s – %s): items=%-2d answered=%d degraded=%d dropped=%d batch=%d cost=$%.2f%s\n",
+		win.Window,
+		win.Start.Format("15:04"), win.End.Format("15:04"),
+		win.Items, win.Answered, win.Degraded, win.Dropped, win.BatchSize, win.Cost, shed)
+}
+
+// slowPlatform delays each HIT publication, simulating a marketplace
+// where assignments take real time.
+type slowPlatform struct {
+	engine.Platform
+	delay time.Duration
+}
+
+func (p slowPlatform) Publish(hit crowd.HIT, n int) (engine.Run, error) {
+	time.Sleep(p.delay)
+	return p.Platform.Publish(hit, n)
+}

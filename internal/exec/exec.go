@@ -159,6 +159,13 @@ func Reasons(outcomes []Outcome, texts map[string]string, topK int, exclude ...s
 			m[tok]++
 		}
 	}
+	return topWords(freq, topK)
+}
+
+// topWords renders a per-answer word-frequency tally into the topK most
+// frequent words per answer (count descending, word ascending on ties) —
+// the shared presentation step of Reasons and Fold.
+func topWords(freq map[string]map[string]int, topK int) map[string][]string {
 	out := make(map[string][]string, len(freq))
 	for answer, counts := range freq {
 		type wc struct {
@@ -273,6 +280,112 @@ type Summary struct {
 	// Quality is the mean voter agreement with the accepted answers
 	// over the same items; zero when none carried one.
 	Quality float64
+}
+
+// Fold is a constant-memory Summary accumulator: outcomes are folded in
+// one at a time and their texts can be discarded immediately afterwards,
+// so a long-running stream holds O(domain x vocabulary) state instead of
+// every outcome and every matched item's text. Its Summary is
+// bit-identical to Summarise over the same outcomes in the same order
+// (per-answer float sums accumulate in observation order, exactly as
+// Summarise's loops do). Not safe for concurrent use.
+type Fold struct {
+	domain   []string
+	inDomain map[string]struct{}
+	excluded map[string]struct{}
+	percSums map[string]float64
+	freq     map[string]map[string]int
+	items    int
+	accepted int
+	confSum  float64
+	qualSum  float64
+}
+
+// NewFold creates a fold over the query's answer domain. exclude lists
+// words (e.g. the query keywords) kept out of the reason lists.
+func NewFold(domain []string, exclude ...string) *Fold {
+	f := &Fold{
+		domain:   append([]string(nil), domain...),
+		inDomain: make(map[string]struct{}, len(domain)),
+		excluded: make(map[string]struct{}),
+		percSums: make(map[string]float64, len(domain)),
+		freq:     make(map[string]map[string]int),
+	}
+	for _, r := range domain {
+		f.inDomain[r] = struct{}{}
+		f.percSums[r] = 0
+	}
+	for _, e := range exclude {
+		for _, tok := range textutil.Tokenize(e) {
+			f.excluded[tok] = struct{}{}
+		}
+	}
+	return f
+}
+
+// Observe folds one outcome in. text is the item's original text for
+// reason extraction; an empty text is treated like Summarise's "text
+// missing" case (the outcome still counts, but contributes no reasons).
+// The caller may drop the text after Observe returns — the fold retains
+// only its content-word tally.
+func (f *Fold) Observe(oc Outcome, text string) {
+	f.items++
+	if oc.Accepted == "" {
+		for r, p := range oc.Confidences {
+			if _, ok := f.inDomain[r]; ok {
+				f.percSums[r] += p
+			}
+		}
+		return
+	}
+	if _, ok := f.inDomain[oc.Accepted]; ok {
+		f.percSums[oc.Accepted]++
+	}
+	f.accepted++
+	f.confSum += oc.Confidence
+	f.qualSum += oc.Quality
+	if text == "" {
+		return
+	}
+	m := f.freq[oc.Accepted]
+	if m == nil {
+		m = make(map[string]int)
+		f.freq[oc.Accepted] = m
+	}
+	for _, tok := range textutil.ContentTokens(text) {
+		if _, skip := f.excluded[tok]; skip {
+			continue
+		}
+		m[tok]++
+	}
+}
+
+// Items reports how many outcomes have been folded in.
+func (f *Fold) Items() int { return f.items }
+
+// Summary renders the current percentages-plus-reasons presentation.
+func (f *Fold) Summary() Summary {
+	perc := make(map[string]float64, len(f.domain))
+	for _, r := range f.domain {
+		perc[r] = 0
+	}
+	if f.items > 0 {
+		n := float64(f.items)
+		for r := range perc {
+			perc[r] = f.percSums[r] / n
+		}
+	}
+	s := Summary{
+		Domain:      append([]string(nil), f.domain...),
+		Percentages: perc,
+		Reasons:     topWords(f.freq, 3),
+		Items:       f.items,
+	}
+	if f.accepted > 0 {
+		s.Confidence = f.confSum / float64(f.accepted)
+		s.Quality = f.qualSum / float64(f.accepted)
+	}
+	return s
 }
 
 // Summarise builds a Summary from outcomes. exclude lists words (e.g. the

@@ -1,0 +1,73 @@
+package exec
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"cdas/internal/randx"
+)
+
+// TestFoldMatchesSummarise drives randomized outcome sequences through
+// both the batch Summarise and the incremental Fold and requires
+// bit-identical summaries — the contract that lets stream processors
+// drop item texts after folding without changing any published result.
+func TestFoldMatchesSummarise(t *testing.T) {
+	domain := []string{"Positive", "Neutral", "Negative"}
+	exclude := []string{"iPhone4S", "thor"}
+	words := []string{"love", "hate", "great", "meh", "broken", "shiny", "thor", "iphone4s"}
+
+	rng := randx.New(77)
+	for trial := 0; trial < 50; trial++ {
+		n := rng.IntN(40)
+		outcomes := make([]Outcome, 0, n)
+		texts := make(map[string]string, n)
+		fold := NewFold(domain, exclude...)
+		for i := 0; i < n; i++ {
+			id := fmt.Sprintf("it%03d", i)
+			oc := Outcome{ItemID: id}
+			switch rng.IntN(4) {
+			case 0: // undecided: confidence mass over the domain (plus one stray)
+				oc.Confidences = map[string]float64{
+					domain[rng.IntN(len(domain))]: rng.Float64(),
+					"NotInDomain":                 rng.Float64(),
+				}
+			case 1: // accepted answer outside the domain
+				oc.Accepted = "Rogue"
+				oc.Confidence = rng.Float64()
+				oc.Quality = rng.Float64()
+			default:
+				oc.Accepted = domain[rng.IntN(len(domain))]
+				oc.Confidence = rng.Float64()
+				oc.Quality = rng.Float64()
+			}
+			text := ""
+			if oc.Accepted != "" && rng.IntN(5) > 0 {
+				text = words[rng.IntN(len(words))] + " " + words[rng.IntN(len(words))] + " so " + words[rng.IntN(len(words))]
+				texts[id] = text
+			}
+			outcomes = append(outcomes, oc)
+			fold.Observe(oc, text)
+		}
+
+		want := Summarise(domain, outcomes, texts, exclude...)
+		got := fold.Summary()
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("trial %d: fold diverged from Summarise\nwant %#v\ngot  %#v", trial, want, got)
+		}
+		if fold.Items() != len(outcomes) {
+			t.Fatalf("trial %d: fold.Items() = %d, want %d", trial, fold.Items(), len(outcomes))
+		}
+	}
+}
+
+// TestFoldEmpty pins the zero-observation rendering: all-zero
+// percentages, no reasons, no confidence — exactly Summarise's.
+func TestFoldEmpty(t *testing.T) {
+	domain := []string{"a", "b"}
+	want := Summarise(domain, nil, nil)
+	got := NewFold(domain).Summary()
+	if !reflect.DeepEqual(want, got) {
+		t.Fatalf("empty fold diverged: want %#v, got %#v", want, got)
+	}
+}

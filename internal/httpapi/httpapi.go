@@ -35,22 +35,28 @@ type QueryState = api.QueryState
 // API (POST/GET/DELETE jobs) and a counter registry with SetCounters
 // for the metrics routes.
 type Server struct {
-	mu       sync.RWMutex
-	queries  map[string]QueryState
-	revs     map[string]int64
-	subs     map[string]map[*subscriber]struct{}
-	jobsCtl  JobController
-	counters *metrics.Registry
-	sched    SchedulerReporter
-	logf     func(format string, args ...any)
+	mu         sync.RWMutex
+	queries    map[string]QueryState
+	revs       map[string]int64
+	subs       map[string]map[*subscriber]struct{}
+	streams    map[string]api.StreamStatus
+	streamRevs map[string]int64
+	streamSubs map[string]map[*streamSub]struct{}
+	jobsCtl    JobController
+	counters   *metrics.Registry
+	sched      SchedulerReporter
+	logf       func(format string, args ...any)
 }
 
 // NewServer returns an empty Server.
 func NewServer() *Server {
 	return &Server{
-		queries: make(map[string]QueryState),
-		revs:    make(map[string]int64),
-		subs:    make(map[string]map[*subscriber]struct{}),
+		queries:    make(map[string]QueryState),
+		revs:       make(map[string]int64),
+		subs:       make(map[string]map[*subscriber]struct{}),
+		streams:    make(map[string]api.StreamStatus),
+		streamRevs: make(map[string]int64),
+		streamSubs: make(map[string]map[*streamSub]struct{}),
 	}
 }
 
@@ -73,6 +79,10 @@ func (s *Server) logfn() func(format string, args ...any) {
 func (s *Server) Update(st QueryState) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.updateLocked(st)
+}
+
+func (s *Server) updateLocked(st QueryState) {
 	s.queries[st.Name] = st
 	s.revs[st.Name]++
 	ev := event{rev: s.revs[st.Name], state: st}
@@ -187,6 +197,11 @@ func (s *Server) Names() []string {
 //	GET    /v1/queries                all live query states
 //	GET    /v1/queries/{name}         one query's state
 //	GET    /v1/queries/{name}/events  SSE stream of QueryState revisions
+//	POST   /v1/streams                submit a standing (continuous) query
+//	GET    /v1/streams                list standing queries
+//	GET    /v1/streams/{name}         one stream's window accounting
+//	GET    /v1/streams/{name}/events  SSE stream of closed windows
+//	DELETE /v1/streams/{name}         cancel a standing query
 //	GET    /v1/scheduler              cross-query scheduler state
 //	GET    /v1/metrics                operational counters
 //	GET    /v1/healthz                liveness probe

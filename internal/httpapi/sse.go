@@ -13,8 +13,6 @@
 package httpapi
 
 import (
-	"encoding/json"
-	"fmt"
 	"net/http"
 	"strconv"
 	"time"
@@ -234,10 +232,5 @@ func (s *Server) v1QueryEvents(w http.ResponseWriter, r *http.Request) {
 // writeSSE frames one event. The data is compact JSON — json.Marshal
 // never emits raw newlines, so a single data: line suffices.
 func writeSSE(w http.ResponseWriter, id int64, kind string, st QueryState) error {
-	data, err := json.Marshal(st)
-	if err != nil {
-		return err
-	}
-	_, err = fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", id, kind, data)
-	return err
+	return writeSSEData(w, id, kind, st)
 }

@@ -36,6 +36,7 @@ func (s *Server) mountV1(mux *http.ServeMux) {
 	mux.HandleFunc("GET /v1/queries", s.v1Queries)
 	mux.HandleFunc("GET /v1/queries/{name}", s.v1Query)
 	mux.HandleFunc("GET /v1/queries/{name}/events", s.v1QueryEvents)
+	s.mountStreams(mux)
 	mux.HandleFunc("POST /v1/jobs", s.v1SubmitJob)
 	mux.HandleFunc("GET /v1/jobs", s.v1ListJobs)
 	mux.HandleFunc("GET /v1/jobs/{name}", s.v1GetJob)

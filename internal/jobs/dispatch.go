@@ -123,6 +123,11 @@ func (d *Dispatcher) Unpark(name string) error { return d.svc.Unpark(name) }
 // Status returns a job's lifecycle record.
 func (d *Dispatcher) Status(name string) (Status, bool) { return d.svc.Status(name) }
 
+// StreamMarkFor exposes a continuous job's committed stream position,
+// so API consumers can report a recovered stream's windows and spend
+// before (or without) any in-process window publish.
+func (d *Dispatcher) StreamMarkFor(name string) (StreamMark, bool) { return d.svc.StreamMarkFor(name) }
+
 // Statuses lists every job's lifecycle record, sorted by name. It is
 // assembled by paging StatusesPage — each service call stays O(page),
 // and the commit lock is released between pages — so callers that can

@@ -65,6 +65,43 @@ func FuzzQueryValidate(f *testing.F) {
 	})
 }
 
+// TestQueryWindowBoundaries pins the half-open [Start, Start+Window)
+// contract exhaustively around both edges: for a sweep of window sizes
+// the property "Matches iff 0 <= at-Start < Window" must hold at the
+// boundaries themselves and one step either side of them — the exact
+// offsets where an off-by-one in the comparison direction would flip
+// the verdict. Standing queries assign items to tumbling windows with
+// the same half-open arithmetic, so this is the boundary contract the
+// stream watermark relies on.
+func TestQueryWindowBoundaries(t *testing.T) {
+	start := time.Date(2011, 10, 1, 0, 0, 0, 0, time.UTC)
+	for _, window := range []time.Duration{
+		time.Nanosecond, time.Second, time.Minute, time.Hour, 24 * time.Hour,
+	} {
+		q := Query{Keywords: []string{"edge"}, Start: start, Window: window}
+		offsets := []time.Duration{
+			-window, -time.Nanosecond, 0, time.Nanosecond,
+			window / 2, window - time.Nanosecond, window, window + time.Nanosecond, 2 * window,
+		}
+		for _, off := range offsets {
+			at := start.Add(off)
+			want := off >= 0 && off < window
+			if got := q.Matches("on the edge", at); got != want {
+				t.Errorf("window %v: Matches at start%+v = %v, want %v", window, off, got, want)
+			}
+		}
+	}
+	// Degenerate windows are empty — nothing matches, not even Start.
+	for _, window := range []time.Duration{0, -time.Second} {
+		q := Query{Keywords: []string{"edge"}, Start: start, Window: window}
+		for _, off := range []time.Duration{-time.Second, 0, time.Second} {
+			if q.Matches("on the edge", start.Add(off)) {
+				t.Errorf("window %v: matched at start%+v, want empty window", window, off)
+			}
+		}
+	}
+}
+
 // FuzzQueryMatches: Matches never panics and equals "inside the
 // half-open window AND keyword filter hits", computed independently.
 func FuzzQueryMatches(f *testing.F) {

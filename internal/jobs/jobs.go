@@ -66,10 +66,71 @@ type Kind string
 
 // Supported job kinds.
 const (
-	KindTSA      Kind = "tsa"      // Twitter sentiment analytics (Section 2.2)
-	KindImageTag Kind = "imagetag" // image tagging (Section 5.2)
-	KindCustom   Kind = "custom"   // caller supplies the task split
+	KindTSA        Kind = "tsa"        // Twitter sentiment analytics (Section 2.2)
+	KindImageTag   Kind = "imagetag"   // image tagging (Section 5.2)
+	KindCustom     Kind = "custom"     // caller supplies the task split
+	KindContinuous Kind = "continuous" // standing query over an unbounded stream
 )
+
+// StreamSpec configures a KindContinuous job: a standing query whose
+// items arrive over time and are verified window by window. For a
+// continuous job the base Query is reinterpreted: Query.Start is the
+// stream origin and Query.Window the tumbling event-time window width;
+// there is no upper time bound — the query stands until its source ends
+// or it is cancelled. All fields are durable (they ride the job record
+// through the WAL/LSM store) so a restarted server rebuilds the exact
+// same stream.
+type StreamSpec struct {
+	// Lateness is the watermark lag: a window [s, e) closes once an
+	// item with event time >= e+Lateness has been seen. Items arriving
+	// behind the watermark are dropped (accounted, never buffered).
+	Lateness time.Duration `json:"lateness,omitempty"`
+	// TargetFill is the batch-fill target the adaptive batcher aims
+	// for: batch size ~= observed arrival rate x TargetFill, clamped to
+	// [1, engine real slots]. Zero picks a default of half the window.
+	TargetFill time.Duration `json:"target_fill,omitempty"`
+	// WindowCapacity caps the crowd questions asked per window — the
+	// crowd-throughput budget. Items beyond it settle with degraded
+	// partial-vote verdicts or are dropped. Zero means engine real
+	// slots per window.
+	WindowCapacity int `json:"window_capacity,omitempty"`
+	// MaxBacklog bounds buffered matched items across open windows;
+	// arrivals beyond it are dropped (accounted). Zero picks
+	// 4 x WindowCapacity.
+	MaxBacklog int `json:"max_backlog,omitempty"`
+	// Items is the number of items the built-in deterministic source
+	// emits (the demo/loadgen source). Zero lets the runner's source
+	// decide.
+	Items int `json:"items,omitempty"`
+	// Rate is the built-in source's mean event-time arrival rate in
+	// items per second (seeded exponential inter-arrival gaps).
+	Rate float64 `json:"rate,omitempty"`
+	// SourceSeed seeds the built-in source's arrival process.
+	SourceSeed uint64 `json:"source_seed,omitempty"`
+}
+
+// Validate reports whether the spec is well-formed.
+func (sp StreamSpec) Validate() error {
+	if sp.Lateness < 0 {
+		return fmt.Errorf("jobs: stream lateness must be >= 0, got %v", sp.Lateness)
+	}
+	if sp.TargetFill < 0 {
+		return fmt.Errorf("jobs: stream target fill must be >= 0, got %v", sp.TargetFill)
+	}
+	if sp.WindowCapacity < 0 {
+		return fmt.Errorf("jobs: stream window capacity must be >= 0, got %d", sp.WindowCapacity)
+	}
+	if sp.MaxBacklog < 0 {
+		return fmt.Errorf("jobs: stream max backlog must be >= 0, got %d", sp.MaxBacklog)
+	}
+	if sp.Items < 0 {
+		return fmt.Errorf("jobs: stream items must be >= 0, got %d", sp.Items)
+	}
+	if sp.Rate < 0 || math.IsNaN(sp.Rate) {
+		return fmt.Errorf("jobs: stream rate must be >= 0, got %v", sp.Rate)
+	}
+	return nil
+}
 
 // Job is a registered analytics job.
 type Job struct {
@@ -90,6 +151,9 @@ type Job struct {
 	// registry) the job's crowd questions are decided with. Empty
 	// selects the default, the CDAS probability model.
 	Aggregator string
+	// Stream configures a KindContinuous job's standing-query
+	// parameters; required for that kind, nil for every other.
+	Stream *StreamSpec `json:"Stream,omitempty"`
 }
 
 // Task is one step of a processing plan.
@@ -132,6 +196,19 @@ func planFor(job Job) (Plan, error) {
 			},
 			HumanTasks: []Task{
 				{Name: "select-tags", Description: "choose the correct tag for each image", Human: true},
+			},
+		}, nil
+	case KindContinuous:
+		return Plan{
+			Job: job,
+			ComputerTasks: []Task{
+				{Name: "ingest-stream", Description: "pull items from the source and filter them against the query keywords"},
+				{Name: "window", Description: "assign items to tumbling event-time windows and close windows on the watermark"},
+				{Name: "batch-adaptively", Description: "size engine batches from the observed arrival rate, shedding under saturation"},
+				{Name: "summarise-windows", Description: "fold each window's verdicts into per-window and running results"},
+			},
+			HumanTasks: []Task{
+				{Name: "classify-items", Description: "categorise each windowed item over the answer domain", Human: true},
 			},
 		}, nil
 	case KindCustom:
@@ -203,6 +280,16 @@ func (m *Manager) Register(job Job) (Plan, error) {
 	}
 	if err := job.Query.Validate(); err != nil {
 		return Plan{}, err
+	}
+	if job.Kind == KindContinuous {
+		if job.Stream == nil {
+			return Plan{}, errors.New("jobs: continuous job needs a stream spec")
+		}
+		if err := job.Stream.Validate(); err != nil {
+			return Plan{}, err
+		}
+	} else if job.Stream != nil {
+		return Plan{}, fmt.Errorf("jobs: stream spec is only valid for %q jobs, got kind %q", KindContinuous, job.Kind)
 	}
 	plan, err := planFor(job)
 	if err != nil {

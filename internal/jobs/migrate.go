@@ -77,19 +77,19 @@ func MigrateStore(dir string, logf func(format string, args ...any)) (MigrateRes
 	}
 	defer log.Close()
 
-	src, budget, err := loadWALState(log)
+	src, budget, streams, err := loadWALState(log)
 	if err != nil {
 		return res, err
 	}
 	statuses := src.Statuses()
 	logf("replayed WAL store: %d jobs", len(statuses))
 
-	if err := writeLSMStore(dir, statuses, budget); err != nil {
+	if err := writeLSMStore(dir, statuses, budget, streams); err != nil {
 		return res, err
 	}
 	logf("wrote LSM store: %d jobs in batches of %d", len(statuses), migrateBatchJobs)
 
-	if err := verifyLSMStore(dir, statuses, budget); err != nil {
+	if err := verifyLSMStore(dir, statuses, budget, streams); err != nil {
 		return res, err
 	}
 	logf("verification passed: LSM view matches WAL replay")
@@ -107,13 +107,14 @@ func MigrateStore(dir string, logf func(format string, args ...any)) (MigrateRes
 // loadWALState replays the WAL store into a Manager — the exact load
 // OpenService performs, minus the requeue-on-boot step: migration must
 // copy records verbatim, not reinterpret them.
-func loadWALState(log *jobstore.Log) (*Manager, BudgetState, error) {
+func loadWALState(log *jobstore.Log) (*Manager, BudgetState, map[string]StreamMark, error) {
 	m := NewManager()
 	var budget BudgetState
+	streams := map[string]StreamMark{}
 	if snap, _ := log.Snapshot(); snap != nil {
 		var ws walSnapshot
 		if err := json.Unmarshal(snap, &ws); err != nil {
-			return nil, budget, fmt.Errorf("jobs: decoding snapshot: %w", err)
+			return nil, budget, nil, fmt.Errorf("jobs: decoding snapshot: %w", err)
 		}
 		for _, st := range ws.Jobs {
 			m.restore(fromWal(st))
@@ -121,21 +122,30 @@ func loadWALState(log *jobstore.Log) (*Manager, BudgetState, error) {
 		if ws.Budget != nil {
 			budget = ws.Budget.clone()
 		}
+		for _, sr := range ws.Streams {
+			streams[sr.Job] = sr.Mark
+		}
 	}
 	for i, rec := range log.Entries() {
 		var ev walEvent
 		if err := json.Unmarshal(rec, &ev); err != nil {
-			return nil, budget, fmt.Errorf("jobs: decoding WAL record %d: %w", i, err)
+			return nil, budget, nil, fmt.Errorf("jobs: decoding WAL record %d: %w", i, err)
 		}
-		if ev.Op == "budget" {
+		switch ev.Op {
+		case "budget":
 			if ev.Budget != nil {
 				budget = ev.Budget.clone()
+			}
+			continue
+		case "stream":
+			if ev.Stream != nil {
+				streams[ev.Stream.Job] = ev.Stream.Mark
 			}
 			continue
 		}
 		m.restore(fromWal(ev.Status))
 	}
-	return m, budget, nil
+	return m, budget, streams, nil
 }
 
 // writeLSMStore creates the LSM store and commits every job's primary
@@ -143,7 +153,7 @@ func loadWALState(log *jobstore.Log) (*Manager, BudgetState, error) {
 // job's records inside one atomic batch, many jobs per batch to bound
 // fsyncs — then checkpoints so the result boots from a sorted run
 // instead of a WAL tail.
-func writeLSMStore(dir string, statuses []Status, budget BudgetState) error {
+func writeLSMStore(dir string, statuses []Status, budget BudgetState, streams map[string]StreamMark) error {
 	lsm, err := jobstore.OpenLSM(jobstore.LSMConfig{Dir: dir})
 	if err != nil {
 		return err
@@ -189,6 +199,18 @@ func writeLSMStore(dir string, statuses []Status, budget BudgetState) error {
 		}
 		batch = append(batch, jobstore.Op{Key: lsmBudgetKey, Value: payload})
 	}
+	streamNames := make([]string, 0, len(streams))
+	for name := range streams {
+		streamNames = append(streamNames, name)
+	}
+	sort.Strings(streamNames)
+	for _, name := range streamNames {
+		payload, err := json.Marshal(streamRecord{Job: name, Mark: streams[name]})
+		if err != nil {
+			return fmt.Errorf("jobs: encoding stream mark %q: %w", name, err)
+		}
+		batch = append(batch, jobstore.Op{Key: lsmStreamKey(name), Value: payload})
+	}
 	if err := flush(); err != nil {
 		return err
 	}
@@ -202,7 +224,7 @@ func writeLSMStore(dir string, statuses []Status, budget BudgetState) error {
 // Statuses() view and budget ledger are deep-equal to the WAL replay's,
 // and that every record's index entries are present — the gate the old
 // store is retired behind.
-func verifyLSMStore(dir string, want []Status, wantBudget BudgetState) error {
+func verifyLSMStore(dir string, want []Status, wantBudget BudgetState, wantStreams map[string]StreamMark) error {
 	lsm, err := jobstore.OpenLSM(jobstore.LSMConfig{Dir: dir})
 	if err != nil {
 		return fmt.Errorf("jobs: verification reopen: %w", err)
@@ -239,6 +261,25 @@ func verifyLSMStore(dir string, want []Status, wantBudget BudgetState) error {
 	}
 	if !reflect.DeepEqual(gotBudget, wantBudget) {
 		return fmt.Errorf("jobs: verification failed: budget %+v differs from WAL replay's %+v", gotBudget, wantBudget)
+	}
+	gotStreams := map[string]StreamMark{}
+	err = lsm.Scan(lsmStreamPrefix, prefixEnd(lsmStreamPrefix), func(key string, val []byte) bool {
+		var sr streamRecord
+		if decodeErr = json.Unmarshal(val, &sr); decodeErr != nil {
+			decodeErr = fmt.Errorf("jobs: verification: decoding stream mark %q: %w", key, decodeErr)
+			return false
+		}
+		gotStreams[sr.Job] = sr.Mark
+		return true
+	})
+	if err == nil {
+		err = decodeErr
+	}
+	if err != nil {
+		return err
+	}
+	if !reflect.DeepEqual(gotStreams, wantStreams) {
+		return fmt.Errorf("jobs: verification failed: stream marks %+v differ from WAL replay's %+v", gotStreams, wantStreams)
 	}
 	// Spot-check the secondary indexes: exactly one state entry per
 	// job, pointing at the record's current state and seq.

@@ -8,7 +8,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"strings"
+	"sort"
 	"sync"
 
 	"cdas/internal/jobstore"
@@ -76,6 +76,7 @@ type Service struct {
 	wake    chan struct{}
 	resumed []string
 	budget  BudgetState
+	streams map[string]StreamMark
 }
 
 // LSM keyspace. The primary record lives under "j/<name>"; secondary
@@ -95,9 +96,15 @@ const (
 	lsmStatePrefix   = "xs/"
 	lsmPrioPrefix    = "xp/"
 	lsmTenantPrefix  = "xt/"
+	// lsmStreamPrefix holds continuous jobs' stream marks: sm/<name> →
+	// streamRecord JSON (the window high-water mark plus cumulative
+	// stream accounting, committed at each window close).
+	lsmStreamPrefix = "sm/"
 )
 
 func lsmPrimaryKey(name string) string { return lsmPrimaryPrefix + name }
+
+func lsmStreamKey(name string) string { return lsmStreamPrefix + name }
 
 func lsmStateKey(state State, seq uint64, name string) string {
 	return fmt.Sprintf("%s%s/%016x/%s", lsmStatePrefix, state, seq, name)
@@ -140,6 +147,30 @@ func (b BudgetState) clone() BudgetState {
 	return out
 }
 
+// StreamMark is a continuous job's durable stream position: the highest
+// event-time window already closed plus the cumulative accounting up to
+// and including it. It is committed like any other transition (same
+// WAL/LSM path, fsync on commit), so a kill -9 resumes the stream at
+// the next window without re-charging the closed ones.
+type StreamMark struct {
+	// Window is the highest closed window index; -1 before any close.
+	Window int `json:"window"`
+	// Spent is the crowd spend across closed windows.
+	Spent float64 `json:"spent"`
+	// Seen / Matched / Dropped / Degraded are cumulative item counts
+	// over the closed windows (degrade-ladder accounting included).
+	Seen     int64 `json:"seen"`
+	Matched  int64 `json:"matched"`
+	Dropped  int64 `json:"dropped"`
+	Degraded int64 `json:"degraded"`
+}
+
+// streamRecord pairs a job name with its mark for WAL/snapshot framing.
+type streamRecord struct {
+	Job  string     `json:"job"`
+	Mark StreamMark `json:"mark"`
+}
+
 // walStatus is a job lifecycle record as written to the WAL and
 // snapshot. It mirrors Status plus the FIFO sequence.
 type walStatus struct {
@@ -158,16 +189,18 @@ type walStatus struct {
 // storage layer's at-least-once crash windows. Budget events ("budget")
 // carry the full ledger for the same reason: replay keeps the last one.
 type walEvent struct {
-	Op     string       `json:"op"` // "submit", "update" or "budget"
-	Status walStatus    `json:"status,omitempty"`
-	Budget *BudgetState `json:"budget,omitempty"`
+	Op     string        `json:"op"` // "submit", "update", "budget" or "stream"
+	Status walStatus     `json:"status,omitempty"`
+	Budget *BudgetState  `json:"budget,omitempty"`
+	Stream *streamRecord `json:"stream,omitempty"`
 }
 
 // walSnapshot is the snapshot payload: every job's current record plus
-// the budget ledger.
+// the budget ledger and the continuous jobs' stream marks.
 type walSnapshot struct {
-	Jobs   []walStatus  `json:"jobs"`
-	Budget *BudgetState `json:"budget,omitempty"`
+	Jobs    []walStatus    `json:"jobs"`
+	Budget  *BudgetState   `json:"budget,omitempty"`
+	Streams []streamRecord `json:"streams,omitempty"`
 }
 
 func toWal(st Status) walStatus {
@@ -251,6 +284,9 @@ func OpenService(cfg ServiceConfig) (*Service, error) {
 		if ws.Budget != nil {
 			s.budget = ws.Budget.clone()
 		}
+		for _, sr := range ws.Streams {
+			s.setStreamMark(sr.Job, sr.Mark)
+		}
 	}
 	for i, rec := range log.Entries() {
 		var ev walEvent
@@ -258,9 +294,16 @@ func OpenService(cfg ServiceConfig) (*Service, error) {
 			log.Close()
 			return nil, fmt.Errorf("jobs: decoding WAL record %d: %w", i, err)
 		}
-		if ev.Op == "budget" {
+		switch ev.Op {
+		case "budget":
 			if ev.Budget != nil {
 				s.budget = ev.Budget.clone()
+			}
+			continue
+		case "stream":
+			// Marks replay last-one-wins, exactly like the ledger.
+			if ev.Stream != nil {
+				s.setStreamMark(ev.Stream.Job, ev.Stream.Mark)
 			}
 			continue
 		}
@@ -320,6 +363,21 @@ func openLSMService(s *Service) (*Service, error) {
 		}
 	}
 	var decodeErr error
+	err = lsm.Scan(lsmStreamPrefix, prefixEnd(lsmStreamPrefix), func(key string, val []byte) bool {
+		var sr streamRecord
+		if decodeErr = json.Unmarshal(val, &sr); decodeErr != nil {
+			decodeErr = fmt.Errorf("jobs: decoding stream mark %q: %w", key, decodeErr)
+			return false
+		}
+		s.setStreamMark(sr.Job, sr.Mark)
+		return true
+	})
+	if err == nil {
+		err = decodeErr
+	}
+	if err != nil {
+		return fail(err)
+	}
 	err = lsm.Scan(lsmPrimaryPrefix, prefixEnd(lsmPrimaryPrefix), func(key string, val []byte) bool {
 		var ws walStatus
 		if decodeErr = json.Unmarshal(val, &ws); decodeErr != nil {
@@ -339,8 +397,14 @@ func openLSMService(s *Service) (*Service, error) {
 	// crash or shutdown interrupted mid-flight.
 	runningPrefix := lsmStatePrefix + string(StateRunning) + "/"
 	var running []string
+	// The name starts after the fixed-width 16-hex seq and its slash;
+	// splitting on the last '/' instead would truncate names that
+	// themselves contain one.
+	nameAt := len(runningPrefix) + 17
 	err = lsm.Scan(runningPrefix, prefixEnd(runningPrefix), func(key string, _ []byte) bool {
-		running = append(running, key[strings.LastIndexByte(key, '/')+1:])
+		if len(key) > nameAt {
+			running = append(running, key[nameAt:])
+		}
 		return true
 	})
 	if err != nil {
@@ -441,6 +505,12 @@ func (s *Service) lsmCommit(ev walEvent, prevState State) error {
 			return fmt.Errorf("jobs: encoding budget: %w", err)
 		}
 		batch = append(batch, jobstore.Op{Key: lsmBudgetKey, Value: payload})
+	} else if ev.Op == "stream" {
+		payload, err := json.Marshal(ev.Stream)
+		if err != nil {
+			return fmt.Errorf("jobs: encoding stream mark: %w", err)
+		}
+		batch = append(batch, jobstore.Op{Key: lsmStreamKey(ev.Stream.Job), Value: payload})
 	} else {
 		ws := ev.Status
 		payload, err := json.Marshal(ws)
@@ -522,6 +592,16 @@ func (s *Service) compact() error {
 	if s.budget.GlobalSpent > 0 || len(s.budget.Jobs) > 0 {
 		b := s.budget.clone()
 		snap.Budget = &b
+	}
+	if len(s.streams) > 0 {
+		names := make([]string, 0, len(s.streams))
+		for name := range s.streams {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			snap.Streams = append(snap.Streams, streamRecord{Job: name, Mark: s.streams[name]})
+		}
 	}
 	payload, err := json.Marshal(snap)
 	if err != nil {
@@ -708,6 +788,50 @@ func (s *Service) Budget() BudgetState {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.budget.clone()
+}
+
+// setStreamMark records a mark in memory. Callers hold s.mu (or are in
+// single-threaded boot).
+func (s *Service) setStreamMark(name string, mark StreamMark) {
+	if s.streams == nil {
+		s.streams = make(map[string]StreamMark)
+	}
+	s.streams[name] = mark
+}
+
+// CommitStreamMark durably advances a continuous job's stream position:
+// the mark is fsynced through the same WAL/LSM path as lifecycle
+// transitions before it is acknowledged, so a crash after a window
+// close replays the close — the restarted runner skips every window at
+// or below mark.Window and never re-charges it. Marks must advance;
+// committing a mark whose window regresses below the recorded one is
+// rejected (a runner bug, not a storage race).
+func (s *Service) CommitStreamMark(name string, mark StreamMark) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	prev, had := s.streams[name]
+	if had && mark.Window < prev.Window {
+		return fmt.Errorf("jobs: stream mark for %q regresses window %d below committed %d", name, mark.Window, prev.Window)
+	}
+	s.setStreamMark(name, mark)
+	if err := s.appendEvent(walEvent{Op: "stream", Stream: &streamRecord{Job: name, Mark: mark}}, "", true); err != nil {
+		if had {
+			s.streams[name] = prev
+		} else {
+			delete(s.streams, name)
+		}
+		return err
+	}
+	return nil
+}
+
+// StreamMarkFor returns a continuous job's committed stream position.
+// ok is false when no window has ever been committed for the job.
+func (s *Service) StreamMarkFor(name string) (StreamMark, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	mark, ok := s.streams[name]
+	return mark, ok
 }
 
 // VoidClaim commits the reversal of a claim whose runner never started

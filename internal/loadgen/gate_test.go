@@ -1,6 +1,7 @@
 package loadgen
 
 import (
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -382,5 +383,58 @@ func TestCompareE2EMatrix(t *testing.T) {
 	fresh.Matrix.Seed = 2
 	if v := CompareE2E(base, fresh, 0.30); len(v) != 0 {
 		t.Fatalf("different-seed matrix should skip the matrix gate: %v", v)
+	}
+}
+
+// TestBenchBaselineRoundTrip pins the baseline file format: WriteJSON
+// then LoadBenchBaseline is the identity, and load rejects missing
+// files, junk, foreign schemas and empty benchmark sets.
+func TestBenchBaselineRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	base := BenchBaseline{
+		Schema: BenchSchema,
+		GOOS:   "linux", GOARCH: "amd64",
+		Benchtime:  "3x",
+		Benchmarks: map[string]BenchResult{"BenchmarkStanding": {NsPerOp: 916418}},
+	}
+	path := filepath.Join(dir, "BENCH_x.json")
+	if err := base.WriteJSON(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadBenchBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Benchmarks["BenchmarkStanding"].NsPerOp != base.Benchmarks["BenchmarkStanding"].NsPerOp {
+		t.Fatalf("round-trip = %+v, want %+v", got, base)
+	}
+
+	if _, err := LoadBenchBaseline(filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("missing file accepted")
+	}
+	junk := filepath.Join(dir, "junk.json")
+	if err := os.WriteFile(junk, []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadBenchBaseline(junk); err == nil || !strings.Contains(err.Error(), "parsing") {
+		t.Errorf("junk file err = %v", err)
+	}
+	wrong := base
+	wrong.Schema = "other/v9"
+	wrongPath := filepath.Join(dir, "wrong.json")
+	if err := wrong.WriteJSON(wrongPath); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadBenchBaseline(wrongPath); err == nil || !strings.Contains(err.Error(), "schema") {
+		t.Errorf("foreign schema err = %v", err)
+	}
+	empty := base
+	empty.Benchmarks = nil
+	emptyPath := filepath.Join(dir, "empty.json")
+	if err := empty.WriteJSON(emptyPath); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadBenchBaseline(emptyPath); err == nil || !strings.Contains(err.Error(), "no benchmarks") {
+		t.Errorf("empty benchmarks err = %v", err)
 	}
 }

@@ -24,6 +24,7 @@ import (
 	"cdas/internal/jobs"
 	"cdas/internal/metrics"
 	"cdas/internal/scheduler"
+	"cdas/internal/standing"
 	"cdas/internal/tsa"
 )
 
@@ -146,7 +147,11 @@ rounds:
 			}
 			name := w.JobName(t, round)
 			t0 := time.Now()
-			_, err := c.SubmitJob(ctx, w.Submission(t, round))
+			if p.Stream {
+				_, err = c.SubmitStream(ctx, w.StreamSubmission(t))
+			} else {
+				_, err = c.SubmitJob(ctx, w.Submission(t, round))
+			}
 			if err != nil {
 				if ctx.Err() != nil {
 					runErr = ctx.Err()
@@ -164,7 +169,11 @@ rounds:
 				go func() {
 					defer watchers.Done()
 					defer rec.openWatchers.Add(-1)
-					watchJob(watchCtx, c, name, t0, rec)
+					if p.Stream {
+						watchStream(watchCtx, c, name, t0, rec)
+					} else {
+						watchJob(watchCtx, c, name, t0, rec)
+					}
 				}()
 			}
 		}
@@ -272,6 +281,30 @@ func watchJob(ctx context.Context, c *client.Client, name string, t0 time.Time, 
 		if ev.Err != nil {
 			if ctx.Err() == nil {
 				rec.addError(fmt.Sprintf("watch %s: %v", name, ev.Err))
+			}
+			return
+		}
+		rec.sseEvents.Add(1)
+		if ev.Type == api.EventDone {
+			rec.recordWatcherDone(name, time.Since(t0))
+		}
+	}
+}
+
+// watchStream consumes one standing query's per-window SSE stream end
+// to end, recording event counts and the done-event latency.
+func watchStream(ctx context.Context, c *client.Client, name string, t0 time.Time, rec *recorder) {
+	events, err := c.WatchStream(ctx, name)
+	if err != nil {
+		if ctx.Err() == nil {
+			rec.addError(fmt.Sprintf("watch stream %s: %v", name, err))
+		}
+		return
+	}
+	for ev := range events {
+		if ev.Err != nil {
+			if ctx.Err() == nil {
+				rec.addError(fmt.Sprintf("watch stream %s: %v", name, ev.Err))
 			}
 			return
 		}
@@ -453,7 +486,29 @@ func assembleReport(ctx context.Context, c *client.Client, rep *Report, w *Workl
 		spendJobs += st.Cost
 	}
 
-	rep.QuestionsSubmitted = len(submitStart) * p.QuestionsPerTenant
+	// Stream runs hash the windowed results instead of the batch job
+	// records, and count stream items in place of submitted questions.
+	var streams []api.StreamStatus
+	if p.Stream {
+		names := make([]string, 0, len(expected))
+		for name := range expected {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		var seen int64
+		for _, name := range names {
+			st, err := c.Stream(ctx, name)
+			if err != nil {
+				rep.Errors = append(rep.Errors, fmt.Sprintf("stream sweep %s: %v", name, err))
+				continue
+			}
+			streams = append(streams, st)
+			seen += st.Seen
+		}
+		rep.QuestionsSubmitted = int(seen)
+	} else {
+		rep.QuestionsSubmitted = len(submitStart) * p.QuestionsPerTenant
+	}
 	if rep.WallSeconds > 0 {
 		rep.QuestionsPerSec = float64(rep.QuestionsSubmitted) / rep.WallSeconds
 	}
@@ -493,7 +548,11 @@ func assembleReport(ctx context.Context, c *client.Client, rep *Report, w *Workl
 			}
 		}
 	}
-	rep.ResultsHash = hashResults(sorted)
+	if p.Stream {
+		rep.ResultsHash = hashStreamResults(streams)
+	} else {
+		rep.ResultsHash = hashResults(sorted)
+	}
 }
 
 // sortJobs orders statuses by name.
@@ -552,11 +611,39 @@ func startInproc(p Profile, w *Workload, dispatchers int) (*inprocServer, error)
 		svc.Close()
 		return nil, err
 	}
-	runner := tsa.NewScheduledJobRunner(tsa.ScheduledRunnerConfig{
+	tsaRunner := tsa.NewScheduledJobRunner(tsa.ScheduledRunnerConfig{
 		Scheduler: sched,
 		Stream:    w.Stream,
 		API:       web,
 	})
+	runner := tsaRunner
+	if p.Stream {
+		// Standing queries close windows through the generation barrier.
+		// Closed-loop mode uses the full barrier (deadline 0) and expects
+		// every tenant's stream, so window-k batches of all streams share
+		// one scheduler generation regardless of dispatcher scheduling.
+		deadline := 200 * time.Millisecond
+		if p.Deterministic() {
+			deadline = 0
+		}
+		coord := standing.NewCoordinator(sched, deadline)
+		if p.Deterministic() {
+			coord.Expect(p.Tenants)
+		}
+		standingRunner := standing.NewRunner(standing.RunnerConfig{
+			Scheduler: sched,
+			Coord:     coord,
+			Marks:     svc,
+			Counters:  counters,
+			Publish:   web.StandingPublisher(),
+		})
+		runner = func(ctx context.Context, job jobs.Job, report func(progress, cost float64)) error {
+			if job.Kind == jobs.KindContinuous {
+				return standingRunner(ctx, job, report)
+			}
+			return tsaRunner(ctx, job, report)
+		}
+	}
 	disp, err := jobs.NewDispatcher(svc, runner, dispatchers)
 	if err != nil {
 		sched.Close()
@@ -577,8 +664,10 @@ func startInproc(p Profile, w *Workload, dispatchers int) (*inprocServer, error)
 	hs := httpapi.NewHTTPServer(ln.Addr().String(), web.Handler())
 	go func() { _ = hs.Serve(ln) }()
 	return &inprocServer{
-		base:    "http://" + ln.Addr().String(),
-		barrier: p.Deterministic(),
+		base: "http://" + ln.Addr().String(),
+		// Stream runs leave flushing to the window coordinator — a
+		// harness-driven flush would split a window generation.
+		barrier: p.Deterministic() && !p.Stream,
 		sched:   sched,
 		disp:    disp,
 		svc:     svc,

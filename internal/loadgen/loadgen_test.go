@@ -119,6 +119,57 @@ func TestRunReproducibleAcrossDispatchers(t *testing.T) {
 	}
 }
 
+// TestStreamRunReproducibleAcrossDispatchers is the standing-query
+// analogue of the core guarantee: a fixed-seed closed-loop stream run
+// produces identical windowed results (the stream hash) no matter the
+// -dispatchers setting, because the window coordinator barriers every
+// stream's window-k close into one scheduler generation.
+func TestStreamRunReproducibleAcrossDispatchers(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	var reports []*Report
+	for _, d := range []int{1, 8} {
+		p, ok := Named("stream")
+		if !ok {
+			t.Fatal("stream profile missing")
+		}
+		p.Dispatchers = d
+		rep, err := Run(ctx, Config{Profile: p})
+		if err != nil {
+			t.Fatalf("stream run with %d dispatchers: %v", d, err)
+		}
+		if rep.Partial {
+			t.Fatalf("stream run with %d dispatchers reported partial", d)
+		}
+		if rep.Jobs.Done != rep.Jobs.Total {
+			t.Fatalf("stream run with %d dispatchers: %d/%d jobs done (%+v; errors %v)",
+				d, rep.Jobs.Done, rep.Jobs.Total, rep.Jobs, rep.Errors)
+		}
+		if !rep.Deterministic {
+			t.Fatalf("closed-loop in-process stream run must report deterministic")
+		}
+		if rep.QuestionsSubmitted <= 0 || rep.SpendJobs <= 0 {
+			t.Fatalf("degenerate stream accounting: submitted=%d spend=%v errors=%v",
+				rep.QuestionsSubmitted, rep.SpendJobs, rep.Errors)
+		}
+		reports = append(reports, rep)
+	}
+	a, b := reports[0], reports[1]
+	if a.ResultsHash != b.ResultsHash {
+		t.Errorf("stream results hash diverged: %s vs %s", a.ResultsHash, b.ResultsHash)
+	}
+	if a.SpendLedger != b.SpendLedger || a.SpendJobs != b.SpendJobs {
+		t.Errorf("stream spend diverged across dispatcher settings: %v/%v vs %v/%v",
+			a.SpendLedger, a.SpendJobs, b.SpendLedger, b.SpendJobs)
+	}
+	if a.QuestionsSubmitted != b.QuestionsSubmitted {
+		t.Errorf("stream item counts diverged: %d vs %d", a.QuestionsSubmitted, b.QuestionsSubmitted)
+	}
+	if a.Watchers == 0 || a.SSEEvents == 0 {
+		t.Errorf("expected stream SSE watcher traffic: watchers=%d events=%d", a.Watchers, a.SSEEvents)
+	}
+}
+
 // TestRunBudgetParking drives the budget profile and expects the
 // admission control to park at least one tenant.
 func TestRunBudgetParking(t *testing.T) {

@@ -91,6 +91,25 @@ type Profile struct {
 	// Aggregator names the answer-aggregation method every submitted
 	// job runs with (empty = the server default, "cdas").
 	Aggregator string `json:"aggregator,omitempty"`
+	// Stream switches the workload to standing queries: each tenant
+	// submits one continuous query over the server's built-in
+	// deterministic source (open-loop seeded exponential event-time
+	// arrivals) instead of a batch TSA job. In closed-loop mode the
+	// window coordinator synchronises every stream's window closes into
+	// shared scheduler generations, so the windowed results hash is
+	// bit-reproducible across repeats and -dispatchers settings.
+	Stream bool `json:"stream,omitempty"`
+	// StreamItems is each stream's source length (0 = 48).
+	StreamItems int `json:"stream_items,omitempty"`
+	// StreamRate is the source's mean event-time arrival rate in items
+	// per second (0 = 0.5).
+	StreamRate float64 `json:"stream_rate,omitempty"`
+	// StreamWindow is the tumbling window width (0 = 1 minute of event
+	// time).
+	StreamWindow time.Duration `json:"stream_window,omitempty"`
+	// StreamCapacity caps crowd questions per window (0 = 5), small
+	// enough that the degrade ladder engages under the default rate.
+	StreamCapacity int `json:"stream_capacity,omitempty"`
 }
 
 // Validate normalises and checks the profile, returning the effective
@@ -153,6 +172,32 @@ func (p Profile) Validate() (Profile, error) {
 	if err := aggregate.Validate(p.Aggregator); err != nil {
 		return p, fmt.Errorf("loadgen: %w", err)
 	}
+	if p.Stream {
+		if p.StreamItems == 0 {
+			p.StreamItems = 48
+		}
+		if p.StreamItems < 1 {
+			return p, fmt.Errorf("loadgen: stream items must be >= 1, got %d", p.StreamItems)
+		}
+		if p.StreamRate == 0 {
+			p.StreamRate = 0.5
+		}
+		if p.StreamRate < 0 {
+			return p, fmt.Errorf("loadgen: stream rate must be >= 0, got %v", p.StreamRate)
+		}
+		if p.StreamWindow == 0 {
+			p.StreamWindow = time.Minute
+		}
+		if p.StreamWindow < 0 {
+			return p, fmt.Errorf("loadgen: stream window must be > 0, got %v", p.StreamWindow)
+		}
+		if p.StreamCapacity == 0 {
+			p.StreamCapacity = 5
+		}
+		// Stream marks are per job name and the cache rounds of the batch
+		// workload have no standing-query analogue.
+		p.Rounds = 1
+	}
 	return p, nil
 }
 
@@ -213,6 +258,29 @@ func Named(name string) (Profile, bool) {
 			HITSize:            20,
 			Inflight:           4,
 		}, true
+	case "stream":
+		// Standing queries: 4 continuous queries over 2 domain groups,
+		// arrivals fast enough for the tiny window capacity that the
+		// degrade ladder (shed, degraded verdicts, accounted drops)
+		// engages. Closed-loop, so the windowed results hash gates.
+		return Profile{
+			Name:               "stream",
+			Seed:               1,
+			Tenants:            4,
+			QuestionsPerTenant: 8,
+			Domains:            2,
+			Rounds:             1,
+			WatcherFraction:    0.5,
+			Dispatchers:        4,
+			RequiredAccuracy:   0.85,
+			HITSize:            20,
+			Inflight:           2,
+			Stream:             true,
+			StreamItems:        48,
+			StreamRate:         0.5,
+			StreamWindow:       time.Minute,
+			StreamCapacity:     5,
+		}, true
 	case "budget":
 		// Scarce budgets with priority tiers: exercises parking.
 		return Profile{
@@ -237,4 +305,4 @@ func Named(name string) (Profile, bool) {
 }
 
 // ProfileNames lists the predefined profiles.
-func ProfileNames() []string { return []string{"smoke", "contention", "dedup", "budget"} }
+func ProfileNames() []string { return []string{"smoke", "contention", "dedup", "budget", "stream"} }

@@ -189,6 +189,43 @@ func hashResults(sts []api.JobStatus) string {
 	return fmt.Sprintf("%016x", h.Sum64())
 }
 
+// hashStreamResults folds the final standing-query records into the
+// determinism fingerprint: per-stream window counts, arrival
+// accounting (seen/matched/dropped/degraded), spend and the running
+// fold's percentages, visited in name order at full float precision.
+func hashStreamResults(sts []api.StreamStatus) string {
+	sorted := append([]api.StreamStatus(nil), sts...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Name < sorted[j].Name })
+	h := fnv.New64a()
+	write := func(parts ...string) {
+		for _, p := range parts {
+			h.Write([]byte(p))
+			h.Write([]byte{0})
+		}
+	}
+	for _, st := range sorted {
+		write(st.Name, string(st.State),
+			strconv.Itoa(st.WindowsClosed),
+			strconv.FormatInt(st.Seen, 10),
+			strconv.FormatInt(st.Matched, 10),
+			strconv.FormatInt(st.Dropped, 10),
+			strconv.FormatInt(st.Degraded, 10),
+			strconv.FormatFloat(st.Spent, 'g', -1, 64))
+		if st.Results != nil {
+			write(strconv.Itoa(st.Results.Items))
+			labels := make([]string, 0, len(st.Results.Percentages))
+			for l := range st.Results.Percentages {
+				labels = append(labels, l)
+			}
+			sort.Strings(labels)
+			for _, l := range labels {
+				write(l, strconv.FormatFloat(st.Results.Percentages[l], 'g', -1, 64))
+			}
+		}
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
 // WriteJSON writes the report to path (pretty-printed, trailing
 // newline).
 func (r *Report) WriteJSON(path string) error {

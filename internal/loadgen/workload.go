@@ -193,6 +193,29 @@ func (w *Workload) Submission(t Tenant, round int) api.JobSubmission {
 	}
 }
 
+// StreamSubmission builds the tenant's standing-query submission. Each
+// tenant streams its own synthetic movie, so no two streams' items
+// coalesce; the per-tenant source seed keeps every stream's arrival
+// process independent yet reproducible.
+func (w *Workload) StreamSubmission(t Tenant) api.StreamSubmission {
+	p := w.Profile
+	return api.StreamSubmission{
+		Name:             t.Name,
+		Keywords:         []string{fmt.Sprintf("SM%03dMOV", t.Index)},
+		RequiredAccuracy: p.RequiredAccuracy,
+		Domain:           append([]string(nil), t.Domain...),
+		Start:            w.Start.Format(time.RFC3339),
+		Window:           p.StreamWindow.String(),
+		WindowCapacity:   p.StreamCapacity,
+		Items:            p.StreamItems,
+		Rate:             p.StreamRate,
+		SourceSeed:       p.Seed + 100 + uint64(t.Index),
+		Priority:         t.Priority,
+		Budget:           t.Budget,
+		Aggregator:       p.Aggregator,
+	}
+}
+
 // TotalJobs is the number of jobs the workload submits across rounds.
 func (w *Workload) TotalJobs() int { return w.Profile.Tenants * w.Profile.Rounds }
 

@@ -112,6 +112,19 @@ const (
 	CounterCheckpointFailures = "checkpoint_failures"
 )
 
+// Counter names published by the standing-query stream subsystem.
+// Together they make the degrade ladder auditable: every arriving item
+// is seen, matching items either reach the crowd, settle with a
+// degraded partial-vote verdict, or are dropped with an accounted
+// counter — never buffered without bound.
+const (
+	CounterStreamItemsSeen        = "stream_items_seen"
+	CounterStreamItemsMatched     = "stream_items_matched"
+	CounterStreamItemsDropped     = "stream_items_dropped"
+	CounterStreamWindowsClosed    = "stream_windows_closed"
+	CounterStreamDegradedVerdicts = "stream_degraded_verdicts"
+)
+
 // Counter names published by the cross-query crowd scheduler.
 const (
 	CounterSchedCacheHits   = "sched_cache_hits"

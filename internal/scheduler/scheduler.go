@@ -293,6 +293,11 @@ func New(cfg Config) (*Scheduler, error) {
 // Ledger exposes the budget ledger (e.g. to restore persisted spend).
 func (s *Scheduler) Ledger() *Ledger { return s.ledger }
 
+// SlotsPerHIT reports the engine template's real (non-golden) question
+// slots per HIT — the natural batch quantum for callers sizing their
+// enqueues, e.g. the standing-query adaptive batcher clamping to it.
+func (s *Scheduler) SlotsPerHIT() int { return s.estSlots }
+
 // ServiceAccuracy reports the verification level every shared question
 // is held to: the engine template's effective RequiredAccuracy. Runners
 // gate per-job accuracy demands against it — one verification standard

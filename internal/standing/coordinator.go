@@ -1,0 +1,183 @@
+// Window-barrier coordinator: standing queries tick a scheduler
+// generation per window close instead of relying on a caller Flush.
+// Every live stream closes its windows in index order and ticks the
+// barrier exactly once per close, so generation g carries every live
+// stream's window-g batches — overlapping standing queries land in the
+// same generation and their identical questions dedup and share cost,
+// exactly like concurrent batch jobs.
+package standing
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// Flusher is the scheduler surface the coordinator drives; satisfied by
+// *scheduler.Scheduler.
+type Flusher interface {
+	Flush(ctx context.Context) error
+}
+
+// Coordinator aligns stream window closes into scheduler generations.
+// Closed-loop runs (Deadline 0) wait for the full barrier — every
+// registered live member, with at least Expect members having joined —
+// which makes generation composition, and therefore every scheduler
+// and engine decision, bit-deterministic. Live runs set a Deadline so
+// one slow stream cannot stall every other's window close: the timer
+// force-flushes and stragglers ride the next generation.
+type Coordinator struct {
+	sched    Flusher
+	deadline time.Duration
+
+	mu       sync.Mutex
+	members  map[string]bool // registered live streams; true = ticked this generation
+	finished int             // streams that registered and later deregistered
+	expect   int             // barrier floor: members + finished must reach it
+	gen      int
+	genCh    chan struct{} // closed when the current generation fires
+	timer    *time.Timer
+}
+
+// NewCoordinator builds a coordinator over the scheduler. deadline 0
+// requires the full barrier (closed-loop determinism); a positive
+// deadline bounds how long the first arrival of a generation waits
+// before the flush is forced.
+func NewCoordinator(sched Flusher, deadline time.Duration) *Coordinator {
+	return &Coordinator{
+		sched:    sched,
+		deadline: deadline,
+		members:  make(map[string]bool),
+		genCh:    make(chan struct{}),
+	}
+}
+
+// Expect sets the barrier floor: no generation fires until this many
+// streams have registered (live or already finished). Loadgen's
+// closed-loop mode sets it to the stream count before submitting, so an
+// early stream cannot flush a generation alone while the rest are still
+// being submitted.
+func (c *Coordinator) Expect(n int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.expect = n
+}
+
+// Register joins a stream to the barrier. Registering an already-live
+// name is a no-op.
+func (c *Coordinator) Register(name string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, live := c.members[name]; !live {
+		c.members[name] = false
+	}
+}
+
+// Deregister removes a finished (or failed) stream and re-evaluates the
+// barrier — the remaining members must not wait on a stream that will
+// never tick again.
+func (c *Coordinator) Deregister(name string) {
+	c.mu.Lock()
+	if _, live := c.members[name]; !live {
+		c.mu.Unlock()
+		return
+	}
+	delete(c.members, name)
+	c.finished++
+	fire := c.barrierReadyLocked()
+	c.mu.Unlock()
+	if fire {
+		c.fire(context.Background())
+	}
+}
+
+// barrierReadyLocked reports whether the current generation should
+// fire: at least one live member, every live member ticked, and the
+// Expect floor reached.
+func (c *Coordinator) barrierReadyLocked() bool {
+	if len(c.members) == 0 {
+		return false
+	}
+	if len(c.members)+c.finished < c.expect {
+		return false
+	}
+	for _, ticked := range c.members {
+		if !ticked {
+			return false
+		}
+	}
+	return true
+}
+
+// Tick marks the stream's window close and blocks until its generation
+// flushes. The caller must have enqueued the window's scheduler
+// requests before ticking — the flush this tick joins resolves them.
+func (c *Coordinator) Tick(ctx context.Context, name string) error {
+	c.mu.Lock()
+	if _, live := c.members[name]; !live {
+		// An unregistered tick (or a deregistered straggler) flushes
+		// alone rather than deadlocking the barrier.
+		c.mu.Unlock()
+		return c.sched.Flush(ctx)
+	}
+	c.members[name] = true
+	ch := c.genCh
+	if c.barrierReadyLocked() {
+		c.mu.Unlock()
+		c.fire(ctx)
+		return nil
+	}
+	if c.deadline > 0 && c.timer == nil {
+		c.timer = time.AfterFunc(c.deadline, func() { c.fire(context.Background()) })
+	}
+	c.mu.Unlock()
+	select {
+	case <-ch:
+		return nil
+	case <-ctx.Done():
+		// Withdraw the arrival so the generation doesn't count a tick
+		// whose stream is unwinding.
+		c.mu.Lock()
+		if _, live := c.members[name]; live {
+			c.members[name] = false
+		}
+		c.mu.Unlock()
+		return ctx.Err()
+	}
+}
+
+// fire advances the generation: arrivals are reset under the lock (late
+// ticks belong to the next generation), the scheduler flush runs
+// outside it (crowd work is slow), and only then are this generation's
+// waiters released — a released waiter may immediately enqueue its next
+// window, which must not race into the generation being flushed.
+func (c *Coordinator) fire(ctx context.Context) {
+	c.mu.Lock()
+	if c.timer != nil {
+		c.timer.Stop()
+		c.timer = nil
+	}
+	ch := c.genCh
+	select {
+	case <-ch:
+		// A concurrent fire already advanced this generation.
+		c.mu.Unlock()
+		return
+	default:
+	}
+	c.gen++
+	c.genCh = make(chan struct{})
+	for name := range c.members {
+		c.members[name] = false
+	}
+	c.mu.Unlock()
+	_ = c.sched.Flush(ctx) // ticket errors surface through Ticket.Wait
+	close(ch)
+}
+
+// Generation reports how many generations have fired (a test probe).
+func (c *Coordinator) Generation() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.gen
+}

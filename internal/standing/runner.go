@@ -1,0 +1,160 @@
+package standing
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"cdas/internal/exec"
+	"cdas/internal/jobs"
+	"cdas/internal/metrics"
+	"cdas/internal/scheduler"
+)
+
+// MarkStore persists window high-water marks; satisfied by
+// *jobs.Service. A nil store runs volatile (tests, ephemeral demos).
+type MarkStore interface {
+	// StreamMarkFor returns the stream's committed mark, if any.
+	StreamMarkFor(name string) (jobs.StreamMark, bool)
+	// CommitStreamMark durably records a closed window's mark; it must
+	// reject window regressions.
+	CommitStreamMark(name string, mark jobs.StreamMark) error
+}
+
+// PublishFunc receives stream progress for the live-results surface:
+// one call per closed window (win != nil, done false) and one terminal
+// call (win == nil, done true). sum is the running whole-stream fold.
+type PublishFunc func(job jobs.Job, win *WindowResult, mark jobs.StreamMark, sum exec.Summary, progress float64, done bool)
+
+// RunnerConfig wires NewRunner.
+type RunnerConfig struct {
+	// Scheduler coalesces window batches with every other job's.
+	// Required.
+	Scheduler *scheduler.Scheduler
+	// Coord aligns window closes into scheduler generations. Required.
+	Coord *Coordinator
+	// Source builds each job's arrival stream; defaults to
+	// TextgenSource.
+	Source SourceFactory
+	// Marks persists window marks across restarts; nil runs volatile.
+	Marks MarkStore
+	// Counters receives stream metrics. Optional.
+	Counters *metrics.Registry
+	// Publish receives per-window and terminal updates. Optional.
+	Publish PublishFunc
+}
+
+// NewRunner builds the jobs.Runner for KindContinuous jobs: restore
+// the committed window mark, stream the source through a windowed
+// processor, and commit each closed window's mark before reporting it
+// — so a kill -9 resumes after the last committed window without
+// re-charging its spend. Cost reported to the job lifecycle is this
+// attempt's spend only (total minus the resumed mark's), matching the
+// lifecycle's baseCost+attempt accounting; a budget-refused window
+// surfaces jobs.ErrParked with every prior window already durable.
+func NewRunner(cfg RunnerConfig) jobs.Runner {
+	if cfg.Source == nil {
+		cfg.Source = TextgenSource
+	}
+	serviceAcc := cfg.Scheduler.ServiceAccuracy()
+	return func(ctx context.Context, job jobs.Job, report func(progress, cost float64)) error {
+		if job.Kind != jobs.KindContinuous || job.Stream == nil {
+			return fmt.Errorf("%w: standing: job %q is not a continuous job", jobs.ErrPermanent, job.Name)
+		}
+		if job.Query.RequiredAccuracy > serviceAcc+1e-9 {
+			return fmt.Errorf("%w: standing: job requires accuracy %v above the service level %v",
+				jobs.ErrPermanent, job.Query.RequiredAccuracy, serviceAcc)
+		}
+		source, convert, err := cfg.Source(job)
+		if err != nil {
+			// Source construction is deterministic (bad spec, bad
+			// domain): retrying replays it.
+			return fmt.Errorf("%w: standing: %w", jobs.ErrPermanent, err)
+		}
+		mark := jobs.StreamMark{Window: -1}
+		if cfg.Marks != nil {
+			if m, ok := cfg.Marks.StreamMarkFor(job.Name); ok {
+				mark = m
+			}
+		}
+		startSpent := mark.Spent
+
+		var proc *Processor
+		progress := func() float64 {
+			if job.Stream.Items <= 0 {
+				return 0
+			}
+			f := float64(proc.Seen()) / float64(job.Stream.Items)
+			if f > 1 {
+				f = 1
+			}
+			return f
+		}
+		proc, err = NewProcessor(Config{
+			Job:      job,
+			Sched:    cfg.Scheduler,
+			Tick:     func(ctx context.Context) error { return cfg.Coord.Tick(ctx, job.Name) },
+			Convert:  convert,
+			Counters: cfg.Counters,
+			Resume:   mark,
+			OnWindow: func(res WindowResult) error {
+				m := proc.Mark()
+				if cfg.Marks != nil {
+					if err := cfg.Marks.CommitStreamMark(job.Name, m); err != nil {
+						return fmt.Errorf("standing: committing window %d mark: %w", res.Window, err)
+					}
+				}
+				// The mark is durable before the window is reported:
+				// a crash after this point replays nothing.
+				report(progress(), proc.Spent()-startSpent)
+				if cfg.Publish != nil {
+					cfg.Publish(job, &res, m, proc.Summary(), progress(), false)
+				}
+				return nil
+			},
+		})
+		if err != nil {
+			return fmt.Errorf("%w: %w", jobs.ErrPermanent, err)
+		}
+
+		cfg.Coord.Register(job.Name)
+		defer cfg.Coord.Deregister(job.Name)
+		for {
+			it, ok := source.Next()
+			if !ok {
+				break
+			}
+			if err := proc.Offer(ctx, it); err != nil {
+				return streamErr(ctx, err, proc, startSpent, progress, report)
+			}
+		}
+		if err := proc.Drain(ctx); err != nil {
+			return streamErr(ctx, err, proc, startSpent, progress, report)
+		}
+		report(1, proc.Spent()-startSpent)
+		if cfg.Publish != nil {
+			cfg.Publish(job, nil, proc.Mark(), proc.Summary(), 1, true)
+		}
+		return nil
+	}
+}
+
+// streamErr maps a mid-stream failure onto the dispatcher's error
+// contract: budget refusals park (resumable from the committed mark),
+// cancellation propagates as-is, and anything else fails after
+// reporting the partial spend this attempt accrued.
+func streamErr(ctx context.Context, err error, proc *Processor, startSpent float64, progress func() float64, report func(progress, cost float64)) error {
+	if errors.Is(err, scheduler.ErrParked) {
+		// No cost report: Park refunds the attempt's lifecycle cost by
+		// design. The refused window's spend (if any) stays visible in
+		// the durable budget ledger and the committed stream mark.
+		return fmt.Errorf("%w: %w", jobs.ErrParked, err)
+	}
+	if errors.Is(err, ctx.Err()) && ctx.Err() != nil {
+		return err
+	}
+	if spent := proc.Spent() - startSpent; spent > 0 {
+		report(progress(), spent)
+	}
+	return err
+}

@@ -1,0 +1,440 @@
+package standing
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"cdas/internal/crowd"
+	"cdas/internal/engine"
+	"cdas/internal/exec"
+	"cdas/internal/jobs"
+	"cdas/internal/scheduler"
+	"cdas/internal/textgen"
+)
+
+var base = time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+
+func newTestScheduler(t *testing.T) *scheduler.Scheduler {
+	t.Helper()
+	platform, err := crowd.NewPlatform(crowd.DefaultConfig(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := make([]crowd.Question, 12)
+	for i := range golden {
+		golden[i] = crowd.Question{
+			ID:     fmt.Sprintf("golden/g%03d", i),
+			Text:   fmt.Sprintf("Calibration tweet #%d", i),
+			Domain: append([]string(nil), textgen.Labels...),
+			Truth:  textgen.LabelNeutral,
+		}
+	}
+	s, err := scheduler.New(scheduler.Config{
+		Platform: engine.CrowdPlatform{Platform: platform},
+		Engine:   engine.Config{HITSize: 20, MaxInflightHITs: 4, Seed: 9},
+		Golden:   golden,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	return s
+}
+
+func testItem(i int, at time.Time) exec.Item {
+	return exec.Item{
+		ID:   fmt.Sprintf("tw%03d", i),
+		Text: fmt.Sprintf("thor was solid, tweet %d", i),
+		At:   at,
+	}
+}
+
+func testConvert(it exec.Item) crowd.Question {
+	return crowd.Question{
+		ID:     it.ID,
+		Text:   it.Text,
+		Domain: append([]string(nil), textgen.Labels...),
+		Truth:  textgen.LabelPositive,
+	}
+}
+
+func continuousJob(name string, spec jobs.StreamSpec) jobs.Job {
+	return jobs.Job{
+		Name: name,
+		Kind: jobs.KindContinuous,
+		Query: jobs.Query{
+			Keywords: []string{"thor"},
+			Domain:   append([]string(nil), textgen.Labels...),
+			Start:    base,
+			Window:   time.Minute,
+		},
+		Stream: &spec,
+	}
+}
+
+// memMarks is a volatile MarkStore recording every commit.
+type memMarks struct {
+	mu      sync.Mutex
+	marks   map[string]jobs.StreamMark
+	commits []jobs.StreamMark
+}
+
+func newMemMarks() *memMarks { return &memMarks{marks: map[string]jobs.StreamMark{}} }
+
+func (m *memMarks) StreamMarkFor(name string) (jobs.StreamMark, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	mk, ok := m.marks[name]
+	return mk, ok
+}
+
+func (m *memMarks) CommitStreamMark(name string, mark jobs.StreamMark) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if prev, ok := m.marks[name]; ok && mark.Window < prev.Window {
+		return fmt.Errorf("window regression: %d < %d", mark.Window, prev.Window)
+	}
+	m.marks[name] = mark
+	m.commits = append(m.commits, mark)
+	return nil
+}
+
+// runStanding drives one continuous job through a full runner and
+// collects its window results.
+func runStanding(t *testing.T, job jobs.Job, items []exec.Item, marks MarkStore) ([]WindowResult, bool) {
+	t.Helper()
+	sched := newTestScheduler(t)
+	coord := NewCoordinator(sched, 0)
+	var wins []WindowResult
+	var done bool
+	runner := NewRunner(RunnerConfig{
+		Scheduler: sched,
+		Coord:     coord,
+		Marks:     marks,
+		Source: func(jobs.Job) (Source, Convert, error) {
+			return NewSliceSource(items), testConvert, nil
+		},
+		Publish: func(_ jobs.Job, win *WindowResult, _ jobs.StreamMark, _ exec.Summary, _ float64, d bool) {
+			if win != nil {
+				wins = append(wins, *win)
+			}
+			done = done || d
+		},
+	})
+	if err := runner(context.Background(), job, func(float64, float64) {}); err != nil {
+		t.Fatalf("runner: %v", err)
+	}
+	return wins, done
+}
+
+// TestStandingWindows covers the watermark edge cases: out-of-order
+// event times within lateness settle in their true window, a watermark
+// jump closes intermediate empty windows, and items behind the
+// watermark are dropped, not buffered.
+func TestStandingWindows(t *testing.T) {
+	items := []exec.Item{
+		testItem(0, base.Add(10*time.Second)),
+		testItem(1, base.Add(25*time.Second)),
+		// Out of order: earlier event time arriving later, same window.
+		testItem(2, base.Add(15*time.Second)),
+		// Window 2 arrival: watermark (maxEvent - 30s lateness) passes
+		// window 0's end and window 1's end in one step — window 1
+		// closes empty.
+		testItem(3, base.Add(2*time.Minute+30*time.Second)),
+		// Late: window 0 closed above; dropped, never buffered.
+		testItem(4, base.Add(30*time.Second)),
+		// No keyword match: filtered out entirely.
+		{ID: "tw999", Text: "irrelevant chatter", At: base.Add(2*time.Minute + 40*time.Second)},
+		testItem(5, base.Add(2*time.Minute+45*time.Second)),
+	}
+	marks := newMemMarks()
+	job := continuousJob("w/thor", jobs.StreamSpec{Lateness: 30 * time.Second, Items: len(items)})
+	wins, done := runStanding(t, job, items, marks)
+
+	if !done {
+		t.Fatal("stream never reported done")
+	}
+	if len(wins) != 3 {
+		t.Fatalf("got %d windows, want 3: %+v", len(wins), wins)
+	}
+	w0, w1, w2 := wins[0], wins[1], wins[2]
+	if w0.Window != 0 || w0.Items != 3 || w0.Answered != 3 {
+		t.Errorf("window 0 = %+v, want 3 items all answered", w0)
+	}
+	if w1.Window != 1 || w1.Items != 0 || w1.Answered != 0 {
+		t.Errorf("window 1 = %+v, want empty", w1)
+	}
+	if w2.Window != 2 || w2.Items != 2 || w2.Answered != 2 {
+		t.Errorf("window 2 = %+v, want 2 items answered", w2)
+	}
+	if w0.Cost <= 0 || w2.Cost <= 0 {
+		t.Errorf("non-empty windows should carry crowd cost: w0=%v w2=%v", w0.Cost, w2.Cost)
+	}
+	final, ok := marks.StreamMarkFor("w/thor")
+	if !ok || final.Window != 2 {
+		t.Fatalf("final mark = %+v, want window 2", final)
+	}
+	if final.Dropped != 1 {
+		t.Errorf("late item should be the only drop, got %d", final.Dropped)
+	}
+	if final.Matched != 6 || final.Seen != 7 {
+		t.Errorf("mark counts = %+v, want seen 7 matched 6", final)
+	}
+	if final.Spent <= 0 {
+		t.Errorf("mark should carry spend, got %v", final.Spent)
+	}
+	// Marks must have been committed in window order.
+	for i, c := range marks.commits {
+		if c.Window != i {
+			t.Fatalf("commit %d has window %d; marks must advance in order", i, c.Window)
+		}
+	}
+}
+
+// TestStandingDegradeLadder drives arrivals past the per-window crowd
+// capacity and the backlog bound: capacity leftovers settle as
+// degraded majority verdicts, overflow arrivals drop with accounting,
+// and a window opened under backlog pressure sheds (halved batch and
+// capacity) — never unbounded buffering.
+func TestStandingDegradeLadder(t *testing.T) {
+	sched := newTestScheduler(t)
+	coord := NewCoordinator(sched, 0)
+	coord.Register("w/sat")
+	job := continuousJob("w/sat", jobs.StreamSpec{
+		Lateness:       30 * time.Second,
+		WindowCapacity: 4,
+		MaxBacklog:     8,
+	})
+	var wins []WindowResult
+	proc, err := NewProcessor(Config{
+		Job:     job,
+		Sched:   sched,
+		Tick:    func(ctx context.Context) error { return coord.Tick(ctx, "w/sat") },
+		Convert: testConvert,
+		Resume:  jobs.StreamMark{Window: -1},
+		OnWindow: func(res WindowResult) error {
+			wins = append(wins, res)
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	// Window 0: 8 arrivals — 4 ship as the first batch (capacity), 4
+	// buffer past capacity.
+	for i := 0; i < 8; i++ {
+		if err := proc.Offer(ctx, testItem(i, base.Add(time.Duration(i+1)*time.Second))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Window 1: 4 more arrivals fill the backlog to its bound.
+	for i := 8; i < 12; i++ {
+		if err := proc.Offer(ctx, testItem(i, base.Add(time.Minute+time.Duration(i)*time.Second))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := proc.Backlog(); got != 8 {
+		t.Fatalf("backlog = %d, want 8 (4 unshipped in w0 + 4 in w1)", got)
+	}
+	// Window 3 arrival: the backlog is full, so it drops — but its
+	// event time still advances the watermark past windows 0 and 1.
+	if err := proc.Offer(ctx, testItem(12, base.Add(3*time.Minute+40*time.Second))); err != nil {
+		t.Fatal(err)
+	}
+	if err := proc.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	if len(wins) != 4 {
+		t.Fatalf("got %d windows, want 4 (w0, w1, empty w2, drop-accounting w3): %+v", len(wins), wins)
+	}
+	w0, w1, w3 := wins[0], wins[1], wins[3]
+	if w0.Answered != 4 || w0.Degraded != 4 {
+		t.Errorf("window 0 = %+v, want 4 answered + 4 degraded", w0)
+	}
+	if w0.Summary.Items != 8 {
+		t.Errorf("window 0 summary folded %d items, want 8 (answered + degraded)", w0.Summary.Items)
+	}
+	if !w1.Shed {
+		t.Errorf("window 1 opened at full backlog and should shed: %+v", w1)
+	}
+	if w1.Answered != 2 || w1.Degraded != 2 {
+		t.Errorf("window 1 = %+v, want shed capacity 2 answered + 2 degraded", w1)
+	}
+	if w3.Dropped != 1 || w3.Items != 1 {
+		t.Errorf("window 3 = %+v, want the overflow drop accounted there", w3)
+	}
+	if proc.Backlog() != 0 {
+		t.Errorf("backlog after drain = %d, want 0", proc.Backlog())
+	}
+	mark := proc.Mark()
+	if mark.Degraded != 6 || mark.Dropped != 1 {
+		t.Errorf("mark = %+v, want 6 degraded, 1 dropped", mark)
+	}
+}
+
+// TestStandingAdaptiveBatch checks the batch size tracks the observed
+// arrival rate: a quiet window shrinks the next window's batch to
+// roughly rate x target fill instead of always filling engine slots.
+func TestStandingAdaptiveBatch(t *testing.T) {
+	sched := newTestScheduler(t)
+	job := continuousJob("w/adapt", jobs.StreamSpec{
+		Lateness:   time.Second,
+		TargetFill: 30 * time.Second,
+	})
+	proc, err := NewProcessor(Config{
+		Job:     job,
+		Sched:   sched,
+		Tick:    func(ctx context.Context) error { return sched.Flush(ctx) },
+		Convert: testConvert,
+		Resume:  jobs.StreamMark{Window: -1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	// Window 0: 4 matched items over a 60s window = 1/15 items per
+	// second; next window's batch should be ceil(rate * 30s) = 2.
+	for i := 0; i < 4; i++ {
+		if err := proc.Offer(ctx, testItem(i, base.Add(time.Duration(i*15+1)*time.Second))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := proc.Offer(ctx, testItem(4, base.Add(time.Minute+2*time.Second))); err != nil {
+		t.Fatal(err)
+	}
+	w := proc.windows[1]
+	if w == nil || !w.opened {
+		t.Fatal("window 1 should be open after window 0 closed")
+	}
+	if w.batch != 2 {
+		t.Errorf("window 1 batch = %d, want 2 (rate 4/60s x fill 30s)", w.batch)
+	}
+	if w.capacity != sched.SlotsPerHIT() {
+		t.Errorf("window 1 capacity = %d, want full slots %d", w.capacity, sched.SlotsPerHIT())
+	}
+}
+
+// TestStandingResume re-runs a finished stream against its committed
+// marks: every window is skipped (their items land behind the resumed
+// frontier), nothing is re-charged, and no window is re-committed.
+func TestStandingResume(t *testing.T) {
+	items := []exec.Item{
+		testItem(0, base.Add(10*time.Second)),
+		testItem(1, base.Add(70*time.Second)),
+		testItem(2, base.Add(2*time.Minute+40*time.Second)),
+	}
+	marks := newMemMarks()
+	job := continuousJob("w/resume", jobs.StreamSpec{Lateness: 10 * time.Second, Items: len(items)})
+	wins, _ := runStanding(t, job, items, marks)
+	if len(wins) != 3 {
+		t.Fatalf("first run closed %d windows, want 3", len(wins))
+	}
+	firstMark, _ := marks.StreamMarkFor("w/resume")
+	commits := len(marks.commits)
+
+	wins2, done := runStanding(t, job, items, marks)
+	if len(wins2) != 0 {
+		t.Fatalf("resumed run re-closed %d windows, want 0: %+v", len(wins2), wins2)
+	}
+	if !done {
+		t.Fatal("resumed run never reported done")
+	}
+	if len(marks.commits) != commits {
+		t.Fatalf("resumed run committed %d new marks, want 0", len(marks.commits)-commits)
+	}
+	again, _ := marks.StreamMarkFor("w/resume")
+	if again.Spent != firstMark.Spent {
+		t.Errorf("resumed run changed spend %v -> %v; resume must not re-charge", firstMark.Spent, again.Spent)
+	}
+	if again.Window != firstMark.Window {
+		t.Errorf("resumed run moved the window mark %d -> %d", firstMark.Window, again.Window)
+	}
+}
+
+// countFlusher counts barrier flushes.
+type countFlusher struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (f *countFlusher) Flush(context.Context) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.n++
+	return nil
+}
+
+func (f *countFlusher) count() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.n
+}
+
+// TestCoordinatorBarrier checks generation alignment: a tick blocks
+// until every live member ticks, a deregistered member stops being
+// waited on, and each generation flushes exactly once.
+func TestCoordinatorBarrier(t *testing.T) {
+	fl := &countFlusher{}
+	c := NewCoordinator(fl, 0)
+	c.Expect(2)
+	c.Register("a")
+	c.Register("b")
+
+	released := make(chan error, 1)
+	go func() { released <- c.Tick(context.Background(), "a") }()
+	select {
+	case err := <-released:
+		t.Fatalf("tick released before the barrier filled: %v", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+	if err := c.Tick(context.Background(), "b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-released; err != nil {
+		t.Fatal(err)
+	}
+	if fl.count() != 1 || c.Generation() != 1 {
+		t.Fatalf("flushes=%d gen=%d, want 1/1", fl.count(), c.Generation())
+	}
+
+	// b finishes; a alone now satisfies the barrier.
+	c.Deregister("b")
+	if err := c.Tick(context.Background(), "a"); err != nil {
+		t.Fatal(err)
+	}
+	if c.Generation() != 2 {
+		t.Fatalf("gen=%d, want 2", c.Generation())
+	}
+
+	// A cancelled waiter withdraws its arrival instead of wedging the
+	// next generation.
+	c.Register("b")
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() { released <- c.Tick(ctx, "a") }()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	if err := <-released; err == nil {
+		t.Fatal("cancelled tick returned nil")
+	}
+}
+
+// TestCoordinatorDeadline checks live-mode degradation: with a
+// deadline set, a straggler cannot stall another stream's window close
+// forever.
+func TestCoordinatorDeadline(t *testing.T) {
+	fl := &countFlusher{}
+	c := NewCoordinator(fl, 20*time.Millisecond)
+	c.Register("fast")
+	c.Register("slow") // never ticks
+	if err := c.Tick(context.Background(), "fast"); err != nil {
+		t.Fatal(err)
+	}
+	if c.Generation() != 1 {
+		t.Fatalf("gen=%d, want deadline-fired generation 1", c.Generation())
+	}
+}

@@ -48,6 +48,12 @@ type Config struct {
 	ExpectedItems int
 	// Sink receives updates; may be nil (summaries still accumulate).
 	Sink Sink
+	// OnOutcome, when set, observes every engine verdict as it folds
+	// into the summary. The processor retains no outcomes itself (its
+	// summary state is a constant-memory fold), so consumers needing
+	// per-item verdicts — accuracy audits, window accounting — hook in
+	// here.
+	OnOutcome func(exec.Outcome)
 }
 
 // Processor is a single-query streaming pipeline. Not safe for
@@ -55,10 +61,11 @@ type Config struct {
 type Processor struct {
 	cfg      Config
 	buffer   *exec.Buffer
-	outcomes []exec.Outcome
-	texts    map[string]string
+	fold     *exec.Fold
+	texts    map[string]string // texts of buffered, not-yet-processed items only
 	seen     int
 	matched  int
+	answered int
 	done     bool
 	// Spent accumulates engine batch costs.
 	Spent float64
@@ -93,6 +100,7 @@ func NewProcessor(cfg Config) (*Processor, error) {
 	return &Processor{
 		cfg:    cfg,
 		buffer: exec.NewBuffer(cfg.BatchSize),
+		fold:   exec.NewFold(cfg.Query.Domain, cfg.Query.Keywords...),
 		texts:  make(map[string]string),
 	}, nil
 }
@@ -135,8 +143,11 @@ func (p *Processor) Flush() error {
 	return nil
 }
 
-// process sends one batch through the engine and publishes the updated
-// summary.
+// process sends one batch through the engine, folds the outcomes into
+// the running summary and publishes it. Each item's text is evicted as
+// its outcome folds — the fold keeps only the per-answer word tallies,
+// so a long-running stream's memory stays bounded by the buffered batch
+// instead of growing with every matched item ever seen.
 func (p *Processor) process(items []exec.Item) error {
 	questions := make([]crowd.Question, len(items))
 	for i, it := range items {
@@ -148,7 +159,14 @@ func (p *Processor) process(items []exec.Item) error {
 	}
 	p.Spent += res.Cost
 	for _, qr := range res.Results {
-		p.outcomes = append(p.outcomes, exec.Outcome{ItemID: qr.Question.ID, Accepted: qr.Answer})
+		id := qr.Question.ID
+		oc := exec.Outcome{ItemID: id, Accepted: qr.Answer}
+		p.fold.Observe(oc, p.texts[id])
+		delete(p.texts, id)
+		p.answered++
+		if p.cfg.OnOutcome != nil {
+			p.cfg.OnOutcome(oc)
+		}
 	}
 	p.publish()
 	return nil
@@ -163,7 +181,7 @@ func (p *Processor) publish() {
 
 // Summary returns the running percentages-plus-reasons presentation.
 func (p *Processor) Summary() exec.Summary {
-	return exec.Summarise(p.cfg.Query.Domain, p.outcomes, p.texts, p.cfg.Query.Keywords...)
+	return p.fold.Summary()
 }
 
 // Progress reports the fraction of expected items already answered, or 0
@@ -175,7 +193,7 @@ func (p *Processor) Progress() float64 {
 	if p.cfg.ExpectedItems <= 0 {
 		return 0
 	}
-	f := float64(len(p.outcomes)) / float64(p.cfg.ExpectedItems)
+	f := float64(p.answered) / float64(p.cfg.ExpectedItems)
 	if f > 1 {
 		f = 1
 	}
@@ -185,8 +203,13 @@ func (p *Processor) Progress() float64 {
 // Stats reports stream counters: items seen, items matching the filter,
 // and items already answered.
 func (p *Processor) Stats() (seen, matched, answered int) {
-	return p.seen, p.matched, len(p.outcomes)
+	return p.seen, p.matched, p.answered
 }
+
+// bufferedTexts reports how many item texts the processor currently
+// retains — a test probe for the eviction contract (texts are held only
+// while their items await a batch, never after their outcomes fold).
+func (p *Processor) bufferedTexts() int { return len(p.texts) }
 
 // Done reports whether Flush has run.
 func (p *Processor) Done() bool { return p.done }

@@ -228,6 +228,8 @@ func TestStreamPublishesToSink(t *testing.T) {
 
 func TestStreamSummaryAccuracy(t *testing.T) {
 	cfg := testConfig(t, 5, nil)
+	var outcomes []exec.Outcome
+	cfg.OnOutcome = func(oc exec.Outcome) { outcomes = append(outcomes, oc) }
 	p, err := NewProcessor(cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -246,7 +248,7 @@ func TestStreamSummaryAccuracy(t *testing.T) {
 		t.Fatal(err)
 	}
 	correct, total := 0, 0
-	for _, oc := range p.outcomes {
+	for _, oc := range outcomes {
 		total++
 		if oc.Accepted == truths[oc.ItemID] {
 			correct++
@@ -257,6 +259,53 @@ func TestStreamSummaryAccuracy(t *testing.T) {
 	}
 	if acc := float64(correct) / float64(total); acc < 0.7 {
 		t.Errorf("streaming accuracy = %v, want >= 0.7", acc)
+	}
+}
+
+// TestStreamEvictsTextsAfterBatch is the regression test for the
+// unbounded texts map: item texts must be held only while their items
+// wait in the current batch, and evicted the moment their outcomes fold
+// into the summary. Before the fix the map grew with every matched item
+// ever seen, leaking memory for the lifetime of a standing query.
+func TestStreamEvictsTextsAfterBatch(t *testing.T) {
+	cfg := testConfig(t, 7, nil)
+	cfg.BatchSize = 4
+	p, err := NewProcessor(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tweets := generateTweets(t, 7)
+	for i, it := range items(tweets) {
+		if err := p.Offer(it); err != nil {
+			t.Fatal(err)
+		}
+		if got := p.bufferedTexts(); got != p.buffer.Len() {
+			t.Fatalf("after item %d: %d retained texts, want %d (only the buffered batch)",
+				i, got, p.buffer.Len())
+		}
+		if got := p.bufferedTexts(); got >= cfg.BatchSize {
+			t.Fatalf("after item %d: %d retained texts breach the batch bound %d",
+				i, got, cfg.BatchSize)
+		}
+	}
+	if err := p.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.bufferedTexts(); got != 0 {
+		t.Fatalf("after flush: %d retained texts, want 0", got)
+	}
+	// The summary must survive eviction: reasons still render from the
+	// folded word tallies.
+	sum := p.Summary()
+	if sum.Items == 0 {
+		t.Fatal("no items summarised")
+	}
+	reasons := 0
+	for _, words := range sum.Reasons {
+		reasons += len(words)
+	}
+	if reasons == 0 {
+		t.Error("eviction lost the reason tallies")
 	}
 }
 
