@@ -38,8 +38,28 @@ func (s JobState) Terminal() bool {
 	return s == JobDone || s == JobFailed || s == JobCancelled
 }
 
+// Job kinds accepted by JobSubmission.Kind. POST /v1/jobs is the one
+// kind-discriminated submission surface: the kind selects which spec
+// block (Stream, Enum) applies and how the base query fields are
+// interpreted.
+const (
+	// KindBatch is the accepted alias for the default one-shot batch
+	// kind; the server normalises it to KindTSA.
+	KindBatch       = "batch"
+	KindTSA         = "tsa"
+	KindImageTag    = "imagetag"
+	KindCustom      = "custom"
+	KindContinuous  = "continuous"
+	KindEnumeration = "enumeration"
+)
+
 // JobSubmission is the POST /v1/jobs request body: the analytics query
-// of the paper's Definition 1 plus a name and application kind.
+// of the paper's Definition 1 plus a name and application kind. The
+// contract is kind-discriminated: "batch" (alias for "tsa"),
+// "imagetag" and "custom" jobs use the base query fields alone;
+// "continuous" jobs additionally require the Stream spec; "enumeration"
+// jobs require the Enum spec and ignore the accuracy/domain/window
+// fields (an open-ended query has none).
 type JobSubmission struct {
 	Name string `json:"name"`
 	// Kind selects the plan template; default "tsa".
@@ -50,6 +70,7 @@ type JobSubmission struct {
 	// Start is the query timestamp t in RFC 3339; zero means "now".
 	Start string `json:"start,omitempty"`
 	// Window is the query window w as a Go duration string ("24h").
+	// Required for every kind except "enumeration".
 	Window string `json:"window"`
 	// Priority orders budget admission (higher first; default 0).
 	Priority int `json:"priority,omitempty"`
@@ -62,6 +83,71 @@ type JobSubmission struct {
 	// Tenant scopes the job to the submitting organisation; GET
 	// /v1/jobs can filter on it. Empty is the default scope.
 	Tenant string `json:"tenant,omitempty"`
+	// Stream is the "continuous" kind's spec block; required for that
+	// kind, rejected for every other.
+	Stream *StreamSpec `json:"stream,omitempty"`
+	// Enum is the "enumeration" kind's spec block; required for that
+	// kind, rejected for every other.
+	Enum *EnumSpec `json:"enum,omitempty"`
+}
+
+// StreamSpec is the standing-query block of a kind-discriminated
+// JobSubmission (kind "continuous"). Field meanings match the flattened
+// legacy StreamSubmission fields one for one.
+type StreamSpec struct {
+	// Lateness is the watermark lag as a Go duration string; a window
+	// closes once an event time that far past its end is seen. Empty
+	// picks half the window.
+	Lateness string `json:"lateness,omitempty"`
+	// TargetFill is the batch-fill target the adaptive batcher aims
+	// for, as a Go duration string. Empty picks half the window.
+	TargetFill string `json:"target_fill,omitempty"`
+	// WindowCapacity caps crowd questions per window (0 = engine real
+	// slots per HIT).
+	WindowCapacity int `json:"window_capacity,omitempty"`
+	// MaxBacklog bounds buffered matched items across open windows
+	// (0 = 4 x window capacity).
+	MaxBacklog int `json:"max_backlog,omitempty"`
+	// Items sizes the built-in deterministic source; 0 lets the server
+	// default apply.
+	Items int `json:"items,omitempty"`
+	// Rate is the built-in source's mean arrival rate in items per
+	// second of event time.
+	Rate float64 `json:"rate,omitempty"`
+	// SourceSeed seeds the built-in source's arrival process.
+	SourceSeed uint64 `json:"source_seed,omitempty"`
+}
+
+// EnumSpec is the open-ended enumeration block of a kind-discriminated
+// JobSubmission (kind "enumeration"): workers contribute set members in
+// free text, the server dedups them canonically and stops by species
+// estimation and marginal value instead of a per-question accuracy
+// bound.
+type EnumSpec struct {
+	// ItemValue is the worth of one newly discovered member, in the
+	// same currency as HIT prices; the next HIT batch is bought only
+	// while E[new items per batch] x ItemValue exceeds the batch price.
+	// Required, > 0.
+	ItemValue float64 `json:"item_value"`
+	// TargetCoverage optionally stops the job once the completeness
+	// estimate reaches it (0 disables; must be < 1).
+	TargetCoverage float64 `json:"target_coverage,omitempty"`
+	// MaxBatches caps the number of HIT batches (0 = unlimited).
+	MaxBatches int `json:"max_batches,omitempty"`
+	// HITWorkers is how many workers answer each batch (0 = server
+	// default).
+	HITWorkers int `json:"hit_workers,omitempty"`
+	// PerWorker is how many members each worker is asked for (0 =
+	// server default).
+	PerWorker int `json:"per_worker,omitempty"`
+	// Universe sizes the built-in deterministic source's hidden set;
+	// 0 lets the server default apply.
+	Universe int `json:"universe,omitempty"`
+	// Popularity is the built-in source's Zipf-like skew exponent
+	// (0 picks the default).
+	Popularity float64 `json:"popularity,omitempty"`
+	// SourceSeed seeds the built-in source's draws.
+	SourceSeed uint64 `json:"source_seed,omitempty"`
 }
 
 // JobStatus is the wire form of a job's lifecycle record, with the live
@@ -257,6 +343,127 @@ type StreamEvent struct {
 // Stream SSE also reuses EventState (snapshot replay on connect) and
 // EventDone (terminal state; the server closes the stream after it).
 const EventWindow = "window"
+
+// EnumItem is one discovered member of an enumeration job's result set.
+type EnumItem struct {
+	// Key is the member's canonical identity.
+	Key string `json:"key"`
+	// Text is the normalised display form.
+	Text string `json:"text"`
+	// Count is how many contributions named it.
+	Count int `json:"count"`
+	// Batch is the HIT batch that first surfaced it.
+	Batch int `json:"batch"`
+}
+
+// EnumEstimate is the live Chao92 species estimate of an enumeration
+// job: how big the underlying set looks given what the crowd has
+// contributed so far.
+type EnumEstimate struct {
+	// Observed is the distinct members seen.
+	Observed int `json:"observed"`
+	// Samples is the total contributions, repeats included.
+	Samples int `json:"samples"`
+	// Singletons is the members seen exactly once.
+	Singletons int `json:"singletons"`
+	// Coverage is the Good-Turing sample coverage (1 - singletons/samples).
+	Coverage float64 `json:"coverage"`
+	// CV2 is the squared coefficient of variation correcting for
+	// popularity skew.
+	CV2 float64 `json:"cv2"`
+	// Total is the estimated size of the underlying set.
+	Total float64 `json:"total"`
+	// Completeness is observed/total, clamped to [0, 1].
+	Completeness float64 `json:"completeness"`
+}
+
+// EnumBatch is one completed enumeration HIT batch — the payload of the
+// SSE "batch" event and EnumStatus.LastBatch.
+type EnumBatch struct {
+	// Batch is the 0-based batch index.
+	Batch int `json:"batch"`
+	// Contributions is how many answers the batch collected.
+	Contributions int `json:"contributions"`
+	// NewItems are the members this batch discovered.
+	NewItems []EnumItem `json:"new_items,omitempty"`
+	// ExpectedNew is the E[new items] the marginal-value rule priced
+	// the batch at before buying it.
+	ExpectedNew float64 `json:"expected_new"`
+	Cost        float64 `json:"cost"`
+}
+
+// Stop reasons an EnumStatus.Stopped can carry: why an enumeration
+// stopped buying HIT batches.
+const (
+	// StopMarginalValue: E[new items per batch] x item value fell below
+	// the HIT price — the principled open-ended stop.
+	StopMarginalValue = "marginal_value"
+	// StopTargetCoverage: the completeness estimate reached the spec's
+	// target.
+	StopTargetCoverage = "target_coverage"
+	// StopMaxBatches: the spec's batch cap was reached.
+	StopMaxBatches = "max_batches"
+	// StopSourceExhausted: the source had no contributions left.
+	StopSourceExhausted = "source_exhausted"
+)
+
+// EnumStatus is the GET /v1/enumerations/{name} response: the growing
+// result set, the live species estimate and the stop state. Job
+// lifecycle detail lives on GET /v1/jobs/{name} — an enumeration is a
+// job underneath.
+type EnumStatus struct {
+	Name     string   `json:"name"`
+	Keywords []string `json:"keywords"`
+	// State is the underlying job's lifecycle state.
+	State JobState `json:"state"`
+	// Batches counts durably committed HIT batches.
+	Batches int `json:"batches"`
+	// Contributions is the total answers collected, repeats included.
+	Contributions int64 `json:"contributions"`
+	// Distinct is the result set's size.
+	Distinct int `json:"distinct"`
+	// Spent is the cumulative crowd cost across batches.
+	Spent    float64 `json:"spent"`
+	Progress float64 `json:"progress"`
+	Done     bool    `json:"done"`
+	// Stopped records why the job stopped buying batches
+	// ("marginal_value", "target_coverage", "max_batches",
+	// "source_exhausted"); empty while it is still collecting.
+	Stopped string `json:"stopped,omitempty"`
+	// Estimate is the current Chao92 estimate; omitted before the first
+	// batch.
+	Estimate *EnumEstimate `json:"estimate,omitempty"`
+	// LastBatch is the most recently completed batch.
+	LastBatch *EnumBatch `json:"last_batch,omitempty"`
+	// Items is the discovered set sorted by text.
+	Items []EnumItem `json:"items,omitempty"`
+	Error string     `json:"error,omitempty"`
+}
+
+// EnumList is the paginated GET /v1/enumerations response envelope.
+type EnumList struct {
+	Enumerations []EnumStatus `json:"enumerations"`
+	// NextPageToken, when non-empty, fetches the next page when passed
+	// back as ?page_token=.
+	NextPageToken string `json:"next_page_token,omitempty"`
+}
+
+// EnumEvent is the data payload of GET /v1/enumerations/{name}/events
+// SSE frames: every event carries the enumeration's state snapshot;
+// "batch" events additionally carry the batch that just completed,
+// newly discovered items included.
+type EnumEvent struct {
+	// Batch is the completed batch on EventBatch events; nil on
+	// EventState replays and EventDone.
+	Batch *EnumBatch `json:"batch,omitempty"`
+	State EnumStatus `json:"state"`
+}
+
+// EventBatch is the SSE event type carrying one completed enumeration
+// batch. Enumeration SSE also reuses EventState (snapshot replay on
+// connect) and EventDone (terminal state; the server closes the stream
+// after it).
+const EventBatch = "batch"
 
 // SchedulerState is the cross-query scheduler's reportable state:
 // generation batching, dedup-cache effectiveness and budget ledger.

@@ -22,6 +22,21 @@ const (
 	CodeInternal          = "internal"    // 500
 )
 
+// Codes enumerates every error code the v1 surface can emit — the
+// single source of truth the openapi.yaml enum and the httpapi
+// emission test are checked against. Order matches the declarations
+// above.
+func Codes() []string {
+	return []string{
+		CodeInvalidArgument,
+		CodeUnknownAggregator,
+		CodeNotFound,
+		CodeConflict,
+		CodeUnavailable,
+		CodeInternal,
+	}
+}
+
 // Error is the structured error of every v1 error response, wrapped in
 // an ErrorResponse envelope on the wire:
 //

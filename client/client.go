@@ -149,6 +149,11 @@ type ListJobsOptions struct {
 	PageToken string
 	// State keeps only jobs in the given lifecycle state.
 	State api.JobState
+	// Kind keeps only jobs of the given kind (api.KindBatch matches
+	// every one-shot kind; api.KindContinuous and api.KindEnumeration
+	// match exactly). Ignored by ListEnumerations, whose surface is
+	// enumeration-only already.
+	Kind string
 }
 
 func (o ListJobsOptions) query() string {
@@ -161,6 +166,9 @@ func (o ListJobsOptions) query() string {
 	}
 	if o.State != "" {
 		q.Set("state", string(o.State))
+	}
+	if o.Kind != "" {
+		q.Set("kind", o.Kind)
 	}
 	if len(q) == 0 {
 		return ""

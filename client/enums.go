@@ -1,0 +1,143 @@
+// Enumeration methods: the SDK side of /v1/enumerations. Enumeration
+// jobs are submitted through SubmitJob with kind api.KindEnumeration
+// and an api.EnumSpec block; these methods read the growing result set
+// back, and WatchEnumeration turns the server's per-batch SSE events
+// into a channel a caller can range over.
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"iter"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+
+	"cdas/api"
+)
+
+// enumPath escapes a job name into its /v1/enumerations/{name} path.
+func enumPath(name string) string { return "/v1/enumerations/" + url.PathEscape(name) }
+
+// Enumeration fetches one enumeration's result set, live Chao92
+// estimate and stop state.
+func (c *Client) Enumeration(ctx context.Context, name string) (api.EnumStatus, error) {
+	var st api.EnumStatus
+	err := c.do(ctx, http.MethodGet, enumPath(name), nil, &st)
+	return st, err
+}
+
+// ListEnumerations fetches one page of the enumeration list. The list
+// grammar is shared with ListJobs (Limit, PageToken, State); Kind is
+// ignored — the surface is enumeration-only.
+func (c *Client) ListEnumerations(ctx context.Context, opts ListJobsOptions) (api.EnumList, error) {
+	opts.Kind = ""
+	var page api.EnumList
+	err := c.do(ctx, http.MethodGet, "/v1/enumerations"+opts.query(), nil, &page)
+	return page, err
+}
+
+// Enumerations iterates every enumeration matching opts, fetching
+// pages as needed. A transport or server error is yielded once as the
+// final element.
+func (c *Client) Enumerations(ctx context.Context, opts ListJobsOptions) iter.Seq2[api.EnumStatus, error] {
+	return func(yield func(api.EnumStatus, error) bool) {
+		for {
+			page, err := c.ListEnumerations(ctx, opts)
+			if err != nil {
+				yield(api.EnumStatus{}, err)
+				return
+			}
+			for _, st := range page.Enumerations {
+				if !yield(st, nil) {
+					return
+				}
+			}
+			if page.NextPageToken == "" {
+				return
+			}
+			opts.PageToken = page.NextPageToken
+		}
+	}
+}
+
+// EnumWatchEvent is one delivery from WatchEnumeration's channel.
+type EnumWatchEvent struct {
+	// ID is the enumeration state's revision number (the SSE event id).
+	ID int64
+	// Type is api.EventBatch when a HIT batch just completed,
+	// api.EventState for replayed or synthesized snapshots, and
+	// api.EventDone for the terminal one.
+	Type string
+	// Event carries the status snapshot and, on batch events, the batch
+	// that just completed with its newly discovered items.
+	Event api.EnumEvent
+	// Err, when non-nil, reports why the watch ended early (transport
+	// drop, decode failure, cancelled context). It is always the last
+	// event on the channel.
+	Err error
+}
+
+// WatchEnumeration subscribes to an enumeration's SSE stream and
+// returns a channel of its batch completions. The channel closes after
+// the terminal "done" event, after a delivery with Err set, or once
+// ctx is cancelled; the caller should consume until close. The first
+// delivery is the current state (unless suppressed via
+// WatchOptions.LastEventID), so a watcher renders immediately instead
+// of waiting for the next batch.
+func (c *Client) WatchEnumeration(ctx context.Context, name string, opts ...WatchOptions) (<-chan EnumWatchEvent, error) {
+	path := enumPath(name) + "/events"
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.baseURL+path, nil)
+	if err != nil {
+		return nil, fmt.Errorf("client: building watch request: %w", err)
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	req.Header.Set("Cache-Control", "no-cache")
+	for _, o := range opts {
+		if o.LastEventID > 0 {
+			req.Header.Set("Last-Event-ID", strconv.FormatInt(o.LastEventID, 10))
+		}
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("client: watch enumeration %s: %w", name, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		defer resp.Body.Close()
+		return nil, decodeError(resp)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/event-stream") {
+		resp.Body.Close()
+		return nil, fmt.Errorf("client: watch enumeration %s: unexpected Content-Type %q", name, ct)
+	}
+
+	out := make(chan EnumWatchEvent)
+	go func() {
+		defer close(out)
+		defer resp.Body.Close()
+		err := parseSSEFrames(resp.Body, func(fr sseFrame) (bool, error) {
+			ev := EnumWatchEvent{ID: fr.id, Type: fr.kind}
+			if ev.Type == "" {
+				ev.Type = api.EventState
+			}
+			if err := json.Unmarshal([]byte(fr.data), &ev.Event); err != nil {
+				return false, fmt.Errorf("client: decoding SSE data: %w", err)
+			}
+			select {
+			case out <- ev:
+			case <-ctx.Done():
+				return false, nil
+			}
+			return ev.Type != api.EventDone, nil
+		})
+		if err != nil && ctx.Err() == nil {
+			select {
+			case out <- EnumWatchEvent{Err: err}:
+			case <-ctx.Done():
+			}
+		}
+	}()
+	return out, nil
+}

@@ -9,7 +9,7 @@
 //
 // Usage:
 //
-//	cdas-loadgen [-profile smoke|contention|dedup|budget] [-out BENCH_e2e.json]
+//	cdas-loadgen [-profile smoke|contention|dedup|budget|stream|enum] [-out BENCH_e2e.json]
 //	             [-seed N] [-tenants N] [-questions N] [-overlap F] [-domains N]
 //	             [-rounds N] [-watchers F] [-arrival DUR] [-dispatchers N]
 //	             [-priorities N] [-tenant-budget F] [-global-budget F]

@@ -29,18 +29,19 @@
 //	GET    /v1/queries                all live query states
 //	GET    /v1/queries/{name}         one query's state
 //	GET    /v1/queries/{name}/events  SSE stream of live result revisions
-//	POST   /v1/streams                submit a standing (continuous) query
-//	GET    /v1/streams                list standing queries
-//	GET    /v1/streams/{name}         one stream's window accounting
-//	GET    /v1/streams/{name}/events  SSE stream of closed windows
-//	DELETE /v1/streams/{name}         cancel a standing query
+//	GET    /v1/enumerations                list enumeration jobs
+//	GET    /v1/enumerations/{name}         one enumeration's result set and estimate
+//	GET    /v1/enumerations/{name}/events  SSE stream of discovered items
 //	GET    /v1/scheduler              scheduler batching, cache and budget state
 //	GET    /v1/metrics                operational counters
 //	GET    /v1/healthz                liveness probe
 //	GET    /                          HTML results overview
 //
-// The pre-v1 routes (/jobs..., /api/...) stay mounted as deprecated
-// aliases with a Deprecation header.
+// Continuous jobs are submitted as POST /v1/jobs with kind
+// "continuous"; enumerations with kind "enumeration" and an "enum"
+// spec block. The pre-v1 routes (/jobs..., /api/...) and the
+// /v1/streams group stay mounted as deprecated aliases with a
+// Deprecation header.
 package main
 
 import (
@@ -55,6 +56,7 @@ import (
 
 	"cdas/internal/crowd"
 	"cdas/internal/engine"
+	"cdas/internal/enum"
 	"cdas/internal/httpapi"
 	"cdas/internal/jobs"
 	"cdas/internal/metrics"
@@ -177,9 +179,25 @@ func run(addr string, seed uint64, accuracy float64, inflight int, store, storeE
 		Counters:  counters,
 		Publish:   api.StandingPublisher(),
 	})
+	enumRunner := enum.NewRunner(enum.RunnerConfig{
+		Scheduler: sched,
+		Marks:     svc,
+		OnCharge: func(job string, amount float64) {
+			// Enumeration batches charge the ledger directly (no flush
+			// loop); persist the spend the same way.
+			if err := svc.ChargeBudget(job, amount); err != nil {
+				log.Printf("cdas-server: recording enum budget charge for %q: %v", job, err)
+			}
+		},
+		Counters: counters,
+		Publish:  api.EnumPublisher(),
+	})
 	runner := func(ctx context.Context, job jobs.Job, report func(progress, cost float64)) error {
-		if job.Kind == jobs.KindContinuous {
+		switch job.Kind {
+		case jobs.KindContinuous:
 			return standingRunner(ctx, job, report)
+		case jobs.KindEnumeration:
+			return enumRunner(ctx, job, report)
 		}
 		return tsaRunner(ctx, job, report)
 	}

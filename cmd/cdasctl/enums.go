@@ -1,0 +1,170 @@
+// The enums command group: cdasctl enums <list|submit|get|cancel|
+// watch> drives the /v1/enumerations surface — open-ended enumeration
+// jobs whose crowd contributions grow a deduped result set until the
+// marginal value of the next HIT batch no longer covers its price.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+
+	"cdas/api"
+	"cdas/client"
+)
+
+// cmdEnums dispatches the enums sub-subcommands.
+func cmdEnums(ctx context.Context, c *client.Client, args []string, stdout, stderr io.Writer) error {
+	if len(args) == 0 {
+		args = []string{"list"}
+	}
+	sub, rest := args[0], args[1:]
+	switch sub {
+	case "list":
+		return cmdEnumList(ctx, c, rest, stdout, stderr)
+	case "submit":
+		return cmdEnumSubmit(ctx, c, rest, stdout, stderr)
+	case "get":
+		if len(rest) != 1 {
+			return fmt.Errorf("expected exactly one enumeration name, got %d args", len(rest))
+		}
+		return printJSON(stdout)(c.Enumeration(ctx, rest[0]))
+	case "cancel":
+		// An enumeration is a job underneath; cancel goes through the
+		// job surface.
+		return oneJob(rest, func(name string) (api.JobStatus, error) { return c.CancelJob(ctx, name) }, stdout)
+	case "watch":
+		if len(rest) != 1 {
+			return fmt.Errorf("expected exactly one enumeration name, got %d args", len(rest))
+		}
+		return watchEnum(ctx, c, rest[0], stdout)
+	default:
+		return fmt.Errorf("unknown enums subcommand %q (want list, submit, get, cancel or watch)", sub)
+	}
+}
+
+func cmdEnumList(ctx context.Context, c *client.Client, args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("enums list", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	state := fs.String("state", "", "filter by lifecycle state (pending, running, parked, done, failed, cancelled)")
+	limit := fs.Int("limit", 0, "page size hint (the iterator still fetches every page)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	tw := newTabWriter(stdout)
+	fmt.Fprintln(tw, "NAME\tSTATE\tBATCHES\tDISTINCT\tESTIMATE\tCOMPLETE\tSPENT\tSTOPPED\tERROR")
+	n := 0
+	for st, err := range c.Enumerations(ctx, client.ListJobsOptions{Limit: *limit, State: api.JobState(*state)}) {
+		if err != nil {
+			tw.Flush()
+			return err
+		}
+		total, complete := "-", "-"
+		if est := st.Estimate; est != nil {
+			total = fmt.Sprintf("%.1f", est.Total)
+			complete = fmt.Sprintf("%.0f%%", est.Completeness*100)
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%d\t%d\t%s\t%s\t%.3f\t%s\t%s\n",
+			st.Name, st.State, st.Batches, st.Distinct, total, complete, st.Spent, st.Stopped, st.Error)
+		n++
+	}
+	tw.Flush()
+	fmt.Fprintf(stdout, "%d enumeration(s)\n", n)
+	return nil
+}
+
+func cmdEnumSubmit(ctx context.Context, c *client.Client, args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("enums submit", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		name       = fs.String("name", "", "enumeration name (required)")
+		keywords   = fs.String("keywords", "", "comma-separated task keywords (required)")
+		itemValue  = fs.Float64("item-value", 0, "worth of one new member, in HIT-price currency (required, > 0)")
+		coverage   = fs.Float64("target-coverage", 0, "stop once the completeness estimate reaches this (0 = disabled)")
+		maxBatches = fs.Int("max-batches", 0, "cap on HIT batches (0 = unlimited)")
+		hitWorkers = fs.Int("hit-workers", 0, "workers per batch (0 = server default)")
+		perWorker  = fs.Int("per-worker", 0, "members asked of each worker (0 = server default)")
+		universe   = fs.Int("universe", 0, "built-in source hidden-set size (0 = server default)")
+		popularity = fs.Float64("popularity", 0, "built-in source Zipf skew exponent (0 = default)")
+		seed       = fs.Uint64("source-seed", 0, "built-in source draw seed")
+		priority   = fs.Int("priority", 0, "budget-admission priority (higher first)")
+		budget     = fs.Float64("budget", 0, "crowd-spend cap (0 = unlimited)")
+		watch      = fs.Bool("watch", false, "stream discovered items after submitting")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *name == "" || *keywords == "" {
+		return fmt.Errorf("enums submit needs -name and -keywords")
+	}
+	st, err := c.SubmitJob(ctx, api.JobSubmission{
+		Name:     *name,
+		Kind:     api.KindEnumeration,
+		Keywords: splitList(*keywords),
+		Priority: *priority,
+		Budget:   *budget,
+		Enum: &api.EnumSpec{
+			ItemValue:      *itemValue,
+			TargetCoverage: *coverage,
+			MaxBatches:     *maxBatches,
+			HITWorkers:     *hitWorkers,
+			PerWorker:      *perWorker,
+			Universe:       *universe,
+			Popularity:     *popularity,
+			SourceSeed:     *seed,
+		},
+	})
+	if err != nil {
+		return err
+	}
+	if err := printJSON(stdout)(st, nil); err != nil {
+		return err
+	}
+	if *watch {
+		return watchEnum(ctx, c, *name, stdout)
+	}
+	return nil
+}
+
+// watchEnum streams batch-completion SSE events, rendering one line per
+// batch — newly discovered members spelled out — until the terminal
+// event arrives.
+func watchEnum(ctx context.Context, c *client.Client, name string, stdout io.Writer) error {
+	events, err := c.WatchEnumeration(ctx, name)
+	if err != nil {
+		return err
+	}
+	for ev := range events {
+		if ev.Err != nil {
+			return ev.Err
+		}
+		st := ev.Event.State
+		estimate := ""
+		if est := st.Estimate; est != nil {
+			estimate = fmt.Sprintf(" total~%.1f complete=%.0f%%", est.Total, est.Completeness*100)
+		}
+		if b := ev.Event.Batch; b != nil {
+			news := ""
+			for _, it := range b.NewItems {
+				news += " +" + it.Text
+			}
+			fmt.Fprintf(stdout, "%s rev=%d batch=%d contributions=%d new=%d cost=%.3f%s%s\n",
+				ev.Type, ev.ID, b.Batch, b.Contributions, len(b.NewItems), b.Cost, estimate, news)
+		} else {
+			stopped := ""
+			if st.Stopped != "" {
+				stopped = " stopped=" + st.Stopped
+			}
+			fmt.Fprintf(stdout, "%s rev=%d batches=%d distinct=%d spent=%.3f%s%s\n",
+				ev.Type, ev.ID, st.Batches, st.Distinct, st.Spent, estimate, stopped)
+		}
+		if ev.Type == api.EventDone {
+			if st.Error != "" {
+				return fmt.Errorf("enumeration %q finished with error: %s", name, st.Error)
+			}
+			return nil
+		}
+	}
+	return fmt.Errorf("watch %q: stream ended before the terminal event", name)
+}

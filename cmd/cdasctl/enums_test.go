@@ -1,0 +1,189 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"cdas/api"
+	"cdas/internal/httpapi"
+	"cdas/internal/jobs"
+	"cdas/internal/metrics"
+)
+
+// enumBackend is a real job service + API server whose runner plays a
+// scripted enumeration: two batch completions, then the terminal done
+// event with a marginal-value stop — enough for enums watch to render
+// the full ladder.
+func enumBackend(t *testing.T) *httptest.Server {
+	t.Helper()
+	svc, err := jobs.OpenService(jobs.ServiceConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { svc.Close() })
+	srv := httpapi.NewServer()
+	disp, err := jobs.NewDispatcher(svc, func(ctx context.Context, job jobs.Job, report func(float64, float64)) error {
+		if job.Kind != jobs.KindEnumeration {
+			report(1, 0)
+			return nil
+		}
+		items := []api.EnumItem{
+			{Key: "k0", Text: "house finch", Count: 9, Batch: 0},
+			{Key: "k1", Text: "purple finch", Count: 4, Batch: 0},
+			{Key: "k2", Text: "cassin's finch", Count: 1, Batch: 1},
+		}
+		status := func(batches int, done bool) api.EnumStatus {
+			st := api.EnumStatus{
+				Name:          job.Name,
+				Keywords:      job.Query.Keywords,
+				State:         api.JobRunning,
+				Batches:       batches,
+				Contributions: int64(7 * batches),
+				Distinct:      min(batches+1, len(items)),
+				Spent:         0.05 * float64(batches),
+				Progress:      float64(batches) / 3,
+				Done:          done,
+				Estimate: &api.EnumEstimate{
+					Observed:     min(batches+1, len(items)),
+					Samples:      7 * batches,
+					Total:        3.4,
+					Completeness: float64(batches) / 3,
+				},
+				Items: items[:min(batches+1, len(items))],
+			}
+			if done {
+				st.Stopped = api.StopMarginalValue
+			}
+			return st
+		}
+		if strings.HasPrefix(job.Name, "slow-") {
+			// Leave the submitter time to attach its watcher before the
+			// first batch completes, so -watch sees live batch events
+			// instead of a terminal replay.
+			time.Sleep(250 * time.Millisecond)
+		}
+		for b := 0; b < 2; b++ {
+			srv.PublishEnumBatch(status(b+1, false), &api.EnumBatch{
+				Batch:         b,
+				Contributions: 7,
+				NewItems:      items[b : b+1],
+				ExpectedNew:   1.2,
+				Cost:          0.05,
+			})
+			report(float64(b+1)/3, 0.05)
+			if b == 0 && strings.HasPrefix(job.Name, "held-") {
+				<-ctx.Done()
+				return ctx.Err()
+			}
+		}
+		srv.PublishEnumBatch(status(3, true), nil)
+		report(1, 0.05)
+		return nil
+	}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	disp.Start()
+	t.Cleanup(disp.Stop)
+	srv.SetJobs(disp)
+	srv.SetCounters(metrics.NewRegistry())
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// TestCtlEnums drives the enums command group end to end: submit
+// -watch renders every batch plus the terminal line, get/list show the
+// growing set, the kind filter routes the job, cancel lands on a held
+// enumeration.
+func TestCtlEnums(t *testing.T) {
+	ts := enumBackend(t)
+
+	code, out, errOut := ctl(t, ts.URL, "enums", "submit",
+		"-name", "slow-finch", "-keywords", "finch species",
+		"-item-value", "0.05", "-universe", "12", "-source-seed", "7", "-watch")
+	if code != 0 {
+		t.Fatalf("enums submit -watch exited %d: %s", code, errOut)
+	}
+	var st api.JobStatus
+	dec := json.NewDecoder(strings.NewReader(out))
+	if err := dec.Decode(&st); err != nil {
+		t.Fatalf("submit output not a JobStatus: %v\n%s", err, out)
+	}
+	if st.Name != "slow-finch" || st.Kind != string(api.KindEnumeration) {
+		t.Errorf("submitted enumeration = %+v", st)
+	}
+	if !strings.Contains(out, "batch rev=") || !strings.Contains(out, "+house finch") {
+		t.Errorf("watch output missing batch lines:\n%s", out)
+	}
+	if !strings.Contains(out, "done rev=") || !strings.Contains(out, "stopped=marginal_value") {
+		t.Errorf("watch output missing the terminal done line:\n%s", out)
+	}
+
+	// get prints the enumeration view as JSON; the bare command lists it.
+	code, out, errOut = ctl(t, ts.URL, "enums", "get", "slow-finch")
+	if code != 0 || !strings.Contains(out, `"distinct": 3`) || !strings.Contains(out, `"stopped": "marginal_value"`) {
+		t.Errorf("enums get exited %d: %s / %s", code, out, errOut)
+	}
+	code, out, _ = ctl(t, ts.URL, "enums")
+	if code != 0 || !strings.Contains(out, "NAME") || !strings.Contains(out, "slow-finch") ||
+		!strings.Contains(out, "1 enumeration(s)") {
+		t.Errorf("enums list output:\n%s", out)
+	}
+
+	// The top-level list's kind filter finds it — and excludes it from
+	// the batch family.
+	code, out, _ = ctl(t, ts.URL, "list", "-kind", "enumeration")
+	if code != 0 || !strings.Contains(out, "slow-finch") || !strings.Contains(out, "1 job(s)") {
+		t.Errorf("list -kind enumeration output:\n%s", out)
+	}
+	code, out, _ = ctl(t, ts.URL, "list", "-kind", "batch")
+	if code != 0 || !strings.Contains(out, "0 job(s)") {
+		t.Errorf("list -kind batch output:\n%s", out)
+	}
+
+	// watch on a finished enumeration replays straight to done.
+	code, out, errOut = ctl(t, ts.URL, "enums", "watch", "slow-finch")
+	if code != 0 || !strings.Contains(out, "done rev=") {
+		t.Errorf("enums watch exited %d: %s / %s", code, out, errOut)
+	}
+
+	// cancel a held enumeration mid-run.
+	if code, _, errOut := ctl(t, ts.URL, "enums", "submit",
+		"-name", "held-wren", "-keywords", "wren", "-item-value", "0.05"); code != 0 {
+		t.Fatalf("submit held-wren exited %d: %s", code, errOut)
+	}
+	code, out, errOut = ctl(t, ts.URL, "enums", "cancel", "held-wren")
+	if code != 0 {
+		t.Fatalf("enums cancel exited %d: %s", code, errOut)
+	}
+	if !strings.Contains(out, `"held-wren"`) {
+		t.Errorf("cancel output: %s", out)
+	}
+}
+
+func TestCtlEnumsErrors(t *testing.T) {
+	ts := enumBackend(t)
+	for _, tc := range []struct {
+		name string
+		args []string
+	}{
+		{"unknown subcommand", []string{"enums", "frobnicate"}},
+		{"get without name", []string{"enums", "get"}},
+		{"get unknown", []string{"enums", "get", "ghost"}},
+		{"cancel unknown", []string{"enums", "cancel", "ghost"}},
+		{"watch without name", []string{"enums", "watch"}},
+		{"submit without name", []string{"enums", "submit", "-keywords", "x", "-item-value", "0.05"}},
+		{"submit bad flag", []string{"enums", "submit", "-name", "x", "-keywords", "x", "-bogus"}},
+		{"submit without item value", []string{"enums", "submit", "-name", "x", "-keywords", "x"}},
+		{"bad kind filter", []string{"list", "-kind", "mystery"}},
+	} {
+		if code, _, errOut := ctl(t, ts.URL, tc.args...); code == 0 {
+			t.Errorf("%s: exited 0, want failure (stderr %q)", tc.name, errOut)
+		}
+	}
+}

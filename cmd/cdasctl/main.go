@@ -10,11 +10,12 @@
 //
 //	submit     register a job (-name, -keywords, -domain, -accuracy, -window, ...)
 //	get        print one job's record               (cdasctl get NAME)
-//	list       list jobs (-state filter, -limit page size; auto-paginates)
+//	list       list jobs (-state/-kind filters, -limit page size; auto-paginates)
 //	cancel     cancel a pending, parked or running job
 //	unpark     resume a budget-parked job
 //	watch      stream a query's live results over SSE until it finishes
 //	streams    standing queries: streams <list|submit|get|cancel|watch>
+//	enums      enumerations: enums <list|submit|get|cancel|watch>
 //	queries    list live query states
 //	aggregators  list the registered answer-aggregation methods
 //	scheduler  print the cross-query scheduler state
@@ -48,7 +49,7 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	server := global.String("server", envOr("CDAS_SERVER", "http://localhost:8080"), "CDAS server base URL")
 	global.Usage = func() {
 		fmt.Fprintln(stderr, "usage: cdasctl [-server URL] <command> [flags] [args]")
-		fmt.Fprintln(stderr, "commands: submit, get, list, cancel, unpark, watch, streams, queries, aggregators, scheduler, metrics, health")
+		fmt.Fprintln(stderr, "commands: submit, get, list, cancel, unpark, watch, streams, enums, queries, aggregators, scheduler, metrics, health")
 		global.PrintDefaults()
 	}
 	if err := global.Parse(argv); err != nil {
@@ -78,6 +79,8 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		err = cmdWatch(ctx, c, args, stdout)
 	case "streams":
 		err = cmdStreams(ctx, c, args, stdout, stderr)
+	case "enums":
+		err = cmdEnums(ctx, c, args, stdout, stderr)
 	case "queries":
 		err = printJSON(stdout)(c.Queries(ctx))
 	case "aggregators":
@@ -195,11 +198,12 @@ func cmdList(ctx context.Context, c *client.Client, args []string, stdout, stder
 	fs := flag.NewFlagSet("list", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	state := fs.String("state", "", "filter by lifecycle state (pending, running, parked, done, failed, cancelled)")
+	kind := fs.String("kind", "", "filter by job kind (batch, tsa, imagetag, custom, continuous, enumeration)")
 	limit := fs.Int("limit", 0, "page size hint (the iterator still fetches every page)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	opts := client.ListJobsOptions{Limit: *limit, State: api.JobState(*state)}
+	opts := client.ListJobsOptions{Limit: *limit, State: api.JobState(*state), Kind: *kind}
 	tw := newTabWriter(stdout)
 	fmt.Fprintln(tw, "NAME\tSTATE\tPROGRESS\tCOST\tATTEMPTS\tERROR")
 	n := 0

@@ -1,0 +1,212 @@
+// Example enumeration demonstrates open-ended enumeration queries:
+// HITs ask workers to contribute set members ("list all X") instead of
+// votes, free-text answers are canonicalized and deduped into a growing
+// result set, a Chao92 species estimate tracks completeness live, and
+// the budget ledger's marginal-value admission stops buying batches
+// once expected discovery no longer covers the HIT price. Every batch
+// commits a durable mark, so the example kills the service mid-run —
+// kill -9, morally — reopens the store and shows the replay resuming at
+// the next batch without re-charging the crowd for committed ones.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"cdas/internal/crowd"
+	"cdas/internal/engine"
+	"cdas/internal/enum"
+	"cdas/internal/jobs"
+	"cdas/internal/metrics"
+	"cdas/internal/scheduler"
+	"cdas/internal/stats"
+	"cdas/internal/textgen"
+	"cdas/internal/tsa"
+)
+
+const (
+	seed     = 7
+	jobName  = "us-states"
+	universe = 30
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "cdas-enum-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	fmt.Printf("job store: %s\n\n", dir)
+
+	counters := metrics.NewRegistry()
+
+	// ---- First incarnation: buy a few batches, then pull the plug. ----
+	svc, err := jobs.OpenService(jobs.ServiceConfig{Dir: dir, Counters: counters})
+	if err != nil {
+		log.Fatal(err)
+	}
+	disp := newIncarnation(svc, counters, 40*time.Millisecond)
+	disp.Start()
+	if _, err := disp.Submit(enumerationJob()); err != nil {
+		log.Fatal(err)
+	}
+	// Wait for two durably committed batches, then cut the process down:
+	// the store stops accepting writes first, so whatever the runner was
+	// doing next never reaches disk.
+	for {
+		if mark, ok := svc.StreamMarkFor(jobName); ok && mark.Window >= 1 {
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	svc.Close()
+	disp.Stop()
+	mark, _ := svc.StreamMarkFor(jobName)
+	fmt.Printf("\ncrash after batch %d: committed spend=$%.2f contributions=%d distinct=%d\n\n",
+		mark.Window, mark.Spent, mark.Seen, mark.Matched)
+
+	// ---- Second incarnation: replay the store and resume the hunt. ----
+	svc2, err := jobs.OpenService(jobs.ServiceConfig{Dir: dir, Counters: counters})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer svc2.Close()
+	mark2, _ := svc2.StreamMarkFor(jobName)
+	fmt.Printf("replay recovered enumeration mark: batch=%d spend=$%.2f distinct=%d\n", mark2.Window, mark2.Spent, mark2.Matched)
+	for _, name := range svc2.Resumed() {
+		fmt.Printf("replay resumed interrupted job %q\n", name)
+	}
+	fmt.Println()
+	disp2 := newIncarnation(svc2, counters, 0)
+	disp2.Start()
+	for {
+		st, ok := disp2.Status(jobName)
+		if ok && st.State.Terminal() {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	disp2.Stop()
+
+	final, _ := svc2.StreamMarkFor(jobName)
+	st, _ := disp2.Status(jobName)
+	fmt.Printf("\nfinal: state=%s batches=%d contributions=%d distinct=%d of %d true members, spend=$%.2f, stopped=%s\n",
+		st.State, final.Window+1, final.Seen, final.Matched, universe, final.Spent, final.Enum.Stopped)
+	fmt.Printf("counters: enum_batches=%d enum_contributions=%d enum_items_discovered=%d\n",
+		counters.Get("enum_batches"),
+		counters.Get("enum_contributions"),
+		counters.Get("enum_items_discovered"))
+}
+
+// enumerationJob is the demo query: an open-ended collection over a
+// hidden set of 30 members drawn with a Zipf popularity skew, a budget
+// generous enough that the marginal-value rule — not the money — is
+// what ends the job.
+func enumerationJob() jobs.Job {
+	return jobs.Job{
+		Name:   jobName,
+		Kind:   jobs.KindEnumeration,
+		Budget: 5,
+		Query: jobs.Query{
+			Keywords: []string{"US state"},
+		},
+		Enum: &jobs.EnumSpec{
+			ItemValue:  0.05,
+			Universe:   universe,
+			SourceSeed: seed,
+		},
+	}
+}
+
+// newIncarnation wires one process lifetime: scheduler, enumeration
+// runner and a single-worker dispatcher, with the persisted budget
+// ledger restored. delay paces each simulated HIT batch so the first
+// incarnation has a mid-run moment to die in.
+func newIncarnation(svc *jobs.Service, counters *metrics.Registry, delay time.Duration) *jobs.Dispatcher {
+	platform, err := crowd.NewPlatform(crowd.DefaultConfig(seed))
+	if err != nil {
+		log.Fatal(err)
+	}
+	golden, err := textgen.Generate(textgen.Config{
+		Seed: seed + 2, Movies: []string{"The Calibration Reel"}, TweetsPerMovie: 30,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sched, err := scheduler.New(scheduler.Config{
+		Platform: engine.CrowdPlatform{Platform: platform},
+		Engine:   engine.Config{RequiredAccuracy: 0.9, HITSize: 20, MaxInflightHITs: 2, Seed: seed},
+		Golden:   tsa.GoldenQuestions(golden),
+		Counters: counters,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	persisted := svc.Budget()
+	lines := make(map[string]scheduler.JobBudget, len(persisted.Jobs))
+	for name, spent := range persisted.Jobs {
+		lines[name] = scheduler.JobBudget{Spent: spent}
+	}
+	sched.Ledger().Restore(persisted.GlobalSpent, lines)
+
+	source := enum.SourceFactory(nil)
+	if delay > 0 {
+		source = func(job jobs.Job) (enum.Source, error) {
+			inner, err := enum.NewSimSource(job)
+			if err != nil {
+				return nil, err
+			}
+			return slowSource{Source: inner, delay: delay}, nil
+		}
+	}
+	runner := enum.NewRunner(enum.RunnerConfig{
+		Scheduler: sched,
+		Source:    source,
+		Marks:     svc,
+		OnCharge: func(job string, amount float64) {
+			if err := svc.ChargeBudget(job, amount); err != nil {
+				log.Printf("enumeration: recording charge for %q: %v", job, err)
+			}
+		},
+		Counters: counters,
+		Publish:  printBatch,
+	})
+	disp, err := jobs.NewDispatcher(svc, runner, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return disp
+}
+
+// printBatch renders each batch completion (and the terminal event) as
+// one line — the example's stand-in for the SSE stream.
+func printBatch(job jobs.Job, batch *enum.BatchResult, items []enum.Item, mark jobs.StreamMark, est stats.SpeciesEstimate, done bool) {
+	if batch == nil {
+		if done {
+			fmt.Printf("  enumeration done: %d distinct, estimate %.1f, spend=$%.2f\n",
+				len(items), est.Total, mark.Spent)
+		}
+		return
+	}
+	news := ""
+	for _, it := range batch.NewItems {
+		news += " +" + it.Text
+	}
+	fmt.Printf("  batch %d: contributions=%-2d new=%d cost=$%.2f estimate~%.1f complete=%.0f%%%s\n",
+		batch.Batch, batch.Contributions, len(batch.NewItems), batch.Cost,
+		est.Total, est.Completeness()*100, news)
+}
+
+// slowSource delays each batch draw, simulating a marketplace where
+// assignments take real time.
+type slowSource struct {
+	enum.Source
+	delay time.Duration
+}
+
+func (s slowSource) Batch(i int) []enum.Contribution {
+	time.Sleep(s.delay)
+	return s.Source.Batch(i)
+}

@@ -1,0 +1,203 @@
+package enum
+
+import (
+	"context"
+	"fmt"
+
+	"cdas/api"
+	"cdas/internal/jobs"
+	"cdas/internal/metrics"
+	"cdas/internal/scheduler"
+	"cdas/internal/stats"
+)
+
+// Stop reasons recorded in the durable mark's EnumProgress.Stopped.
+// The values are the wire contract's (they surface verbatim in
+// EnumStatus.Stopped); aliased here so runner code reads naturally.
+const (
+	// StopMarginalValue: E[new items per batch] x item value fell below
+	// the HIT price — the principled open-ended stop.
+	StopMarginalValue = api.StopMarginalValue
+	// StopTargetCoverage: the completeness estimate reached the spec's
+	// target.
+	StopTargetCoverage = api.StopTargetCoverage
+	// StopMaxBatches: the spec's batch cap was reached.
+	StopMaxBatches = api.StopMaxBatches
+	// StopSourceExhausted: the source had no contributions left.
+	StopSourceExhausted = api.StopSourceExhausted
+)
+
+// MarkStore persists enumeration progress marks; satisfied by
+// *jobs.Service. A nil store runs volatile (tests, ephemeral demos).
+type MarkStore interface {
+	StreamMarkFor(name string) (jobs.StreamMark, bool)
+	CommitStreamMark(name string, mark jobs.StreamMark) error
+}
+
+// BatchResult is one completed HIT batch's outcome.
+type BatchResult struct {
+	// Batch is the batch index (0-based).
+	Batch int
+	// Contributions is how many answers the batch collected.
+	Contributions int
+	// NewItems are the members this batch discovered, in contribution
+	// order.
+	NewItems []Item
+	// ExpectedNew is the E[new items] the admission rule priced the
+	// batch at (Good-Turing unseen probability x batch size).
+	ExpectedNew float64
+	// Cost is what the batch was charged.
+	Cost float64
+}
+
+// PublishFunc receives enumeration progress for the live-results
+// surface: one call per completed batch (batch != nil, done false) and
+// one terminal call (batch == nil, done true). items is the full result
+// set sorted by text; est the current Chao92 estimate.
+type PublishFunc func(job jobs.Job, batch *BatchResult, items []Item, mark jobs.StreamMark, est stats.SpeciesEstimate, done bool)
+
+// RunnerConfig wires NewRunner.
+type RunnerConfig struct {
+	// Scheduler supplies HIT pricing and the budget ledger. Required.
+	Scheduler *scheduler.Scheduler
+	// Source builds each job's contribution source; defaults to
+	// NewSimSource.
+	Source SourceFactory
+	// Marks persists batch marks across restarts; nil runs volatile.
+	Marks MarkStore
+	// OnCharge persists each batch's spend (the jobs.Service budget
+	// hook), called before the in-memory ledger charge like the
+	// scheduler's flush loop does. Optional.
+	OnCharge func(job string, amount float64)
+	// Counters receives enumeration metrics. Optional.
+	Counters *metrics.Registry
+	// Publish receives per-batch and terminal updates. Optional.
+	Publish PublishFunc
+}
+
+// NewRunner builds the jobs.Runner for KindEnumeration jobs: restore
+// the committed batch mark and result set, then buy HIT batches one at
+// a time while the ledger's marginal-value rule admits them, committing
+// each batch's mark before reporting it — so a kill -9 resumes at the
+// next batch without re-charging or re-counting committed ones. A
+// value stop (discovery dried up, coverage reached, caps hit) finishes
+// the job Done; a budget refusal parks it resumable.
+func NewRunner(cfg RunnerConfig) jobs.Runner {
+	if cfg.Source == nil {
+		cfg.Source = NewSimSource
+	}
+	return func(ctx context.Context, job jobs.Job, report func(progress, cost float64)) error {
+		if job.Kind != jobs.KindEnumeration || job.Enum == nil {
+			return fmt.Errorf("%w: enum: job %q is not an enumeration job", jobs.ErrPermanent, job.Name)
+		}
+		source, err := cfg.Source(job)
+		if err != nil {
+			// Source construction is deterministic (bad spec): retrying
+			// replays it.
+			return fmt.Errorf("%w: enum: %w", jobs.ErrPermanent, err)
+		}
+		mark := jobs.StreamMark{Window: -1}
+		if cfg.Marks != nil {
+			if m, ok := cfg.Marks.StreamMarkFor(job.Name); ok {
+				mark = m
+			}
+		}
+		set := RestoreResultSet(mark.Enum)
+		startSpent := mark.Spent
+		sp := *job.Enum
+		price := cfg.Scheduler.HITPrice()
+		ledger := cfg.Scheduler.Ledger()
+		ledger.SetJobLimit(job.Name, job.Budget)
+
+		finish := func(stop string) error {
+			mark.Enum = set.Progress()
+			mark.Enum.Stopped = stop
+			if cfg.Marks != nil {
+				if err := cfg.Marks.CommitStreamMark(job.Name, mark); err != nil {
+					return fmt.Errorf("enum: committing stop mark: %w", err)
+				}
+			}
+			if cfg.Counters != nil {
+				cfg.Counters.Inc("enum_stop_" + stop)
+			}
+			report(1, mark.Spent-startSpent)
+			if cfg.Publish != nil {
+				cfg.Publish(job, nil, set.Items(), mark, set.Estimate(), true)
+			}
+			return nil
+		}
+		if mark.Enum != nil && mark.Enum.Stopped != "" {
+			// The job had already stopped when it was interrupted; just
+			// re-surface the terminal state.
+			return finish(mark.Enum.Stopped)
+		}
+
+		for batch := mark.Window + 1; ; batch++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if sp.MaxBatches > 0 && batch >= sp.MaxBatches {
+				return finish(StopMaxBatches)
+			}
+			est := set.Estimate()
+			if sp.TargetCoverage > 0 && set.Distinct() > 0 && est.Completeness() >= sp.TargetCoverage {
+				return finish(StopTargetCoverage)
+			}
+			expected := set.UnseenProbability() * float64(sp.BatchContributions())
+			switch ledger.AdmitMarginal(job.Name, price, expected, sp.ItemValue) {
+			case scheduler.MarginalStop:
+				return finish(StopMarginalValue)
+			case scheduler.MarginalPark:
+				// No cost report: Park refunds the attempt's lifecycle
+				// cost by design; every committed batch's spend is
+				// already durable in the mark and the budget ledger.
+				if cfg.Counters != nil {
+					cfg.Counters.Inc("enum_jobs_parked")
+				}
+				return fmt.Errorf("%w: enum: batch %d of job %q refused by budget (price %.4f)",
+					jobs.ErrParked, batch, job.Name, price)
+			}
+			contribs := source.Batch(batch)
+			if len(contribs) == 0 {
+				return finish(StopSourceExhausted)
+			}
+			res := BatchResult{Batch: batch, Contributions: len(contribs), ExpectedNew: expected, Cost: price}
+			for _, c := range contribs {
+				key, isNew := set.Observe(c.Text, batch)
+				if isNew {
+					res.NewItems = append(res.NewItems, Item{
+						Key: key, Text: scheduler.NormalizeText(c.Text), Count: 1, Batch: batch,
+					})
+				}
+			}
+			// Charge order mirrors the scheduler's flush loop: persist
+			// the spend first, then the in-memory ledger.
+			if cfg.OnCharge != nil && price > 0 {
+				cfg.OnCharge(job.Name, price)
+			}
+			ledger.Charge(job.Name, price)
+			mark.Window = batch
+			mark.Spent += price
+			mark.Seen += int64(len(contribs))
+			mark.Matched = int64(set.Distinct())
+			mark.Enum = set.Progress()
+			if cfg.Marks != nil {
+				if err := cfg.Marks.CommitStreamMark(job.Name, mark); err != nil {
+					return fmt.Errorf("enum: committing batch %d mark: %w", batch, err)
+				}
+			}
+			// The mark is durable before the batch is reported: a crash
+			// after this point replays nothing.
+			cur := set.Estimate()
+			report(cur.Completeness(), mark.Spent-startSpent)
+			if cfg.Counters != nil {
+				cfg.Counters.Inc("enum_batches")
+				cfg.Counters.Add("enum_contributions", int64(len(contribs)))
+				cfg.Counters.Add("enum_items_discovered", int64(len(res.NewItems)))
+			}
+			if cfg.Publish != nil {
+				cfg.Publish(job, &res, set.Items(), mark, cur, false)
+			}
+		}
+	}
+}

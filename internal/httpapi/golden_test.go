@@ -10,6 +10,7 @@ import (
 	"testing"
 	"time"
 
+	"cdas/api"
 	"cdas/internal/jobs"
 	"cdas/internal/metrics"
 	"cdas/internal/scheduler"
@@ -86,6 +87,61 @@ func tenantServer() *Server {
 	sts[2].Job.Tenant = "acme"
 	s := NewServer()
 	s.SetJobs(&goldenController{statuses: sts})
+	return s
+}
+
+// enumServer serves the golden job set plus one enumeration job with a
+// fixed published result set — the fixture behind the enumeration and
+// kind-filter goldens, separate so the pre-existing golden bodies stay
+// byte-identical.
+func enumServer() *Server {
+	sts := goldenStatuses()
+	sts = append(sts, jobs.Status{
+		Job: jobs.Job{
+			Name:   "finch",
+			Kind:   jobs.KindEnumeration,
+			Query:  jobs.Query{Keywords: []string{"finch species"}},
+			Budget: 2,
+			Enum:   &jobs.EnumSpec{ItemValue: 0.05, Universe: 12, SourceSeed: 7},
+		},
+		State:    jobs.StateRunning,
+		Attempts: 1,
+		Progress: 0.75,
+		Cost:     0.18,
+	})
+	s := NewServer()
+	s.SetJobs(&goldenController{statuses: sts})
+	items := []api.EnumItem{
+		{Key: "1f4a3c0d9e8b7a65", Text: "house finch", Count: 21, Batch: 0},
+		{Key: "2b8e6f1a0c9d7e43", Text: "purple finch", Count: 18, Batch: 0},
+		{Key: "3c9d7e2b1f0a8c61", Text: "cassin's finch", Count: 6, Batch: 2},
+	}
+	s.PublishEnumBatch(api.EnumStatus{
+		Name:          "finch",
+		Keywords:      []string{"finch species"},
+		State:         api.JobRunning,
+		Batches:       3,
+		Contributions: 45,
+		Distinct:      3,
+		Spent:         0.18,
+		Progress:      0.75,
+		Estimate: &api.EnumEstimate{
+			Observed:     3,
+			Samples:      45,
+			Singletons:   0,
+			Coverage:     1,
+			CV2:          0.2,
+			Total:        4,
+			Completeness: 0.75,
+		},
+		Items: items,
+	}, &api.EnumBatch{
+		Batch:         2,
+		Contributions: 15,
+		NewItems:      items[2:],
+		ExpectedNew:   0.9,
+		Cost:          0.06,
+	})
 	return s
 }
 

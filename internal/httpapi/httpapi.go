@@ -41,7 +41,10 @@ type Server struct {
 	subs       map[string]map[*subscriber]struct{}
 	streams    map[string]api.StreamStatus
 	streamRevs map[string]int64
-	streamSubs map[string]map[*streamSub]struct{}
+	streamSubs map[string]map[*subscriber]struct{}
+	enums      map[string]api.EnumStatus
+	enumRevs   map[string]int64
+	enumSubs   map[string]map[*subscriber]struct{}
 	jobsCtl    JobController
 	counters   *metrics.Registry
 	sched      SchedulerReporter
@@ -56,7 +59,10 @@ func NewServer() *Server {
 		subs:       make(map[string]map[*subscriber]struct{}),
 		streams:    make(map[string]api.StreamStatus),
 		streamRevs: make(map[string]int64),
-		streamSubs: make(map[string]map[*streamSub]struct{}),
+		streamSubs: make(map[string]map[*subscriber]struct{}),
+		enums:      make(map[string]api.EnumStatus),
+		enumRevs:   make(map[string]int64),
+		enumSubs:   make(map[string]map[*subscriber]struct{}),
 	}
 }
 
@@ -85,7 +91,7 @@ func (s *Server) Update(st QueryState) {
 func (s *Server) updateLocked(st QueryState) {
 	s.queries[st.Name] = st
 	s.revs[st.Name]++
-	ev := event{rev: s.revs[st.Name], state: st}
+	ev := feedEvent{rev: s.revs[st.Name], kind: queryKind(st), data: st}
 	for sub := range s.subs[st.Name] {
 		sub.push(ev)
 	}
@@ -189,26 +195,27 @@ func (s *Server) Names() []string {
 
 // Handler returns the HTTP handler. The v1 surface (see v1.go):
 //
-//	POST   /v1/jobs                   submit a job
-//	GET    /v1/jobs                   paginated, filterable job list
-//	GET    /v1/jobs/{name}            one job's record and live results
-//	DELETE /v1/jobs/{name}            cancel a pending, parked or running job
-//	POST   /v1/jobs/{name}:unpark     resume a budget-parked job
-//	GET    /v1/queries                all live query states
-//	GET    /v1/queries/{name}         one query's state
-//	GET    /v1/queries/{name}/events  SSE stream of QueryState revisions
-//	POST   /v1/streams                submit a standing (continuous) query
-//	GET    /v1/streams                list standing queries
-//	GET    /v1/streams/{name}         one stream's window accounting
-//	GET    /v1/streams/{name}/events  SSE stream of closed windows
-//	DELETE /v1/streams/{name}         cancel a standing query
-//	GET    /v1/scheduler              cross-query scheduler state
-//	GET    /v1/metrics                operational counters
-//	GET    /v1/healthz                liveness probe
+//	POST   /v1/jobs                        submit a job (kind batch | continuous | enumeration)
+//	GET    /v1/jobs                        paginated, filterable (?kind= included) job list
+//	GET    /v1/jobs/{name}                 one job's record and live results
+//	DELETE /v1/jobs/{name}                 cancel a pending, parked or running job
+//	POST   /v1/jobs/{name}:unpark          resume a budget-parked job
+//	GET    /v1/queries                     all live query states
+//	GET    /v1/queries/{name}              one query's state
+//	GET    /v1/queries/{name}/events       SSE stream of QueryState revisions
+//	GET    /v1/enumerations                paginated enumeration list
+//	GET    /v1/enumerations/{name}         one enumeration's result set and estimate
+//	GET    /v1/enumerations/{name}/events  SSE stream of completed batches
+//	GET    /v1/scheduler                   cross-query scheduler state
+//	GET    /v1/metrics                     operational counters
+//	GET    /v1/healthz                     liveness probe
 //
-// plus GET / (HTML overview) and the deprecated pre-v1 aliases
-// (/api/queries, /api/query, /api/metrics, /api/scheduler, /jobs...),
-// which serve their historical shapes with a Deprecation header.
+// plus the deprecated /v1/streams group (POST/GET/DELETE /v1/streams...,
+// historical bodies with a Deprecation header; submission's successor is
+// the kind-discriminated POST /v1/jobs), GET / (HTML overview) and the
+// deprecated pre-v1 aliases (/api/queries, /api/query, /api/metrics,
+// /api/scheduler, /jobs...), which serve their historical shapes with a
+// Deprecation header.
 // Requests flow through the middleware chain: request ID, panic
 // recovery into a 500 envelope, and optional access logging (SetLogf).
 func (s *Server) Handler() http.Handler {

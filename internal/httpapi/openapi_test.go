@@ -1,0 +1,185 @@
+package httpapi
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"cdas/api"
+)
+
+// These tests are the openapi lint the CI workflow runs: the spec at
+// api/openapi.yaml must document every served v1 route and declare
+// every error code the surface can emit. The parse is deliberately
+// line-based — the repo takes no YAML dependency — and leans on the
+// file's stable two-space indentation.
+
+func readSpec(t *testing.T) string {
+	t.Helper()
+	b, err := os.ReadFile(filepath.Join("..", "..", "api", "openapi.yaml"))
+	if err != nil {
+		t.Fatalf("reading spec: %v", err)
+	}
+	return string(b)
+}
+
+// specOperations extracts {path -> set of methods} from the spec's
+// paths section. Path keys sit at two spaces ("  /v1/jobs:"), methods
+// at four ("    get:"); the section ends at the top-level components
+// key.
+func specOperations(t *testing.T, spec string) map[string]map[string]bool {
+	t.Helper()
+	pathKey := regexp.MustCompile(`^  (/\S+):\s*$`)
+	methodKey := regexp.MustCompile(`^    (get|put|post|patch|delete):\s*$`)
+	ops := make(map[string]map[string]bool)
+	inPaths := false
+	current := ""
+	for _, line := range strings.Split(spec, "\n") {
+		switch {
+		case line == "paths:":
+			inPaths = true
+		case inPaths && !strings.HasPrefix(line, " ") && strings.TrimSpace(line) != "":
+			inPaths = false
+		case inPaths:
+			if m := pathKey.FindStringSubmatch(line); m != nil {
+				current = m[1]
+				if ops[current] == nil {
+					ops[current] = make(map[string]bool)
+				}
+			} else if m := methodKey.FindStringSubmatch(line); m != nil && current != "" {
+				ops[current][strings.ToUpper(m[1])] = true
+			}
+		}
+	}
+	if len(ops) == 0 {
+		t.Fatal("no paths parsed from openapi.yaml — has the layout changed?")
+	}
+	return ops
+}
+
+// TestOpenAPICoversServedRoutes fails the build when the served v1
+// surface and the spec drift apart, in either direction: a route
+// registered in v1Routes but absent from openapi.yaml, or a documented
+// operation no handler backs.
+func TestOpenAPICoversServedRoutes(t *testing.T) {
+	ops := specOperations(t, readSpec(t))
+	served := make(map[string]map[string]bool)
+	for _, r := range NewServer().v1Routes() {
+		doc := r.doc
+		if doc == "" {
+			doc = r.path
+		}
+		if served[doc] == nil {
+			served[doc] = make(map[string]bool)
+		}
+		served[doc][r.method] = true
+		if !ops[doc][r.method] {
+			t.Errorf("served route %s %s is not documented in openapi.yaml", r.method, doc)
+		}
+	}
+	for path, methods := range ops {
+		if !strings.HasPrefix(path, "/v1/") {
+			continue
+		}
+		for method := range methods {
+			if !served[path][method] {
+				t.Errorf("openapi.yaml documents %s %s but no v1 route serves it", method, path)
+			}
+		}
+	}
+}
+
+// specErrorCodes extracts the Error schema's code enum.
+func specErrorCodes(t *testing.T, spec string) []string {
+	t.Helper()
+	// The enum line lives under schemas > Error > code. "    Error:"
+	// also names the shared response component, which comes first —
+	// anchor on the last occurrence, the schema.
+	idx := strings.LastIndex(spec, "\n    Error:\n")
+	if idx < 0 {
+		t.Fatal("Error schema not found in openapi.yaml")
+	}
+	enumLine := regexp.MustCompile(`(?m)^\s+enum: \[([^\]]+)\]`).FindStringSubmatch(spec[idx:])
+	if enumLine == nil {
+		t.Fatal("Error.code enum not found in openapi.yaml")
+	}
+	var codes []string
+	for _, c := range strings.Split(enumLine[1], ",") {
+		codes = append(codes, strings.TrimSpace(c))
+	}
+	return codes
+}
+
+// TestOpenAPIErrorCodeEnum pins the spec's Error.code enum to
+// api.Codes(), the single source of truth, as equal sets.
+func TestOpenAPIErrorCodeEnum(t *testing.T) {
+	inSpec := make(map[string]bool)
+	for _, c := range specErrorCodes(t, readSpec(t)) {
+		inSpec[c] = true
+	}
+	declared := make(map[string]bool)
+	for _, c := range api.Codes() {
+		declared[c] = true
+		if !inSpec[c] {
+			t.Errorf("api.Codes() entry %q missing from the openapi Error.code enum", c)
+		}
+	}
+	for c := range inSpec {
+		if !declared[c] {
+			t.Errorf("openapi Error.code enum entry %q is not in api.Codes()", c)
+		}
+	}
+}
+
+// TestEmittedErrorCodesDeclared scans this package's sources for api
+// error-constructor calls and checks each one's code is in api.Codes().
+// Raw api.Errorf calls (which could mint an undeclared code) are
+// forbidden outside package api; errors must go through the typed
+// constructors.
+func TestEmittedErrorCodesDeclared(t *testing.T) {
+	ctorCode := map[string]string{
+		"InvalidArgument":   api.CodeInvalidArgument,
+		"UnknownAggregator": api.CodeUnknownAggregator,
+		"NotFound":          api.CodeNotFound,
+		"Conflict":          api.CodeConflict,
+		"Unavailable":       api.CodeUnavailable,
+		"Internal":          api.CodeInternal,
+	}
+	declared := make(map[string]bool)
+	for _, c := range api.Codes() {
+		declared[c] = true
+	}
+	ctor := regexp.MustCompile(`api\.([A-Z]\w*)\(`)
+	files, err := filepath.Glob("*.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	emitted := 0
+	for _, f := range files {
+		if strings.HasSuffix(f, "_test.go") {
+			continue
+		}
+		src, err := os.ReadFile(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if strings.Contains(string(src), "api.Errorf(") {
+			t.Errorf("%s calls api.Errorf directly; use a typed constructor so the code stays in api.Codes()", f)
+		}
+		for _, m := range ctor.FindAllStringSubmatch(string(src), -1) {
+			code, ok := ctorCode[m[1]]
+			if !ok {
+				continue // not an error constructor (api.NewClient etc.)
+			}
+			emitted++
+			if !declared[code] {
+				t.Errorf("%s emits error code %q (api.%s) which api.Codes() does not declare", f, code, m[1])
+			}
+		}
+	}
+	if emitted == 0 {
+		t.Fatal("no error-constructor calls found — has the scan broken?")
+	}
+}

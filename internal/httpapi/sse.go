@@ -10,6 +10,11 @@
 // one loses nothing the next event doesn't restate. The event id is the
 // revision, so a reconnecting client's Last-Event-ID suppresses the
 // initial replay when it has already seen the current state.
+//
+// The subscriber queue and the serve loop here are shared by all three
+// SSE feeds — queries, streams and enumerations. Each feed supplies its
+// own replay and dead-job synthesis; the Last-Event-ID handling, the
+// drop-oldest queue and the terminal-ticker logic exist once.
 package httpapi
 
 import (
@@ -18,6 +23,7 @@ import (
 	"time"
 
 	"cdas/api"
+	"cdas/internal/jobs"
 )
 
 // subscriberBuffer is each SSE client's pending-event capacity. Events
@@ -25,21 +31,23 @@ import (
 // not preserve history.
 const subscriberBuffer = 16
 
-// event is one QueryState revision en route to a subscriber.
-type event struct {
-	rev   int64
-	state QueryState
+// feedEvent is one revision en route to a subscriber of any feed: the
+// revision id, the SSE event type, and the feed-specific JSON payload.
+type feedEvent struct {
+	rev  int64
+	kind string
+	data any
 }
 
-// subscriber is one connected SSE client's queue.
+// subscriber is one connected SSE client's queue, shared by every feed.
 type subscriber struct {
-	ch chan event
+	ch chan feedEvent
 }
 
 // push offers ev without ever blocking: a full queue drops its oldest
-// event first. Only Server.Update calls this, under s.mu, so the
-// drain-then-send pair cannot interleave with another push.
-func (sub *subscriber) push(ev event) {
+// event first. Publishers call this under s.mu, so the drain-then-send
+// pair cannot interleave with another push.
+func (sub *subscriber) push(ev feedEvent) {
 	for {
 		select {
 		case sub.ch <- ev:
@@ -53,34 +61,54 @@ func (sub *subscriber) push(ev event) {
 	}
 }
 
+// subscribeIn registers a new subscriber in a feed's name-indexed
+// subscriber sets. Callers hold s.mu.
+func subscribeIn(subs map[string]map[*subscriber]struct{}, name string) *subscriber {
+	sub := &subscriber{ch: make(chan feedEvent, subscriberBuffer)}
+	set, exists := subs[name]
+	if !exists {
+		set = make(map[*subscriber]struct{})
+		subs[name] = set
+	}
+	set[sub] = struct{}{}
+	return sub
+}
+
+// unsubscribeIn removes sub. The channel is abandoned, not closed:
+// pushes happen under s.mu, so after removal nothing sends, and the
+// garbage collector reclaims it with the handler. Callers hold s.mu.
+func unsubscribeIn(subs map[string]map[*subscriber]struct{}, name string, sub *subscriber) {
+	set := subs[name]
+	delete(set, sub)
+	if len(set) == 0 {
+		delete(subs, name)
+	}
+}
+
+// queryKind maps a query state onto its SSE event type.
+func queryKind(st QueryState) string {
+	if st.Done {
+		return api.EventDone
+	}
+	return api.EventState
+}
+
 // subscribe registers a new subscriber for name and returns it with the
 // query's current state and revision (rev 0, ok false when the query
 // has not published yet).
 func (s *Server) subscribe(name string) (sub *subscriber, cur QueryState, rev int64, ok bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	sub = &subscriber{ch: make(chan event, subscriberBuffer)}
-	set, exists := s.subs[name]
-	if !exists {
-		set = make(map[*subscriber]struct{})
-		s.subs[name] = set
-	}
-	set[sub] = struct{}{}
+	sub = subscribeIn(s.subs, name)
 	cur, ok = s.queries[name]
 	return sub, cur, s.revs[name], ok
 }
 
-// unsubscribe removes sub. The channel is abandoned, not closed:
-// Update's pushes happen under s.mu, so after removal nothing sends,
-// and the garbage collector reclaims it with the handler.
+// unsubscribe removes sub from the query feed.
 func (s *Server) unsubscribe(name string, sub *subscriber) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	set := s.subs[name]
-	delete(set, sub)
-	if len(set) == 0 {
-		delete(s.subs, name)
-	}
+	unsubscribeIn(s.subs, name, sub)
 }
 
 // queryRev returns a query's current state and revision.
@@ -113,22 +141,18 @@ func (s *Server) knownQuery(name string) bool {
 	return false
 }
 
-// v1QueryEvents is GET /v1/queries/{name}/events: an SSE stream of the
-// query's state revisions. The current state is replayed immediately
-// (unless Last-Event-ID proves the client has it), every subsequent
-// Update pushes an "state" event, and the terminal revision arrives as
-// "done", after which the server closes the stream. A job that reaches
-// a terminal lifecycle state without publishing a final query state
-// (e.g. a permanent failure before any answers were bought) produces a
-// synthetic done event carrying the job error, so watchers never hang
-// on a dead job. Client disconnect tears the subscription down through
-// the request context.
-func (s *Server) v1QueryEvents(w http.ResponseWriter, r *http.Request) {
-	name := r.PathValue("name")
-	if !s.knownQuery(name) {
-		writeError(w, api.NotFound("no such query %q", name))
-		return
-	}
+// runSSE drives one SSE connection for any feed: Last-Event-ID parsing,
+// stream headers, the replay-then-follow loop, and the dead-job ticker.
+// replay sends the initial snapshot (honouring lastSeen) and reports
+// whether to keep serving; synthesize sends the terminal event for a
+// job that reached a terminal lifecycle state without publishing one.
+// send returns false once the stream should close (done event sent, or
+// the client went away).
+func (s *Server) runSSE(w http.ResponseWriter, r *http.Request, name string,
+	subscribe func() (*subscriber, func()),
+	replay func(lastSeen int64, send func(feedEvent) bool) bool,
+	synthesize func(st jobs.Status, send func(feedEvent) bool),
+) {
 	flusher, ok := w.(http.Flusher)
 	if !ok {
 		writeError(w, api.Internal("streaming unsupported by connection"))
@@ -144,8 +168,8 @@ func (s *Server) v1QueryEvents(w http.ResponseWriter, r *http.Request) {
 		lastSeen = id
 	}
 
-	sub, cur, rev, published := s.subscribe(name)
-	defer s.unsubscribe(name, sub)
+	sub, cleanup := subscribe()
+	defer cleanup()
 
 	h := w.Header()
 	h.Set("Content-Type", "text/event-stream")
@@ -154,32 +178,22 @@ func (s *Server) v1QueryEvents(w http.ResponseWriter, r *http.Request) {
 	w.WriteHeader(http.StatusOK)
 	flusher.Flush()
 
-	send := func(ev event) bool {
-		kind := api.EventState
-		if ev.state.Done {
-			kind = api.EventDone
-		}
-		if err := writeSSE(w, ev.rev, kind, ev.state); err != nil {
+	send := func(ev feedEvent) bool {
+		if err := writeSSEData(w, ev.rev, ev.kind, ev.data); err != nil {
 			return false
 		}
 		flusher.Flush()
-		return !ev.state.Done
+		return ev.kind != api.EventDone
 	}
 
-	// Replay the current state unless the client proved it has it. A
-	// terminal state is always (re-)sent: a client resuming after the
-	// done event must get a clean close, not an eternal hang waiting
-	// for revisions that will never come.
-	if published && (rev > lastSeen || cur.Done) {
-		if !send(event{rev: rev, state: cur}) {
-			return
-		}
+	if !replay(lastSeen, send) {
+		return
 	}
-	// Not every terminal job publishes a final query state: a run that
-	// fails before buying any answers (no matching items, permanent
-	// config error) ends with nothing on the stream. Poll the job's
-	// lifecycle record so such watchers get a synthetic done event
-	// instead of hanging forever.
+	// Not every terminal job publishes a final event: a run that fails
+	// before buying any answers (no matching items, permanent config
+	// error) ends with nothing on the feed. Poll the job's lifecycle
+	// record so such watchers get a synthetic done event instead of
+	// hanging forever.
 	ticker := time.NewTicker(250 * time.Millisecond)
 	defer ticker.Stop()
 	ctx := r.Context()
@@ -211,6 +225,45 @@ func (s *Server) v1QueryEvents(w http.ResponseWriter, r *http.Request) {
 				continue
 			default:
 			}
+			synthesize(st, send)
+			return
+		}
+	}
+}
+
+// v1QueryEvents is GET /v1/queries/{name}/events: an SSE stream of the
+// query's state revisions. The current state is replayed immediately
+// (unless Last-Event-ID proves the client has it), every subsequent
+// Update pushes an "state" event, and the terminal revision arrives as
+// "done", after which the server closes the stream. A job that reaches
+// a terminal lifecycle state without publishing a final query state
+// (e.g. a permanent failure before any answers were bought) produces a
+// synthetic done event carrying the job error, so watchers never hang
+// on a dead job. Client disconnect tears the subscription down through
+// the request context.
+func (s *Server) v1QueryEvents(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if !s.knownQuery(name) {
+		writeError(w, api.NotFound("no such query %q", name))
+		return
+	}
+	s.runSSE(w, r, name,
+		func() (*subscriber, func()) {
+			sub, _, _, _ := s.subscribe(name)
+			return sub, func() { s.unsubscribe(name, sub) }
+		},
+		func(lastSeen int64, send func(feedEvent) bool) bool {
+			// Replay the current state unless the client proved it has
+			// it. A terminal state is always (re-)sent: a client
+			// resuming after the done event must get a clean close, not
+			// an eternal hang waiting for revisions that never come.
+			cur, rev, published := s.queryRev(name)
+			if published && (rev > lastSeen || cur.Done) {
+				return send(feedEvent{rev: rev, kind: queryKind(cur), data: cur})
+			}
+			return true
+		},
+		func(st jobs.Status, send func(feedEvent) bool) {
 			// Synthesize the terminal event from whatever the run
 			// published: partial results stay visible (events are
 			// full-state snapshots), only Done and the job error are
@@ -223,14 +276,6 @@ func (s *Server) v1QueryEvents(w http.ResponseWriter, r *http.Request) {
 				cur.Done = true
 				cur.Error = st.Error
 			}
-			send(event{rev: rev, state: cur})
-			return
-		}
-	}
-}
-
-// writeSSE frames one event. The data is compact JSON — json.Marshal
-// never emits raw newlines, so a single data: line suffices.
-func writeSSE(w http.ResponseWriter, id int64, kind string, st QueryState) error {
-	return writeSSEData(w, id, kind, st)
+			send(feedEvent{rev: rev, kind: queryKind(cur), data: cur})
+		})
 }

@@ -314,9 +314,9 @@ func TestSSESubscriberChurnRace(t *testing.T) {
 // TestSubscriberPushDropsOldest: a full subscriber buffer sheds its
 // oldest pending revision, never blocking the publisher.
 func TestSubscriberPushDropsOldest(t *testing.T) {
-	sub := &subscriber{ch: make(chan event, 4)}
+	sub := &subscriber{ch: make(chan feedEvent, 4)}
 	for i := 1; i <= 10; i++ {
-		sub.push(event{rev: int64(i)})
+		sub.push(feedEvent{rev: int64(i)})
 	}
 	var got []int64
 	for len(sub.ch) > 0 {

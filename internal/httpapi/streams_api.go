@@ -11,7 +11,6 @@ import (
 	"fmt"
 	"net/http"
 	"net/url"
-	"strconv"
 	"time"
 
 	"cdas/api"
@@ -28,33 +27,6 @@ import (
 // windows/spend instead of zeros.
 type StreamMarks interface {
 	StreamMarkFor(name string) (jobs.StreamMark, bool)
-}
-
-// streamEvent is one stream revision en route to an SSE subscriber.
-type streamEvent struct {
-	rev  int64
-	kind string
-	data api.StreamEvent
-}
-
-// streamSub is one connected stream watcher's queue; push never blocks
-// (drop-oldest, same policy as query subscribers).
-type streamSub struct {
-	ch chan streamEvent
-}
-
-func (sub *streamSub) push(ev streamEvent) {
-	for {
-		select {
-		case sub.ch <- ev:
-			return
-		default:
-		}
-		select {
-		case <-sub.ch:
-		default:
-		}
-	}
 }
 
 // StandingPublisher returns the standing.PublishFunc that feeds this
@@ -88,7 +60,7 @@ func (s *Server) PublishStreamWindow(st api.StreamStatus, win *api.StreamWindow)
 	if st.Done {
 		kind = api.EventDone
 	}
-	ev := streamEvent{rev: s.streamRevs[st.Name], kind: kind, data: api.StreamEvent{Window: win, State: st}}
+	ev := feedEvent{rev: s.streamRevs[st.Name], kind: kind, data: api.StreamEvent{Window: win, State: st}}
 	for sub := range s.streamSubs[st.Name] {
 		sub.push(ev)
 	}
@@ -149,37 +121,26 @@ func streamStatusDTO(job jobs.Job, mark jobs.StreamMark, sum exec.Summary, progr
 	}
 }
 
-func (s *Server) mountStreams(mux *http.ServeMux) {
-	mux.HandleFunc("POST /v1/streams", s.v1SubmitStream)
-	mux.HandleFunc("GET /v1/streams", s.v1ListStreams)
-	mux.HandleFunc("GET /v1/streams/{name}", s.v1GetStream)
-	mux.HandleFunc("GET /v1/streams/{name}/events", s.v1StreamEvents)
-	mux.HandleFunc("DELETE /v1/streams/{name}", s.v1CancelStream)
-}
-
-// streamFromSubmission converts the wire submission into a continuous
-// jobs.Job (semantic validation happens at registration).
+// streamFromSubmission converts the legacy flattened submission into a
+// continuous jobs.Job (semantic validation happens at registration).
+// The spec fields ride the same mapping the kind-discriminated
+// JobSubmission.Stream block uses.
 func streamFromSubmission(sub api.StreamSubmission) (jobs.Job, error) {
 	window, err := time.ParseDuration(sub.Window)
 	if err != nil {
 		return jobs.Job{}, fmt.Errorf("bad window %q: %w", sub.Window, err)
 	}
-	spec := jobs.StreamSpec{
+	spec, err := streamSpecFromWire(api.StreamSpec{
+		Lateness:       sub.Lateness,
+		TargetFill:     sub.TargetFill,
 		WindowCapacity: sub.WindowCapacity,
 		MaxBacklog:     sub.MaxBacklog,
 		Items:          sub.Items,
 		Rate:           sub.Rate,
 		SourceSeed:     sub.SourceSeed,
-	}
-	if sub.Lateness != "" {
-		if spec.Lateness, err = time.ParseDuration(sub.Lateness); err != nil {
-			return jobs.Job{}, fmt.Errorf("bad lateness %q: %w", sub.Lateness, err)
-		}
-	}
-	if sub.TargetFill != "" {
-		if spec.TargetFill, err = time.ParseDuration(sub.TargetFill); err != nil {
-			return jobs.Job{}, fmt.Errorf("bad target_fill %q: %w", sub.TargetFill, err)
-		}
+	})
+	if err != nil {
+		return jobs.Job{}, err
 	}
 	start := time.Now().UTC()
 	if sub.Start != "" {
@@ -344,28 +305,18 @@ func (s *Server) v1CancelStream(w http.ResponseWriter, r *http.Request) {
 
 // subscribeStream registers an SSE watcher and returns the stream's
 // current published state and revision.
-func (s *Server) subscribeStream(name string) (sub *streamSub, cur api.StreamStatus, rev int64, ok bool) {
+func (s *Server) subscribeStream(name string) (sub *subscriber, cur api.StreamStatus, rev int64, ok bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	sub = &streamSub{ch: make(chan streamEvent, subscriberBuffer)}
-	set, exists := s.streamSubs[name]
-	if !exists {
-		set = make(map[*streamSub]struct{})
-		s.streamSubs[name] = set
-	}
-	set[sub] = struct{}{}
+	sub = subscribeIn(s.streamSubs, name)
 	cur, ok = s.streams[name]
 	return sub, cur, s.streamRevs[name], ok
 }
 
-func (s *Server) unsubscribeStream(name string, sub *streamSub) {
+func (s *Server) unsubscribeStream(name string, sub *subscriber) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	set := s.streamSubs[name]
-	delete(set, sub)
-	if len(set) == 0 {
-		delete(s.streamSubs, name)
-	}
+	unsubscribeIn(s.streamSubs, name, sub)
 }
 
 // v1StreamEvents is GET /v1/streams/{name}/events: an SSE stream
@@ -378,86 +329,31 @@ func (s *Server) v1StreamEvents(w http.ResponseWriter, r *http.Request) {
 	if _, ok := s.lookupStream(w, name); !ok {
 		return
 	}
-	flusher, ok := w.(http.Flusher)
-	if !ok {
-		writeError(w, api.Internal("streaming unsupported by connection"))
-		return
-	}
-	var lastSeen int64 = -1
-	if v := r.Header.Get("Last-Event-ID"); v != "" {
-		id, err := strconv.ParseInt(v, 10, 64)
-		if err != nil {
-			writeError(w, api.InvalidArgument("bad Last-Event-ID %q: %v", v, err))
-			return
-		}
-		lastSeen = id
-	}
-
-	sub, cur, rev, published := s.subscribeStream(name)
-	defer s.unsubscribeStream(name, sub)
-
-	h := w.Header()
-	h.Set("Content-Type", "text/event-stream")
-	h.Set("Cache-Control", "no-cache")
-	h.Set("X-Accel-Buffering", "no")
-	w.WriteHeader(http.StatusOK)
-	flusher.Flush()
-
-	send := func(ev streamEvent) bool {
-		if err := writeSSEData(w, ev.rev, ev.kind, ev.data); err != nil {
-			return false
-		}
-		flusher.Flush()
-		return ev.kind != api.EventDone
-	}
-
-	if published && (rev > lastSeen || cur.Done) {
-		kind := api.EventState
-		if cur.Done {
-			kind = api.EventDone
-		}
-		if !send(streamEvent{rev: rev, kind: kind, data: api.StreamEvent{State: cur}}) {
-			return
-		}
-	}
-	ticker := time.NewTicker(250 * time.Millisecond)
-	defer ticker.Stop()
-	ctx := r.Context()
-	for {
-		select {
-		case <-ctx.Done():
-			return
-		case ev := <-sub.ch:
-			if !send(ev) {
-				return
-			}
-		case <-ticker.C:
-			ctl := s.jobs()
-			if ctl == nil {
-				continue
-			}
-			st, ok := ctl.Status(name)
-			if !ok || !api.JobState(st.State).Terminal() {
-				continue
-			}
-			select {
-			case ev := <-sub.ch:
-				if !send(ev) {
-					return
+	s.runSSE(w, r, name,
+		func() (*subscriber, func()) {
+			sub, _, _, _ := s.subscribeStream(name)
+			return sub, func() { s.unsubscribeStream(name, sub) }
+		},
+		func(lastSeen int64, send func(feedEvent) bool) bool {
+			cur, rev, published := s.streamRev(name)
+			if published && (rev > lastSeen || cur.Done) {
+				kind := api.EventState
+				if cur.Done {
+					kind = api.EventDone
 				}
-				continue
-			default:
+				return send(feedEvent{rev: rev, kind: kind, data: api.StreamEvent{State: cur}})
 			}
+			return true
+		},
+		func(st jobs.Status, send func(feedEvent) bool) {
 			// The job is terminal but never published a done event (a
 			// failure before the first window, or a cancel): synthesize
 			// one from the merged view so watchers never hang.
 			final := s.streamStatus(st)
 			final.Done = true
 			_, rev, _ := s.streamRev(name)
-			send(streamEvent{rev: rev, kind: api.EventDone, data: api.StreamEvent{State: final}})
-			return
-		}
-	}
+			send(feedEvent{rev: rev, kind: api.EventDone, data: api.StreamEvent{State: final}})
+		})
 }
 
 // streamRev returns a stream's current published state and revision.

@@ -28,23 +28,55 @@ const (
 // unparkVerb is the custom-method suffix of POST /v1/jobs/{name}:unpark.
 const unparkVerb = ":unpark"
 
+// v1Route is one versioned-surface registration: the mux method and
+// pattern plus the openapi.yaml path the route is documented under
+// (empty doc = documented under the mux path itself).
+type v1Route struct {
+	method  string
+	path    string
+	doc     string
+	handler http.HandlerFunc
+}
+
+// v1Routes is the authoritative table of the versioned surface. mountV1
+// registers exactly these routes, and the openapi lint test checks
+// every entry against api/openapi.yaml — a served route the spec does
+// not document fails the build.
+func (s *Server) v1Routes() []v1Route {
+	return []v1Route{
+		{"GET", "/v1/healthz", "", s.v1Health},
+		{"GET", "/v1/metrics", "", s.v1Metrics},
+		{"GET", "/v1/scheduler", "", s.v1Scheduler},
+		{"GET", "/v1/aggregators", "", s.v1Aggregators},
+		{"GET", "/v1/queries", "", s.v1Queries},
+		{"GET", "/v1/queries/{name}", "", s.v1Query},
+		{"GET", "/v1/queries/{name}/events", "", s.v1QueryEvents},
+		// The /v1/streams group is a deprecated alias of the unified
+		// kind-discriminated job surface: historical bodies, Deprecation
+		// header, successor-version Link.
+		{"POST", "/v1/streams", "", deprecated("/v1/jobs", s.v1SubmitStream)},
+		{"GET", "/v1/streams", "", deprecated("/v1/jobs?kind=continuous", s.v1ListStreams)},
+		{"GET", "/v1/streams/{name}", "", deprecated("/v1/jobs/{name}", s.v1GetStream)},
+		{"GET", "/v1/streams/{name}/events", "", deprecated("/v1/queries/{name}/events", s.v1StreamEvents)},
+		{"DELETE", "/v1/streams/{name}", "", deprecated("/v1/jobs/{name}", s.v1CancelStream)},
+		{"GET", "/v1/enumerations", "", s.v1ListEnums},
+		{"GET", "/v1/enumerations/{name}", "", s.v1GetEnum},
+		{"GET", "/v1/enumerations/{name}/events", "", s.v1EnumEvents},
+		{"POST", "/v1/jobs", "", s.v1SubmitJob},
+		{"GET", "/v1/jobs", "", s.v1ListJobs},
+		{"GET", "/v1/jobs/{name}", "", s.v1GetJob},
+		{"DELETE", "/v1/jobs/{name}", "", s.v1CancelJob},
+		// ServeMux wildcards span whole segments, so the AIP-style custom
+		// method POST /v1/jobs/{name}:unpark arrives with "name:unpark" as
+		// the segment; v1JobAction splits the verb off.
+		{"POST", "/v1/jobs/{nameAction}", "/v1/jobs/{name}:unpark", s.v1JobAction},
+	}
+}
+
 func (s *Server) mountV1(mux *http.ServeMux) {
-	mux.HandleFunc("GET /v1/healthz", s.v1Health)
-	mux.HandleFunc("GET /v1/metrics", s.v1Metrics)
-	mux.HandleFunc("GET /v1/scheduler", s.v1Scheduler)
-	mux.HandleFunc("GET /v1/aggregators", s.v1Aggregators)
-	mux.HandleFunc("GET /v1/queries", s.v1Queries)
-	mux.HandleFunc("GET /v1/queries/{name}", s.v1Query)
-	mux.HandleFunc("GET /v1/queries/{name}/events", s.v1QueryEvents)
-	s.mountStreams(mux)
-	mux.HandleFunc("POST /v1/jobs", s.v1SubmitJob)
-	mux.HandleFunc("GET /v1/jobs", s.v1ListJobs)
-	mux.HandleFunc("GET /v1/jobs/{name}", s.v1GetJob)
-	mux.HandleFunc("DELETE /v1/jobs/{name}", s.v1CancelJob)
-	// ServeMux wildcards span whole segments, so the AIP-style custom
-	// method POST /v1/jobs/{name}:unpark arrives with "name:unpark" as
-	// the segment; v1JobAction splits the verb off.
-	mux.HandleFunc("POST /v1/jobs/{nameAction}", s.v1JobAction)
+	for _, r := range s.v1Routes() {
+		mux.HandleFunc(r.method+" "+r.path, r.handler)
+	}
 	// Everything else under /v1 is a structured 404, not a plain-text
 	// mux miss.
 	mux.HandleFunc("/v1/", s.v1NotFound)
@@ -154,40 +186,68 @@ func (s *Server) v1SubmitJob(w http.ResponseWriter, r *http.Request) {
 	s.submitJob(w, r, "/v1/jobs/")
 }
 
+// listJobsParams are the validated pagination and filter parameters of
+// GET /v1/jobs.
+type listJobsParams struct {
+	limit     int
+	afterName string
+	state     api.JobState
+	tenant    string
+	kind      string
+}
+
 // parseListJobs extracts and validates the pagination and filter
 // parameters of GET /v1/jobs.
-func parseListJobs(r *http.Request) (limit int, afterName string, state api.JobState, tenant string, err *api.Error) {
+func parseListJobs(r *http.Request) (listJobsParams, *api.Error) {
 	q := r.URL.Query()
-	limit = defaultPageSize
+	p := listJobsParams{limit: defaultPageSize}
 	if v := q.Get("limit"); v != "" {
 		n, perr := strconv.Atoi(v)
 		if perr != nil || n < 1 {
-			return 0, "", "", "", api.InvalidArgument("limit must be a positive integer, got %q", v)
+			return p, api.InvalidArgument("limit must be a positive integer, got %q", v)
 		}
-		limit = min(n, maxPageSize)
+		p.limit = min(n, maxPageSize)
 	}
 	if v := q.Get("page_token"); v != "" {
 		raw, derr := base64.RawURLEncoding.DecodeString(v)
 		if derr != nil {
-			return 0, "", "", "", api.InvalidArgument("bad page_token %q", v)
+			return p, api.InvalidArgument("bad page_token %q", v)
 		}
 		// A token is always the base64 of a job name this server issued,
 		// so its payload must satisfy the same rules submission enforces;
 		// anything else is a forged or corrupted token, rejected rather
 		// than passed to the index as an arbitrary range bound.
-		afterName = string(raw)
-		if !utf8.ValidString(afterName) || checkJobName(afterName) != nil {
-			return 0, "", "", "", api.InvalidArgument("page_token %q does not decode to a valid job name", v)
+		p.afterName = string(raw)
+		if !utf8.ValidString(p.afterName) || checkJobName(p.afterName) != nil {
+			return p, api.InvalidArgument("page_token %q does not decode to a valid job name", v)
 		}
 	}
 	if v := q.Get("state"); v != "" {
-		state = api.JobState(v)
-		if !state.Valid() {
-			return 0, "", "", "", api.InvalidArgument("unknown state filter %q", v)
+		p.state = api.JobState(v)
+		if !p.state.Valid() {
+			return p, api.InvalidArgument("unknown state filter %q", v)
 		}
 	}
-	tenant = q.Get("tenant")
-	return limit, afterName, state, tenant, nil
+	p.tenant = q.Get("tenant")
+	if v := q.Get("kind"); v != "" {
+		switch v {
+		case api.KindBatch, api.KindTSA, api.KindImageTag, api.KindCustom,
+			api.KindContinuous, api.KindEnumeration:
+			p.kind = v
+		default:
+			return p, api.InvalidArgument("unknown kind filter %q", v)
+		}
+	}
+	return p, nil
+}
+
+// kindMatches applies the ?kind= filter: "batch" matches every one-shot
+// plan kind, anything else matches exactly.
+func kindMatches(filter string, kind jobs.Kind) bool {
+	if filter == api.KindBatch {
+		return kind != jobs.KindContinuous && kind != jobs.KindEnumeration
+	}
+	return string(kind) == filter
 }
 
 func (s *Server) v1ListJobs(w http.ResponseWriter, r *http.Request) {
@@ -195,23 +255,53 @@ func (s *Server) v1ListJobs(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	limit, afterName, state, tenant, aerr := parseListJobs(r)
+	p, aerr := parseListJobs(r)
 	if aerr != nil {
 		writeError(w, aerr)
 		return
 	}
 	out := api.JobList{Jobs: []api.JobStatus{}}
-	// One index range-read serves the page: names are index-ordered, so
-	// the page token is the last returned name and a page picks up where
-	// the previous one stopped even when jobs were inserted or removed
-	// in between.
-	page, more := ctl.StatusesPage(afterName, limit, jobs.State(state), tenant)
-	for _, st := range page {
-		out.Jobs = append(out.Jobs, s.jobStatus(st))
+	if p.kind == "" {
+		// One index range-read serves the page: names are index-ordered, so
+		// the page token is the last returned name and a page picks up where
+		// the previous one stopped even when jobs were inserted or removed
+		// in between.
+		page, more := ctl.StatusesPage(p.afterName, p.limit, jobs.State(p.state), p.tenant)
+		for _, st := range page {
+			out.Jobs = append(out.Jobs, s.jobStatus(st))
+		}
+		if more && len(out.Jobs) > 0 {
+			out.NextPageToken = base64.RawURLEncoding.EncodeToString(
+				[]byte(out.Jobs[len(out.Jobs)-1].Name))
+		}
+		writeJSON(w, out)
+		return
 	}
-	if more && len(out.Jobs) > 0 {
-		out.NextPageToken = base64.RawURLEncoding.EncodeToString(
-			[]byte(out.Jobs[len(out.Jobs)-1].Name))
+	// The kind filter has no secondary index; keep paging the indexed
+	// range and sieve until the page fills. The token stays "last name
+	// returned", so it composes with insertions and the other filters
+	// exactly like the unfiltered path.
+	after := p.afterName
+	for len(out.Jobs) < p.limit {
+		page, more := ctl.StatusesPage(after, p.limit, jobs.State(p.state), p.tenant)
+		for _, st := range page {
+			if !kindMatches(p.kind, st.Job.Kind) {
+				continue
+			}
+			out.Jobs = append(out.Jobs, s.jobStatus(st))
+			if len(out.Jobs) == p.limit {
+				break
+			}
+		}
+		if !more || len(page) == 0 {
+			break
+		}
+		if len(out.Jobs) == p.limit {
+			out.NextPageToken = base64.RawURLEncoding.EncodeToString(
+				[]byte(out.Jobs[len(out.Jobs)-1].Name))
+			break
+		}
+		after = page[len(page)-1].Job.Name
 	}
 	writeJSON(w, out)
 }
@@ -283,16 +373,26 @@ func jobError(err error) *api.Error {
 	}
 }
 
-// jobFromSubmission converts the wire submission into a jobs.Job
-// (semantic validation happens at registration).
+// jobFromSubmission converts the kind-discriminated wire submission
+// into a jobs.Job (semantic validation happens at registration). The
+// kind selects which fields apply: every kind except "enumeration"
+// needs a window, "continuous" carries the stream spec block,
+// "enumeration" the enum block. Kind/spec cross-checks (a stream block
+// on a batch job, a missing enum block) are registration's job — the
+// mapping here is mechanical.
 func jobFromSubmission(sub api.JobSubmission) (jobs.Job, error) {
-	window, err := time.ParseDuration(sub.Window)
-	if err != nil {
-		return jobs.Job{}, fmt.Errorf("bad window %q: %w", sub.Window, err)
-	}
 	kind := jobs.Kind(sub.Kind)
-	if sub.Kind == "" {
+	switch sub.Kind {
+	case "", api.KindBatch:
+		// "batch" is the documented alias for the default one-shot plan.
 		kind = jobs.KindTSA
+	}
+	var window time.Duration
+	var err error
+	if kind != jobs.KindEnumeration || sub.Window != "" {
+		if window, err = time.ParseDuration(sub.Window); err != nil {
+			return jobs.Job{}, fmt.Errorf("bad window %q: %w", sub.Window, err)
+		}
 	}
 	start := time.Now().UTC()
 	if sub.Start != "" {
@@ -301,7 +401,7 @@ func jobFromSubmission(sub api.JobSubmission) (jobs.Job, error) {
 			return jobs.Job{}, fmt.Errorf("bad start %q (want RFC 3339): %w", sub.Start, err)
 		}
 	}
-	return jobs.Job{
+	job := jobs.Job{
 		Name:       sub.Name,
 		Kind:       kind,
 		Priority:   sub.Priority,
@@ -315,5 +415,55 @@ func jobFromSubmission(sub api.JobSubmission) (jobs.Job, error) {
 			Start:            start,
 			Window:           window,
 		},
-	}, nil
+	}
+	if sub.Stream != nil {
+		spec, err := streamSpecFromWire(*sub.Stream)
+		if err != nil {
+			return jobs.Job{}, err
+		}
+		job.Stream = &spec
+	}
+	if sub.Enum != nil {
+		spec := enumSpecFromWire(*sub.Enum)
+		job.Enum = &spec
+	}
+	return job, nil
+}
+
+// streamSpecFromWire maps the wire stream block onto the internal spec,
+// parsing the duration strings.
+func streamSpecFromWire(w api.StreamSpec) (jobs.StreamSpec, error) {
+	spec := jobs.StreamSpec{
+		WindowCapacity: w.WindowCapacity,
+		MaxBacklog:     w.MaxBacklog,
+		Items:          w.Items,
+		Rate:           w.Rate,
+		SourceSeed:     w.SourceSeed,
+	}
+	var err error
+	if w.Lateness != "" {
+		if spec.Lateness, err = time.ParseDuration(w.Lateness); err != nil {
+			return jobs.StreamSpec{}, fmt.Errorf("bad lateness %q: %w", w.Lateness, err)
+		}
+	}
+	if w.TargetFill != "" {
+		if spec.TargetFill, err = time.ParseDuration(w.TargetFill); err != nil {
+			return jobs.StreamSpec{}, fmt.Errorf("bad target_fill %q: %w", w.TargetFill, err)
+		}
+	}
+	return spec, nil
+}
+
+// enumSpecFromWire maps the wire enum block onto the internal spec.
+func enumSpecFromWire(w api.EnumSpec) jobs.EnumSpec {
+	return jobs.EnumSpec{
+		ItemValue:      w.ItemValue,
+		TargetCoverage: w.TargetCoverage,
+		MaxBatches:     w.MaxBatches,
+		HITWorkers:     w.HITWorkers,
+		PerWorker:      w.PerWorker,
+		Universe:       w.Universe,
+		Popularity:     w.Popularity,
+		SourceSeed:     w.SourceSeed,
+	}
 }

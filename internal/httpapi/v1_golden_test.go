@@ -22,6 +22,10 @@ func TestV1GoldenResponses(t *testing.T) {
 	// golden exists without disturbing the tenantless legacy bodies.
 	tenants := httptest.NewServer(tenantServer().Handler())
 	defer tenants.Close()
+	// Likewise the enumeration fixture: the extra job only exists on this
+	// server, so the pre-existing list goldens keep their bytes.
+	enums := httptest.NewServer(enumServer().Handler())
+	defer enums.Close()
 
 	cases := []struct {
 		golden string
@@ -42,11 +46,18 @@ func TestV1GoldenResponses(t *testing.T) {
 		{"v1_scheduler.golden", http.MethodGet, "/v1/scheduler", "", 200, ts},
 		{"v1_metrics.golden", http.MethodGet, "/v1/metrics", "", 200, ts},
 		{"v1_aggregators.golden", http.MethodGet, "/v1/aggregators", "", 200, ts},
+		// The enumeration surface and the kind filter.
+		{"v1_enums_list.golden", http.MethodGet, "/v1/enumerations", "", 200, enums},
+		{"v1_enums_get.golden", http.MethodGet, "/v1/enumerations/finch", "", 200, enums},
+		{"v1_jobs_list_kind.golden", http.MethodGet, "/v1/jobs?kind=enumeration", "", 200, enums},
+		{"v1_jobs_list_kind_batch.golden", http.MethodGet, "/v1/jobs?kind=batch", "", 200, enums},
 		// Error envelopes.
 		{"v1_error_job_notfound.golden", http.MethodGet, "/v1/jobs/nope", "", 404, ts},
 		{"v1_error_query_notfound.golden", http.MethodGet, "/v1/queries/nope", "", 404, ts},
 		{"v1_error_bad_limit.golden", http.MethodGet, "/v1/jobs?limit=many", "", 400, ts},
 		{"v1_error_bad_state.golden", http.MethodGet, "/v1/jobs?state=limbo", "", 400, ts},
+		{"v1_error_bad_kind.golden", http.MethodGet, "/v1/jobs?kind=mystery", "", 400, ts},
+		{"v1_error_enum_notfound.golden", http.MethodGet, "/v1/enumerations/nope", "", 404, ts},
 		{"v1_error_bad_token.golden", http.MethodGet, "/v1/jobs?page_token=%21%21", "", 400, ts},
 		// "Li4vZXZpbA" decodes cleanly — to "../evil", which no submission
 		// could ever have named, so the token is forged rather than stale.

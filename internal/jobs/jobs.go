@@ -66,10 +66,11 @@ type Kind string
 
 // Supported job kinds.
 const (
-	KindTSA        Kind = "tsa"        // Twitter sentiment analytics (Section 2.2)
-	KindImageTag   Kind = "imagetag"   // image tagging (Section 5.2)
-	KindCustom     Kind = "custom"     // caller supplies the task split
-	KindContinuous Kind = "continuous" // standing query over an unbounded stream
+	KindTSA         Kind = "tsa"         // Twitter sentiment analytics (Section 2.2)
+	KindImageTag    Kind = "imagetag"    // image tagging (Section 5.2)
+	KindCustom      Kind = "custom"      // caller supplies the task split
+	KindContinuous  Kind = "continuous"  // standing query over an unbounded stream
+	KindEnumeration Kind = "enumeration" // open-ended "list all X" set enumeration
 )
 
 // StreamSpec configures a KindContinuous job: a standing query whose
@@ -132,6 +133,95 @@ func (sp StreamSpec) Validate() error {
 	return nil
 }
 
+// Enumeration batch sizing defaults, used when the spec leaves
+// HITWorkers or PerWorker zero.
+const (
+	DefaultEnumHITWorkers = 5
+	DefaultEnumPerWorker  = 3
+)
+
+// EnumSpec configures a KindEnumeration job: an open-ended "list all X"
+// query where workers contribute set members instead of votes. The base
+// Query is reinterpreted: Keywords name the set to collect; there is no
+// answer domain, accuracy requirement or time window — the stopping
+// rule is the species-estimation completeness bound plus the ledger's
+// marginal-value admission. All fields are durable (they ride the job
+// record through the WAL/LSM store).
+type EnumSpec struct {
+	// ItemValue is the worth of one newly discovered set member, in the
+	// same currency as HIT prices. The next HIT batch is admitted only
+	// while E[new items per batch] x ItemValue exceeds the batch price.
+	ItemValue float64 `json:"item_value"`
+	// TargetCoverage optionally stops the job once the Chao92
+	// completeness estimate (observed / estimated total) reaches it.
+	// Zero disables the coverage stop.
+	TargetCoverage float64 `json:"target_coverage,omitempty"`
+	// MaxBatches caps the number of HIT batches (0 = unlimited).
+	MaxBatches int `json:"max_batches,omitempty"`
+	// HITWorkers is how many workers answer each HIT batch (0 picks
+	// DefaultEnumHITWorkers).
+	HITWorkers int `json:"hit_workers,omitempty"`
+	// PerWorker is how many set members each worker is asked for
+	// (0 picks DefaultEnumPerWorker).
+	PerWorker int `json:"per_worker,omitempty"`
+	// Universe is the built-in deterministic source's hidden set size
+	// (the demo/loadgen source). Zero lets the runner's source decide.
+	Universe int `json:"universe,omitempty"`
+	// Popularity is the built-in source's Zipf-like skew exponent:
+	// item i is drawn with weight 1/(i+1)^Popularity. Zero picks 1.
+	Popularity float64 `json:"popularity,omitempty"`
+	// SourceSeed seeds the built-in source's draws.
+	SourceSeed uint64 `json:"source_seed,omitempty"`
+}
+
+// Validate reports whether the spec is well-formed.
+func (sp EnumSpec) Validate() error {
+	if sp.ItemValue <= 0 || math.IsNaN(sp.ItemValue) {
+		return fmt.Errorf("jobs: enum item value must be > 0, got %v", sp.ItemValue)
+	}
+	if sp.TargetCoverage < 0 || sp.TargetCoverage >= 1 || math.IsNaN(sp.TargetCoverage) {
+		return fmt.Errorf("jobs: enum target coverage must be in [0,1), got %v", sp.TargetCoverage)
+	}
+	if sp.MaxBatches < 0 {
+		return fmt.Errorf("jobs: enum max batches must be >= 0, got %d", sp.MaxBatches)
+	}
+	if sp.HITWorkers < 0 {
+		return fmt.Errorf("jobs: enum HIT workers must be >= 0, got %d", sp.HITWorkers)
+	}
+	if sp.PerWorker < 0 {
+		return fmt.Errorf("jobs: enum per-worker contributions must be >= 0, got %d", sp.PerWorker)
+	}
+	if sp.Universe < 0 {
+		return fmt.Errorf("jobs: enum universe must be >= 0, got %d", sp.Universe)
+	}
+	if sp.Popularity < 0 || math.IsNaN(sp.Popularity) {
+		return fmt.Errorf("jobs: enum popularity must be >= 0, got %v", sp.Popularity)
+	}
+	return nil
+}
+
+// Workers resolves the per-batch worker count, applying the default.
+func (sp EnumSpec) Workers() int {
+	if sp.HITWorkers > 0 {
+		return sp.HITWorkers
+	}
+	return DefaultEnumHITWorkers
+}
+
+// ContributionsPerWorker resolves how many members each worker names.
+func (sp EnumSpec) ContributionsPerWorker() int {
+	if sp.PerWorker > 0 {
+		return sp.PerWorker
+	}
+	return DefaultEnumPerWorker
+}
+
+// BatchContributions is the contribution count of one full HIT batch —
+// the E[new items per batch] denominator in marginal-value admission.
+func (sp EnumSpec) BatchContributions() int {
+	return sp.Workers() * sp.ContributionsPerWorker()
+}
+
 // Job is a registered analytics job.
 type Job struct {
 	Name  string
@@ -154,6 +244,9 @@ type Job struct {
 	// Stream configures a KindContinuous job's standing-query
 	// parameters; required for that kind, nil for every other.
 	Stream *StreamSpec `json:"Stream,omitempty"`
+	// Enum configures a KindEnumeration job's open-ended collection
+	// parameters; required for that kind, nil for every other.
+	Enum *EnumSpec `json:"Enum,omitempty"`
 }
 
 // Task is one step of a processing plan.
@@ -209,6 +302,18 @@ func planFor(job Job) (Plan, error) {
 			},
 			HumanTasks: []Task{
 				{Name: "classify-items", Description: "categorise each windowed item over the answer domain", Human: true},
+			},
+		}, nil
+	case KindEnumeration:
+		return Plan{
+			Job: job,
+			ComputerTasks: []Task{
+				{Name: "canonicalize", Description: "normalise free-text contributions and dedup them into the growing result set"},
+				{Name: "estimate", Description: "update the Chao92 species estimate from the frequency-of-frequencies"},
+				{Name: "admit-marginal", Description: "admit the next HIT batch only while expected discovery value exceeds its price"},
+			},
+			HumanTasks: []Task{
+				{Name: "contribute-members", Description: "name members of the requested set in free text", Human: true},
 			},
 		}, nil
 	case KindCustom:
@@ -278,7 +383,13 @@ func (m *Manager) Register(job Job) (Plan, error) {
 	if err := aggregate.Validate(job.Aggregator); err != nil {
 		return Plan{}, fmt.Errorf("jobs: %w", err)
 	}
-	if err := job.Query.Validate(); err != nil {
+	if job.Kind == KindEnumeration {
+		// Open-ended enumeration: keywords name the set to collect, but
+		// there is no answer domain, accuracy bound or window to check.
+		if len(job.Query.Keywords) == 0 {
+			return Plan{}, errors.New("jobs: query needs at least one keyword")
+		}
+	} else if err := job.Query.Validate(); err != nil {
 		return Plan{}, err
 	}
 	if job.Kind == KindContinuous {
@@ -290,6 +401,16 @@ func (m *Manager) Register(job Job) (Plan, error) {
 		}
 	} else if job.Stream != nil {
 		return Plan{}, fmt.Errorf("jobs: stream spec is only valid for %q jobs, got kind %q", KindContinuous, job.Kind)
+	}
+	if job.Kind == KindEnumeration {
+		if job.Enum == nil {
+			return Plan{}, errors.New("jobs: enumeration job needs an enum spec")
+		}
+		if err := job.Enum.Validate(); err != nil {
+			return Plan{}, err
+		}
+	} else if job.Enum != nil {
+		return Plan{}, fmt.Errorf("jobs: enum spec is only valid for %q jobs, got kind %q", KindEnumeration, job.Kind)
 	}
 	plan, err := planFor(job)
 	if err != nil {

@@ -163,6 +163,59 @@ type StreamMark struct {
 	Matched  int64 `json:"matched"`
 	Dropped  int64 `json:"dropped"`
 	Degraded int64 `json:"degraded"`
+	// Enum is an enumeration job's durable result set; nil for
+	// continuous jobs, so their mark records are wire-unchanged.
+	Enum *EnumProgress `json:"enum,omitempty"`
+}
+
+// EnumProgress is an enumeration job's durable result-set snapshot,
+// committed inside its StreamMark: everything needed to rebuild the
+// dedup set, the frequency-of-frequencies and the stop state after a
+// kill -9, without replaying any crowd work. For an enumeration job
+// the surrounding mark is reinterpreted: Window is the last completed
+// HIT batch index, Seen the cumulative contributions, Matched the
+// distinct items discovered.
+type EnumProgress struct {
+	// Counts maps canonical item key -> times contributed.
+	Counts map[string]int `json:"counts,omitempty"`
+	// Display maps canonical item key -> normalised display text.
+	Display map[string]string `json:"display,omitempty"`
+	// FirstBatch maps canonical item key -> batch that discovered it.
+	FirstBatch map[string]int `json:"first_batch,omitempty"`
+	// Contributions is the total contribution count (with repeats).
+	Contributions int64 `json:"contributions,omitempty"`
+	// Stopped records why the job stopped buying batches, empty while
+	// it is still collecting ("marginal_value", "target_coverage",
+	// "max_batches" or "source_exhausted").
+	Stopped string `json:"stopped,omitempty"`
+}
+
+// clone deep-copies the mark so callers never alias the stored maps.
+func (m StreamMark) clone() StreamMark {
+	if m.Enum == nil {
+		return m
+	}
+	e := &EnumProgress{Contributions: m.Enum.Contributions, Stopped: m.Enum.Stopped}
+	if len(m.Enum.Counts) > 0 {
+		e.Counts = make(map[string]int, len(m.Enum.Counts))
+		for k, v := range m.Enum.Counts {
+			e.Counts[k] = v
+		}
+	}
+	if len(m.Enum.Display) > 0 {
+		e.Display = make(map[string]string, len(m.Enum.Display))
+		for k, v := range m.Enum.Display {
+			e.Display[k] = v
+		}
+	}
+	if len(m.Enum.FirstBatch) > 0 {
+		e.FirstBatch = make(map[string]int, len(m.Enum.FirstBatch))
+		for k, v := range m.Enum.FirstBatch {
+			e.FirstBatch[k] = v
+		}
+	}
+	m.Enum = e
+	return m
 }
 
 // streamRecord pairs a job name with its mark for WAL/snapshot framing.
@@ -813,6 +866,7 @@ func (s *Service) CommitStreamMark(name string, mark StreamMark) error {
 	if had && mark.Window < prev.Window {
 		return fmt.Errorf("jobs: stream mark for %q regresses window %d below committed %d", name, mark.Window, prev.Window)
 	}
+	mark = mark.clone()
 	s.setStreamMark(name, mark)
 	if err := s.appendEvent(walEvent{Op: "stream", Stream: &streamRecord{Job: name, Mark: mark}}, "", true); err != nil {
 		if had {
@@ -831,7 +885,7 @@ func (s *Service) StreamMarkFor(name string) (StreamMark, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	mark, ok := s.streams[name]
-	return mark, ok
+	return mark.clone(), ok
 }
 
 // VoidClaim commits the reversal of a claim whose runner never started

@@ -306,6 +306,18 @@ func CompareE2E(base, fresh *Report, tol float64) []string {
 	if fresh.Jobs.Unsettled > 0 {
 		out = append(out, fmt.Sprintf("%d job(s) never settled", fresh.Jobs.Unsettled))
 	}
+	if e := fresh.Enum; e != nil {
+		// The open-ended contract, tolerance-free: marginal-value
+		// admission must halt the spend before the budgets run out, and
+		// discovery must have actually converged (a completeness estimate
+		// exists and the crowd found most of each hidden set).
+		if e.BudgetTotal > 0 && e.Spent >= e.BudgetTotal {
+			out = append(out, fmt.Sprintf("enumeration spend %.3f exhausted the %.3f budget — admission never stopped buying", e.Spent, e.BudgetTotal))
+		}
+		if e.Jobs > 0 && e.StoppedMarginal+e.StoppedOther < e.Jobs {
+			out = append(out, fmt.Sprintf("only %d of %d enumeration job(s) recorded a stop reason", e.StoppedMarginal+e.StoppedOther, e.Jobs))
+		}
+	}
 	if base.QuestionsPerSec > 0 && fresh.QuestionsPerSec < base.QuestionsPerSec*(1-tol) {
 		out = append(out, fmt.Sprintf("questions/s regressed %.0f -> %.0f (-%.0f%%, tolerance %.0f%%)",
 			base.QuestionsPerSec, fresh.QuestionsPerSec, 100*(1-fresh.QuestionsPerSec/base.QuestionsPerSec), 100*tol))
@@ -327,6 +339,15 @@ func CompareE2E(base, fresh *Report, tol float64) []string {
 	if base.ResultsHash != fresh.ResultsHash {
 		out = append(out, fmt.Sprintf("results hash diverged on a deterministic profile: baseline %s, fresh %s",
 			base.ResultsHash, fresh.ResultsHash))
+	}
+	if base.Enum != nil {
+		switch {
+		case fresh.Enum == nil:
+			out = append(out, "baseline carries an enumeration summary but the fresh run has none")
+		case !enumSummaryEq(*base.Enum, *fresh.Enum):
+			out = append(out, fmt.Sprintf("enumeration summary diverged on a deterministic profile: baseline %+v, fresh %+v",
+				*base.Enum, *fresh.Enum))
+		}
 	}
 	out = append(out, compareMatrix(base.Matrix, fresh.Matrix)...)
 	return out
@@ -356,6 +377,17 @@ func compareMatrix(base, fresh *AccuracyMatrix) []string {
 		}
 	}
 	return out
+}
+
+// enumSummaryEq compares enumeration summaries field by field, floats
+// through floatEq (the baseline's JSON round-trip may shave an ulp).
+func enumSummaryEq(a, b EnumSummary) bool {
+	return a.Jobs == b.Jobs && a.Batches == b.Batches &&
+		a.Contributions == b.Contributions && a.Distinct == b.Distinct &&
+		a.StoppedMarginal == b.StoppedMarginal && a.StoppedOther == b.StoppedOther &&
+		floatEq(a.EstimateTotal, b.EstimateTotal) &&
+		floatEq(a.MeanCompleteness, b.MeanCompleteness) &&
+		floatEq(a.Spent, b.Spent) && floatEq(a.BudgetTotal, b.BudgetTotal)
 }
 
 // floatEq compares spends with a tiny absolute-plus-relative epsilon:

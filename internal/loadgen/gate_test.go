@@ -8,6 +8,60 @@ import (
 	"time"
 )
 
+func TestProfileNamesAllResolveAndValidate(t *testing.T) {
+	names := ProfileNames()
+	if len(names) == 0 {
+		t.Fatal("no named profiles")
+	}
+	for _, n := range names {
+		p, ok := Named(n)
+		if !ok {
+			t.Fatalf("ProfileNames lists %q but Named rejects it", n)
+		}
+		v, err := p.Validate()
+		if err != nil {
+			t.Errorf("profile %q does not validate: %v", n, err)
+			continue
+		}
+		w, err := BuildWorkload(v)
+		if err != nil {
+			t.Errorf("profile %q does not build: %v", n, err)
+			continue
+		}
+		if got := w.TotalQuestions(); got != v.Tenants*v.QuestionsPerTenant*v.Rounds {
+			t.Errorf("profile %q TotalQuestions = %d", n, got)
+		}
+	}
+	if _, ok := Named("no-such-profile"); ok {
+		t.Error("Named accepted an unknown profile")
+	}
+}
+
+func TestNewBenchBaselineFillsEnvironment(t *testing.T) {
+	fresh := BenchRun{Benchmarks: map[string]BenchResult{"BenchmarkX": {}}}
+	b := NewBenchBaseline(fresh, "3x", "notes")
+	if b.Schema != BenchSchema || b.Benchtime != "3x" || b.Notes != "notes" {
+		t.Errorf("baseline header = %+v", b)
+	}
+	if b.GOOS == "" || b.GOARCH == "" || b.CPU == "" {
+		t.Errorf("environment not backfilled: goos=%q goarch=%q cpu=%q", b.GOOS, b.GOARCH, b.CPU)
+	}
+	kept := BenchRun{GOOS: "plan9", GOARCH: "riscv64", CPU: "m1", Benchmarks: fresh.Benchmarks}
+	if b2 := NewBenchBaseline(kept, "1x", ""); b2.GOOS != "plan9" || b2.GOARCH != "riscv64" || b2.CPU != "m1" {
+		t.Errorf("bench-output environment not preserved: %+v", b2)
+	}
+}
+
+func TestRecorderErrorCapIsBounded(t *testing.T) {
+	r := &recorder{}
+	for i := 0; i < 3*maxReportedErrors; i++ {
+		r.addError("boom")
+	}
+	if len(r.errs) != maxReportedErrors {
+		t.Errorf("recorder kept %d errors, want the %d cap", len(r.errs), maxReportedErrors)
+	}
+}
+
 func TestProfileValidateErrors(t *testing.T) {
 	base, _ := Named("smoke")
 	cases := []struct {
@@ -24,6 +78,11 @@ func TestProfileValidateErrors(t *testing.T) {
 		{"accuracy", func(p *Profile) { p.RequiredAccuracy = 1.2 }},
 		{"hit size", func(p *Profile) { p.HITSize = 1 }},
 		{"unknown aggregator", func(p *Profile) { p.Aggregator = "consensus-9000" }},
+		{"stream and enum", func(p *Profile) { p.Stream = true; p.Enum = true }},
+		{"negative item value", func(p *Profile) { p.Enum = true; p.EnumItemValue = -1 }},
+		{"negative universe", func(p *Profile) { p.Enum = true; p.EnumUniverse = -5 }},
+		{"negative popularity", func(p *Profile) { p.Enum = true; p.EnumPopularity = -1 }},
+		{"negative max batches", func(p *Profile) { p.Enum = true; p.EnumMaxBatches = -1 }},
 	}
 	for _, tc := range cases {
 		p := base
@@ -333,6 +392,53 @@ func TestCompareE2E(t *testing.T) {
 	fresh.Partial = true
 	if v := CompareE2E(base, fresh, 0.30); len(v) != 1 {
 		t.Fatalf("partial run not flagged: %v", v)
+	}
+}
+
+func TestCompareE2EEnum(t *testing.T) {
+	mk := func() *Report {
+		return &Report{
+			Schema:        ReportSchema,
+			Profile:       Profile{Name: "enum", Seed: 1},
+			GOARCH:        "amd64",
+			Deterministic: true,
+			Jobs:          JobsSummary{Total: 4, Done: 4},
+			ResultsHash:   "abc",
+			Enum: &EnumSummary{
+				Jobs: 4, Batches: 20, Contributions: 300, Distinct: 82,
+				EstimateTotal: 124.8, MeanCompleteness: 0.67,
+				Spent: 1.68, BudgetTotal: 8, StoppedMarginal: 4,
+			},
+		}
+	}
+	base, fresh := mk(), mk()
+	if v := CompareE2E(base, fresh, 0.30); len(v) != 0 {
+		t.Fatalf("identical enum reports flagged: %v", v)
+	}
+	// Budget exhaustion means the marginal rule never engaged.
+	fresh.Enum.Spent = 8
+	fresh.Enum.StoppedMarginal = 0
+	fresh.Enum.StoppedOther = 4
+	if v := CompareE2E(base, fresh, 0.30); len(v) != 2 {
+		t.Fatalf("exhausted budget produced %d violations, want 2 (exhaustion + summary divergence): %v", len(v), v)
+	}
+	// A job that settled without a recorded stop reason is a violation.
+	fresh = mk()
+	fresh.Enum.StoppedMarginal = 3
+	if v := CompareE2E(base, fresh, 0.30); len(v) != 2 {
+		t.Fatalf("missing stop reason produced %d violations, want 2 (stop tally + summary divergence): %v", len(v), v)
+	}
+	// An enum baseline requires an enum summary in the fresh run.
+	fresh = mk()
+	fresh.Enum = nil
+	if v := CompareE2E(base, fresh, 0.30); len(v) != 1 {
+		t.Fatalf("enum-less fresh run produced %d violations, want 1: %v", len(v), v)
+	}
+	// Any drifted field is a determinism violation.
+	fresh = mk()
+	fresh.Enum.Distinct = 83
+	if v := CompareE2E(base, fresh, 0.30); len(v) != 1 {
+		t.Fatalf("drifted enum summary produced %d violations, want 1: %v", len(v), v)
 	}
 }
 

@@ -20,6 +20,7 @@ import (
 	"cdas/client"
 	"cdas/internal/crowd"
 	"cdas/internal/engine"
+	"cdas/internal/enum"
 	"cdas/internal/httpapi"
 	"cdas/internal/jobs"
 	"cdas/internal/metrics"
@@ -147,9 +148,12 @@ rounds:
 			}
 			name := w.JobName(t, round)
 			t0 := time.Now()
-			if p.Stream {
+			switch {
+			case p.Stream:
 				_, err = c.SubmitStream(ctx, w.StreamSubmission(t))
-			} else {
+			case p.Enum:
+				_, err = c.SubmitJob(ctx, w.EnumSubmission(t))
+			default:
 				_, err = c.SubmitJob(ctx, w.Submission(t, round))
 			}
 			if err != nil {
@@ -169,9 +173,12 @@ rounds:
 				go func() {
 					defer watchers.Done()
 					defer rec.openWatchers.Add(-1)
-					if p.Stream {
+					switch {
+					case p.Stream:
 						watchStream(watchCtx, c, name, t0, rec)
-					} else {
+					case p.Enum:
+						watchEnum(watchCtx, c, name, t0, rec)
+					default:
 						watchJob(watchCtx, c, name, t0, rec)
 					}
 				}()
@@ -305,6 +312,30 @@ func watchStream(ctx context.Context, c *client.Client, name string, t0 time.Tim
 		if ev.Err != nil {
 			if ctx.Err() == nil {
 				rec.addError(fmt.Sprintf("watch stream %s: %v", name, ev.Err))
+			}
+			return
+		}
+		rec.sseEvents.Add(1)
+		if ev.Type == api.EventDone {
+			rec.recordWatcherDone(name, time.Since(t0))
+		}
+	}
+}
+
+// watchEnum consumes one enumeration's per-batch SSE stream end to
+// end, recording event counts and the done-event latency.
+func watchEnum(ctx context.Context, c *client.Client, name string, t0 time.Time, rec *recorder) {
+	events, err := c.WatchEnumeration(ctx, name)
+	if err != nil {
+		if ctx.Err() == nil {
+			rec.addError(fmt.Sprintf("watch enum %s: %v", name, err))
+		}
+		return
+	}
+	for ev := range events {
+		if ev.Err != nil {
+			if ctx.Err() == nil {
+				rec.addError(fmt.Sprintf("watch enum %s: %v", name, ev.Err))
 			}
 			return
 		}
@@ -487,9 +518,13 @@ func assembleReport(ctx context.Context, c *client.Client, rep *Report, w *Workl
 	}
 
 	// Stream runs hash the windowed results instead of the batch job
-	// records, and count stream items in place of submitted questions.
+	// records, and count stream items in place of submitted questions;
+	// enum runs likewise hash the final result sets and count crowd
+	// contributions.
 	var streams []api.StreamStatus
-	if p.Stream {
+	var enums []api.EnumStatus
+	switch {
+	case p.Stream:
 		names := make([]string, 0, len(expected))
 		for name := range expected {
 			names = append(names, name)
@@ -506,7 +541,25 @@ func assembleReport(ctx context.Context, c *client.Client, rep *Report, w *Workl
 			seen += st.Seen
 		}
 		rep.QuestionsSubmitted = int(seen)
-	} else {
+	case p.Enum:
+		names := make([]string, 0, len(expected))
+		for name := range expected {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		var contribs int64
+		for _, name := range names {
+			st, err := c.Enumeration(ctx, name)
+			if err != nil {
+				rep.Errors = append(rep.Errors, fmt.Sprintf("enum sweep %s: %v", name, err))
+				continue
+			}
+			enums = append(enums, st)
+			contribs += st.Contributions
+		}
+		rep.QuestionsSubmitted = int(contribs)
+		rep.Enum = summarizeEnums(enums, p.TenantBudget)
+	default:
 		rep.QuestionsSubmitted = len(submitStart) * p.QuestionsPerTenant
 	}
 	if rep.WallSeconds > 0 {
@@ -548,9 +601,12 @@ func assembleReport(ctx context.Context, c *client.Client, rep *Report, w *Workl
 			}
 		}
 	}
-	if p.Stream {
+	switch {
+	case p.Stream:
 		rep.ResultsHash = hashStreamResults(streams)
-	} else {
+	case p.Enum:
+		rep.ResultsHash = hashEnumResults(enums)
+	default:
 		rep.ResultsHash = hashResults(sorted)
 	}
 }
@@ -617,7 +673,8 @@ func startInproc(p Profile, w *Workload, dispatchers int) (*inprocServer, error)
 		API:       web,
 	})
 	runner := tsaRunner
-	if p.Stream {
+	switch {
+	case p.Stream:
 		// Standing queries close windows through the generation barrier.
 		// Closed-loop mode uses the full barrier (deadline 0) and expects
 		// every tenant's stream, so window-k batches of all streams share
@@ -640,6 +697,22 @@ func startInproc(p Profile, w *Workload, dispatchers int) (*inprocServer, error)
 		runner = func(ctx context.Context, job jobs.Job, report func(progress, cost float64)) error {
 			if job.Kind == jobs.KindContinuous {
 				return standingRunner(ctx, job, report)
+			}
+			return tsaRunner(ctx, job, report)
+		}
+	case p.Enum:
+		enumRunner := enum.NewRunner(enum.RunnerConfig{
+			Scheduler: sched,
+			Marks:     svc,
+			OnCharge: func(job string, amount float64) {
+				_ = svc.ChargeBudget(job, amount)
+			},
+			Counters: counters,
+			Publish:  web.EnumPublisher(),
+		})
+		runner = func(ctx context.Context, job jobs.Job, report func(progress, cost float64)) error {
+			if job.Kind == jobs.KindEnumeration {
+				return enumRunner(ctx, job, report)
 			}
 			return tsaRunner(ctx, job, report)
 		}
@@ -666,8 +739,10 @@ func startInproc(p Profile, w *Workload, dispatchers int) (*inprocServer, error)
 	return &inprocServer{
 		base: "http://" + ln.Addr().String(),
 		// Stream runs leave flushing to the window coordinator — a
-		// harness-driven flush would split a window generation.
-		barrier: p.Deterministic() && !p.Stream,
+		// harness-driven flush would split a window generation. Enum
+		// runners never enqueue scheduler questions at all (each buys its
+		// own HIT batches), so there is nothing for the harness to flush.
+		barrier: p.Deterministic() && !p.Stream && !p.Enum,
 		sched:   sched,
 		disp:    disp,
 		svc:     svc,

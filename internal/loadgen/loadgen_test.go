@@ -170,6 +170,74 @@ func TestStreamRunReproducibleAcrossDispatchers(t *testing.T) {
 	}
 }
 
+// TestEnumRunReproducibleAcrossDispatchers is the enumeration analogue
+// of the core guarantee — every batch is a pure function of the
+// per-tenant source seed, so result sets, estimates and spend reproduce
+// bit for bit — plus the two semantic contracts of the open-ended mode:
+// the Chao92 estimate converges toward the true universe size, and
+// marginal-value admission halts the spend well before the budgets run
+// out.
+func TestEnumRunReproducibleAcrossDispatchers(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	var reports []*Report
+	for _, d := range []int{1, 8} {
+		p, ok := Named("enum")
+		if !ok {
+			t.Fatal("enum profile missing")
+		}
+		p.Dispatchers = d
+		rep, err := Run(ctx, Config{Profile: p})
+		if err != nil {
+			t.Fatalf("enum run with %d dispatchers: %v", d, err)
+		}
+		if rep.Partial || rep.Jobs.Done != rep.Jobs.Total {
+			t.Fatalf("enum run with %d dispatchers: %+v (errors %v)", d, rep.Jobs, rep.Errors)
+		}
+		if !rep.Deterministic {
+			t.Fatalf("closed-loop in-process enum run must report deterministic")
+		}
+		e := rep.Enum
+		if e == nil {
+			t.Fatalf("enum run carried no enumeration summary")
+		}
+		if e.Jobs != rep.Jobs.Total || e.Batches == 0 || e.Contributions == 0 || e.Distinct == 0 {
+			t.Fatalf("degenerate enumeration summary: %+v", e)
+		}
+		// Convergence: the summed estimate lands near the true combined
+		// universe size, and most of each hidden set was discovered.
+		trueTotal := float64(p.EnumUniverse * p.Tenants)
+		if e.EstimateTotal < 0.7*trueTotal || e.EstimateTotal > 1.3*trueTotal {
+			t.Errorf("estimate %.1f far from the true universe total %.0f", e.EstimateTotal, trueTotal)
+		}
+		if e.MeanCompleteness < 0.5 {
+			t.Errorf("mean completeness %.2f never converged", e.MeanCompleteness)
+		}
+		// The marginal-value rule — not the budget — ends every job.
+		if e.StoppedMarginal != e.Jobs {
+			t.Errorf("stops: %d marginal, %d other, want all %d marginal", e.StoppedMarginal, e.StoppedOther, e.Jobs)
+		}
+		if e.Spent <= 0 || e.Spent >= e.BudgetTotal {
+			t.Errorf("spend %.3f must be positive and below the %.3f budget", e.Spent, e.BudgetTotal)
+		}
+		reports = append(reports, rep)
+	}
+	a, b := reports[0], reports[1]
+	if a.ResultsHash != b.ResultsHash {
+		t.Errorf("enum results hash diverged: %s vs %s", a.ResultsHash, b.ResultsHash)
+	}
+	if a.SpendLedger != b.SpendLedger || a.SpendJobs != b.SpendJobs {
+		t.Errorf("enum spend diverged across dispatcher settings: %v/%v vs %v/%v",
+			a.SpendLedger, a.SpendJobs, b.SpendLedger, b.SpendJobs)
+	}
+	if !enumSummaryEq(*a.Enum, *b.Enum) {
+		t.Errorf("enum summaries diverged: %+v vs %+v", *a.Enum, *b.Enum)
+	}
+	if a.Watchers == 0 {
+		t.Errorf("expected enum SSE watchers, got none")
+	}
+}
+
 // TestRunBudgetParking drives the budget profile and expects the
 // admission control to park at least one tenant.
 func TestRunBudgetParking(t *testing.T) {

@@ -110,6 +110,28 @@ type Profile struct {
 	// StreamCapacity caps crowd questions per window (0 = 5), small
 	// enough that the degrade ladder engages under the default rate.
 	StreamCapacity int `json:"stream_capacity,omitempty"`
+	// Enum switches the workload to enumeration queries: each tenant
+	// submits one open-ended "list all X" job against the built-in
+	// deterministic simulated crowd. The enumeration runner buys HIT
+	// batches on its own (no scheduler generations), and every batch is
+	// a pure function of the per-tenant source seed — so closed-loop
+	// enum runs reproduce the same result sets, completeness estimates
+	// and spend bit for bit across repeats and -dispatchers settings.
+	Enum bool `json:"enum,omitempty"`
+	// EnumItemValue is each job's worth of one newly discovered member,
+	// in HIT-price currency (0 = 0.05). Marginal-value admission stops
+	// buying batches once E[new items per batch] x EnumItemValue falls
+	// below the HIT price.
+	EnumItemValue float64 `json:"enum_item_value,omitempty"`
+	// EnumUniverse is each hidden set's true size (0 = 30) — the figure
+	// the Chao92 completeness estimate should converge toward.
+	EnumUniverse int `json:"enum_universe,omitempty"`
+	// EnumPopularity is the source's Zipf skew exponent (0 = the source
+	// default, 1.0).
+	EnumPopularity float64 `json:"enum_popularity,omitempty"`
+	// EnumMaxBatches caps each job's HIT batches (0 = unlimited, so the
+	// marginal-value rule is the only open-ended stop).
+	EnumMaxBatches int `json:"enum_max_batches,omitempty"`
 }
 
 // Validate normalises and checks the profile, returning the effective
@@ -198,6 +220,32 @@ func (p Profile) Validate() (Profile, error) {
 		// workload have no standing-query analogue.
 		p.Rounds = 1
 	}
+	if p.Enum {
+		if p.Stream {
+			return p, fmt.Errorf("loadgen: stream and enum modes are mutually exclusive")
+		}
+		if p.EnumItemValue == 0 {
+			p.EnumItemValue = 0.05
+		}
+		if p.EnumItemValue < 0 {
+			return p, fmt.Errorf("loadgen: enum item value must be > 0, got %v", p.EnumItemValue)
+		}
+		if p.EnumUniverse == 0 {
+			p.EnumUniverse = 30
+		}
+		if p.EnumUniverse < 1 {
+			return p, fmt.Errorf("loadgen: enum universe must be >= 1, got %d", p.EnumUniverse)
+		}
+		if p.EnumPopularity < 0 {
+			return p, fmt.Errorf("loadgen: enum popularity must be >= 0, got %v", p.EnumPopularity)
+		}
+		if p.EnumMaxBatches < 0 {
+			return p, fmt.Errorf("loadgen: enum max batches must be >= 0, got %d", p.EnumMaxBatches)
+		}
+		// Enumeration marks are per job name; the cache rounds of the
+		// batch workload have no enumeration analogue either.
+		p.Rounds = 1
+	}
 	return p, nil
 }
 
@@ -281,6 +329,28 @@ func Named(name string) (Profile, bool) {
 			StreamWindow:       time.Minute,
 			StreamCapacity:     5,
 		}, true
+	case "enum":
+		// Enumeration queries: 4 open-ended jobs over independent hidden
+		// sets, budgets generous enough that the marginal-value rule (not
+		// the budget) is what stops the spend. Closed-loop, so the
+		// enumeration results hash gates.
+		return Profile{
+			Name:               "enum",
+			Seed:               1,
+			Tenants:            4,
+			QuestionsPerTenant: 8,
+			Domains:            1,
+			Rounds:             1,
+			TenantBudget:       2,
+			WatcherFraction:    0.5,
+			Dispatchers:        4,
+			RequiredAccuracy:   0.85,
+			HITSize:            20,
+			Inflight:           2,
+			Enum:               true,
+			EnumItemValue:      0.05,
+			EnumUniverse:       30,
+		}, true
 	case "budget":
 		// Scarce budgets with priority tiers: exercises parking.
 		return Profile{
@@ -305,4 +375,6 @@ func Named(name string) (Profile, bool) {
 }
 
 // ProfileNames lists the predefined profiles.
-func ProfileNames() []string { return []string{"smoke", "contention", "dedup", "budget", "stream"} }
+func ProfileNames() []string {
+	return []string{"smoke", "contention", "dedup", "budget", "stream", "enum"}
+}

@@ -70,6 +70,62 @@ type SchedStats struct {
 	Batches     int64 `json:"batches_published"`
 }
 
+// EnumSummary aggregates an enumeration run's semantic outcome: how
+// complete the discovered sets are against their hidden universes, what
+// the crowd spend came to, and which stopping rule ended each job. All
+// fields are deterministic on a closed-loop run, so the gate compares
+// the whole struct exactly.
+type EnumSummary struct {
+	// Jobs is how many enumeration records the final sweep found.
+	Jobs int `json:"jobs"`
+	// Batches/Contributions/Distinct sum the per-job HIT batches, crowd
+	// contributions and deduped set sizes.
+	Batches       int   `json:"batches"`
+	Contributions int64 `json:"contributions"`
+	Distinct      int   `json:"distinct"`
+	// EstimateTotal sums the per-job Chao92 total-size estimates;
+	// MeanCompleteness averages their completeness (distinct/estimate).
+	EstimateTotal    float64 `json:"estimate_total"`
+	MeanCompleteness float64 `json:"mean_completeness"`
+	// Spent sums the per-job crowd spend; BudgetTotal the per-job budget
+	// caps (0 when unlimited). The marginal-value contract is
+	// Spent < BudgetTotal — admission stopped before the money ran out.
+	Spent       float64 `json:"spent"`
+	BudgetTotal float64 `json:"budget_total"`
+	// StoppedMarginal counts jobs the marginal-value rule ended;
+	// StoppedOther every other recorded stop reason.
+	StoppedMarginal int `json:"stopped_marginal"`
+	StoppedOther    int `json:"stopped_other,omitempty"`
+}
+
+// summarizeEnums folds the final enumeration records into the summary.
+// tenantBudget is the profile's per-job cap (0 = unlimited).
+func summarizeEnums(sts []api.EnumStatus, tenantBudget float64) *EnumSummary {
+	s := &EnumSummary{Jobs: len(sts), BudgetTotal: tenantBudget * float64(len(sts))}
+	var completeness float64
+	for _, st := range sts {
+		s.Batches += st.Batches
+		s.Contributions += st.Contributions
+		s.Distinct += st.Distinct
+		s.Spent += st.Spent
+		if est := st.Estimate; est != nil {
+			s.EstimateTotal += est.Total
+			completeness += est.Completeness
+		}
+		switch st.Stopped {
+		case api.StopMarginalValue:
+			s.StoppedMarginal++
+		case "":
+		default:
+			s.StoppedOther++
+		}
+	}
+	if len(sts) > 0 {
+		s.MeanCompleteness = completeness / float64(len(sts))
+	}
+	return s
+}
+
 // Report is one loadgen run's result.
 type Report struct {
 	Schema  string  `json:"schema"`
@@ -118,6 +174,11 @@ type Report struct {
 	// final state, cost, item count and result percentages, folded in
 	// name order. Two deterministic runs of one profile must agree.
 	ResultsHash string `json:"results_hash"`
+
+	// Enum, when present, summarises an enumeration run: set
+	// completeness against the hidden universes, spend vs budget, and
+	// the stopping-rule tally. Deterministic, so the gate pins it.
+	Enum *EnumSummary `json:"enum,omitempty"`
 
 	// Matrix, when present, is the accuracy-vs-cost sweep over
 	// (aggregator × assignment overlap) — see RunMatrix. Deterministic
@@ -226,6 +287,39 @@ func hashStreamResults(sts []api.StreamStatus) string {
 	return fmt.Sprintf("%016x", h.Sum64())
 }
 
+// hashEnumResults folds the final enumeration records into the
+// determinism fingerprint: per-job lifecycle outcome, batch and
+// contribution counts, spend, stop reason, the Chao92 estimate and
+// every discovered member (key, canonical text, count), visited in
+// name order at full float precision.
+func hashEnumResults(sts []api.EnumStatus) string {
+	sorted := append([]api.EnumStatus(nil), sts...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Name < sorted[j].Name })
+	h := fnv.New64a()
+	write := func(parts ...string) {
+		for _, p := range parts {
+			h.Write([]byte(p))
+			h.Write([]byte{0})
+		}
+	}
+	for _, st := range sorted {
+		write(st.Name, string(st.State),
+			strconv.Itoa(st.Batches),
+			strconv.FormatInt(st.Contributions, 10),
+			strconv.Itoa(st.Distinct),
+			strconv.FormatFloat(st.Spent, 'g', -1, 64),
+			st.Stopped)
+		if est := st.Estimate; est != nil {
+			write(strconv.FormatFloat(est.Total, 'g', -1, 64),
+				strconv.FormatFloat(est.Completeness, 'g', -1, 64))
+		}
+		for _, it := range st.Items {
+			write(it.Key, it.Text, strconv.Itoa(it.Count), strconv.Itoa(it.Batch))
+		}
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
 // WriteJSON writes the report to path (pretty-printed, trailing
 // newline).
 func (r *Report) WriteJSON(path string) error {
@@ -267,6 +361,12 @@ func (r *Report) Table() string {
 	fmt.Fprintf(&b, "  dedup           %5.1f%% of enqueued questions answered without a purchase\n", r.DedupSavedPct)
 	fmt.Fprintf(&b, "    scheduler: %d generation(s), %d enqueued, %d published, %d deduped, %d cache hits, %d batches\n",
 		r.Sched.Generations, r.Sched.Enqueued, r.Sched.Published, r.Sched.Deduped, r.Sched.CacheHits, r.Sched.Batches)
+	if e := r.Enum; e != nil {
+		fmt.Fprintf(&b, "  enumeration     %d job(s): %d batches, %d contributions, %d distinct members\n",
+			e.Jobs, e.Batches, e.Contributions, e.Distinct)
+		fmt.Fprintf(&b, "    estimate %.1f total, %.0f%% mean completeness; spent %.3f of %.3f budget; %d marginal-value stop(s), %d other\n",
+			e.EstimateTotal, 100*e.MeanCompleteness, e.Spent, e.BudgetTotal, e.StoppedMarginal, e.StoppedOther)
+	}
 	fmt.Fprintf(&b, "  results hash    %s\n", r.ResultsHash)
 	if r.Matrix != nil {
 		fmt.Fprintf(&b, "\n  accuracy vs cost (seed %d, %d questions per cell):\n", r.Matrix.Seed, r.Matrix.Questions)

@@ -216,6 +216,28 @@ func (w *Workload) StreamSubmission(t Tenant) api.StreamSubmission {
 	}
 }
 
+// EnumSubmission builds the tenant's enumeration submission. Each
+// tenant enumerates its own hidden set (named after a tenant-unique
+// keyword), so no two jobs' items collide; the per-tenant source seed
+// keeps every simulated crowd independent yet reproducible.
+func (w *Workload) EnumSubmission(t Tenant) api.JobSubmission {
+	p := w.Profile
+	return api.JobSubmission{
+		Name:     t.Name,
+		Kind:     api.KindEnumeration,
+		Keywords: []string{fmt.Sprintf("EN%03dSET", t.Index)},
+		Priority: t.Priority,
+		Budget:   t.Budget,
+		Enum: &api.EnumSpec{
+			ItemValue:  p.EnumItemValue,
+			MaxBatches: p.EnumMaxBatches,
+			Universe:   p.EnumUniverse,
+			Popularity: p.EnumPopularity,
+			SourceSeed: p.Seed + 200 + uint64(t.Index),
+		},
+	}
+}
+
 // TotalJobs is the number of jobs the workload submits across rounds.
 func (w *Workload) TotalJobs() int { return w.Profile.Tenants * w.Profile.Rounds }
 

@@ -82,6 +82,39 @@ func (l *Ledger) Admissible(job string, estimate, globalReserved, jobReserved fl
 	return true
 }
 
+// MarginalDecision is the outcome of pricing an enumeration job's next
+// HIT batch against its expected yield.
+type MarginalDecision int
+
+const (
+	// MarginalAdmit: the batch is worth buying and fits the budget.
+	MarginalAdmit MarginalDecision = iota
+	// MarginalStop: the expected value of the batch no longer covers its
+	// price — discovery has dried up. The job should finish, not park:
+	// more budget would not change the economics.
+	MarginalStop
+	// MarginalPark: the batch is still worth buying but doesn't fit the
+	// job or global budget. The job parks and can resume once budget is
+	// raised.
+	MarginalPark
+)
+
+// AdmitMarginal prices an enumeration job's next HIT batch: admit only
+// while E[new items per batch] x per-item value exceeds the batch
+// price. This is the open-ended counterpart of the Eq.4 accuracy bound —
+// a principled stop for queries with no known answer set. Value is
+// checked before budget so a dried-up job finishes Done instead of
+// parking on a budget it would never productively spend.
+func (l *Ledger) AdmitMarginal(job string, price, expectedNewItems, itemValue float64) MarginalDecision {
+	if expectedNewItems*itemValue <= price {
+		return MarginalStop
+	}
+	if !l.Admissible(job, price, 0, 0) {
+		return MarginalPark
+	}
+	return MarginalAdmit
+}
+
 // JobBudget is one job's budget line: its cap and what it has spent.
 type JobBudget struct {
 	Limit float64 `json:"limit"` // 0 = unlimited

@@ -98,6 +98,17 @@ func QuestionKey(q crowd.Question) string {
 	return DomainKey(q.Domain) + "/" + hashStrings([]string{NormalizeText(q.Text)})
 }
 
+// ItemKey is the dedup key of one free-text enumeration answer: the
+// hash of its normalised text under a dedicated "enum" namespace.
+// Workers contributing "Blue Whale" and "blue  whale" name the same set
+// member, so enumeration result sets grow by canonical identity exactly
+// like the question cache does — through NormalizeText and the same
+// length-prefixed hash. The namespace prefix keeps enumeration keys
+// disjoint from question keys even for identical text.
+func ItemKey(text string) string {
+	return hashStrings([]string{"enum", NormalizeText(text)})
+}
+
 // MapAnswer returns the caller's own spelling of a canonically-equal
 // answer: the domain entry whose canonical form matches answer's,
 // falling back to the answer verbatim. Coalesced questions are

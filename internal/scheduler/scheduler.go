@@ -298,6 +298,12 @@ func (s *Scheduler) Ledger() *Ledger { return s.ledger }
 // enqueues, e.g. the standing-query adaptive batcher clamping to it.
 func (s *Scheduler) SlotsPerHIT() int { return s.estSlots }
 
+// HITPrice reports the configured economics' price of publishing one
+// HIT (per-assignment price x planned workers): the batch cost the
+// enumeration runner weighs against expected discovery yield in the
+// ledger's marginal-value admission.
+func (s *Scheduler) HITPrice() float64 { return s.estHITCost }
+
 // ServiceAccuracy reports the verification level every shared question
 // is held to: the engine template's effective RequiredAccuracy. Runners
 // gate per-job accuracy demands against it — one verification standard

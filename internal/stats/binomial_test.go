@@ -146,6 +146,26 @@ func TestBinomialPMFSumsToOne(t *testing.T) {
 	}
 }
 
+func TestBinomialPMFEdgeCases(t *testing.T) {
+	cases := []struct {
+		n, k int
+		p    float64
+		want float64
+	}{
+		{10, -1, 0.5, 0}, // out-of-range k
+		{10, 11, 0.5, 0},
+		{10, 0, 0, 1}, // degenerate p pins all mass on one k
+		{10, 3, 0, 0},
+		{10, 10, 1, 1},
+		{10, 9, 1, 0},
+	}
+	for _, c := range cases {
+		if got := BinomialPMF(c.n, c.k, c.p); got != c.want {
+			t.Errorf("BinomialPMF(%d, %d, %v) = %v, want %v", c.n, c.k, c.p, got, c.want)
+		}
+	}
+}
+
 func TestBinomialTailLargeN(t *testing.T) {
 	// Must not under/overflow at large n: majority at p=0.51, n=10001 is
 	// well above 1/2 and below 1.

@@ -1,0 +1,115 @@
+// Chao92 species estimation: turning an enumeration job's observed
+// frequency-of-frequencies into an estimate of the total set size, so a
+// completeness bound (rather than the per-question accuracy bound of
+// Eq.4) can stop an open-ended "list all X" query. Follows Chao & Lee
+// (JASA 1992) as applied to crowdsourced enumeration by Trushkowsky et
+// al. (ICDE 2013).
+package stats
+
+import "math"
+
+// SpeciesEstimate is one Chao92 evaluation over an enumeration job's
+// contribution history.
+type SpeciesEstimate struct {
+	// Observed is D, the number of distinct items seen so far.
+	Observed int `json:"observed"`
+	// Samples is n, the total number of contributions (with repeats).
+	Samples int `json:"samples"`
+	// Singletons is f1, the number of items seen exactly once. A large
+	// singleton fraction means the crowd is still surfacing new items.
+	Singletons int `json:"singletons"`
+	// Coverage is the Good-Turing sample coverage estimate
+	// C-hat = 1 - f1/n: the probability mass of the items already seen.
+	Coverage float64 `json:"coverage"`
+	// CV2 is the squared coefficient of variation gamma^2 correcting for
+	// unequal item popularity (0 under the homogeneous model).
+	CV2 float64 `json:"cv2"`
+	// Total is N-hat, the estimated size of the underlying set. Always
+	// at least Observed.
+	Total float64 `json:"total"`
+}
+
+// Completeness is the live progress figure Observed/Total, clamped to
+// [0, 1]. Zero when nothing has been sampled yet.
+func (e SpeciesEstimate) Completeness() float64 {
+	if e.Total <= 0 {
+		return 0
+	}
+	c := float64(e.Observed) / e.Total
+	return math.Min(c, 1)
+}
+
+// Chao92 estimates the total number of distinct items in the underlying
+// set from the frequency-of-frequencies histogram freq, where freq[k] is
+// the number of distinct items observed exactly k times (entries with
+// k <= 0 or a non-positive count are ignored).
+//
+// The estimator is N-hat = D/C-hat + n(1-C-hat)/C-hat * gamma^2 with
+// sample coverage C-hat = 1 - f1/n and
+// gamma^2 = max(0, (D/C-hat) * sum_k k(k-1) f_k / (n(n-1)) - 1).
+// When every observation is a singleton C-hat is zero and the
+// coverage-based form blows up; we fall back to the bias-corrected
+// Chao1 lower bound D + f1(f1-1)/(2(f2+1)) instead.
+func Chao92(freq map[int]int) SpeciesEstimate {
+	var est SpeciesEstimate
+	for k, cnt := range freq {
+		if k <= 0 || cnt <= 0 {
+			continue
+		}
+		est.Observed += cnt
+		est.Samples += k * cnt
+		if k == 1 {
+			est.Singletons = cnt
+		}
+	}
+	if est.Samples == 0 {
+		return est
+	}
+	d := float64(est.Observed)
+	n := float64(est.Samples)
+	f1 := float64(est.Singletons)
+	cov := 1 - f1/n
+	est.Coverage = cov
+	if cov <= 0 {
+		// All singletons: no coverage signal yet. Chao1's bias-corrected
+		// lower bound still holds (f2 = 0 here, so it reduces to
+		// D + f1(f1-1)/2).
+		f2 := float64(freq[2])
+		est.Total = d + f1*(f1-1)/(2*(f2+1))
+		return est
+	}
+	n0 := d / cov
+	if est.Samples > 1 {
+		var pairs float64 // sum_k k(k-1) f_k
+		for k, cnt := range freq {
+			if k > 1 && cnt > 0 {
+				pairs += float64(k) * float64(k-1) * float64(cnt)
+			}
+		}
+		est.CV2 = math.Max(0, n0*pairs/(n*(n-1))-1)
+	}
+	est.Total = n0 + n*(1-cov)/cov*est.CV2
+	return est
+}
+
+// GoodTuringUnseen is the Good-Turing estimate f1/n of the probability
+// that the next contribution is an item not yet seen. With no samples
+// the next contribution is certainly new, so it returns 1. This is the
+// E[new items per contribution] factor of the ledger's marginal-value
+// admission rule.
+func GoodTuringUnseen(freq map[int]int) float64 {
+	n, f1 := 0, 0
+	for k, cnt := range freq {
+		if k <= 0 || cnt <= 0 {
+			continue
+		}
+		n += k * cnt
+		if k == 1 {
+			f1 = cnt
+		}
+	}
+	if n == 0 {
+		return 1
+	}
+	return float64(f1) / float64(n)
+}

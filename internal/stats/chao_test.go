@@ -1,0 +1,118 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestChao92ClosedForm(t *testing.T) {
+	cases := []struct {
+		name string
+		freq map[int]int
+		want SpeciesEstimate
+	}{
+		{
+			// Four items each seen three times: full coverage, estimate
+			// is exactly the observed count.
+			name: "full-coverage",
+			freq: map[int]int{3: 4},
+			want: SpeciesEstimate{Observed: 4, Samples: 12, Singletons: 0, Coverage: 1, CV2: 0, Total: 4},
+		},
+		{
+			// f1=2, f2=4: n=10, D=6, C-hat=0.8, N0=7.5,
+			// sum k(k-1)f_k = 8, gamma^2 = max(0, 7.5*8/90 - 1) = 0,
+			// so N-hat = 7.5.
+			name: "homogeneous",
+			freq: map[int]int{1: 2, 2: 4},
+			want: SpeciesEstimate{Observed: 6, Samples: 10, Singletons: 2, Coverage: 0.8, CV2: 0, Total: 7.5},
+		},
+		{
+			// All singletons: C-hat=0, Chao1 fallback D + f1(f1-1)/2 =
+			// 5 + 10 = 15.
+			name: "all-singletons",
+			freq: map[int]int{1: 5},
+			want: SpeciesEstimate{Observed: 5, Samples: 5, Singletons: 5, Coverage: 0, CV2: 0, Total: 15},
+		},
+		{
+			name: "empty",
+			freq: nil,
+			want: SpeciesEstimate{},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := Chao92(tc.freq)
+			if got.Observed != tc.want.Observed || got.Samples != tc.want.Samples || got.Singletons != tc.want.Singletons {
+				t.Fatalf("Chao92(%v) counts = %+v, want %+v", tc.freq, got, tc.want)
+			}
+			if math.Abs(got.Coverage-tc.want.Coverage) > 1e-12 ||
+				math.Abs(got.CV2-tc.want.CV2) > 1e-12 ||
+				math.Abs(got.Total-tc.want.Total) > 1e-12 {
+				t.Fatalf("Chao92(%v) = %+v, want %+v", tc.freq, got, tc.want)
+			}
+		})
+	}
+}
+
+// The estimate can never fall below the number of distinct items
+// actually observed, across a grid of histograms.
+func TestChao92AtLeastObserved(t *testing.T) {
+	for f1 := 0; f1 <= 12; f1++ {
+		for f2 := 0; f2 <= 8; f2++ {
+			for f5 := 0; f5 <= 4; f5++ {
+				freq := map[int]int{1: f1, 2: f2, 5: f5}
+				est := Chao92(freq)
+				if est.Total < float64(est.Observed)-1e-9 {
+					t.Fatalf("Chao92(%v): Total %v < Observed %d", freq, est.Total, est.Observed)
+				}
+				if est.Total > 0 && (est.Completeness() < 0 || est.Completeness() > 1) {
+					t.Fatalf("Chao92(%v): Completeness %v out of [0,1]", freq, est.Completeness())
+				}
+			}
+		}
+	}
+}
+
+// Adding singletons to a fixed base histogram never lowers the
+// estimate: unseen-item evidence only pushes N-hat up.
+func TestChao92MonotoneInSingletons(t *testing.T) {
+	bases := []map[int]int{
+		{2: 5},
+		{2: 3, 3: 2},
+		{4: 10},
+	}
+	for _, base := range bases {
+		prev := -1.0
+		for f1 := 0; f1 <= 15; f1++ {
+			freq := map[int]int{1: f1}
+			for k, cnt := range base {
+				freq[k] = cnt
+			}
+			est := Chao92(freq)
+			if est.Total < prev-1e-9 {
+				t.Fatalf("base %v: Total dropped from %v to %v at f1=%d", base, prev, est.Total, f1)
+			}
+			prev = est.Total
+		}
+	}
+}
+
+func TestChao92IgnoresBadEntries(t *testing.T) {
+	got := Chao92(map[int]int{0: 7, -3: 2, 2: 4, 1: 0})
+	want := Chao92(map[int]int{2: 4})
+	if got != want {
+		t.Fatalf("bad entries not ignored: got %+v, want %+v", got, want)
+	}
+}
+
+func TestGoodTuringUnseen(t *testing.T) {
+	if got := GoodTuringUnseen(nil); got != 1 {
+		t.Fatalf("GoodTuringUnseen(nil) = %v, want 1", got)
+	}
+	if got := GoodTuringUnseen(map[int]int{1: 2, 2: 4}); math.Abs(got-0.2) > 1e-12 {
+		t.Fatalf("GoodTuringUnseen = %v, want 0.2", got)
+	}
+	if got := GoodTuringUnseen(map[int]int{3: 4}); got != 0 {
+		t.Fatalf("GoodTuringUnseen with no singletons = %v, want 0", got)
+	}
+}
